@@ -1,0 +1,108 @@
+//! A small union-find (disjoint-set) structure with path compression and
+//! union by size, used to compute link-connected components.
+
+/// Disjoint sets over `0..n`.
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl DisjointSets {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` when they
+    /// were previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// All components: sorted by smallest member, each sorted ascending.
+    pub fn components(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut d = DisjointSets::new(4);
+        assert_eq!(d.components(), vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert!(!d.connected(0, 1));
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut d = DisjointSets::new(5);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0), "already merged");
+        assert!(d.union(2, 3));
+        assert!(d.union(0, 3));
+        assert!(d.connected(1, 2));
+        assert!(!d.connected(0, 4));
+        assert_eq!(d.components(), vec![vec![0, 1, 2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn transitive_chains() {
+        let mut d = DisjointSets::new(6);
+        for i in 0..5 {
+            d.union(i, i + 1);
+        }
+        assert!(d.connected(0, 5));
+        assert_eq!(d.components().len(), 1);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut d = DisjointSets::new(0);
+        assert!(d.components().is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! The service-request shape seen by providers (Section 3).
+
+use hka_geo::{StBox, StPoint};
+use std::fmt;
+
+/// A pseudonym, "used to hide the user identity while allowing the SP to
+/// authenticate the user, to connect multiple requests from the same user,
+/// and possibly to charge the user for the service" (Section 3).
+///
+/// Pseudonyms are not shared between users, but one user may hold several
+/// over time (unlinking replaces the current one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pseudonym(pub u64);
+
+impl fmt::Display for Pseudonym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{:08x}", self.0)
+    }
+}
+
+/// Message identifier, "used to hide the user network address … used by
+/// the TS to forward the answer to the user's device".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId(pub u64);
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifier of a service provider / service class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(pub u32);
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc{}", self.0)
+    }
+}
+
+/// A request as received by a service provider:
+/// `(msgid, UserPseudonym, Area, TimeInterval, Data)`.
+///
+/// The `context` field carries the *generalized* spatio-temporal context —
+/// "both Area and TimeInterval provide possibly generalized information in
+/// the form of an area containing the exact location point, and of a time
+/// interval containing the exact instant". The exact point never appears
+/// in this type; only the trusted server knows it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpRequest {
+    /// Routing handle (hides the network address).
+    pub msg_id: MsgId,
+    /// The sender's current pseudonym.
+    pub pseudonym: Pseudonym,
+    /// Generalized `⟨Area, TimeInterval⟩`.
+    pub context: StBox,
+    /// Target service.
+    pub service: ServiceId,
+    /// Service-specific attribute–value pairs (possibly sensitive).
+    pub data: Vec<(String, String)>,
+}
+
+impl SpRequest {
+    /// Creates a request with empty data.
+    pub fn new(msg_id: MsgId, pseudonym: Pseudonym, context: StBox, service: ServiceId) -> Self {
+        SpRequest {
+            msg_id,
+            pseudonym,
+            context,
+            service,
+            data: Vec::new(),
+        }
+    }
+
+    /// Whether the generalized context is consistent with an exact point —
+    /// the correctness invariant of every cloaking algorithm: the reported
+    /// box must contain the true request point.
+    pub fn covers(&self, exact: &StPoint) -> bool {
+        self.context.contains(exact)
+    }
+}
+
+impl fmt::Display for SpRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {}, {})",
+            self.msg_id, self.pseudonym, self.context, self.service
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::{Rect, TimeInterval, TimeSec};
+
+    #[test]
+    fn covers_checks_containment() {
+        let ctx = StBox::new(
+            Rect::from_bounds(0.0, 0.0, 10.0, 10.0),
+            TimeInterval::new(TimeSec(0), TimeSec(60)),
+        );
+        let r = SpRequest::new(MsgId(1), Pseudonym(7), ctx, ServiceId(0));
+        assert!(r.covers(&StPoint::xyt(5.0, 5.0, TimeSec(30))));
+        assert!(!r.covers(&StPoint::xyt(50.0, 5.0, TimeSec(30))));
+        assert!(!r.covers(&StPoint::xyt(5.0, 5.0, TimeSec(120))));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let ctx = StBox::point(StPoint::xyt(1.0, 2.0, TimeSec(3)));
+        let r = SpRequest::new(MsgId(9), Pseudonym(0xff), ctx, ServiceId(2));
+        let s = r.to_string();
+        assert!(s.contains("m9"));
+        assert!(s.contains("p000000ff"));
+        assert!(s.contains("svc2"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Property tests: Definition-4 linker laws, Definition-5 component
+//! structure, and Definition-7/8 monotonicity.
+
+use hka_anonymity::{
+    historical_k_anonymity, is_link_connected, link_components, lt_consistent, CompositeLinker,
+    Linker, MsgId, Pseudonym, PseudonymLinker, ServiceId, SpRequest, TrackerLinker,
+};
+use hka_geo::{Rect, StBox, StPoint, TimeInterval, TimeSec};
+use hka_trajectory::{Phl, TrajectoryStore, UserId};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = SpRequest> {
+    (
+        0u64..6,                      // pseudonym pool (collisions intended)
+        0.0f64..3_000.0,
+        0.0f64..3_000.0,
+        0.0f64..400.0,
+        0.0f64..400.0,
+        0i64..7_200,
+        0i64..600,
+    )
+        .prop_map(|(pseudo, x, y, w, h, t, d)| {
+            SpRequest::new(
+                MsgId(0),
+                Pseudonym(pseudo),
+                StBox::new(
+                    Rect::from_bounds(x, y, x + w, y + h),
+                    TimeInterval::new(TimeSec(t), TimeSec(t + d)),
+                ),
+                ServiceId(0),
+            )
+        })
+}
+
+fn arb_stpoint() -> impl Strategy<Value = StPoint> {
+    (0.0f64..3_000.0, 0.0f64..3_000.0, 0i64..7_200)
+        .prop_map(|(x, y, t)| StPoint::xyt(x, y, TimeSec(t)))
+}
+
+fn arb_box() -> impl Strategy<Value = StBox> {
+    (arb_stpoint(), arb_stpoint()).prop_map(|(a, b)| {
+        StBox::new(Rect::new(a.pos, b.pos), TimeInterval::new(a.t, b.t))
+    })
+}
+
+/// Naive reachability over the threshold graph, for cross-checking the
+/// union-find implementation.
+fn naive_components<L: Linker>(reqs: &[SpRequest], linker: &L, theta: f64) -> Vec<Vec<usize>> {
+    let n = reqs.len();
+    let mut adj = vec![vec![]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if linker.link(&reqs[i], &reqs[j]) >= theta {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut stack = vec![start];
+        let mut comp = Vec::new();
+        seen[start] = true;
+        while let Some(x) = stack.pop() {
+            comp.push(x);
+            for &y in &adj[x] {
+                if !seen[y] {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out.sort_by_key(|c| c[0]);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Definition 4's stated laws: symmetry, reflexivity, unit range —
+    /// for every linker in the crate.
+    #[test]
+    fn linker_laws(a in arb_request(), b in arb_request()) {
+        let pseudo = PseudonymLinker;
+        let tracker = TrackerLinker::default();
+        let composite = CompositeLinker::standard();
+        for (name, l) in [
+            ("pseudonym", &pseudo as &dyn Linker),
+            ("tracker", &tracker),
+            ("composite", &composite),
+        ] {
+            let ab = l.link(&a, &b);
+            let ba = l.link(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-12, "{}: {} vs {}", name, ab, ba);
+            prop_assert!((0.0..=1.0).contains(&ab), "{}: {}", name, ab);
+            prop_assert!((l.link(&a, &a) - 1.0).abs() < 1e-12, "{} reflexivity", name);
+        }
+    }
+
+    /// link_components equals naive graph reachability.
+    #[test]
+    fn components_match_naive(
+        reqs in prop::collection::vec(arb_request(), 0..25),
+        theta in 0.05f64..1.0,
+    ) {
+        let linker = CompositeLinker::standard();
+        let fast = link_components(&reqs, &linker, theta);
+        let slow = naive_components(&reqs, &linker, theta);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Components partition the request set, and same-pseudonym requests
+    /// always land in the same component (for θ ≤ 1).
+    #[test]
+    fn components_partition_and_respect_pseudonyms(
+        reqs in prop::collection::vec(arb_request(), 1..25),
+        theta in 0.05f64..=1.0,
+    ) {
+        let linker = PseudonymLinker;
+        let comps = link_components(&reqs, &linker, theta);
+        let mut seen = vec![false; reqs.len()];
+        for c in &comps {
+            for &i in c {
+                prop_assert!(!seen[i], "request {} in two components", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|s| *s), "every request in a component");
+        // Same pseudonym ⇒ same component.
+        let comp_of = |i: usize| comps.iter().position(|c| c.contains(&i)).unwrap();
+        for i in 0..reqs.len() {
+            for j in (i + 1)..reqs.len() {
+                if reqs[i].pseudonym == reqs[j].pseudonym {
+                    prop_assert_eq!(comp_of(i), comp_of(j));
+                }
+            }
+        }
+    }
+
+    /// Raising θ only splits components (refinement).
+    #[test]
+    fn higher_theta_refines(
+        reqs in prop::collection::vec(arb_request(), 0..20),
+        lo in 0.05f64..0.5,
+        hi in 0.5f64..1.0,
+    ) {
+        let linker = CompositeLinker::standard();
+        let coarse = link_components(&reqs, &linker, lo);
+        let fine = link_components(&reqs, &linker, hi);
+        // Every fine component is contained in some coarse component.
+        for f in &fine {
+            let host = coarse.iter().find(|c| c.contains(&f[0])).unwrap();
+            for i in f {
+                prop_assert!(host.contains(i));
+            }
+        }
+    }
+
+    /// Definition 5 coherence: every component returned by
+    /// `link_components` is itself link-connected (the chain exists within
+    /// it), and unions of two distinct components are not.
+    #[test]
+    fn components_are_link_connected_subsets(
+        reqs in prop::collection::vec(arb_request(), 0..18),
+        theta in 0.1f64..1.0,
+    ) {
+        let linker = CompositeLinker::standard();
+        let comps = link_components(&reqs, &linker, theta);
+        for c in &comps {
+            prop_assert!(is_link_connected(&reqs, c, &linker, theta));
+        }
+        if comps.len() >= 2 {
+            let merged: Vec<usize> = comps[0].iter().chain(comps[1].iter()).copied().collect();
+            prop_assert!(!is_link_connected(&reqs, &merged, &linker, theta));
+        }
+        // Vacuous cases.
+        prop_assert!(is_link_connected(&reqs, &[], &linker, theta));
+        if !reqs.is_empty() {
+            prop_assert!(is_link_connected(&reqs, &[0], &linker, theta));
+        }
+    }
+
+    /// LT-consistency is anti-monotone in the request set and monotone in
+    /// the contexts.
+    #[test]
+    fn lt_consistency_monotonicity(
+        pts in prop::collection::vec(arb_stpoint(), 1..20),
+        ctxs in prop::collection::vec(arb_box(), 0..8),
+        extra in arb_box(),
+    ) {
+        let phl = Phl::from_points(pts);
+        let mut more = ctxs.clone();
+        more.push(extra);
+        // Adding a context can only break consistency, never create it.
+        if lt_consistent(&phl, &more) {
+            prop_assert!(lt_consistent(&phl, &ctxs));
+        }
+        // Growing every context preserves consistency.
+        if lt_consistent(&phl, &ctxs) {
+            let grown: Vec<StBox> = ctxs
+                .iter()
+                .map(|b| StBox::new(b.rect.buffer(10.0), b.span.union(&b.span)))
+                .collect();
+            prop_assert!(lt_consistent(&phl, &grown));
+        }
+    }
+
+    /// Historical k-anonymity: monotone in k (downwards), anti-monotone
+    /// in the context set; witnesses really are LT-consistent.
+    #[test]
+    fn hk_anonymity_structure(
+        users in prop::collection::btree_map(0u64..8, prop::collection::vec(arb_stpoint(), 1..10), 1..8),
+        ctxs in prop::collection::vec(arb_box(), 0..5),
+        k in 1usize..6,
+    ) {
+        let mut store = TrajectoryStore::new();
+        for (u, pts) in users {
+            let phl = Phl::from_points(pts);
+            for p in phl.points() {
+                store.record(UserId(u), *p);
+            }
+        }
+        let out = historical_k_anonymity(&store, UserId(0), &ctxs, k);
+        for w in &out.witnesses {
+            prop_assert!(*w != UserId(0));
+            prop_assert!(lt_consistent(store.phl(*w).unwrap(), &ctxs));
+        }
+        if out.satisfied && k > 1 {
+            let weaker = historical_k_anonymity(&store, UserId(0), &ctxs, k - 1);
+            prop_assert!(weaker.satisfied, "satisfaction is monotone downward in k");
+        }
+        // Dropping contexts can only add witnesses.
+        if !ctxs.is_empty() {
+            let fewer = historical_k_anonymity(&store, UserId(0), &ctxs[..ctxs.len() - 1], k);
+            prop_assert!(fewer.witnesses.len() >= out.witnesses.len());
+        }
+    }
+}

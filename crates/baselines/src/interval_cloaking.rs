@@ -1,0 +1,198 @@
+//! Gruteser–Grunwald spatial and temporal cloaking (paper ref. \[11\],
+//! *Anonymous Usage of Location-Based Services Through Spatial and
+//! Temporal Cloaking*, MobiSys 2003).
+//!
+//! **Spatial cloaking** — "choose the quadrant that includes the
+//! requester; if it still contains at least k_min (other) subjects,
+//! recurse; otherwise return the previous quadrant": a quadtree descent
+//! from the whole service area. The anonymity set is a *potential-senders*
+//! set: every subject inside the returned quadrant could have issued the
+//! request.
+//!
+//! **Temporal cloaking** — for applications needing finer spatial
+//! resolution: fix the area, then delay/widen the reported time interval
+//! until at least k subjects have visited the area.
+
+use hka_geo::{Rect, StBox, StPoint, TimeInterval};
+use hka_trajectory::{GridIndex, UserId};
+
+/// Quadtree spatial cloaking. Returns the smallest quadrant of `domain`
+/// that contains `at.pos` and is crossed by at least `k` distinct users
+/// (the requester's own trajectory counts — it is one of the potential
+/// senders) during the `snapshot` interval around the request time, or
+/// `None` when even the whole domain fails.
+///
+/// `max_depth` bounds the descent (the original system stops at the
+/// positioning accuracy).
+pub fn spatial_cloak(
+    index: &GridIndex,
+    domain: Rect,
+    at: &StPoint,
+    k: usize,
+    snapshot: i64,
+    max_depth: u32,
+) -> Option<Rect> {
+    let window = TimeInterval::new(at.t - snapshot, at.t);
+    let population = |r: &Rect| index.count_users_crossing(&StBox::new(*r, window), k);
+    if population(&domain) < k || !domain.contains(&at.pos) {
+        return None;
+    }
+    let mut current = domain;
+    for _ in 0..max_depth {
+        let quadrant = current.quadrants()[current.quadrant_of(&at.pos)];
+        if population(&quadrant) >= k {
+            current = quadrant;
+        } else {
+            break;
+        }
+    }
+    Some(current)
+}
+
+/// Temporal cloaking: keeps the area fixed at `area` and widens the time
+/// interval backwards from the request instant (in `step`-second
+/// increments, up to `max_lookback`) until at least `k` distinct users
+/// have visited the area within it. Returns `None` if even the widest
+/// interval fails.
+pub fn temporal_cloak(
+    index: &GridIndex,
+    area: Rect,
+    at: &StPoint,
+    k: usize,
+    step: i64,
+    max_lookback: i64,
+) -> Option<TimeInterval> {
+    assert!(step > 0, "step must be positive");
+    let mut lookback = step;
+    while lookback <= max_lookback {
+        let window = TimeInterval::new(at.t - lookback, at.t);
+        if index.count_users_crossing(&StBox::new(area, window), k) >= k {
+            return Some(window);
+        }
+        lookback += step;
+    }
+    None
+}
+
+/// The anonymity set of a spatially cloaked request, for evaluation.
+pub fn anonymity_set(
+    index: &GridIndex,
+    area: Rect,
+    window: TimeInterval,
+) -> std::collections::BTreeSet<UserId> {
+    index.users_crossing(&StBox::new(area, window))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::{SpaceTimeScale, TimeSec};
+    use hka_trajectory::{GridIndexConfig, TrajectoryStore};
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    /// A 1000×1000 domain; a crowd of `n` users clustered in the SW
+    /// corner around (100,100) at t≈1000, requester included.
+    fn crowd_index(n: u64) -> GridIndex {
+        let mut store = TrajectoryStore::new();
+        for u in 0..n {
+            store.record(UserId(u), sp(90.0 + (u % 5) as f64 * 5.0, 90.0 + (u / 5) as f64 * 5.0, 1000));
+        }
+        GridIndex::build(
+            &store,
+            GridIndexConfig {
+                cell_size: 50.0,
+                cell_duration: 120,
+                scale: SpaceTimeScale::new(1.0),
+            },
+        )
+    }
+
+    fn domain() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0)
+    }
+
+    #[test]
+    fn spatial_cloak_descends_towards_the_crowd() {
+        let index = crowd_index(10);
+        let at = sp(100.0, 100.0, 1000);
+        let r = spatial_cloak(&index, domain(), &at, 5, 300, 10).unwrap();
+        assert!(r.contains(&at.pos));
+        // The crowd is tight: the cloak should be much smaller than the
+        // domain.
+        assert!(r.area() < domain().area() / 4.0);
+        // And still hold 5 users.
+        let window = TimeInterval::new(at.t - 300, at.t);
+        assert!(anonymity_set(&index, r, window).len() >= 5);
+    }
+
+    #[test]
+    fn spatial_cloak_grows_with_k() {
+        let index = crowd_index(30);
+        let at = sp(100.0, 100.0, 1000);
+        let small = spatial_cloak(&index, domain(), &at, 2, 300, 12).unwrap();
+        let large = spatial_cloak(&index, domain(), &at, 30, 300, 12).unwrap();
+        assert!(small.area() <= large.area());
+    }
+
+    #[test]
+    fn spatial_cloak_fails_without_population() {
+        let index = crowd_index(3);
+        let at = sp(100.0, 100.0, 1000);
+        assert!(spatial_cloak(&index, domain(), &at, 10, 300, 10).is_none());
+        // Requester outside the domain.
+        let outside = sp(5000.0, 100.0, 1000);
+        assert!(spatial_cloak(&index, domain(), &outside, 2, 300, 10).is_none());
+    }
+
+    #[test]
+    fn zero_depth_returns_domain() {
+        let index = crowd_index(10);
+        let at = sp(100.0, 100.0, 1000);
+        assert_eq!(
+            spatial_cloak(&index, domain(), &at, 5, 300, 0),
+            Some(domain())
+        );
+    }
+
+    #[test]
+    fn temporal_cloak_widens_until_k() {
+        // Users visit the area one per 100 s.
+        let mut store = TrajectoryStore::new();
+        for u in 0..6u64 {
+            store.record(UserId(u), sp(10.0, 10.0, 1000 - (u as i64) * 100));
+        }
+        let index = GridIndex::build(
+            &store,
+            GridIndexConfig {
+                cell_size: 50.0,
+                cell_duration: 60,
+                scale: SpaceTimeScale::new(1.0),
+            },
+        );
+        let area = Rect::from_bounds(0.0, 0.0, 50.0, 50.0);
+        let at = sp(10.0, 10.0, 1000);
+        let w3 = temporal_cloak(&index, area, &at, 3, 60, 3_600).unwrap();
+        let w6 = temporal_cloak(&index, area, &at, 6, 60, 3_600).unwrap();
+        assert!(w3.duration() <= w6.duration());
+        assert!(w6.duration() >= 500);
+        // Impossible k times out.
+        assert!(temporal_cloak(&index, area, &at, 7, 60, 3_600).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn temporal_cloak_rejects_zero_step() {
+        let index = crowd_index(2);
+        let _ = temporal_cloak(
+            &index,
+            domain(),
+            &sp(0.0, 0.0, 0),
+            2,
+            0,
+            100,
+        );
+    }
+}

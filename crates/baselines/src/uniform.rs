@@ -1,0 +1,86 @@
+//! The strawman: uniform coarsening.
+//!
+//! "An obvious solution might be to make all requests very coarse in
+//! terms of spatial and temporal resolution. However, for some services
+//! to be useful, sufficiently fine resolution must be used." — this
+//! population-blind baseline snaps every request to a fixed grid cell and
+//! time slot. It guarantees nothing (a lone user in a rural cell is still
+//! alone) and degrades QoS uniformly, but it is the natural lower bar for
+//! experiment F2.
+
+use hka_geo::{Duration, Rect, StBox, StPoint, TimeInterval, TimeSec};
+
+/// Fixed-grid spatio-temporal coarsening.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformCloak {
+    /// Grid cell side, meters.
+    pub cell: f64,
+    /// Time slot length, seconds.
+    pub slot: Duration,
+}
+
+impl UniformCloak {
+    /// Creates a coarsener.
+    pub fn new(cell: f64, slot: Duration) -> Self {
+        assert!(cell > 0.0 && slot > 0, "cell and slot must be positive");
+        UniformCloak { cell, slot }
+    }
+
+    /// The grid cell × time slot containing the exact point.
+    pub fn cloak(&self, at: &StPoint) -> StBox {
+        let cx = (at.pos.x / self.cell).floor();
+        let cy = (at.pos.y / self.cell).floor();
+        let ct = at.t.0.div_euclid(self.slot);
+        StBox::new(
+            Rect::from_bounds(
+                cx * self.cell,
+                cy * self.cell,
+                (cx + 1.0) * self.cell,
+                (cy + 1.0) * self.cell,
+            ),
+            TimeInterval::new(TimeSec(ct * self.slot), TimeSec((ct + 1) * self.slot - 1)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloak_contains_point_and_has_fixed_size() {
+        let c = UniformCloak::new(500.0, 600);
+        let at = StPoint::xyt(1234.0, -77.0, TimeSec(7_000));
+        let b = c.cloak(&at);
+        assert!(b.contains(&at));
+        assert_eq!(b.rect.width(), 500.0);
+        assert_eq!(b.rect.height(), 500.0);
+        assert_eq!(b.duration(), 599);
+    }
+
+    #[test]
+    fn nearby_points_share_a_cloak() {
+        let c = UniformCloak::new(500.0, 600);
+        let a = c.cloak(&StPoint::xyt(10.0, 10.0, TimeSec(0)));
+        let b = c.cloak(&StPoint::xyt(490.0, 499.0, TimeSec(599)));
+        assert_eq!(a, b);
+        let d = c.cloak(&StPoint::xyt(510.0, 10.0, TimeSec(0)));
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn negative_coordinates_snap_consistently() {
+        let c = UniformCloak::new(100.0, 60);
+        let b = c.cloak(&StPoint::xyt(-50.0, -150.0, TimeSec(-30)));
+        assert!(b.contains(&StPoint::xyt(-50.0, -150.0, TimeSec(-30))));
+        assert_eq!(b.rect.min().x, -100.0);
+        assert_eq!(b.rect.min().y, -200.0);
+        assert_eq!(b.span.start(), TimeSec(-60));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_rejected() {
+        let _ = UniformCloak::new(0.0, 60);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the baseline cloaking algorithms.
+
+use hka_baselines::{actual_senders, interval_cloaking, UniformCloak};
+use hka_geo::{Rect, SpaceTimeScale, StBox, StPoint, TimeInterval, TimeSec};
+use hka_trajectory::{GridIndex, GridIndexConfig, TrajectoryStore, UserId};
+use proptest::prelude::*;
+
+fn arb_stpoint() -> impl Strategy<Value = StPoint> {
+    (0.0f64..1_000.0, 0.0f64..1_000.0, 0i64..3_600)
+        .prop_map(|(x, y, t)| StPoint::xyt(x, y, TimeSec(t)))
+}
+
+fn arb_index() -> impl Strategy<Value = GridIndex> {
+    prop::collection::vec((0u64..15, arb_stpoint()), 1..60).prop_map(|obs| {
+        let mut by_user: std::collections::BTreeMap<u64, Vec<StPoint>> = Default::default();
+        for (u, p) in obs {
+            by_user.entry(u).or_default().push(p);
+        }
+        let mut store = TrajectoryStore::new();
+        for (u, mut pts) in by_user {
+            pts.sort_by_key(|p| p.t);
+            for p in pts {
+                store.record(UserId(u), p);
+            }
+        }
+        GridIndex::build(
+            &store,
+            GridIndexConfig {
+                cell_size: 100.0,
+                cell_duration: 300,
+                scale: SpaceTimeScale::new(1.0),
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Spatial cloaks contain the requester, lie inside the domain, and
+    /// actually hold k users.
+    #[test]
+    fn spatial_cloak_contract(index in arb_index(), at in arb_stpoint(), k in 1usize..8) {
+        let domain = Rect::from_bounds(0.0, 0.0, 1_000.0, 1_000.0);
+        if let Some(r) = interval_cloaking::spatial_cloak(&index, domain, &at, k, 600, 12) {
+            prop_assert!(r.contains(&at.pos));
+            prop_assert!(domain.contains_rect(&r));
+            let window = TimeInterval::new(at.t - 600, at.t);
+            prop_assert!(interval_cloaking::anonymity_set(&index, r, window).len() >= k);
+        }
+    }
+
+    /// Spatial cloak area is monotone non-decreasing in k.
+    #[test]
+    fn spatial_cloak_monotone_in_k(index in arb_index(), at in arb_stpoint(), k in 1usize..6) {
+        let domain = Rect::from_bounds(0.0, 0.0, 1_000.0, 1_000.0);
+        let small = interval_cloaking::spatial_cloak(&index, domain, &at, k, 600, 12);
+        let large = interval_cloaking::spatial_cloak(&index, domain, &at, k + 1, 600, 12);
+        match (small, large) {
+            (Some(s), Some(l)) => prop_assert!(s.area() <= l.area() + 1e-9),
+            (None, Some(_)) => prop_assert!(false, "harder k succeeded where easier failed"),
+            _ => {}
+        }
+    }
+
+    /// Temporal cloaks end at the request instant, meet k, and are
+    /// monotone in k.
+    #[test]
+    fn temporal_cloak_contract(index in arb_index(), at in arb_stpoint(), k in 1usize..6) {
+        let area = Rect::from_bounds(0.0, 0.0, 1_000.0, 1_000.0);
+        if let Some(w) = interval_cloaking::temporal_cloak(&index, area, &at, k, 60, 7_200) {
+            prop_assert_eq!(w.end(), at.t);
+            prop_assert!(interval_cloaking::anonymity_set(&index, area, w).len() >= k);
+            if let Some(w2) = interval_cloaking::temporal_cloak(&index, area, &at, k + 1, 60, 7_200) {
+                prop_assert!(w2.duration() >= w.duration());
+            }
+        }
+    }
+
+    /// Uniform cloaking is a congruence: it always contains the point,
+    /// has the configured size, and two points share a cloak iff they
+    /// share the cell.
+    #[test]
+    fn uniform_cloak_contract(a in arb_stpoint(), b in arb_stpoint(), cell in 50.0f64..500.0, slot in 60i64..900) {
+        let c = UniformCloak::new(cell, slot);
+        let ca = c.cloak(&a);
+        prop_assert!(ca.contains(&a));
+        prop_assert!((ca.rect.width() - cell).abs() < 1e-9);
+        prop_assert_eq!(ca.duration(), slot - 1);
+        let cb = c.cloak(&b);
+        prop_assert_eq!(ca == cb, ca.contains(&b));
+    }
+
+    /// Actual-senders outcomes: released groups have ≥ k distinct users,
+    /// shared contexts that cover every member, and delays within the
+    /// wait budget.
+    #[test]
+    fn actual_senders_contract(
+        reqs in prop::collection::vec((0u64..10, arb_stpoint()), 0..40),
+        k in 1usize..5,
+    ) {
+        let mut sorted: Vec<(UserId, StPoint)> =
+            reqs.into_iter().map(|(u, p)| (UserId(u), p)).collect();
+        sorted.sort_by_key(|(_, p)| p.t);
+        let cfg = actual_senders::ActualSendersConfig {
+            k,
+            max_side: 300.0,
+            max_wait: 600,
+        };
+        let outcomes = actual_senders::evaluate(&sorted, &cfg);
+        prop_assert_eq!(outcomes.len(), sorted.len());
+        // Collect released groups by context.
+        let mut groups: std::collections::BTreeMap<String, Vec<usize>> = Default::default();
+        for (i, o) in outcomes.iter().enumerate() {
+            if let actual_senders::SenderOutcome::Released { context, delay } = o {
+                prop_assert!(*delay >= 0 && *delay <= cfg.max_wait);
+                prop_assert!(context.rect.contains(&sorted[i].1.pos));
+                prop_assert!(context.rect.width() <= cfg.max_side + 1e-9);
+                prop_assert!(context.rect.height() <= cfg.max_side + 1e-9);
+                groups.entry(format!("{context}")).or_default().push(i);
+            }
+        }
+        for (_, members) in groups {
+            let users: std::collections::BTreeSet<UserId> =
+                members.iter().map(|&i| sorted[i].0).collect();
+            prop_assert!(users.len() >= k, "released group below k");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion microbenches: Algorithm 1's two branches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hka_core::{algorithm1_first, algorithm1_first_brute, algorithm1_subsequent, Tolerance};
+use hka_geo::{StPoint, TimeSec};
+use hka_mobility::{CityConfig, World, WorldConfig};
+use hka_trajectory::{GridIndex, GridIndexConfig, TrajectoryStore, UserId};
+use std::hint::black_box;
+
+fn setup() -> (TrajectoryStore, GridIndex) {
+    let store = World::generate(&WorldConfig {
+        seed: 5,
+        days: 3,
+        n_commuters: 20,
+        n_roamers: 60,
+        n_poi_regulars: 10,
+        city: CityConfig {
+            width: 2_000.0,
+            height: 2_000.0,
+            ..CityConfig::default()
+        },
+        background_request_rate: 0.0,
+        ..WorldConfig::default()
+    })
+    .store();
+    let index = GridIndex::build(&store, GridIndexConfig::default());
+    (store, index)
+}
+
+fn bench_first_branch(c: &mut Criterion) {
+    let (store, index) = setup();
+    let scale = index.config().scale;
+    let tolerance = Tolerance::new(f64::MAX, i64::MAX);
+    let seed = StPoint::xyt(800.0, 900.0, TimeSec::at_hm(1, 8, 30));
+    let mut group = c.benchmark_group("algorithm1_first");
+    for k in [2usize, 5, 20] {
+        group.bench_with_input(BenchmarkId::new("index", k), &k, |b, &k| {
+            b.iter(|| black_box(algorithm1_first(&index, &seed, UserId(0), k, &tolerance)))
+        });
+        group.bench_with_input(BenchmarkId::new("brute", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(algorithm1_first_brute(
+                    &store,
+                    &seed,
+                    UserId(0),
+                    k,
+                    &tolerance,
+                    &scale,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_subsequent_branch(c: &mut Criterion) {
+    let (store, index) = setup();
+    let scale = index.config().scale;
+    let tolerance = Tolerance::new(f64::MAX, i64::MAX);
+    let seed = StPoint::xyt(800.0, 900.0, TimeSec::at_hm(1, 8, 30));
+    // A realistic stored set: the 10 nearest users at the morning anchor.
+    let stored: Vec<UserId> = index
+        .k_nearest_users(&seed, 10, Some(UserId(0)))
+        .into_iter()
+        .map(|(u, _)| u)
+        .collect();
+    let evening = StPoint::xyt(820.0, 950.0, TimeSec::at_hm(1, 17, 30));
+    c.bench_function("algorithm1_subsequent/k5_of_10", |b| {
+        b.iter(|| {
+            black_box(algorithm1_subsequent(
+                &store, &evening, &stored, 5, &tolerance, &scale,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_first_branch, bench_subsequent_branch);
+criterion_main!(benches);

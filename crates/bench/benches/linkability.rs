@@ -1,0 +1,59 @@
+//! Criterion microbenches: linkability functions and link-connected
+//! component computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hka_anonymity::{
+    link_components, CompositeLinker, Linker, MsgId, Pseudonym, PseudonymLinker, ServiceId,
+    SpRequest, TrackerLinker,
+};
+use hka_geo::{Rect, StBox, TimeInterval, TimeSec};
+use std::hint::black_box;
+
+fn requests(n: usize) -> Vec<SpRequest> {
+    (0..n)
+        .map(|i| {
+            let x = (i % 17) as f64 * 120.0;
+            let t = (i * 67) as i64;
+            SpRequest::new(
+                MsgId(i as u64),
+                Pseudonym((i % 23) as u64),
+                StBox::new(
+                    Rect::from_bounds(x, 0.0, x + 200.0, 200.0),
+                    TimeInterval::new(TimeSec(t), TimeSec(t + 120)),
+                ),
+                ServiceId(0),
+            )
+        })
+        .collect()
+}
+
+fn bench_link(c: &mut Criterion) {
+    let reqs = requests(2);
+    let (a, b) = (&reqs[0], &reqs[1]);
+    let tracker = TrackerLinker::default();
+    let composite = CompositeLinker::standard();
+    c.bench_function("link/pseudonym", |bch| {
+        bch.iter(|| black_box(PseudonymLinker.link(black_box(a), black_box(b))))
+    });
+    c.bench_function("link/tracker", |bch| {
+        bch.iter(|| black_box(tracker.link(black_box(a), black_box(b))))
+    });
+    c.bench_function("link/composite", |bch| {
+        bch.iter(|| black_box(composite.link(black_box(a), black_box(b))))
+    });
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_components");
+    for n in [50usize, 200, 800] {
+        let reqs = requests(n);
+        let linker = CompositeLinker::standard();
+        group.bench_with_input(BenchmarkId::new("composite", n), &reqs, |b, reqs| {
+            b.iter(|| black_box(link_components(reqs, &linker, 0.5)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_link, bench_components);
+criterion_main!(benches);

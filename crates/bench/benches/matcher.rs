@@ -1,0 +1,69 @@
+//! Criterion microbenches: online LBQID matching throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hka_geo::{Rect, StPoint, TimeSec};
+use hka_lbqid::{offline, Lbqid, Monitor};
+use std::hint::black_box;
+
+fn commute() -> Lbqid {
+    Lbqid::example_commute(
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0),
+        Rect::from_bounds(900.0, 900.0, 1_000.0, 1_000.0),
+    )
+}
+
+/// Two weeks of round trips plus lunch-time noise.
+fn stream() -> Vec<StPoint> {
+    let mut out = Vec::new();
+    for day in 0..14 {
+        out.push(StPoint::xyt(50.0, 50.0, TimeSec::at_hm(day, 7, 30)));
+        out.push(StPoint::xyt(950.0, 950.0, TimeSec::at_hm(day, 8, 30)));
+        out.push(StPoint::xyt(500.0, 500.0, TimeSec::at_hm(day, 12, 0)));
+        out.push(StPoint::xyt(950.0, 950.0, TimeSec::at_hm(day, 17, 0)));
+        out.push(StPoint::xyt(50.0, 50.0, TimeSec::at_hm(day, 18, 0)));
+    }
+    out
+}
+
+fn bench_online(c: &mut Criterion) {
+    let events = stream();
+    c.bench_function("monitor/observe_two_weeks", |b| {
+        b.iter(|| {
+            let mut m = Monitor::new(commute());
+            for p in &events {
+                black_box(m.observe(*p));
+            }
+            black_box(m.is_fully_matched())
+        })
+    });
+    // Worst-case fan-out: every request can start a traversal.
+    let greedy = Lbqid::new(
+        "greedy",
+        vec![hka_lbqid::Element::new(
+            Rect::from_bounds(0.0, 0.0, 1_000.0, 1_000.0),
+            hka_geo::DayWindow::all_day(),
+        )],
+        "400.Days".parse().unwrap(),
+    )
+    .unwrap();
+    c.bench_function("monitor/observe_catch_all", |b| {
+        b.iter(|| {
+            let mut m = Monitor::new(greedy.clone());
+            for p in &events {
+                black_box(m.observe(*p));
+            }
+        })
+    });
+}
+
+fn bench_offline(c: &mut Criterion) {
+    // Exhaustive Definition-3 checking on a small but nontrivial set.
+    let events: Vec<StPoint> = stream().into_iter().take(15).collect();
+    let q = commute();
+    c.bench_function("offline/matches_15_requests", |b| {
+        b.iter(|| black_box(offline::matches(&q, &events)))
+    });
+}
+
+criterion_group!(benches, bench_online, bench_offline);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion microbenches: recurrence-formula evaluation and calendar
+//! arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hka_granules::{calendar, Granularity, Recurrence};
+use hka_geo::{TimeInterval, TimeSec, HOUR};
+use std::hint::black_box;
+
+fn observations(n: usize) -> Vec<TimeInterval> {
+    (0..n)
+        .map(|i| {
+            let day = (i / 2) as i64;
+            let start = TimeSec::at(day, 7 * HOUR + (i % 2) as i64 * 4 * HOUR);
+            TimeInterval::new(start, start + HOUR)
+        })
+        .collect()
+}
+
+fn bench_is_satisfied(c: &mut Criterion) {
+    let commute: Recurrence = "3.Weekdays * 2.Weeks".parse().unwrap();
+    let deep: Recurrence = "2.Days * 2.Weeks * 2.Months".parse().unwrap();
+    let mut group = c.benchmark_group("recurrence_is_satisfied");
+    for n in [8usize, 64, 512] {
+        let obs = observations(n);
+        group.bench_with_input(BenchmarkId::new("commute", n), &obs, |b, obs| {
+            b.iter(|| black_box(commute.is_satisfied(obs)))
+        });
+        group.bench_with_input(BenchmarkId::new("three-level", n), &obs, |b, obs| {
+            b.iter(|| black_box(deep.is_satisfied(obs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_granules(c: &mut Criterion) {
+    let t = TimeSec::at_hm(1_000, 13, 37);
+    c.bench_function("granule_of/weekdays", |b| {
+        b.iter(|| black_box(Granularity::Weekdays.granule_of(black_box(t))))
+    });
+    c.bench_function("granule_of/months", |b| {
+        b.iter(|| black_box(Granularity::Months.granule_of(black_box(t))))
+    });
+    c.bench_function("calendar/date_of_day", |b| {
+        b.iter(|| black_box(calendar::date_of_day(black_box(123_456))))
+    });
+    c.bench_function("recurrence/parse", |b| {
+        b.iter(|| black_box("3.Weekdays * 2.Weeks".parse::<Recurrence>().unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_is_satisfied, bench_granules);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! **F3 — the k′-decreasing schedule ablation.**
+//!
+//! Section 6.2: "if we want to ensure historical k-anonymity, we should
+//! probably use an initial parameter k′ larger than k. Indeed, the longer
+//! the trace, the less are the probabilities that the same k individuals
+//! will move along the same trace … Starting with a larger k′ and
+//! decreasing its value at each point in the trace, until k is reached,
+//! should increase the probability to maintain historical k-anonymity
+//! for longer traces."
+//!
+//! We replay each commuter's anchor-request sequence directly through
+//! Algorithm 1 (first-element branch at step 0, subsequent branch after)
+//! under four schedules — fixed k, two fast-decaying k′ reserves, and a
+//! slowly-decaying k′ reserve — and plot the **survival curve**: the
+//! fraction of traces for which every step up to length L satisfied the
+//! tolerance. The ablation both confirms and sharpens the paper's
+//! conjecture: a reserve helps exactly when it decays *fast* (the extra
+//! candidates are spent on one selection step), while a slowly decaying
+//! k′ forces oversized boxes at every early step and collapses survival
+//! (see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p hka-bench --bin fig3_trace_survival
+//! ```
+
+use hka_bench::{build, ScenarioConfig};
+use hka_core::{algorithm1_first, algorithm1_subsequent, PrivacyParams, RiskAction, Tolerance};
+use hka_geo::{SpaceTimeScale, StPoint, MINUTE};
+use hka_mobility::{EventKind, ANCHOR_SERVICE};
+use hka_trajectory::{GridIndex, GridIndexConfig, UserId};
+
+const MAX_LEN: usize = 16;
+
+/// Runs one schedule over a trace; returns how many steps survived
+/// (hk_anonymity true) before the first failure.
+fn survive(
+    index: &GridIndex,
+    store: &hka_trajectory::TrajectoryStore,
+    scale: &SpaceTimeScale,
+    user: UserId,
+    trace: &[StPoint],
+    params: &PrivacyParams,
+    tolerance: &Tolerance,
+) -> usize {
+    let mut selected: Vec<UserId> = Vec::new();
+    for (step, p) in trace.iter().enumerate() {
+        let g = if step == 0 {
+            algorithm1_first(index, p, user, params.k_at_step(0), tolerance)
+        } else {
+            algorithm1_subsequent(
+                store,
+                p,
+                &selected,
+                params.k_at_step(step),
+                tolerance,
+                scale,
+            )
+        };
+        if !g.hk_anonymity {
+            return step;
+        }
+        selected = g.selected;
+    }
+    trace.len()
+}
+
+fn main() {
+    let k = 5usize;
+    let tolerance = Tolerance::new(4e6, 10 * MINUTE);
+    // Schedules: the decrement rate decides whether the reserve helps.
+    // "Guidance on the choice of k' and on the value by which it should
+    // be decremented at each step should come from the analysis of
+    // historical data" — fast decay (reach k after one or two steps)
+    // buys a one-shot selection advantage; slow decay forces large boxes
+    // at every early step.
+    let mk = |k_init: usize, k_decrement: usize| PrivacyParams {
+        k,
+        theta: 0.5,
+        k_init,
+        k_decrement,
+        on_risk: RiskAction::Forward,
+    };
+    let schedules = [
+        ("fixed k", PrivacyParams::fixed(k, 0.5)),
+        ("k'=2k fast(-k)", mk(2 * k, k)),
+        ("k'=3k fast(-2k)", mk(3 * k, 2 * k)),
+        ("k'=2k slow(-1)", mk(2 * k, 1)),
+    ];
+
+    // Survival counts per schedule and length.
+    let mut survived = vec![[0usize; MAX_LEN + 1]; schedules.len()];
+    let mut traces_total = 0usize;
+
+    for seed in 1u64..=6 {
+        let s = build(&ScenarioConfig {
+            seed,
+            days: 10,
+            n_commuters: 10,
+            n_roamers: 60,
+            ..ScenarioConfig::default()
+        });
+        let store = s.world.store();
+        let index = GridIndex::build(&store, GridIndexConfig::default());
+        let scale = index.config().scale;
+        for &u in &s.protected {
+            let trace: Vec<StPoint> = s
+                .world
+                .events
+                .iter()
+                .filter(|e| {
+                    e.user == u
+                        && matches!(e.kind, EventKind::Request { service } if service == ANCHOR_SERVICE)
+                })
+                .map(|e| e.at)
+                .take(MAX_LEN)
+                .collect();
+            if trace.len() < MAX_LEN {
+                continue;
+            }
+            traces_total += 1;
+            for (si, (_, params)) in schedules.iter().enumerate() {
+                let steps = survive(&index, &store, &scale, u, &trace, params, &tolerance);
+                for len in 0..=steps {
+                    survived[si][len] += 1;
+                }
+            }
+        }
+    }
+
+    println!(
+        "=== F3: P(historical k-anonymity survives a trace of length L), k = {k}, {traces_total} traces ===\n"
+    );
+    print!("{:>4}", "L");
+    for (label, _) in &schedules {
+        print!(" {label:>16}");
+    }
+    println!();
+    hka_bench::rule(4 + 17 * schedules.len());
+    for len in 1..=MAX_LEN {
+        print!("{len:>4}");
+        for si in 0..schedules.len() {
+            print!(
+                " {:>15.1}%",
+                100.0 * survived[si][len] as f64 / traces_total as f64
+            );
+        }
+        println!();
+    }
+    hka_bench::rule(4 + 17 * schedules.len());
+    println!("\nReading: fast-decaying reserves dominate at short-to-medium trace");
+    println!("lengths (the paper's conjecture, with the decay rate made explicit);");
+    println!("a slowly decaying k′ must cover > k candidates at every early step and");
+    println!("collapses. On long periodic traces the home-anchored fixed-k selection");
+    println!("catches up, because commute traces return to where they started —");
+    println!("a nuance the paper's sketch did not anticipate.");
+}

@@ -1,0 +1,120 @@
+//! **F5 — the identifying power of an LBQID vs its specificity.**
+//!
+//! Section 4: "the derivation process will have to be based on
+//! statistical analysis of the data about users movement history: If a
+//! certain pattern turns out to be very common for many users, it is
+//! unlikely to be useful for identifying any one of them."
+//!
+//! For one target commuter we build commute-pattern variants of
+//! increasing looseness — growing the areas, widening the windows,
+//! weakening the recurrence — and count how many users in the whole city
+//! *could* fully match each variant with their movement history (feeding
+//! every location sample through the online matcher). The identifying
+//! power is `1 / matching-population`: the quasi-identifier is useful
+//! exactly while that population is 1.
+//!
+//! ```text
+//! cargo run --release -p hka-bench --bin fig5_qid_power
+//! ```
+
+use hka_geo::{DayWindow, Rect};
+use hka_granules::Recurrence;
+use hka_lbqid::{Element, Lbqid, Monitor};
+use hka_mobility::{CityConfig, EventKind, World, WorldConfig};
+
+/// Commute variant: home/office grown by `grow` meters on every side,
+/// windows widened by `widen` hours, with the given recurrence.
+fn variant(home: Rect, office: Rect, grow: f64, widen: u32, recur: &str) -> Lbqid {
+    let h = home.buffer(grow);
+    let o = office.buffer(grow);
+    let w = |a: (u32, u32), b: (u32, u32)| {
+        DayWindow::hm((a.0.saturating_sub(widen), a.1), (b.0 + widen, b.1))
+    };
+    Lbqid::new(
+        "variant",
+        vec![
+            Element::new(h, w((7, 0), (8, 0))),
+            Element::new(o, w((8, 0), (9, 0))),
+            Element::new(o, w((16, 0), (18, 0))),
+            Element::new(h, w((17, 0), (19, 0))),
+        ],
+        recur.parse::<Recurrence>().unwrap(),
+    )
+    .unwrap()
+}
+
+fn main() {
+    let world = World::generate(&WorldConfig {
+        seed: 15,
+        days: 14,
+        n_commuters: 20,
+        n_roamers: 60,
+        n_poi_regulars: 10,
+        city: CityConfig {
+            width: 2_000.0,
+            height: 2_000.0,
+            ..CityConfig::default()
+        },
+        background_request_rate: 0.0,
+        ..WorldConfig::default()
+    });
+    let target = world.commuters().next().unwrap();
+    let home = world.home_of(target).unwrap();
+    let office = world.office_of(target).unwrap();
+
+    // Specificity ladder, tightest first.
+    let ladder: Vec<(&str, Lbqid)> = vec![
+        ("exact bldgs, 3.Weekdays*2.Weeks", variant(home, office, 0.0, 0, "3.Weekdays * 2.Weeks")),
+        ("exact bldgs, 1.Weekdays", variant(home, office, 0.0, 0, "1.Weekdays")),
+        ("+100 m areas, 3.Weekdays*2.Weeks", variant(home, office, 100.0, 0, "3.Weekdays * 2.Weeks")),
+        ("+300 m areas, 3.Weekdays*2.Weeks", variant(home, office, 300.0, 0, "3.Weekdays * 2.Weeks")),
+        ("+300 m, ±1 h windows", variant(home, office, 300.0, 1, "3.Weekdays * 2.Weeks")),
+        ("+700 m, ±2 h windows", variant(home, office, 700.0, 2, "3.Weekdays * 2.Weeks")),
+        ("+700 m, ±2 h, 1.Weekdays", variant(home, office, 700.0, 2, "1.Weekdays")),
+    ];
+
+    println!("=== F5: how many users could match each commute-pattern variant ===");
+    println!("(population {}; target user {target}; every location sample tested)\n", world.agents.len());
+    println!("{:<36} {:>9} {:>14} {:>12}", "pattern variant", "matchers", "target in?", "id. power");
+    hka_bench::rule(76);
+
+    for (label, q) in &ladder {
+        let mut matchers = 0usize;
+        let mut target_matches = false;
+        for agent in &world.agents {
+            let mut m = Monitor::new(q.clone());
+            let mut matched = false;
+            for e in world.events.iter().filter(|e| e.user == agent.user) {
+                if e.kind != EventKind::Location {
+                    continue;
+                }
+                if let Some(ev) = m.observe(e.at) {
+                    if ev.full_match {
+                        matched = true;
+                        break;
+                    }
+                }
+            }
+            if matched {
+                matchers += 1;
+                if agent.user == target {
+                    target_matches = true;
+                }
+            }
+        }
+        let power = if matchers == 0 {
+            "—".to_string()
+        } else {
+            format!("1/{matchers}")
+        };
+        println!(
+            "{:<36} {:>9} {:>14} {:>12}",
+            label, matchers, target_matches, power
+        );
+    }
+    hka_bench::rule(76);
+    println!("\nReading: the exact-building pattern singles out the target (power 1/1);");
+    println!("growing the areas and windows sweeps in other commuters until the pattern");
+    println!("'turns out to be very common for many users' and stops identifying —");
+    println!("the statistical basis the paper prescribes for LBQID derivation.");
+}

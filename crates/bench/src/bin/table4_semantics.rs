@@ -1,0 +1,93 @@
+//! **T4 — k *potential* senders vs k *actual* senders.**
+//!
+//! Section 2: "the notion of k-anonymity used in \[9\] is slightly
+//! different: the authors consider a message … k-anonymous, only if there
+//! are other k−1 users in the same spatio-temporal context that actually
+//! send a message. … We only require the presence in the same
+//! spatio-temporal context of k−1 potential senders, which is a much
+//! weaker requirement."
+//!
+//! This table quantifies "much weaker": the same request workload is
+//! served under both semantics at equal k and equal spatio-temporal
+//! budget. Potential senders = Algorithm 1 (success iff the k-nearest-PHL
+//! box fits the budget); actual senders = Gedik–Liu-style deferral
+//! (success iff k distinct users *requested* within the budget).
+//! Requests per hour sweeps the workload intensity: the actual-senders
+//! semantics depends on it; the potential-senders semantics does not.
+//!
+//! ```text
+//! cargo run --release -p hka-bench --bin table4_semantics
+//! ```
+
+use hka_baselines::actual_senders::{self, ActualSendersConfig};
+use hka_core::{algorithm1_first, Tolerance};
+use hka_geo::StPoint;
+use hka_mobility::{CityConfig, EventKind, World, WorldConfig};
+use hka_trajectory::{GridIndex, GridIndexConfig, UserId};
+
+fn main() {
+    println!("=== T4: potential-senders (this paper) vs actual-senders [9] semantics ===");
+    println!("(budget: 1 km × 1 km box, 10-minute wait; success rates per request)\n");
+    println!(
+        "{:>9} {:>4} {:>14} {:>14} {:>12}",
+        "req/hour", "k", "potential %", "actual %", "mean delay s"
+    );
+    hka_bench::rule(60);
+
+    let side = 1_000.0;
+    let tolerance = Tolerance::new(side * side, 600);
+    for &rate in &[0.2f64, 1.0, 5.0] {
+        let world = World::generate(&WorldConfig {
+            seed: 66,
+            days: 3,
+            n_commuters: 10,
+            n_roamers: 60,
+            n_poi_regulars: 6,
+            city: CityConfig {
+                width: 2_000.0,
+                height: 2_000.0,
+                ..CityConfig::default()
+            },
+            background_request_rate: rate,
+            ..WorldConfig::default()
+        });
+        let store = world.store();
+        let index = GridIndex::build(&store, GridIndexConfig::default());
+        let requests: Vec<(UserId, StPoint)> = world
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Request { .. }))
+            .map(|e| (e.user, e.at))
+            .collect();
+
+        for k in [2usize, 5, 10] {
+            let potential = requests
+                .iter()
+                .filter(|(u, at)| algorithm1_first(&index, at, *u, k, &tolerance).hk_anonymity)
+                .count() as f64
+                / requests.len() as f64;
+            let outcomes = actual_senders::evaluate(
+                &requests,
+                &ActualSendersConfig {
+                    k,
+                    max_side: side,
+                    max_wait: 600,
+                },
+            );
+            println!(
+                "{:>9.1} {:>4} {:>13.1}% {:>13.1}% {:>12.0}",
+                rate,
+                k,
+                100.0 * potential,
+                100.0 * actual_senders::release_rate(&outcomes),
+                actual_senders::mean_delay(&outcomes)
+            );
+        }
+        hka_bench::rule(60);
+    }
+    println!("\nReading: potential-senders success tracks the *population* (flat in the");
+    println!("request rate); actual-senders success tracks the *request traffic* and");
+    println!("additionally pays a queueing delay — at realistic rates it strands a");
+    println!("large share of requests. This is the gap the paper's 'much weaker");
+    println!("requirement' buys.");
+}

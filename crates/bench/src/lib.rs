@@ -1,0 +1,206 @@
+//! # hka-bench
+//!
+//! Shared machinery for the experiment binaries that regenerate every
+//! table and figure in EXPERIMENTS.md. Each binary (`src/bin/*.rs`)
+//! prints the rows/series of one artifact; this library holds the
+//! scenario builders and small statistics helpers they share.
+//!
+//! All scenarios are seeded and deterministic: running a binary twice
+//! produces identical output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hka_anonymity::ServiceId;
+use hka_core::{PrivacyLevel, PrivacyParams, Tolerance, TrustedServer, TsConfig};
+use hka_geo::MINUTE;
+use hka_lbqid::Lbqid;
+use hka_mobility::{CityConfig, EventKind, World, WorldConfig, ANCHOR_SERVICE, BACKGROUND_SERVICE};
+use hka_trajectory::UserId;
+
+/// A ready-to-run protected city: the workload, the trusted server wired
+/// with services and LBQIDs, and the list of protected users.
+pub struct Scenario {
+    /// The synthetic workload.
+    pub world: World,
+    /// The trusted server (services and LBQIDs registered, no events yet).
+    pub ts: TrustedServer,
+    /// The protected (commuter) users.
+    pub protected: Vec<UserId>,
+}
+
+/// Scenario knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Workload seed.
+    pub seed: u64,
+    /// Simulated days.
+    pub days: i64,
+    /// Commuters (the protected population).
+    pub n_commuters: usize,
+    /// Background roamers.
+    pub n_roamers: usize,
+    /// Privacy parameters applied to every commuter.
+    pub params: PrivacyParams,
+    /// Tolerance for the routine (anchor) service.
+    pub anchor_tolerance: Tolerance,
+    /// Tolerance for the background (navigation-like) service.
+    pub background_tolerance: Tolerance,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 1,
+            days: 14,
+            n_commuters: 10,
+            n_roamers: 60,
+            params: PrivacyParams {
+                k: 5,
+                theta: 0.5,
+                k_init: 10,
+                k_decrement: 1,
+                on_risk: hka_core::RiskAction::Forward,
+            },
+            anchor_tolerance: Tolerance::new(9e6, 10 * MINUTE),
+            background_tolerance: Tolerance::navigation(),
+        }
+    }
+}
+
+/// Builds the standard 2 km × 2 km protected city.
+pub fn build(cfg: &ScenarioConfig) -> Scenario {
+    let world = World::generate(&WorldConfig {
+        seed: cfg.seed,
+        days: cfg.days,
+        n_commuters: cfg.n_commuters,
+        n_roamers: cfg.n_roamers,
+        n_poi_regulars: cfg.n_roamers / 10,
+        city: CityConfig {
+            width: 2_000.0,
+            height: 2_000.0,
+            ..CityConfig::default()
+        },
+        ..WorldConfig::default()
+    });
+    let mut ts = TrustedServer::new(TsConfig::default());
+    ts.register_service(ServiceId(BACKGROUND_SERVICE), cfg.background_tolerance);
+    ts.register_service(ServiceId(ANCHOR_SERVICE), cfg.anchor_tolerance);
+    let protected: Vec<UserId> = world.commuters().collect();
+    for agent in &world.agents {
+        if protected.contains(&agent.user) {
+            ts.register_user(agent.user, PrivacyLevel::Custom(cfg.params));
+        } else {
+            ts.register_user(agent.user, PrivacyLevel::Off);
+        }
+    }
+    for &u in &protected {
+        ts.add_lbqid(
+            u,
+            Lbqid::example_commute(world.home_of(u).unwrap(), world.office_of(u).unwrap()),
+        );
+    }
+    Scenario {
+        world,
+        ts,
+        protected,
+    }
+}
+
+/// Drives every workload event through the server.
+pub fn run_events(scenario: &mut Scenario) {
+    for e in &scenario.world.events {
+        match e.kind {
+            EventKind::Location => scenario.ts.location_update(e.user, e.at),
+            EventKind::Request { service } => {
+                let _ = scenario.ts.handle_request(e.user, e.at, ServiceId(service));
+            }
+        }
+    }
+}
+
+/// Mean of a sample (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for < 2 samples).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (0 for empty); sorts a copy.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Wall-clock of `f()` in nanoseconds, best of `reps`.
+pub fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Prints a rule line of the given width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_builds_and_runs() {
+        let mut s = build(&ScenarioConfig {
+            days: 1,
+            n_commuters: 2,
+            n_roamers: 5,
+            ..ScenarioConfig::default()
+        });
+        run_events(&mut s);
+        assert!(s.ts.log().stats().forwarded() > 0);
+        assert_eq!(s.protected.len(), 2);
+    }
+
+    #[test]
+    fn timing_helper_is_positive() {
+        let ns = time_ns(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(ns > 0.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! LBQID derivation from movement statistics.
+//!
+//! Section 4: "The derivation of a specific pattern or a set of patterns
+//! acting as LBQIDs for a specific individual is an independent problem
+//! … the derivation process will have to be based on statistical
+//! analysis of the data about users movement history: If a certain
+//! pattern turns out to be very common for many users, it is unlikely to
+//! be useful for identifying any one of them. … Since in our model it is
+//! the TS which stores, or at least has access to, historical trajectory
+//! data, it is probably a good candidate to offer tools for LBQID
+//! definition." The conclusions repeat the ask: "very simple tools should
+//! be provided to define LBQIDs and verify them based on statistical
+//! data."
+//!
+//! This module is that tool. [`derive_lbqids`] mines a user's Personal
+//! History of Locations for **recurring dwell anchors** — places the user
+//! provably stays at, at recurring times of day, on many distinct days —
+//! turns the top anchors into an LBQID element sequence with a recurrence
+//! formula fitted to the observed support, and then *verifies* each
+//! candidate statistically: it replays every user's history through the
+//! online matcher and reports the **matching population**. A pattern
+//! matched by many users is discarded ("unlikely to be useful for
+//! identifying any one of them"); what remains are the patterns the user
+//! should register with the trusted server for protection.
+
+use hka_geo::{DayWindow, Rect, StPoint, DAY, MINUTE};
+use hka_granules::{Granularity, Recurrence};
+use hka_lbqid::{Element, Lbqid, Monitor};
+use hka_trajectory::{Phl, TrajectoryStore, UserId};
+use std::collections::BTreeMap;
+
+/// Mining parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivationConfig {
+    /// Spatial granule for dwell detection (meters): positions within the
+    /// same cell belong to the same place.
+    pub cell: f64,
+    /// Minimum continuous presence in a cell to count as a dwell
+    /// (seconds).
+    pub min_dwell: i64,
+    /// An anchor needs dwells on at least this many distinct days.
+    pub min_days: usize,
+    /// Slack added on each side of the detected time-of-day window
+    /// (seconds).
+    pub window_slack: i64,
+    /// How many top anchors form the derived element sequence.
+    pub max_elements: usize,
+    /// Candidates matched by more than this many users are discarded as
+    /// non-identifying.
+    pub max_population: usize,
+}
+
+impl Default for DerivationConfig {
+    fn default() -> Self {
+        DerivationConfig {
+            cell: 150.0,
+            min_dwell: 20 * MINUTE,
+            min_days: 3,
+            window_slack: 15 * MINUTE,
+            max_elements: 2,
+            max_population: 3,
+        }
+    }
+}
+
+/// A mined and verified candidate quasi-identifier.
+#[derive(Debug, Clone)]
+pub struct DerivedPattern {
+    /// The pattern, ready to register with the trusted server.
+    pub lbqid: Lbqid,
+    /// Distinct days on which every element was visited.
+    pub support_days: usize,
+    /// How many users in the whole store could match it (including the
+    /// subject) — the statistical verification step. `1` means the
+    /// pattern identifies its owner uniquely.
+    pub matching_population: usize,
+}
+
+/// One recurring place: where, when in the day, on which days.
+#[derive(Debug, Clone)]
+struct Anchor {
+    area: Rect,
+    window: DayWindow,
+    days: Vec<i64>,
+}
+
+/// Maximal same-cell dwell episodes of a history.
+fn dwell_episodes(phl: &Phl, cfg: &DerivationConfig) -> Vec<(i64, i64, StPoint, StPoint)> {
+    // (cell-x, cell-y) of a point.
+    let cell = |p: &StPoint| {
+        (
+            (p.pos.x / cfg.cell).floor() as i64,
+            (p.pos.y / cfg.cell).floor() as i64,
+        )
+    };
+    let mut out = Vec::new();
+    let pts = phl.points();
+    let mut i = 0;
+    while i < pts.len() {
+        let c = cell(&pts[i]);
+        let mut j = i;
+        while j + 1 < pts.len() && cell(&pts[j + 1]) == c && pts[j + 1].t.day_index() == pts[i].t.day_index() {
+            j += 1;
+        }
+        if pts[j].t - pts[i].t >= cfg.min_dwell {
+            out.push((c.0, c.1, pts[i], pts[j]));
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Mines recurring anchors from a history.
+fn mine_anchors(phl: &Phl, cfg: &DerivationConfig) -> Vec<Anchor> {
+    // Group episodes by (cell, coarse time-of-day bucket) so that morning
+    // and evening presence at the same place become separate anchors.
+    const BUCKET: i64 = 4 * 3_600; // 4-hour buckets
+    let mut groups: BTreeMap<(i64, i64, i64), Vec<(i64, i64, i64, StPoint, StPoint)>> =
+        BTreeMap::new();
+    for (cx, cy, start, end) in dwell_episodes(phl, cfg) {
+        let bucket = start.t.second_of_day() / BUCKET;
+        groups
+            .entry((cx, cy, bucket))
+            .or_default()
+            .push((start.t.day_index(), start.t.second_of_day(), end.t.second_of_day(), start, end));
+    }
+    let mut anchors = Vec::new();
+    for ((cx, cy, _bucket), eps) in groups {
+        let mut days: Vec<i64> = eps.iter().map(|(d, ..)| *d).collect();
+        days.sort_unstable();
+        days.dedup();
+        if days.len() < cfg.min_days {
+            continue;
+        }
+        // The recurring window: an interquartile envelope of the observed
+        // time-of-day spans (robust against the occasional all-day dwell,
+        // e.g. weekends at home), widened by the slack.
+        let mut starts: Vec<i64> = eps.iter().map(|(_, s, ..)| *s).collect();
+        let mut ends: Vec<i64> = eps.iter().map(|(_, _, e, ..)| *e).collect();
+        starts.sort_unstable();
+        ends.sort_unstable();
+        let start = starts[starts.len() / 4];
+        let end = ends[(ends.len() * 3) / 4];
+        let window = DayWindow::new(
+            (start - cfg.window_slack).max(0),
+            (end + cfg.window_slack).min(DAY - 1),
+        );
+        let area = Rect::from_bounds(
+            cx as f64 * cfg.cell,
+            cy as f64 * cfg.cell,
+            (cx + 1) as f64 * cfg.cell,
+            (cy + 1) as f64 * cfg.cell,
+        );
+        anchors.push(Anchor {
+            area,
+            window,
+            days,
+        });
+    }
+    // Strongest support first.
+    anchors.sort_by(|a, b| b.days.len().cmp(&a.days.len()));
+    anchors
+}
+
+/// Fits a recurrence formula to the joint support of the chosen anchors:
+/// `r.Weekdays * w.Weeks` where `r` is the typical per-week day count and
+/// `w` the number of weeks with support.
+fn fit_recurrence(days: &[i64]) -> Recurrence {
+    let mut per_week: BTreeMap<i64, usize> = BTreeMap::new();
+    for d in days {
+        if (d.rem_euclid(7)) < 5 {
+            *per_week.entry(d.div_euclid(7)).or_insert(0) += 1;
+        }
+    }
+    let weeks = per_week.len().max(1);
+    let r = per_week.values().copied().min().unwrap_or(1).clamp(1, 5);
+    Recurrence::new(vec![
+        (r as u32, Granularity::Weekdays),
+        (weeks as u32, Granularity::Weeks),
+    ])
+    .expect("counts ≥ 1")
+}
+
+/// How many users' full histories could match the pattern (statistical
+/// verification).
+fn matching_population(store: &TrajectoryStore, q: &Lbqid) -> usize {
+    let mut n = 0;
+    for (_, phl) in store.iter() {
+        let mut m = Monitor::new(q.clone());
+        for p in phl.points() {
+            if let Some(ev) = m.observe(*p) {
+                if ev.full_match {
+                    n += 1;
+                    break;
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Mines, fits and statistically verifies candidate LBQIDs for `subject`.
+///
+/// Returns candidates sorted most-identifying first (smallest matching
+/// population, then largest support); candidates matched by more than
+/// `cfg.max_population` users are discarded.
+pub fn derive_lbqids(
+    store: &TrajectoryStore,
+    subject: UserId,
+    cfg: &DerivationConfig,
+) -> Vec<DerivedPattern> {
+    let Some(phl) = store.phl(subject) else {
+        return Vec::new();
+    };
+    let anchors = mine_anchors(phl, cfg);
+    if anchors.is_empty() {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    // Candidate 1: the top `max_elements` anchors as a sequence ordered
+    // by window start (the commute shape). Additional candidates: each
+    // strong anchor alone (the "personal point of interest" shape).
+    let mut top: Vec<&Anchor> = anchors.iter().take(cfg.max_elements.max(1)).collect();
+    top.sort_by_key(|a| a.window.start());
+    if top.len() >= 2 {
+        let days: Vec<i64> = intersect_days(top.iter().map(|a| &a.days));
+        if days.len() >= cfg.min_days {
+            let elements: Vec<Element> = top
+                .iter()
+                .map(|a| Element::new(a.area, a.window))
+                .collect();
+            let lbqid = Lbqid::new("derived-sequence", elements, fit_recurrence(&days))
+                .expect("non-empty");
+            out.push((lbqid, days.len()));
+        }
+    }
+    for (i, a) in anchors.iter().take(4).enumerate() {
+        let lbqid = Lbqid::new(
+            format!("derived-anchor-{i}"),
+            vec![Element::new(a.area, a.window)],
+            fit_recurrence(&a.days),
+        )
+        .expect("non-empty");
+        out.push((lbqid, a.days.len()));
+    }
+
+    let mut verified: Vec<DerivedPattern> = out
+        .into_iter()
+        .map(|(lbqid, support_days)| {
+            let matching_population = matching_population(store, &lbqid);
+            DerivedPattern {
+                lbqid,
+                support_days,
+                matching_population,
+            }
+        })
+        .filter(|p| p.matching_population >= 1 && p.matching_population <= cfg.max_population)
+        .collect();
+    verified.sort_by(|a, b| {
+        a.matching_population
+            .cmp(&b.matching_population)
+            .then(b.support_days.cmp(&a.support_days))
+    });
+    verified
+}
+
+/// Days present in every anchor's support set.
+fn intersect_days<'a, I: Iterator<Item = &'a Vec<i64>>>(mut sets: I) -> Vec<i64> {
+    let Some(first) = sets.next() else {
+        return Vec::new();
+    };
+    let mut acc: Vec<i64> = first.clone();
+    for s in sets {
+        acc.retain(|d| s.contains(d));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::{Point, TimeSec};
+
+    /// A commuter-shaped history: home mornings/evenings, office days,
+    /// weekdays only, for two weeks.
+    fn commuter_phl(home: Point, office: Point, days: impl Iterator<Item = i64>) -> Phl {
+        let mut pts = Vec::new();
+        for d in days {
+            for m in 0..8 {
+                pts.push(StPoint::new(home, TimeSec::at_hm(d, 7, m * 5)));
+            }
+            for h in 0..8 {
+                pts.push(StPoint::new(office, TimeSec::at_hm(d, 9 + h, 0)));
+            }
+            for m in 0..8 {
+                pts.push(StPoint::new(home, TimeSec::at_hm(d, 18, m * 5)));
+            }
+        }
+        Phl::from_points(pts)
+    }
+
+    fn weekdays(weeks: i64) -> impl Iterator<Item = i64> {
+        (0..weeks * 7).filter(|d| d.rem_euclid(7) < 5)
+    }
+
+    #[test]
+    fn mines_home_and_office_anchors() {
+        let phl = commuter_phl(Point::new(50.0, 50.0), Point::new(1_000.0, 1_000.0), weekdays(2));
+        let anchors = mine_anchors(&phl, &DerivationConfig::default());
+        assert!(anchors.len() >= 2, "found {} anchors", anchors.len());
+        // Some anchor covers home in the morning.
+        assert!(anchors.iter().any(|a| a.area.contains(&Point::new(50.0, 50.0))
+            && a.window.contains(TimeSec::at_hm(0, 7, 20))));
+        // Some anchor covers the office during the day.
+        assert!(anchors
+            .iter()
+            .any(|a| a.area.contains(&Point::new(1_000.0, 1_000.0))));
+    }
+
+    #[test]
+    fn derives_identifying_pattern_for_lone_commuter() {
+        let mut store = TrajectoryStore::new();
+        store_phl(&mut store, UserId(1), commuter_phl(
+            Point::new(50.0, 50.0),
+            Point::new(1_000.0, 1_000.0),
+            weekdays(2),
+        ));
+        // A second user with a very different life.
+        store_phl(&mut store, UserId(2), commuter_phl(
+            Point::new(1_800.0, 100.0),
+            Point::new(300.0, 1_700.0),
+            weekdays(2),
+        ));
+        let derived = derive_lbqids(&store, UserId(1), &DerivationConfig::default());
+        assert!(!derived.is_empty());
+        let best = &derived[0];
+        assert_eq!(best.matching_population, 1, "{:?}", best.lbqid);
+        assert!(best.support_days >= 3);
+        // The subject's own history must match the derived pattern.
+        let mut m = Monitor::new(best.lbqid.clone());
+        let mut matched = false;
+        for p in store.phl(UserId(1)).unwrap().points() {
+            if let Some(ev) = m.observe(*p) {
+                matched = matched || ev.full_match;
+            }
+        }
+        assert!(matched, "derived pattern must match its owner");
+    }
+
+    #[test]
+    fn common_patterns_are_discarded() {
+        // Five users all sharing the same home/office routine: any mined
+        // pattern matches all of them and exceeds max_population.
+        let mut store = TrajectoryStore::new();
+        for u in 1..=5u64 {
+            store_phl(&mut store, UserId(u), commuter_phl(
+                Point::new(50.0, 50.0),
+                Point::new(1_000.0, 1_000.0),
+                weekdays(2),
+            ));
+        }
+        let cfg = DerivationConfig {
+            max_population: 3,
+            ..DerivationConfig::default()
+        };
+        let derived = derive_lbqids(&store, UserId(1), &cfg);
+        assert!(
+            derived.is_empty(),
+            "shared routines identify nobody: {derived:?}"
+        );
+    }
+
+    #[test]
+    fn no_history_no_patterns() {
+        let store = TrajectoryStore::new();
+        assert!(derive_lbqids(&store, UserId(9), &DerivationConfig::default()).is_empty());
+        let mut store = TrajectoryStore::new();
+        store.ensure_user(UserId(9));
+        assert!(derive_lbqids(&store, UserId(9), &DerivationConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn weekend_only_roamer_yields_nothing_recurring() {
+        // Short random hops, never dwelling anywhere 20 minutes.
+        let mut pts = Vec::new();
+        for d in 0..14 {
+            for h in 0..10 {
+                pts.push(StPoint::new(
+                    Point::new(
+                        (d * 37 + h * 211) as f64 % 1_900.0,
+                        (d * 53 + h * 101) as f64 % 1_900.0,
+                    ),
+                    TimeSec::at_hm(d, 8 + h as u32, 0),
+                ));
+            }
+        }
+        let phl = Phl::from_points(pts);
+        let anchors = mine_anchors(&phl, &DerivationConfig::default());
+        assert!(anchors.is_empty(), "{anchors:?}");
+    }
+
+    #[test]
+    fn fitted_recurrence_reflects_support() {
+        // Weekdays for two weeks → r.Weekdays * 2.Weeks with r ≥ 1.
+        let days: Vec<i64> = weekdays(2).collect();
+        let r = fit_recurrence(&days);
+        assert_eq!(r.to_string(), "5.Weekdays * 2.Weeks");
+        // Sparse support: one day per week across 3 weeks.
+        let r = fit_recurrence(&[0, 8, 16]);
+        assert_eq!(r.to_string(), "1.Weekdays * 3.Weeks");
+    }
+
+    fn store_phl(store: &mut TrajectoryStore, user: UserId, phl: Phl) {
+        for p in phl.points() {
+            store.record(user, *p);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The trusted server's event log and accounting.
+//!
+//! Every decision the TS takes is recorded so experiments can report the
+//! Section-6.2 trade-off triangle — quality of service (generalization
+//! sizes, clamps), degree of anonymity (HK-anonymity successes/failures)
+//! and frequency of unlinking (pseudonym changes, service interruptions).
+
+use hka_anonymity::Pseudonym;
+use hka_geo::{StBox, TimeSec};
+use hka_trajectory::UserId;
+
+/// One logged TS decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsEvent {
+    /// A request was forwarded to the provider.
+    Forwarded {
+        /// The issuing user.
+        user: UserId,
+        /// When it was issued.
+        at: TimeSec,
+        /// The forwarded context.
+        context: StBox,
+        /// Whether the request matched an LBQID element and was
+        /// generalized by Algorithm 1 (`false` = exact context).
+        generalized: bool,
+        /// Algorithm 1's HK-anonymity flag (always `true` for exact,
+        /// non-pattern requests).
+        hk_ok: bool,
+    },
+    /// A request was suppressed (mix-zone cool-down or risk policy).
+    Suppressed {
+        /// The issuing user.
+        user: UserId,
+        /// When it was issued.
+        at: TimeSec,
+        /// Why.
+        reason: SuppressReason,
+    },
+    /// The user's pseudonym was changed after a successful unlink.
+    PseudonymChanged {
+        /// The user.
+        user: UserId,
+        /// The retired pseudonym.
+        old: Pseudonym,
+        /// The fresh pseudonym.
+        new: Pseudonym,
+        /// When.
+        at: TimeSec,
+    },
+    /// Generalization failed and unlinking was infeasible: the user is at
+    /// risk and has been notified (Section 6.1 step 2).
+    AtRisk {
+        /// The user.
+        user: UserId,
+        /// When.
+        at: TimeSec,
+        /// Name of the LBQID concerned.
+        lbqid: String,
+    },
+    /// A user's requests completed a full LBQID match (the pattern was
+    /// released under a single pseudonym).
+    LbqidMatched {
+        /// The user.
+        user: UserId,
+        /// When the match completed.
+        at: TimeSec,
+        /// Name of the LBQID.
+        lbqid: String,
+    },
+}
+
+/// Why a request was suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuppressReason {
+    /// The point lies inside an active (or static) mix-zone.
+    MixZone,
+    /// The risk policy chose suppression over forwarding an unprotected
+    /// request.
+    RiskPolicy,
+}
+
+/// Append-only event log with summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<TsEvent>,
+}
+
+/// Aggregate counters derived from the log.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TsStats {
+    /// Requests forwarded with exact contexts.
+    pub forwarded_exact: usize,
+    /// Requests forwarded generalized, HK-anonymity preserved.
+    pub forwarded_hk_ok: usize,
+    /// Requests forwarded generalized but clamped (HK-anonymity lost).
+    pub forwarded_hk_failed: usize,
+    /// Requests suppressed in mix-zones.
+    pub suppressed_mixzone: usize,
+    /// Requests suppressed by the risk policy.
+    pub suppressed_risk: usize,
+    /// Pseudonym changes (successful unlinks).
+    pub pseudonym_changes: usize,
+    /// At-risk notifications.
+    pub at_risk: usize,
+    /// Completed LBQID matches.
+    pub lbqid_matches: usize,
+    /// Sum of generalized areas (m²), for mean-QoS reporting.
+    pub total_generalized_area: f64,
+    /// Sum of generalized durations (s).
+    pub total_generalized_duration: i64,
+}
+
+impl TsStats {
+    /// All forwarded requests.
+    pub fn forwarded(&self) -> usize {
+        self.forwarded_exact + self.forwarded_hk_ok + self.forwarded_hk_failed
+    }
+
+    /// All generalized (pattern-matching) requests.
+    pub fn generalized(&self) -> usize {
+        self.forwarded_hk_ok + self.forwarded_hk_failed
+    }
+
+    /// Fraction of generalized requests that kept HK-anonymity.
+    pub fn hk_success_rate(&self) -> f64 {
+        let g = self.generalized();
+        if g == 0 {
+            1.0
+        } else {
+            self.forwarded_hk_ok as f64 / g as f64
+        }
+    }
+
+    /// Mean area of generalized contexts, m².
+    pub fn mean_generalized_area(&self) -> f64 {
+        let g = self.generalized();
+        if g == 0 {
+            0.0
+        } else {
+            self.total_generalized_area / g as f64
+        }
+    }
+
+    /// Mean duration of generalized contexts, seconds.
+    pub fn mean_generalized_duration(&self) -> f64 {
+        let g = self.generalized();
+        if g == 0 {
+            0.0
+        } else {
+            self.total_generalized_duration as f64 / g as f64
+        }
+    }
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: TsEvent) {
+        self.events.push(e);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[TsEvent] {
+        &self.events
+    }
+
+    /// Derives the aggregate counters.
+    pub fn stats(&self) -> TsStats {
+        let mut s = TsStats::default();
+        for e in &self.events {
+            match e {
+                TsEvent::Forwarded {
+                    generalized,
+                    hk_ok,
+                    context,
+                    ..
+                } => {
+                    if !generalized {
+                        s.forwarded_exact += 1;
+                    } else {
+                        if *hk_ok {
+                            s.forwarded_hk_ok += 1;
+                        } else {
+                            s.forwarded_hk_failed += 1;
+                        }
+                        s.total_generalized_area += context.area();
+                        s.total_generalized_duration += context.duration();
+                    }
+                }
+                TsEvent::Suppressed { reason, .. } => match reason {
+                    SuppressReason::MixZone => s.suppressed_mixzone += 1,
+                    SuppressReason::RiskPolicy => s.suppressed_risk += 1,
+                },
+                TsEvent::PseudonymChanged { .. } => s.pseudonym_changes += 1,
+                TsEvent::AtRisk { .. } => s.at_risk += 1,
+                TsEvent::LbqidMatched { .. } => s.lbqid_matches += 1,
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::{Point, Rect, StPoint, TimeInterval};
+
+    fn ctx(side: f64, dur: i64) -> StBox {
+        StBox::new(
+            Rect::square(Point::new(0.0, 0.0), side),
+            TimeInterval::new(TimeSec(0), TimeSec(dur)),
+        )
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let mut log = EventLog::new();
+        log.push(TsEvent::Forwarded {
+            user: UserId(1),
+            at: TimeSec(0),
+            context: StBox::point(StPoint::xyt(0.0, 0.0, TimeSec(0))),
+            generalized: false,
+            hk_ok: true,
+        });
+        log.push(TsEvent::Forwarded {
+            user: UserId(1),
+            at: TimeSec(1),
+            context: ctx(10.0, 60),
+            generalized: true,
+            hk_ok: true,
+        });
+        log.push(TsEvent::Forwarded {
+            user: UserId(1),
+            at: TimeSec(2),
+            context: ctx(20.0, 120),
+            generalized: true,
+            hk_ok: false,
+        });
+        log.push(TsEvent::Suppressed {
+            user: UserId(2),
+            at: TimeSec(3),
+            reason: SuppressReason::MixZone,
+        });
+        log.push(TsEvent::PseudonymChanged {
+            user: UserId(2),
+            old: Pseudonym(1),
+            new: Pseudonym(2),
+            at: TimeSec(4),
+        });
+        log.push(TsEvent::AtRisk {
+            user: UserId(3),
+            at: TimeSec(5),
+            lbqid: "commute".into(),
+        });
+        let s = log.stats();
+        assert_eq!(s.forwarded(), 3);
+        assert_eq!(s.forwarded_exact, 1);
+        assert_eq!(s.generalized(), 2);
+        assert_eq!(s.hk_success_rate(), 0.5);
+        assert_eq!(s.mean_generalized_area(), (100.0 + 400.0) / 2.0);
+        assert_eq!(s.mean_generalized_duration(), 90.0);
+        assert_eq!(s.suppressed_mixzone, 1);
+        assert_eq!(s.pseudonym_changes, 1);
+        assert_eq!(s.at_risk, 1);
+        assert_eq!(log.events().len(), 6);
+    }
+
+    #[test]
+    fn empty_log_yields_neutral_stats() {
+        let s = EventLog::new().stats();
+        assert_eq!(s.forwarded(), 0);
+        assert_eq!(s.hk_success_rate(), 1.0);
+        assert_eq!(s.mean_generalized_area(), 0.0);
+    }
+}

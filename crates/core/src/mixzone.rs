@@ -1,0 +1,305 @@
+//! Mix-zones and the unlinking action (Sections 2 and 6.3).
+//!
+//! A mix-zone (Beresford–Stajano, paper refs. \[1,2\]) is "a spatial area
+//! such that, if an individual crosses it, then it won't be possible to
+//! link his future positions (outside the area) with known positions
+//! (before entering the area)". The paper proposes, beyond static zones,
+//! "defining mix-zones **on-demand**, for example temporarily disabling
+//! the use of the service for a number of users in the same area for the
+//! time sufficient to confuse the SP. Technically, we may define the
+//! problem as that of finding, given a specific point in space, k
+//! diverging trajectories (each one for a different user) that are
+//! sufficiently close to the point."
+//!
+//! [`MixZoneManager`] implements both: a set of static zones, and an
+//! on-demand search that looks for k users near the requested point whose
+//! *current movement directions* pairwise diverge by at least a threshold
+//! angle (the online proxy for "once out of the mix-zone, \[they\] will
+//! take very different trajectories" — the TS cannot observe the future).
+//! A successful unlink suppresses service inside the zone for a cool-down
+//! period, then the user emerges under a fresh pseudonym.
+
+use hka_geo::{angular_separation, Point, Rect, StBox, StPoint, TimeInterval, TimeSec};
+use hka_trajectory::{TrajectoryStore, UserId};
+
+/// Parameters of the on-demand mix-zone search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixZoneConfig {
+    /// Radius (meters) around the point in which candidate users are
+    /// sought.
+    pub radius: f64,
+    /// How far back (seconds) a candidate's last observation may lie.
+    pub lookback: i64,
+    /// Minimum pairwise angular separation (radians) between candidate
+    /// headings for the set to count as "diverging".
+    pub min_divergence: f64,
+    /// How long (seconds) service stays disabled inside an activated
+    /// zone — "the time sufficient to confuse the SP".
+    pub cooldown: i64,
+}
+
+impl Default for MixZoneConfig {
+    fn default() -> Self {
+        MixZoneConfig {
+            radius: 300.0,
+            lookback: 600,
+            min_divergence: std::f64::consts::PI / 4.0, // 45°
+            cooldown: 900,
+        }
+    }
+}
+
+/// The outcome of an unlink attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnlinkDecision {
+    /// A zone was activated around the point; the listed users (including
+    /// the requester) are mixed and service is suppressed inside until the
+    /// recorded expiry.
+    Unlinked {
+        /// Users crossing the zone whose headings diverge.
+        mixed_with: Vec<UserId>,
+        /// The activated zone.
+        zone: Rect,
+        /// Suppression lasts until this instant.
+        until: TimeSec,
+    },
+    /// No k diverging trajectories were available near the point.
+    Infeasible {
+        /// How many diverging co-located users were found (< k).
+        available: usize,
+    },
+}
+
+/// An active suppression area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ActiveZone {
+    rect: Rect,
+    until: TimeSec,
+}
+
+/// Static and on-demand mix-zone bookkeeping for the trusted server.
+#[derive(Debug, Clone)]
+pub struct MixZoneManager {
+    config: MixZoneConfig,
+    static_zones: Vec<Rect>,
+    active: Vec<ActiveZone>,
+}
+
+impl MixZoneManager {
+    /// Creates a manager with no static zones.
+    pub fn new(config: MixZoneConfig) -> Self {
+        MixZoneManager {
+            config,
+            static_zones: Vec::new(),
+            active: Vec::new(),
+        }
+    }
+
+    /// Registers a static mix-zone ("natural locations where no service is
+    /// available to anybody").
+    pub fn add_static_zone(&mut self, zone: Rect) {
+        self.static_zones.push(zone);
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &MixZoneConfig {
+        &self.config
+    }
+
+    /// Whether service is currently unavailable at `p` — inside a static
+    /// zone, or inside an on-demand zone that has not cooled down yet.
+    pub fn suppressed_at(&mut self, p: &StPoint) -> bool {
+        self.active.retain(|z| z.until >= p.t);
+        self.static_zones.iter().any(|z| z.contains(&p.pos))
+            || self.active.iter().any(|z| z.rect.contains(&p.pos))
+    }
+
+    /// Whether `p` lies in a *static* zone (crossing one is a natural
+    /// unlinking opportunity even without activation).
+    pub fn in_static_zone(&self, p: &Point) -> bool {
+        self.static_zones.iter().any(|z| z.contains(p))
+    }
+
+    /// Attempts to establish an on-demand mix-zone around `at` for
+    /// `requester`: finds users with a recent observation within `radius`
+    /// of the point and selects a subset (including the requester) of at
+    /// least `k` users whose current headings pairwise diverge by at least
+    /// `min_divergence`.
+    ///
+    /// On success the zone is activated: service is suppressed inside it
+    /// until `at.t + cooldown`, and the caller should change the
+    /// requester's pseudonym.
+    pub fn try_unlink(
+        &mut self,
+        store: &TrajectoryStore,
+        requester: UserId,
+        at: &StPoint,
+        k: usize,
+    ) -> UnlinkDecision {
+        let cfg = self.config;
+        let window = TimeInterval::new(at.t - cfg.lookback, at.t);
+        let zone = Rect::square(at.pos, cfg.radius * 2.0);
+        let probe = StBox::new(zone, window);
+
+        // Candidate users near the point, with their current heading
+        // (bearing between their last two observations in the window).
+        let mut candidates: Vec<(UserId, f64)> = Vec::new();
+        for (user, phl) in store.iter() {
+            if user == requester {
+                continue;
+            }
+            let recent = phl.in_interval(&window);
+            let inside: Vec<&StPoint> = recent.iter().filter(|p| probe.rect.contains(&p.pos)).collect();
+            if inside.len() < 2 {
+                continue;
+            }
+            let a = inside[inside.len() - 2];
+            let b = inside[inside.len() - 1];
+            if a.pos == b.pos {
+                continue; // stationary: no usable heading
+            }
+            candidates.push((user, a.pos.bearing_to(&b.pos)));
+        }
+
+        // Greedy selection of pairwise-diverging headings.
+        let mut chosen: Vec<(UserId, f64)> = Vec::new();
+        for (user, heading) in candidates {
+            if chosen
+                .iter()
+                .all(|(_, h)| angular_separation(*h, heading) >= cfg.min_divergence)
+            {
+                chosen.push((user, heading));
+            }
+        }
+
+        // The requester is one of the mixed users; k−1 diverging others
+        // suffice for a crowd of k.
+        if chosen.len() + 1 >= k.max(2) {
+            let until = at.t + cfg.cooldown;
+            self.active.push(ActiveZone { rect: zone, until });
+            let mut mixed: Vec<UserId> = chosen.into_iter().map(|(u, _)| u).collect();
+            mixed.push(requester);
+            mixed.sort();
+            UnlinkDecision::Unlinked {
+                mixed_with: mixed,
+                zone,
+                until,
+            }
+        } else {
+            UnlinkDecision::Infeasible {
+                available: chosen.len(),
+            }
+        }
+    }
+
+    /// Number of currently active on-demand zones (after expiry at `now`).
+    pub fn active_zones(&mut self, now: TimeSec) -> usize {
+        self.active.retain(|z| z.until >= now);
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    /// Users walking through the origin in different directions.
+    fn crossing_store(headings: &[(u64, f64)]) -> TrajectoryStore {
+        let mut store = TrajectoryStore::new();
+        for (u, angle) in headings {
+            // Two observations approaching the origin from -angle side.
+            let dir = Point::new(angle.cos(), angle.sin());
+            store.record(
+                UserId(*u),
+                sp(-60.0 * dir.x, -60.0 * dir.y, 900),
+            );
+            store.record(UserId(*u), sp(-10.0 * dir.x, -10.0 * dir.y, 960));
+        }
+        store
+    }
+
+    #[test]
+    fn unlink_succeeds_with_diverging_crowd() {
+        use std::f64::consts::FRAC_PI_2;
+        let store = crossing_store(&[(1, 0.0), (2, FRAC_PI_2), (3, 2.0 * FRAC_PI_2)]);
+        let mut mz = MixZoneManager::new(MixZoneConfig::default());
+        let at = sp(0.0, 0.0, 1000);
+        match mz.try_unlink(&store, UserId(9), &at, 3) {
+            UnlinkDecision::Unlinked {
+                mixed_with, until, ..
+            } => {
+                assert!(mixed_with.contains(&UserId(9)));
+                assert!(mixed_with.len() >= 3);
+                assert_eq!(until, TimeSec(1000 + 900));
+            }
+            other => panic!("expected unlink, got {other:?}"),
+        }
+        // The zone now suppresses service at the point.
+        assert!(mz.suppressed_at(&sp(0.0, 0.0, 1100)));
+        // …but expires after the cooldown.
+        assert!(!mz.suppressed_at(&sp(0.0, 0.0, 2000)));
+    }
+
+    #[test]
+    fn unlink_fails_when_everyone_moves_the_same_way() {
+        // Three users all heading east: only one diverging heading class.
+        let store = crossing_store(&[(1, 0.0), (2, 0.01), (3, -0.01)]);
+        let mut mz = MixZoneManager::new(MixZoneConfig::default());
+        let at = sp(0.0, 0.0, 1000);
+        match mz.try_unlink(&store, UserId(9), &at, 3) {
+            UnlinkDecision::Infeasible { available } => assert_eq!(available, 1),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+        assert_eq!(mz.active_zones(TimeSec(1000)), 0);
+    }
+
+    #[test]
+    fn unlink_fails_with_nobody_around() {
+        let store = TrajectoryStore::new();
+        let mut mz = MixZoneManager::new(MixZoneConfig::default());
+        let d = mz.try_unlink(&store, UserId(1), &sp(0.0, 0.0, 100), 2);
+        assert_eq!(d, UnlinkDecision::Infeasible { available: 0 });
+    }
+
+    #[test]
+    fn stale_or_distant_users_are_not_candidates() {
+        use std::f64::consts::FRAC_PI_2;
+        let mut store = crossing_store(&[(1, 0.0), (2, FRAC_PI_2)]);
+        // User 3 crossed an hour ago; user 4 is far away.
+        store.record(UserId(3), sp(-60.0, 0.0, -3000));
+        store.record(UserId(3), sp(-10.0, 0.0, -2940));
+        store.record(UserId(4), sp(5_000.0, 5_000.0, 900));
+        store.record(UserId(4), sp(5_010.0, 5_000.0, 960));
+        let mut mz = MixZoneManager::new(MixZoneConfig::default());
+        match mz.try_unlink(&store, UserId(9), &sp(0.0, 0.0, 1000), 4) {
+            UnlinkDecision::Infeasible { available } => assert_eq!(available, 2),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_zones_suppress_service() {
+        let mut mz = MixZoneManager::new(MixZoneConfig::default());
+        mz.add_static_zone(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+        assert!(mz.suppressed_at(&sp(50.0, 50.0, 0)));
+        assert!(!mz.suppressed_at(&sp(500.0, 50.0, 0)));
+        assert!(mz.in_static_zone(&Point::new(1.0, 1.0)));
+        assert!(!mz.in_static_zone(&Point::new(-1.0, 1.0)));
+    }
+
+    #[test]
+    fn stationary_users_have_no_heading() {
+        let mut store = TrajectoryStore::new();
+        for u in 1..=3u64 {
+            store.record(UserId(u), sp(10.0, 10.0, 900));
+            store.record(UserId(u), sp(10.0, 10.0, 960));
+        }
+        let mut mz = MixZoneManager::new(MixZoneConfig::default());
+        let d = mz.try_unlink(&store, UserId(9), &sp(0.0, 0.0, 1000), 2);
+        assert_eq!(d, UnlinkDecision::Infeasible { available: 0 });
+    }
+}

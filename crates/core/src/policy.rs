@@ -1,0 +1,250 @@
+//! Privacy profiles and service tolerance constraints.
+
+use hka_geo::{Duration, StBox, MINUTE};
+
+/// Per-service tolerance constraints: "the coarsest spatial and temporal
+/// granularity for the service to still be useful" (Section 6.1). A
+/// hospital-finder needs "a user location that is at most in the range of
+/// a few square miles, and a time-window … of at most a few minutes"; a
+/// localized-news service tolerates far coarser contexts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Largest acceptable area, m².
+    pub max_area: f64,
+    /// Longest acceptable time interval, seconds.
+    pub max_duration: Duration,
+}
+
+impl Tolerance {
+    /// Creates a tolerance; both bounds must be non-negative.
+    pub fn new(max_area: f64, max_duration: Duration) -> Self {
+        assert!(max_area >= 0.0 && max_duration >= 0, "tolerances must be ≥ 0");
+        Tolerance {
+            max_area,
+            max_duration,
+        }
+    }
+
+    /// The paper's hospital-finder example: a couple of square miles,
+    /// a few minutes (here 2 km × 2 km, 5 min).
+    pub fn navigation() -> Self {
+        Tolerance::new(4e6, 5 * MINUTE)
+    }
+
+    /// The paper's localized-news example: city-scale areas, hour-scale
+    /// windows.
+    pub fn news() -> Self {
+        Tolerance::new(1e8, 60 * MINUTE)
+    }
+
+    /// Whether a generalized context satisfies the constraints
+    /// (Algorithm 1 line 8).
+    pub fn accepts(&self, b: &StBox) -> bool {
+        b.area() <= self.max_area && b.duration() <= self.max_duration
+    }
+}
+
+/// Concrete privacy parameters the TS enforces for one user.
+///
+/// `k` and `theta` are "the two main parameters defining a level of
+/// privacy concern in our framework" (Section 5.3). `k_init` and
+/// `k_decrement` realize the Section-6.2 suggestion: "we should probably
+/// use an initial parameter k′ larger than k … starting with a larger k′
+/// and decreasing its value at each point in the trace, until k is
+/// reached, should increase the probability to maintain historical
+/// k-anonymity for longer traces."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyParams {
+    /// The anonymity level: at least k users must be able to have issued
+    /// the request set.
+    pub k: usize,
+    /// Linkability likelihood Θ: requests linked below Θ are considered
+    /// unlinkable.
+    pub theta: f64,
+    /// Initial k′ used when a traversal's first element is generalized
+    /// (`k_init ≥ k`).
+    pub k_init: usize,
+    /// How much k′ drops at each subsequent element (floored at `k`).
+    pub k_decrement: usize,
+    /// What the TS does with a request it could not protect.
+    pub on_risk: RiskAction,
+}
+
+impl PrivacyParams {
+    /// A fixed-k profile (no k′ schedule) — the ablation baseline of
+    /// experiment F3.
+    pub fn fixed(k: usize, theta: f64) -> Self {
+        PrivacyParams {
+            k,
+            theta,
+            k_init: k,
+            k_decrement: 0,
+            on_risk: RiskAction::Forward,
+        }
+    }
+
+    /// The k′ to use for the element at `step` (0-based) of a traversal.
+    pub fn k_at_step(&self, step: usize) -> usize {
+        self.k_init
+            .saturating_sub(self.k_decrement.saturating_mul(step))
+            .max(self.k)
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be ≥ 1".into());
+        }
+        if self.k_init < self.k {
+            return Err(format!("k_init {} must be ≥ k {}", self.k_init, self.k));
+        }
+        if !(0.0..=1.0).contains(&self.theta) {
+            return Err(format!("theta {} must be in [0,1]", self.theta));
+        }
+        Ok(())
+    }
+}
+
+/// What the TS does when both generalization and unlinking fail: the
+/// paper leaves the choice to the (notified) user — "refrain from sending
+/// sensitive information, disrupt the service, or take other actions".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RiskAction {
+    /// Forward the (tolerance-clamped) request anyway; the user was
+    /// notified of the risk.
+    Forward,
+    /// Suppress the request (disrupt the service).
+    Suppress,
+}
+
+/// The qualitative knob shown to users (Section 3): "a simplified user
+/// interface with qualitative degrees of concern: low, medium, high",
+/// which the TS translates into [`PrivacyParams`]. `Off` disables
+/// protection (exact contexts, no monitoring) and `Custom` exposes the
+/// full parameter space to expert users ("more expert users can have
+/// access to more involved rule-based policy specifications").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrivacyLevel {
+    /// No protection.
+    Off,
+    /// k = 2, permissive Θ.
+    Low,
+    /// k = 5, Θ = 0.5, mild k′ schedule.
+    Medium,
+    /// k = 10, strict Θ, aggressive k′ schedule, suppress on risk.
+    High,
+    /// Explicit parameters.
+    Custom(PrivacyParams),
+}
+
+impl PrivacyLevel {
+    /// The concrete parameters for this level, or `None` for `Off`.
+    pub fn params(&self) -> Option<PrivacyParams> {
+        match self {
+            PrivacyLevel::Off => None,
+            PrivacyLevel::Low => Some(PrivacyParams {
+                k: 2,
+                theta: 0.7,
+                k_init: 3,
+                k_decrement: 1,
+                on_risk: RiskAction::Forward,
+            }),
+            PrivacyLevel::Medium => Some(PrivacyParams {
+                k: 5,
+                theta: 0.5,
+                k_init: 8,
+                k_decrement: 1,
+                on_risk: RiskAction::Forward,
+            }),
+            PrivacyLevel::High => Some(PrivacyParams {
+                k: 10,
+                theta: 0.3,
+                k_init: 16,
+                k_decrement: 2,
+                on_risk: RiskAction::Suppress,
+            }),
+            PrivacyLevel::Custom(p) => Some(*p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::{Point, Rect, StPoint, TimeInterval, TimeSec};
+
+    #[test]
+    fn tolerance_accepts_boundary() {
+        let t = Tolerance::new(100.0, 60);
+        let ok = StBox::new(
+            Rect::square(Point::new(0.0, 0.0), 10.0),
+            TimeInterval::new(TimeSec(0), TimeSec(60)),
+        );
+        assert!(t.accepts(&ok));
+        let too_big = StBox::new(
+            Rect::square(Point::new(0.0, 0.0), 10.1),
+            TimeInterval::new(TimeSec(0), TimeSec(60)),
+        );
+        assert!(!t.accepts(&too_big));
+        let too_long = StBox::new(
+            Rect::square(Point::new(0.0, 0.0), 10.0),
+            TimeInterval::new(TimeSec(0), TimeSec(61)),
+        );
+        assert!(!t.accepts(&too_long));
+        // Degenerate contexts always pass.
+        assert!(Tolerance::new(0.0, 0).accepts(&StBox::point(StPoint::xyt(1.0, 2.0, TimeSec(3)))));
+    }
+
+    #[test]
+    fn k_schedule_decreases_to_floor() {
+        let p = PrivacyParams {
+            k: 5,
+            theta: 0.5,
+            k_init: 12,
+            k_decrement: 3,
+            on_risk: RiskAction::Forward,
+        };
+        assert_eq!(p.k_at_step(0), 12);
+        assert_eq!(p.k_at_step(1), 9);
+        assert_eq!(p.k_at_step(2), 6);
+        assert_eq!(p.k_at_step(3), 5); // floored at k
+        assert_eq!(p.k_at_step(100), 5);
+    }
+
+    #[test]
+    fn fixed_profile_has_flat_schedule() {
+        let p = PrivacyParams::fixed(4, 0.5);
+        for step in 0..10 {
+            assert_eq!(p.k_at_step(step), 4);
+        }
+    }
+
+    #[test]
+    fn levels_translate_to_parameters() {
+        assert!(PrivacyLevel::Off.params().is_none());
+        let low = PrivacyLevel::Low.params().unwrap();
+        let med = PrivacyLevel::Medium.params().unwrap();
+        let high = PrivacyLevel::High.params().unwrap();
+        assert!(low.k < med.k && med.k < high.k);
+        assert!(low.theta > med.theta && med.theta > high.theta);
+        assert_eq!(high.on_risk, RiskAction::Suppress);
+        for p in [low, med, high] {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(PrivacyParams::fixed(0, 0.5).validate().is_err());
+        let bad_theta = PrivacyParams::fixed(2, 1.5);
+        assert!(bad_theta.validate().is_err());
+        let bad_init = PrivacyParams {
+            k: 5,
+            theta: 0.5,
+            k_init: 2,
+            k_decrement: 0,
+            on_risk: RiskAction::Forward,
+        };
+        assert!(bad_init.validate().is_err());
+    }
+}

@@ -1,0 +1,1154 @@
+//! The Trusted Server: the Section-6.1 strategy end to end.
+
+use crate::events::SuppressReason;
+use crate::{
+    algorithm1_first, algorithm1_subsequent, EventLog, MixZoneConfig, MixZoneManager,
+    PrivacyLevel, PrivacyParams, RandomizeConfig, Randomizer, RiskAction, Tolerance, TsEvent,
+    UnlinkDecision,
+};
+use hka_anonymity::{
+    historical_k_anonymity, HkOutcome, MsgId, Pseudonym, ServiceId, SpRequest,
+};
+use hka_geo::{Rect, StBox, StPoint};
+use hka_lbqid::{Lbqid, Monitor};
+use hka_trajectory::{GridIndex, GridIndexConfig, TrajectoryStore, UserId};
+use std::collections::BTreeMap;
+
+/// Trusted-server configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsConfig {
+    /// Grid-index sizing (also fixes the space–time metric used by
+    /// Algorithm 1's nearest-PHL searches).
+    pub index: GridIndexConfig,
+    /// Tolerance applied to services that never registered their own.
+    pub default_tolerance: Tolerance,
+    /// Mix-zone parameters.
+    pub mixzone: MixZoneConfig,
+    /// Optional cloak randomization (the paper's anti-inference
+    /// recommendation); `None` emits minimal Algorithm-1 boxes.
+    pub randomize: Option<RandomizeConfig>,
+}
+
+impl Default for TsConfig {
+    fn default() -> Self {
+        TsConfig {
+            index: GridIndexConfig::default(),
+            default_tolerance: Tolerance::navigation(),
+            mixzone: MixZoneConfig::default(),
+            randomize: None,
+        }
+    }
+}
+
+/// Per-LBQID anonymity-set state under the current pseudonym.
+///
+/// Algorithm 1 "store\[s\] the ids of the k users" the first time a
+/// request matches the pattern's initial element; every later matching
+/// request re-uses (a shrinking subset of) those ids, so that one fixed
+/// crowd of candidate histories covers the whole matched request set —
+/// exactly what Definition 8 requires.
+#[derive(Debug, Clone, Default)]
+struct PatternState {
+    /// The stored user ids (monotonically shrinking along the trace).
+    selected: Vec<UserId>,
+    /// How many generalized requests this pattern has produced so far
+    /// (drives the k′ schedule).
+    step: usize,
+    /// The generalized contexts forwarded for this pattern, for audits.
+    contexts: Vec<StBox>,
+}
+
+/// Per-user TS state.
+#[derive(Debug)]
+struct UserState {
+    pseudonym: Pseudonym,
+    params: Option<PrivacyParams>,
+    /// Per-service overrides — Section 3: "the user choice may be applied
+    /// uniformly to all services or selectively". `Some(None)` means
+    /// privacy explicitly off for that service.
+    overrides: BTreeMap<ServiceId, Option<PrivacyParams>>,
+    monitors: Vec<Monitor>,
+    patterns: Vec<PatternState>,
+    at_risk: bool,
+}
+
+impl UserState {
+    fn params_for(&self, service: ServiceId) -> Option<PrivacyParams> {
+        match self.overrides.get(&service) {
+            Some(p) => *p,
+            None => self.params,
+        }
+    }
+}
+
+/// What the TS did with a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// The request went out to the provider in this (possibly generalized)
+    /// form.
+    Forwarded(SpRequest),
+    /// The request was withheld.
+    Suppressed(SuppressReasonPub),
+}
+
+/// Errors from the fallible server API (`try_*` methods). The
+/// convenience methods (`register_user`, `handle_request`, …) panic on
+/// these conditions instead, which is appropriate for simulations and
+/// tests where they are programming errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsError {
+    /// The user id is not registered.
+    UnknownUser(UserId),
+    /// The user id is already registered.
+    DuplicateUser(UserId),
+    /// Custom privacy parameters failed validation.
+    InvalidParams(String),
+}
+
+impl std::fmt::Display for TsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            TsError::DuplicateUser(u) => write!(f, "user {u} already registered"),
+            TsError::InvalidParams(msg) => write!(f, "invalid privacy parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+/// The lock-style privacy indicator the paper's conclusions call for:
+/// "simple and effective interfaces are needed … to notify when
+/// identification is at risk. Graphical solutions, like the open and
+/// closed lock in an internet browser, should be considered."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivacyIndicator {
+    /// No protection requested (grey lock).
+    Off,
+    /// Protection active, no unresolved risk (closed lock).
+    Locked,
+    /// An at-risk notification is pending: the user should "refrain from
+    /// sending sensitive information, disrupt the service, or take other
+    /// actions" (open lock).
+    AtRisk,
+}
+
+/// Public mirror of the suppression reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuppressReasonPub {
+    /// Inside a mix-zone (static, or an on-demand zone cooling down —
+    /// including the one just activated to unlink this very user).
+    MixZone,
+    /// Risk policy: generalization and unlinking both failed and the user
+    /// profile says suppress.
+    RiskPolicy,
+}
+
+/// The Trusted Server of the paper's service model (Fig. 1).
+///
+/// "User sensitive information, including user location at specific times
+/// … is collected and handled by a Trusted Server. TS has the usual
+/// functionalities of a location server … Qualitative privacy preferences
+/// provided by each user are translated by the TS into specific
+/// parameters. The TS has also access to the location-based
+/// quasi-identifier specifications."
+pub struct TrustedServer {
+    config: TsConfig,
+    store: TrajectoryStore,
+    index: GridIndex,
+    users: BTreeMap<UserId, UserState>,
+    services: BTreeMap<ServiceId, Tolerance>,
+    mixzones: MixZoneManager,
+    randomizer: Option<Randomizer>,
+    log: EventLog,
+    outbox: Vec<(UserId, SpRequest)>,
+    /// msgid → issuer: the routing table that lets the TS forward service
+    /// answers without the provider ever learning a network address.
+    routes: BTreeMap<MsgId, UserId>,
+    next_msg: u64,
+    next_pseudonym: u64,
+}
+
+impl TrustedServer {
+    /// Creates an empty TS.
+    pub fn new(config: TsConfig) -> Self {
+        TrustedServer {
+            config,
+            store: TrajectoryStore::new(),
+            index: GridIndex::new(config.index),
+            users: BTreeMap::new(),
+            services: BTreeMap::new(),
+            mixzones: MixZoneManager::new(config.mixzone),
+            randomizer: config.randomize.map(Randomizer::new),
+            log: EventLog::new(),
+            outbox: Vec::new(),
+            routes: BTreeMap::new(),
+            next_msg: 0,
+            next_pseudonym: 0,
+        }
+    }
+
+    /// Registers a user with a privacy level; returns the initial
+    /// pseudonym.
+    ///
+    /// # Panics
+    /// If custom parameters fail validation, or the user already exists —
+    /// use [`TrustedServer::try_register_user`] where these are runtime
+    /// conditions rather than programming errors.
+    pub fn register_user(&mut self, user: UserId, level: PrivacyLevel) -> Pseudonym {
+        match self.try_register_user(user, level) {
+            Ok(p) => p,
+            Err(TsError::DuplicateUser(u)) => panic!("user {u} registered twice"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible registration (see [`TrustedServer::register_user`]).
+    pub fn try_register_user(
+        &mut self,
+        user: UserId,
+        level: PrivacyLevel,
+    ) -> Result<Pseudonym, TsError> {
+        let params = level.params();
+        if let Some(p) = &params {
+            p.validate().map_err(TsError::InvalidParams)?;
+        }
+        if self.users.contains_key(&user) {
+            return Err(TsError::DuplicateUser(user));
+        }
+        let pseudonym = self.fresh_pseudonym();
+        self.users.insert(
+            user,
+            UserState {
+                pseudonym,
+                params,
+                overrides: BTreeMap::new(),
+                monitors: Vec::new(),
+                patterns: Vec::new(),
+                at_risk: false,
+            },
+        );
+        self.store.ensure_user(user);
+        Ok(pseudonym)
+    }
+
+    /// Attaches an LBQID to a user ("the TS has also access to the
+    /// location-based quasi-identifier specifications").
+    ///
+    /// # Panics
+    /// If the user is unknown — use [`TrustedServer::try_add_lbqid`]
+    /// otherwise.
+    pub fn add_lbqid(&mut self, user: UserId, lbqid: Lbqid) {
+        self.try_add_lbqid(user, lbqid).expect("unknown user");
+    }
+
+    /// Fallible variant of [`TrustedServer::add_lbqid`].
+    pub fn try_add_lbqid(&mut self, user: UserId, lbqid: Lbqid) -> Result<(), TsError> {
+        let st = self
+            .users
+            .get_mut(&user)
+            .ok_or(TsError::UnknownUser(user))?;
+        st.monitors.push(Monitor::new(lbqid));
+        st.patterns.push(PatternState::default());
+        Ok(())
+    }
+
+    /// Sets a per-service privacy override for a user — Section 3: "the
+    /// user choice may be applied uniformly to all services or
+    /// selectively". `PrivacyLevel::Off` disables protection for that
+    /// service only; any other level applies its parameters there while
+    /// the rest of the user's traffic keeps the registration-time level.
+    pub fn set_service_privacy(
+        &mut self,
+        user: UserId,
+        service: ServiceId,
+        level: PrivacyLevel,
+    ) -> Result<(), TsError> {
+        let params = level.params();
+        if let Some(p) = &params {
+            p.validate().map_err(TsError::InvalidParams)?;
+        }
+        let state = self
+            .users
+            .get_mut(&user)
+            .ok_or(TsError::UnknownUser(user))?;
+        state.overrides.insert(service, params);
+        Ok(())
+    }
+
+    /// Registers a service's tolerance constraints.
+    pub fn register_service(&mut self, service: ServiceId, tolerance: Tolerance) {
+        self.services.insert(service, tolerance);
+    }
+
+    /// Adds a static mix-zone.
+    pub fn add_static_mixzone(&mut self, zone: Rect) {
+        self.mixzones.add_static_zone(zone);
+    }
+
+    /// Ingests a location update (the positioning infrastructure reports
+    /// these whether or not the user makes requests).
+    ///
+    /// Crossing *into* a static mix-zone unlinks the user on the spot —
+    /// the Beresford–Stajano behaviour the paper imports: "if an
+    /// individual crosses it, then it won't be possible to link his
+    /// future positions (outside the area) with known positions (before
+    /// entering the area)". Only protected users participate; users with
+    /// privacy off keep their pseudonym.
+    pub fn location_update(&mut self, user: UserId, at: StPoint) {
+        let entering = self.mixzones.in_static_zone(&at.pos)
+            && self
+                .store
+                .phl(user)
+                .and_then(|p| p.last())
+                .is_some_and(|prev| !self.mixzones.in_static_zone(&prev.pos));
+        self.store.record(user, at);
+        self.index.insert(user, at);
+        if entering && self.users.get(&user).is_some_and(|s| s.params.is_some()) {
+            self.change_pseudonym(user, at);
+        }
+    }
+
+    /// Handles a service request issued by `user` from the exact context
+    /// `at` — the Section-6.1 strategy.
+    ///
+    /// # Panics
+    /// If the user is unknown — use [`TrustedServer::try_handle_request`]
+    /// otherwise.
+    pub fn handle_request(&mut self, user: UserId, at: StPoint, service: ServiceId) -> RequestOutcome {
+        match self.try_handle_request(user, at, service) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`TrustedServer::handle_request`].
+    pub fn try_handle_request(
+        &mut self,
+        user: UserId,
+        at: StPoint,
+        service: ServiceId,
+    ) -> Result<RequestOutcome, TsError> {
+        if !self.users.contains_key(&user) {
+            return Err(TsError::UnknownUser(user));
+        }
+        // The request instant is part of the PHL ("for each request r_i
+        // there must be an element in the PHL of User(r_i)").
+        let already_recorded = self
+            .store
+            .phl(user)
+            .and_then(|p| p.last())
+            .is_some_and(|p| *p == at);
+        if !already_recorded {
+            self.location_update(user, at);
+        }
+
+        let tolerance = *self
+            .services
+            .get(&service)
+            .unwrap_or(&self.config.default_tolerance);
+
+        let state = self.users.get(&user).expect("checked above");
+        let Some(params) = state.params_for(service) else {
+            // Privacy off (for this service): forward the exact context.
+            return Ok(self.forward(user, at, StBox::point(at), service, false, true));
+        };
+
+        // Mix-zone suppression (static zones and cooling on-demand zones).
+        if self.mixzones.suppressed_at(&at) {
+            self.log.push(TsEvent::Suppressed {
+                user,
+                at: at.t,
+                reason: SuppressReason::MixZone,
+            });
+            return Ok(RequestOutcome::Suppressed(SuppressReasonPub::MixZone));
+        }
+
+        // LBQID monitoring: the first pattern that recognizes the request
+        // claims it (the paper's simplifying assumption: "each request can
+        // match an element in only one of the LBQIDs").
+        let state = self.users.get_mut(&user).expect("checked above");
+        let mut hit: Option<(usize, hka_lbqid::MatchEvent)> = None;
+        for (mi, monitor) in state.monitors.iter_mut().enumerate() {
+            if let Some(ev) = monitor.observe(at) {
+                hit = Some((mi, ev));
+                break;
+            }
+        }
+
+        let Some((mi, ev)) = hit else {
+            // Not part of any quasi-identifier: forward exactly.
+            return Ok(self.forward(user, at, StBox::point(at), service, false, true));
+        };
+
+        if ev.full_match {
+            let name = state.monitors[mi].lbqid().name().to_owned();
+            self.log.push(TsEvent::LbqidMatched {
+                user,
+                at: at.t,
+                lbqid: name,
+            });
+        }
+
+        // Generalize with Algorithm 1.
+        let (gen, step) = {
+            let pattern = &self.users[&user].patterns[mi];
+            if pattern.selected.is_empty() {
+                let k0 = params.k_at_step(0);
+                (algorithm1_first(&self.index, &at, user, k0, &tolerance), 0)
+            } else {
+                let step = pattern.step;
+                let k_eff = params.k_at_step(step);
+                (
+                    algorithm1_subsequent(
+                        &self.store,
+                        &at,
+                        &pattern.selected,
+                        k_eff,
+                        &tolerance,
+                        &self.config.index.scale,
+                    ),
+                    step,
+                )
+            }
+        };
+
+        if gen.hk_anonymity {
+            let state = self.users.get_mut(&user).expect("checked above");
+            let pattern = &mut state.patterns[mi];
+            pattern.selected = gen.selected.clone();
+            pattern.step = step + 1;
+            pattern.contexts.push(gen.context);
+            return Ok(self.forward(user, at, gen.context, service, true, true));
+        }
+
+        // Generalization failed: try to unlink (Section 6.1 step 2).
+        match self.mixzones.try_unlink(&self.store, user, &at, params.k) {
+            UnlinkDecision::Unlinked { .. } => {
+                self.change_pseudonym(user, at);
+                // The request itself falls inside the just-activated zone:
+                // service is interrupted while the crowd mixes.
+                self.log.push(TsEvent::Suppressed {
+                    user,
+                    at: at.t,
+                    reason: SuppressReason::MixZone,
+                });
+                Ok(RequestOutcome::Suppressed(SuppressReasonPub::MixZone))
+            }
+            UnlinkDecision::Infeasible { .. } => {
+                // "The user is considered at risk of identification, and
+                // notified about it."
+                let name = {
+                    let state = self.users.get_mut(&user).expect("checked above");
+                    state.at_risk = true;
+                    state.monitors[mi].lbqid().name().to_owned()
+                };
+                self.log.push(TsEvent::AtRisk {
+                    user,
+                    at: at.t,
+                    lbqid: name,
+                });
+                match params.on_risk {
+                    RiskAction::Forward => {
+                        let state = self.users.get_mut(&user).expect("checked above");
+                        let pattern = &mut state.patterns[mi];
+                        pattern.selected = gen.selected.clone();
+                        pattern.step = step + 1;
+                        pattern.contexts.push(gen.context);
+                        Ok(self.forward(user, at, gen.context, service, true, false))
+                    }
+                    RiskAction::Suppress => {
+                        self.log.push(TsEvent::Suppressed {
+                            user,
+                            at: at.t,
+                            reason: SuppressReason::RiskPolicy,
+                        });
+                        Ok(RequestOutcome::Suppressed(SuppressReasonPub::RiskPolicy))
+                    }
+                }
+            }
+        }
+    }
+
+    fn forward(
+        &mut self,
+        user: UserId,
+        at: StPoint,
+        context: StBox,
+        service: ServiceId,
+        generalized: bool,
+        hk_ok: bool,
+    ) -> RequestOutcome {
+        debug_assert!(context.contains(&at), "context must cover the true point");
+        let pseudonym = self.users[&user].pseudonym;
+        let msg_id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        // Anti-inference randomization (Conclusions: "randomization should
+        // be used as part of the TS strategy"): only generalized contexts
+        // are perturbed — exact contexts belong to users who opted out.
+        let context = match (&self.randomizer, generalized) {
+            (Some(rz), true) => {
+                let tolerance = *self
+                    .services
+                    .get(&service)
+                    .unwrap_or(&self.config.default_tolerance);
+                rz.randomize(&context, &at, msg_id.0, &tolerance)
+            }
+            _ => context,
+        };
+        let req = SpRequest::new(msg_id, pseudonym, context, service);
+        self.outbox.push((user, req.clone()));
+        self.routes.insert(msg_id, user);
+        self.log.push(TsEvent::Forwarded {
+            user,
+            at: at.t,
+            context,
+            generalized,
+            hk_ok,
+        });
+        RequestOutcome::Forwarded(req)
+    }
+
+    /// Changes a user's pseudonym and resets all pattern state: "if
+    /// unlinking succeeds … all partially matched patterns based on old
+    /// pseudonym for that user are reset."
+    fn change_pseudonym(&mut self, user: UserId, at: StPoint) {
+        let new = self.fresh_pseudonym();
+        let state = self.users.get_mut(&user).expect("unknown user");
+        let old = state.pseudonym;
+        state.pseudonym = new;
+        for m in &mut state.monitors {
+            m.reset();
+        }
+        for p in &mut state.patterns {
+            *p = PatternState::default();
+        }
+        state.at_risk = false;
+        self.log.push(TsEvent::PseudonymChanged {
+            user,
+            old,
+            new,
+            at: at.t,
+        });
+    }
+
+    fn fresh_pseudonym(&mut self) -> Pseudonym {
+        let p = Pseudonym(self.next_pseudonym);
+        self.next_pseudonym += 1;
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for audits and experiments.
+    // ------------------------------------------------------------------
+
+    /// Routes a provider's answer back to the issuing user — "the msgid
+    /// is used to hide the user network address and will be used by the
+    /// TS to forward the answer to the user's device" (Section 3).
+    /// Returns the recipient, or `None` for unknown message ids.
+    pub fn route_response(&self, msg_id: MsgId) -> Option<UserId> {
+        self.routes.get(&msg_id).copied()
+    }
+
+    /// The user's current pseudonym.
+    pub fn pseudonym_of(&self, user: UserId) -> Option<Pseudonym> {
+        self.users.get(&user).map(|s| s.pseudonym)
+    }
+
+    /// Whether the user has an unresolved at-risk notification.
+    pub fn is_at_risk(&self, user: UserId) -> bool {
+        self.users.get(&user).is_some_and(|s| s.at_risk)
+    }
+
+    /// The lock-style indicator to show the user, or `None` for unknown
+    /// users.
+    pub fn privacy_indicator(&self, user: UserId) -> Option<PrivacyIndicator> {
+        let state = self.users.get(&user)?;
+        Some(if state.params.is_none() {
+            PrivacyIndicator::Off
+        } else if state.at_risk {
+            PrivacyIndicator::AtRisk
+        } else {
+            PrivacyIndicator::Locked
+        })
+    }
+
+    /// The trajectory database (PHLs of all users).
+    pub fn store(&self) -> &TrajectoryStore {
+        &self.store
+    }
+
+    /// The spatio-temporal index.
+    pub fn index(&self) -> &GridIndex {
+        &self.index
+    }
+
+    /// The decision log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Everything forwarded to providers, with ground-truth issuers (for
+    /// experiment evaluation only — a real SP sees just the requests).
+    pub fn outbox(&self) -> &[(UserId, SpRequest)] {
+        &self.outbox
+    }
+
+    /// Provider view: the bare request stream.
+    pub fn provider_view(&self) -> Vec<SpRequest> {
+        self.outbox.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// For each of the user's LBQIDs: the pattern name, whether it has
+    /// been fully matched under the current pseudonym, and the audited
+    /// historical k-anonymity of the generalized contexts forwarded for it.
+    pub fn audit_patterns(&self, user: UserId, k: usize) -> Vec<(String, bool, HkOutcome)> {
+        let Some(state) = self.users.get(&user) else {
+            return Vec::new();
+        };
+        state
+            .monitors
+            .iter()
+            .zip(&state.patterns)
+            .map(|(m, p)| {
+                (
+                    m.lbqid().name().to_owned(),
+                    m.is_fully_matched(),
+                    historical_k_anonymity(&self.store, user, &p.contexts, k),
+                )
+            })
+            .collect()
+    }
+
+    /// Replays an attacker's linking technique over everything forwarded
+    /// so far (Section 5.2: "we assume the TS can replicate the
+    /// techniques used by a possible attacker") and reports, per user
+    /// that has held more than one pseudonym, the **maximum linkability
+    /// between requests issued under different pseudonyms**. Values below
+    /// the user's Θ mean past unlinkings hold against this attacker;
+    /// values at or above Θ identify pseudonym changes an SP could chain
+    /// back together.
+    pub fn unlink_audit<L: hka_anonymity::Linker + ?Sized>(
+        &self,
+        linker: &L,
+    ) -> Vec<(UserId, f64)> {
+        let mut by_user: BTreeMap<UserId, Vec<&SpRequest>> = BTreeMap::new();
+        for (u, r) in &self.outbox {
+            by_user.entry(*u).or_default().push(r);
+        }
+        let mut out = Vec::new();
+        for (user, reqs) in by_user {
+            let pseudonyms: std::collections::BTreeSet<Pseudonym> =
+                reqs.iter().map(|r| r.pseudonym).collect();
+            if pseudonyms.len() < 2 {
+                continue;
+            }
+            let mut worst = 0.0f64;
+            for i in 0..reqs.len() {
+                for j in (i + 1)..reqs.len() {
+                    if reqs[i].pseudonym != reqs[j].pseudonym {
+                        worst = worst.max(linker.link(reqs[i], reqs[j]));
+                    }
+                }
+            }
+            out.push((user, worst));
+        }
+        out
+    }
+
+    /// The generalized contexts forwarded for each of the user's patterns
+    /// under the current pseudonym.
+    pub fn pattern_contexts(&self, user: UserId) -> Vec<(String, Vec<StBox>)> {
+        let Some(state) = self.users.get(&user) else {
+            return Vec::new();
+        };
+        state
+            .monitors
+            .iter()
+            .zip(&state.patterns)
+            .map(|(m, p)| (m.lbqid().name().to_owned(), p.contexts.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::{SpaceTimeScale, TimeSec};
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    fn ts() -> TrustedServer {
+        TrustedServer::new(TsConfig {
+            index: GridIndexConfig {
+                cell_size: 100.0,
+                cell_duration: 300,
+                scale: SpaceTimeScale::new(1.0),
+            },
+            default_tolerance: Tolerance::new(1e8, 7_200),
+            mixzone: MixZoneConfig::default(),
+            randomize: None,
+        })
+    }
+
+    const SVC: ServiceId = ServiceId(0);
+
+    #[test]
+    fn privacy_off_forwards_exact() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Off);
+        let at = sp(10.0, 10.0, 100);
+        match s.handle_request(UserId(1), at, SVC) {
+            RequestOutcome::Forwarded(req) => {
+                assert_eq!(req.context, StBox::point(at));
+                assert!(req.covers(&at));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.log().stats().forwarded_exact, 1);
+    }
+
+    #[test]
+    fn request_points_enter_the_phl() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Off);
+        s.handle_request(UserId(1), sp(10.0, 10.0, 100), SVC);
+        assert_eq!(s.store().phl(UserId(1)).unwrap().len(), 1);
+        // Repeated identical last point is not double-recorded.
+        s.location_update(UserId(1), sp(11.0, 10.0, 200));
+        s.handle_request(UserId(1), sp(11.0, 10.0, 200), SVC);
+        assert_eq!(s.store().phl(UserId(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn non_pattern_requests_stay_exact_even_with_privacy() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Medium);
+        // No LBQIDs registered: nothing to protect.
+        let at = sp(10.0, 10.0, 100);
+        match s.handle_request(UserId(1), at, SVC) {
+            RequestOutcome::Forwarded(req) => assert_eq!(req.context, StBox::point(at)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Builds a TS with a crowd of `n` co-located users around the origin
+    /// so Algorithm 1 can find neighbours.
+    fn ts_with_crowd(n: u64) -> TrustedServer {
+        let mut s = ts();
+        for u in 100..100 + n {
+            s.register_user(UserId(u), PrivacyLevel::Off);
+            for t in 0..10 {
+                s.location_update(
+                    UserId(u),
+                    sp(5.0 * (u - 100) as f64, 3.0 * t as f64, 50 * t),
+                );
+            }
+        }
+        s
+    }
+
+    fn one_shot_pattern() -> Lbqid {
+        hka_lbqid::parse_lbqid(
+            "lbqid clinic { element area(-50, -50, 50, 50) window(00:00, 23:59); }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pattern_requests_are_generalized() {
+        let mut s = ts_with_crowd(10);
+        s.register_user(UserId(1), PrivacyLevel::Low);
+        s.add_lbqid(UserId(1), one_shot_pattern());
+        let at = sp(0.0, 0.0, 100);
+        match s.handle_request(UserId(1), at, SVC) {
+            RequestOutcome::Forwarded(req) => {
+                assert!(req.context.area() > 0.0, "context must be generalized");
+                assert!(req.covers(&at));
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = s.log().stats();
+        assert_eq!(stats.generalized(), 1);
+        assert_eq!(stats.forwarded_hk_ok, 1);
+        // The pattern is a one-element, once-anywhere LBQID: matched.
+        let audits = s.audit_patterns(UserId(1), 2);
+        assert_eq!(audits.len(), 1);
+        let (name, matched, hk) = &audits[0];
+        assert_eq!(name, "clinic");
+        assert!(matched);
+        assert!(hk.satisfied, "witnesses: {:?}", hk.witnesses);
+    }
+
+    #[test]
+    fn generalized_context_covers_k_witnesses() {
+        let mut s = ts_with_crowd(10);
+        s.register_user(UserId(1), PrivacyLevel::Custom(PrivacyParams::fixed(4, 0.5)));
+        s.add_lbqid(UserId(1), one_shot_pattern());
+        let at = sp(0.0, 0.0, 100);
+        let RequestOutcome::Forwarded(req) = s.handle_request(UserId(1), at, SVC) else {
+            panic!("expected forward");
+        };
+        // At least 4 other users' PHLs cross the forwarded context.
+        let witnesses = s
+            .store()
+            .users_crossing(&req.context)
+            .into_iter()
+            .filter(|u| *u != UserId(1))
+            .count();
+        assert!(witnesses >= 4, "only {witnesses} witnesses");
+    }
+
+    #[test]
+    fn scarce_crowd_triggers_risk_path() {
+        // Nobody else around: generalization fails, unlinking infeasible.
+        let mut s = ts();
+        s.register_user(
+            UserId(1),
+            PrivacyLevel::Custom(PrivacyParams {
+                k: 3,
+                theta: 0.5,
+                k_init: 3,
+                k_decrement: 0,
+                on_risk: RiskAction::Suppress,
+            }),
+        );
+        s.add_lbqid(UserId(1), one_shot_pattern());
+        match s.handle_request(UserId(1), sp(0.0, 0.0, 100), SVC) {
+            RequestOutcome::Suppressed(SuppressReasonPub::RiskPolicy) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(s.is_at_risk(UserId(1)));
+        let stats = s.log().stats();
+        assert_eq!(stats.at_risk, 1);
+        assert_eq!(stats.suppressed_risk, 1);
+    }
+
+    #[test]
+    fn risk_forward_policy_still_forwards_clamped() {
+        let mut s = ts();
+        s.register_user(
+            UserId(1),
+            PrivacyLevel::Custom(PrivacyParams {
+                k: 3,
+                theta: 0.5,
+                k_init: 3,
+                k_decrement: 0,
+                on_risk: RiskAction::Forward,
+            }),
+        );
+        s.add_lbqid(UserId(1), one_shot_pattern());
+        let at = sp(0.0, 0.0, 100);
+        match s.handle_request(UserId(1), at, SVC) {
+            RequestOutcome::Forwarded(req) => assert!(req.covers(&at)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.log().stats().forwarded_hk_failed, 1);
+        assert!(s.is_at_risk(UserId(1)));
+    }
+
+    #[test]
+    fn unlink_changes_pseudonym_and_resets_patterns() {
+        // A crowd crossing the origin in diverging directions, but spread
+        // too wide for the tolerance: generalization fails, unlink works.
+        let mut s = TrustedServer::new(TsConfig {
+            index: GridIndexConfig {
+                cell_size: 100.0,
+                cell_duration: 300,
+                scale: SpaceTimeScale::new(1.0),
+            },
+            default_tolerance: Tolerance::new(10.0, 5), // brutally tight
+            mixzone: MixZoneConfig::default(),
+            randomize: None,
+        });
+        for (u, angle) in [(100u64, 0.0f64), (101, 1.6), (102, 3.1), (103, 4.7)] {
+            s.register_user(UserId(u), PrivacyLevel::Off);
+            s.location_update(
+                UserId(u),
+                sp(-60.0 * angle.cos(), -60.0 * angle.sin(), 40),
+            );
+            s.location_update(
+                UserId(u),
+                sp(-10.0 * angle.cos(), -10.0 * angle.sin(), 90),
+            );
+        }
+        s.register_user(UserId(1), PrivacyLevel::Custom(PrivacyParams::fixed(3, 0.5)));
+        s.add_lbqid(UserId(1), one_shot_pattern());
+        let before = s.pseudonym_of(UserId(1)).unwrap();
+        match s.handle_request(UserId(1), sp(0.0, 0.0, 100), SVC) {
+            RequestOutcome::Suppressed(SuppressReasonPub::MixZone) => {}
+            other => panic!("{other:?}"),
+        }
+        let after = s.pseudonym_of(UserId(1)).unwrap();
+        assert_ne!(before, after, "pseudonym must change");
+        let stats = s.log().stats();
+        assert_eq!(stats.pseudonym_changes, 1);
+        assert_eq!(stats.suppressed_mixzone, 1);
+        // Pattern state is reset.
+        assert!(s.pattern_contexts(UserId(1))[0].1.is_empty());
+        // Requests inside the active zone are suppressed for a while.
+        match s.handle_request(UserId(1), sp(5.0, 5.0, 200), SVC) {
+            RequestOutcome::Suppressed(SuppressReasonPub::MixZone) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn crossing_a_static_zone_unlinks_protected_users() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Medium);
+        s.register_user(UserId(2), PrivacyLevel::Off);
+        s.add_static_mixzone(Rect::from_bounds(100.0, 0.0, 200.0, 100.0));
+        let before = s.pseudonym_of(UserId(1)).unwrap();
+        let off_before = s.pseudonym_of(UserId(2)).unwrap();
+        // Walk both users through the zone.
+        for u in [1u64, 2] {
+            s.location_update(UserId(u), sp(50.0, 50.0, 10 + u as i64));
+            s.location_update(UserId(u), sp(150.0, 50.0, 60 + u as i64));
+            s.location_update(UserId(u), sp(250.0, 50.0, 120 + u as i64));
+        }
+        assert_ne!(s.pseudonym_of(UserId(1)).unwrap(), before, "protected user unlinked");
+        assert_eq!(s.pseudonym_of(UserId(2)).unwrap(), off_before, "opted-out user untouched");
+        assert_eq!(s.log().stats().pseudonym_changes, 1);
+        // Dwelling inside (no new crossing) does not churn pseudonyms.
+        let after = s.pseudonym_of(UserId(1)).unwrap();
+        s.location_update(UserId(1), sp(251.0, 50.0, 200));
+        s.location_update(UserId(1), sp(252.0, 50.0, 260));
+        assert_eq!(s.pseudonym_of(UserId(1)).unwrap(), after);
+    }
+
+    #[test]
+    fn static_zone_suppresses_requests() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Low);
+        s.add_static_mixzone(Rect::from_bounds(0.0, 0.0, 100.0, 100.0));
+        match s.handle_request(UserId(1), sp(50.0, 50.0, 10), SVC) {
+            RequestOutcome::Suppressed(SuppressReasonPub::MixZone) => {}
+            other => panic!("{other:?}"),
+        }
+        // Off-zone requests pass.
+        match s.handle_request(UserId(1), sp(500.0, 50.0, 20), SVC) {
+            RequestOutcome::Forwarded(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn outbox_hides_identity_but_keeps_ground_truth() {
+        let mut s = ts();
+        let pseudo = s.register_user(UserId(7), PrivacyLevel::Off);
+        s.handle_request(UserId(7), sp(1.0, 2.0, 3), SVC);
+        let (truth, req) = &s.outbox()[0];
+        assert_eq!(*truth, UserId(7));
+        assert_eq!(req.pseudonym, pseudo);
+        let view = s.provider_view();
+        assert_eq!(view.len(), 1);
+        assert_eq!(view[0].pseudonym, pseudo);
+    }
+
+    #[test]
+    fn service_specific_tolerance_is_used() {
+        let mut s = ts_with_crowd(10);
+        s.register_user(UserId(1), PrivacyLevel::Custom(PrivacyParams::fixed(5, 0.5)));
+        s.add_lbqid(UserId(1), one_shot_pattern());
+        // A service with zero tolerance: any generalization gets clamped.
+        let strict = ServiceId(9);
+        s.register_service(strict, Tolerance::new(0.0, 0));
+        let at = sp(0.0, 0.0, 100);
+        match s.handle_request(UserId(1), at, strict) {
+            // Generalization fails (area > 0 needed for 5 users), and in
+            // this crowd unlinking may or may not find diverging headings;
+            // either way no HK-ok forward can happen.
+            RequestOutcome::Forwarded(req) => {
+                assert_eq!(req.context, StBox::point(at));
+                assert_eq!(s.log().stats().forwarded_hk_failed, 1);
+            }
+            RequestOutcome::Suppressed(_) => {}
+        }
+    }
+
+    #[test]
+    fn privacy_indicator_follows_state() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Off);
+        s.register_user(UserId(2), PrivacyLevel::Medium);
+        assert_eq!(s.privacy_indicator(UserId(1)), Some(PrivacyIndicator::Off));
+        assert_eq!(s.privacy_indicator(UserId(2)), Some(PrivacyIndicator::Locked));
+        assert_eq!(s.privacy_indicator(UserId(9)), None);
+        // Drive user 3 into the at-risk state (nobody around, suppress).
+        s.register_user(
+            UserId(3),
+            PrivacyLevel::Custom(PrivacyParams {
+                k: 3,
+                theta: 0.5,
+                k_init: 3,
+                k_decrement: 0,
+                on_risk: RiskAction::Forward,
+            }),
+        );
+        s.add_lbqid(UserId(3), one_shot_pattern());
+        s.handle_request(UserId(3), sp(0.0, 0.0, 100), SVC);
+        assert_eq!(s.privacy_indicator(UserId(3)), Some(PrivacyIndicator::AtRisk));
+    }
+
+    #[test]
+    fn randomized_contexts_still_cover_and_grow() {
+        let mut cfg = TsConfig {
+            index: GridIndexConfig {
+                cell_size: 100.0,
+                cell_duration: 300,
+                scale: SpaceTimeScale::new(1.0),
+            },
+            default_tolerance: Tolerance::new(1e8, 7_200),
+            mixzone: MixZoneConfig::default(),
+            randomize: Some(crate::RandomizeConfig::default()),
+        };
+        let mut s = TrustedServer::new(cfg);
+        for u in 100..110u64 {
+            s.register_user(UserId(u), PrivacyLevel::Off);
+            for t in 0..10 {
+                s.location_update(
+                    UserId(u),
+                    sp(5.0 * (u - 100) as f64, 3.0 * t as f64, 50 * t),
+                );
+            }
+        }
+        s.register_user(UserId(1), PrivacyLevel::Low);
+        s.add_lbqid(UserId(1), one_shot_pattern());
+        let at = sp(0.0, 0.0, 100);
+        let RequestOutcome::Forwarded(req) = s.handle_request(UserId(1), at, SVC) else {
+            panic!("expected forward");
+        };
+        assert!(req.covers(&at), "randomized context must cover the point");
+        assert!(req.context.area() > 0.0);
+        // Determinism: the same run reproduces the same randomized box.
+        cfg.randomize = Some(crate::RandomizeConfig::default());
+        let mut s2 = TrustedServer::new(cfg);
+        for u in 100..110u64 {
+            s2.register_user(UserId(u), PrivacyLevel::Off);
+            for t in 0..10 {
+                s2.location_update(
+                    UserId(u),
+                    sp(5.0 * (u - 100) as f64, 3.0 * t as f64, 50 * t),
+                );
+            }
+        }
+        s2.register_user(UserId(1), PrivacyLevel::Low);
+        s2.add_lbqid(UserId(1), one_shot_pattern());
+        let RequestOutcome::Forwarded(req2) = s2.handle_request(UserId(1), at, SVC) else {
+            panic!("expected forward");
+        };
+        assert_eq!(req.context, req2.context);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Off);
+        s.register_user(UserId(1), PrivacyLevel::Off);
+    }
+
+    #[test]
+    fn fallible_api_reports_conditions() {
+        let mut s = ts();
+        assert_eq!(
+            s.try_handle_request(UserId(1), sp(0.0, 0.0, 0), SVC),
+            Err(TsError::UnknownUser(UserId(1)))
+        );
+        assert_eq!(
+            s.try_add_lbqid(UserId(1), one_shot_pattern()),
+            Err(TsError::UnknownUser(UserId(1)))
+        );
+        assert!(s.try_register_user(UserId(1), PrivacyLevel::Off).is_ok());
+        assert_eq!(
+            s.try_register_user(UserId(1), PrivacyLevel::Off),
+            Err(TsError::DuplicateUser(UserId(1)))
+        );
+        let bad = PrivacyLevel::Custom(PrivacyParams::fixed(0, 0.5));
+        assert!(matches!(
+            s.try_register_user(UserId(2), bad),
+            Err(TsError::InvalidParams(_))
+        ));
+        // Error type is displayable and std::error::Error.
+        let e: Box<dyn std::error::Error> = Box::new(TsError::UnknownUser(UserId(7)));
+        assert!(e.to_string().contains("u7"));
+    }
+
+    #[test]
+    fn selective_privacy_applies_per_service() {
+        let mut s = ts_with_crowd(10);
+        s.register_user(UserId(1), PrivacyLevel::Low);
+        s.add_lbqid(UserId(1), one_shot_pattern());
+        // Privacy off for service 7 only.
+        s.set_service_privacy(UserId(1), ServiceId(7), PrivacyLevel::Off)
+            .unwrap();
+        let at = sp(0.0, 0.0, 100);
+        // Pattern-matching request to the opted-out service: exact.
+        match s.handle_request(UserId(1), at, ServiceId(7)) {
+            RequestOutcome::Forwarded(req) => assert_eq!(req.context, StBox::point(at)),
+            other => panic!("{other:?}"),
+        }
+        // The same request shape to the default service: generalized.
+        let at2 = sp(0.0, 0.0, 200);
+        match s.handle_request(UserId(1), at2, SVC) {
+            RequestOutcome::Forwarded(req) => assert!(req.context.area() > 0.0),
+            other => panic!("{other:?}"),
+        }
+        // Unknown users are rejected.
+        assert_eq!(
+            s.set_service_privacy(UserId(99), SVC, PrivacyLevel::Off),
+            Err(TsError::UnknownUser(UserId(99)))
+        );
+    }
+
+    #[test]
+    fn responses_route_by_msgid_without_identity_leak() {
+        let mut s = ts();
+        s.register_user(UserId(5), PrivacyLevel::Off);
+        let RequestOutcome::Forwarded(req) = s.handle_request(UserId(5), sp(1.0, 1.0, 1), SVC)
+        else {
+            panic!("expected forward");
+        };
+        assert_eq!(s.route_response(req.msg_id), Some(UserId(5)));
+        assert_eq!(s.route_response(MsgId(9_999)), None);
+    }
+
+    #[test]
+    fn unlink_audit_reports_cross_pseudonym_linkability() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Medium);
+        s.register_user(UserId(2), PrivacyLevel::Off);
+        s.add_static_mixzone(Rect::from_bounds(100.0, 0.0, 200.0, 100.0));
+        // User 1 requests, crosses the zone (pseudonym change), requests
+        // again far away and much later.
+        s.handle_request(UserId(1), sp(50.0, 50.0, 10), SVC);
+        s.location_update(UserId(1), sp(150.0, 50.0, 600));
+        s.location_update(UserId(1), sp(250.0, 50.0, 1_200));
+        s.handle_request(UserId(1), sp(1_800.0, 50.0, 9_000), SVC);
+        // User 2 never changes pseudonym.
+        s.handle_request(UserId(2), sp(10.0, 10.0, 5), SVC);
+
+        let tracker = hka_anonymity::TrackerLinker::default();
+        let audit = s.unlink_audit(&tracker);
+        assert_eq!(audit.len(), 1, "only multi-pseudonym users are audited");
+        let (user, worst) = audit[0];
+        assert_eq!(user, UserId(1));
+        assert!((0.0..=1.0).contains(&worst));
+        // 1.5 km apart and 2+ hours later: the tracker cannot chain this.
+        assert!(worst < 0.5, "unlinking should hold, got {worst}");
+    }
+
+    #[test]
+    fn msg_ids_are_unique_and_increasing() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Off);
+        for t in 0..5 {
+            s.handle_request(UserId(1), sp(1.0, 1.0, t * 10), SVC);
+        }
+        let ids: Vec<u64> = s.provider_view().iter().map(|r| r.msg_id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

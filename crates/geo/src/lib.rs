@@ -1,0 +1,42 @@
+//! # hka-geo
+//!
+//! Spatio-temporal geometry primitives for the historical k-anonymity
+//! framework of Bettini, Wang and Jajodia (VLDB SDM 2005).
+//!
+//! The paper models user positions as points in two-dimensional space
+//! observed at discrete instants, service requests as *generalized*
+//! spatio-temporal contexts `⟨Area, TimeInterval⟩`, and the generalization
+//! algorithm (Algorithm 1) as a search for "the smallest 3D space
+//! (2D area + time)" containing a set of points. This crate provides those
+//! building blocks:
+//!
+//! * [`Point`] — a position in the plane (meters).
+//! * [`TimeSec`] — an absolute instant, integer seconds since the simulation
+//!   epoch (Monday 2000-01-03 00:00, chosen so weekday arithmetic is exact).
+//! * [`Rect`] — an axis-aligned closed rectangle (the paper's `Area`,
+//!   "possibly \[specified\] by a pair of intervals \[x1,x2\]\[y1,y2\]").
+//! * [`TimeInterval`] — a closed anchored interval `[t1, t2]`.
+//! * [`DayWindow`] — an *unanchored* time-of-day interval such as
+//!   `[7am, 9am]` ("an infinite set of intervals, one for each day").
+//! * [`StPoint`] / [`StBox`] — points and boxes in space–time, i.e. the 3D
+//!   objects Algorithm 1 manipulates.
+//! * [`SpaceTimeScale`] — the metric used to compare spatial and temporal
+//!   displacement when searching for "closest" 3D points.
+//!
+//! All geometry is deterministic and `Copy`; the trajectory index and the
+//! trusted server sit on top of it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metric;
+mod point;
+mod rect;
+mod stbox;
+mod time;
+
+pub use metric::SpaceTimeScale;
+pub use point::{angular_separation, Point};
+pub use rect::Rect;
+pub use stbox::{StBox, StPoint};
+pub use time::{DayWindow, Duration, TimeInterval, TimeSec, DAY, HOUR, MINUTE, WEEK};

@@ -1,0 +1,152 @@
+//! The space–time metric used for "closest 3D point" searches.
+
+use crate::{StBox, StPoint};
+
+/// Conversion rate between temporal and spatial displacement.
+///
+/// Algorithm 1 (line 2) asks for "the 3D point in \[a user's\] PHL closest
+/// to ⟨x, y, t⟩", but space (meters) and time (seconds) are incommensurable.
+/// Following the standard practice in moving-object databases, a scale
+/// `v` (meters per second) maps a time difference `Δt` to an equivalent
+/// spatial displacement `v·Δt`, yielding the metric
+///
+/// ```text
+/// d(a, b) = √(Δx² + Δy² + (v·Δt)²)
+/// ```
+///
+/// A natural choice for `v` is a typical user speed: two observations one
+/// minute apart then count as far apart as two simultaneous observations
+/// one minute of travel apart. `v = 0` degenerates to the purely spatial
+/// distance; a very large `v` makes time dominate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceTimeScale {
+    /// Meters of spatial displacement equivalent to one second.
+    pub meters_per_second: f64,
+}
+
+impl SpaceTimeScale {
+    /// Creates a scale with the given meters-per-second rate.
+    pub fn new(meters_per_second: f64) -> Self {
+        assert!(
+            meters_per_second.is_finite() && meters_per_second >= 0.0,
+            "scale must be finite and non-negative"
+        );
+        SpaceTimeScale { meters_per_second }
+    }
+
+    /// A walking-speed default (1.4 m/s), appropriate for pedestrian LBS.
+    pub fn walking() -> Self {
+        SpaceTimeScale::new(1.4)
+    }
+
+    /// An urban-driving default (10 m/s ≈ 36 km/h).
+    pub fn driving() -> Self {
+        SpaceTimeScale::new(10.0)
+    }
+
+    /// Squared space–time distance between two spatio-temporal points.
+    pub fn dist_sq(&self, a: &StPoint, b: &StPoint) -> f64 {
+        let dt = self.meters_per_second * (a.t - b.t) as f64;
+        a.pos.dist_sq(&b.pos) + dt * dt
+    }
+
+    /// Space–time distance between two spatio-temporal points.
+    pub fn dist(&self, a: &StPoint, b: &StPoint) -> f64 {
+        self.dist_sq(a, b).sqrt()
+    }
+
+    /// Squared space–time distance from a point to a box (`0` inside).
+    /// Used to prune grid cells during nearest-neighbour search.
+    pub fn dist_sq_to_box(&self, p: &StPoint, b: &StBox) -> f64 {
+        let spatial = b.rect.dist_sq_to(&p.pos);
+        let dt = if b.span.contains(p.t) {
+            0
+        } else if p.t < b.span.start() {
+            b.span.start() - p.t
+        } else {
+            p.t - b.span.end()
+        };
+        let dts = self.meters_per_second * dt as f64;
+        spatial + dts * dts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Point, Rect, TimeInterval, TimeSec};
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    #[test]
+    fn zero_scale_is_spatial_distance() {
+        let m = SpaceTimeScale::new(0.0);
+        assert_eq!(m.dist(&sp(0.0, 0.0, 0), &sp(3.0, 4.0, 99999)), 5.0);
+    }
+
+    #[test]
+    fn time_contributes_scaled() {
+        let m = SpaceTimeScale::new(2.0);
+        // Pure temporal displacement of 5s at 2 m/s → 10 m.
+        assert_eq!(m.dist(&sp(0.0, 0.0, 0), &sp(0.0, 0.0, 5)), 10.0);
+        // Mixed: 3-4-? triangle with 10 in the time axis.
+        let d = m.dist(&sp(0.0, 0.0, 0), &sp(3.0, 4.0, 5));
+        assert!((d - (25.0f64 + 100.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_is_symmetric_and_reflexive() {
+        let m = SpaceTimeScale::walking();
+        let a = sp(1.0, 2.0, 3);
+        let b = sp(-4.0, 5.0, 60);
+        assert_eq!(m.dist(&a, &b), m.dist(&b, &a));
+        assert_eq!(m.dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn box_distance_zero_inside() {
+        let m = SpaceTimeScale::new(1.0);
+        let b = StBox::new(
+            Rect::from_bounds(0.0, 0.0, 10.0, 10.0),
+            TimeInterval::new(TimeSec(0), TimeSec(100)),
+        );
+        assert_eq!(m.dist_sq_to_box(&sp(5.0, 5.0, 50), &b), 0.0);
+    }
+
+    #[test]
+    fn box_distance_combines_axes() {
+        let m = SpaceTimeScale::new(2.0);
+        let b = StBox::new(
+            Rect::from_bounds(0.0, 0.0, 10.0, 10.0),
+            TimeInterval::new(TimeSec(0), TimeSec(100)),
+        );
+        // 3 m east of the box, 4 s after it ends → √(9 + (2·4)²).
+        let d = m.dist_sq_to_box(&sp(13.0, 5.0, 104), &b);
+        assert!((d - (9.0 + 64.0)).abs() < 1e-12);
+        // Before the interval.
+        let d = m.dist_sq_to_box(&sp(5.0, 5.0, -3), &b);
+        assert!((d - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_distance_lower_bounds_point_distance() {
+        let m = SpaceTimeScale::walking();
+        let b = StBox::new(
+            Rect::from_bounds(0.0, 0.0, 10.0, 10.0),
+            TimeInterval::new(TimeSec(0), TimeSec(100)),
+        );
+        let q = sp(20.0, -5.0, 130);
+        for p in [sp(0.0, 0.0, 0), sp(10.0, 10.0, 100), sp(5.0, 5.0, 50)] {
+            assert!(b.contains(&p));
+            assert!(m.dist_sq_to_box(&q, &b) <= m.dist_sq(&q, &p) + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scale_rejected() {
+        let _ = SpaceTimeScale::new(-1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Planar points.
+
+use std::fmt;
+
+/// A position in the two-dimensional plane, in meters.
+///
+/// The paper represents user positions as pairs `⟨x, y⟩` "in bidimensional
+/// space"; the synthetic city used by the workload generator adopts a local
+/// Cartesian frame with the origin at the south-west corner.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed, e.g. nearest-neighbour search).
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance to `other`; the commuter model moves along a
+    /// rectilinear street grid, so travel times are L1-based.
+    pub fn manhattan_dist(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Linear interpolation: the point a fraction `f` of the way from `self`
+    /// to `other` (`f = 0` gives `self`, `f = 1` gives `other`).
+    pub fn lerp(&self, other: &Point, f: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * f,
+            self.y + (other.y - self.y) * f,
+        )
+    }
+
+    /// Component-wise midpoint.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Translates the point by `(dx, dy)`.
+    pub fn translate(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Returns `true` when both coordinates are finite (no NaN/∞); all
+    /// public constructors in the higher layers assert this.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// The angle (radians, in `(-π, π]`) of the vector from `self` to
+    /// `other`. Used by the on-demand mix-zone search to measure how much
+    /// two users' post-zone trajectories diverge.
+    pub fn bearing_to(&self, other: &Point) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// Absolute difference of two angles, folded into `[0, π]`.
+///
+/// `angular_separation(a, b)` is the smallest rotation carrying the
+/// direction `a` onto `b`; two trajectories are "diverging" in the paper's
+/// on-demand mix-zone sense when this separation is large.
+pub fn angular_separation(a: f64, b: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut d = (a - b).rem_euclid(two_pi);
+    if d > std::f64::consts::PI {
+        d = two_pi - d;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn dist_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new(-2.5, 7.0);
+        let b = Point::new(10.0, -1.0);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn manhattan_dominates_euclidean() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!(a.manhattan_dist(&b) >= a.dist(&b));
+        assert_eq!(a.manhattan_dist(&b), 7.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 10.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.midpoint(&b), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn translate_moves_coordinates() {
+        let p = Point::new(1.0, 2.0).translate(-1.0, 3.0);
+        assert_eq!(p, Point::new(0.0, 5.0));
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = Point::ORIGIN;
+        assert_eq!(o.bearing_to(&Point::new(1.0, 0.0)), 0.0);
+        assert!((o.bearing_to(&Point::new(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((o.bearing_to(&Point::new(-1.0, 0.0)) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_separation_folds() {
+        assert!((angular_separation(0.0, PI) - PI).abs() < 1e-12);
+        assert!((angular_separation(-3.0, 3.0) - (std::f64::consts::TAU - 6.0)).abs() < 1e-12);
+        assert_eq!(angular_separation(1.25, 1.25), 0.0);
+    }
+
+    #[test]
+    fn non_finite_detected() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,222 @@
+//! Points and boxes in space–time.
+
+use crate::{Duration, Point, Rect, TimeInterval, TimeSec};
+use std::fmt;
+
+/// A spatio-temporal point `⟨x, y, t⟩` — one element of a Personal History
+/// of Locations (paper Definition 6) and the exact context of a request as
+/// seen by the trusted server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StPoint {
+    /// Position in the plane.
+    pub pos: Point,
+    /// Instant of observation.
+    pub t: TimeSec,
+}
+
+impl StPoint {
+    /// Creates `⟨x, y, t⟩`.
+    pub fn new(pos: Point, t: TimeSec) -> Self {
+        StPoint { pos, t }
+    }
+
+    /// Convenience constructor from raw coordinates.
+    pub fn xyt(x: f64, y: f64, t: TimeSec) -> Self {
+        StPoint {
+            pos: Point::new(x, y),
+            t,
+        }
+    }
+}
+
+impl fmt::Display for StPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.pos, self.t)
+    }
+}
+
+/// A box in space–time: the paper's generalized context
+/// `⟨Area, TimeInterval⟩`, and the "3D space (2D area + time)" manipulated
+/// by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StBox {
+    /// Spatial extent.
+    pub rect: Rect,
+    /// Temporal extent.
+    pub span: TimeInterval,
+}
+
+impl StBox {
+    /// Creates a box from a rectangle and a time interval.
+    pub fn new(rect: Rect, span: TimeInterval) -> Self {
+        StBox { rect, span }
+    }
+
+    /// The degenerate box containing exactly `p` — an un-generalized
+    /// request context.
+    pub fn point(p: StPoint) -> Self {
+        StBox {
+            rect: Rect::point(p.pos),
+            span: TimeInterval::instant(p.t),
+        }
+    }
+
+    /// Whether the box contains the spatio-temporal point `p`
+    /// (both extents are closed).
+    pub fn contains(&self, p: &StPoint) -> bool {
+        self.rect.contains(&p.pos) && self.span.contains(p.t)
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains_box(&self, other: &StBox) -> bool {
+        self.rect.contains_rect(&other.rect) && self.span.contains_interval(&other.span)
+    }
+
+    /// Whether the two boxes share at least one spatio-temporal point.
+    pub fn intersects(&self, other: &StBox) -> bool {
+        self.rect.intersects(&other.rect) && self.span.intersects(&other.span)
+    }
+
+    /// Smallest box containing both operands.
+    pub fn union(&self, other: &StBox) -> StBox {
+        StBox {
+            rect: self.rect.union(&other.rect),
+            span: self.span.union(&other.span),
+        }
+    }
+
+    /// Extends the box to cover `p`.
+    pub fn expand_to(&self, p: &StPoint) -> StBox {
+        StBox {
+            rect: self.rect.expand_to(&p.pos),
+            span: self.span.expand_to(p.t),
+        }
+    }
+
+    /// Minimum bounding box of a non-empty set of spatio-temporal points —
+    /// Algorithm 1 line 3: "Compute ⟨Area, TimeInterval⟩ as the smallest 3D
+    /// space containing these points". Returns `None` for an empty set.
+    pub fn mbb<'a, I: IntoIterator<Item = &'a StPoint>>(points: I) -> Option<StBox> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = StBox::point(*first);
+        for p in it {
+            b = b.expand_to(p);
+        }
+        Some(b)
+    }
+
+    /// Spatial area in m².
+    pub fn area(&self) -> f64 {
+        self.rect.area()
+    }
+
+    /// Temporal length in seconds.
+    pub fn duration(&self) -> Duration {
+        self.span.duration()
+    }
+
+    /// Space–time volume `area × duration` (m²·s). Used as a single scalar
+    /// measure of how much a request was generalized.
+    pub fn volume(&self) -> f64 {
+        self.area() * self.duration() as f64
+    }
+
+    /// Uniformly reduces the box around `pivot` so that it satisfies
+    /// `max_area` / `max_duration` (Algorithm 1 line 12). The pivot — the
+    /// true request point — always remains inside.
+    pub fn shrink_around(&self, pivot: &StPoint, max_area: f64, max_duration: Duration) -> StBox {
+        StBox {
+            rect: self.rect.shrink_around(&pivot.pos, max_area),
+            span: self.span.shrink_around(pivot.t, max_duration),
+        }
+    }
+}
+
+impl fmt::Display for StBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} × {}", self.rect, self.span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    #[test]
+    fn point_box_is_degenerate_and_contains_seed() {
+        let p = sp(3.0, 4.0, 100);
+        let b = StBox::point(p);
+        assert!(b.contains(&p));
+        assert_eq!(b.area(), 0.0);
+        assert_eq!(b.duration(), 0);
+        assert_eq!(b.volume(), 0.0);
+    }
+
+    #[test]
+    fn mbb_contains_all_inputs() {
+        let pts = [sp(0.0, 0.0, 0), sp(5.0, -1.0, 50), sp(2.0, 9.0, 20)];
+        let b = StBox::mbb(pts.iter()).unwrap();
+        for p in &pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.rect, Rect::from_bounds(0.0, -1.0, 5.0, 9.0));
+        assert_eq!(b.span, TimeInterval::new(TimeSec(0), TimeSec(50)));
+        assert!(StBox::mbb([].iter()).is_none());
+    }
+
+    #[test]
+    fn mbb_is_minimal() {
+        // Removing any face of the MBB loses a point: check via area/span.
+        let pts = [sp(0.0, 0.0, 0), sp(10.0, 10.0, 100)];
+        let b = StBox::mbb(pts.iter()).unwrap();
+        assert_eq!(b.area(), 100.0);
+        assert_eq!(b.duration(), 100);
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let b = StBox::new(
+            Rect::from_bounds(0.0, 0.0, 10.0, 10.0),
+            TimeInterval::new(TimeSec(0), TimeSec(100)),
+        );
+        let inner = StBox::new(
+            Rect::from_bounds(1.0, 1.0, 2.0, 2.0),
+            TimeInterval::new(TimeSec(10), TimeSec(20)),
+        );
+        assert!(b.contains_box(&inner));
+        assert!(b.intersects(&inner));
+        // Spatially overlapping but temporally disjoint boxes do not
+        // intersect in space–time.
+        let later = StBox::new(
+            Rect::from_bounds(1.0, 1.0, 2.0, 2.0),
+            TimeInterval::new(TimeSec(200), TimeSec(300)),
+        );
+        assert!(!b.intersects(&later));
+    }
+
+    #[test]
+    fn union_covers_operands() {
+        let a = StBox::point(sp(0.0, 0.0, 0));
+        let b = StBox::point(sp(4.0, 4.0, 40));
+        let u = a.union(&b);
+        assert!(u.contains_box(&a));
+        assert!(u.contains_box(&b));
+        assert_eq!(u.volume(), 16.0 * 40.0);
+    }
+
+    #[test]
+    fn shrink_around_meets_tolerances() {
+        let pts = [sp(0.0, 0.0, 0), sp(100.0, 100.0, 1000)];
+        let b = StBox::mbb(pts.iter()).unwrap();
+        let pivot = sp(30.0, 30.0, 300);
+        let s = b.shrink_around(&pivot, 400.0, 60);
+        assert!(s.area() <= 400.0 + 1e-9);
+        assert!(s.duration() <= 60);
+        assert!(s.contains(&pivot));
+    }
+}

@@ -1,0 +1,497 @@
+//! Instants, durations, anchored intervals and unanchored daily windows.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A signed span of time in whole seconds.
+pub type Duration = i64;
+
+/// One minute, in seconds.
+pub const MINUTE: Duration = 60;
+/// One hour, in seconds.
+pub const HOUR: Duration = 3_600;
+/// One day, in seconds.
+pub const DAY: Duration = 86_400;
+/// One (calendar) week, in seconds.
+pub const WEEK: Duration = 7 * DAY;
+
+/// An absolute instant: whole seconds since the simulation epoch.
+///
+/// The epoch is fixed at **Monday 2000-01-03 00:00 UTC**, so that
+/// `t.day_index() % 7 == 0` is a Monday. The granularity subsystem
+/// (`hka-granules`) builds its civil calendar on the same anchor, which
+/// keeps weekday and week arithmetic exact without any timezone machinery
+/// (the paper's model has a single trusted server clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeSec(pub i64);
+
+impl TimeSec {
+    /// The simulation epoch (Monday 2000-01-03 00:00).
+    pub const EPOCH: TimeSec = TimeSec(0);
+
+    /// Builds an instant from a day index and a second-of-day.
+    ///
+    /// `TimeSec::at(0, 7 * HOUR)` is 07:00 on the epoch Monday.
+    pub fn at(day: i64, second_of_day: Duration) -> Self {
+        TimeSec(day * DAY + second_of_day)
+    }
+
+    /// Builds an instant from hours/minutes on a given day.
+    pub fn at_hm(day: i64, hour: u32, minute: u32) -> Self {
+        TimeSec::at(day, i64::from(hour) * HOUR + i64::from(minute) * MINUTE)
+    }
+
+    /// The day index containing this instant (floor division, so negative
+    /// instants fall on negative days).
+    pub fn day_index(&self) -> i64 {
+        self.0.div_euclid(DAY)
+    }
+
+    /// Seconds elapsed since the most recent midnight, in `[0, 86400)`.
+    pub fn second_of_day(&self) -> Duration {
+        self.0.rem_euclid(DAY)
+    }
+
+    /// Signed distance `self - other` in seconds.
+    pub fn since(&self, other: TimeSec) -> Duration {
+        self.0 - other.0
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: TimeSec) -> TimeSec {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: TimeSec) -> TimeSec {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for TimeSec {
+    type Output = TimeSec;
+    fn add(self, rhs: Duration) -> TimeSec {
+        TimeSec(self.0 + rhs)
+    }
+}
+
+impl AddAssign<Duration> for TimeSec {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Duration> for TimeSec {
+    type Output = TimeSec;
+    fn sub(self, rhs: Duration) -> TimeSec {
+        TimeSec(self.0 - rhs)
+    }
+}
+
+impl Sub<TimeSec> for TimeSec {
+    type Output = Duration;
+    fn sub(self, rhs: TimeSec) -> Duration {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for TimeSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.second_of_day();
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            self.day_index(),
+            s / HOUR,
+            (s % HOUR) / MINUTE,
+            s % MINUTE
+        )
+    }
+}
+
+/// A closed, anchored time interval `[start, end]` (the paper's
+/// `TimeInterval` field of a generalized request).
+///
+/// Invariant: `start <= end`. A degenerate interval (`start == end`)
+/// represents an exact instant — the un-generalized case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeInterval {
+    start: TimeSec,
+    end: TimeSec,
+}
+
+impl TimeInterval {
+    /// Creates `[start, end]`, normalizing the order of the endpoints.
+    pub fn new(start: TimeSec, end: TimeSec) -> Self {
+        if start <= end {
+            TimeInterval { start, end }
+        } else {
+            TimeInterval {
+                start: end,
+                end: start,
+            }
+        }
+    }
+
+    /// The degenerate interval `[t, t]`.
+    pub fn instant(t: TimeSec) -> Self {
+        TimeInterval { start: t, end: t }
+    }
+
+    /// Left endpoint.
+    pub fn start(&self) -> TimeSec {
+        self.start
+    }
+
+    /// Right endpoint.
+    pub fn end(&self) -> TimeSec {
+        self.end
+    }
+
+    /// Length in seconds (`0` for an instant).
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Midpoint (rounded towards `start`).
+    pub fn midpoint(&self) -> TimeSec {
+        self.start + self.duration() / 2
+    }
+
+    /// Whether `t` lies inside the closed interval.
+    pub fn contains(&self, t: TimeSec) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains_interval(&self, other: &TimeInterval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two closed intervals share at least one instant.
+    pub fn intersects(&self, other: &TimeInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn union(&self, other: &TimeInterval) -> TimeInterval {
+        TimeInterval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Extends the interval to cover `t`.
+    pub fn expand_to(&self, t: TimeSec) -> TimeInterval {
+        TimeInterval {
+            start: self.start.min(t),
+            end: self.end.max(t),
+        }
+    }
+
+    /// Clips the interval to at most `max` seconds while keeping `pivot`
+    /// inside, shrinking both ends proportionally around it.
+    ///
+    /// This realizes line 12 of Algorithm 1 ("TimeInterval \[is\] uniformly
+    /// reduced to satisfy the tolerance constraints"): the result always
+    /// contains `pivot` (the true request instant must stay inside the
+    /// reported context) and has `duration() <= max`.
+    pub fn shrink_around(&self, pivot: TimeSec, max: Duration) -> TimeInterval {
+        debug_assert!(self.contains(pivot), "pivot must lie inside the interval");
+        let max = max.max(0);
+        if self.duration() <= max {
+            return *self;
+        }
+        let before = pivot - self.start;
+        let after = self.end - pivot;
+        let total = before + after;
+        // Distribute the allowed duration proportionally to the original
+        // excess on each side, rounding so the budget is never exceeded.
+        let new_before = if total == 0 { 0 } else { max * before / total };
+        let new_after = (max - new_before).min(after);
+        let new_before = new_before.min(before);
+        TimeInterval {
+            start: pivot - new_before,
+            end: pivot + new_after,
+        }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.start, self.end)
+    }
+}
+
+/// An *unanchored* time-of-day window, e.g. `[7am, 9am]`.
+///
+/// The paper (Definition 1) attaches to each LBQID element a
+/// `U-TimeInterval` that "does not identif\[y\] a specific time interval on
+/// the timeline, but an infinite set of intervals, one for each day".
+/// Windows may wrap midnight (`[22:00, 02:00]`), in which case an instant
+/// matches when it falls in either the late-evening or the early-morning
+/// part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DayWindow {
+    /// Window start, seconds after midnight, in `[0, 86400)`.
+    start: Duration,
+    /// Window end, seconds after midnight, in `[0, 86400)`.
+    end: Duration,
+}
+
+impl DayWindow {
+    /// Creates a window from seconds-after-midnight endpoints.
+    ///
+    /// Both endpoints are reduced modulo one day; `start > end` denotes a
+    /// window wrapping midnight.
+    pub fn new(start: Duration, end: Duration) -> Self {
+        DayWindow {
+            start: start.rem_euclid(DAY),
+            end: end.rem_euclid(DAY),
+        }
+    }
+
+    /// Convenience constructor from `(hour, minute)` pairs.
+    pub fn hm(start: (u32, u32), end: (u32, u32)) -> Self {
+        DayWindow::new(
+            i64::from(start.0) * HOUR + i64::from(start.1) * MINUTE,
+            i64::from(end.0) * HOUR + i64::from(end.1) * MINUTE,
+        )
+    }
+
+    /// The full-day window `[00:00, 24:00)`.
+    pub fn all_day() -> Self {
+        DayWindow {
+            start: 0,
+            end: DAY - 1,
+        }
+    }
+
+    /// Window start (seconds after midnight).
+    pub fn start(&self) -> Duration {
+        self.start
+    }
+
+    /// Window end (seconds after midnight).
+    pub fn end(&self) -> Duration {
+        self.end
+    }
+
+    /// Whether the window wraps midnight.
+    pub fn wraps(&self) -> bool {
+        self.start > self.end
+    }
+
+    /// Length of the window in seconds.
+    pub fn duration(&self) -> Duration {
+        if self.wraps() {
+            DAY - self.start + self.end
+        } else {
+            self.end - self.start
+        }
+    }
+
+    /// Whether the instant `t` falls inside (one of the anchorings of)
+    /// the window — Definition 2's "`t_i` is contained in one of the
+    /// intervals denoted by `U-TimeInterval_j`".
+    pub fn contains(&self, t: TimeSec) -> bool {
+        let s = t.second_of_day();
+        if self.wraps() {
+            s >= self.start || s <= self.end
+        } else {
+            (self.start..=self.end).contains(&s)
+        }
+    }
+
+    /// The concrete (anchored) interval this window denotes on the day
+    /// containing `t`, assuming `self.contains(t)`.
+    pub fn anchor_on(&self, t: TimeSec) -> TimeInterval {
+        let day = if self.wraps() && t.second_of_day() <= self.end {
+            // Early-morning part of a wrapping window: the window started
+            // on the previous day.
+            t.day_index() - 1
+        } else {
+            t.day_index()
+        };
+        let start = TimeSec::at(day, self.start);
+        let end = if self.wraps() {
+            TimeSec::at(day + 1, self.end)
+        } else {
+            TimeSec::at(day, self.end)
+        };
+        TimeInterval::new(start, end)
+    }
+}
+
+impl fmt::Display for DayWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_sod = |s: Duration| format!("{:02}:{:02}", s / HOUR, (s % HOUR) / MINUTE);
+        write!(f, "{}-{}", fmt_sod(self.start), fmt_sod(self.end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(TimeSec::EPOCH.day_index(), 0);
+        assert_eq!(TimeSec::EPOCH.second_of_day(), 0);
+    }
+
+    #[test]
+    fn at_hm_composes() {
+        let t = TimeSec::at_hm(3, 7, 30);
+        assert_eq!(t.day_index(), 3);
+        assert_eq!(t.second_of_day(), 7 * HOUR + 30 * MINUTE);
+    }
+
+    #[test]
+    fn negative_instants_floor_correctly() {
+        let t = TimeSec(-1);
+        assert_eq!(t.day_index(), -1);
+        assert_eq!(t.second_of_day(), DAY - 1);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = TimeSec::at(5, 1000);
+        assert_eq!((t + 500) - 500, t);
+        assert_eq!((t + 500) - t, 500);
+        assert_eq!(t.since(TimeSec::EPOCH), 5 * DAY + 1000);
+    }
+
+    #[test]
+    fn interval_normalizes_endpoints() {
+        let i = TimeInterval::new(TimeSec(10), TimeSec(2));
+        assert_eq!(i.start(), TimeSec(2));
+        assert_eq!(i.end(), TimeSec(10));
+        assert_eq!(i.duration(), 8);
+    }
+
+    #[test]
+    fn interval_containment_is_closed() {
+        let i = TimeInterval::new(TimeSec(2), TimeSec(10));
+        assert!(i.contains(TimeSec(2)));
+        assert!(i.contains(TimeSec(10)));
+        assert!(!i.contains(TimeSec(11)));
+        assert!(i.contains_interval(&TimeInterval::new(TimeSec(3), TimeSec(10))));
+        assert!(!i.contains_interval(&TimeInterval::new(TimeSec(3), TimeSec(11))));
+    }
+
+    #[test]
+    fn interval_intersection_touching_counts() {
+        let a = TimeInterval::new(TimeSec(0), TimeSec(5));
+        let b = TimeInterval::new(TimeSec(5), TimeSec(9));
+        let c = TimeInterval::new(TimeSec(6), TimeSec(9));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn union_and_expand() {
+        let a = TimeInterval::new(TimeSec(0), TimeSec(5));
+        let b = TimeInterval::new(TimeSec(8), TimeSec(9));
+        assert_eq!(a.union(&b), TimeInterval::new(TimeSec(0), TimeSec(9)));
+        assert_eq!(a.expand_to(TimeSec(-3)), TimeInterval::new(TimeSec(-3), TimeSec(5)));
+        assert_eq!(a.expand_to(TimeSec(3)), a);
+    }
+
+    #[test]
+    fn shrink_keeps_pivot_and_respects_budget() {
+        let i = TimeInterval::new(TimeSec(0), TimeSec(100));
+        let s = i.shrink_around(TimeSec(80), 10);
+        assert!(s.duration() <= 10);
+        assert!(s.contains(TimeSec(80)));
+        assert!(i.contains_interval(&s));
+    }
+
+    #[test]
+    fn shrink_noop_when_within_budget() {
+        let i = TimeInterval::new(TimeSec(0), TimeSec(10));
+        assert_eq!(i.shrink_around(TimeSec(5), 10), i);
+        assert_eq!(i.shrink_around(TimeSec(5), 1000), i);
+    }
+
+    #[test]
+    fn shrink_to_zero_collapses_to_pivot() {
+        let i = TimeInterval::new(TimeSec(0), TimeSec(100));
+        let s = i.shrink_around(TimeSec(33), 0);
+        assert_eq!(s, TimeInterval::instant(TimeSec(33)));
+    }
+
+    #[test]
+    fn shrink_pivot_at_edge() {
+        let i = TimeInterval::new(TimeSec(0), TimeSec(100));
+        let s = i.shrink_around(TimeSec(0), 10);
+        assert!(s.contains(TimeSec(0)));
+        assert!(s.duration() <= 10);
+        let s = i.shrink_around(TimeSec(100), 10);
+        assert!(s.contains(TimeSec(100)));
+        assert!(s.duration() <= 10);
+    }
+
+    #[test]
+    fn day_window_plain_containment() {
+        let w = DayWindow::hm((7, 0), (9, 0));
+        assert!(w.contains(TimeSec::at_hm(0, 7, 0)));
+        assert!(w.contains(TimeSec::at_hm(4, 8, 59)));
+        assert!(w.contains(TimeSec::at_hm(4, 9, 0)));
+        assert!(!w.contains(TimeSec::at_hm(4, 9, 1)));
+        assert!(!w.contains(TimeSec::at_hm(4, 6, 59)));
+        assert_eq!(w.duration(), 2 * HOUR);
+    }
+
+    #[test]
+    fn day_window_wrapping() {
+        let w = DayWindow::hm((22, 0), (2, 0));
+        assert!(w.wraps());
+        assert!(w.contains(TimeSec::at_hm(1, 23, 0)));
+        assert!(w.contains(TimeSec::at_hm(2, 1, 0)));
+        assert!(!w.contains(TimeSec::at_hm(2, 3, 0)));
+        assert_eq!(w.duration(), 4 * HOUR);
+    }
+
+    #[test]
+    fn anchor_plain_window() {
+        let w = DayWindow::hm((7, 0), (9, 0));
+        let t = TimeSec::at_hm(4, 8, 0);
+        let a = w.anchor_on(t);
+        assert_eq!(a.start(), TimeSec::at_hm(4, 7, 0));
+        assert_eq!(a.end(), TimeSec::at_hm(4, 9, 0));
+        assert!(a.contains(t));
+    }
+
+    #[test]
+    fn anchor_wrapping_window_evening_and_morning() {
+        let w = DayWindow::hm((22, 0), (2, 0));
+        let evening = TimeSec::at_hm(4, 23, 0);
+        let a = w.anchor_on(evening);
+        assert_eq!(a.start(), TimeSec::at_hm(4, 22, 0));
+        assert_eq!(a.end(), TimeSec::at_hm(5, 2, 0));
+        let morning = TimeSec::at_hm(5, 1, 0);
+        assert_eq!(w.anchor_on(morning), a);
+    }
+
+    #[test]
+    fn all_day_contains_everything() {
+        let w = DayWindow::all_day();
+        assert!(w.contains(TimeSec::at_hm(9, 0, 0)));
+        assert!(w.contains(TimeSec::at(9, DAY - 1)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TimeSec::at_hm(2, 7, 5).to_string(), "d2+07:05:00");
+        assert_eq!(DayWindow::hm((7, 0), (9, 30)).to_string(), "07:00-09:30");
+    }
+}

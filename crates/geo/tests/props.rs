@@ -1,0 +1,161 @@
+//! Property-based tests for the geometry substrate.
+
+use hka_geo::{
+    angular_separation, DayWindow, Point, Rect, SpaceTimeScale, StBox, StPoint, TimeInterval,
+    TimeSec, DAY,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_time() -> impl Strategy<Value = TimeSec> {
+    (-10_000_000i64..10_000_000).prop_map(TimeSec)
+}
+
+fn arb_stpoint() -> impl Strategy<Value = StPoint> {
+    (arb_point(), arb_time()).prop_map(|(p, t)| StPoint::new(p, t))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+fn arb_interval() -> impl Strategy<Value = TimeInterval> {
+    (arb_time(), arb_time()).prop_map(|(a, b)| TimeInterval::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn dist_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-6);
+    }
+
+    #[test]
+    fn dist_symmetry(a in arb_point(), b in arb_point()) {
+        prop_assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn lerp_stays_in_mbr(a in arb_point(), b in arb_point(), f in 0.0f64..1.0) {
+        let r = Rect::new(a, b).buffer(1e-9);
+        prop_assert!(r.contains(&a.lerp(&b, f)));
+    }
+
+    #[test]
+    fn rect_union_commutes_and_covers(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert_eq!(u, b.union(&a));
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn rect_intersection_inside_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn mbr_contains_all_points(pts in prop::collection::vec(arb_point(), 1..30)) {
+        let m = Rect::mbr(pts.iter()).unwrap();
+        for p in &pts {
+            prop_assert!(m.contains(p));
+        }
+        // Minimality: every face touches some point.
+        let eps = 1e-9;
+        prop_assert!(pts.iter().any(|p| (p.x - m.min().x).abs() < eps));
+        prop_assert!(pts.iter().any(|p| (p.x - m.max().x).abs() < eps));
+        prop_assert!(pts.iter().any(|p| (p.y - m.min().y).abs() < eps));
+        prop_assert!(pts.iter().any(|p| (p.y - m.max().y).abs() < eps));
+    }
+
+    #[test]
+    fn shrink_around_invariants(r in arb_rect(), fx in 0.0f64..=1.0, fy in 0.0f64..=1.0, max_area in 0.0f64..1e9) {
+        let pivot = Point::new(
+            r.min().x + fx * r.width(),
+            r.min().y + fy * r.height(),
+        );
+        let s = r.shrink_around(&pivot, max_area);
+        prop_assert!(s.area() <= max_area.max(0.0) * (1.0 + 1e-9) + 1e-9);
+        prop_assert!(s.buffer(1e-6).contains(&pivot));
+    }
+
+    #[test]
+    fn interval_shrink_invariants(i in arb_interval(), f in 0.0f64..=1.0, max in 0i64..100_000) {
+        let pivot = i.start() + ((i.duration() as f64) * f) as i64;
+        let s = i.shrink_around(pivot, max);
+        prop_assert!(s.duration() <= max);
+        prop_assert!(s.contains(pivot));
+        prop_assert!(i.contains_interval(&s));
+    }
+
+    #[test]
+    fn quadrants_cover_contained_points(r in arb_rect(), fx in 0.0f64..=1.0, fy in 0.0f64..=1.0) {
+        let p = Point::new(r.min().x + fx * r.width(), r.min().y + fy * r.height());
+        prop_assume!(r.contains(&p)); // guard against f64 rounding at the far edge
+        let q = r.quadrants()[r.quadrant_of(&p)];
+        prop_assert!(q.buffer(1e-9).contains(&p));
+    }
+
+    #[test]
+    fn stbox_mbb_contains_and_unions(pts in prop::collection::vec(arb_stpoint(), 1..30)) {
+        let b = StBox::mbb(pts.iter()).unwrap();
+        for p in &pts {
+            prop_assert!(b.contains(p));
+        }
+        // MBB equals the fold of unions of degenerate boxes.
+        let folded = pts
+            .iter()
+            .map(|p| StBox::point(*p))
+            .reduce(|acc, x| acc.union(&x))
+            .unwrap();
+        prop_assert_eq!(b, folded);
+    }
+
+    #[test]
+    fn st_metric_triangle(a in arb_stpoint(), b in arb_stpoint(), c in arb_stpoint(), v in 0.0f64..50.0) {
+        let m = SpaceTimeScale::new(v);
+        prop_assert!(m.dist(&a, &c) <= m.dist(&a, &b) + m.dist(&b, &c) + 1e-4);
+    }
+
+    #[test]
+    fn box_distance_is_lower_bound(p in arb_stpoint(), q in arb_stpoint(), r in arb_stpoint(), v in 0.0f64..50.0) {
+        let m = SpaceTimeScale::new(v);
+        let b = StBox::mbb([q, r].iter()).unwrap();
+        // Distance to the box never exceeds distance to any point inside.
+        prop_assert!(m.dist_sq_to_box(&p, &b) <= m.dist_sq(&p, &q) + 1e-6);
+        prop_assert!(m.dist_sq_to_box(&p, &b) <= m.dist_sq(&p, &r) + 1e-6);
+    }
+
+    #[test]
+    fn day_window_contains_iff_anchor_contains(
+        start in 0i64..DAY,
+        end in 0i64..DAY,
+        t in arb_time(),
+    ) {
+        let w = DayWindow::new(start, end);
+        if w.contains(t) {
+            prop_assert!(w.anchor_on(t).contains(t));
+        }
+    }
+
+    #[test]
+    fn day_window_duration_bounds(start in 0i64..DAY, end in 0i64..DAY) {
+        let w = DayWindow::new(start, end);
+        prop_assert!(w.duration() >= 0);
+        prop_assert!(w.duration() < DAY);
+    }
+
+    #[test]
+    fn angular_separation_range(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        let d = angular_separation(a, b);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&d));
+        prop_assert!((d - angular_separation(b, a)).abs() < 1e-9);
+    }
+}

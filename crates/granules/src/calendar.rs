@@ -1,0 +1,294 @@
+//! A proleptic Gregorian civil calendar anchored at the simulation epoch.
+//!
+//! The epoch (day index `0`, [`hka_geo::TimeSec::EPOCH`]) is **Monday
+//! 2000-01-03**. Day indices are signed, so dates before the epoch are
+//! representable. Conversions use Howard Hinnant's `civil_from_days` /
+//! `days_from_civil` algorithms, shifted from the Unix anchor by the fixed
+//! offset between 1970-01-01 and 2000-01-03 (10 959 days).
+//!
+//! The trusted server runs on a single clock (the paper's TS "knows the
+//! exact point and exact time when the user issued a request"), so a single
+//! civil calendar without timezones or leap seconds is sufficient.
+
+use hka_geo::TimeSec;
+
+/// Days between 1970-01-01 (Unix epoch) and 2000-01-03 (simulation epoch).
+const UNIX_TO_SIM_EPOCH_DAYS: i64 = 10_959;
+
+/// Day of the week, Monday-first (matching the epoch anchor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Weekday {
+    /// Monday (day index ≡ 0 mod 7).
+    Monday = 0,
+    /// Tuesday.
+    Tuesday = 1,
+    /// Wednesday.
+    Wednesday = 2,
+    /// Thursday.
+    Thursday = 3,
+    /// Friday.
+    Friday = 4,
+    /// Saturday.
+    Saturday = 5,
+    /// Sunday.
+    Sunday = 6,
+}
+
+impl Weekday {
+    /// All weekdays, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Builds a weekday from an index in `0..7` (0 = Monday).
+    pub fn from_index(i: i64) -> Weekday {
+        Weekday::ALL[i.rem_euclid(7) as usize]
+    }
+
+    /// `true` for Monday–Friday.
+    pub fn is_business_day(&self) -> bool {
+        (*self as u8) < 5
+    }
+
+    /// English name, capitalized ("Monday").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Weekday::Monday => "Monday",
+            Weekday::Tuesday => "Tuesday",
+            Weekday::Wednesday => "Wednesday",
+            Weekday::Thursday => "Thursday",
+            Weekday::Friday => "Friday",
+            Weekday::Saturday => "Saturday",
+            Weekday::Sunday => "Sunday",
+        }
+    }
+}
+
+/// A civil (proleptic Gregorian) date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CivilDate {
+    /// Calendar year (e.g. 2000).
+    pub year: i32,
+    /// Month in `1..=12`.
+    pub month: u8,
+    /// Day of month in `1..=31`.
+    pub day: u8,
+}
+
+impl CivilDate {
+    /// Creates a date; panics on out-of-range month/day combinations.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!(
+            day >= 1 && u32::from(day) <= days_in_month(year, month),
+            "day out of range: {year}-{month:02}-{day:02}"
+        );
+        CivilDate { year, month, day }
+    }
+}
+
+impl std::fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in the given month.
+pub fn days_in_month(year: i32, month: u8) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Converts a simulation day index to a civil date
+/// (Hinnant's `civil_from_days`, shifted to the simulation epoch).
+pub fn date_of_day(day_index: i64) -> CivilDate {
+    let z = day_index + UNIX_TO_SIM_EPOCH_DAYS + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    CivilDate {
+        year: (if m <= 2 { y + 1 } else { y }) as i32,
+        month: m as u8,
+        day: d as u8,
+    }
+}
+
+/// Converts a civil date to a simulation day index
+/// (Hinnant's `days_from_civil`, shifted to the simulation epoch).
+pub fn day_of_date(date: CivilDate) -> i64 {
+    let y = i64::from(date.year) - i64::from(date.month <= 2);
+    let m = i64::from(date.month);
+    let d = i64::from(date.day);
+    let era = y.div_euclid(400);
+    let yoe = y - era * 400; // [0, 399]
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468 - UNIX_TO_SIM_EPOCH_DAYS
+}
+
+/// Weekday of a simulation day index (day 0 is a Monday).
+pub fn weekday_of_day(day_index: i64) -> Weekday {
+    Weekday::from_index(day_index)
+}
+
+/// Weekday of an instant.
+pub fn weekday_of(t: TimeSec) -> Weekday {
+    weekday_of_day(t.day_index())
+}
+
+/// Months elapsed since the epoch month (2000-01 is month `0`; months
+/// before it are negative).
+pub fn month_index_of_day(day_index: i64) -> i64 {
+    let d = date_of_day(day_index);
+    (i64::from(d.year) - 2000) * 12 + i64::from(d.month) - 1
+}
+
+/// First simulation day of the given month index.
+pub fn month_start_day(month_index: i64) -> i64 {
+    let year = 2000 + month_index.div_euclid(12);
+    let month = month_index.rem_euclid(12) + 1;
+    day_of_date(CivilDate {
+        year: year as i32,
+        month: month as u8,
+        day: 1,
+    })
+}
+
+/// Year containing the given day (as a calendar year number).
+pub fn year_of_day(day_index: i64) -> i32 {
+    date_of_day(day_index).year
+}
+
+/// First simulation day of the given calendar year.
+pub fn year_start_day(year: i32) -> i64 {
+    day_of_date(CivilDate {
+        year,
+        month: 1,
+        day: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_2000_01_03_monday() {
+        assert_eq!(date_of_day(0), CivilDate::new(2000, 1, 3));
+        assert_eq!(weekday_of_day(0), Weekday::Monday);
+        assert_eq!(day_of_date(CivilDate::new(2000, 1, 3)), 0);
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2000-01-01 was a Saturday, two days before the epoch.
+        assert_eq!(day_of_date(CivilDate::new(2000, 1, 1)), -2);
+        assert_eq!(weekday_of_day(-2), Weekday::Saturday);
+        // 2000-02-29 existed (leap year).
+        assert_eq!(date_of_day(day_of_date(CivilDate::new(2000, 2, 29))).day, 29);
+        // 2004-07-04 was a Sunday.
+        let d = day_of_date(CivilDate::new(2004, 7, 4));
+        assert_eq!(weekday_of_day(d), Weekday::Sunday);
+        // 1999-12-31 (before epoch) was a Friday.
+        let d = day_of_date(CivilDate::new(1999, 12, 31));
+        assert_eq!(weekday_of_day(d), Weekday::Friday);
+    }
+
+    #[test]
+    fn roundtrip_over_a_wide_range() {
+        for day in (-400_000..400_000).step_by(997) {
+            let d = date_of_day(day);
+            assert_eq!(day_of_date(d), day, "roundtrip failed for {d}");
+        }
+    }
+
+    #[test]
+    fn consecutive_days_advance_dates() {
+        let mut prev = date_of_day(-500);
+        for day in -499..500 {
+            let cur = date_of_day(day);
+            assert!(cur > prev, "{cur} should follow {prev}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000)); // divisible by 400
+        assert!(!is_leap_year(1900)); // divisible by 100 only
+        assert!(is_leap_year(2004));
+        assert!(!is_leap_year(2001));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(2001, 2), 28);
+        assert_eq!(days_in_month(2001, 4), 30);
+        assert_eq!(days_in_month(2001, 12), 31);
+    }
+
+    #[test]
+    fn month_indices() {
+        assert_eq!(month_index_of_day(0), 0); // Jan 2000
+        assert_eq!(month_start_day(0), day_of_date(CivilDate::new(2000, 1, 1)));
+        assert_eq!(month_index_of_day(day_of_date(CivilDate::new(2000, 2, 1))), 1);
+        assert_eq!(month_index_of_day(day_of_date(CivilDate::new(2001, 1, 15))), 12);
+        assert_eq!(
+            month_index_of_day(day_of_date(CivilDate::new(1999, 12, 31))),
+            -1
+        );
+        // month_start_day is the inverse boundary of month_index_of_day.
+        for mi in -30..30 {
+            let start = month_start_day(mi);
+            assert_eq!(month_index_of_day(start), mi);
+            assert_eq!(month_index_of_day(start - 1), mi - 1);
+        }
+    }
+
+    #[test]
+    fn year_helpers() {
+        assert_eq!(year_of_day(0), 2000);
+        assert_eq!(year_start_day(2000), day_of_date(CivilDate::new(2000, 1, 1)));
+        assert_eq!(year_of_day(year_start_day(2003)), 2003);
+        assert_eq!(year_of_day(year_start_day(2003) - 1), 2002);
+    }
+
+    #[test]
+    fn weekday_helpers() {
+        assert!(Weekday::Friday.is_business_day());
+        assert!(!Weekday::Saturday.is_business_day());
+        assert_eq!(Weekday::from_index(7), Weekday::Monday);
+        assert_eq!(Weekday::from_index(-1), Weekday::Sunday);
+        assert_eq!(Weekday::Wednesday.name(), "Wednesday");
+        assert_eq!(weekday_of(TimeSec::at_hm(1, 12, 0)), Weekday::Tuesday);
+    }
+
+    #[test]
+    #[should_panic(expected = "day out of range")]
+    fn invalid_date_rejected() {
+        let _ = CivilDate::new(2001, 2, 29);
+    }
+}

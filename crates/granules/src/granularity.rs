@@ -1,0 +1,440 @@
+//! Time granularities.
+
+use crate::calendar;
+use crate::calendar::Weekday;
+use hka_geo::{TimeInterval, TimeSec, DAY, HOUR, MINUTE, WEEK};
+use std::fmt;
+use std::str::FromStr;
+
+/// Index of a granule within a granularity (signed; granule 0 contains or
+/// follows the epoch, negative granules precede it).
+pub type GranuleId = i64;
+
+/// A time granularity: a mapping from granule indices to non-overlapping
+/// intervals of the time line, possibly with gaps.
+///
+/// This realizes the notion the paper imports from Bettini–Jajodia–Wang
+/// (ref. \[3\]) to the extent its recurrence-formula syntax requires:
+///
+/// * uniform granularities (`Minutes`, `Hours`, `Days`, `Weeks`);
+/// * calendar granularities (`Months`, `Years`);
+/// * granularities with gaps — `Weekdays` (one granule per business day,
+///   none on weekends) and `SpecificWeekday` (e.g. *Mondays*, which the
+///   paper suggests for "same weekday for at least 3 weeks" patterns);
+/// * the user-defined `ConsecutiveDays(n)` blocks the paper mentions for
+///   "at least two consecutive days" patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One granule per minute.
+    Minutes,
+    /// One granule per hour.
+    Hours,
+    /// One granule per civil day.
+    Days,
+    /// One granule per *business* day (Mon–Fri); weekend instants belong
+    /// to no granule.
+    Weekdays,
+    /// One granule per Saturday/Sunday; business-day instants belong to no
+    /// granule.
+    WeekendDays,
+    /// One granule per calendar week (Monday through Sunday).
+    Weeks,
+    /// One granule per calendar month.
+    Months,
+    /// One granule per calendar year.
+    Years,
+    /// One granule per occurrence of the given weekday (granule `i` is that
+    /// weekday of week `i`); all other instants belong to no granule.
+    SpecificWeekday(Weekday),
+    /// Granules of `n` consecutive days tiling the time line from day 0.
+    ConsecutiveDays(u32),
+}
+
+impl Granularity {
+    /// The granule containing `t`, or `None` when `t` falls in a gap
+    /// (e.g. a Saturday under [`Granularity::Weekdays`]).
+    pub fn granule_of(&self, t: TimeSec) -> Option<GranuleId> {
+        match self {
+            Granularity::Minutes => Some(t.0.div_euclid(MINUTE)),
+            Granularity::Hours => Some(t.0.div_euclid(HOUR)),
+            Granularity::Days => Some(t.day_index()),
+            Granularity::Weekdays => {
+                let day = t.day_index();
+                let wd = day.rem_euclid(7);
+                if wd < 5 {
+                    // Five granules per week: week * 5 + weekday.
+                    Some(day.div_euclid(7) * 5 + wd)
+                } else {
+                    None
+                }
+            }
+            Granularity::WeekendDays => {
+                let day = t.day_index();
+                let wd = day.rem_euclid(7);
+                if wd >= 5 {
+                    Some(day.div_euclid(7) * 2 + (wd - 5))
+                } else {
+                    None
+                }
+            }
+            Granularity::Weeks => Some(t.0.div_euclid(WEEK)),
+            Granularity::Months => Some(calendar::month_index_of_day(t.day_index())),
+            Granularity::Years => Some(i64::from(calendar::year_of_day(t.day_index())) - 2000),
+            Granularity::SpecificWeekday(wd) => {
+                let day = t.day_index();
+                if day.rem_euclid(7) == *wd as i64 {
+                    Some(day.div_euclid(7))
+                } else {
+                    None
+                }
+            }
+            Granularity::ConsecutiveDays(n) => {
+                let n = i64::from(*n).max(1);
+                Some(t.day_index().div_euclid(n))
+            }
+        }
+    }
+
+    /// The closed time interval covered by granule `g`.
+    ///
+    /// `granule_of(t) == Some(g)` iff `granule_span(g).contains(t)`.
+    pub fn granule_span(&self, g: GranuleId) -> TimeInterval {
+        let day_span = |d: i64| TimeInterval::new(TimeSec::at(d, 0), TimeSec::at(d + 1, 0) - 1);
+        match self {
+            Granularity::Minutes => {
+                TimeInterval::new(TimeSec(g * MINUTE), TimeSec((g + 1) * MINUTE - 1))
+            }
+            Granularity::Hours => TimeInterval::new(TimeSec(g * HOUR), TimeSec((g + 1) * HOUR - 1)),
+            Granularity::Days => day_span(g),
+            Granularity::Weekdays => {
+                let week = g.div_euclid(5);
+                let wd = g.rem_euclid(5);
+                day_span(week * 7 + wd)
+            }
+            Granularity::WeekendDays => {
+                let week = g.div_euclid(2);
+                let wd = g.rem_euclid(2) + 5;
+                day_span(week * 7 + wd)
+            }
+            Granularity::Weeks => TimeInterval::new(TimeSec(g * WEEK), TimeSec((g + 1) * WEEK - 1)),
+            Granularity::Months => {
+                let start = calendar::month_start_day(g);
+                let end = calendar::month_start_day(g + 1);
+                TimeInterval::new(TimeSec::at(start, 0), TimeSec::at(end, 0) - 1)
+            }
+            Granularity::Years => {
+                let start = calendar::year_start_day((2000 + g) as i32);
+                let end = calendar::year_start_day((2001 + g) as i32);
+                TimeInterval::new(TimeSec::at(start, 0), TimeSec::at(end, 0) - 1)
+            }
+            Granularity::SpecificWeekday(wd) => day_span(g * 7 + *wd as i64),
+            Granularity::ConsecutiveDays(n) => {
+                let n = i64::from(*n).max(1);
+                TimeInterval::new(TimeSec::at(g * n, 0), TimeSec::at((g + 1) * n, 0) - 1)
+            }
+        }
+    }
+
+    /// Whether two instants fall in the same granule (false if either falls
+    /// in a gap). This is the temporal-constraint check the trusted server
+    /// performs between consecutive LBQID elements: a sequence observation
+    /// must complete within a single granule of the formula's first
+    /// granularity.
+    pub fn same_granule(&self, a: TimeSec, b: TimeSec) -> bool {
+        match (self.granule_of(a), self.granule_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Whether the closed interval `iv` lies entirely within one granule;
+    /// returns that granule if so.
+    pub fn covering_granule(&self, iv: &TimeInterval) -> Option<GranuleId> {
+        let g = self.granule_of(iv.start())?;
+        if self.granule_span(g).contains_interval(iv) {
+            Some(g)
+        } else {
+            None
+        }
+    }
+
+    /// An upper bound on the granule length in seconds (used by monitors
+    /// to expire stale partial matches).
+    pub fn max_span(&self) -> i64 {
+        match self {
+            Granularity::Minutes => MINUTE,
+            Granularity::Hours => HOUR,
+            Granularity::Days
+            | Granularity::Weekdays
+            | Granularity::WeekendDays
+            | Granularity::SpecificWeekday(_) => DAY,
+            Granularity::Weeks => WEEK,
+            Granularity::Months => 31 * DAY,
+            Granularity::Years => 366 * DAY,
+            Granularity::ConsecutiveDays(n) => i64::from(*n).max(1) * DAY,
+        }
+    }
+
+    /// Canonical name, as used in recurrence formulas.
+    pub fn name(&self) -> String {
+        match self {
+            Granularity::Minutes => "Minutes".into(),
+            Granularity::Hours => "Hours".into(),
+            Granularity::Days => "Days".into(),
+            Granularity::Weekdays => "Weekdays".into(),
+            Granularity::WeekendDays => "WeekendDays".into(),
+            Granularity::Weeks => "Weeks".into(),
+            Granularity::Months => "Months".into(),
+            Granularity::Years => "Years".into(),
+            Granularity::SpecificWeekday(wd) => format!("{}s", wd.name()),
+            Granularity::ConsecutiveDays(n) => format!("ConsecutiveDays({n})"),
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Error produced when parsing a granularity or recurrence formula fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl FromStr for Granularity {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let lowered = s.to_ascii_lowercase();
+        let g = match lowered.as_str() {
+            "minutes" => Granularity::Minutes,
+            "hours" => Granularity::Hours,
+            "days" => Granularity::Days,
+            "weekdays" => Granularity::Weekdays,
+            "weekenddays" => Granularity::WeekendDays,
+            "weeks" => Granularity::Weeks,
+            "months" => Granularity::Months,
+            "years" => Granularity::Years,
+            "mondays" => Granularity::SpecificWeekday(Weekday::Monday),
+            "tuesdays" => Granularity::SpecificWeekday(Weekday::Tuesday),
+            "wednesdays" => Granularity::SpecificWeekday(Weekday::Wednesday),
+            "thursdays" => Granularity::SpecificWeekday(Weekday::Thursday),
+            "fridays" => Granularity::SpecificWeekday(Weekday::Friday),
+            "saturdays" => Granularity::SpecificWeekday(Weekday::Saturday),
+            "sundays" => Granularity::SpecificWeekday(Weekday::Sunday),
+            _ => {
+                if let Some(rest) = lowered
+                    .strip_prefix("consecutivedays(")
+                    .and_then(|r| r.strip_suffix(')'))
+                {
+                    let n: u32 = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad day count in '{s}'")))?;
+                    if n == 0 {
+                        return Err(ParseError("ConsecutiveDays(0) is not a granularity".into()));
+                    }
+                    Granularity::ConsecutiveDays(n)
+                } else {
+                    return Err(ParseError(format!("unknown granularity '{s}'")));
+                }
+            }
+        };
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(day: i64, h: u32) -> TimeSec {
+        TimeSec::at_hm(day, h, 0)
+    }
+
+    #[test]
+    fn days_and_weeks_are_uniform() {
+        assert_eq!(Granularity::Days.granule_of(t(0, 12)), Some(0));
+        assert_eq!(Granularity::Days.granule_of(t(3, 0)), Some(3));
+        assert_eq!(Granularity::Weeks.granule_of(t(6, 23)), Some(0));
+        assert_eq!(Granularity::Weeks.granule_of(t(7, 0)), Some(1));
+        assert_eq!(Granularity::Weeks.granule_of(t(-1, 0)), Some(-1));
+    }
+
+    #[test]
+    fn weekdays_have_weekend_gaps() {
+        let g = Granularity::Weekdays;
+        // Day 0 = Monday … day 4 = Friday are granules 0..=4.
+        for d in 0..5 {
+            assert_eq!(g.granule_of(t(d, 9)), Some(d));
+        }
+        // Saturday/Sunday are gaps.
+        assert_eq!(g.granule_of(t(5, 9)), None);
+        assert_eq!(g.granule_of(t(6, 9)), None);
+        // Next Monday is granule 5.
+        assert_eq!(g.granule_of(t(7, 9)), Some(5));
+        // Negative weeks: the Friday before the epoch.
+        assert_eq!(g.granule_of(t(-3, 9)), Some(-1));
+    }
+
+    #[test]
+    fn weekend_days_are_the_complement() {
+        let g = Granularity::WeekendDays;
+        assert_eq!(g.granule_of(t(5, 9)), Some(0)); // first Saturday
+        assert_eq!(g.granule_of(t(6, 9)), Some(1)); // first Sunday
+        assert_eq!(g.granule_of(t(12, 9)), Some(2)); // second Saturday
+        assert_eq!(g.granule_of(t(0, 9)), None);
+    }
+
+    #[test]
+    fn specific_weekday_granules() {
+        let mondays = Granularity::SpecificWeekday(Weekday::Monday);
+        assert_eq!(mondays.granule_of(t(0, 9)), Some(0));
+        assert_eq!(mondays.granule_of(t(7, 9)), Some(1));
+        assert_eq!(mondays.granule_of(t(1, 9)), None);
+        let sundays = Granularity::SpecificWeekday(Weekday::Sunday);
+        assert_eq!(sundays.granule_of(t(6, 9)), Some(0));
+    }
+
+    #[test]
+    fn consecutive_days_tile() {
+        let g = Granularity::ConsecutiveDays(2);
+        assert_eq!(g.granule_of(t(0, 9)), Some(0));
+        assert_eq!(g.granule_of(t(1, 9)), Some(0));
+        assert_eq!(g.granule_of(t(2, 9)), Some(1));
+        assert_eq!(g.granule_of(t(-1, 9)), Some(-1));
+        assert_eq!(g.granule_span(0).duration(), 2 * DAY - 1);
+    }
+
+    #[test]
+    fn months_and_years_follow_calendar() {
+        let m = Granularity::Months;
+        // Epoch day 0 is 2000-01-03 → month granule 0.
+        assert_eq!(m.granule_of(t(0, 0)), Some(0));
+        // 2000-02-01 starts month 1 (Jan 2000 has 31 days; epoch is Jan 3
+        // so Feb 1 is day 29).
+        assert_eq!(m.granule_of(t(29, 0)), Some(1));
+        assert_eq!(m.granule_of(t(28, 23)), Some(0));
+        let y = Granularity::Years;
+        assert_eq!(y.granule_of(t(0, 0)), Some(0));
+        // 2000 is a leap year (366 days); the epoch is Jan 3, so Dec 31 is
+        // day 363 and 2001-01-01 is day 364.
+        assert_eq!(y.granule_of(t(363, 0)), Some(0));
+        assert_eq!(y.granule_of(t(364, 0)), Some(1));
+    }
+
+    #[test]
+    fn granule_span_roundtrip() {
+        let grans = [
+            Granularity::Minutes,
+            Granularity::Hours,
+            Granularity::Days,
+            Granularity::Weekdays,
+            Granularity::WeekendDays,
+            Granularity::Weeks,
+            Granularity::Months,
+            Granularity::Years,
+            Granularity::SpecificWeekday(Weekday::Wednesday),
+            Granularity::ConsecutiveDays(3),
+        ];
+        for g in grans {
+            for probe in [
+                t(0, 0),
+                t(0, 12),
+                t(3, 7),
+                t(5, 9),
+                t(6, 23),
+                t(40, 1),
+                t(-8, 5),
+                t(400, 13),
+            ] {
+                if let Some(id) = g.granule_of(probe) {
+                    let span = g.granule_span(id);
+                    assert!(
+                        span.contains(probe),
+                        "{g}: granule {id} span {span} should contain {probe}"
+                    );
+                    // Boundary instants map back to the same granule.
+                    assert_eq!(g.granule_of(span.start()), Some(id), "{g} start of {id}");
+                    assert_eq!(g.granule_of(span.end()), Some(id), "{g} end of {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_granule_and_covering() {
+        let g = Granularity::Weekdays;
+        assert!(g.same_granule(t(0, 8), t(0, 17)));
+        assert!(!g.same_granule(t(0, 8), t(1, 8)));
+        assert!(!g.same_granule(t(5, 8), t(5, 9))); // both in a gap
+        let iv = TimeInterval::new(t(0, 7), t(0, 18));
+        assert_eq!(g.covering_granule(&iv), Some(0));
+        let iv2 = TimeInterval::new(t(0, 7), t(1, 18));
+        assert_eq!(g.covering_granule(&iv2), None);
+        let gap = TimeInterval::new(t(5, 7), t(5, 8));
+        assert_eq!(g.covering_granule(&gap), None);
+    }
+
+    #[test]
+    fn parsing_granularities() {
+        assert_eq!("Weekdays".parse::<Granularity>(), Ok(Granularity::Weekdays));
+        assert_eq!("weeks".parse::<Granularity>(), Ok(Granularity::Weeks));
+        assert_eq!(
+            "Mondays".parse::<Granularity>(),
+            Ok(Granularity::SpecificWeekday(Weekday::Monday))
+        );
+        assert_eq!(
+            "ConsecutiveDays(2)".parse::<Granularity>(),
+            Ok(Granularity::ConsecutiveDays(2))
+        );
+        assert!("Fortnights".parse::<Granularity>().is_err());
+        assert!("ConsecutiveDays(0)".parse::<Granularity>().is_err());
+        assert!("ConsecutiveDays(x)".parse::<Granularity>().is_err());
+    }
+
+    #[test]
+    fn names_roundtrip_through_parser() {
+        for g in [
+            Granularity::Minutes,
+            Granularity::Hours,
+            Granularity::Days,
+            Granularity::Weekdays,
+            Granularity::WeekendDays,
+            Granularity::Weeks,
+            Granularity::Months,
+            Granularity::Years,
+            Granularity::SpecificWeekday(Weekday::Friday),
+            Granularity::ConsecutiveDays(4),
+        ] {
+            assert_eq!(g.name().parse::<Granularity>(), Ok(g));
+        }
+    }
+
+    #[test]
+    fn max_span_bounds_real_spans() {
+        for g in [
+            Granularity::Minutes,
+            Granularity::Days,
+            Granularity::Weekdays,
+            Granularity::Weeks,
+            Granularity::Months,
+            Granularity::Years,
+            Granularity::ConsecutiveDays(5),
+        ] {
+            for id in [-3, 0, 7, 100] {
+                assert!(g.granule_span(id).duration() <= g.max_span());
+            }
+        }
+    }
+}

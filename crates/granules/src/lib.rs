@@ -1,0 +1,40 @@
+//! # hka-granules
+//!
+//! Time granularities and recurrence formulas for location-based
+//! quasi-identifiers.
+//!
+//! The LBQID definition of Bettini–Wang–Jajodia (VLDB SDM 2005, Def. 1)
+//! attaches to each spatio-temporal pattern a **recurrence formula**
+//!
+//! ```text
+//! r1.G1 * r2.G2 * … * rn.Gn
+//! ```
+//!
+//! where each `G_i` is a *time granularity* in the sense of the authors'
+//! earlier book (*Time Granularities in Databases, Data Mining, and
+//! Temporal Reasoning*, paper ref. \[3\]): a mapping from an integer index
+//! set to non-overlapping intervals ("granules") of the time line, possibly
+//! with gaps (e.g. `Weekdays` has no granule covering a Saturday).
+//!
+//! This crate implements the substrate the paper assumes:
+//!
+//! * a proleptic civil calendar ([`calendar`]) anchored at the simulation
+//!   epoch (Monday 2000-01-03), giving exact day/weekday/month arithmetic
+//!   without any timezone machinery;
+//! * the [`Granularity`] type with the granularities the paper's examples
+//!   need (`Weekdays`, `Weeks`, per-weekday granularities such as
+//!   `Mondays`, user-defined `ConsecutiveDays(n)` blocks, …);
+//! * [`Recurrence`] — parser and evaluator for recurrence formulas, with
+//!   the hierarchical satisfaction semantics of Section 4 (see the module
+//!   documentation of [`recurrence`] for the exact reading of the paper's
+//!   informal semantics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calendar;
+mod granularity;
+pub mod recurrence;
+
+pub use granularity::{Granularity, GranuleId};
+pub use recurrence::{Recurrence, RecurrenceTerm};

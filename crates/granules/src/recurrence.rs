@@ -1,0 +1,516 @@
+//! Recurrence formulas `r1.G1 * r2.G2 * … * rn.Gn` and their satisfaction
+//! semantics.
+//!
+//! ## Semantics
+//!
+//! The paper (Section 4) describes the semantics informally:
+//!
+//! > each sequence must be observed within a single granule of `G1`. The
+//! > value `r1` denotes the minimum number of such observations. All the
+//! > `r1` observations should be within one granule of `G2`, and there
+//! > should be at least `r2` occurrences of these observations.
+//!
+//! and, crucially, makes the counting explicit a paragraph later:
+//!
+//! > it is also implicitly necessary that there are at least `r_i` granules
+//! > of `G_i`, each containing at least `r_{i−1}` granules of `G_{i−1}`.
+//!
+//! Together with Example 1 ("for at least 3 weekdays in the same week, and
+//! for at least 2 weeks"), this fixes the reading implemented here, which
+//! counts **distinct satisfied granules** at every level:
+//!
+//! * a granule of `G1` is *satisfied* when at least one complete sequence
+//!   observation lies entirely within it;
+//! * a granule of `G_{i+1}` is *satisfied* when it contains at least `r_i`
+//!   satisfied granules of `G_i`;
+//! * the formula holds when at least `r_n` granules of `G_n` are satisfied
+//!   (the implicit trailing `1.⊤` granule — "any subexpression `1.G` at the
+//!   end of a recurrence formula can be dropped").
+//!
+//! An observation is represented by the closed time interval spanning its
+//! first and last matched request; granule membership at higher levels uses
+//! the *midpoint* of the lower granule (the calendar granularities used by
+//! the paper nest exactly, so for them this coincides with containment).
+//!
+//! The **empty formula** "is assumed equivalent to `1.`, hence the sequence
+//! can actually appear just once at any time": it is satisfied by any
+//! single complete observation, with no within-granule restriction.
+
+use crate::granularity::{Granularity, ParseError};
+use hka_geo::TimeInterval;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+/// One `r.G` term of a recurrence formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecurrenceTerm {
+    /// Minimum number of satisfied sub-granules (`r_i ≥ 1`).
+    pub count: u32,
+    /// The granularity `G_i`.
+    pub granularity: Granularity,
+}
+
+impl fmt::Display for RecurrenceTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.count, self.granularity)
+    }
+}
+
+/// A recurrence formula `r1.G1 * r2.G2 * … * rn.Gn` (possibly empty).
+///
+/// ```
+/// use hka_granules::Recurrence;
+/// use hka_geo::{TimeInterval, TimeSec};
+///
+/// let commute: Recurrence = "3.Weekdays * 2.Weeks".parse().unwrap();
+/// // Observations on Mon/Tue/Wed of weeks 0 and 1 (day 0 is a Monday):
+/// let obs: Vec<TimeInterval> = [0, 1, 2, 7, 8, 9]
+///     .iter()
+///     .map(|d| TimeInterval::new(TimeSec::at_hm(*d, 7, 0), TimeSec::at_hm(*d, 18, 0)))
+///     .collect();
+/// assert!(commute.is_satisfied(&obs));
+/// assert!(!commute.is_satisfied(&obs[..4]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Recurrence {
+    terms: Vec<RecurrenceTerm>,
+}
+
+impl Recurrence {
+    /// The empty formula (`1.`): one observation anywhere suffices.
+    pub fn once() -> Self {
+        Recurrence { terms: Vec::new() }
+    }
+
+    /// Builds a formula from `(count, granularity)` pairs, first term
+    /// innermost (the paper's left-to-right order). Zero counts are
+    /// rejected.
+    pub fn new(terms: Vec<(u32, Granularity)>) -> Result<Self, ParseError> {
+        if terms.iter().any(|(r, _)| *r == 0) {
+            return Err(ParseError("recurrence counts must be ≥ 1".into()));
+        }
+        Ok(Recurrence {
+            terms: terms
+                .into_iter()
+                .map(|(count, granularity)| RecurrenceTerm { count, granularity })
+                .collect(),
+        })
+    }
+
+    /// The terms, innermost first. Empty for [`Recurrence::once`].
+    pub fn terms(&self) -> &[RecurrenceTerm] {
+        &self.terms
+    }
+
+    /// The innermost granularity `G1`, if any. A complete sequence
+    /// observation must fit within a single granule of `G1`; the online
+    /// monitor uses this to bound how long a partial match may stay alive.
+    pub fn inner_granularity(&self) -> Option<Granularity> {
+        self.terms.first().map(|t| t.granularity)
+    }
+
+    /// Normalizes the formula by dropping a trailing `1.G` term ("any
+    /// subexpression `1.G` at the end of a recurrence formula can be
+    /// dropped, since it is implicit") — but only when more than one term
+    /// remains, because `1.G1` still constrains each observation to fit in
+    /// one `G1` granule.
+    pub fn normalized(mut self) -> Self {
+        while self.terms.len() > 1 && self.terms.last().is_some_and(|t| t.count == 1) {
+            self.terms.pop();
+        }
+        self
+    }
+
+    /// Evaluates the formula over a set of completed sequence observations
+    /// (each the closed interval from its first to its last request).
+    pub fn is_satisfied(&self, observations: &[TimeInterval]) -> bool {
+        self.satisfied_outer_granules(observations) >= self.required_outer()
+    }
+
+    /// Number of satisfied granules still missing at the outermost level
+    /// (`0` when the formula is satisfied). Gives the monitor a progress
+    /// measure.
+    pub fn missing_outer(&self, observations: &[TimeInterval]) -> u32 {
+        let have = self.satisfied_outer_granules(observations);
+        self.required_outer().saturating_sub(have)
+    }
+
+    fn required_outer(&self) -> u32 {
+        self.terms.last().map_or(1, |t| t.count)
+    }
+
+    /// Counts satisfied granules of the outermost granularity `G_n`
+    /// (or complete observations for the empty formula).
+    fn satisfied_outer_granules(&self, observations: &[TimeInterval]) -> u32 {
+        if self.terms.is_empty() {
+            return u32::try_from(observations.len()).unwrap_or(u32::MAX);
+        }
+        // Level 1: G1 granules entirely containing ≥ 1 observation.
+        let g1 = self.terms[0].granularity;
+        let mut satisfied: BTreeSet<i64> = BTreeSet::new();
+        for obs in observations {
+            if let Some(id) = g1.covering_granule(obs) {
+                satisfied.insert(id);
+            }
+        }
+        // Levels 2..n: a G_{i+1} granule is satisfied when it contains at
+        // least r_i satisfied G_i granules (grouped by granule midpoint).
+        let mut level_gran = g1;
+        for window in self.terms.windows(2) {
+            let (inner, outer) = (window[0], window[1]);
+            let mut counts: std::collections::BTreeMap<i64, u32> = std::collections::BTreeMap::new();
+            for id in &satisfied {
+                let mid = level_gran.granule_span(*id).midpoint();
+                if let Some(outer_id) = outer.granularity.granule_of(mid) {
+                    *counts.entry(outer_id).or_insert(0) += 1;
+                }
+            }
+            satisfied = counts
+                .into_iter()
+                .filter(|(_, c)| *c >= inner.count)
+                .map(|(id, _)| id)
+                .collect();
+            level_gran = outer.granularity;
+        }
+        u32::try_from(satisfied.len()).unwrap_or(u32::MAX)
+    }
+}
+
+impl Recurrence {
+    /// Incremental satisfiability: could the formula still become
+    /// satisfied by `deadline`, given the observations already completed?
+    ///
+    /// Optimistic projection: every granule of the inner granularity `G1`
+    /// that intersects `(now, deadline]` is assumed to receive a future
+    /// observation; the formula is then evaluated over the union of real
+    /// and projected observations. `false` therefore means the pattern
+    /// *cannot* complete by the deadline no matter what the user does —
+    /// the trusted server can lower an at-risk flag early — while `true`
+    /// is a may-complete answer.
+    ///
+    /// The empty formula is completable iff it is already satisfied or
+    /// `now < deadline` (any single future observation completes it).
+    pub fn completable_by(
+        &self,
+        observations: &[TimeInterval],
+        now: hka_geo::TimeSec,
+        deadline: hka_geo::TimeSec,
+    ) -> bool {
+        if self.is_satisfied(observations) {
+            return true;
+        }
+        if deadline <= now {
+            return false;
+        }
+        let Some(g1) = self.inner_granularity() else {
+            // Empty formula, not yet satisfied: one future observation
+            // suffices.
+            return true;
+        };
+        let mut projected = observations.to_vec();
+        // Find the first G1 granule whose span ends after `now`
+        // (granularities may have gaps, so probe forward in hour steps).
+        let mut probe = now;
+        let first = loop {
+            if probe > deadline {
+                break None;
+            }
+            if let Some(g) = g1.granule_of(probe) {
+                break Some(g);
+            }
+            probe = probe + hka_geo::HOUR;
+        };
+        if let Some(first) = first {
+            let mut g = first;
+            loop {
+                let span = g1.granule_span(g);
+                if span.start() > deadline {
+                    break;
+                }
+                // The usable part of this granule in (now, deadline].
+                let from = span.start().max(now + 1);
+                let to = span.end().min(deadline);
+                if from <= to {
+                    // Any single usable instant of the granule stands in
+                    // for a future observation.
+                    projected.push(TimeInterval::instant(from));
+                }
+                g += 1;
+            }
+        }
+        self.is_satisfied(&projected)
+    }
+}
+
+impl fmt::Display for Recurrence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("1.");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" * ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Recurrence {
+    type Err = ParseError;
+
+    /// Parses `"3.Weekdays * 2.Weeks"`. The empty string (or `"1."`)
+    /// denotes the once-anywhere formula.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "1." {
+            return Ok(Recurrence::once());
+        }
+        let mut terms = Vec::new();
+        for part in s.split('*') {
+            let part = part.trim();
+            let (count_s, gran_s) = part
+                .split_once('.')
+                .ok_or_else(|| ParseError(format!("expected 'r.G', got '{part}'")))?;
+            let count: u32 = count_s
+                .trim()
+                .parse()
+                .map_err(|_| ParseError(format!("bad count in '{part}'")))?;
+            if count == 0 {
+                return Err(ParseError(format!("count must be ≥ 1 in '{part}'")));
+            }
+            let granularity: Granularity = gran_s.parse()?;
+            terms.push(RecurrenceTerm { count, granularity });
+        }
+        Ok(Recurrence { terms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::{TimeInterval, TimeSec};
+
+    /// An observation spanning `[day h1:00, day h2:00]`.
+    fn obs(day: i64, h1: u32, h2: u32) -> TimeInterval {
+        TimeInterval::new(TimeSec::at_hm(day, h1, 0), TimeSec::at_hm(day, h2, 0))
+    }
+
+    fn commute() -> Recurrence {
+        "3.Weekdays * 2.Weeks".parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let r = commute();
+        assert_eq!(r.to_string(), "3.Weekdays * 2.Weeks");
+        assert_eq!(r.to_string().parse::<Recurrence>().unwrap(), r);
+        assert_eq!("".parse::<Recurrence>().unwrap(), Recurrence::once());
+        assert_eq!("1.".parse::<Recurrence>().unwrap(), Recurrence::once());
+        assert_eq!(Recurrence::once().to_string(), "1.");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("3Weekdays".parse::<Recurrence>().is_err());
+        assert!("0.Weeks".parse::<Recurrence>().is_err());
+        assert!("x.Weeks".parse::<Recurrence>().is_err());
+        assert!("3.Lightyears".parse::<Recurrence>().is_err());
+        assert!(Recurrence::new(vec![(0, Granularity::Days)]).is_err());
+    }
+
+    #[test]
+    fn empty_formula_one_observation() {
+        let r = Recurrence::once();
+        assert!(!r.is_satisfied(&[]));
+        assert!(r.is_satisfied(&[obs(0, 7, 19)]));
+        // Even an observation spanning several days counts.
+        let long = TimeInterval::new(TimeSec::at_hm(0, 7, 0), TimeSec::at_hm(3, 7, 0));
+        assert!(r.is_satisfied(&[long]));
+        assert_eq!(r.missing_outer(&[]), 1);
+        assert_eq!(r.missing_outer(&[obs(0, 7, 19)]), 0);
+    }
+
+    #[test]
+    fn papers_example_two_weeks_of_three_weekdays() {
+        let r = commute();
+        // Week 0: Mon/Tue/Wed (days 0,1,2); week 1: Mon/Wed/Fri (7,9,11).
+        let good = vec![
+            obs(0, 7, 19),
+            obs(1, 7, 19),
+            obs(2, 7, 19),
+            obs(7, 7, 19),
+            obs(9, 7, 19),
+            obs(11, 7, 19),
+        ];
+        assert!(r.is_satisfied(&good));
+    }
+
+    #[test]
+    fn insufficient_weeks_or_days_fail() {
+        let r = commute();
+        // Only one week with 3 weekdays.
+        let one_week = vec![obs(0, 7, 19), obs(1, 7, 19), obs(2, 7, 19)];
+        assert!(!r.is_satisfied(&one_week));
+        assert_eq!(r.missing_outer(&one_week), 1);
+        // Two weeks but only 2 weekdays in the second.
+        let short_week = vec![
+            obs(0, 7, 19),
+            obs(1, 7, 19),
+            obs(2, 7, 19),
+            obs(7, 7, 19),
+            obs(9, 7, 19),
+        ];
+        assert!(!r.is_satisfied(&short_week));
+        // Six observations all on the same two weekdays of one week.
+        let repeats = vec![
+            obs(0, 7, 9),
+            obs(0, 10, 12),
+            obs(0, 13, 15),
+            obs(1, 7, 9),
+            obs(1, 10, 12),
+            obs(1, 13, 15),
+        ];
+        assert!(!r.is_satisfied(&repeats), "distinct granules are required");
+    }
+
+    #[test]
+    fn observation_crossing_midnight_does_not_count_for_weekdays() {
+        let r = commute();
+        // An "observation" stretching from Monday into Tuesday fits no
+        // single Weekdays granule.
+        let crossing = TimeInterval::new(TimeSec::at_hm(0, 22, 0), TimeSec::at_hm(1, 2, 0));
+        assert!(!"1.Weekdays".parse::<Recurrence>().unwrap().is_satisfied(&[crossing]));
+        assert!(!r.is_satisfied(&[crossing; 6]));
+    }
+
+    #[test]
+    fn weekend_observations_fall_in_weekday_gaps() {
+        let r = "1.Weekdays".parse::<Recurrence>().unwrap();
+        assert!(!r.is_satisfied(&[obs(5, 9, 11)])); // Saturday
+        assert!(r.is_satisfied(&[obs(4, 9, 11)])); // Friday
+    }
+
+    #[test]
+    fn single_term_counts_distinct_granules() {
+        let r = "3.Days".parse::<Recurrence>().unwrap();
+        assert!(!r.is_satisfied(&[obs(0, 7, 9), obs(0, 10, 12), obs(0, 13, 15)]));
+        assert!(r.is_satisfied(&[obs(0, 7, 9), obs(1, 7, 9), obs(2, 7, 9)]));
+    }
+
+    #[test]
+    fn same_weekday_for_three_weeks() {
+        // The paper's "same weekday for at least 3 weeks" pattern via the
+        // Mondays granularity: 1.Mondays * 3.Weeks … normalized semantics:
+        // three week-granules each containing a satisfied Monday.
+        let r = "1.Mondays * 3.Weeks".parse::<Recurrence>().unwrap();
+        let mondays = vec![obs(0, 7, 9), obs(7, 7, 9), obs(14, 7, 9)];
+        assert!(r.is_satisfied(&mondays));
+        let mixed = vec![obs(0, 7, 9), obs(8, 7, 9), obs(14, 7, 9)]; // day 8 is a Tuesday
+        assert!(!r.is_satisfied(&mixed));
+    }
+
+    #[test]
+    fn consecutive_days_pattern() {
+        // "at least two consecutive days for at least 2 weeks" via the
+        // 2-day block granularity: 2.Days * 2.ConsecutiveDays(2)? The paper
+        // suggests a special granularity of 2 contiguous days; require both
+        // days of a block, for two blocks.
+        let r = Recurrence::new(vec![
+            (2, Granularity::Days),
+            (2, Granularity::ConsecutiveDays(2)),
+        ])
+        .unwrap();
+        // Days 0,1 (block 0) and days 14,15 (block 7).
+        let good = vec![obs(0, 7, 9), obs(1, 7, 9), obs(14, 7, 9), obs(15, 7, 9)];
+        assert!(r.is_satisfied(&good));
+        // Days 1,2 straddle two blocks → not consecutive within a block.
+        let straddle = vec![obs(1, 7, 9), obs(2, 7, 9), obs(14, 7, 9), obs(15, 7, 9)];
+        assert!(!r.is_satisfied(&straddle));
+    }
+
+    #[test]
+    fn three_level_formula() {
+        // 2.Days * 2.Weeks * 2.Months: two months, each with two weeks,
+        // each with two observed days.
+        let r = "2.Days * 2.Weeks * 2.Months".parse::<Recurrence>().unwrap();
+        let mut o = Vec::new();
+        // Month 0 (Jan 2000, days 0..28): weeks 0 and 1.
+        for d in [0, 1, 7, 8] {
+            o.push(obs(d, 7, 9));
+        }
+        assert!(!r.is_satisfied(&o));
+        // Month 2 (Mar 2000 starts day 58; weeks 9 (days 63..69) & 10).
+        for d in [63, 64, 70, 71] {
+            o.push(obs(d, 7, 9));
+        }
+        assert!(r.is_satisfied(&o), "two qualifying months should satisfy");
+    }
+
+    #[test]
+    fn normalization_drops_trailing_unit_terms() {
+        let r: Recurrence = "3.Weekdays * 2.Weeks * 1.Months * 1.Years".parse().unwrap();
+        assert_eq!(r.normalized(), commute());
+        // A single 1.G term is kept: it still constrains each observation.
+        let single: Recurrence = "1.Weekdays".parse().unwrap();
+        assert_eq!(single.clone().normalized(), single);
+    }
+
+    #[test]
+    fn inner_granularity_accessor() {
+        assert_eq!(commute().inner_granularity(), Some(Granularity::Weekdays));
+        assert_eq!(Recurrence::once().inner_granularity(), None);
+    }
+
+    #[test]
+    fn completability_projects_the_future() {
+        use hka_geo::TimeSec;
+        let r = commute(); // 3.Weekdays * 2.Weeks
+        // Nothing observed yet, three full weeks of runway: completable.
+        assert!(r.completable_by(&[], TimeSec::at(0, 0), TimeSec::at(21, 0)));
+        // Only four days of runway: a second week can never be reached.
+        assert!(!r.completable_by(&[], TimeSec::at(0, 0), TimeSec::at(4, 0)));
+        // One satisfied week behind us, deadline inside next week's
+        // Wednesday: three weekdays still fit (Mon, Tue, Wed).
+        let week0 = vec![obs(0, 7, 19), obs(1, 7, 19), obs(2, 7, 19)];
+        assert!(r.completable_by(&week0, TimeSec::at(5, 0), TimeSec::at(9, 23)));
+        // Deadline on next week's Tuesday: only two weekdays remain.
+        assert!(!r.completable_by(&week0, TimeSec::at(5, 0), TimeSec::at(8, 23)));
+        // Already satisfied: completable regardless of deadline.
+        let full = vec![
+            obs(0, 7, 19), obs(1, 7, 19), obs(2, 7, 19),
+            obs(7, 7, 19), obs(8, 7, 19), obs(9, 7, 19),
+        ];
+        assert!(r.completable_by(&full, TimeSec::at(10, 0), TimeSec::at(10, 0)));
+    }
+
+    #[test]
+    fn completability_empty_formula() {
+        use hka_geo::TimeSec;
+        let r = Recurrence::once();
+        assert!(!r.completable_by(&[], TimeSec::at(1, 0), TimeSec::at(1, 0)));
+        assert!(r.completable_by(&[], TimeSec::at(1, 0), TimeSec::at(1, 1)));
+        assert!(r.completable_by(&[obs(0, 7, 9)], TimeSec::at(1, 0), TimeSec::at(1, 0)));
+    }
+
+    #[test]
+    fn satisfaction_is_monotone_in_observations() {
+        let r = commute();
+        let all = vec![
+            obs(0, 7, 19),
+            obs(1, 7, 19),
+            obs(2, 7, 19),
+            obs(7, 7, 19),
+            obs(9, 7, 19),
+            obs(11, 7, 19),
+        ];
+        assert!(r.is_satisfied(&all));
+        // Adding more observations can never unsatisfy.
+        let mut more = all.clone();
+        more.push(obs(5, 1, 2)); // weekend noise
+        more.push(obs(21, 7, 19));
+        assert!(r.is_satisfied(&more));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for granularities and recurrence formulas.
+
+use hka_granules::calendar::{self, CivilDate, Weekday};
+use hka_granules::{Granularity, Recurrence};
+use hka_geo::{TimeInterval, TimeSec, DAY, HOUR};
+use proptest::prelude::*;
+
+fn arb_granularity() -> impl Strategy<Value = Granularity> {
+    prop_oneof![
+        Just(Granularity::Minutes),
+        Just(Granularity::Hours),
+        Just(Granularity::Days),
+        Just(Granularity::Weekdays),
+        Just(Granularity::WeekendDays),
+        Just(Granularity::Weeks),
+        Just(Granularity::Months),
+        Just(Granularity::Years),
+        (0i64..7).prop_map(|i| Granularity::SpecificWeekday(Weekday::from_index(i))),
+        (1u32..10).prop_map(Granularity::ConsecutiveDays),
+    ]
+}
+
+fn arb_time() -> impl Strategy<Value = TimeSec> {
+    (-2_000i64 * DAY..2_000 * DAY).prop_map(TimeSec)
+}
+
+proptest! {
+    #[test]
+    fn calendar_roundtrip(day in -500_000i64..500_000) {
+        let d = calendar::date_of_day(day);
+        prop_assert_eq!(calendar::day_of_date(d), day);
+        prop_assert!((1..=12).contains(&d.month));
+        prop_assert!(u32::from(d.day) <= calendar::days_in_month(d.year, d.month));
+    }
+
+    #[test]
+    fn calendar_dates_are_monotone(day in -500_000i64..500_000) {
+        prop_assert!(calendar::date_of_day(day) < calendar::date_of_day(day + 1));
+    }
+
+    #[test]
+    fn weekday_cycles(day in -500_000i64..500_000) {
+        let w = calendar::weekday_of_day(day);
+        let w7 = calendar::weekday_of_day(day + 7);
+        prop_assert_eq!(w, w7);
+    }
+
+    #[test]
+    fn month_start_is_day_one(mi in -1_000i64..1_000) {
+        let start = calendar::month_start_day(mi);
+        let d = calendar::date_of_day(start);
+        prop_assert_eq!(d.day, 1);
+        prop_assert_eq!(calendar::month_index_of_day(start), mi);
+    }
+
+    #[test]
+    fn granule_span_contains_probe(g in arb_granularity(), t in arb_time()) {
+        if let Some(id) = g.granule_of(t) {
+            let span = g.granule_span(id);
+            prop_assert!(span.contains(t), "{} granule {} span {} !∋ {}", g, id, span, t);
+            prop_assert_eq!(g.granule_of(span.start()), Some(id));
+            prop_assert_eq!(g.granule_of(span.end()), Some(id));
+            prop_assert!(span.duration() <= g.max_span());
+        }
+    }
+
+    #[test]
+    fn granules_are_disjoint_and_ordered(g in arb_granularity(), id in -1000i64..1000) {
+        let a = g.granule_span(id);
+        let b = g.granule_span(id + 1);
+        prop_assert!(a.end() < b.start(), "{}: granule {} must precede {}", g, id, id + 1);
+    }
+
+    #[test]
+    fn same_granule_is_equivalence_on_covered_instants(
+        g in arb_granularity(), a in arb_time(), b in arb_time(), c in arb_time()
+    ) {
+        // Symmetry.
+        prop_assert_eq!(g.same_granule(a, b), g.same_granule(b, a));
+        // Reflexivity on covered instants.
+        if g.granule_of(a).is_some() {
+            prop_assert!(g.same_granule(a, a));
+        }
+        // Transitivity.
+        if g.same_granule(a, b) && g.same_granule(b, c) {
+            prop_assert!(g.same_granule(a, c));
+        }
+    }
+
+    #[test]
+    fn granularity_name_parses_back(g in arb_granularity()) {
+        let parsed: Granularity = g.name().parse().unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn recurrence_display_parses_back(
+        r1 in 1u32..5, r2 in 1u32..5,
+        g1 in arb_granularity(), g2 in arb_granularity()
+    ) {
+        let r = Recurrence::new(vec![(r1, g1), (r2, g2)]).unwrap();
+        let back: Recurrence = r.to_string().parse().unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn recurrence_satisfaction_is_monotone(
+        days in prop::collection::vec(0i64..60, 0..25),
+        extra in prop::collection::vec(0i64..60, 0..5),
+    ) {
+        let r: Recurrence = "2.Weekdays * 2.Weeks".parse().unwrap();
+        let to_obs = |d: &i64| TimeInterval::new(
+            TimeSec::at(*d, 8 * HOUR),
+            TimeSec::at(*d, 9 * HOUR),
+        );
+        let base: Vec<_> = days.iter().map(to_obs).collect();
+        let mut more = base.clone();
+        more.extend(extra.iter().map(to_obs));
+        if r.is_satisfied(&base) {
+            prop_assert!(r.is_satisfied(&more), "adding observations must not unsatisfy");
+        }
+        // missing_outer is 0 iff satisfied.
+        prop_assert_eq!(r.missing_outer(&base) == 0, r.is_satisfied(&base));
+    }
+
+    #[test]
+    fn normalization_preserves_satisfaction(
+        days in prop::collection::vec(0i64..40, 0..20),
+    ) {
+        let r: Recurrence = "2.Days * 2.Weeks * 1.Months".parse().unwrap();
+        let n = r.clone().normalized();
+        let obs: Vec<_> = days
+            .iter()
+            .map(|d| TimeInterval::new(TimeSec::at(*d, 8 * HOUR), TimeSec::at(*d, 9 * HOUR)))
+            .collect();
+        // Dropping the trailing 1.Months can only relax: anything satisfied
+        // under r stays satisfied under the normalized formula, and the
+        // converse holds when all observations fall within one month.
+        if r.is_satisfied(&obs) {
+            prop_assert!(n.is_satisfied(&obs));
+        }
+    }
+
+    /// Completability is monotone in the deadline, implied by
+    /// satisfaction, and consistent with the definition: a formula
+    /// satisfied by projecting every future granule really is the upper
+    /// bound of what more observations could achieve.
+    #[test]
+    fn completability_monotone_in_deadline(
+        days in prop::collection::vec(0i64..28, 0..15),
+        now_day in 0i64..28,
+        d1 in 0i64..28,
+        d2 in 0i64..28,
+    ) {
+        let r: Recurrence = "2.Weekdays * 2.Weeks".parse().unwrap();
+        let obs: Vec<TimeInterval> = days
+            .iter()
+            .map(|d| TimeInterval::new(TimeSec::at(*d, 8 * HOUR), TimeSec::at(*d, 9 * HOUR)))
+            .collect();
+        let now = TimeSec::at(now_day, 12 * HOUR);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let early = TimeSec::at(lo, 12 * HOUR);
+        let late = TimeSec::at(hi, 12 * HOUR);
+        if r.completable_by(&obs, now, early) {
+            prop_assert!(r.completable_by(&obs, now, late),
+                "a later deadline can only help");
+        }
+        if r.is_satisfied(&obs) {
+            prop_assert!(r.completable_by(&obs, now, early.min(now)),
+                "satisfied formulas are trivially completable");
+        }
+    }
+
+    #[test]
+    fn leap_years_have_feb_29(year in -2000i32..4000) {
+        let has = std::panic::catch_unwind(|| CivilDate::new(year, 2, 29)).is_ok();
+        prop_assert_eq!(has, calendar::is_leap_year(year));
+    }
+}

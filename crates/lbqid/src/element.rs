@@ -1,0 +1,225 @@
+//! LBQID pattern types (Definitions 1 and 2).
+
+use hka_geo::{DayWindow, Rect, StPoint};
+use hka_granules::Recurrence;
+use std::fmt;
+
+/// One spatio-temporal constraint of an LBQID: an area plus an unanchored
+/// time-of-day window (`⟨Area, U-TimeInterval⟩` in Definition 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Optional human label ("AreaCondominium").
+    pub label: Option<String>,
+    /// The spatial constraint.
+    pub area: Rect,
+    /// The unanchored temporal constraint.
+    pub window: DayWindow,
+}
+
+impl Element {
+    /// Creates an unlabeled element.
+    pub fn new(area: Rect, window: DayWindow) -> Self {
+        Element {
+            label: None,
+            area,
+            window,
+        }
+    }
+
+    /// Creates a labeled element.
+    pub fn labeled(label: impl Into<String>, area: Rect, window: DayWindow) -> Self {
+        Element {
+            label: Some(label.into()),
+            area,
+            window,
+        }
+    }
+
+    /// Definition 2: a request at exact location/time `p` "is said to
+    /// match an element E_j if Area_j contains ⟨x_i, y_i⟩ and t_i is
+    /// contained in one of the intervals denoted by U-TimeInterval_j".
+    pub fn matches(&self, p: &StPoint) -> bool {
+        self.area.contains(&p.pos) && self.window.contains(p.t)
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(l) = &self.label {
+            write!(f, "{l} ")?;
+        }
+        write!(f, "{} [{}]", self.area, self.window)
+    }
+}
+
+/// Errors constructing an LBQID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LbqidError {
+    /// The element sequence was empty.
+    NoElements,
+}
+
+impl fmt::Display for LbqidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LbqidError::NoElements => f.write_str("an LBQID needs at least one element"),
+        }
+    }
+}
+
+impl std::error::Error for LbqidError {}
+
+/// A Location-Based Quasi-Identifier (Definition 1): an element sequence
+/// plus a recurrence formula.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lbqid {
+    name: String,
+    elements: Vec<Element>,
+    recurrence: Recurrence,
+}
+
+impl Lbqid {
+    /// Creates an LBQID; the element sequence must be non-empty.
+    pub fn new(
+        name: impl Into<String>,
+        elements: Vec<Element>,
+        recurrence: Recurrence,
+    ) -> Result<Self, LbqidError> {
+        if elements.is_empty() {
+            return Err(LbqidError::NoElements);
+        }
+        Ok(Lbqid {
+            name: name.into(),
+            elements,
+            recurrence,
+        })
+    }
+
+    /// The pattern's name (used in logs and at-risk notifications).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The element sequence, in traversal order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// The recurrence formula.
+    pub fn recurrence(&self) -> &Recurrence {
+        &self.recurrence
+    }
+
+    /// Indices of the elements matched by a request at `p` (a request can
+    /// match several elements when areas/windows overlap, e.g. the paper's
+    /// office building appears in both the morning and afternoon elements).
+    pub fn matching_elements(&self, p: &StPoint) -> impl Iterator<Item = usize> + '_ {
+        let p = *p;
+        self.elements
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.matches(&p))
+            .map(|(i, _)| i)
+    }
+
+    /// Whether `p` matches any element at all — the trigger for the
+    /// trusted server's generalization step.
+    pub fn matches_some_element(&self, p: &StPoint) -> bool {
+        self.matching_elements(p).next().is_some()
+    }
+
+    /// The paper's Example 2 pattern: condominium → office in the morning,
+    /// office → condominium in the evening, `3.Weekdays * 2.Weeks`.
+    /// Useful in tests, docs and examples.
+    pub fn example_commute(home: Rect, office: Rect) -> Lbqid {
+        Lbqid::new(
+            "commute",
+            vec![
+                Element::labeled("AreaCondominium", home, DayWindow::hm((7, 0), (8, 0))),
+                Element::labeled("AreaOfficeBldg", office, DayWindow::hm((8, 0), (9, 0))),
+                Element::labeled("AreaOfficeBldg", office, DayWindow::hm((16, 0), (18, 0))),
+                Element::labeled("AreaCondominium", home, DayWindow::hm((17, 0), (19, 0))),
+            ],
+            "3.Weekdays * 2.Weeks".parse().expect("static formula"),
+        )
+        .expect("non-empty")
+    }
+}
+
+impl fmt::Display for Lbqid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lbqid {} {{ ", self.name)?;
+        for e in &self.elements {
+            write!(f, "{e}; ")?;
+        }
+        write!(f, "recur {} }}", self.recurrence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::TimeSec;
+
+    fn home() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn office() -> Rect {
+        Rect::from_bounds(900.0, 900.0, 1000.0, 1000.0)
+    }
+
+    #[test]
+    fn element_matching_needs_both_axes() {
+        let e = Element::new(home(), DayWindow::hm((7, 0), (8, 0)));
+        let good = StPoint::xyt(50.0, 50.0, TimeSec::at_hm(0, 7, 30));
+        let wrong_place = StPoint::xyt(500.0, 50.0, TimeSec::at_hm(0, 7, 30));
+        let wrong_time = StPoint::xyt(50.0, 50.0, TimeSec::at_hm(0, 9, 30));
+        assert!(e.matches(&good));
+        assert!(!e.matches(&wrong_place));
+        assert!(!e.matches(&wrong_time));
+        // The window is unanchored: any day works.
+        let other_day = StPoint::xyt(50.0, 50.0, TimeSec::at_hm(42, 7, 30));
+        assert!(e.matches(&other_day));
+    }
+
+    #[test]
+    fn lbqid_requires_elements() {
+        assert_eq!(
+            Lbqid::new("x", vec![], Recurrence::once()).unwrap_err(),
+            LbqidError::NoElements
+        );
+    }
+
+    #[test]
+    fn commute_example_shape() {
+        let q = Lbqid::example_commute(home(), office());
+        assert_eq!(q.elements().len(), 4);
+        assert_eq!(q.recurrence().to_string(), "3.Weekdays * 2.Weeks");
+        assert_eq!(q.name(), "commute");
+    }
+
+    #[test]
+    fn overlapping_elements_all_match() {
+        let q = Lbqid::example_commute(home(), office());
+        // 17:30 at home matches only the last element; 17:30 at the office
+        // matches the afternoon office element.
+        let at_home = StPoint::xyt(10.0, 10.0, TimeSec::at_hm(0, 17, 30));
+        let idx: Vec<usize> = q.matching_elements(&at_home).collect();
+        assert_eq!(idx, vec![3]);
+        let at_office = StPoint::xyt(950.0, 950.0, TimeSec::at_hm(0, 17, 30));
+        let idx: Vec<usize> = q.matching_elements(&at_office).collect();
+        assert_eq!(idx, vec![2]);
+        assert!(q.matches_some_element(&at_home));
+        let nowhere = StPoint::xyt(500.0, 500.0, TimeSec::at_hm(0, 12, 0));
+        assert!(!q.matches_some_element(&nowhere));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = Lbqid::example_commute(home(), office());
+        let s = q.to_string();
+        assert!(s.contains("AreaCondominium"));
+        assert!(s.contains("3.Weekdays * 2.Weeks"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # hka-lbqid
+//!
+//! **Location-Based Quasi-Identifiers** (LBQIDs) — the pattern language at
+//! the heart of the Bettini–Wang–Jajodia framework (Section 4).
+//!
+//! An LBQID (Definition 1) is "a spatio-temporal pattern specified by a
+//! sequence of spatio-temporal constraints each one defining an area and a
+//! time span, and by a recurrence formula". The paper's running example:
+//!
+//! ```text
+//! AreaCondominium [7am,8am], AreaOfficeBldg [8am,9am],
+//! AreaOfficeBldg [4pm,6pm], AreaCondominium [5pm,7pm]
+//! Recurrence: 3.Weekdays * 2.Weeks
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`Element`] / [`Lbqid`] — the pattern types (Definition 1), including
+//!   per-element request matching (Definition 2);
+//! * a textual DSL ([`parse_lbqid`]) so experiments and examples can state
+//!   patterns the way the paper writes them;
+//! * [`offline::matches`] — an exhaustive Definition-3 checker ("a set of
+//!   requests R is said to match an LBQID Q if …"), used as ground truth;
+//! * [`Monitor`] — the online matcher the trusted server runs per
+//!   user × LBQID. The paper suggests "a timed state automata may be used
+//!   for each LBQID and each user, advancing the state of the automata
+//!   when the actual location of the user at the request time is within
+//!   the area specified by one of the current states, and the temporal
+//!   constraints are satisfied"; [`Monitor`] implements exactly that, with
+//!   bounded nondeterminism (several concurrent partial traversals).
+//!
+//! The online matcher is *sound* with respect to the offline checker: when
+//! it reports a full match, the observed request set matches under
+//! Definition 3 (property-tested in `tests/props.rs`). Like any greedy
+//! automaton with bounded state it may in rare interleavings detect a
+//! match later than the exhaustive checker would; the trusted server
+//! errs on the cautious side by generalizing every element match.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod element;
+mod monitor;
+pub mod offline;
+mod parser;
+
+pub use element::{Element, Lbqid, LbqidError};
+pub use monitor::{MatchEvent, Monitor, PartialId};
+pub use parser::{parse_lbqid, ParseLbqidError};

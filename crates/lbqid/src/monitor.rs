@@ -1,0 +1,474 @@
+//! The online LBQID matcher run by the trusted server.
+
+use crate::Lbqid;
+use hka_geo::{StPoint, TimeInterval, TimeSec};
+use hka_granules::Granularity;
+
+/// Stable identifier of a partial traversal within one [`Monitor`].
+///
+/// The trusted server keys its per-traversal anonymity-set state on this:
+/// Algorithm 1 selects k users when a request matches "the initial element
+/// of an LBQID" and reuses them for the requests matching the subsequent
+/// elements *of that same traversal*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartialId(pub u64);
+
+/// What a request did to the pattern state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchEvent {
+    /// The traversal this request belongs to.
+    pub partial: PartialId,
+    /// Index of the element the request matched.
+    pub element: usize,
+    /// `true` when the request started a fresh traversal (matched the
+    /// first element) — Algorithm 1's "r matches the initial element"
+    /// branch.
+    pub started: bool,
+    /// When the request completed a traversal: the observation interval
+    /// (first to last matched request).
+    pub completed_observation: Option<TimeInterval>,
+    /// `true` when, after this request, the accumulated observations
+    /// satisfy the recurrence formula — the full LBQID has been matched
+    /// and, absent protection, released to the provider.
+    pub full_match: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Partial {
+    id: PartialId,
+    next: usize,
+    start: TimeSec,
+    last: TimeSec,
+    granule: Option<i64>,
+}
+
+/// Online matcher for one user × one LBQID — the paper's "timed state
+/// automata … for each LBQID and each user".
+///
+/// The automaton is nondeterministic (a request matching the first element
+/// may start a new traversal while older traversals are still open), so
+/// the monitor keeps up to [`Monitor::MAX_PARTIALS`] concurrent partial
+/// traversals, greedily extending the most-advanced compatible one.
+///
+/// ```
+/// use hka_geo::{Rect, StPoint, TimeSec};
+/// use hka_lbqid::{Lbqid, Monitor};
+///
+/// let home = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+/// let office = Rect::from_bounds(900.0, 900.0, 1000.0, 1000.0);
+/// let mut m = Monitor::new(Lbqid::example_commute(home, office));
+/// // One full round trip on Monday (day 0):
+/// let ev = m.observe(StPoint::xyt(50.0, 50.0, TimeSec::at_hm(0, 7, 30))).unwrap();
+/// assert!(ev.started);
+/// m.observe(StPoint::xyt(950.0, 950.0, TimeSec::at_hm(0, 8, 30))).unwrap();
+/// m.observe(StPoint::xyt(950.0, 950.0, TimeSec::at_hm(0, 17, 0))).unwrap();
+/// let done = m.observe(StPoint::xyt(50.0, 50.0, TimeSec::at_hm(0, 18, 0))).unwrap();
+/// assert!(done.completed_observation.is_some());
+/// assert!(!done.full_match, "the 3.Weekdays * 2.Weeks recurrence needs more");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    lbqid: Lbqid,
+    inner: Option<Granularity>,
+    partials: Vec<Partial>,
+    completed: Vec<TimeInterval>,
+    next_id: u64,
+    full_match: bool,
+}
+
+impl Monitor {
+    /// Bound on concurrent partial traversals; the oldest is evicted when
+    /// exceeded (keeps the per-request cost constant).
+    pub const MAX_PARTIALS: usize = 32;
+
+    /// Creates a monitor for the given pattern.
+    pub fn new(lbqid: Lbqid) -> Self {
+        let inner = lbqid.recurrence().inner_granularity();
+        Monitor {
+            lbqid,
+            inner,
+            partials: Vec::new(),
+            completed: Vec::new(),
+            next_id: 0,
+            full_match: false,
+        }
+    }
+
+    /// The monitored pattern.
+    pub fn lbqid(&self) -> &Lbqid {
+        &self.lbqid
+    }
+
+    /// Completed observation intervals so far (under the current
+    /// pseudonym).
+    pub fn completed_observations(&self) -> &[TimeInterval] {
+        &self.completed
+    }
+
+    /// Whether the recurrence formula has been satisfied — the LBQID has
+    /// been fully matched by the user's requests.
+    pub fn is_fully_matched(&self) -> bool {
+        self.full_match
+    }
+
+    /// Number of live partial traversals.
+    pub fn live_partials(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// How many satisfied outer granules are still missing before the
+    /// pattern completes (a progress indicator for at-risk warnings).
+    pub fn missing_outer(&self) -> u32 {
+        self.lbqid.recurrence().missing_outer(&self.completed)
+    }
+
+    /// Whether the pattern could still be fully matched by `deadline`
+    /// given the observations completed so far (optimistic projection —
+    /// see [`hka_granules::Recurrence::completable_by`]). A `false`
+    /// answer lets the trusted server clear partial-match state early:
+    /// the quasi-identifier can no longer be released in this window.
+    pub fn completable_by(&self, now: TimeSec, deadline: TimeSec) -> bool {
+        self.lbqid
+            .recurrence()
+            .completable_by(&self.completed, now, deadline)
+    }
+
+    /// Feeds one exact request context through the automaton.
+    ///
+    /// Returns `Some(event)` when the request matched the next element of
+    /// a live traversal or started a new one — exactly the condition under
+    /// which the Section-6.1 strategy generalizes the outgoing request.
+    /// Returns `None` when the request is irrelevant to this pattern.
+    pub fn observe(&mut self, p: StPoint) -> Option<MatchEvent> {
+        self.expire(p.t);
+
+        // Prefer extending the most-advanced compatible partial (greedy
+        // determinization of the timed automaton).
+        let mut best: Option<usize> = None;
+        for (i, partial) in self.partials.iter().enumerate() {
+            if p.t < partial.last {
+                continue;
+            }
+            if !self.lbqid.elements()[partial.next].matches(&p) {
+                continue;
+            }
+            if let (Some(g), Some(gr)) = (self.inner, partial.granule) {
+                if g.granule_of(p.t) != Some(gr) {
+                    continue;
+                }
+            }
+            match best {
+                Some(b) if self.partials[b].next >= partial.next => {}
+                _ => best = Some(i),
+            }
+        }
+
+        if let Some(i) = best {
+            let completes = self.partials[i].next + 1 == self.lbqid.elements().len();
+            let element = self.partials[i].next;
+            let id = self.partials[i].id;
+            if completes {
+                let partial = self.partials.remove(i);
+                let obs = TimeInterval::new(partial.start, p.t);
+                self.completed.push(obs);
+                if self.lbqid.recurrence().is_satisfied(&self.completed) {
+                    self.full_match = true;
+                }
+                return Some(MatchEvent {
+                    partial: id,
+                    element,
+                    started: false,
+                    completed_observation: Some(obs),
+                    full_match: self.full_match,
+                });
+            }
+            self.partials[i].next += 1;
+            self.partials[i].last = p.t;
+            return Some(MatchEvent {
+                partial: id,
+                element,
+                started: false,
+                completed_observation: None,
+                full_match: self.full_match,
+            });
+        }
+
+        // Otherwise: can this request start a new traversal?
+        if self.lbqid.elements()[0].matches(&p) {
+            let granule = self.inner.and_then(|g| g.granule_of(p.t));
+            if self.inner.is_some() && granule.is_none() {
+                // Starting inside a granularity gap (e.g. a weekend under
+                // Weekdays): the observation could never be counted.
+                return None;
+            }
+            let id = PartialId(self.next_id);
+            self.next_id += 1;
+            if self.lbqid.elements().len() == 1 {
+                let obs = TimeInterval::instant(p.t);
+                self.completed.push(obs);
+                if self.lbqid.recurrence().is_satisfied(&self.completed) {
+                    self.full_match = true;
+                }
+                return Some(MatchEvent {
+                    partial: id,
+                    element: 0,
+                    started: true,
+                    completed_observation: Some(obs),
+                    full_match: self.full_match,
+                });
+            }
+            if self.partials.len() >= Self::MAX_PARTIALS {
+                // Evict the stalest traversal (earliest last activity).
+                if let Some((evict, _)) = self
+                    .partials
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, q)| q.last)
+                {
+                    self.partials.remove(evict);
+                }
+            }
+            self.partials.push(Partial {
+                id,
+                next: 1,
+                start: p.t,
+                last: p.t,
+                granule,
+            });
+            return Some(MatchEvent {
+                partial: id,
+                element: 0,
+                started: true,
+                completed_observation: None,
+                full_match: self.full_match,
+            });
+        }
+
+        None
+    }
+
+    /// Drops partial traversals that can no longer complete because their
+    /// inner granule has passed.
+    pub fn expire(&mut self, now: TimeSec) {
+        if let Some(g) = self.inner {
+            self.partials.retain(|p| match p.granule {
+                Some(gr) => g.granule_span(gr).end() >= now,
+                None => true,
+            });
+        }
+    }
+
+    /// Clears all pattern state. Called when the user's pseudonym changes:
+    /// "all partially matched patterns based on old pseudonym for that
+    /// user are reset" (Section 6.1, step 2) — and completed observations
+    /// belong to the old pseudonym too, so they are discarded as well.
+    pub fn reset(&mut self) {
+        self.partials.clear();
+        self.completed.clear();
+        self.full_match = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::Rect;
+
+    fn home() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn office() -> Rect {
+        Rect::from_bounds(900.0, 900.0, 1000.0, 1000.0)
+    }
+
+    fn commute_monitor() -> Monitor {
+        Monitor::new(Lbqid::example_commute(home(), office()))
+    }
+
+    fn round_trip(day: i64) -> [StPoint; 4] {
+        [
+            StPoint::xyt(50.0, 50.0, TimeSec::at_hm(day, 7, 30)),
+            StPoint::xyt(950.0, 950.0, TimeSec::at_hm(day, 8, 30)),
+            StPoint::xyt(950.0, 950.0, TimeSec::at_hm(day, 17, 0)),
+            StPoint::xyt(50.0, 50.0, TimeSec::at_hm(day, 18, 0)),
+        ]
+    }
+
+    #[test]
+    fn full_papers_example_matches_online() {
+        let mut m = commute_monitor();
+        let mut full = false;
+        for d in [0, 1, 2, 7, 8, 9] {
+            for p in round_trip(d) {
+                if let Some(ev) = m.observe(p) {
+                    full = full || ev.full_match;
+                }
+            }
+        }
+        assert!(full);
+        assert!(m.is_fully_matched());
+        assert_eq!(m.completed_observations().len(), 6);
+    }
+
+    #[test]
+    fn events_track_traversal_progress() {
+        let mut m = commute_monitor();
+        let [a, b, c, d] = round_trip(0);
+        let ev = m.observe(a).unwrap();
+        assert!(ev.started);
+        assert_eq!(ev.element, 0);
+        let id = ev.partial;
+        let ev = m.observe(b).unwrap();
+        assert!(!ev.started);
+        assert_eq!(ev.element, 1);
+        assert_eq!(ev.partial, id);
+        let ev = m.observe(c).unwrap();
+        assert_eq!(ev.element, 2);
+        let ev = m.observe(d).unwrap();
+        assert_eq!(ev.element, 3);
+        let obs = ev.completed_observation.unwrap();
+        assert_eq!(obs.start(), a.t);
+        assert_eq!(obs.end(), d.t);
+        assert!(!ev.full_match);
+        assert_eq!(m.live_partials(), 0);
+        assert_eq!(m.missing_outer(), 2);
+    }
+
+    #[test]
+    fn irrelevant_requests_yield_no_event() {
+        let mut m = commute_monitor();
+        assert!(m
+            .observe(StPoint::xyt(500.0, 500.0, TimeSec::at_hm(0, 12, 0)))
+            .is_none());
+        // Right area, wrong window.
+        assert!(m
+            .observe(StPoint::xyt(50.0, 50.0, TimeSec::at_hm(0, 12, 0)))
+            .is_none());
+    }
+
+    #[test]
+    fn weekend_start_is_rejected_under_weekday_recurrence() {
+        let mut m = commute_monitor();
+        // Day 5 is a Saturday.
+        assert!(m
+            .observe(StPoint::xyt(50.0, 50.0, TimeSec::at_hm(5, 7, 30)))
+            .is_none());
+    }
+
+    #[test]
+    fn traversals_cannot_span_granules() {
+        let mut m = commute_monitor();
+        let [a, b, _, _] = round_trip(0);
+        m.observe(a).unwrap();
+        m.observe(b).unwrap();
+        // Evening requests on the *next* day cannot extend day 0's
+        // traversal (different Weekdays granule); the home request instead
+        // starts nothing (it matches only elements 0/3: 18:00 is outside
+        // element 0's 7-8am window).
+        let ev = m.observe(StPoint::xyt(950.0, 950.0, TimeSec::at_hm(1, 17, 0)));
+        assert!(ev.is_none());
+        assert_eq!(m.completed_observations().len(), 0);
+    }
+
+    #[test]
+    fn expiry_drops_stale_partials() {
+        let mut m = commute_monitor();
+        m.observe(round_trip(0)[0]).unwrap();
+        assert_eq!(m.live_partials(), 1);
+        m.expire(TimeSec::at_hm(1, 0, 1));
+        assert_eq!(m.live_partials(), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = commute_monitor();
+        for d in [0, 1, 2] {
+            for p in round_trip(d) {
+                m.observe(p);
+            }
+        }
+        assert_eq!(m.completed_observations().len(), 3);
+        m.reset();
+        assert_eq!(m.completed_observations().len(), 0);
+        assert_eq!(m.live_partials(), 0);
+        assert!(!m.is_fully_matched());
+    }
+
+    #[test]
+    fn completability_tracks_remaining_runway() {
+        let mut m = commute_monitor();
+        // Fresh monitor, three weeks of runway: may complete.
+        assert!(m.completable_by(TimeSec::at(0, 0), TimeSec::at(21, 0)));
+        // Only this week left: a second week cannot be satisfied.
+        assert!(!m.completable_by(TimeSec::at(0, 0), TimeSec::at(4, 0)));
+        // After one full week of round trips, next Wednesday suffices.
+        for d in [0, 1, 2] {
+            for p in round_trip(d) {
+                m.observe(p);
+            }
+        }
+        assert!(m.completable_by(TimeSec::at(5, 0), TimeSec::at(9, 82_800)));
+    }
+
+    #[test]
+    fn single_element_pattern_completes_immediately() {
+        let q = Lbqid::new(
+            "at-clinic",
+            vec![crate::Element::new(
+                home(),
+                hka_geo::DayWindow::hm((9, 0), (17, 0)),
+            )],
+            "2.Days".parse().unwrap(),
+        )
+        .unwrap();
+        let mut m = Monitor::new(q);
+        let ev = m
+            .observe(StPoint::xyt(10.0, 10.0, TimeSec::at_hm(0, 10, 0)))
+            .unwrap();
+        assert!(ev.started);
+        assert!(ev.completed_observation.is_some());
+        assert!(!ev.full_match);
+        let ev = m
+            .observe(StPoint::xyt(10.0, 10.0, TimeSec::at_hm(1, 10, 0)))
+            .unwrap();
+        assert!(ev.full_match);
+    }
+
+    #[test]
+    fn partial_cap_evicts_stalest() {
+        // A pattern whose first element is all-day home, so every request
+        // starts a traversal.
+        let q = Lbqid::new(
+            "greedy",
+            vec![
+                crate::Element::new(home(), hka_geo::DayWindow::all_day()),
+                crate::Element::new(office(), hka_geo::DayWindow::all_day()),
+            ],
+            hka_granules::Recurrence::once(),
+        )
+        .unwrap();
+        let mut m = Monitor::new(q);
+        for i in 0..(Monitor::MAX_PARTIALS + 10) {
+            m.observe(StPoint::xyt(10.0, 10.0, TimeSec(i as i64)));
+        }
+        assert!(m.live_partials() <= Monitor::MAX_PARTIALS);
+    }
+
+    #[test]
+    fn empty_recurrence_allows_weekend_and_multi_day() {
+        let q = Lbqid::new(
+            "one-shot",
+            Lbqid::example_commute(home(), office()).elements().to_vec(),
+            hka_granules::Recurrence::once(),
+        )
+        .unwrap();
+        let mut m = Monitor::new(q);
+        // Start Saturday morning, finish Saturday evening.
+        let mut last = None;
+        for p in round_trip(5) {
+            last = m.observe(p);
+        }
+        assert!(last.unwrap().full_match);
+    }
+}

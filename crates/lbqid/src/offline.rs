@@ -1,0 +1,292 @@
+//! Exhaustive Definition-3 matching — the ground truth the online monitor
+//! is validated against.
+//!
+//! Definition 3 says a set of requests `R` matches an LBQID `Q` when each
+//! request matches an element (and each element is matched) and the request
+//! times satisfy the recurrence formula. Operationally — and this is how
+//! the trusted server must reason about risk — the question is whether an
+//! adversary *can extract from the observed requests* a collection of
+//! disjoint, complete, time-ordered traversals of `Q`'s element sequence,
+//! each fitting within one granule of the formula's inner granularity,
+//! whose completion intervals satisfy the recurrence. Requests not
+//! participating in any traversal are permitted (the provider always sees
+//! a superset of the identifying pattern).
+//!
+//! The checker below answers that question *exactly*, by backtracking over
+//! every assignment of requests to traversals. It is exponential in the
+//! worst case and intended for testing and small offline audits; the
+//! trusted server uses the linear-time [`crate::Monitor`] instead.
+
+use crate::Lbqid;
+use hka_geo::{StPoint, TimeInterval};
+use hka_granules::Granularity;
+
+#[derive(Debug, Clone)]
+struct Partial {
+    next: usize,
+    start: hka_geo::TimeSec,
+    last: hka_geo::TimeSec,
+    granule: Option<i64>,
+}
+
+struct Search<'a> {
+    q: &'a Lbqid,
+    inner: Option<Granularity>,
+    requests: Vec<StPoint>,
+}
+
+impl Search<'_> {
+    fn run(&self) -> bool {
+        self.search(0, &mut Vec::new(), &mut Vec::new())
+    }
+
+    fn search(
+        &self,
+        i: usize,
+        partials: &mut Vec<Partial>,
+        completed: &mut Vec<TimeInterval>,
+    ) -> bool {
+        if self.q.recurrence().is_satisfied(completed) {
+            return true;
+        }
+        if i == self.requests.len() {
+            return false;
+        }
+        let p = self.requests[i];
+
+        // Option A: extend one of the live partial traversals.
+        for pi in 0..partials.len() {
+            let (next, granule, last, start) = {
+                let pt = &partials[pi];
+                (pt.next, pt.granule, pt.last, pt.start)
+            };
+            if p.t < last {
+                continue;
+            }
+            if !self.q.elements()[next].matches(&p) {
+                continue;
+            }
+            if let (Some(g), Some(gr)) = (self.inner, granule) {
+                if g.granule_of(p.t) != Some(gr) {
+                    continue;
+                }
+            }
+            if next + 1 == self.q.elements().len() {
+                // Completes a traversal.
+                let saved = partials.remove(pi);
+                completed.push(TimeInterval::new(start, p.t));
+                if self.search(i + 1, partials, completed) {
+                    return true;
+                }
+                completed.pop();
+                partials.insert(pi, saved);
+            } else {
+                partials[pi].next += 1;
+                partials[pi].last = p.t;
+                if self.search(i + 1, partials, completed) {
+                    return true;
+                }
+                partials[pi].next -= 1;
+                partials[pi].last = last;
+            }
+        }
+
+        // Option B: start a new traversal at this request.
+        if self.q.elements()[0].matches(&p) {
+            let granule = match self.inner {
+                Some(g) => g.granule_of(p.t),
+                None => None,
+            };
+            // With a recurrence, an observation starting in a granularity
+            // gap can never be counted; don't bother starting one.
+            let viable = self.inner.is_none() || granule.is_some();
+            if viable {
+                if self.q.elements().len() == 1 {
+                    completed.push(TimeInterval::instant(p.t));
+                    if self.search(i + 1, partials, completed) {
+                        return true;
+                    }
+                    completed.pop();
+                } else {
+                    partials.push(Partial {
+                        next: 1,
+                        start: p.t,
+                        last: p.t,
+                        granule,
+                    });
+                    if self.search(i + 1, partials, completed) {
+                        return true;
+                    }
+                    partials.pop();
+                }
+            }
+        }
+
+        // Option C: leave this request out of every traversal.
+        self.search(i + 1, partials, completed)
+    }
+}
+
+/// Whether the request set matches the LBQID under Definition 3
+/// (see the module docs for the operational reading).
+///
+/// Exhaustive backtracking: use only on small request sets (tests keep
+/// them under ~20 requests).
+pub fn matches(q: &Lbqid, requests: &[StPoint]) -> bool {
+    let mut sorted = requests.to_vec();
+    sorted.sort_by_key(|p| p.t);
+    Search {
+        q,
+        inner: q.recurrence().inner_granularity(),
+        requests: sorted,
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Element;
+    use hka_geo::{DayWindow, Rect, TimeSec};
+    use hka_granules::Recurrence;
+
+    fn home() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn office() -> Rect {
+        Rect::from_bounds(900.0, 900.0, 1000.0, 1000.0)
+    }
+
+    fn commute() -> Lbqid {
+        Lbqid::example_commute(home(), office())
+    }
+
+    /// A full round trip on `day`.
+    fn round_trip(day: i64) -> Vec<StPoint> {
+        vec![
+            StPoint::xyt(50.0, 50.0, TimeSec::at_hm(day, 7, 30)),
+            StPoint::xyt(950.0, 950.0, TimeSec::at_hm(day, 8, 30)),
+            StPoint::xyt(950.0, 950.0, TimeSec::at_hm(day, 17, 0)),
+            StPoint::xyt(50.0, 50.0, TimeSec::at_hm(day, 18, 0)),
+        ]
+    }
+
+    #[test]
+    fn papers_example_matches() {
+        // 3 weekdays in week 0 (days 0,1,2) and 3 in week 1 (7,8,9).
+        let mut reqs = Vec::new();
+        for d in [0, 1, 2, 7, 8, 9] {
+            reqs.extend(round_trip(d));
+        }
+        assert!(matches(&commute(), &reqs));
+    }
+
+    #[test]
+    fn one_week_is_not_enough() {
+        let mut reqs = Vec::new();
+        for d in [0, 1, 2] {
+            reqs.extend(round_trip(d));
+        }
+        assert!(!matches(&commute(), &reqs));
+    }
+
+    #[test]
+    fn incomplete_traversals_do_not_count() {
+        // Morning halves only, for several days.
+        let mut reqs = Vec::new();
+        for d in 0..6 {
+            reqs.push(StPoint::xyt(50.0, 50.0, TimeSec::at_hm(d, 7, 30)));
+            reqs.push(StPoint::xyt(950.0, 950.0, TimeSec::at_hm(d, 8, 30)));
+        }
+        assert!(!matches(&commute(), &reqs));
+    }
+
+    #[test]
+    fn noise_requests_are_ignored() {
+        let mut reqs = Vec::new();
+        for d in [0, 1, 2, 7, 8, 9] {
+            reqs.extend(round_trip(d));
+            // Lunch-time requests downtown: match no element.
+            reqs.push(StPoint::xyt(500.0, 500.0, TimeSec::at_hm(d, 12, 0)));
+        }
+        assert!(matches(&commute(), &reqs));
+    }
+
+    #[test]
+    fn weekend_round_trips_fall_in_gaps() {
+        // Days 5,6 are Sat/Sun; 12,13 the next weekend; plus two more
+        // weekend days — six traversals, none in a Weekdays granule.
+        let mut reqs = Vec::new();
+        for d in [5, 6, 12, 13, 19, 20] {
+            reqs.extend(round_trip(d));
+        }
+        assert!(!matches(&commute(), &reqs));
+    }
+
+    #[test]
+    fn empty_recurrence_matches_single_traversal() {
+        let q = Lbqid::new(
+            "one-shot",
+            commute().elements().to_vec(),
+            Recurrence::once(),
+        )
+        .unwrap();
+        assert!(matches(&q, &round_trip(0)));
+        assert!(matches(&q, &round_trip(5))); // weekends fine without recurrence
+        assert!(!matches(&q, &round_trip(0)[..3].to_vec()));
+        assert!(!matches(&q, &[]));
+    }
+
+    #[test]
+    fn single_element_lbqid() {
+        let q = Lbqid::new(
+            "at-clinic",
+            vec![Element::new(home(), DayWindow::hm((9, 0), (17, 0)))],
+            "2.Days".parse().unwrap(),
+        )
+        .unwrap();
+        let one = [StPoint::xyt(10.0, 10.0, TimeSec::at_hm(0, 10, 0))];
+        let two = [
+            StPoint::xyt(10.0, 10.0, TimeSec::at_hm(0, 10, 0)),
+            StPoint::xyt(10.0, 10.0, TimeSec::at_hm(1, 10, 0)),
+        ];
+        assert!(!matches(&q, &one));
+        assert!(matches(&q, &two));
+    }
+
+    #[test]
+    fn traversal_must_be_time_ordered() {
+        // Evening first, morning later the same day cannot complete the
+        // pattern in order... but since requests are sorted by time and the
+        // pattern needs morning-before-evening, reversing wall-clock times
+        // means the office-morning element has no early match.
+        let day = 0;
+        let reqs = vec![
+            StPoint::xyt(950.0, 950.0, TimeSec::at_hm(day, 17, 0)),
+            StPoint::xyt(50.0, 50.0, TimeSec::at_hm(day, 18, 0)),
+        ];
+        let q = Lbqid::new(
+            "one-shot",
+            commute().elements().to_vec(),
+            Recurrence::once(),
+        )
+        .unwrap();
+        assert!(!matches(&q, &reqs));
+    }
+
+    #[test]
+    fn interleaved_traversals_are_separable() {
+        // Two one-element-pattern users... here: one pattern, requests of
+        // two different days interleaved in submission order — sorting by
+        // time plus backtracking must still find both traversals.
+        let mut reqs = round_trip(0);
+        reqs.extend(round_trip(1));
+        reqs.extend(round_trip(2));
+        reqs.extend(round_trip(7));
+        reqs.extend(round_trip(8));
+        reqs.extend(round_trip(9));
+        reqs.reverse(); // scrambled input order
+        assert!(matches(&commute(), &reqs));
+    }
+}

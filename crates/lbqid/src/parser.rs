@@ -1,0 +1,345 @@
+//! A small textual DSL for LBQIDs.
+//!
+//! The paper's Example 2 written in the DSL:
+//!
+//! ```text
+//! lbqid commute {
+//!     element AreaCondominium area(0, 0, 100, 100)       window(07:00, 08:00);
+//!     element AreaOfficeBldg  area(900, 900, 1000, 1000) window(08:00, 09:00);
+//!     element AreaOfficeBldg  area(900, 900, 1000, 1000) window(16:00, 18:00);
+//!     element AreaCondominium area(0, 0, 100, 100)       window(17:00, 19:00);
+//!     recur 3.Weekdays * 2.Weeks;
+//! }
+//! ```
+//!
+//! Grammar (whitespace-insensitive, `#` starts a line comment):
+//!
+//! ```text
+//! lbqid     := "lbqid" IDENT "{" element+ recur? "}"
+//! element   := "element" IDENT? "area" "(" NUM "," NUM "," NUM "," NUM ")"
+//!              "window" "(" HH:MM "," HH:MM ")" ";"
+//! recur     := "recur" FORMULA ";"        // parsed by hka-granules
+//! ```
+
+use crate::{Element, Lbqid};
+use hka_geo::{DayWindow, Rect};
+use hka_granules::Recurrence;
+use std::fmt;
+
+/// Error from [`parse_lbqid`], with a human-readable message that names
+/// the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLbqidError(pub String);
+
+impl fmt::Display for ParseLbqidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LBQID parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseLbqidError {}
+
+struct Tokens<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(src: &'a str) -> Self {
+        Tokens { src, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let rest = &self.src[self.pos..];
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if self.src[self.pos..].starts_with('#') {
+                match self.src[self.pos..].find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.src.len(),
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    /// Consumes an identifier/keyword-like token (letters, digits, `_`).
+    fn ident(&mut self) -> Result<&'a str, ParseLbqidError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(ParseLbqidError(format!(
+                "expected identifier at …{:?}",
+                rest.chars().take(12).collect::<String>()
+            )));
+        }
+        self.pos += end;
+        Ok(&rest[..end])
+    }
+
+    fn expect(&mut self, token: char) -> Result<(), ParseLbqidError> {
+        match self.peek() {
+            Some(c) if c == token => {
+                self.pos += c.len_utf8();
+                Ok(())
+            }
+            other => Err(ParseLbqidError(format!(
+                "expected '{token}', found {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseLbqidError> {
+        let got = self.ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(ParseLbqidError(format!("expected '{kw}', found '{got}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseLbqidError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit() && *c != '.' && *c != '-' && *c != '+')
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let tok = &rest[..end];
+        let n: f64 = tok
+            .parse()
+            .map_err(|_| ParseLbqidError(format!("expected number, found '{tok}'")))?;
+        self.pos += end;
+        Ok(n)
+    }
+
+    /// `HH:MM` as seconds-after-midnight.
+    fn time_of_day(&mut self) -> Result<i64, ParseLbqidError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit() && *c != ':')
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let tok = &rest[..end];
+        let (h, m) = tok
+            .split_once(':')
+            .ok_or_else(|| ParseLbqidError(format!("expected HH:MM, found '{tok}'")))?;
+        let h: i64 = h
+            .parse()
+            .map_err(|_| ParseLbqidError(format!("bad hour in '{tok}'")))?;
+        let m: i64 = m
+            .parse()
+            .map_err(|_| ParseLbqidError(format!("bad minute in '{tok}'")))?;
+        if h > 24 || m > 59 {
+            return Err(ParseLbqidError(format!("time out of range: '{tok}'")));
+        }
+        self.pos += end;
+        Ok(h * 3600 + m * 60)
+    }
+
+    /// Everything up to (excluding) the next `stop` character.
+    fn until(&mut self, stop: char) -> Result<&'a str, ParseLbqidError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .find(stop)
+            .ok_or_else(|| ParseLbqidError(format!("expected '{stop}' before end of input")))?;
+        self.pos += end;
+        Ok(rest[..end].trim())
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.peek().is_none()
+    }
+}
+
+/// Parses one LBQID definition from DSL text.
+///
+/// ```
+/// let q = hka_lbqid::parse_lbqid(
+///     "lbqid clinic { element area(0, 0, 100, 100) window(09:00, 17:00); recur 2.Days; }",
+/// ).unwrap();
+/// assert_eq!(q.name(), "clinic");
+/// assert_eq!(q.elements().len(), 1);
+/// assert_eq!(q.recurrence().to_string(), "2.Days");
+/// ```
+pub fn parse_lbqid(src: &str) -> Result<Lbqid, ParseLbqidError> {
+    let mut t = Tokens::new(src);
+    t.expect_keyword("lbqid")?;
+    let name = t.ident()?.to_owned();
+    t.expect('{')?;
+
+    let mut elements = Vec::new();
+    let mut recurrence = Recurrence::once();
+    loop {
+        match t.peek() {
+            Some('}') => {
+                t.expect('}')?;
+                break;
+            }
+            None => return Err(ParseLbqidError("unterminated lbqid block".into())),
+            _ => {}
+        }
+        let kw = t.ident()?;
+        match kw {
+            "element" => {
+                // Optional label: an identifier other than "area".
+                let mut label: Option<String> = None;
+                let next = t.ident()?;
+                if next != "area" {
+                    label = Some(next.to_owned());
+                    t.expect_keyword("area")?;
+                }
+                t.expect('(')?;
+                let x1 = t.number()?;
+                t.expect(',')?;
+                let y1 = t.number()?;
+                t.expect(',')?;
+                let x2 = t.number()?;
+                t.expect(',')?;
+                let y2 = t.number()?;
+                t.expect(')')?;
+                t.expect_keyword("window")?;
+                t.expect('(')?;
+                let w1 = t.time_of_day()?;
+                t.expect(',')?;
+                let w2 = t.time_of_day()?;
+                t.expect(')')?;
+                t.expect(';')?;
+                let area = Rect::from_bounds(x1, y1, x2, y2);
+                let window = DayWindow::new(w1, w2);
+                elements.push(match label {
+                    Some(l) => Element::labeled(l, area, window),
+                    None => Element::new(area, window),
+                });
+            }
+            "recur" => {
+                let formula = t.until(';')?;
+                t.expect(';')?;
+                recurrence = formula
+                    .parse()
+                    .map_err(|e| ParseLbqidError(format!("bad recurrence '{formula}': {e}")))?;
+            }
+            other => {
+                return Err(ParseLbqidError(format!(
+                    "expected 'element' or 'recur', found '{other}'"
+                )))
+            }
+        }
+    }
+    if !t.at_end() {
+        return Err(ParseLbqidError("trailing input after lbqid block".into()));
+    }
+    Lbqid::new(name, elements, recurrence).map_err(|e| ParseLbqidError(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COMMUTE: &str = r#"
+        # The paper's Example 2.
+        lbqid commute {
+            element AreaCondominium area(0, 0, 100, 100)       window(07:00, 08:00);
+            element AreaOfficeBldg  area(900, 900, 1000, 1000) window(08:00, 09:00);
+            element AreaOfficeBldg  area(900, 900, 1000, 1000) window(16:00, 18:00);
+            element AreaCondominium area(0, 0, 100, 100)       window(17:00, 19:00);
+            recur 3.Weekdays * 2.Weeks;
+        }
+    "#;
+
+    #[test]
+    fn parses_papers_example() {
+        let q = parse_lbqid(COMMUTE).unwrap();
+        let reference = Lbqid::example_commute(
+            Rect::from_bounds(0.0, 0.0, 100.0, 100.0),
+            Rect::from_bounds(900.0, 900.0, 1000.0, 1000.0),
+        );
+        assert_eq!(q, reference);
+    }
+
+    #[test]
+    fn labels_are_optional() {
+        let q = parse_lbqid(
+            "lbqid x { element area(0,0,1,1) window(07:00,08:00); recur 2.Days; }",
+        )
+        .unwrap();
+        assert_eq!(q.elements().len(), 1);
+        assert_eq!(q.elements()[0].label, None);
+        assert_eq!(q.recurrence().to_string(), "2.Days");
+    }
+
+    #[test]
+    fn missing_recur_means_once() {
+        let q = parse_lbqid("lbqid x { element area(0,0,1,1) window(07:00,08:00); }").unwrap();
+        assert_eq!(q.recurrence(), &Recurrence::once());
+    }
+
+    #[test]
+    fn negative_and_decimal_coordinates() {
+        let q = parse_lbqid(
+            "lbqid x { element area(-10.5, -3, 22.25, 7) window(00:00, 23:59); }",
+        )
+        .unwrap();
+        assert_eq!(q.elements()[0].area, Rect::from_bounds(-10.5, -3.0, 22.25, 7.0));
+    }
+
+    #[test]
+    fn wrapping_window_parses() {
+        let q = parse_lbqid(
+            "lbqid nightowl { element area(0,0,1,1) window(22:00, 02:00); }",
+        )
+        .unwrap();
+        assert!(q.elements()[0].window.wraps());
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let cases = [
+            ("", "expected identifier"),
+            ("lbqid {", "expected identifier"),
+            ("lbqid x element", "expected '{'"),
+            ("lbqid x { element area(0,0,1,1); }", "expected identifier"),
+            ("lbqid x { element area(0,0,1,1) win(07:00,08:00); }", "expected 'window'"),
+            ("lbqid x { element area(0,0,1,1) window(25:99, 08:00); }", "out of range"),
+            ("lbqid x { recur 3.Lightyears; }", "bad recurrence"),
+            ("lbqid x { widget; }", "expected 'element' or 'recur'"),
+            ("lbqid x { }", "at least one element"),
+            ("lbqid x { element area(0,0,1,1) window(07:00,08:00);", "unterminated"),
+            ("lbqid x { element area(0,0,1,1) window(07:00,08:00); } garbage", "trailing"),
+            ("lbqid x { element area(a,0,1,1) window(07:00,08:00); }", "expected number"),
+            ("lbqid x { element area(0,0,1,1) window(0700,0800); }", "expected HH:MM"),
+        ];
+        for (src, needle) in cases {
+            let err = parse_lbqid(src).unwrap_err().to_string();
+            assert!(
+                err.contains(needle),
+                "for {src:?}: expected {needle:?} in {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let q = parse_lbqid(
+            "lbqid   x\n{\n# comment\nelement area( 0 , 0 , 1 , 1 )\nwindow( 07:00 , 08:00 ) ;\n# another\n}",
+        )
+        .unwrap();
+        assert_eq!(q.name(), "x");
+    }
+}

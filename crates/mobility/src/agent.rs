@@ -1,0 +1,439 @@
+//! Agents and their daily itineraries.
+
+use crate::City;
+use hka_geo::{Point, StPoint, TimeSec, HOUR, MINUTE};
+use hka_granules::calendar::{weekday_of_day, Weekday};
+use hka_trajectory::UserId;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// What kind of life an agent leads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Role {
+    /// Weekday home → office → home round trips (the paper's Example 1
+    /// user). Fields index into [`City::homes`] / [`City::offices`].
+    Commuter {
+        /// Home building index.
+        home: usize,
+        /// Office building index.
+        office: usize,
+        /// Seconds after midnight the agent leaves home (pre-jitter).
+        depart_home: i64,
+        /// Seconds after midnight the agent leaves the office (pre-jitter).
+        depart_office: i64,
+    },
+    /// Random-waypoint background user.
+    Roamer {
+        /// Longest pause at a waypoint, seconds.
+        max_pause: i64,
+    },
+    /// Home-anchored user with recurring evening visits to one POI.
+    PoiRegular {
+        /// Home building index.
+        home: usize,
+        /// Favorite POI index.
+        poi: usize,
+        /// Which weekdays the visit happens (Monday-first mask).
+        days: [bool; 7],
+        /// Departure time for the outing, seconds after midnight.
+        depart: i64,
+        /// Time spent at the POI, seconds.
+        dwell: i64,
+    },
+}
+
+/// A simulated user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agent {
+    /// The user this agent plays.
+    pub user: UserId,
+    /// Behaviour.
+    pub role: Role,
+    /// Movement speed, m/s (commuters drive, roamers walk).
+    pub speed: f64,
+}
+
+/// Why an agent is at a particular place at a particular time. Anchors
+/// mark the moments when a user plausibly issues a service request tied to
+/// a routine — exactly the observations an LBQID captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnchorKind {
+    /// At home in the morning, before leaving.
+    HomeMorning,
+    /// Just arrived at the office.
+    OfficeArrive,
+    /// At the office, shortly before leaving.
+    OfficeLeave,
+    /// Back home in the evening.
+    HomeEvening,
+    /// During a POI visit.
+    PoiVisit,
+}
+
+/// An anchor occurrence within a day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anchor {
+    /// Where/when.
+    pub at: StPoint,
+    /// Routine context.
+    pub kind: AnchorKind,
+}
+
+/// One day of simulated movement: position samples plus routine anchors.
+#[derive(Debug, Clone, Default)]
+pub struct DayTrace {
+    /// Position samples every `sample_interval` seconds, 06:00–22:00.
+    pub samples: Vec<StPoint>,
+    /// Routine anchors (each coincides with a sample).
+    pub anchors: Vec<Anchor>,
+}
+
+/// A movement plan for a day: the agent is at `legs[i].1` from
+/// `legs[i].0` onwards, moving there Manhattan-style from the previous
+/// location.
+type Itinerary = Vec<(TimeSec, Point)>;
+
+impl Agent {
+    /// Simulates one day, sampling positions every `dt` seconds between
+    /// 06:00 and 22:00.
+    pub fn simulate_day(&self, city: &City, day: i64, dt: i64, rng: &mut StdRng) -> DayTrace {
+        assert!(dt > 0, "sample interval must be positive");
+        let (itinerary, anchor_plan) = self.plan(city, day, rng);
+        let day_start = TimeSec::at_hm(day, 6, 0);
+        let day_end = TimeSec::at_hm(day, 22, 0);
+
+        let mut trace = DayTrace::default();
+        let mut t = day_start;
+        while t <= day_end {
+            trace.samples.push(StPoint::new(position_at(&itinerary, t, self.speed), t));
+            t = t + dt;
+        }
+        // Anchors snap to the nearest sample at-or-after their time.
+        for (at, kind) in anchor_plan {
+            let idx = ((at - day_start).max(0) as usize).div_ceil(dt as usize);
+            if let Some(p) = trace.samples.get(idx) {
+                trace.anchors.push(Anchor { at: *p, kind });
+            }
+        }
+        trace
+    }
+
+    /// Builds the day's itinerary and the anchor schedule.
+    fn plan(&self, city: &City, day: i64, rng: &mut StdRng) -> (Itinerary, Vec<(TimeSec, AnchorKind)>) {
+        let jitter = |rng: &mut StdRng, spread: i64| rng.random_range(-spread..=spread);
+        match &self.role {
+            Role::Commuter {
+                home,
+                office,
+                depart_home,
+                depart_office,
+            } => {
+                let home_p = City::inside(&city.homes[*home]);
+                let office_p = City::inside(&city.offices[*office]);
+                let weekday = weekday_of_day(day);
+                if !weekday.is_business_day() {
+                    // Weekend: home all day (occasionally a short walk).
+                    let mut it: Itinerary = vec![(TimeSec::at(day, 0), home_p)];
+                    if rng.random_bool(0.5) {
+                        let out = city.random_point(rng);
+                        let leave = TimeSec::at_hm(day, 11, 0) + jitter(rng, 2 * HOUR);
+                        let back = leave + 2 * HOUR;
+                        it.push((leave, out));
+                        it.push((back, home_p));
+                    }
+                    return (it, vec![]);
+                }
+                let leave_home = TimeSec::at(day, *depart_home) + jitter(rng, 8 * MINUTE);
+                let leave_office = TimeSec::at(day, *depart_office) + jitter(rng, 12 * MINUTE);
+                let it: Itinerary = vec![
+                    (TimeSec::at(day, 0), home_p),
+                    (leave_home, office_p),
+                    (leave_office, home_p),
+                ];
+                // Anchor times inside the canonical commute windows.
+                let travel =
+                    (home_p.manhattan_dist(&office_p) / self.speed).ceil() as i64;
+                let anchors = vec![
+                    (leave_home - rng.random_range(5 * MINUTE..20 * MINUTE), AnchorKind::HomeMorning),
+                    (
+                        (leave_home + travel + rng.random_range(2 * MINUTE..10 * MINUTE))
+                            .max(TimeSec::at_hm(day, 8, 1)),
+                        AnchorKind::OfficeArrive,
+                    ),
+                    (leave_office - rng.random_range(5 * MINUTE..20 * MINUTE), AnchorKind::OfficeLeave),
+                    (
+                        (leave_office + travel + rng.random_range(2 * MINUTE..10 * MINUTE))
+                            .max(TimeSec::at_hm(day, 17, 1)),
+                        AnchorKind::HomeEvening,
+                    ),
+                ];
+                (it, anchors)
+            }
+            Role::Roamer { max_pause } => {
+                // Random waypoints from 06:00 to 22:00.
+                let mut it: Itinerary = vec![(TimeSec::at(day, 0), city.random_point(rng))];
+                let mut t = TimeSec::at_hm(day, 6, 0);
+                let end = TimeSec::at_hm(day, 22, 0);
+                let mut cur = it[0].1;
+                while t < end {
+                    let next = city.random_point(rng);
+                    let travel = (cur.manhattan_dist(&next) / self.speed).ceil() as i64;
+                    it.push((t, next));
+                    cur = next;
+                    t = t + travel + rng.random_range(MINUTE..=*max_pause);
+                }
+                (it, vec![])
+            }
+            Role::PoiRegular {
+                home,
+                poi,
+                days,
+                depart,
+                dwell,
+            } => {
+                let home_p = City::inside(&city.homes[*home]);
+                let poi_p = City::inside(&city.pois[*poi]);
+                let weekday = weekday_of_day(day);
+                let mut it: Itinerary = vec![(TimeSec::at(day, 0), home_p)];
+                let mut anchors = vec![];
+                if days[weekday as usize] {
+                    let leave = TimeSec::at(day, *depart) + jitter(rng, 10 * MINUTE);
+                    let travel = (home_p.manhattan_dist(&poi_p) / self.speed).ceil() as i64;
+                    let back = leave + travel + *dwell;
+                    it.push((leave, poi_p));
+                    it.push((back, home_p));
+                    anchors.push((leave + travel + rng.random_range(MINUTE..10 * MINUTE), AnchorKind::PoiVisit));
+                }
+                (it, anchors)
+            }
+        }
+    }
+}
+
+/// Where an agent following `itinerary` at `speed` is at time `t`:
+/// at each leg's start time the agent departs its previous location and
+/// moves Manhattan-style (x first, then y) towards the leg target.
+fn position_at(itinerary: &Itinerary, t: TimeSec, speed: f64) -> Point {
+    debug_assert!(!itinerary.is_empty());
+    let mut pos = itinerary[0].1;
+    for (depart, target) in itinerary.iter().skip(1) {
+        if t < *depart {
+            break;
+        }
+        let elapsed = (t - *depart) as f64;
+        let budget = elapsed * speed;
+        pos = manhattan_move(pos, *target, budget);
+    }
+    pos
+}
+
+/// Moves from `from` towards `to` along x then y, spending at most
+/// `budget` meters.
+fn manhattan_move(from: Point, to: Point, budget: f64) -> Point {
+    if budget <= 0.0 {
+        return from;
+    }
+    let dx = to.x - from.x;
+    if budget <= dx.abs() {
+        return Point::new(from.x + dx.signum() * budget, from.y);
+    }
+    let rem = budget - dx.abs();
+    let dy = to.y - from.y;
+    if rem <= dy.abs() {
+        return Point::new(to.x, from.y + dy.signum() * rem);
+    }
+    to
+}
+
+/// A convenient default weekday mask (all business days).
+pub fn business_days() -> [bool; 7] {
+    let mut m = [false; 7];
+    for d in Weekday::ALL {
+        if d.is_business_day() {
+            m[d as usize] = true;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CityConfig;
+    use rand::SeedableRng;
+
+    fn city() -> City {
+        City::generate(&CityConfig::default(), &mut StdRng::seed_from_u64(11))
+    }
+
+    fn commuter(city: &City) -> Agent {
+        let _ = city;
+        Agent {
+            user: UserId(1),
+            role: Role::Commuter {
+                home: 0,
+                office: 0,
+                depart_home: 7 * HOUR + 45 * MINUTE,
+                depart_office: 16 * HOUR + 45 * MINUTE,
+            },
+            speed: 10.0,
+        }
+    }
+
+    #[test]
+    fn manhattan_move_steps() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 5.0);
+        assert_eq!(manhattan_move(a, b, 0.0), a);
+        assert_eq!(manhattan_move(a, b, 4.0), Point::new(4.0, 0.0));
+        assert_eq!(manhattan_move(a, b, 12.0), Point::new(10.0, 2.0));
+        assert_eq!(manhattan_move(a, b, 100.0), b);
+    }
+
+    #[test]
+    fn commuter_is_home_then_office_then_home() {
+        let city = city();
+        let a = commuter(&city);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = a.simulate_day(&city, 0, 60, &mut rng); // Monday
+        let home = City::inside(&city.homes[0]);
+        let office = City::inside(&city.offices[0]);
+        let at = |h: u32, m: u32| {
+            trace
+                .samples
+                .iter()
+                .find(|p| p.t >= TimeSec::at_hm(0, h, m))
+                .unwrap()
+                .pos
+        };
+        assert_eq!(at(7, 0), home);
+        assert_eq!(at(10, 0), office);
+        assert_eq!(at(21, 0), home);
+    }
+
+    #[test]
+    fn commuter_anchor_times_fit_commute_windows() {
+        let city = city();
+        let a = commuter(&city);
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trace = a.simulate_day(&city, 1, 30, &mut rng); // Tuesday
+            assert_eq!(trace.anchors.len(), 4);
+            let home = City::inside(&city.homes[0]);
+            let office = City::inside(&city.offices[0]);
+            for anchor in &trace.anchors {
+                let sod = anchor.at.t.second_of_day();
+                match anchor.kind {
+                    AnchorKind::HomeMorning => {
+                        assert_eq!(anchor.at.pos, home);
+                        assert!((7 * HOUR..8 * HOUR).contains(&sod), "sod={sod}");
+                    }
+                    AnchorKind::OfficeArrive => {
+                        assert_eq!(anchor.at.pos, office);
+                        assert!((8 * HOUR..9 * HOUR).contains(&sod), "sod={sod}");
+                    }
+                    AnchorKind::OfficeLeave => {
+                        assert_eq!(anchor.at.pos, office);
+                        assert!((16 * HOUR..18 * HOUR).contains(&sod), "sod={sod}");
+                    }
+                    AnchorKind::HomeEvening => {
+                        assert_eq!(anchor.at.pos, home);
+                        assert!((17 * HOUR..19 * HOUR).contains(&sod), "sod={sod}");
+                    }
+                    AnchorKind::PoiVisit => panic!("commuters have no POI anchors"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commuter_stays_home_area_on_weekends() {
+        let city = city();
+        let a = commuter(&city);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = a.simulate_day(&city, 5, 300, &mut rng); // Saturday
+        assert!(trace.anchors.is_empty());
+        let office = City::inside(&city.offices[0]);
+        assert!(trace.samples.iter().all(|p| p.pos != office));
+    }
+
+    #[test]
+    fn roamer_moves_within_bounds() {
+        let city = city();
+        let a = Agent {
+            user: UserId(2),
+            role: Role::Roamer { max_pause: 10 * MINUTE },
+            speed: 1.5,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let trace = a.simulate_day(&city, 0, 120, &mut rng);
+        assert!(!trace.samples.is_empty());
+        for p in &trace.samples {
+            assert!(city.bounds.contains(&p.pos));
+        }
+        // It actually moves.
+        let distinct: std::collections::BTreeSet<String> = trace
+            .samples
+            .iter()
+            .map(|p| format!("{:.0},{:.0}", p.pos.x, p.pos.y))
+            .collect();
+        assert!(distinct.len() > 5);
+    }
+
+    #[test]
+    fn poi_regular_visits_on_scheduled_days_only() {
+        let city = city();
+        let mut days = [false; 7];
+        days[Weekday::Tuesday as usize] = true;
+        let a = Agent {
+            user: UserId(3),
+            role: Role::PoiRegular {
+                home: 1,
+                poi: 2,
+                days,
+                depart: 18 * HOUR + 30 * MINUTE,
+                dwell: HOUR,
+            },
+            speed: 8.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let tue = a.simulate_day(&city, 1, 60, &mut rng);
+        assert_eq!(tue.anchors.len(), 1);
+        assert_eq!(tue.anchors[0].kind, AnchorKind::PoiVisit);
+        assert_eq!(tue.anchors[0].at.pos, City::inside(&city.pois[2]));
+        let wed = a.simulate_day(&city, 2, 60, &mut rng);
+        assert!(wed.anchors.is_empty());
+        // Wednesday: home all day.
+        let home = City::inside(&city.homes[1]);
+        assert!(wed.samples.iter().all(|p| p.pos == home));
+    }
+
+    #[test]
+    fn samples_are_evenly_spaced_and_daytime() {
+        let city = city();
+        let a = commuter(&city);
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = a.simulate_day(&city, 0, 60, &mut rng);
+        assert_eq!(trace.samples.len(), (16 * 60) + 1); // 06:00..=22:00 each minute
+        for w in trace.samples.windows(2) {
+            assert_eq!(w[1].t - w[0].t, 60);
+        }
+    }
+
+    #[test]
+    fn anchors_coincide_with_samples() {
+        let city = city();
+        let a = commuter(&city);
+        let mut rng = StdRng::seed_from_u64(123);
+        let trace = a.simulate_day(&city, 3, 45, &mut rng);
+        for anchor in &trace.anchors {
+            assert!(trace.samples.contains(&anchor.at));
+        }
+    }
+
+    #[test]
+    fn business_days_mask() {
+        let m = business_days();
+        assert_eq!(m, [true, true, true, true, true, false, false]);
+    }
+}

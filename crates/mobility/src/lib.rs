@@ -1,0 +1,35 @@
+//! # hka-mobility
+//!
+//! Synthetic mobility and request workloads.
+//!
+//! The paper's trusted server operates on "a moving object database
+//! storing precise data for all of its users"; the original authors had a
+//! wireless operator's view in mind. No such traces ship with this
+//! reproduction, so this crate generates the closest synthetic equivalent
+//! (per DESIGN.md's substitution table): a seeded city with
+//!
+//! * **commuters** — the paper's Example 1 users, making home → office
+//!   round trips on weekdays with per-user schedule jitter (these are the
+//!   users whose movements instantiate the commute LBQID);
+//! * **roamers** — random-waypoint background population providing the
+//!   crowds that anonymity sets are drawn from;
+//! * **POI regulars** — home-anchored users with recurring evening visits
+//!   to a favorite point of interest ("personal points of interest" are
+//!   one of the paper's three classes of sensitive location data).
+//!
+//! [`World::generate`] produces a deterministic, time-sorted stream of
+//! [`Event`]s — location updates interleaved with service requests — that
+//! the trusted server consumes; requests always coincide with a location
+//! sample, matching the paper's invariant that "for each request r_i there
+//! must be an element in the PHL of User(r_i)".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod city;
+mod world;
+
+pub use agent::{business_days, Agent, Anchor, AnchorKind, DayTrace, Role};
+pub use city::{City, CityConfig};
+pub use world::{Event, EventKind, World, WorldConfig, ANCHOR_SERVICE, BACKGROUND_SERVICE};

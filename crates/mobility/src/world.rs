@@ -1,0 +1,366 @@
+//! The full workload: agents simulated over days, flattened into a
+//! deterministic, time-sorted event stream.
+
+use crate::agent::{business_days, Anchor};
+use crate::{Agent, City, CityConfig, Role};
+use hka_geo::{Rect, StPoint, HOUR, MINUTE};
+use hka_trajectory::{TrajectoryStore, UserId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Workload sizing and behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Master seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Number of simulated days (day 0 is a Monday).
+    pub days: i64,
+    /// Location-update sampling interval, seconds.
+    pub sample_interval: i64,
+    /// Number of commuting agents.
+    pub n_commuters: usize,
+    /// Number of random-waypoint agents.
+    pub n_roamers: usize,
+    /// Number of POI-regular agents.
+    pub n_poi_regulars: usize,
+    /// City layout.
+    pub city: CityConfig,
+    /// Probability that a routine anchor produces a service request.
+    pub anchor_request_prob: f64,
+    /// Background requests per agent-hour (issued at sample points).
+    pub background_request_rate: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 42,
+            days: 14,
+            sample_interval: 60,
+            n_commuters: 20,
+            n_roamers: 30,
+            n_poi_regulars: 10,
+            city: CityConfig::default(),
+            anchor_request_prob: 1.0,
+            background_request_rate: 0.5,
+        }
+    }
+}
+
+/// What an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A positioning update (feeds the PHL only).
+    Location,
+    /// A service request issued from the current position; the payload is
+    /// the service class (0 = background, 1 = routine/anchor requests).
+    Request {
+        /// Service class.
+        service: u32,
+    },
+}
+
+/// One timestamped event of the workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// The acting user.
+    pub user: UserId,
+    /// Exact position and time.
+    pub at: StPoint,
+    /// Update or request.
+    pub kind: EventKind,
+}
+
+/// The generated world: city, agents, and the event stream.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// City layout.
+    pub city: City,
+    /// All agents (commuters first, then roamers, then POI regulars).
+    pub agents: Vec<Agent>,
+    /// All events, sorted by time (ties: by user, locations before
+    /// requests).
+    pub events: Vec<Event>,
+}
+
+/// The service class assigned to routine (anchor) requests.
+pub const ANCHOR_SERVICE: u32 = 1;
+/// The service class assigned to background requests.
+pub const BACKGROUND_SERVICE: u32 = 0;
+
+impl World {
+    /// Generates the world deterministically from the config.
+    pub fn generate(cfg: &WorldConfig) -> World {
+        assert!(cfg.days > 0, "need at least one day");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let city = City::generate(&cfg.city, &mut rng);
+        let mut agents = Vec::new();
+        let mut next_user = 0u64;
+
+        for _ in 0..cfg.n_commuters {
+            agents.push(Agent {
+                user: UserId(next_user),
+                role: Role::Commuter {
+                    home: rng.random_range(0..city.homes.len()),
+                    office: rng.random_range(0..city.offices.len()),
+                    depart_home: 7 * HOUR + rng.random_range(35 * MINUTE..50 * MINUTE),
+                    depart_office: 16 * HOUR + rng.random_range(30 * MINUTE..55 * MINUTE),
+                },
+                speed: rng.random_range(8.0..12.0),
+            });
+            next_user += 1;
+        }
+        for _ in 0..cfg.n_roamers {
+            agents.push(Agent {
+                user: UserId(next_user),
+                role: Role::Roamer {
+                    max_pause: rng.random_range(5 * MINUTE..30 * MINUTE),
+                },
+                speed: rng.random_range(1.0..3.0),
+            });
+            next_user += 1;
+        }
+        for _ in 0..cfg.n_poi_regulars {
+            let mut days = [false; 7];
+            // Two or three fixed outing weekdays.
+            let outings = rng.random_range(2..=3);
+            let all = business_days();
+            let mut picked = 0;
+            while picked < outings {
+                let d = rng.random_range(0..7);
+                if all[d] && !days[d] {
+                    days[d] = true;
+                    picked += 1;
+                }
+            }
+            agents.push(Agent {
+                user: UserId(next_user),
+                role: Role::PoiRegular {
+                    home: rng.random_range(0..city.homes.len()),
+                    poi: rng.random_range(0..city.pois.len()),
+                    days,
+                    depart: 18 * HOUR + rng.random_range(0..40 * MINUTE),
+                    dwell: rng.random_range(30 * MINUTE..90 * MINUTE),
+                },
+                speed: rng.random_range(6.0..10.0),
+            });
+            next_user += 1;
+        }
+
+        // Per-sample background request probability.
+        let p_bg =
+            (cfg.background_request_rate * cfg.sample_interval as f64 / 3_600.0).clamp(0.0, 1.0);
+
+        let mut events = Vec::new();
+        for agent in &agents {
+            // A per-agent stream derived from the master seed keeps agents
+            // independent of each other's sampling order.
+            let mut arng = StdRng::seed_from_u64(cfg.seed ^ (agent.user.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            for day in 0..cfg.days {
+                let trace = agent.simulate_day(&city, day, cfg.sample_interval, &mut arng);
+                for s in &trace.samples {
+                    events.push(Event {
+                        user: agent.user,
+                        at: *s,
+                        kind: EventKind::Location,
+                    });
+                    if p_bg > 0.0 && arng.random_bool(p_bg) {
+                        events.push(Event {
+                            user: agent.user,
+                            at: *s,
+                            kind: EventKind::Request {
+                                service: BACKGROUND_SERVICE,
+                            },
+                        });
+                    }
+                }
+                for Anchor { at, kind } in &trace.anchors {
+                    let _ = kind;
+                    if arng.random_bool(cfg.anchor_request_prob.clamp(0.0, 1.0)) {
+                        events.push(Event {
+                            user: agent.user,
+                            at: *at,
+                            kind: EventKind::Request {
+                                service: ANCHOR_SERVICE,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        // Deterministic global order: by time, then user, locations first.
+        events.sort_by_key(|e| {
+            (
+                e.at.t,
+                e.user,
+                match e.kind {
+                    EventKind::Location => 0u8,
+                    EventKind::Request { .. } => 1,
+                },
+            )
+        });
+        World {
+            city,
+            agents,
+            events,
+        }
+    }
+
+    /// Builds the trajectory store the trusted server would hold after
+    /// ingesting every location update.
+    pub fn store(&self) -> TrajectoryStore {
+        let mut store = TrajectoryStore::new();
+        for a in &self.agents {
+            store.ensure_user(a.user);
+        }
+        for e in &self.events {
+            if e.kind == EventKind::Location {
+                store.record(e.user, e.at);
+            }
+        }
+        store
+    }
+
+    /// The home rectangle of an agent, if it has one.
+    pub fn home_of(&self, user: UserId) -> Option<Rect> {
+        self.agents.iter().find(|a| a.user == user).and_then(|a| match &a.role {
+            Role::Commuter { home, .. } | Role::PoiRegular { home, .. } => {
+                Some(self.city.homes[*home])
+            }
+            Role::Roamer { .. } => None,
+        })
+    }
+
+    /// The office rectangle of a commuter.
+    pub fn office_of(&self, user: UserId) -> Option<Rect> {
+        self.agents.iter().find(|a| a.user == user).and_then(|a| match &a.role {
+            Role::Commuter { office, .. } => Some(self.city.offices[*office]),
+            _ => None,
+        })
+    }
+
+    /// All commuter user ids.
+    pub fn commuters(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.agents.iter().filter_map(|a| match a.role {
+            Role::Commuter { .. } => Some(a.user),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WorldConfig {
+        WorldConfig {
+            seed: 7,
+            days: 3,
+            sample_interval: 120,
+            n_commuters: 3,
+            n_roamers: 4,
+            n_poi_regulars: 2,
+            background_request_rate: 0.2,
+            ..WorldConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(&small());
+        let b = World::generate(&small());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.agents, b.agents);
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let w = World::generate(&small());
+        for pair in w.events.windows(2) {
+            assert!(pair[0].at.t <= pair[1].at.t);
+        }
+        assert!(!w.events.is_empty());
+    }
+
+    #[test]
+    fn every_request_coincides_with_a_location_update() {
+        let w = World::generate(&small());
+        let store = w.store();
+        for e in &w.events {
+            if matches!(e.kind, EventKind::Request { .. }) {
+                let phl = store.phl(e.user).unwrap();
+                assert!(phl.points().contains(&e.at), "request without PHL point");
+            }
+        }
+    }
+
+    #[test]
+    fn store_has_all_users() {
+        let w = World::generate(&small());
+        let store = w.store();
+        assert_eq!(store.user_count(), 9);
+        assert!(store.total_points() > 0);
+    }
+
+    #[test]
+    fn anchor_requests_appear_for_commuters() {
+        let w = World::generate(&small());
+        let commuters: Vec<UserId> = w.commuters().collect();
+        assert_eq!(commuters.len(), 3);
+        for u in commuters {
+            let anchors = w
+                .events
+                .iter()
+                .filter(|e| {
+                    e.user == u
+                        && e.kind
+                            == EventKind::Request {
+                                service: ANCHOR_SERVICE,
+                            }
+                })
+                .count();
+            // 3 days: Mon-Wed → up to 12 anchor requests with prob 1.0.
+            assert_eq!(anchors, 12, "user {u}");
+        }
+    }
+
+    #[test]
+    fn home_and_office_lookups() {
+        let w = World::generate(&small());
+        let commuter = w.commuters().next().unwrap();
+        assert!(w.home_of(commuter).is_some());
+        assert!(w.office_of(commuter).is_some());
+        // Roamers have neither.
+        let roamer = w
+            .agents
+            .iter()
+            .find(|a| matches!(a.role, Role::Roamer { .. }))
+            .unwrap()
+            .user;
+        assert!(w.home_of(roamer).is_none());
+        assert!(w.office_of(roamer).is_none());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(&small());
+        let b = World::generate(&WorldConfig {
+            seed: 8,
+            ..small()
+        });
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn background_rate_zero_means_only_anchor_requests() {
+        let cfg = WorldConfig {
+            background_request_rate: 0.0,
+            ..small()
+        };
+        let w = World::generate(&cfg);
+        assert!(w.events.iter().all(|e| match e.kind {
+            EventKind::Request { service } => service == ANCHOR_SERVICE,
+            EventKind::Location => true,
+        }));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the synthetic workload generator: physical
+//! plausibility and determinism across the configuration space.
+
+use hka_geo::{StPoint, HOUR, MINUTE};
+use hka_mobility::{Agent, City, CityConfig, Event, EventKind, Role, World, WorldConfig};
+use hka_trajectory::UserId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_world_config() -> impl Strategy<Value = WorldConfig> {
+    (
+        0u64..1_000,
+        1i64..4,
+        30i64..240,
+        0usize..4,
+        1usize..8,
+        0usize..3,
+        0.0f64..2.0,
+    )
+        .prop_map(|(seed, days, dt, nc, nr, np, rate)| WorldConfig {
+            seed,
+            days,
+            sample_interval: dt,
+            n_commuters: nc,
+            n_roamers: nr,
+            n_poi_regulars: np,
+            city: CityConfig::default(),
+            anchor_request_prob: 1.0,
+            background_request_rate: rate,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation is a pure function of the config.
+    #[test]
+    fn world_is_deterministic(cfg in arb_world_config()) {
+        let a = World::generate(&cfg);
+        let b = World::generate(&cfg);
+        prop_assert_eq!(a.events.len(), b.events.len());
+        prop_assert_eq!(&a.events, &b.events);
+    }
+
+    /// Events are time-sorted, inside the city, and every request point
+    /// appears in the issuer's PHL.
+    #[test]
+    fn events_are_physical(cfg in arb_world_config()) {
+        let w = World::generate(&cfg);
+        let store = w.store();
+        let mut prev: Option<&Event> = None;
+        for e in &w.events {
+            if let Some(p) = prev {
+                prop_assert!(p.at.t <= e.at.t, "events out of order");
+            }
+            prop_assert!(w.city.bounds.contains(&e.at.pos), "agent left the city");
+            if matches!(e.kind, EventKind::Request { .. }) {
+                prop_assert!(store.phl(e.user).unwrap().points().contains(&e.at));
+            }
+            prev = Some(e);
+        }
+        prop_assert_eq!(store.user_count(), cfg.n_commuters + cfg.n_roamers + cfg.n_poi_regulars);
+    }
+
+    /// Agents never move faster than their configured speed allows
+    /// (within one sample interval; Manhattan distance bounds the path).
+    #[test]
+    fn agents_respect_speed_limits(cfg in arb_world_config()) {
+        let w = World::generate(&cfg);
+        for agent in &w.agents {
+            let samples: Vec<StPoint> = w
+                .events
+                .iter()
+                .filter(|e| e.user == agent.user && e.kind == EventKind::Location)
+                .map(|e| e.at)
+                .collect();
+            for pair in samples.windows(2) {
+                let dt = (pair[1].t - pair[0].t) as f64;
+                if dt <= 0.0 {
+                    continue;
+                }
+                let dist = pair[0].pos.manhattan_dist(&pair[1].pos);
+                prop_assert!(
+                    dist <= agent.speed * dt + 1e-6,
+                    "{} moved {dist:.1} m in {dt:.0} s at speed {}",
+                    agent.user,
+                    agent.speed
+                );
+            }
+        }
+    }
+
+    /// Commuter day simulation keeps anchors on samples and within their
+    /// canonical windows, across arbitrary seeds and sampling rates.
+    #[test]
+    fn commuter_anchors_are_consistent(seed in 0u64..500, dt in 30i64..120, day in 0i64..5) {
+        let city = City::generate(&CityConfig::default(), &mut StdRng::seed_from_u64(3));
+        let agent = Agent {
+            user: UserId(0),
+            role: Role::Commuter {
+                home: 0,
+                office: 0,
+                depart_home: 7 * HOUR + 45 * MINUTE,
+                depart_office: 16 * HOUR + 45 * MINUTE,
+            },
+            speed: 10.0,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = agent.simulate_day(&city, day, dt, &mut rng);
+        for a in &trace.anchors {
+            prop_assert!(trace.samples.contains(&a.at), "anchor off-sample");
+        }
+        // Weekdays have the four commute anchors; weekends none.
+        if day.rem_euclid(7) < 5 {
+            prop_assert_eq!(trace.anchors.len(), 4);
+        } else {
+            prop_assert!(trace.anchors.is_empty());
+        }
+    }
+}

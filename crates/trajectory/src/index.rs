@@ -1,0 +1,445 @@
+//! A uniform space–time grid index over the trajectory store.
+//!
+//! The paper notes that the expensive step of Algorithm 1 — finding "the
+//! smallest 3D space (2D area + time) containing ⟨x,y,t⟩ and crossed by k
+//! trajectories" — costs O(k·n) by brute force, and that "optimizations
+//! may be inspired by the work on indexing moving objects". This module is
+//! that optimization: location updates are hashed into uniform
+//! `cell_size × cell_size × cell_duration` buckets, and the k-nearest-user
+//! query expands outward from the query cell in Chebyshev rings, pruning
+//! once the ring's lower-bound distance exceeds the current k-th best.
+
+use crate::{TrajectoryStore, UserId};
+use hka_geo::{Rect, SpaceTimeScale, StBox, StPoint, TimeInterval, TimeSec};
+use std::collections::{BTreeSet, HashMap};
+
+/// Sizing parameters for the grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridIndexConfig {
+    /// Spatial cell side, meters.
+    pub cell_size: f64,
+    /// Temporal cell length, seconds.
+    pub cell_duration: i64,
+    /// Metric used by nearest-neighbour queries.
+    pub scale: SpaceTimeScale,
+}
+
+impl Default for GridIndexConfig {
+    fn default() -> Self {
+        // 250 m × 5 min cells with a walking-speed metric: tuned for the
+        // urban scenarios of the experiments (block ≈ 100 m, updates every
+        // 30-120 s).
+        GridIndexConfig {
+            cell_size: 250.0,
+            cell_duration: 300,
+            scale: SpaceTimeScale::walking(),
+        }
+    }
+}
+
+/// A grid cell key `(x, y, t)` in cell units.
+type CellKey = (i64, i64, i64);
+
+/// A spatio-temporal grid index mapping cells to the user observations
+/// they contain.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    config: GridIndexConfig,
+    cells: HashMap<CellKey, Vec<(UserId, StPoint)>>,
+    /// Time slab → the (x, y) cells occupied within it. Lets the
+    /// nearest-neighbour search expand outward in time and skip empty
+    /// regions entirely.
+    by_time: std::collections::BTreeMap<i64, Vec<(i64, i64)>>,
+    points: usize,
+}
+
+impl GridIndex {
+    /// Creates an empty index.
+    pub fn new(config: GridIndexConfig) -> Self {
+        assert!(config.cell_size > 0.0, "cell_size must be positive");
+        assert!(config.cell_duration > 0, "cell_duration must be positive");
+        GridIndex {
+            config,
+            cells: HashMap::new(),
+            by_time: std::collections::BTreeMap::new(),
+            points: 0,
+        }
+    }
+
+    /// Builds an index over every point currently in the store.
+    pub fn build(store: &TrajectoryStore, config: GridIndexConfig) -> Self {
+        let mut idx = GridIndex::new(config);
+        for (user, phl) in store.iter() {
+            for p in phl.points() {
+                idx.insert(user, *p);
+            }
+        }
+        idx
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> &GridIndexConfig {
+        &self.config
+    }
+
+    /// Number of indexed observations.
+    pub fn len(&self) -> usize {
+        self.points
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points == 0
+    }
+
+    /// Inserts one observation (called by the TS on every location update,
+    /// keeping the index incremental).
+    pub fn insert(&mut self, user: UserId, p: StPoint) {
+        let key = self.cell_of(&p);
+        let bucket = self.cells.entry(key).or_default();
+        if bucket.is_empty() {
+            // Freshly occupied cell: register it in its time slab.
+            self.by_time.entry(key.2).or_default().push((key.0, key.1));
+        }
+        bucket.push((user, p));
+        self.points += 1;
+    }
+
+    fn cell_of(&self, p: &StPoint) -> CellKey {
+        (
+            (p.pos.x / self.config.cell_size).floor() as i64,
+            (p.pos.y / self.config.cell_size).floor() as i64,
+            p.t.0.div_euclid(self.config.cell_duration),
+        )
+    }
+
+    /// The space–time box covered by a cell.
+    fn cell_box(&self, key: CellKey) -> StBox {
+        let cs = self.config.cell_size;
+        let cd = self.config.cell_duration;
+        StBox::new(
+            Rect::from_bounds(
+                key.0 as f64 * cs,
+                key.1 as f64 * cs,
+                (key.0 + 1) as f64 * cs,
+                (key.1 + 1) as f64 * cs,
+            ),
+            TimeInterval::new(TimeSec(key.2 * cd), TimeSec((key.2 + 1) * cd - 1)),
+        )
+    }
+
+    /// Distinct users with at least one observation inside `b`.
+    pub fn users_crossing(&self, b: &StBox) -> BTreeSet<UserId> {
+        let mut out = BTreeSet::new();
+        self.for_each_in_box(b, |user, _| {
+            out.insert(user);
+        });
+        out
+    }
+
+    /// Counts distinct users crossing `b`, stopping early at `limit`
+    /// (enough for "are there ≥ k potential senders?" checks).
+    pub fn count_users_crossing(&self, b: &StBox, limit: usize) -> usize {
+        let mut seen = BTreeSet::new();
+        let lo = self.cell_of(&StPoint::new(b.rect.min(), b.span.start()));
+        let hi = self.cell_of(&StPoint::new(b.rect.max(), b.span.end()));
+        for cx in lo.0..=hi.0 {
+            for cy in lo.1..=hi.1 {
+                for ct in lo.2..=hi.2 {
+                    if let Some(entries) = self.cells.get(&(cx, cy, ct)) {
+                        for (user, p) in entries {
+                            if b.contains(p) && seen.insert(*user) && seen.len() >= limit {
+                                return seen.len();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        seen.len()
+    }
+
+    fn for_each_in_box<F: FnMut(UserId, &StPoint)>(&self, b: &StBox, mut f: F) {
+        let lo = self.cell_of(&StPoint::new(b.rect.min(), b.span.start()));
+        let hi = self.cell_of(&StPoint::new(b.rect.max(), b.span.end()));
+        for cx in lo.0..=hi.0 {
+            for cy in lo.1..=hi.1 {
+                for ct in lo.2..=hi.2 {
+                    if let Some(entries) = self.cells.get(&(cx, cy, ct)) {
+                        for (user, p) in entries {
+                            if b.contains(p) {
+                                f(*user, p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// For each of the `k` users (other than `exclude`) whose PHL comes
+    /// closest to the seed point, the closest observation — the indexed
+    /// version of Algorithm 1's "smallest 3D space … crossed by k
+    /// trajectories", realized exactly as the paper's brute force does
+    /// ("the nearest neighbor in the PHL of each user, … then taking the
+    /// closest k points").
+    ///
+    /// Search order: time slabs expand outward from the seed's slab; the
+    /// occupied cells of each slab are scanned nearest-lower-bound first.
+    /// The search stops once the *temporal* lower bound of the next slab
+    /// ring alone exceeds the current k-th best per-user distance, so the
+    /// cost scales with the data near the query, not with the database.
+    ///
+    /// Returns fewer than `k` entries when the index does not contain
+    /// enough distinct users. Results are sorted by distance (ties by
+    /// user id).
+    pub fn k_nearest_users(
+        &self,
+        seed: &StPoint,
+        k: usize,
+        exclude: Option<UserId>,
+    ) -> Vec<(UserId, StPoint)> {
+        if k == 0 || self.points == 0 {
+            return Vec::new();
+        }
+        let scale = &self.config.scale;
+        let mps = scale.meters_per_second;
+        let seed_slab = seed.t.0.div_euclid(self.config.cell_duration);
+        let (slab_min, slab_max) = match (
+            self.by_time.keys().next(),
+            self.by_time.keys().next_back(),
+        ) {
+            (Some(a), Some(b)) => (*a, *b),
+            _ => return Vec::new(),
+        };
+
+        // Best (distance², point) per user, plus a max-heap of the current
+        // k best distances for pruning.
+        let mut best: HashMap<UserId, (f64, StPoint)> = HashMap::new();
+        let mut topk: std::collections::BinaryHeap<OrdF64> = std::collections::BinaryHeap::new();
+
+        let update = |user: UserId,
+                          d: f64,
+                          p: StPoint,
+                          best: &mut HashMap<UserId, (f64, StPoint)>,
+                          topk: &mut std::collections::BinaryHeap<OrdF64>| {
+            match best.get_mut(&user) {
+                Some(cur) if cur.0 <= d => {}
+                Some(cur) => {
+                    *cur = (d, p);
+                    // Rebuild the small heap after improving a user's best.
+                    topk.clear();
+                    let mut ds: Vec<f64> = best.values().map(|(d, _)| *d).collect();
+                    ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    ds.truncate(k);
+                    topk.extend(ds.into_iter().map(OrdF64));
+                }
+                None => {
+                    best.insert(user, (d, p));
+                    if topk.len() < k {
+                        topk.push(OrdF64(d));
+                    } else if d < topk.peek().expect("non-empty").0 {
+                        topk.pop();
+                        topk.push(OrdF64(d));
+                    }
+                }
+            }
+        };
+
+        let mut ring = 0i64;
+        loop {
+            let lo = seed_slab - ring;
+            let hi = seed_slab + ring;
+            if lo < slab_min && hi > slab_max {
+                break; // every occupied slab has been visited
+            }
+            // Temporal lower bound for cells in this ring (they are at
+            // least (ring − 1) whole slabs away in time).
+            if topk.len() >= k && mps > 0.0 {
+                let kth = topk.peek().expect("non-empty").0;
+                let lb = mps * ((ring - 1).max(0) * self.config.cell_duration) as f64;
+                if lb * lb > kth {
+                    break;
+                }
+            }
+            let mut slabs = vec![lo];
+            if hi != lo {
+                slabs.push(hi);
+            }
+            for slab in slabs {
+                let Some(cols) = self.by_time.get(&slab) else {
+                    continue;
+                };
+                // Scan this slab's occupied cells nearest-first.
+                let mut order: Vec<(f64, CellKey)> = cols
+                    .iter()
+                    .map(|(x, y)| {
+                        let key = (*x, *y, slab);
+                        (scale.dist_sq_to_box(seed, &self.cell_box(key)), key)
+                    })
+                    .collect();
+                order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for (lb, key) in order {
+                    if topk.len() >= k && lb > topk.peek().expect("non-empty").0 {
+                        break;
+                    }
+                    for (user, p) in &self.cells[&key] {
+                        if Some(*user) == exclude {
+                            continue;
+                        }
+                        update(*user, scale.dist_sq(seed, p), *p, &mut best, &mut topk);
+                    }
+                }
+            }
+            ring += 1;
+        }
+
+        let mut out: Vec<(UserId, f64, StPoint)> = best
+            .into_iter()
+            .map(|(u, (d, p))| (u, d, p))
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out.into_iter().map(|(u, _, p)| (u, p)).collect()
+    }
+}
+
+/// An `f64` with a total order (no NaNs enter the index: geometry is
+/// finite), usable in a `BinaryHeap`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("no NaN distances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    fn small_config() -> GridIndexConfig {
+        GridIndexConfig {
+            cell_size: 10.0,
+            cell_duration: 10,
+            scale: SpaceTimeScale::new(1.0),
+        }
+    }
+
+    fn sample_index() -> GridIndex {
+        let mut store = TrajectoryStore::new();
+        // Users at increasing distance from the origin.
+        store.record(UserId(1), sp(1.0, 0.0, 0));
+        store.record(UserId(2), sp(5.0, 0.0, 0));
+        store.record(UserId(3), sp(0.0, 12.0, 0));
+        store.record(UserId(4), sp(0.0, 0.0, 30));
+        store.record(UserId(5), sp(100.0, 100.0, 500));
+        // User 1 also has a far point (must not shadow its near one).
+        store.record(UserId(1), sp(300.0, 300.0, 600));
+        GridIndex::build(&store, small_config())
+    }
+
+    #[test]
+    fn build_counts_points() {
+        let idx = sample_index();
+        assert_eq!(idx.len(), 6);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn users_crossing_box() {
+        let idx = sample_index();
+        let b = StBox::new(
+            Rect::from_bounds(-1.0, -1.0, 6.0, 1.0),
+            TimeInterval::new(TimeSec(0), TimeSec(40)),
+        );
+        let users: Vec<UserId> = idx.users_crossing(&b).into_iter().collect();
+        assert_eq!(users, vec![UserId(1), UserId(2), UserId(4)]);
+    }
+
+    #[test]
+    fn count_users_early_exit() {
+        let idx = sample_index();
+        let b = StBox::new(
+            Rect::from_bounds(-200.0, -200.0, 400.0, 400.0),
+            TimeInterval::new(TimeSec(0), TimeSec(1000)),
+        );
+        assert_eq!(idx.count_users_crossing(&b, 2), 2);
+        assert_eq!(idx.count_users_crossing(&b, 100), 5);
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let idx = sample_index();
+        let got = idx.k_nearest_users(&sp(0.0, 0.0, 0), 3, None);
+        let ids: Vec<u64> = got.iter().map(|(u, _)| u.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        // Each user contributes its nearest point.
+        assert_eq!(got[0].1, sp(1.0, 0.0, 0));
+    }
+
+    #[test]
+    fn k_nearest_excludes_requester() {
+        let idx = sample_index();
+        let got = idx.k_nearest_users(&sp(0.0, 0.0, 0), 3, Some(UserId(1)));
+        let ids: Vec<u64> = got.iter().map(|(u, _)| u.raw()).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn k_nearest_handles_scarcity() {
+        let idx = sample_index();
+        let got = idx.k_nearest_users(&sp(0.0, 0.0, 0), 50, None);
+        assert_eq!(got.len(), 5, "only five distinct users exist");
+        let empty = GridIndex::new(small_config());
+        assert!(empty.k_nearest_users(&sp(0.0, 0.0, 0), 3, None).is_empty());
+        assert!(idx.k_nearest_users(&sp(0.0, 0.0, 0), 0, None).is_empty());
+    }
+
+    #[test]
+    fn k_nearest_uses_per_user_best_point() {
+        let idx = sample_index();
+        // User 1's nearest point to (300,300,600) is its far point.
+        let got = idx.k_nearest_users(&sp(300.0, 300.0, 600), 1, None);
+        assert_eq!(got[0].0, UserId(1));
+        assert_eq!(got[0].1, sp(300.0, 300.0, 600));
+    }
+
+    #[test]
+    fn negative_coordinates_hash_correctly() {
+        let mut idx = GridIndex::new(small_config());
+        idx.insert(UserId(1), sp(-5.0, -5.0, -5));
+        idx.insert(UserId(2), sp(-15.0, -15.0, -15));
+        let b = StBox::new(
+            Rect::from_bounds(-20.0, -20.0, 0.0, 0.0),
+            TimeInterval::new(TimeSec(-20), TimeSec(0)),
+        );
+        assert_eq!(idx.users_crossing(&b).len(), 2);
+        let got = idx.k_nearest_users(&sp(-6.0, -6.0, -6), 2, None);
+        assert_eq!(got[0].0, UserId(1));
+        assert_eq!(got[1].0, UserId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size")]
+    fn zero_cell_size_rejected() {
+        let _ = GridIndex::new(GridIndexConfig {
+            cell_size: 0.0,
+            cell_duration: 10,
+            scale: SpaceTimeScale::new(1.0),
+        });
+    }
+}

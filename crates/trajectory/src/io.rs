@@ -1,0 +1,215 @@
+//! Plain-text import/export of trajectory databases.
+//!
+//! Real deployments of the trusted server ingest operator location feeds;
+//! research use means loading published mobility traces. This module
+//! defines a minimal, diff-friendly text format and total (never panics
+//! on malformed input) readers/writers for it:
+//!
+//! ```text
+//! # hka-trace v1
+//! # user_id,x_meters,y_meters,t_seconds
+//! 42,103.5,2210.0,25200
+//! 42,110.2,2208.9,25260
+//! 7,1900.0,55.1,25200
+//! ```
+//!
+//! Lines starting with `#` (and blank lines) are ignored. Points may
+//! appear in any order; they are sorted per user on load (PHLs are
+//! time-ordered by construction).
+
+use crate::{Phl, TrajectoryStore, UserId};
+use hka_geo::{StPoint, TimeSec};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug)]
+pub struct TraceFormatError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceFormatError {}
+
+/// Errors from [`read_store`].
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content.
+    Format(TraceFormatError),
+}
+
+impl fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceReadError::Format(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+impl From<std::io::Error> for TraceReadError {
+    fn from(e: std::io::Error) -> Self {
+        TraceReadError::Io(e)
+    }
+}
+
+/// Writes every observation of the store in the v1 text format.
+pub fn write_store<W: Write>(store: &TrajectoryStore, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "# hka-trace v1")?;
+    writeln!(out, "# user_id,x_meters,y_meters,t_seconds")?;
+    for (user, phl) in store.iter() {
+        for p in phl.points() {
+            writeln!(out, "{},{},{},{}", user.raw(), p.pos.x, p.pos.y, p.t.0)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a store from the v1 text format. Points are grouped per user and
+/// time-sorted; malformed lines abort with the offending line number.
+pub fn read_store<R: BufRead>(input: R) -> Result<TrajectoryStore, TraceReadError> {
+    let mut by_user: BTreeMap<u64, Vec<StPoint>> = BTreeMap::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let err = |message: String| {
+            TraceReadError::Format(TraceFormatError {
+                line: lineno,
+                message,
+            })
+        };
+        let mut next = |name: &str| {
+            fields
+                .next()
+                .map(str::trim)
+                .filter(|f| !f.is_empty())
+                .ok_or_else(|| err(format!("missing field '{name}'")))
+        };
+        let user: u64 = next("user_id")?
+            .parse()
+            .map_err(|e| err(format!("bad user_id: {e}")))?;
+        let x: f64 = next("x")?.parse().map_err(|e| err(format!("bad x: {e}")))?;
+        let y: f64 = next("y")?.parse().map_err(|e| err(format!("bad y: {e}")))?;
+        let t: i64 = next("t")?.parse().map_err(|e| err(format!("bad t: {e}")))?;
+        if !(x.is_finite() && y.is_finite()) {
+            return Err(err("coordinates must be finite".into()));
+        }
+        if fields.next().is_some() {
+            return Err(err("trailing fields".into()));
+        }
+        by_user.entry(user).or_default().push(StPoint::xyt(x, y, TimeSec(t)));
+    }
+    let mut store = TrajectoryStore::new();
+    for (user, pts) in by_user {
+        let phl = Phl::from_points(pts);
+        for p in phl.points() {
+            store.record(UserId(user), *p);
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.record(UserId(42), StPoint::xyt(103.5, 2_210.0, TimeSec(25_200)));
+        s.record(UserId(42), StPoint::xyt(110.25, 2_208.9, TimeSec(25_260)));
+        s.record(UserId(7), StPoint::xyt(1_900.0, 55.125, TimeSec(25_200)));
+        s
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        let back = read_store(buf.as_slice()).unwrap();
+        assert_eq!(back.user_count(), store.user_count());
+        assert_eq!(back.total_points(), store.total_points());
+        for (u, phl) in store.iter() {
+            assert_eq!(back.phl(u).unwrap().points(), phl.points());
+        }
+    }
+
+    #[test]
+    fn unordered_input_is_sorted_per_user() {
+        let text = "5,1.0,2.0,300\n5,0.0,0.0,100\n5,0.5,1.0,200\n";
+        let store = read_store(text.as_bytes()).unwrap();
+        let ts: Vec<i64> = store
+            .phl(UserId(5))
+            .unwrap()
+            .points()
+            .iter()
+            .map(|p| p.t.0)
+            .collect();
+        assert_eq!(ts, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n  \n1,0,0,0\n# trailing\n";
+        let store = read_store(text.as_bytes()).unwrap();
+        assert_eq!(store.total_points(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("1,2,3\n", 1, "missing field 't'"),
+            ("# ok\nx,2,3,4\n", 2, "bad user_id"),
+            ("1,nope,3,4\n", 1, "bad x"),
+            ("1,2,3,4,5\n", 1, "trailing fields"),
+            ("1,inf,3,4\n", 1, "finite"),
+            ("1,2,3,4.5\n", 1, "bad t"),
+        ];
+        for (text, line, needle) in cases {
+            match read_store(text.as_bytes()) {
+                Err(TraceReadError::Format(e)) => {
+                    assert_eq!(e.line, line, "{text:?}");
+                    assert!(
+                        e.to_string().contains(needle),
+                        "{text:?}: {e} should mention {needle:?}"
+                    );
+                }
+                other => panic!("{text:?}: expected format error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_store() {
+        let store = read_store("".as_bytes()).unwrap();
+        assert_eq!(store.user_count(), 0);
+    }
+
+    #[test]
+    fn negative_coordinates_and_times_round_trip() {
+        let mut s = TrajectoryStore::new();
+        s.record(UserId(1), StPoint::xyt(-10.5, -0.25, TimeSec(-3_600)));
+        let mut buf = Vec::new();
+        write_store(&s, &mut buf).unwrap();
+        let back = read_store(buf.as_slice()).unwrap();
+        assert_eq!(back.phl(UserId(1)).unwrap().points()[0], StPoint::xyt(-10.5, -0.25, TimeSec(-3_600)));
+    }
+}

@@ -1,0 +1,44 @@
+//! # hka-trajectory
+//!
+//! The moving-object-database substrate assumed by the paper's trusted
+//! server: the TS "has the usual functionalities of a location server
+//! (i.e., a moving object database storing precise data for all of its
+//! users and the capability to efficiently perform spatio-temporal
+//! queries)".
+//!
+//! * [`Phl`] — a **Personal History of Locations** (paper Definition 6): the
+//!   time-ordered sequence of `⟨x, y, t⟩` observations for one user.
+//! * [`TrajectoryStore`] — all users' PHLs, with append-time ordering
+//!   enforcement.
+//! * [`GridIndex`] — a uniform space–time grid over the store supporting
+//!   the two queries Algorithm 1 needs:
+//!   * *"the smallest 3D space … crossed by k trajectories (each one for a
+//!     different user)"* — realized as a k-nearest-users search
+//!     ([`GridIndex::k_nearest_users`]) exactly mirroring the paper's own
+//!     brute-force formulation ("considering the nearest neighbor in the
+//!     PHL of each user and then taking the closest k points");
+//!   * the set of users crossing a given box
+//!     ([`GridIndex::users_crossing`]), which also yields per-request
+//!     anonymity sets.
+//! * [`RTreeIndex`] — a classic Guttman R-tree over the same geometry,
+//!   the second "indexing moving objects" option; answers identically to
+//!   the grid (differentially tested) with different scaling behaviour.
+//! * [`brute`] — reference implementations by exhaustive scan, used for
+//!   differential testing and as the O(k·n) baseline of experiment T3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+mod index;
+pub mod io;
+mod phl;
+mod rtree;
+mod store;
+mod user;
+
+pub use index::{GridIndex, GridIndexConfig};
+pub use phl::Phl;
+pub use rtree::RTreeIndex;
+pub use store::TrajectoryStore;
+pub use user::UserId;

@@ -1,0 +1,578 @@
+//! A 3-D R-tree over spatio-temporal observations — the classic
+//! "indexing moving objects" structure the paper points at as the
+//! optimization for Algorithm 1's expensive step.
+//!
+//! This is a textbook Guttman R-tree (quadratic split) whose bounding
+//! volumes are [`StBox`]es: 2-D rectangles extended with closed time
+//! intervals, exactly the geometry the rest of the framework speaks.
+//! Entries are `(UserId, StPoint)` observations.
+//!
+//! Supported queries mirror [`crate::GridIndex`]:
+//!
+//! * [`RTreeIndex::users_crossing`] — distinct users with an observation
+//!   inside a box (range query);
+//! * [`RTreeIndex::k_nearest_users`] — per-user nearest observations for
+//!   Algorithm 1's first branch, via best-first traversal with the
+//!   space–time metric.
+//!
+//! Differential property tests (`tests/props.rs`) hold all three
+//! implementations — brute force, grid, R-tree — to identical answers.
+
+use crate::{TrajectoryStore, UserId};
+use hka_geo::{SpaceTimeScale, StBox, StPoint};
+use std::collections::{BinaryHeap, BTreeSet, HashMap};
+
+/// Maximum entries per node before it splits.
+const MAX_ENTRIES: usize = 16;
+/// Minimum entries assigned to each side of a split.
+const MIN_ENTRIES: usize = 6;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        entries: Vec<(UserId, StPoint)>,
+    },
+    Inner {
+        children: Vec<(StBox, Box<Node>)>,
+    },
+}
+
+/// An R-tree over `(UserId, StPoint)` observations.
+#[derive(Debug, Clone)]
+pub struct RTreeIndex {
+    root: Node,
+    bounds: Option<StBox>,
+    scale: SpaceTimeScale,
+    len: usize,
+}
+
+/// Space–time "volume" used to drive insertion heuristics: the box's
+/// spatial area plus its scaled temporal extent, mixed so degenerate
+/// boxes still order sensibly.
+fn measure(b: &StBox, scale: &SpaceTimeScale) -> f64 {
+    let t = scale.meters_per_second * b.duration() as f64;
+    let w = b.rect.width();
+    let h = b.rect.height();
+    // Half-perimeter style measure over the three extents: cheap,
+    // monotone under enlargement, non-zero only when extents are.
+    w + h + t + w * h + w * t + h * t
+}
+
+fn enlargement(current: &StBox, add: &StBox, scale: &SpaceTimeScale) -> f64 {
+    measure(&current.union(add), scale) - measure(current, scale)
+}
+
+impl RTreeIndex {
+    /// An empty tree using the given metric for nearest queries.
+    pub fn new(scale: SpaceTimeScale) -> Self {
+        RTreeIndex {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            bounds: None,
+            scale,
+            len: 0,
+        }
+    }
+
+    /// Bulk-builds from a store.
+    pub fn build(store: &TrajectoryStore, scale: SpaceTimeScale) -> Self {
+        let mut t = RTreeIndex::new(scale);
+        for (user, phl) in store.iter() {
+            for p in phl.points() {
+                t.insert(user, *p);
+            }
+        }
+        t
+    }
+
+    /// Number of indexed observations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The metric used by nearest queries.
+    pub fn scale(&self) -> &SpaceTimeScale {
+        &self.scale
+    }
+
+    /// Inserts one observation.
+    pub fn insert(&mut self, user: UserId, p: StPoint) {
+        let pb = StBox::point(p);
+        self.bounds = Some(match self.bounds {
+            Some(b) => b.union(&pb),
+            None => pb,
+        });
+        self.len += 1;
+        let scale = self.scale;
+        if let Some((left, right)) = Self::insert_rec(&mut self.root, user, p, &scale) {
+            // Root split: grow the tree.
+            let old = std::mem::replace(
+                &mut self.root,
+                Node::Inner {
+                    children: Vec::new(),
+                },
+            );
+            drop(old);
+            self.root = Node::Inner {
+                children: vec![left, right],
+            };
+        }
+    }
+
+    /// Recursive insert; returns the two replacement children when the
+    /// visited node split.
+    fn insert_rec(
+        node: &mut Node,
+        user: UserId,
+        p: StPoint,
+        scale: &SpaceTimeScale,
+    ) -> Option<((StBox, Box<Node>), (StBox, Box<Node>))> {
+        match node {
+            Node::Leaf { entries } => {
+                entries.push((user, p));
+                if entries.len() > MAX_ENTRIES {
+                    let (a, b) = split_leaf(std::mem::take(entries), scale);
+                    return Some((a, b));
+                }
+                None
+            }
+            Node::Inner { children } => {
+                // Choose the child needing least enlargement.
+                let pb = StBox::point(p);
+                let (idx, _) = children
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (b, _))| (i, enlargement(b, &pb, scale)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite measures"))
+                    .expect("inner nodes are non-empty");
+                children[idx].0 = children[idx].0.union(&pb);
+                let split = Self::insert_rec(&mut children[idx].1, user, p, scale);
+                if let Some((a, b)) = split {
+                    children.swap_remove(idx);
+                    children.push(a);
+                    children.push(b);
+                    if children.len() > MAX_ENTRIES {
+                        let (a, b) = split_inner(std::mem::take(children), scale);
+                        return Some((a, b));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Distinct users with at least one observation inside `q`.
+    pub fn users_crossing(&self, q: &StBox) -> BTreeSet<UserId> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            match node {
+                Node::Leaf { entries } => {
+                    for (u, p) in entries {
+                        if q.contains(p) {
+                            out.insert(*u);
+                        }
+                    }
+                }
+                Node::Inner { children } => {
+                    for (b, child) in children {
+                        if b.intersects(q) {
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// For each of the `k` users (other than `exclude`) whose history
+    /// comes closest to `seed`, the closest observation — best-first over
+    /// the tree with box lower bounds, matching [`crate::GridIndex`] and
+    /// [`crate::brute`] exactly on distances.
+    pub fn k_nearest_users(
+        &self,
+        seed: &StPoint,
+        k: usize,
+        exclude: Option<UserId>,
+    ) -> Vec<(UserId, StPoint)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let scale = &self.scale;
+        let mut best: HashMap<UserId, (f64, StPoint)> = HashMap::new();
+        let mut topk: BinaryHeap<NotNan> = BinaryHeap::new();
+
+        // Best-first frontier over nodes, keyed by lower-bound distance.
+        let mut frontier: BinaryHeap<std::cmp::Reverse<(NotNan, usize)>> = BinaryHeap::new();
+        let mut arena: Vec<&Node> = vec![&self.root];
+        frontier.push(std::cmp::Reverse((NotNan(0.0), 0)));
+
+        while let Some(std::cmp::Reverse((lb, id))) = frontier.pop() {
+            if topk.len() >= k && lb.0 > topk.peek().expect("non-empty").0 {
+                break;
+            }
+            match arena[id] {
+                Node::Leaf { entries } => {
+                    for (u, p) in entries {
+                        if Some(*u) == exclude {
+                            continue;
+                        }
+                        let d = scale.dist_sq(seed, p);
+                        match best.get_mut(u) {
+                            Some(cur) if cur.0 <= d => {}
+                            Some(cur) => {
+                                *cur = (d, *p);
+                                let mut ds: Vec<f64> =
+                                    best.values().map(|(d, _)| *d).collect();
+                                ds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                                ds.truncate(k);
+                                topk.clear();
+                                topk.extend(ds.into_iter().map(NotNan));
+                            }
+                            None => {
+                                best.insert(*u, (d, *p));
+                                if topk.len() < k {
+                                    topk.push(NotNan(d));
+                                } else if d < topk.peek().expect("non-empty").0 {
+                                    topk.pop();
+                                    topk.push(NotNan(d));
+                                }
+                            }
+                        }
+                    }
+                }
+                Node::Inner { children } => {
+                    for (b, child) in children {
+                        let lb = scale.dist_sq_to_box(seed, b);
+                        if topk.len() >= k && lb > topk.peek().expect("non-empty").0 {
+                            continue;
+                        }
+                        arena.push(child);
+                        frontier.push(std::cmp::Reverse((NotNan(lb), arena.len() - 1)));
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<(UserId, f64, StPoint)> =
+            best.into_iter().map(|(u, (d, p))| (u, d, p)).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out.into_iter().map(|(u, _, p)| (u, p)).collect()
+    }
+
+    /// Tree height (1 for a single leaf) — exposed for tests.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Inner { children } = node {
+            h += 1;
+            node = &children.first().expect("inner non-empty").1;
+        }
+        h
+    }
+
+    /// Validates R-tree invariants (bounding containment, entry counts);
+    /// used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn bbox(node: &Node) -> Option<StBox> {
+            match node {
+                Node::Leaf { entries } => StBox::mbb(entries.iter().map(|(_, p)| p)),
+                Node::Inner { children } => children
+                    .iter()
+                    .map(|(b, _)| *b)
+                    .reduce(|a, b| a.union(&b)),
+            }
+        }
+        fn walk(node: &Node, depth: usize, leaf_depth: &mut Option<usize>) -> Result<(), String> {
+            match node {
+                Node::Leaf { entries } => {
+                    if entries.len() > MAX_ENTRIES {
+                        return Err(format!("leaf overflow: {}", entries.len()));
+                    }
+                    match leaf_depth {
+                        Some(d) if *d != depth => {
+                            return Err("leaves at different depths".into())
+                        }
+                        None => *leaf_depth = Some(depth),
+                        _ => {}
+                    }
+                    Ok(())
+                }
+                Node::Inner { children } => {
+                    if children.is_empty() {
+                        return Err("empty inner node".into());
+                    }
+                    if children.len() > MAX_ENTRIES + 1 {
+                        return Err(format!("inner overflow: {}", children.len()));
+                    }
+                    for (b, child) in children {
+                        let actual = bbox(child).ok_or("empty child")?;
+                        if !b.contains_box(&actual) {
+                            return Err(format!("bounding box {b} !⊇ {actual}"));
+                        }
+                        walk(child, depth + 1, leaf_depth)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        walk(&self.root, 0, &mut leaf_depth)
+    }
+}
+
+/// Total-order f64 for heaps (geometry is finite, NaN cannot occur).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct NotNan(f64);
+impl Eq for NotNan {}
+impl PartialOrd for NotNan {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for NotNan {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("no NaN")
+    }
+}
+
+/// Guttman quadratic split over leaf entries.
+fn split_leaf(
+    entries: Vec<(UserId, StPoint)>,
+    scale: &SpaceTimeScale,
+) -> ((StBox, Box<Node>), (StBox, Box<Node>)) {
+    let boxes: Vec<StBox> = entries.iter().map(|(_, p)| StBox::point(*p)).collect();
+    let (ga, gb, assign) = quadratic_split(&boxes, scale);
+    let (mut ea, mut eb) = (Vec::new(), Vec::new());
+    for (i, e) in entries.into_iter().enumerate() {
+        if assign[i] {
+            ea.push(e);
+        } else {
+            eb.push(e);
+        }
+    }
+    (
+        (ga, Box::new(Node::Leaf { entries: ea })),
+        (gb, Box::new(Node::Leaf { entries: eb })),
+    )
+}
+
+/// Guttman quadratic split over inner children.
+fn split_inner(
+    children: Vec<(StBox, Box<Node>)>,
+    scale: &SpaceTimeScale,
+) -> ((StBox, Box<Node>), (StBox, Box<Node>)) {
+    let boxes: Vec<StBox> = children.iter().map(|(b, _)| *b).collect();
+    let (ga, gb, assign) = quadratic_split(&boxes, scale);
+    let (mut ca, mut cb) = (Vec::new(), Vec::new());
+    for (i, c) in children.into_iter().enumerate() {
+        if assign[i] {
+            ca.push(c);
+        } else {
+            cb.push(c);
+        }
+    }
+    (
+        (ga, Box::new(Node::Inner { children: ca })),
+        (gb, Box::new(Node::Inner { children: cb })),
+    )
+}
+
+/// Returns the two group bounding boxes and, per input index, whether it
+/// belongs to group A.
+fn quadratic_split(boxes: &[StBox], scale: &SpaceTimeScale) -> (StBox, StBox, Vec<bool>) {
+    let n = boxes.len();
+    debug_assert!(n >= 2);
+    // Pick seeds: the pair whose union wastes the most volume.
+    let (mut sa, mut sb, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = measure(&boxes[i].union(&boxes[j]), scale)
+                - measure(&boxes[i], scale)
+                - measure(&boxes[j], scale);
+            if waste > worst {
+                worst = waste;
+                sa = i;
+                sb = j;
+            }
+        }
+    }
+    let mut group_a = boxes[sa];
+    let mut group_b = boxes[sb];
+    let mut assign = vec![None::<bool>; n];
+    assign[sa] = Some(true);
+    assign[sb] = Some(false);
+    let mut na = 1usize;
+    let mut nb = 1usize;
+
+    // Assign the rest, most-decided first.
+    loop {
+        let remaining: Vec<usize> = (0..n).filter(|i| assign[*i].is_none()).collect();
+        if remaining.is_empty() {
+            break;
+        }
+        // Force-assign when one group must take everything left to reach
+        // the minimum.
+        if na + remaining.len() <= MIN_ENTRIES {
+            for i in remaining {
+                assign[i] = Some(true);
+                group_a = group_a.union(&boxes[i]);
+            }
+            break;
+        }
+        if nb + remaining.len() <= MIN_ENTRIES {
+            for i in remaining {
+                assign[i] = Some(false);
+                group_b = group_b.union(&boxes[i]);
+            }
+            break;
+        }
+        // Pick the entry with the largest preference difference.
+        let (i, prefer_a) = remaining
+            .iter()
+            .map(|&i| {
+                let da = enlargement(&group_a, &boxes[i], scale);
+                let db = enlargement(&group_b, &boxes[i], scale);
+                (i, da, db)
+            })
+            .max_by(|a, b| {
+                (a.1 - a.2)
+                    .abs()
+                    .partial_cmp(&(b.1 - b.2).abs())
+                    .expect("finite")
+            })
+            .map(|(i, da, db)| (i, da < db))
+            .expect("non-empty remaining");
+        if prefer_a {
+            assign[i] = Some(true);
+            group_a = group_a.union(&boxes[i]);
+            na += 1;
+        } else {
+            assign[i] = Some(false);
+            group_b = group_b.union(&boxes[i]);
+            nb += 1;
+        }
+    }
+    (
+        group_a,
+        group_b,
+        assign.into_iter().map(|a| a.expect("all assigned")).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::{Rect, TimeInterval, TimeSec};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    fn random_tree(n: usize, seed: u64) -> (RTreeIndex, Vec<(UserId, StPoint)>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = RTreeIndex::new(SpaceTimeScale::new(1.0));
+        let mut pts = Vec::new();
+        for i in 0..n {
+            let p = sp(
+                rng.random_range(0.0..2_000.0),
+                rng.random_range(0.0..2_000.0),
+                rng.random_range(0..7_200),
+            );
+            let u = UserId((i % 20) as u64);
+            tree.insert(u, p);
+            pts.push((u, p));
+        }
+        (tree, pts)
+    }
+
+    #[test]
+    fn empty_tree_answers_trivially() {
+        let t = RTreeIndex::new(SpaceTimeScale::new(1.0));
+        assert!(t.is_empty());
+        assert!(t.k_nearest_users(&sp(0.0, 0.0, 0), 3, None).is_empty());
+        let q = StBox::new(
+            Rect::from_bounds(0.0, 0.0, 10.0, 10.0),
+            TimeInterval::new(TimeSec(0), TimeSec(10)),
+        );
+        assert!(t.users_crossing(&q).is_empty());
+    }
+
+    #[test]
+    fn invariants_hold_through_growth() {
+        let (tree, _) = random_tree(2_000, 1);
+        assert_eq!(tree.len(), 2_000);
+        tree.check_invariants().unwrap();
+        assert!(tree.height() >= 3, "2000 entries must split: h={}", tree.height());
+    }
+
+    #[test]
+    fn range_query_matches_scan() {
+        let (tree, pts) = random_tree(800, 2);
+        let q = StBox::new(
+            Rect::from_bounds(300.0, 300.0, 1_200.0, 900.0),
+            TimeInterval::new(TimeSec(1_000), TimeSec(5_000)),
+        );
+        let expected: BTreeSet<UserId> = pts
+            .iter()
+            .filter(|(_, p)| q.contains(p))
+            .map(|(u, _)| *u)
+            .collect();
+        assert_eq!(tree.users_crossing(&q), expected);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_scan() {
+        let (tree, pts) = random_tree(800, 3);
+        let scale = SpaceTimeScale::new(1.0);
+        for seed_pt in [sp(0.0, 0.0, 0), sp(1_000.0, 1_000.0, 3_600), sp(1_999.0, 5.0, 7_000)] {
+            for k in [1usize, 5, 19] {
+                let got = tree.k_nearest_users(&seed_pt, k, Some(UserId(0)));
+                // Scan: best per user, excluding user 0.
+                let mut best: HashMap<UserId, f64> = HashMap::new();
+                for (u, p) in &pts {
+                    if *u == UserId(0) {
+                        continue;
+                    }
+                    let d = scale.dist_sq(&seed_pt, p);
+                    let e = best.entry(*u).or_insert(f64::INFINITY);
+                    if d < *e {
+                        *e = d;
+                    }
+                }
+                let mut ds: Vec<f64> = best.values().copied().collect();
+                ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                ds.truncate(k);
+                let got_ds: Vec<f64> = got
+                    .iter()
+                    .map(|(_, p)| scale.dist_sq(&seed_pt, p))
+                    .collect();
+                assert_eq!(got_ds.len(), ds.len());
+                for (a, b) in got_ds.iter().zip(ds.iter()) {
+                    assert!((a - b).abs() <= 1e-9 * b.max(1.0), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_and_users_are_fine() {
+        let mut tree = RTreeIndex::new(SpaceTimeScale::new(1.0));
+        for _ in 0..100 {
+            tree.insert(UserId(1), sp(5.0, 5.0, 5));
+        }
+        tree.check_invariants().unwrap();
+        let got = tree.k_nearest_users(&sp(0.0, 0.0, 0), 3, None);
+        assert_eq!(got.len(), 1, "one distinct user");
+    }
+}

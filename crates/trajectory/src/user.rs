@@ -1,0 +1,42 @@
+//! User identifiers.
+
+use std::fmt;
+
+/// An opaque identifier for a registered user of the trusted server.
+///
+/// The TS knows real identities; service providers only ever see
+/// pseudonyms (`hka-anonymity::Pseudonym`). Keeping the two as distinct
+/// types makes it impossible to leak a `UserId` into an outgoing request
+/// by accident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u64);
+
+impl UserId {
+    /// The raw numeric id.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_raw() {
+        let u = UserId(42);
+        assert_eq!(u.to_string(), "u42");
+        assert_eq!(u.raw(), 42);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(UserId(2) < UserId(10));
+    }
+}

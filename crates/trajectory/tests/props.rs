@@ -1,0 +1,199 @@
+//! Differential and property tests: the grid index must agree with the
+//! brute-force reference on every query.
+
+use hka_geo::{Rect, SpaceTimeScale, StBox, StPoint, TimeInterval, TimeSec};
+use hka_trajectory::{brute, GridIndex, GridIndexConfig, Phl, RTreeIndex, TrajectoryStore, UserId};
+use proptest::prelude::*;
+
+/// A compact world so that collisions and ties are common.
+fn arb_stpoint() -> impl Strategy<Value = StPoint> {
+    (0.0f64..1000.0, 0.0f64..1000.0, 0i64..3600)
+        .prop_map(|(x, y, t)| StPoint::xyt(x, y, TimeSec(t)))
+}
+
+fn arb_store(max_users: usize, max_pts: usize) -> impl Strategy<Value = TrajectoryStore> {
+    prop::collection::vec((0u64..max_users as u64, prop::collection::vec(arb_stpoint(), 1..max_pts)), 1..max_users)
+        .prop_map(|users| {
+            // Duplicate user ids are possible: merge their points first so
+            // that the store's time-ordering invariant holds.
+            let mut merged: std::collections::BTreeMap<u64, Vec<StPoint>> =
+                std::collections::BTreeMap::new();
+            for (uid, pts) in users {
+                merged.entry(uid).or_default().extend(pts);
+            }
+            let mut store = TrajectoryStore::new();
+            for (uid, pts) in merged {
+                let phl = Phl::from_points(pts);
+                for p in phl.points() {
+                    store.record(UserId(uid), *p);
+                }
+            }
+            store
+        })
+}
+
+fn configs() -> impl Strategy<Value = GridIndexConfig> {
+    (10.0f64..400.0, 10i64..1200, 0.1f64..20.0).prop_map(|(cs, cd, v)| GridIndexConfig {
+        cell_size: cs,
+        cell_duration: cd,
+        scale: SpaceTimeScale::new(v),
+    })
+}
+
+fn arb_box() -> impl Strategy<Value = StBox> {
+    (arb_stpoint(), arb_stpoint()).prop_map(|(a, b)| {
+        StBox::new(
+            Rect::new(a.pos, b.pos),
+            TimeInterval::new(a.t, b.t),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn users_crossing_matches_brute(store in arb_store(12, 15), cfg in configs(), b in arb_box()) {
+        let idx = GridIndex::build(&store, cfg);
+        let fast = idx.users_crossing(&b);
+        let slow = brute::users_crossing(&store, &b);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn count_users_matches_cardinality(store in arb_store(12, 15), cfg in configs(), b in arb_box()) {
+        let idx = GridIndex::build(&store, cfg);
+        let n = idx.users_crossing(&b).len();
+        prop_assert_eq!(idx.count_users_crossing(&b, usize::MAX), n);
+        // The limited variant saturates at the limit.
+        if n >= 2 {
+            prop_assert_eq!(idx.count_users_crossing(&b, 2), 2);
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_distances(
+        store in arb_store(12, 15),
+        cfg in configs(),
+        seed in arb_stpoint(),
+        k in 1usize..8,
+    ) {
+        let idx = GridIndex::build(&store, cfg);
+        let fast = idx.k_nearest_users(&seed, k, None);
+        let slow = brute::k_nearest_users(&store, &seed, k, None, &cfg.scale);
+        prop_assert_eq!(fast.len(), slow.len());
+        // Distances must agree (the identity of equidistant users may not).
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            let df = cfg.scale.dist_sq(&seed, &f.1);
+            let ds = cfg.scale.dist_sq(&seed, &s.1);
+            prop_assert!((df - ds).abs() <= 1e-6 * ds.max(1.0),
+                "index dist {} vs brute dist {}", df, ds);
+        }
+        // Distinct users only.
+        let mut ids: Vec<UserId> = fast.iter().map(|(u, _)| *u).collect();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), fast.len());
+    }
+
+    #[test]
+    fn k_nearest_respects_exclusion(
+        store in arb_store(8, 10),
+        cfg in configs(),
+        seed in arb_stpoint(),
+        k in 1usize..6,
+        excl in 0u64..8,
+    ) {
+        let idx = GridIndex::build(&store, cfg);
+        let got = idx.k_nearest_users(&seed, k, Some(UserId(excl)));
+        prop_assert!(got.iter().all(|(u, _)| *u != UserId(excl)));
+    }
+
+    #[test]
+    fn rtree_matches_brute_on_all_queries(
+        store in arb_store(12, 15),
+        v in 0.1f64..20.0,
+        b in arb_box(),
+        seed in arb_stpoint(),
+        k in 1usize..8,
+    ) {
+        let scale = SpaceTimeScale::new(v);
+        let tree = RTreeIndex::build(&store, scale);
+        tree.check_invariants().unwrap();
+        // Range query.
+        prop_assert_eq!(tree.users_crossing(&b), brute::users_crossing(&store, &b));
+        // kNN distances.
+        let fast = tree.k_nearest_users(&seed, k, None);
+        let slow = brute::k_nearest_users(&store, &seed, k, None, &scale);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            let df = scale.dist_sq(&seed, &f.1);
+            let ds = scale.dist_sq(&seed, &s.1);
+            prop_assert!((df - ds).abs() <= 1e-6 * ds.max(1.0), "rtree {} vs brute {}", df, ds);
+        }
+        // Exclusion honored.
+        let excl = tree.k_nearest_users(&seed, k, Some(UserId(0)));
+        prop_assert!(excl.iter().all(|(u, _)| *u != UserId(0)));
+    }
+
+    #[test]
+    fn grid_and_rtree_agree(
+        store in arb_store(10, 12),
+        cfg in configs(),
+        seed in arb_stpoint(),
+        k in 1usize..6,
+    ) {
+        let grid = GridIndex::build(&store, cfg);
+        let tree = RTreeIndex::build(&store, cfg.scale);
+        let a = grid.k_nearest_users(&seed, k, None);
+        let b = tree.k_nearest_users(&seed, k, None);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            let dx = cfg.scale.dist_sq(&seed, &x.1);
+            let dy = cfg.scale.dist_sq(&seed, &y.1);
+            prop_assert!((dx - dy).abs() <= 1e-6 * dy.max(1.0));
+        }
+    }
+
+    #[test]
+    fn trace_io_round_trips(store in arb_store(10, 12)) {
+        let mut buf = Vec::new();
+        hka_trajectory::io::write_store(&store, &mut buf).unwrap();
+        let back = hka_trajectory::io::read_store(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.user_count(), store.user_count());
+        prop_assert_eq!(back.total_points(), store.total_points());
+        for (u, phl) in store.iter() {
+            prop_assert_eq!(back.phl(u).unwrap().points(), phl.points());
+        }
+    }
+
+    #[test]
+    fn phl_nearest_matches_scan(pts in prop::collection::vec(arb_stpoint(), 1..40), q in arb_stpoint(), v in 0.0f64..20.0) {
+        let phl = Phl::from_points(pts);
+        let scale = SpaceTimeScale::new(v);
+        let fast = phl.nearest_point(&q, &scale).unwrap();
+        let best = phl
+            .points()
+            .iter()
+            .map(|p| scale.dist_sq(&q, p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((scale.dist_sq(&q, &fast) - best).abs() <= 1e-9 * best.max(1.0));
+    }
+
+    #[test]
+    fn phl_crosses_iff_some_point_inside(pts in prop::collection::vec(arb_stpoint(), 1..40), b in arb_box()) {
+        let phl = Phl::from_points(pts);
+        let expected = phl.points().iter().any(|p| b.contains(p));
+        prop_assert_eq!(phl.crosses(&b), expected);
+    }
+
+    #[test]
+    fn position_at_stays_in_mbr(pts in prop::collection::vec(arb_stpoint(), 2..20), f in 0.0f64..1.0) {
+        let phl = Phl::from_points(pts);
+        let t0 = phl.first().unwrap().t;
+        let t1 = phl.last().unwrap().t;
+        let t = t0 + ((t1 - t0) as f64 * f) as i64;
+        let pos = phl.position_at(t).unwrap();
+        let mbr = Rect::mbr(phl.points().iter().map(|p| &p.pos)).unwrap().buffer(1e-9);
+        prop_assert!(mbr.contains(&pos));
+    }
+}

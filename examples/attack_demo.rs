@@ -1,0 +1,105 @@
+//! The Section-1 attack, measured: a malicious provider with a phone
+//! book re-identifies users from their request streams.
+//!
+//! ```text
+//! cargo run --release --example attack_demo
+//! ```
+//!
+//! "a service request containing as location information the exact
+//! coordinates of a private house provides sufficient information to
+//! personally identify the house's owner … a simple look up in a phone
+//! book (or similar sources) can reveal the people who live there."
+//!
+//! Three runs of the same city under privacy Off / Medium / High; the
+//! adversary links requests (pseudonyms + trajectory tracking at Θ) and
+//! claims identities via the home registry. Protection should collapse
+//! the re-identification rate.
+
+use hka::prelude::*;
+
+fn run(level: PrivacyLevel, label: &str) {
+    let world = World::generate(&WorldConfig {
+        seed: 31,
+        days: 10,
+        n_commuters: 12,
+        n_roamers: 60,
+        n_poi_regulars: 8,
+        city: CityConfig {
+            width: 2_000.0,
+            height: 2_000.0,
+            ..CityConfig::default()
+        },
+        background_request_rate: 0.3,
+        ..WorldConfig::default()
+    });
+
+    let mut ts = TrustedServer::new(TsConfig::default());
+    ts.register_service(ServiceId(BACKGROUND_SERVICE), Tolerance::navigation());
+    ts.register_service(ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 10 * MINUTE));
+
+    // Commuters and POI regulars are the attack targets (they have
+    // registered homes); they adopt the privacy level under test. Each
+    // gets an all-hours home LBQID — "requests from my home identify me"
+    // — in addition to commuters' commute patterns.
+    let mut registry = HomeRegistry::new();
+    let mut targets: Vec<UserId> = Vec::new();
+    for agent in &world.agents {
+        let home = world.home_of(agent.user);
+        let protected = home.is_some();
+        ts.register_user(agent.user, if protected { level } else { PrivacyLevel::Off });
+        if let Some(home) = home {
+            registry.add(home, agent.user);
+            targets.push(agent.user);
+            let h = home;
+            let dsl = format!(
+                "lbqid at_home {{ element area({}, {}, {}, {}) window(00:00, 23:59); recur 2.Days; }}",
+                h.min().x, h.min().y, h.max().x, h.max().y
+            );
+            ts.add_lbqid(agent.user, parse_lbqid(&dsl).unwrap());
+            if let Some(office) = world.office_of(agent.user) {
+                ts.add_lbqid(agent.user, Lbqid::example_commute(home, office));
+            }
+        }
+    }
+
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => ts.location_update(e.user, e.at),
+            EventKind::Request { service } => {
+                let _ = ts.handle_request(e.user, e.at, ServiceId(service));
+            }
+        }
+    }
+
+    // The provider's view, attacked with the standard composite linker.
+    let (truth, requests): (Vec<UserId>, Vec<SpRequest>) =
+        ts.outbox().iter().cloned().unzip();
+    // Pseudonyms are the reliable link: every request carries one, and
+    // the paper assumes "pseudonyms are not shared by different
+    // individuals". (Tracker-based chaining across pseudonym changes is
+    // explored, with a Θ sweep, in experiment F4.)
+    let linker = PseudonymLinker;
+    let adv = Adversary::new(&linker, 0.9, &registry);
+    let report = adv.attack(&requests, &truth);
+
+    let identified_targets = report.users_identified;
+    println!(
+        "{label:<8} requests {:>6}  clusters {:>5}  claims {:>4}  precision {:>5.1}%  targets identified {:>2}/{}",
+        requests.len(),
+        report.clusters,
+        report.claims.len(),
+        100.0 * report.precision(),
+        identified_targets,
+        targets.len(),
+    );
+}
+
+fn main() {
+    println!("adversary: pseudonym linking + phone-book lookup\n");
+    run(PrivacyLevel::Off, "Off");
+    run(PrivacyLevel::Medium, "Medium");
+    run(PrivacyLevel::High, "High");
+    println!("\nOff exposes exact home coordinates; Medium/High cloak pattern");
+    println!("requests against k co-located histories and rotate pseudonyms at");
+    println!("mix-zones, so home evidence becomes ambiguous and clusters shatter.");
+}

@@ -1,0 +1,288 @@
+//! `hka-sim` — a small command-line front end to the library.
+//!
+//! ```text
+//! hka-sim simulate [--seed N] [--days N] [--commuters N] [--roamers N] [--k N]
+//! hka-sim plan     [--seed N] [--population N] [--k N] [--samples N]
+//! hka-sim derive   [--seed N] [--user N] [--days N]
+//! hka-sim attack   [--seed N] [--level off|low|medium|high]
+//! hka-sim export   [--seed N] [--days N] --out FILE     # write a trace file
+//! ```
+//!
+//! `plan` accepts `--trace FILE` to analyze an imported trace (the
+//! `hka-trace v1` text format, see `hka::trajectory::io`) instead of a
+//! generated world.
+//!
+//! Everything is seeded and deterministic; run with `--release` for
+//! realistic timings. Argument parsing is deliberately dependency-free.
+
+use hka::prelude::*;
+use std::collections::HashMap;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                out.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                out.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            eprintln!("unexpected argument '{}'", args[i]);
+            std::process::exit(2);
+        }
+    }
+    out
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{key}: '{v}'");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn build_world(seed: u64, days: i64, commuters: usize, roamers: usize) -> World {
+    World::generate(&WorldConfig {
+        seed,
+        days,
+        n_commuters: commuters,
+        n_roamers: roamers,
+        n_poi_regulars: roamers / 10,
+        city: CityConfig {
+            width: 2_000.0,
+            height: 2_000.0,
+            ..CityConfig::default()
+        },
+        ..WorldConfig::default()
+    })
+}
+
+fn protected_server(world: &World, k: usize) -> TrustedServer {
+    let mut ts = TrustedServer::new(TsConfig::default());
+    ts.register_service(ServiceId(BACKGROUND_SERVICE), Tolerance::navigation());
+    ts.register_service(ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 10 * MINUTE));
+    let commuters: Vec<UserId> = world.commuters().collect();
+    for agent in &world.agents {
+        let level = if commuters.contains(&agent.user) {
+            PrivacyLevel::Custom(PrivacyParams {
+                k,
+                theta: 0.5,
+                k_init: 2 * k,
+                k_decrement: 1,
+                on_risk: RiskAction::Forward,
+            })
+        } else {
+            PrivacyLevel::Off
+        };
+        ts.register_user(agent.user, level);
+    }
+    for &u in &commuters {
+        ts.add_lbqid(
+            u,
+            Lbqid::example_commute(world.home_of(u).unwrap(), world.office_of(u).unwrap()),
+        );
+    }
+    ts
+}
+
+fn run_events(ts: &mut TrustedServer, world: &World) {
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => ts.location_update(e.user, e.at),
+            EventKind::Request { service } => {
+                let _ = ts.handle_request(e.user, e.at, ServiceId(service));
+            }
+        }
+    }
+}
+
+fn cmd_simulate(flags: HashMap<String, String>) {
+    let seed = get(&flags, "seed", 1u64);
+    let days = get(&flags, "days", 14i64);
+    let commuters = get(&flags, "commuters", 10usize);
+    let roamers = get(&flags, "roamers", 60usize);
+    let k = get(&flags, "k", 5usize);
+    let world = build_world(seed, days, commuters, roamers);
+    let mut ts = protected_server(&world, k);
+    run_events(&mut ts, &world);
+    let st = ts.log().stats();
+    println!("simulated {days} days, {} users, k = {k}", world.agents.len());
+    println!("forwarded:        {} ({} exact, {} generalized)", st.forwarded(), st.forwarded_exact, st.generalized());
+    println!("HK success rate:  {:.1}%", 100.0 * st.hk_success_rate());
+    println!("mean cloak:       {:.0} m² × {:.0} s", st.mean_generalized_area(), st.mean_generalized_duration());
+    println!("pseudonym changes:{}", st.pseudonym_changes);
+    println!("at-risk notices:  {}", st.at_risk);
+    println!("full matches:     {}", st.lbqid_matches);
+    for u in world.commuters() {
+        for (name, matched, hk) in ts.audit_patterns(u, k) {
+            println!(
+                "  {u} {name}: matched={matched} hk={} (eff. k {}) lock={:?}",
+                hk.satisfied,
+                hk.effective_k(),
+                ts.privacy_indicator(u).expect("registered")
+            );
+        }
+    }
+}
+
+fn cmd_plan(flags: HashMap<String, String>) {
+    let seed = get(&flags, "seed", 1u64);
+    let population = get(&flags, "population", 80usize);
+    let k = get(&flags, "k", 5usize);
+    let samples = get(&flags, "samples", 300usize);
+    let store = match flags.get("trace") {
+        Some(path) => {
+            let file = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            });
+            read_store(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            })
+        }
+        None => build_world(seed, 3, population / 5, population * 4 / 5).store(),
+    };
+    let index = GridIndex::build(&store, GridIndexConfig::default());
+    let mz = MixZoneManager::new(MixZoneConfig::default());
+    for (label, tol) in [
+        ("hospital-finder", Tolerance::navigation()),
+        ("localized-news", Tolerance::news()),
+    ] {
+        let r = evaluate_deployment(
+            &store,
+            &index,
+            &mz,
+            &PlanningConfig {
+                k,
+                tolerance: tol,
+                samples,
+                seed,
+            },
+        );
+        println!(
+            "{label:<16} HK {:.1}%  mean {:.0} m² × {:.0} s  unlink-fallback {:.1}%  risk {:.1}%  → {}",
+            100.0 * r.hk_success_rate,
+            r.mean_area,
+            r.mean_duration,
+            100.0 * r.unlink_fallback_rate,
+            100.0 * r.at_risk_rate,
+            if r.deployable(0.05) { "deploy" } else { "DO NOT DEPLOY" }
+        );
+    }
+}
+
+fn cmd_derive(flags: HashMap<String, String>) {
+    let seed = get(&flags, "seed", 1u64);
+    let user = UserId(get(&flags, "user", 0u64));
+    let days = get(&flags, "days", 14i64);
+    let world = build_world(seed, days, 10, 40);
+    let store = world.store();
+    let derived = derive_lbqids(&store, user, &DerivationConfig::default());
+    if derived.is_empty() {
+        println!("{user}: no identifying recurring pattern found");
+        return;
+    }
+    for d in derived {
+        println!(
+            "population {} | support {} days | {}",
+            d.matching_population, d.support_days, d.lbqid
+        );
+    }
+}
+
+fn cmd_attack(flags: HashMap<String, String>) {
+    let seed = get(&flags, "seed", 1u64);
+    let level = match flags.get("level").map(|s| s.as_str()).unwrap_or("off") {
+        "off" => PrivacyLevel::Off,
+        "low" => PrivacyLevel::Low,
+        "medium" => PrivacyLevel::Medium,
+        "high" => PrivacyLevel::High,
+        other => {
+            eprintln!("unknown level '{other}' (use off|low|medium|high)");
+            std::process::exit(2);
+        }
+    };
+    let world = build_world(seed, 8, 12, 50);
+    let mut ts = TrustedServer::new(TsConfig::default());
+    ts.register_service(ServiceId(BACKGROUND_SERVICE), Tolerance::navigation());
+    ts.register_service(ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 10 * MINUTE));
+    let mut registry = HomeRegistry::new();
+    let mut targets = 0;
+    for agent in &world.agents {
+        let home = world.home_of(agent.user);
+        ts.register_user(
+            agent.user,
+            if home.is_some() { level } else { PrivacyLevel::Off },
+        );
+        if let Some(home) = home {
+            registry.add(home, agent.user);
+            targets += 1;
+            let dsl = format!(
+                "lbqid at_home {{ element area({}, {}, {}, {}) window(00:00, 23:59); recur 2.Days; }}",
+                home.min().x, home.min().y, home.max().x, home.max().y
+            );
+            ts.add_lbqid(agent.user, parse_lbqid(&dsl).expect("valid"));
+        }
+    }
+    run_events(&mut ts, &world);
+    let (truth, requests): (Vec<UserId>, Vec<SpRequest>) = ts.outbox().iter().cloned().unzip();
+    let linker = PseudonymLinker;
+    let report = Adversary::new(&linker, 0.9, &registry).attack(&requests, &truth);
+    println!(
+        "level {:?}: {} requests, {} clusters, {} claims, {} / {targets} targets identified",
+        level,
+        requests.len(),
+        report.clusters,
+        report.claims.len(),
+        report.users_identified
+    );
+}
+
+fn cmd_export(flags: HashMap<String, String>) {
+    let seed = get(&flags, "seed", 1u64);
+    let days = get(&flags, "days", 3i64);
+    let Some(out) = flags.get("out") else {
+        eprintln!("export requires --out FILE");
+        std::process::exit(2);
+    };
+    let world = build_world(seed, days, 10, 50);
+    let store = world.store();
+    let file = std::fs::File::create(out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        std::process::exit(1);
+    });
+    write_store(&store, std::io::BufWriter::new(file)).expect("write trace");
+    println!(
+        "wrote {} points for {} users to {out}",
+        store.total_points(),
+        store.user_count()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: hka-sim <simulate|plan|derive|attack|export> [--flags]");
+        std::process::exit(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(flags),
+        "plan" => cmd_plan(flags),
+        "derive" => cmd_derive(flags),
+        "attack" => cmd_attack(flags),
+        "export" => cmd_export(flags),
+        other => {
+            eprintln!("unknown command '{other}' (use simulate|plan|derive|attack|export)");
+            std::process::exit(2);
+        }
+    }
+}
