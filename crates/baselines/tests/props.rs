@@ -1,7 +1,7 @@
 //! Property tests for the baseline cloaking algorithms.
 
 use hka_baselines::{actual_senders, interval_cloaking, UniformCloak};
-use hka_geo::{Rect, SpaceTimeScale, StBox, StPoint, TimeInterval, TimeSec};
+use hka_geo::{Rect, SpaceTimeScale, StPoint, TimeInterval, TimeSec};
 use hka_trajectory::{GridIndex, GridIndexConfig, TrajectoryStore, UserId};
 use proptest::prelude::*;
 

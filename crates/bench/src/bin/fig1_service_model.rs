@@ -12,7 +12,7 @@
 //! ```
 
 use hka_anonymity::ServiceId;
-use hka_bench::{build, ScenarioConfig};
+use hka_bench::{build, Cell, Report, ScenarioConfig};
 use hka_core::RequestOutcome;
 use hka_mobility::EventKind;
 
@@ -60,15 +60,25 @@ fn main() {
     }
 
     let stats = s.ts.log().stats();
-    println!("--- one-day totals across all {} users ---", s.world.agents.len());
-    println!(
-        "forwarded {} (exact {}, generalized {}), suppressed {} (mix-zones) / {} (risk)",
-        stats.forwarded(),
-        stats.forwarded_exact,
-        stats.generalized(),
-        stats.suppressed_mixzone,
-        stats.suppressed_risk
-    );
-    println!("\nNo SpRequest carries a UserId: the type system separates the TS-side");
-    println!("identity (UserId) from the provider-visible Pseudonym (see hka-anonymity).");
+    let mut report = Report::new(
+        "F1",
+        &format!("one-day totals across all {} users", s.world.agents.len()),
+    )
+    .columns(&[
+        "forwarded",
+        "exact",
+        "generalized",
+        "suppressed (mix-zone)",
+        "suppressed (risk)",
+    ]);
+    report.row(vec![
+        Cell::int(stats.forwarded() as i64),
+        Cell::int(stats.forwarded_exact as i64),
+        Cell::int(stats.generalized() as i64),
+        Cell::int(stats.suppressed_mixzone as i64),
+        Cell::int(stats.suppressed_risk as i64),
+    ]);
+    report.note("No SpRequest carries a UserId: the type system separates the TS-side");
+    report.note("identity (UserId) from the provider-visible Pseudonym (see hka-anonymity).");
+    report.emit();
 }

@@ -16,7 +16,7 @@
 //! ```
 
 use hka_baselines::{interval_cloaking, UniformCloak};
-use hka_bench::{build, mean, ScenarioConfig};
+use hka_bench::{build, mean, Cell, Report, ScenarioConfig};
 use hka_core::{algorithm1_first, Tolerance};
 use hka_geo::{StPoint, TimeInterval};
 use hka_mobility::EventKind;
@@ -44,12 +44,11 @@ fn main() {
         .take(600)
         .collect();
 
-    println!("=== F2: mean cloaked area (m²) vs k — {} request samples ===\n", samples.len());
-    println!(
-        "{:>3} {:>14} {:>14} {:>14} {:>12} {:>12}",
-        "k", "algo1", "quadtree", "uniform", "algo1 ok%", "uniform<k%"
-    );
-    hka_bench::rule(76);
+    let mut report = Report::new(
+        "F2",
+        &format!("mean cloaked area (m²) vs k — {} request samples", samples.len()),
+    )
+    .columns(&["k", "algo1", "quadtree", "uniform", "algo1 ok%", "uniform<k%"]);
     let loose = Tolerance::new(f64::MAX, i64::MAX);
     for k in [2usize, 3, 5, 8, 12, 20] {
         let mut a1_areas = vec![];
@@ -81,19 +80,18 @@ fn main() {
                 uni_small += 1;
             }
         }
-        println!(
-            "{:>3} {:>14.0} {:>14.0} {:>14.0} {:>11.1}% {:>11.1}%",
-            k,
-            mean(&a1_areas),
-            mean(&qt_areas),
-            cell_side * cell_side,
-            100.0 * a1_ok as f64 / samples.len() as f64,
-            100.0 * uni_small as f64 / samples.len() as f64,
-        );
+        report.row(vec![
+            Cell::int(k as i64),
+            Cell::num(mean(&a1_areas), 0),
+            Cell::num(mean(&qt_areas), 0),
+            Cell::num(cell_side * cell_side, 0),
+            Cell::pct(a1_ok as f64 / samples.len() as f64, 1),
+            Cell::pct(uni_small as f64 / samples.len() as f64, 1),
+        ]);
     }
-    hka_bench::rule(76);
-    println!("\nReading: Algorithm 1's per-user-nearest boxes stay well below the");
-    println!("quadtree cloaks (which can only halve the domain per step), and the");
-    println!("population-blind uniform grid leaves a large fraction of requests");
-    println!("under-anonymized no matter how its cell is sized.");
+    report.note("Reading: Algorithm 1's per-user-nearest boxes stay well below the");
+    report.note("quadtree cloaks (which can only halve the domain per step), and the");
+    report.note("population-blind uniform grid leaves a large fraction of requests");
+    report.note("under-anonymized no matter how its cell is sized.");
+    report.emit();
 }

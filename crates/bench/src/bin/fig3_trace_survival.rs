@@ -23,7 +23,7 @@
 //! cargo run --release -p hka-bench --bin fig3_trace_survival
 //! ```
 
-use hka_bench::{build, ScenarioConfig};
+use hka_bench::{build, Cell, Report, ScenarioConfig};
 use hka_core::{algorithm1_first, algorithm1_subsequent, PrivacyParams, RiskAction, Tolerance};
 use hka_geo::{SpaceTimeScale, StPoint, MINUTE};
 use hka_mobility::{EventKind, ANCHOR_SERVICE};
@@ -120,37 +120,36 @@ fn main() {
             traces_total += 1;
             for (si, (_, params)) in schedules.iter().enumerate() {
                 let steps = survive(&index, &store, &scale, u, &trace, params, &tolerance);
-                for len in 0..=steps {
-                    survived[si][len] += 1;
+                for slot in survived[si].iter_mut().take(steps + 1) {
+                    *slot += 1;
                 }
             }
         }
     }
 
-    println!(
-        "=== F3: P(historical k-anonymity survives a trace of length L), k = {k}, {traces_total} traces ===\n"
-    );
-    print!("{:>4}", "L");
+    let mut columns = vec!["L"];
     for (label, _) in &schedules {
-        print!(" {label:>16}");
+        columns.push(label);
     }
-    println!();
-    hka_bench::rule(4 + 17 * schedules.len());
+    let mut report = Report::new(
+        "F3",
+        &format!(
+            "P(historical k-anonymity survives a trace of length L), k = {k}, {traces_total} traces"
+        ),
+    )
+    .columns(&columns);
     for len in 1..=MAX_LEN {
-        print!("{len:>4}");
-        for si in 0..schedules.len() {
-            print!(
-                " {:>15.1}%",
-                100.0 * survived[si][len] as f64 / traces_total as f64
-            );
+        let mut row = vec![Cell::int(len as i64)];
+        for counts in &survived {
+            row.push(Cell::pct(counts[len] as f64 / traces_total as f64, 1));
         }
-        println!();
+        report.row(row);
     }
-    hka_bench::rule(4 + 17 * schedules.len());
-    println!("\nReading: fast-decaying reserves dominate at short-to-medium trace");
-    println!("lengths (the paper's conjecture, with the decay rate made explicit);");
-    println!("a slowly decaying k′ must cover > k candidates at every early step and");
-    println!("collapses. On long periodic traces the home-anchored fixed-k selection");
-    println!("catches up, because commute traces return to where they started —");
-    println!("a nuance the paper's sketch did not anticipate.");
+    report.note("Reading: fast-decaying reserves dominate at short-to-medium trace");
+    report.note("lengths (the paper's conjecture, with the decay rate made explicit);");
+    report.note("a slowly decaying k′ must cover > k candidates at every early step and");
+    report.note("collapses. On long periodic traces the home-anchored fixed-k selection");
+    report.note("catches up, because commute traces return to where they started —");
+    report.note("a nuance the paper's sketch did not anticipate.");
+    report.emit();
 }

@@ -19,6 +19,7 @@
 //! ```
 
 use hka_anonymity::{CompositeLinker, PseudonymLinker, ServiceId, SpRequest};
+use hka_bench::{Cell, Report};
 use hka_core::adversary::{pair_attack, Adversary, HomeRegistry, PairRegistry};
 use hka_core::{
     MixZoneConfig, PrivacyLevel, PrivacyParams, RiskAction, Tolerance, TrustedServer, TsConfig,
@@ -140,24 +141,32 @@ fn main() {
         ..WorldConfig::default()
     });
 
-    println!("=== F4: fraction of home-owning users re-identified by the provider ===\n");
-    println!(
-        "{:<24} {:>4} {:>12} {:>11} {:>14} {:>14}",
-        "defence", "k", "phone-book", "home+work", "tracker Θ=0.8", "tracker Θ=0.5"
-    );
-    hka_bench::rule(86);
+    let mut report = Report::new(
+        "F4",
+        "fraction of home-owning users re-identified by the provider",
+    )
+    .columns(&[
+        "defence",
+        "k",
+        "phone-book",
+        "home+work",
+        "tracker Θ=0.8",
+        "tracker Θ=0.5",
+    ]);
+    let attack_row = |report: &mut Report, label: &str, k: &str, out: &RunOutput| {
+        report.row(vec![
+            Cell::text(label),
+            Cell::text(k),
+            Cell::pct(attack(out, 0.9, false), 0),
+            Cell::pct(attack_pairs(out), 0),
+            Cell::pct(attack(out, 0.8, true), 0),
+            Cell::pct(attack(out, 0.5, true), 0),
+        ]);
+    };
 
     // No protection at all.
     let off = run(&world, None, true);
-    println!(
-        "{:<24} {:>4} {:>11.0}% {:>10.0}% {:>13.0}% {:>13.0}%",
-        "none (exact contexts)",
-        "-",
-        100.0 * attack(&off, 0.9, false),
-        100.0 * attack_pairs(&off),
-        100.0 * attack(&off, 0.8, true),
-        100.0 * attack(&off, 0.5, true),
-    );
+    attack_row(&mut report, "none (exact contexts)", "-", &off);
 
     for k in [2usize, 5, 10] {
         let params = PrivacyParams {
@@ -168,35 +177,19 @@ fn main() {
             on_risk: RiskAction::Forward,
         };
         let gen_only = run(&world, Some(params), false);
-        println!(
-            "{:<24} {:>4} {:>11.0}% {:>10.0}% {:>13.0}% {:>13.0}%",
-            "generalization only",
-            k,
-            100.0 * attack(&gen_only, 0.9, false),
-            100.0 * attack_pairs(&gen_only),
-            100.0 * attack(&gen_only, 0.8, true),
-            100.0 * attack(&gen_only, 0.5, true),
-        );
+        attack_row(&mut report, "generalization only", &k.to_string(), &gen_only);
         let full = run(&world, Some(params), true);
-        println!(
-            "{:<24} {:>4} {:>11.0}% {:>10.0}% {:>13.0}% {:>13.0}%",
-            "full strategy (+unlink)",
-            k,
-            100.0 * attack(&full, 0.9, false),
-            100.0 * attack_pairs(&full),
-            100.0 * attack(&full, 0.8, true),
-            100.0 * attack(&full, 0.5, true),
-        );
+        attack_row(&mut report, "full strategy (+unlink)", &k.to_string(), &full);
     }
-    hka_bench::rule(86);
-    println!("\nReading: without protection the phone-book attack identifies many");
-    println!("home-owners and the home/work pair attack even more. Generalization");
-    println!("makes the evidence ambiguous (cloaks cover several homes/offices) and");
-    println!("kills both attacks by k = 10. Two second-order observations: (1)");
-    println!("aggressive tracker chaining (low Θ) merges too much and self-destructs;");
-    println!("(2) against the *pair* attack, unlinking can backfire at moderate k —");
-    println!("splitting a user's stream into small per-day clusters makes each");
-    println!("cluster's home+work evidence crisper than one big ambiguous cluster.");
-    println!("Protection against pair-style attackers must come from generalization");
-    println!("strength (k), not from pseudonym rotation alone.");
+    report.note("Reading: without protection the phone-book attack identifies many");
+    report.note("home-owners and the home/work pair attack even more. Generalization");
+    report.note("makes the evidence ambiguous (cloaks cover several homes/offices) and");
+    report.note("kills both attacks by k = 10. Two second-order observations: (1)");
+    report.note("aggressive tracker chaining (low Θ) merges too much and self-destructs;");
+    report.note("(2) against the *pair* attack, unlinking can backfire at moderate k —");
+    report.note("splitting a user's stream into small per-day clusters makes each");
+    report.note("cluster's home+work evidence crisper than one big ambiguous cluster.");
+    report.note("Protection against pair-style attackers must come from generalization");
+    report.note("strength (k), not from pseudonym rotation alone.");
+    report.emit();
 }

@@ -17,6 +17,7 @@
 //! cargo run --release -p hka-bench --bin fig5_qid_power
 //! ```
 
+use hka_bench::{Cell, Report};
 use hka_geo::{DayWindow, Rect};
 use hka_granules::Recurrence;
 use hka_lbqid::{Element, Lbqid, Monitor};
@@ -73,10 +74,14 @@ fn main() {
         ("+700 m, ±2 h, 1.Weekdays", variant(home, office, 700.0, 2, "1.Weekdays")),
     ];
 
-    println!("=== F5: how many users could match each commute-pattern variant ===");
-    println!("(population {}; target user {target}; every location sample tested)\n", world.agents.len());
-    println!("{:<36} {:>9} {:>14} {:>12}", "pattern variant", "matchers", "target in?", "id. power");
-    hka_bench::rule(76);
+    let mut report = Report::new(
+        "F5",
+        &format!(
+            "how many users could match each commute-pattern variant (population {}; target user {target}; every location sample tested)",
+            world.agents.len()
+        ),
+    )
+    .columns(&["pattern variant", "matchers", "target in?", "id. power"]);
 
     for (label, q) in &ladder {
         let mut matchers = 0usize;
@@ -107,14 +112,16 @@ fn main() {
         } else {
             format!("1/{matchers}")
         };
-        println!(
-            "{:<36} {:>9} {:>14} {:>12}",
-            label, matchers, target_matches, power
-        );
+        report.row(vec![
+            Cell::text(*label),
+            Cell::int(matchers as i64),
+            Cell::flag(target_matches),
+            Cell::text(power),
+        ]);
     }
-    hka_bench::rule(76);
-    println!("\nReading: the exact-building pattern singles out the target (power 1/1);");
-    println!("growing the areas and windows sweeps in other commuters until the pattern");
-    println!("'turns out to be very common for many users' and stops identifying —");
-    println!("the statistical basis the paper prescribes for LBQID derivation.");
+    report.note("Reading: the exact-building pattern singles out the target (power 1/1);");
+    report.note("growing the areas and windows sweeps in other commuters until the pattern");
+    report.note("'turns out to be very common for many users' and stops identifying —");
+    report.note("the statistical basis the paper prescribes for LBQID derivation.");
+    report.emit();
 }

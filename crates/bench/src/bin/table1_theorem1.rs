@@ -25,19 +25,28 @@
 //! ```
 
 use hka_anonymity::historical_k_anonymity;
-use hka_bench::{build, run_events, ScenarioConfig};
+use hka_bench::{build, run_events, Cell, Report, ScenarioConfig};
 use hka_core::{PrivacyParams, RiskAction};
 use hka_geo::StBox;
 use hka_lbqid::{offline, Lbqid};
 use hka_mobility::{EventKind, ANCHOR_SERVICE};
 
 fn main() {
-    println!("=== T1: Theorem 1 — historical k-anonymity of LBQID-matched request sets ===\n");
-    println!(
-        "{:>6} {:>8} {:>4} {:>8} {:>8} {:>12} {:>11} {:>12} {:>12}",
-        "seed", "density", "k", "users", "matched", "HK ok", "viol(clean)", "viol(risk)", "unprotected"
-    );
-    hka_bench::rule(92);
+    let mut report = Report::new(
+        "T1",
+        "Theorem 1 — historical k-anonymity of LBQID-matched request sets",
+    )
+    .columns(&[
+        "seed",
+        "density",
+        "k",
+        "users",
+        "matched",
+        "HK ok",
+        "viol(clean)",
+        "viol(risk)",
+        "unprotected",
+    ]);
 
     let mut total_clean_violations = 0usize;
     for &(density_label, n_roamers) in &[("dense", 80usize), ("sparse", 25usize)] {
@@ -108,23 +117,24 @@ fn main() {
                     }
                 }
 
-                println!(
-                    "{:>6} {:>8} {:>4} {:>8} {:>8} {:>12} {:>11} {:>12} {:>12}",
-                    seed,
-                    density_label,
-                    k,
-                    s.protected.len(),
-                    matched,
-                    hk_ok,
-                    viol_clean,
-                    viol_risk,
-                    unprotected
-                );
+                report.row(vec![
+                    Cell::int(seed as i64),
+                    Cell::text(density_label),
+                    Cell::int(k as i64),
+                    Cell::int(s.protected.len() as i64),
+                    Cell::int(matched as i64),
+                    Cell::int(hk_ok as i64),
+                    Cell::int(viol_clean as i64),
+                    Cell::int(viol_risk as i64),
+                    Cell::int(unprotected as i64),
+                ]);
             }
         }
     }
-    hka_bench::rule(92);
-    println!("\nTheorem 1 holds iff every viol(clean) cell is 0. Observed total: {total_clean_violations}");
+    report.note(&format!(
+        "Theorem 1 holds iff every viol(clean) cell is 0. Observed total: {total_clean_violations}"
+    ));
+    report.emit();
     assert_eq!(
         total_clean_violations, 0,
         "THEOREM 1 VIOLATED — see rows above"

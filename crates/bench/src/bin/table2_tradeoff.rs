@@ -13,23 +13,33 @@
 //! cargo run --release -p hka-bench --bin table2_tradeoff
 //! ```
 
-use hka_bench::{build, mean, run_events, ScenarioConfig};
+use hka_bench::{build, mean, run_events, Cell, Report, ScenarioConfig};
 use hka_core::{PrivacyParams, RiskAction, Tolerance};
 use hka_geo::MINUTE;
 
 fn main() {
-    println!("=== T2: QoS × anonymity × unlinking trade-off (4 seeds × 14 days each) ===\n");
+    let mut report = Report::new(
+        "T2",
+        "QoS × anonymity × unlinking trade-off (4 seeds × 14 days each)",
+    )
+    .columns(&[
+        "tolerance",
+        "k",
+        "HK ok %",
+        "mean m²",
+        "mean s",
+        "unlink/1k",
+        "at-risk/1k",
+    ]);
     let tolerances = [
         ("strict (0.25 km², 2 min)", Tolerance::new(2.5e5, 2 * MINUTE)),
         ("medium (4 km², 10 min)", Tolerance::new(4e6, 10 * MINUTE)),
         ("loose (25 km², 60 min)", Tolerance::new(2.5e7, 60 * MINUTE)),
     ];
-    println!(
-        "{:<26} {:>3} {:>9} {:>12} {:>9} {:>12} {:>12}",
-        "tolerance", "k", "HK ok %", "mean m²", "mean s", "unlink/1k", "at-risk/1k"
-    );
-    hka_bench::rule(92);
-    for (label, tolerance) in tolerances {
+    for (ti, (label, tolerance)) in tolerances.into_iter().enumerate() {
+        if ti > 0 {
+            report.gap();
+        }
         for k in [2usize, 5, 10, 20] {
             let mut rates = vec![];
             let mut areas = vec![];
@@ -64,20 +74,19 @@ fn main() {
                 unlinks.push(1_000.0 * st.pseudonym_changes as f64 / pattern_reqs);
                 risks.push(1_000.0 * st.at_risk as f64 / pattern_reqs);
             }
-            println!(
-                "{:<26} {:>3} {:>8.1}% {:>12.0} {:>9.0} {:>12.1} {:>12.1}",
-                label,
-                k,
-                100.0 * mean(&rates),
-                mean(&areas),
-                mean(&durs),
-                mean(&unlinks),
-                mean(&risks)
-            );
+            report.row(vec![
+                Cell::text(label),
+                Cell::int(k as i64),
+                Cell::pct(mean(&rates), 1),
+                Cell::num(mean(&areas), 0),
+                Cell::num(mean(&durs), 0),
+                Cell::num(mean(&unlinks), 1),
+                Cell::num(mean(&risks), 1),
+            ]);
         }
-        hka_bench::rule(92);
     }
-    println!("\nReading: stricter tolerance and larger k both depress the HK success rate;");
-    println!("failures surface either as unlinking (service interruptions) or at-risk");
-    println!("notifications — the paper's triangle, quantified.");
+    report.note("Reading: stricter tolerance and larger k both depress the HK success rate;");
+    report.note("failures surface either as unlinking (service interruptions) or at-risk");
+    report.note("notifications — the paper's triangle, quantified.");
+    report.emit();
 }

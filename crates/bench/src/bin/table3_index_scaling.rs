@@ -16,21 +16,27 @@
 //! cargo run --release -p hka-bench --bin table3_index_scaling
 //! ```
 
-use hka_bench::{median, time_ns};
+use hka_bench::{median, time_ns, Cell, Report};
 use hka_core::{algorithm1_first, algorithm1_first_brute, Tolerance};
 use hka_geo::StPoint;
 use hka_mobility::{CityConfig, EventKind, World, WorldConfig};
 use hka_trajectory::{GridIndex, GridIndexConfig, RTreeIndex, UserId};
 
 fn main() {
-    println!("=== T3: Algorithm 1 line 5 — brute force O(k·n) vs grid index ===\n");
     let k = 5usize;
     let tolerance = Tolerance::new(f64::MAX, i64::MAX);
-    println!(
-        "{:>9} {:>7} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
-        "n points", "users", "brute µs", "grid µs", "rtree µs", "speedup", "brute×", "grid×", "rtree×"
-    );
-    hka_bench::rule(100);
+    let mut report = Report::new("T3", "Algorithm 1 line 5 — brute force O(k·n) vs grid index")
+        .columns(&[
+            "n points",
+            "users",
+            "brute µs",
+            "grid µs",
+            "rtree µs",
+            "speedup",
+            "brute×",
+            "grid×",
+            "rtree×",
+        ]);
 
     let sizes = [(20usize, 1i64), (40, 2), (80, 4), (160, 8)];
     let mut prev: Option<(f64, f64, f64)> = None;
@@ -89,27 +95,26 @@ fn main() {
             Some((pb, pi, pr)) => (b / pb, i / pi, r / pr),
             None => (1.0, 1.0, 1.0),
         };
-        println!(
-            "{:>9} {:>7} {:>12.1} {:>12.1} {:>12.1} {:>8.1}x {:>8.2}x {:>8.2}x {:>8.2}x",
-            n,
-            store.user_count(),
-            b,
-            i,
-            r,
-            b / i.min(r),
-            bx,
-            ix,
-            rx
-        );
+        report.row(vec![
+            Cell::int(n as i64),
+            Cell::int(store.user_count() as i64),
+            Cell::num(b, 1),
+            Cell::num(i, 1),
+            Cell::num(r, 1),
+            Cell::num(b / i.min(r), 1),
+            Cell::num(bx, 2),
+            Cell::num(ix, 2),
+            Cell::num(rx, 2),
+        ]);
         prev = Some((b, i, r));
     }
-    hka_bench::rule(100);
-    println!("\nReading: brute-force latency grows linearly with n (each doubling of");
-    println!("the database roughly doubles its µs column: brute× ≈ 2), while the grid");
-    println!("index visits only the occupied cells near the query and grows far more");
-    println!("slowly (index× well below 2) — the 'indexing moving objects' optimization");
-    println!("the paper calls for. The crossover sits around a few hundred thousand");
-    println!("points: below it, a per-PHL scan with temporal pruning is already fast.");
-    println!("\nCorrectness note: both implementations are differentially tested for");
-    println!("equal results in crates/trajectory/tests/props.rs.");
+    report.note("Reading: brute-force latency grows linearly with n (each doubling of");
+    report.note("the database roughly doubles its µs column: brute× ≈ 2), while the grid");
+    report.note("index visits only the occupied cells near the query and grows far more");
+    report.note("slowly (index× well below 2) — the 'indexing moving objects' optimization");
+    report.note("the paper calls for. The crossover sits around a few hundred thousand");
+    report.note("points: below it, a per-PHL scan with temporal pruning is already fast.");
+    report.note("Correctness note: both implementations are differentially tested for");
+    report.note("equal results in crates/trajectory/tests/props.rs.");
+    report.emit();
 }

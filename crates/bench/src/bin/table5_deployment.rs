@@ -16,6 +16,7 @@
 //! cargo run --release -p hka-bench --bin table5_deployment
 //! ```
 
+use hka_bench::{Cell, Report};
 use hka_core::planning::{evaluate_deployment, PlanningConfig};
 use hka_core::{MixZoneConfig, MixZoneManager, Tolerance};
 use hka_geo::MINUTE;
@@ -23,12 +24,22 @@ use hka_mobility::{CityConfig, World, WorldConfig};
 use hka_trajectory::{GridIndex, GridIndexConfig};
 
 fn main() {
-    println!("=== T5: service deployability per district (400 sampled request situations each) ===\n");
-    println!(
-        "{:<10} {:>7} {:<16} {:>3} {:>9} {:>12} {:>9} {:>10} {:>8}  verdict",
-        "district", "users", "service", "k", "HK ok %", "mean m²", "mean s", "unlink %", "risk %"
-    );
-    hka_bench::rule(104);
+    let mut report = Report::new(
+        "T5",
+        "service deployability per district (400 sampled request situations each)",
+    )
+    .columns(&[
+        "district",
+        "users",
+        "service",
+        "k",
+        "HK ok %",
+        "mean m²",
+        "mean s",
+        "unlink %",
+        "risk %",
+        "verdict",
+    ]);
 
     let districts = [("downtown", 200usize), ("suburb", 60), ("rural", 12)];
     let services = [
@@ -36,7 +47,10 @@ fn main() {
         ("localized-news", Tolerance::news()),
     ];
 
-    for (name, population) in districts {
+    for (di, (name, population)) in districts.into_iter().enumerate() {
+        if di > 0 {
+            report.gap();
+        }
         let world = World::generate(&WorldConfig {
             seed: 44,
             days: 3,
@@ -67,25 +81,24 @@ fn main() {
                         seed: 9,
                     },
                 );
-                println!(
-                    "{:<10} {:>7} {:<16} {:>3} {:>8.1}% {:>12.0} {:>9.0} {:>9.1}% {:>7.1}%  {}",
-                    name,
-                    store.user_count(),
-                    svc,
-                    k,
-                    100.0 * r.hk_success_rate,
-                    r.mean_area,
-                    r.mean_duration,
-                    100.0 * r.unlink_fallback_rate,
-                    100.0 * r.at_risk_rate,
-                    if r.deployable(0.05) { "deploy" } else { "DO NOT DEPLOY" }
-                );
+                report.row(vec![
+                    Cell::text(name),
+                    Cell::int(store.user_count() as i64),
+                    Cell::text(*svc),
+                    Cell::int(k as i64),
+                    Cell::pct(r.hk_success_rate, 1),
+                    Cell::num(r.mean_area, 0),
+                    Cell::num(r.mean_duration, 0),
+                    Cell::pct(r.unlink_fallback_rate, 1),
+                    Cell::pct(r.at_risk_rate, 1),
+                    Cell::text(if r.deployable(0.05) { "deploy" } else { "DO NOT DEPLOY" }),
+                ]);
             }
         }
-        hka_bench::rule(104);
     }
-    println!("\nReading: density is the dominant factor — the same service and policy");
-    println!("flips from deployable downtown to unprotectable in the rural district;");
-    println!("loose-tolerance services (news) survive everywhere the population can");
-    println!("supply k histories at all.");
+    report.note("Reading: density is the dominant factor — the same service and policy");
+    report.note("flips from deployable downtown to unprotectable in the rural district;");
+    report.note("loose-tolerance services (news) survive everywhere the population can");
+    report.note("supply k histories at all.");
+    report.emit();
 }

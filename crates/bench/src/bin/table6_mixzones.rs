@@ -16,17 +16,20 @@
 //! cargo run --release -p hka-bench --bin table6_mixzones
 //! ```
 
-use hka_bench::{build, mean, run_events, ScenarioConfig};
+use hka_bench::{build, mean, run_events, Cell, Report, ScenarioConfig};
 use hka_core::{MixZoneConfig, PrivacyParams, RiskAction};
 use hka_geo::Rect;
 
 fn main() {
-    println!("=== T6: mix-zone ablation (k = 5, 4 seeds × 14 days) ===\n");
-    println!(
-        "{:<12} {:>9} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "config", "HK ok %", "unlinks", "suppressed", "at-risk", "matches", "max trace"
-    );
-    hka_bench::rule(88);
+    let mut report = Report::new("T6", "mix-zone ablation (k = 5, 4 seeds × 14 days)").columns(&[
+        "config",
+        "HK ok %",
+        "unlinks",
+        "suppressed",
+        "at-risk",
+        "matches",
+        "max trace",
+    ]);
 
     for &(label, on_demand, with_static) in &[
         ("none", false, false),
@@ -56,10 +59,12 @@ fn main() {
             });
             if !on_demand {
                 // Rebuild the server with unlinking disabled.
-                let mut cfg = hka_core::TsConfig::default();
-                cfg.mixzone = MixZoneConfig {
-                    min_divergence: 7.0, // > π: never satisfiable
-                    ..MixZoneConfig::default()
+                let cfg = hka_core::TsConfig {
+                    mixzone: MixZoneConfig {
+                        min_divergence: 7.0, // > π: never satisfiable
+                        ..MixZoneConfig::default()
+                    },
+                    ..hka_core::TsConfig::default()
                 };
                 s = rebuild_with(s, cfg);
             }
@@ -85,24 +90,23 @@ fn main() {
                 .unwrap_or(0);
             max_contexts.push(longest as f64);
         }
-        println!(
-            "{:<12} {:>8.1}% {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
-            label,
-            100.0 * mean(&hk),
-            mean(&unlinks),
-            mean(&suppressed),
-            mean(&risk),
-            mean(&matches),
-            mean(&max_contexts),
-        );
+        report.row(vec![
+            Cell::text(label),
+            Cell::pct(mean(&hk), 1),
+            Cell::num(mean(&unlinks), 1),
+            Cell::num(mean(&suppressed), 1),
+            Cell::num(mean(&risk), 1),
+            Cell::num(mean(&matches), 1),
+            Cell::num(mean(&max_contexts), 1),
+        ]);
     }
-    hka_bench::rule(88);
-    println!("\nReading: with no unlinking, every generalization failure becomes an");
-    println!("at-risk notification and full LBQID matches accumulate under one");
-    println!("pseudonym. On-demand zones convert part of that risk into short,");
-    println!("targeted interruptions. The static corridor unlinks every commute");
-    println!("crossing for free — full matches under a single pseudonym collapse —");
-    println!("at the price of a permanent service blackout strip.");
+    report.note("Reading: with no unlinking, every generalization failure becomes an");
+    report.note("at-risk notification and full LBQID matches accumulate under one");
+    report.note("pseudonym. On-demand zones convert part of that risk into short,");
+    report.note("targeted interruptions. The static corridor unlinks every commute");
+    report.note("crossing for free — full matches under a single pseudonym collapse —");
+    report.note("at the price of a permanent service blackout strip.");
+    report.emit();
 }
 
 /// Rebuilds the scenario's server from scratch under a different TS

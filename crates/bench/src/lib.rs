@@ -168,6 +168,195 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// One table cell: the human-facing rendering plus the raw value that
+/// goes into the machine-readable JSON line.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    text: String,
+    value: hka_obs::Json,
+}
+
+impl Cell {
+    /// An integer cell.
+    pub fn int(v: impl TryInto<i64>) -> Cell {
+        let v: i64 = v.try_into().unwrap_or(i64::MAX);
+        Cell {
+            text: v.to_string(),
+            value: hka_obs::Json::Int(v),
+        }
+    }
+
+    /// A float cell rendered with `decimals` places; stores the raw f64.
+    pub fn num(v: f64, decimals: usize) -> Cell {
+        Cell {
+            text: format!("{v:.decimals$}"),
+            value: hka_obs::Json::Num(v),
+        }
+    }
+
+    /// A rate in [0, 1] rendered as a percentage; stores the raw fraction.
+    pub fn pct(frac: f64, decimals: usize) -> Cell {
+        Cell {
+            text: format!("{:.decimals$}%", 100.0 * frac),
+            value: hka_obs::Json::Num(frac),
+        }
+    }
+
+    /// A text cell.
+    pub fn text(s: impl Into<String>) -> Cell {
+        let s = s.into();
+        Cell {
+            value: hka_obs::Json::Str(s.clone()),
+            text: s,
+        }
+    }
+
+    /// A boolean cell.
+    pub fn flag(b: bool) -> Cell {
+        Cell {
+            text: b.to_string(),
+            value: hka_obs::Json::Bool(b),
+        }
+    }
+}
+
+/// A table or figure series with two renderings: an aligned
+/// human-readable table on stdout, followed by one machine-readable JSON
+/// line (`{"id":…,"columns":…,"rows":…,"notes":…}`) that downstream
+/// tooling can scrape with `grep '^{'` and `hka_obs::json::parse`.
+///
+/// Text-valued columns are left-aligned, numeric ones right-aligned.
+#[derive(Debug, Clone)]
+pub struct Report {
+    id: String,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report. `id` is the artifact key (`"T3"`, `"F2"`, …).
+    pub fn new(id: &str, title: &str) -> Report {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers (builder-style).
+    pub fn columns(mut self, names: &[&str]) -> Report {
+        self.columns = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Appends a data row; must match the column count.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "report {}: row has {} cells, table has {} columns",
+            self.id,
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Inserts a horizontal rule between row groups (human rendering
+    /// only; absent from the JSON line).
+    pub fn gap(&mut self) {
+        self.rows.push(Vec::new());
+    }
+
+    /// Appends a free-text "Reading:" note.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_string());
+    }
+
+    /// Prints the table, the notes, and the JSON line.
+    pub fn emit(&self) {
+        println!("=== {}: {} ===\n", self.id, self.title);
+        let n = self.columns.len();
+        let mut width: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        let mut left = vec![false; n];
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.text.chars().count());
+                if matches!(c.value, hka_obs::Json::Str(_)) {
+                    left[i] = true;
+                }
+            }
+        }
+        let line_width = width.iter().sum::<usize>() + 2 * n.saturating_sub(1);
+        let render = |texts: &mut dyn Iterator<Item = &str>| {
+            let mut out = String::new();
+            for (i, t) in texts.enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = width[i].saturating_sub(t.chars().count());
+                if left[i] {
+                    out.push_str(t);
+                    if i + 1 < n {
+                        out.push_str(&" ".repeat(pad));
+                    }
+                } else {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(t);
+                }
+            }
+            out
+        };
+        println!("{}", render(&mut self.columns.iter().map(|s| s.as_str())));
+        rule(line_width);
+        for row in &self.rows {
+            if row.is_empty() {
+                rule(line_width);
+            } else {
+                println!("{}", render(&mut row.iter().map(|c| c.text.as_str())));
+            }
+        }
+        if !self.rows.last().is_some_and(|r| r.is_empty()) {
+            rule(line_width);
+        }
+        for note in &self.notes {
+            println!("{note}");
+        }
+        println!("{}", self.to_json());
+    }
+
+    /// The machine-readable form of the report.
+    pub fn to_json(&self) -> hka_obs::Json {
+        use hka_obs::Json;
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            (
+                "columns",
+                Json::Arr(self.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .filter(|r| !r.is_empty())
+                        .map(|r| Json::Arr(r.iter().map(|c| c.value.clone()).collect()))
+                        .collect(),
+                ),
+            ),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +383,47 @@ mod tests {
         run_events(&mut s);
         assert!(s.ts.log().stats().forwarded() > 0);
         assert_eq!(s.protected.len(), 2);
+    }
+
+    #[test]
+    fn report_json_line_round_trips() {
+        let mut r = Report::new("T9", "demo").columns(&["label", "count", "rate"]);
+        r.row(vec![Cell::text("a"), Cell::int(3i64), Cell::pct(0.5, 1)]);
+        r.gap();
+        r.row(vec![Cell::text("b"), Cell::int(7i64), Cell::pct(0.25, 1)]);
+        r.note("a note");
+        let parsed = hka_obs::json::parse(&r.to_json().to_string()).expect("valid JSON");
+        assert_eq!(parsed.get("id").and_then(|j| j.as_str()), Some("T9"));
+        let rows = match parsed.get("rows") {
+            Some(hka_obs::Json::Arr(rows)) => rows.clone(),
+            other => panic!("rows missing: {other:?}"),
+        };
+        // The gap separator is rendering-only; JSON keeps the data rows.
+        assert_eq!(rows.len(), 2);
+        match &rows[1] {
+            hka_obs::Json::Arr(cells) => {
+                assert_eq!(cells[0].as_str(), Some("b"));
+                assert_eq!(cells[1].as_int(), Some(7));
+                assert_eq!(cells[2].as_f64(), Some(0.25));
+            }
+            other => panic!("row not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cell_renderings() {
+        assert_eq!(Cell::int(42i64).text, "42");
+        assert_eq!(Cell::num(1.23456, 2).text, "1.23");
+        assert_eq!(Cell::pct(0.631, 1).text, "63.1%");
+        assert_eq!(Cell::flag(true).text, "true");
+        assert_eq!(Cell::text("x").text, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn report_rejects_ragged_rows() {
+        let mut r = Report::new("T0", "ragged").columns(&["a", "b"]);
+        r.row(vec![Cell::int(1i64)]);
     }
 
     #[test]

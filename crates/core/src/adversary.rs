@@ -66,7 +66,7 @@ impl HomeRegistry {
 /// Hours (seconds-of-day) considered "at home": before the morning
 /// departure and after the evening return.
 fn home_plausible(sod: i64) -> bool {
-    sod < 8 * HOUR || sod >= 17 * HOUR
+    !(8 * HOUR..17 * HOUR).contains(&sod)
 }
 
 /// The outcome of an attack run.

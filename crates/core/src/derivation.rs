@@ -115,8 +115,9 @@ fn mine_anchors(phl: &Phl, cfg: &DerivationConfig) -> Vec<Anchor> {
     // Group episodes by (cell, coarse time-of-day bucket) so that morning
     // and evening presence at the same place become separate anchors.
     const BUCKET: i64 = 4 * 3_600; // 4-hour buckets
-    let mut groups: BTreeMap<(i64, i64, i64), Vec<(i64, i64, i64, StPoint, StPoint)>> =
-        BTreeMap::new();
+    // (day index, start/end seconds-of-day, start/end points) per episode.
+    type Episode = (i64, i64, i64, StPoint, StPoint);
+    let mut groups: BTreeMap<(i64, i64, i64), Vec<Episode>> = BTreeMap::new();
     for (cx, cy, start, end) in dwell_episodes(phl, cfg) {
         let bucket = start.t.second_of_day() / BUCKET;
         groups
@@ -158,7 +159,7 @@ fn mine_anchors(phl: &Phl, cfg: &DerivationConfig) -> Vec<Anchor> {
         });
     }
     // Strongest support first.
-    anchors.sort_by(|a, b| b.days.len().cmp(&a.days.len()));
+    anchors.sort_by_key(|a| std::cmp::Reverse(a.days.len()));
     anchors
 }
 

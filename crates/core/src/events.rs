@@ -4,9 +4,18 @@
 //! Section-6.2 trade-off triangle — quality of service (generalization
 //! sizes, clamps), degree of anonymity (HK-anonymity successes/failures)
 //! and frequency of unlinking (pseudonym changes, service interruptions).
+//!
+//! The log is bounded: events live in a fixed-capacity ring buffer
+//! (default [`EventLog::DEFAULT_CAPACITY`]) and statistics are folded in
+//! incrementally at push time, so a server handling millions of requests
+//! keeps exact totals while holding only the recent tail in memory. For
+//! a complete, durable record, attach a hash-chained JSONL journal with
+//! [`EventLog::attach_journal`] — every event is appended to the journal
+//! before it enters the ring.
 
 use hka_anonymity::Pseudonym;
 use hka_geo::{StBox, TimeSec};
+use hka_obs::{BoxedJournal, Json, RingBuffer};
 use hka_trajectory::UserId;
 
 /// One logged TS decision.
@@ -69,6 +78,71 @@ pub enum TsEvent {
     },
 }
 
+impl TsEvent {
+    /// The journal `kind` tag for this event.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TsEvent::Forwarded { .. } => "ts.forwarded",
+            TsEvent::Suppressed { .. } => "ts.suppressed",
+            TsEvent::PseudonymChanged { .. } => "ts.pseudonym_changed",
+            TsEvent::AtRisk { .. } => "ts.at_risk",
+            TsEvent::LbqidMatched { .. } => "ts.lbqid_matched",
+        }
+    }
+
+    /// The journal payload for this event (schema v1; field names are
+    /// part of the on-disk format — change only with a version bump).
+    pub fn payload(&self) -> Json {
+        match self {
+            TsEvent::Forwarded {
+                user,
+                at,
+                context,
+                generalized,
+                hk_ok,
+            } => Json::obj([
+                ("user", Json::from(user.0)),
+                ("at", Json::Int(at.0)),
+                ("x_min", Json::Num(context.rect.min().x)),
+                ("y_min", Json::Num(context.rect.min().y)),
+                ("x_max", Json::Num(context.rect.max().x)),
+                ("y_max", Json::Num(context.rect.max().y)),
+                ("t_start", Json::Int(context.span.start().0)),
+                ("t_end", Json::Int(context.span.end().0)),
+                ("generalized", Json::Bool(*generalized)),
+                ("hk_ok", Json::Bool(*hk_ok)),
+            ]),
+            TsEvent::Suppressed { user, at, reason } => Json::obj([
+                ("user", Json::from(user.0)),
+                ("at", Json::Int(at.0)),
+                (
+                    "reason",
+                    Json::from(match reason {
+                        SuppressReason::MixZone => "mix_zone",
+                        SuppressReason::RiskPolicy => "risk_policy",
+                    }),
+                ),
+            ]),
+            TsEvent::PseudonymChanged { user, old, new, at } => Json::obj([
+                ("user", Json::from(user.0)),
+                ("old", Json::from(old.0)),
+                ("new", Json::from(new.0)),
+                ("at", Json::Int(at.0)),
+            ]),
+            TsEvent::AtRisk { user, at, lbqid } => Json::obj([
+                ("user", Json::from(user.0)),
+                ("at", Json::Int(at.0)),
+                ("lbqid", Json::from(lbqid.as_str())),
+            ]),
+            TsEvent::LbqidMatched { user, at, lbqid } => Json::obj([
+                ("user", Json::from(user.0)),
+                ("at", Json::Int(at.0)),
+                ("lbqid", Json::from(lbqid.as_str())),
+            ]),
+        }
+    }
+}
+
 /// Why a request was suppressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SuppressReason {
@@ -79,10 +153,44 @@ pub enum SuppressReason {
     RiskPolicy,
 }
 
-/// Append-only event log with summary statistics.
-#[derive(Debug, Clone, Default)]
+/// Bounded event log with exact running statistics and an optional
+/// journal sink.
+#[derive(Debug)]
 pub struct EventLog {
-    events: Vec<TsEvent>,
+    ring: RingBuffer<TsEvent>,
+    stats: TsStats,
+    journal: Option<JournalSink>,
+}
+
+/// Wraps the boxed journal so `EventLog` can keep a useful `Debug` impl
+/// (a `Box<dyn Write>` has none).
+struct JournalSink(BoxedJournal);
+
+impl std::fmt::Debug for JournalSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalSink")
+            .field("next_seq", &self.0.next_seq())
+            .finish()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new()
+    }
+}
+
+impl Clone for EventLog {
+    /// Clones events and statistics. The journal sink — an exclusive
+    /// handle on an output stream — stays with the original; the clone
+    /// starts un-journaled.
+    fn clone(&self) -> Self {
+        EventLog {
+            ring: self.ring.clone(),
+            stats: self.stats,
+            journal: None,
+        }
+    }
 }
 
 /// Aggregate counters derived from the log.
@@ -122,16 +230,19 @@ impl TsStats {
     }
 
     /// Fraction of generalized requests that kept HK-anonymity.
+    /// 0.0 when nothing was generalized: an empty log demonstrates no
+    /// successes, and reporting code must not read it as a perfect run.
     pub fn hk_success_rate(&self) -> f64 {
         let g = self.generalized();
         if g == 0 {
-            1.0
+            0.0
         } else {
             self.forwarded_hk_ok as f64 / g as f64
         }
     }
 
-    /// Mean area of generalized contexts, m².
+    /// Mean area of generalized contexts, m². 0.0 when nothing was
+    /// generalized.
     pub fn mean_generalized_area(&self) -> f64 {
         let g = self.generalized();
         if g == 0 {
@@ -141,7 +252,8 @@ impl TsStats {
         }
     }
 
-    /// Mean duration of generalized contexts, seconds.
+    /// Mean duration of generalized contexts, seconds. 0.0 when nothing
+    /// was generalized.
     pub fn mean_generalized_duration(&self) -> f64 {
         let g = self.generalized();
         if g == 0 {
@@ -150,57 +262,108 @@ impl TsStats {
             self.total_generalized_duration as f64 / g as f64
         }
     }
+
+    fn absorb(&mut self, e: &TsEvent) {
+        match e {
+            TsEvent::Forwarded {
+                generalized,
+                hk_ok,
+                context,
+                ..
+            } => {
+                if !generalized {
+                    self.forwarded_exact += 1;
+                } else {
+                    if *hk_ok {
+                        self.forwarded_hk_ok += 1;
+                    } else {
+                        self.forwarded_hk_failed += 1;
+                    }
+                    self.total_generalized_area += context.area();
+                    self.total_generalized_duration += context.duration();
+                }
+            }
+            TsEvent::Suppressed { reason, .. } => match reason {
+                SuppressReason::MixZone => self.suppressed_mixzone += 1,
+                SuppressReason::RiskPolicy => self.suppressed_risk += 1,
+            },
+            TsEvent::PseudonymChanged { .. } => self.pseudonym_changes += 1,
+            TsEvent::AtRisk { .. } => self.at_risk += 1,
+            TsEvent::LbqidMatched { .. } => self.lbqid_matches += 1,
+        }
+    }
 }
 
 impl EventLog {
-    /// An empty log.
+    /// Default in-memory capacity: enough for any single experiment day
+    /// while bounding a long-lived server's footprint.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// An empty log with the default capacity.
     pub fn new() -> Self {
-        EventLog::default()
+        EventLog::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// Appends an event.
+    /// An empty log retaining at most `capacity` events in memory.
+    /// Statistics stay exact past the capacity; only the event bodies of
+    /// the oldest entries are evicted (to the journal, if attached).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            ring: RingBuffer::new(capacity),
+            stats: TsStats::default(),
+            journal: None,
+        }
+    }
+
+    /// Routes every subsequent event into `journal` (before it enters
+    /// the ring), giving a complete hash-chained record on disk even
+    /// after in-memory eviction. Returns the previous sink, if any.
+    pub fn attach_journal(&mut self, journal: BoxedJournal) -> Option<BoxedJournal> {
+        self.journal.replace(JournalSink(journal)).map(|j| j.0)
+    }
+
+    /// Detaches and returns the journal sink.
+    pub fn take_journal(&mut self) -> Option<BoxedJournal> {
+        self.journal.take().map(|j| j.0)
+    }
+
+    /// Flushes the attached journal, if any.
+    pub fn flush_journal(&mut self) -> std::io::Result<()> {
+        match &mut self.journal {
+            Some(sink) => sink.0.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Appends an event: folds it into the running statistics, writes it
+    /// to the journal (if attached), then stores it in the ring.
+    /// Journal write failures are reported once via the
+    /// `ts.journal_errors` counter rather than panicking the server.
     pub fn push(&mut self, e: TsEvent) {
-        self.events.push(e);
-    }
-
-    /// All events in order.
-    pub fn events(&self) -> &[TsEvent] {
-        &self.events
-    }
-
-    /// Derives the aggregate counters.
-    pub fn stats(&self) -> TsStats {
-        let mut s = TsStats::default();
-        for e in &self.events {
-            match e {
-                TsEvent::Forwarded {
-                    generalized,
-                    hk_ok,
-                    context,
-                    ..
-                } => {
-                    if !generalized {
-                        s.forwarded_exact += 1;
-                    } else {
-                        if *hk_ok {
-                            s.forwarded_hk_ok += 1;
-                        } else {
-                            s.forwarded_hk_failed += 1;
-                        }
-                        s.total_generalized_area += context.area();
-                        s.total_generalized_duration += context.duration();
-                    }
-                }
-                TsEvent::Suppressed { reason, .. } => match reason {
-                    SuppressReason::MixZone => s.suppressed_mixzone += 1,
-                    SuppressReason::RiskPolicy => s.suppressed_risk += 1,
-                },
-                TsEvent::PseudonymChanged { .. } => s.pseudonym_changes += 1,
-                TsEvent::AtRisk { .. } => s.at_risk += 1,
-                TsEvent::LbqidMatched { .. } => s.lbqid_matches += 1,
+        self.stats.absorb(&e);
+        if let Some(sink) = &mut self.journal {
+            if sink.0.append(e.kind(), e.payload()).is_err() {
+                hka_obs::global().counter("ts.journal_errors").incr();
             }
         }
-        s
+        self.ring.push(e);
+    }
+
+    /// The retained events, oldest first. When more than the capacity
+    /// have been pushed this is the most recent tail (see
+    /// [`EventLog::dropped`]); `stats()` still covers everything.
+    pub fn events(&self) -> impl ExactSizeIterator<Item = &TsEvent> + Clone {
+        self.ring.iter()
+    }
+
+    /// Events evicted from memory so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// The exact aggregate counters over every event ever pushed.
+    pub fn stats(&self) -> TsStats {
+        self.stats
     }
 }
 
@@ -214,6 +377,16 @@ mod tests {
             Rect::square(Point::new(0.0, 0.0), side),
             TimeInterval::new(TimeSec(0), TimeSec(dur)),
         )
+    }
+
+    fn forwarded(n: i64) -> TsEvent {
+        TsEvent::Forwarded {
+            user: UserId(1),
+            at: TimeSec(n),
+            context: StBox::point(StPoint::xyt(0.0, 0.0, TimeSec(n))),
+            generalized: false,
+            hk_ok: true,
+        }
     }
 
     #[test]
@@ -270,10 +443,144 @@ mod tests {
     }
 
     #[test]
-    fn empty_log_yields_neutral_stats() {
+    fn empty_log_yields_zero_rates() {
         let s = EventLog::new().stats();
         assert_eq!(s.forwarded(), 0);
-        assert_eq!(s.hk_success_rate(), 1.0);
+        // An empty log proves nothing: every ratio is 0, not a vacuous
+        // 100% success.
+        assert_eq!(s.hk_success_rate(), 0.0);
         assert_eq!(s.mean_generalized_area(), 0.0);
+        assert_eq!(s.mean_generalized_duration(), 0.0);
+    }
+
+    #[test]
+    fn ratio_methods_never_divide_by_zero() {
+        // Events that forward nothing generalized must keep every ratio
+        // finite and zero.
+        let mut log = EventLog::new();
+        log.push(forwarded(0));
+        log.push(TsEvent::Suppressed {
+            user: UserId(9),
+            at: TimeSec(1),
+            reason: SuppressReason::RiskPolicy,
+        });
+        let s = log.stats();
+        assert_eq!(s.generalized(), 0);
+        assert!(s.hk_success_rate().is_finite());
+        assert_eq!(s.hk_success_rate(), 0.0);
+        assert_eq!(s.mean_generalized_area(), 0.0);
+        assert_eq!(s.mean_generalized_duration(), 0.0);
+    }
+
+    #[test]
+    fn ring_eviction_keeps_stats_exact() {
+        let mut log = EventLog::with_capacity(4);
+        for i in 0..10 {
+            log.push(forwarded(i));
+        }
+        assert_eq!(log.events().len(), 4);
+        assert_eq!(log.dropped(), 6);
+        // Stats cover all ten events, not just the retained tail.
+        assert_eq!(log.stats().forwarded_exact, 10);
+        // The tail is the most recent four, oldest first.
+        let ats: Vec<i64> = log
+            .events()
+            .map(|e| match e {
+                TsEvent::Forwarded { at, .. } => at.0,
+                _ => unreachable!("only Forwarded events were pushed"),
+            })
+            .collect();
+        assert_eq!(ats, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn journal_sink_receives_all_events_including_evicted() {
+        use std::sync::{Arc, Mutex};
+
+        /// A Write that appends into a shared buffer we can inspect.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buffer = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut log = EventLog::with_capacity(2);
+        log.attach_journal(hka_obs::Journal::new(
+            Box::new(buffer.clone()) as Box<dyn std::io::Write + Send + Sync>
+        ));
+        for i in 0..5 {
+            log.push(forwarded(i));
+        }
+        log.flush_journal().unwrap();
+
+        let bytes = buffer.0.lock().unwrap().clone();
+        let report = hka_obs::verify_chain(&bytes[..]).expect("chain verifies");
+        // All five events journaled even though only two stayed in memory.
+        assert_eq!(report.records.len(), 5);
+        assert_eq!(log.events().len(), 2);
+        assert!(report.records.iter().all(|r| r.kind == "ts.forwarded"));
+    }
+
+    #[test]
+    fn clone_drops_journal_but_keeps_stats() {
+        let mut log = EventLog::new();
+        log.attach_journal(hka_obs::Journal::new(
+            Box::new(std::io::sink()) as Box<dyn std::io::Write + Send + Sync>
+        ));
+        log.push(forwarded(0));
+        let copy = log.clone();
+        assert_eq!(copy.stats(), log.stats());
+        assert_eq!(copy.events().len(), 1);
+        assert!(log.take_journal().is_some());
+    }
+
+    #[test]
+    fn event_payloads_name_their_kind() {
+        let events = [
+            forwarded(0),
+            TsEvent::Suppressed {
+                user: UserId(1),
+                at: TimeSec(0),
+                reason: SuppressReason::MixZone,
+            },
+            TsEvent::PseudonymChanged {
+                user: UserId(1),
+                old: Pseudonym(1),
+                new: Pseudonym(2),
+                at: TimeSec(0),
+            },
+            TsEvent::AtRisk {
+                user: UserId(1),
+                at: TimeSec(0),
+                lbqid: "l".into(),
+            },
+            TsEvent::LbqidMatched {
+                user: UserId(1),
+                at: TimeSec(0),
+                lbqid: "l".into(),
+            },
+        ];
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "ts.forwarded",
+                "ts.suppressed",
+                "ts.pseudonym_changed",
+                "ts.at_risk",
+                "ts.lbqid_matched"
+            ]
+        );
+        for e in &events {
+            // Every payload is an object naming the user.
+            assert!(e.payload().get("user").is_some());
+        }
     }
 }

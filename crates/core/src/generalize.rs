@@ -72,7 +72,11 @@ pub fn algorithm1_first(
     k: usize,
     tolerance: &Tolerance,
 ) -> Generalization {
+    let _span = hka_obs::span("algo1.generalize");
     let picks = index.k_nearest_users(seed, k, Some(requester));
+    hka_obs::global()
+        .counter("algo1.iterations")
+        .add(picks.len() as u64);
     finish(seed, picks, k, tolerance)
 }
 
@@ -110,6 +114,7 @@ pub fn algorithm1_subsequent(
     tolerance: &Tolerance,
     scale: &SpaceTimeScale,
 ) -> Generalization {
+    let _span = hka_obs::span("algo1.generalize");
     let mut picks: Vec<(UserId, f64, StPoint)> = stored_users
         .iter()
         .filter_map(|u| {
@@ -121,6 +126,9 @@ pub fn algorithm1_subsequent(
         .collect();
     picks.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
     picks.truncate(k);
+    hka_obs::global()
+        .counter("algo1.iterations")
+        .add(picks.len() as u64);
     finish(
         seed,
         picks.into_iter().map(|(u, _, p)| (u, p)).collect(),

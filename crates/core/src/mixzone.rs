@@ -136,6 +136,7 @@ impl MixZoneManager {
         at: &StPoint,
         k: usize,
     ) -> UnlinkDecision {
+        let _span = hka_obs::span("mixzone.try_unlink");
         let cfg = self.config;
         let window = TimeInterval::new(at.t - cfg.lookback, at.t);
         let zone = Rect::square(at.pos, cfg.radius * 2.0);
@@ -175,6 +176,7 @@ impl MixZoneManager {
         // The requester is one of the mixed users; k−1 diverging others
         // suffice for a crowd of k.
         if chosen.len() + 1 >= k.max(2) {
+            hka_obs::global().counter("mixzone.unlinked").incr();
             let until = at.t + cfg.cooldown;
             self.active.push(ActiveZone { rect: zone, until });
             let mut mixed: Vec<UserId> = chosen.into_iter().map(|(u, _)| u).collect();
@@ -186,6 +188,7 @@ impl MixZoneManager {
                 until,
             }
         } else {
+            hka_obs::global().counter("mixzone.infeasible").incr();
             UnlinkDecision::Infeasible {
                 available: chosen.len(),
             }

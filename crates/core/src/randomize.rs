@@ -191,8 +191,10 @@ mod tests {
 
     #[test]
     fn expansion_only_grows_before_clamp() {
-        let mut cfg = RandomizeConfig::default();
-        cfg.max_shift = 0.0; // isolate expansion
+        let cfg = RandomizeConfig {
+            max_shift: 0.0, // isolate expansion
+            ..RandomizeConfig::default()
+        };
         let r = Randomizer::new(cfg);
         let (b, exact) = ctx();
         for nonce in 0..50 {

@@ -329,6 +329,8 @@ impl TrustedServer {
         at: StPoint,
         service: ServiceId,
     ) -> Result<RequestOutcome, TsError> {
+        let _span = hka_obs::span("ts.handle_request");
+        hka_obs::global().counter("ts.requests").incr();
         if !self.users.contains_key(&user) {
             return Err(TsError::UnknownUser(user));
         }
@@ -356,6 +358,7 @@ impl TrustedServer {
 
         // Mix-zone suppression (static zones and cooling on-demand zones).
         if self.mixzones.suppressed_at(&at) {
+            hka_obs::global().counter("ts.suppressed").incr();
             self.log.push(TsEvent::Suppressed {
                 user,
                 at: at.t,
@@ -428,6 +431,7 @@ impl TrustedServer {
                 self.change_pseudonym(user, at);
                 // The request itself falls inside the just-activated zone:
                 // service is interrupted while the crowd mixes.
+                hka_obs::global().counter("ts.suppressed").incr();
                 self.log.push(TsEvent::Suppressed {
                     user,
                     at: at.t,
@@ -443,6 +447,7 @@ impl TrustedServer {
                     state.at_risk = true;
                     state.monitors[mi].lbqid().name().to_owned()
                 };
+                hka_obs::global().counter("ts.at_risk").incr();
                 self.log.push(TsEvent::AtRisk {
                     user,
                     at: at.t,
@@ -458,6 +463,7 @@ impl TrustedServer {
                         Ok(self.forward(user, at, gen.context, service, true, false))
                     }
                     RiskAction::Suppress => {
+                        hka_obs::global().counter("ts.suppressed").incr();
                         self.log.push(TsEvent::Suppressed {
                             user,
                             at: at.t,
@@ -499,6 +505,11 @@ impl TrustedServer {
         let req = SpRequest::new(msg_id, pseudonym, context, service);
         self.outbox.push((user, req.clone()));
         self.routes.insert(msg_id, user);
+        let metrics = hka_obs::global();
+        metrics.counter("ts.forwarded").incr();
+        if generalized {
+            metrics.counter("ts.forwarded_generalized").incr();
+        }
         self.log.push(TsEvent::Forwarded {
             user,
             at: at.t,
@@ -513,6 +524,7 @@ impl TrustedServer {
     /// unlinking succeeds … all partially matched patterns based on old
     /// pseudonym for that user are reset."
     fn change_pseudonym(&mut self, user: UserId, at: StPoint) {
+        hka_obs::global().counter("ts.unlinks").incr();
         let new = self.fresh_pseudonym();
         let state = self.users.get_mut(&user).expect("unknown user");
         let old = state.pseudonym;
@@ -586,6 +598,36 @@ impl TrustedServer {
     /// The decision log.
     pub fn log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// Routes every subsequent logged event into a hash-chained JSONL
+    /// journal (see `hka_obs::journal`). Returns the previous sink, if
+    /// one was attached.
+    pub fn attach_journal(
+        &mut self,
+        journal: hka_obs::BoxedJournal,
+    ) -> Option<hka_obs::BoxedJournal> {
+        self.log.attach_journal(journal)
+    }
+
+    /// Flushes the attached journal, if any.
+    pub fn flush_journal(&mut self) -> std::io::Result<()> {
+        self.log.flush_journal()
+    }
+
+    /// A point-in-time snapshot of the pipeline's metrics: request
+    /// counters (`ts.requests`, `ts.forwarded`, `ts.forwarded_generalized`,
+    /// `ts.suppressed`, `ts.unlinks`, `ts.at_risk`), stage counters
+    /// (`algo1.iterations`, `index.probes`, `mixzone.*`), and latency
+    /// histograms for every span (`ts.handle_request`,
+    /// `algo1.generalize`, `index.query`, `linker.link`,
+    /// `mixzone.try_unlink`).
+    ///
+    /// Metrics live in the process-wide registry (`hka_obs::global()`),
+    /// so the snapshot aggregates across every server in the process;
+    /// call `hka_obs::global().reset()` between runs for per-run numbers.
+    pub fn metrics_snapshot(&self) -> hka_obs::MetricsSnapshot {
+        hka_obs::global().snapshot()
     }
 
     /// Everything forwarded to providers, with ground-truth issuers (for

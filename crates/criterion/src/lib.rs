@@ -1,0 +1,148 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness. It implements the macro/builder surface the
+//! workspace's benches use (`criterion_group!`, `criterion_main!`,
+//! `Criterion::bench_function`, `benchmark_group` + `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`) and reports a median ns/iter per
+//! benchmark on stdout. No statistics engine, no HTML reports — just
+//! honest wall-clock medians, which is what the workspace's EXPERIMENTS
+//! tables need when the registry is unreachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE: Duration = Duration::from_millis(200);
+/// Warm-up time per benchmark.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    /// Median nanoseconds per iteration of the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, recording the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also sizes the batch so each sample is ≥ ~1 µs.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < WARMUP || calls == 0 {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / calls as f64;
+        let batch = ((1_000.0 / per_call.max(1.0)).ceil() as u64).clamp(1, 10_000);
+
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < MEASURE && samples.len() < 200 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        println!("{}/{:<40} {:>14.1} ns/iter", self.name, id.name, b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        println!("{name:<48} {:>14.1} ns/iter", b.ns_per_iter);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_positive_timings() {
+        let mut c = Criterion::default();
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::new("sized", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+}

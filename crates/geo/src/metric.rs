@@ -74,7 +74,7 @@ impl SpaceTimeScale {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Point, Rect, TimeInterval, TimeSec};
+    use crate::{Rect, TimeInterval, TimeSec};
 
     fn sp(x: f64, y: f64, t: i64) -> StPoint {
         StPoint::xyt(x, y, TimeSec(t))

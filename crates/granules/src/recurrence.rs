@@ -219,7 +219,7 @@ impl Recurrence {
             if let Some(g) = g1.granule_of(probe) {
                 break Some(g);
             }
-            probe = probe + hka_geo::HOUR;
+            probe += hka_geo::HOUR;
         };
         if let Some(first) = first {
             let mut g = first;

@@ -234,7 +234,7 @@ mod tests {
         .unwrap();
         assert!(matches(&q, &round_trip(0)));
         assert!(matches(&q, &round_trip(5))); // weekends fine without recurrence
-        assert!(!matches(&q, &round_trip(0)[..3].to_vec()));
+        assert!(!matches(&q, &round_trip(0)[..3]));
         assert!(!matches(&q, &[]));
     }
 

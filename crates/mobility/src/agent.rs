@@ -106,7 +106,7 @@ impl Agent {
         let mut t = day_start;
         while t <= day_end {
             trace.samples.push(StPoint::new(position_at(&itinerary, t, self.speed), t));
-            t = t + dt;
+            t += dt;
         }
         // Anchors snap to the nearest sample at-or-after their time.
         for (at, kind) in anchor_plan {

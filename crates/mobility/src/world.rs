@@ -127,7 +127,7 @@ impl World {
             let all = business_days();
             let mut picked = 0;
             while picked < outings {
-                let d = rng.random_range(0..7);
+                let d: usize = rng.random_range(0..7);
                 if all[d] && !days[d] {
                     days[d] = true;
                     picked += 1;

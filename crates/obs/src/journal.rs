@@ -1,0 +1,392 @@
+//! A versioned, append-only, hash-chained JSONL event journal.
+//!
+//! Each line is one JSON object:
+//!
+//! ```json
+//! {"hash":"…","kind":"forwarded","payload":{…},"prev":"…","seq":0,"v":1}
+//! ```
+//!
+//! * `v` — schema version (currently 1);
+//! * `seq` — monotonic sequence number starting at 0;
+//! * `kind` — event type tag;
+//! * `payload` — event body, canonically serialized (sorted keys);
+//! * `prev` — hash of the previous event, or 64 zeros for the first;
+//! * `hash` — `sha256("v1:{seq}:{kind}:{payload}:{prev}")` in hex.
+//!
+//! Chaining `prev` through every record makes truncation, reordering,
+//! and in-place edits detectable by [`verify_chain`], which re-derives
+//! every hash from the parsed payload's canonical serialization.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::json::{self, Json};
+use crate::sha256::sha256_hex;
+
+/// Journal schema version written into every record.
+pub const JOURNAL_VERSION: i64 = 1;
+
+/// `prev` of the first record: 64 hex zeros.
+pub const GENESIS_HASH: &str =
+    "0000000000000000000000000000000000000000000000000000000000000000";
+
+/// The hash of one record: covers version, sequence number, kind,
+/// canonical payload, and the previous record's hash.
+pub fn event_hash(seq: u64, kind: &str, payload_canonical: &str, prev: &str) -> String {
+    let preimage = format!("v{JOURNAL_VERSION}:{seq}:{kind}:{payload_canonical}:{prev}");
+    sha256_hex(preimage.as_bytes())
+}
+
+/// One parsed journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Schema version.
+    pub version: i64,
+    /// Sequence number.
+    pub seq: u64,
+    /// Event type tag.
+    pub kind: String,
+    /// Event body.
+    pub payload: Json,
+    /// Hash of the previous record (genesis hash for `seq` 0).
+    pub prev: String,
+    /// This record's hash.
+    pub hash: String,
+}
+
+impl JournalRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("v", Json::Int(self.version)),
+            ("seq", Json::from(self.seq)),
+            ("kind", Json::from(self.kind.as_str())),
+            ("payload", self.payload.clone()),
+            ("prev", Json::from(self.prev.as_str())),
+            ("hash", Json::from(self.hash.as_str())),
+        ])
+    }
+
+    /// Parses one JSONL line into a record (no chain checks).
+    pub fn parse_line(line: &str) -> Result<JournalRecord, ChainError> {
+        let bad = |what: &str| ChainError::Malformed {
+            line: 0,
+            message: what.to_string(),
+        };
+        let value = json::parse(line.trim()).map_err(|e| bad(&e.to_string()))?;
+        let field = |name: &str| value.get(name).ok_or_else(|| bad(&format!("missing '{name}'")));
+        let version = field("v")?.as_int().ok_or_else(|| bad("'v' not an integer"))?;
+        let seq = field("seq")?
+            .as_int()
+            .and_then(|s| u64::try_from(s).ok())
+            .ok_or_else(|| bad("'seq' not a non-negative integer"))?;
+        let kind = field("kind")?
+            .as_str()
+            .ok_or_else(|| bad("'kind' not a string"))?
+            .to_string();
+        let payload = field("payload")?.clone();
+        let prev = field("prev")?
+            .as_str()
+            .ok_or_else(|| bad("'prev' not a string"))?
+            .to_string();
+        let hash = field("hash")?
+            .as_str()
+            .ok_or_else(|| bad("'hash' not a string"))?
+            .to_string();
+        Ok(JournalRecord {
+            version,
+            seq,
+            kind,
+            payload,
+            prev,
+            hash,
+        })
+    }
+}
+
+/// An append-only journal writer over any byte sink.
+#[derive(Debug)]
+pub struct Journal<W: Write> {
+    sink: W,
+    next_seq: u64,
+    prev_hash: String,
+}
+
+/// A journal over a boxed sink, for APIs that don't want to be generic
+/// over the writer type.
+pub type BoxedJournal = Journal<Box<dyn Write + Send + Sync>>;
+
+impl<W: Write> Journal<W> {
+    /// A journal writing records to `sink`, starting at sequence 0.
+    pub fn new(sink: W) -> Self {
+        Journal {
+            sink,
+            next_seq: 0,
+            prev_hash: GENESIS_HASH.to_string(),
+        }
+    }
+
+    /// Appends one event, returning its assigned sequence number.
+    pub fn append(&mut self, kind: &str, payload: Json) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let canonical = payload.to_string();
+        let hash = event_hash(seq, kind, &canonical, &self.prev_hash);
+        let record = JournalRecord {
+            version: JOURNAL_VERSION,
+            seq,
+            kind: kind.to_string(),
+            payload,
+            prev: std::mem::take(&mut self.prev_hash),
+            hash: hash.clone(),
+        };
+        writeln!(self.sink, "{}", record.to_json())?;
+        self.next_seq = seq + 1;
+        self.prev_hash = hash;
+        Ok(seq)
+    }
+
+    /// Sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+
+    /// Consumes the journal and returns the sink (for in-memory sinks
+    /// the caller wants to read back).
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+/// Why a journal failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// A line is not a well-formed record.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A record's schema version is not [`JOURNAL_VERSION`].
+    BadVersion {
+        /// 1-based line number.
+        line: usize,
+        /// Version found.
+        found: i64,
+    },
+    /// Sequence numbers are not `0, 1, 2, …`.
+    BadSequence {
+        /// 1-based line number.
+        line: usize,
+        /// Sequence number expected at this line.
+        expected: u64,
+        /// Sequence number found.
+        found: u64,
+    },
+    /// A record's `prev` does not match the previous record's hash —
+    /// the chain was cut, reordered, or truncated at the front.
+    BrokenLink {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A record's `hash` does not match its recomputed hash — the
+    /// record was altered after being written.
+    BadHash {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Reading the input failed.
+    Io(String),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Malformed { line, message } => {
+                write!(f, "line {line}: malformed record: {message}")
+            }
+            ChainError::BadVersion { line, found } => {
+                write!(f, "line {line}: unsupported schema version {found}")
+            }
+            ChainError::BadSequence { line, expected, found } => {
+                write!(f, "line {line}: expected seq {expected}, found {found}")
+            }
+            ChainError::BrokenLink { line } => {
+                write!(f, "line {line}: prev-hash does not match preceding record")
+            }
+            ChainError::BadHash { line } => {
+                write!(f, "line {line}: stored hash does not match recomputed hash")
+            }
+            ChainError::Io(e) => write!(f, "read error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// The result of a successful chain verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainReport {
+    /// Records verified.
+    pub records: Vec<JournalRecord>,
+    /// Hash of the final record (genesis hash if the journal is empty).
+    pub head: String,
+}
+
+/// Verifies a whole journal: parses every line, checks versions,
+/// sequence monotonicity, prev-hash links, and recomputes every hash.
+pub fn verify_chain(reader: impl BufRead) -> Result<ChainReport, ChainError> {
+    let mut records = Vec::new();
+    let mut prev_hash = GENESIS_HASH.to_string();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.map_err(|e| ChainError::Io(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = JournalRecord::parse_line(&line).map_err(|e| match e {
+            ChainError::Malformed { message, .. } => ChainError::Malformed {
+                line: line_no,
+                message,
+            },
+            other => other,
+        })?;
+        if record.version != JOURNAL_VERSION {
+            return Err(ChainError::BadVersion {
+                line: line_no,
+                found: record.version,
+            });
+        }
+        let expected_seq = records.len() as u64;
+        if record.seq != expected_seq {
+            return Err(ChainError::BadSequence {
+                line: line_no,
+                expected: expected_seq,
+                found: record.seq,
+            });
+        }
+        if record.prev != prev_hash {
+            return Err(ChainError::BrokenLink { line: line_no });
+        }
+        let recomputed = event_hash(
+            record.seq,
+            &record.kind,
+            &record.payload.to_string(),
+            &record.prev,
+        );
+        if recomputed != record.hash {
+            return Err(ChainError::BadHash { line: line_no });
+        }
+        prev_hash = record.hash.clone();
+        records.push(record);
+    }
+    Ok(ChainReport {
+        records,
+        head: prev_hash,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_payload(i: i64) -> Json {
+        Json::obj([("user", Json::Int(i)), ("ok", Json::Bool(i % 2 == 0))])
+    }
+
+    fn build_journal(n: i64) -> Vec<u8> {
+        let mut journal = Journal::new(Vec::new());
+        for i in 0..n {
+            journal.append("test.event", sample_payload(i)).unwrap();
+        }
+        journal.sink
+    }
+
+    #[test]
+    fn append_assigns_monotonic_seq() {
+        let mut journal = Journal::new(Vec::new());
+        assert_eq!(journal.append("a", Json::Null).unwrap(), 0);
+        assert_eq!(journal.append("b", Json::Null).unwrap(), 1);
+        assert_eq!(journal.next_seq(), 2);
+    }
+
+    #[test]
+    fn valid_chain_verifies() {
+        let bytes = build_journal(20);
+        let report = verify_chain(&bytes[..]).unwrap();
+        assert_eq!(report.records.len(), 20);
+        assert_eq!(report.records[0].prev, GENESIS_HASH);
+        assert_eq!(report.head, report.records[19].hash);
+    }
+
+    #[test]
+    fn empty_journal_verifies_to_genesis() {
+        let report = verify_chain(&b""[..]).unwrap();
+        assert!(report.records.is_empty());
+        assert_eq!(report.head, GENESIS_HASH);
+    }
+
+    #[test]
+    fn tampered_payload_is_detected() {
+        let bytes = build_journal(5);
+        let text = String::from_utf8(bytes).unwrap();
+        let tampered = text.replacen("\"user\":1", "\"user\":99", 1);
+        assert!(matches!(
+            verify_chain(tampered.as_bytes()),
+            Err(ChainError::BadHash { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn deleted_line_is_detected() {
+        let bytes = build_journal(5);
+        let text = String::from_utf8(bytes).unwrap();
+        let without_third: String = text
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            verify_chain(without_third.as_bytes()),
+            Err(ChainError::BadSequence { line: 3, expected: 2, found: 3 })
+        ));
+    }
+
+    #[test]
+    fn reordered_lines_are_detected() {
+        let bytes = build_journal(4);
+        let mut lines: Vec<String> = String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        lines.swap(1, 2);
+        let reordered = lines.join("\n");
+        assert!(verify_chain(reordered.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let bytes = build_journal(2);
+        let text = String::from_utf8(bytes).unwrap().replace("\"v\":1", "\"v\":2");
+        assert!(matches!(
+            verify_chain(text.as_bytes()),
+            Err(ChainError::BadVersion { line: 1, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn records_round_trip_through_parse() {
+        let bytes = build_journal(3);
+        let text = String::from_utf8(bytes).unwrap();
+        for line in text.lines() {
+            let record = JournalRecord::parse_line(line).unwrap();
+            assert_eq!(record.to_json().to_string(), line);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Observability for the hka pipeline: metrics, span timers, and a
+//! hash-chained JSONL event journal. Dependency-free by design — every
+//! crate in the workspace can use it, including the lowest layers.
+//!
+//! Three facilities:
+//!
+//! * **Metrics** ([`metrics`]) — named atomic counters, gauges, and
+//!   log₂-bucket latency histograms in a [`MetricsRegistry`];
+//!   [`global()`] is the process-wide instance the pipeline records
+//!   into, and [`MetricsRegistry::snapshot`] produces a point-in-time
+//!   [`MetricsSnapshot`] with p50/p95/p99 summaries.
+//! * **Spans** ([`span()`] / [`span!`]) — scope-guard timers; elapsed
+//!   nanoseconds land in the histogram named after the span on drop.
+//! * **Journal** ([`journal`]) — a versioned append-only JSONL log
+//!   where each record carries a monotonic sequence number and a
+//!   SHA-256 hash chained over the previous record, so truncation,
+//!   reordering, and edits are detectable by [`verify_chain`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod sha256;
+pub mod span;
+
+pub use journal::{
+    event_hash, verify_chain, BoxedJournal, ChainError, ChainReport, Journal, JournalRecord,
+    GENESIS_HASH, JOURNAL_VERSION,
+};
+pub use json::Json;
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use ring::RingBuffer;
+pub use span::{span, SpanGuard};

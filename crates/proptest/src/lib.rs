@@ -1,0 +1,512 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the exact surface the workspace's `tests/props.rs` suites use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * [`Strategy`] with [`Strategy::prop_map`], implemented for numeric
+//!   ranges, tuples (arity ≤ 8), and [`Just`];
+//! * [`prop::collection::vec`] and [`prop::collection::btree_map`];
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], and [`prop_assume!`].
+//!
+//! Semantics deliberately kept from real proptest: each test runs `cases`
+//! random cases from a deterministic per-test seed, rejected cases
+//! (`prop_assume!`) don't count against the budget (with a global retry
+//! cap), and failures report the case number and a reproduction seed.
+//! Shrinking is **not** implemented — a failing case is reported as
+//! sampled. Set the `PROPTEST_SEED` environment variable to replay a
+//! reported seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::RngExt;
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; try another case.
+    Reject(String),
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i32, i64, u32, u64, usize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+/// One boxed alternative of a [`OneOf`] strategy.
+pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// A uniformly chosen alternative among boxed sub-strategies; built by
+/// [`prop_oneof!`].
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Composes the given arms (callers use [`prop_oneof!`]).
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.random_range(0..self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+/// Strategy namespace, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use std::collections::BTreeMap;
+
+        /// A strategy for `Vec`s with lengths drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// The output of [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.sample(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// A strategy for `BTreeMap`s with sizes drawn from `size`.
+        /// Key collisions overwrite, exactly like real proptest, so maps
+        /// can come out smaller than the drawn size.
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            BTreeMapStrategy {
+                key,
+                value,
+                size: size.into(),
+            }
+        }
+
+        /// The output of [`btree_map`].
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: SizeRange,
+        }
+
+        impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.sample(rng);
+                (0..n)
+                    .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// A collection-size specification (`n`, `a..b`, or `a..=b`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.random_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from the test's name so
+/// every test explores a different region of input space.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property test: samples and runs cases until `config.cases`
+/// accepted cases pass, a case fails, or the rejection budget is
+/// exhausted. Called by the expansion of [`proptest!`] — not public API.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base_seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got '{s}'")),
+        Err(_) => fnv1a(name.as_bytes()),
+    };
+    let max_rejects = config.cases as u64 * 16;
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let mut case_index = 0u64;
+    while accepted < config.cases {
+        let seed = base_seed.wrapping_add(case_index);
+        let mut rng = TestRng::seed_from_u64(seed);
+        case_index += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property '{name}': too many rejected cases \
+                     ({rejected} rejects for {accepted} accepted); \
+                     loosen the prop_assume! guards"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' failed at case {accepted} \
+                     (replay with PROPTEST_SEED={seed} minus case offset; \
+                     direct seed {seed}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Declares property tests over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(&config, stringify!($name), |proptest_rng| {
+                $(let $pat = $crate::Strategy::sample(&($strat), proptest_rng);)*
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Chooses uniformly among the listed strategies (all producing the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>> =
+            ::std::vec![$({
+                let strategy = $arm;
+                ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::sample(&strategy, rng)
+                })
+            }),+];
+        $crate::OneOf::new(arms)
+    }};
+}
+
+/// Asserts a property of the sampled inputs; failure fails the case with
+/// its location (and an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("{} at {}:{}", format_args!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Asserts equality, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format_args!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Asserts inequality, reporting the shared value on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+        let _ = r;
+    }};
+}
+
+/// Rejects the current case (does not count as a failure) unless the
+/// guard holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (i64, i64)> {
+        (0i64..100, 0i64..100)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes((a, b) in arb_pair()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u64..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()), "len = {}", v.len());
+            prop_assert!(v.iter().all(|x| *x < 10));
+        }
+
+        #[test]
+        fn maps_use_sampled_keys(m in prop::collection::btree_map(0u64..6, 0i64..3, 1..6)) {
+            prop_assert!(m.len() <= 5);
+            prop_assert!(m.keys().all(|k| *k < 6));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0i64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_just_cover_arms(x in prop_oneof![Just(1u32), Just(2u32), 5u32..7]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+
+        #[test]
+        fn prop_map_transforms(s in (0u64..5).prop_map(|x| x * 10)) {
+            prop_assert!(s % 10 == 0 && s < 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'failing'")]
+    fn failures_panic_with_seed() {
+        super::run_proptest(
+            &ProptestConfig::with_cases(8),
+            "failing",
+            |_rng| -> Result<(), TestCaseError> {
+                Err(TestCaseError::Fail("forced".into()))
+            },
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to the crates.io registry, so this
+//! workspace vendors a minimal, API-compatible implementation of exactly
+//! the surface the other crates use:
+//!
+//! * [`rngs::StdRng`] — a deterministic, seedable generator
+//!   (xoshiro256++, seeded via SplitMix64);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`RngExt::random_range`] over integer and float ranges
+//!   (half-open and inclusive);
+//! * [`RngExt::random_bool`].
+//!
+//! Determinism is a workspace requirement (every experiment is seeded), so
+//! the generator is a fixed, well-known algorithm: the same seed always
+//! yields the same stream, on every platform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// seed expansion. Deterministic and portable.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna, public domain reference).
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A range from which a value can be drawn uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Multiply-shift bounded integer in `[0, span)` — unbiased enough for
+/// simulation workloads, branch-free, and deterministic.
+fn bounded(rng: &mut dyn RngCore, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+/// A uniform draw in `[0, 1)` with 53 bits of precision.
+fn unit_f64(rng: &mut dyn RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + bounded(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i32, i64, u32, u64, usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let u = unit_f64(rng) as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let u = unit_f64(rng) as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Convenience draws, mirroring the `rand` 0.9+ `Rng` extension methods.
+pub trait RngExt: RngCore {
+    /// A uniform draw from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        unit_f64(self) < p
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.random_range(0..u64::MAX)).collect();
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let i = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let j = rng.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&j));
+            let f = rng.random_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+            let u = rng.random_range(0usize..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_ends() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..=2)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0), "p = 1 always hits: unit draw is in [0,1)");
+    }
+}

@@ -140,32 +140,39 @@ impl GridIndex {
     /// Counts distinct users crossing `b`, stopping early at `limit`
     /// (enough for "are there ≥ k potential senders?" checks).
     pub fn count_users_crossing(&self, b: &StBox, limit: usize) -> usize {
+        let _span = hka_obs::span("index.query");
+        let mut probes = 0u64;
         let mut seen = BTreeSet::new();
         let lo = self.cell_of(&StPoint::new(b.rect.min(), b.span.start()));
         let hi = self.cell_of(&StPoint::new(b.rect.max(), b.span.end()));
-        for cx in lo.0..=hi.0 {
+        'scan: for cx in lo.0..=hi.0 {
             for cy in lo.1..=hi.1 {
                 for ct in lo.2..=hi.2 {
                     if let Some(entries) = self.cells.get(&(cx, cy, ct)) {
+                        probes += 1;
                         for (user, p) in entries {
                             if b.contains(p) && seen.insert(*user) && seen.len() >= limit {
-                                return seen.len();
+                                break 'scan;
                             }
                         }
                     }
                 }
             }
         }
+        hka_obs::global().counter("index.probes").add(probes);
         seen.len()
     }
 
     fn for_each_in_box<F: FnMut(UserId, &StPoint)>(&self, b: &StBox, mut f: F) {
+        let _span = hka_obs::span("index.query");
+        let mut probes = 0u64;
         let lo = self.cell_of(&StPoint::new(b.rect.min(), b.span.start()));
         let hi = self.cell_of(&StPoint::new(b.rect.max(), b.span.end()));
         for cx in lo.0..=hi.0 {
             for cy in lo.1..=hi.1 {
                 for ct in lo.2..=hi.2 {
                     if let Some(entries) = self.cells.get(&(cx, cy, ct)) {
+                        probes += 1;
                         for (user, p) in entries {
                             if b.contains(p) {
                                 f(*user, p);
@@ -175,6 +182,7 @@ impl GridIndex {
                 }
             }
         }
+        hka_obs::global().counter("index.probes").add(probes);
     }
 
     /// For each of the `k` users (other than `exclude`) whose PHL comes
@@ -199,9 +207,11 @@ impl GridIndex {
         k: usize,
         exclude: Option<UserId>,
     ) -> Vec<(UserId, StPoint)> {
+        let _span = hka_obs::span("index.query");
         if k == 0 || self.points == 0 {
             return Vec::new();
         }
+        let mut probes = 0u64;
         let scale = &self.config.scale;
         let mps = scale.meters_per_second;
         let seed_slab = seed.t.0.div_euclid(self.config.cell_duration);
@@ -283,6 +293,7 @@ impl GridIndex {
                     if topk.len() >= k && lb > topk.peek().expect("non-empty").0 {
                         break;
                     }
+                    probes += 1;
                     for (user, p) in &self.cells[&key] {
                         if Some(*user) == exclude {
                             continue;
@@ -293,6 +304,7 @@ impl GridIndex {
             }
             ring += 1;
         }
+        hka_obs::global().counter("index.probes").add(probes);
 
         let mut out: Vec<(UserId, f64, StPoint)> = best
             .into_iter()

@@ -130,7 +130,7 @@ impl Phl {
 
         let consider = |p: &StPoint, best: &mut Option<(f64, StPoint)>| {
             let d = scale.dist_sq(q, p);
-            if best.map_or(true, |(bd, _)| d < bd) {
+            if best.is_none_or(|(bd, _)| d < bd) {
                 *best = Some((d, *p));
             }
         };

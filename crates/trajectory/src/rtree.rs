@@ -27,13 +27,16 @@ const MAX_ENTRIES: usize = 16;
 /// Minimum entries assigned to each side of a split.
 const MIN_ENTRIES: usize = 6;
 
+/// A bounded child subtree of an inner node.
+type Child = (StBox, Box<Node>);
+
 #[derive(Debug, Clone)]
 enum Node {
     Leaf {
         entries: Vec<(UserId, StPoint)>,
     },
     Inner {
-        children: Vec<(StBox, Box<Node>)>,
+        children: Vec<Child>,
     },
 }
 
@@ -132,7 +135,7 @@ impl RTreeIndex {
         user: UserId,
         p: StPoint,
         scale: &SpaceTimeScale,
-    ) -> Option<((StBox, Box<Node>), (StBox, Box<Node>))> {
+    ) -> Option<(Child, Child)> {
         match node {
             Node::Leaf { entries } => {
                 entries.push((user, p));
@@ -169,9 +172,12 @@ impl RTreeIndex {
 
     /// Distinct users with at least one observation inside `q`.
     pub fn users_crossing(&self, q: &StBox) -> BTreeSet<UserId> {
+        let _span = hka_obs::span("rtree.query");
+        let mut probes = 0u64;
         let mut out = BTreeSet::new();
         let mut stack = vec![&self.root];
         while let Some(node) = stack.pop() {
+            probes += 1;
             match node {
                 Node::Leaf { entries } => {
                     for (u, p) in entries {
@@ -189,6 +195,7 @@ impl RTreeIndex {
                 }
             }
         }
+        hka_obs::global().counter("rtree.probes").add(probes);
         out
     }
 
@@ -202,9 +209,11 @@ impl RTreeIndex {
         k: usize,
         exclude: Option<UserId>,
     ) -> Vec<(UserId, StPoint)> {
+        let _span = hka_obs::span("rtree.query");
         if k == 0 || self.len == 0 {
             return Vec::new();
         }
+        let mut probes = 0u64;
         let scale = &self.scale;
         let mut best: HashMap<UserId, (f64, StPoint)> = HashMap::new();
         let mut topk: BinaryHeap<NotNan> = BinaryHeap::new();
@@ -218,6 +227,7 @@ impl RTreeIndex {
             if topk.len() >= k && lb.0 > topk.peek().expect("non-empty").0 {
                 break;
             }
+            probes += 1;
             match arena[id] {
                 Node::Leaf { entries } => {
                     for (u, p) in entries {
@@ -260,6 +270,8 @@ impl RTreeIndex {
                 }
             }
         }
+
+        hka_obs::global().counter("rtree.probes").add(probes);
 
         let mut out: Vec<(UserId, f64, StPoint)> =
             best.into_iter().map(|(u, (d, p))| (u, d, p)).collect();

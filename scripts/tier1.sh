@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything CI runs, runnable locally.
+#
+#   scripts/tier1.sh            # build + tests + lint
+#
+# Matches the ROADMAP.md tier-1 contract (`cargo build --release &&
+# cargo test -q`) and adds the workspace test suite and a warning-free
+# clippy pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tier-1 tests (root package) =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier-1: OK"

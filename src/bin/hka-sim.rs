@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! hka-sim simulate [--seed N] [--days N] [--commuters N] [--roamers N] [--k N]
+//!                  [--trace-out FILE] [--metrics]
 //! hka-sim plan     [--seed N] [--population N] [--k N] [--samples N]
 //! hka-sim derive   [--seed N] [--user N] [--days N]
 //! hka-sim attack   [--seed N] [--level off|low|medium|high]
 //! hka-sim export   [--seed N] [--days N] --out FILE     # write a trace file
 //! ```
+//!
+//! `simulate` is the default subcommand: `hka-sim --trace-out t.jsonl
+//! --metrics` simulates with defaults. `--trace-out FILE` streams every
+//! server decision into a hash-chained JSONL journal (verifiable with
+//! `hka::obs::verify_chain`); `--metrics` prints the metrics snapshot —
+//! counters and per-stage latency histograms — after the run.
 //!
 //! `plan` accepts `--trace FILE` to analyze an imported trace (the
 //! `hka-trace v1` text format, see `hka::trajectory::io`) instead of a
@@ -111,7 +118,27 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     let k = get(&flags, "k", 5usize);
     let world = build_world(seed, days, commuters, roamers);
     let mut ts = protected_server(&world, k);
+    if let Some(path) = flags.get("trace-out") {
+        // parse_flags maps a valueless flag to "true"; a journal named
+        // `true` is never what anyone meant (use `./true` to insist).
+        if path == "true" {
+            eprintln!("--trace-out requires a file path");
+            std::process::exit(2);
+        }
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        ts.attach_journal(hka::obs::Journal::new(Box::new(std::io::BufWriter::new(
+            file,
+        ))
+            as Box<dyn std::io::Write + Send + Sync>));
+    }
     run_events(&mut ts, &world);
+    ts.flush_journal().unwrap_or_else(|e| {
+        eprintln!("journal flush failed: {e}");
+        std::process::exit(1);
+    });
     let st = ts.log().stats();
     println!("simulated {days} days, {} users, k = {k}", world.agents.len());
     println!("forwarded:        {} ({} exact, {} generalized)", st.forwarded(), st.forwarded_exact, st.generalized());
@@ -129,6 +156,17 @@ fn cmd_simulate(flags: HashMap<String, String>) {
                 ts.privacy_indicator(u).expect("registered")
             );
         }
+    }
+    if let Some(path) = flags.get("trace-out") {
+        println!(
+            "journal:          {path} ({} events, {} dropped from ring)",
+            ts.log().events().len() as u64 + ts.log().dropped(),
+            ts.log().dropped()
+        );
+    }
+    if flags.contains_key("metrics") {
+        println!();
+        print!("{}", ts.metrics_snapshot().render());
     }
 }
 
@@ -269,12 +307,18 @@ fn cmd_export(flags: HashMap<String, String>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
+    let Some(first) = args.first() else {
         eprintln!("usage: hka-sim <simulate|plan|derive|attack|export> [--flags]");
         std::process::exit(2);
     };
-    let flags = parse_flags(&args[1..]);
-    match cmd.as_str() {
+    // A leading flag means the subcommand was omitted: default to `simulate`.
+    let (cmd, rest) = if first.starts_with("--") {
+        ("simulate", &args[..])
+    } else {
+        (first.as_str(), &args[1..])
+    };
+    let flags = parse_flags(rest);
+    match cmd {
         "simulate" => cmd_simulate(flags),
         "plan" => cmd_plan(flags),
         "derive" => cmd_derive(flags),

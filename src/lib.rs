@@ -72,6 +72,7 @@
 //! | [`anonymity`] | linkability, LT-consistency, historical k-anonymity |
 //! | [`core`] | the trusted server, Algorithm 1, mix-zones, adversary |
 //! | [`baselines`] | Gruteser–Grunwald cloaking, actual-senders, uniform |
+//! | [`obs`] | metrics, span timers, hash-chained JSONL event journal |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -83,6 +84,7 @@ pub use hka_geo as geo;
 pub use hka_granules as granules;
 pub use hka_lbqid as lbqid;
 pub use hka_mobility as mobility;
+pub use hka_obs as obs;
 pub use hka_trajectory as trajectory;
 
 /// The most commonly used types, re-exported flat.
