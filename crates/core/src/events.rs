@@ -13,6 +13,7 @@
 //! [`EventLog::attach_journal`] — every event is appended to the journal
 //! before it enters the ring.
 
+use crate::server::ServerMode;
 use hka_anonymity::Pseudonym;
 use hka_geo::{StBox, TimeSec};
 use hka_obs::{BoxedJournal, Json, RingBuffer};
@@ -76,6 +77,15 @@ pub enum TsEvent {
         /// Name of the LBQID.
         lbqid: String,
     },
+    /// The server's operating mode changed (journal health transition).
+    ModeChanged {
+        /// When the transition was observed.
+        at: TimeSec,
+        /// The mode left behind.
+        from: ServerMode,
+        /// The mode entered.
+        to: ServerMode,
+    },
 }
 
 impl TsEvent {
@@ -87,6 +97,7 @@ impl TsEvent {
             TsEvent::PseudonymChanged { .. } => "ts.pseudonym_changed",
             TsEvent::AtRisk { .. } => "ts.at_risk",
             TsEvent::LbqidMatched { .. } => "ts.lbqid_matched",
+            TsEvent::ModeChanged { .. } => "ts.mode_changed",
         }
     }
 
@@ -120,6 +131,7 @@ impl TsEvent {
                     Json::from(match reason {
                         SuppressReason::MixZone => "mix_zone",
                         SuppressReason::RiskPolicy => "risk_policy",
+                        SuppressReason::Degraded => "degraded",
                     }),
                 ),
             ]),
@@ -139,6 +151,11 @@ impl TsEvent {
                 ("at", Json::Int(at.0)),
                 ("lbqid", Json::from(lbqid.as_str())),
             ]),
+            TsEvent::ModeChanged { at, from, to } => Json::obj([
+                ("at", Json::Int(at.0)),
+                ("from", Json::from(from.as_str())),
+                ("to", Json::from(to.as_str())),
+            ]),
         }
     }
 }
@@ -151,6 +168,10 @@ pub enum SuppressReason {
     /// The risk policy chose suppression over forwarding an unprotected
     /// request.
     RiskPolicy,
+    /// The fail-closed invariant: a fault or degraded server mode made
+    /// it impossible to guarantee the request's protection, so it was
+    /// suppressed rather than forwarded.
+    Degraded,
 }
 
 /// Bounded event log with exact running statistics and an optional
@@ -162,14 +183,129 @@ pub struct EventLog {
     journal: Option<JournalSink>,
 }
 
-/// Wraps the boxed journal so `EventLog` can keep a useful `Debug` impl
-/// (a `Box<dyn Write>` has none).
-struct JournalSink(BoxedJournal);
+/// How [`EventLog::push`] responds to journal write failures.
+///
+/// All budgets are measured in *events*, not wall-clock time: the TS is
+/// driven by simulated request timestamps, so deterministic backoff has
+/// to count what actually flows through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Immediate attempts per event (first try included). Minimum 1.
+    pub attempts: u32,
+    /// Consecutive failed events after which the sink is declared down
+    /// for good (the server goes read-only).
+    pub max_failures: u32,
+    /// After the `n`-th consecutive failed event, skip
+    /// `backoff_base << n` events before trying the sink again
+    /// (exponential backoff in event counts).
+    pub backoff_base: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 2,
+            max_failures: 4,
+            backoff_base: 1,
+        }
+    }
+}
+
+/// Observable state of the journal sink, driving the server's
+/// degraded-mode transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalHealth {
+    /// No journal attached (in-memory only; counts as healthy).
+    Detached,
+    /// The last write landed.
+    Healthy,
+    /// Recent writes failed; the sink is in retry backoff.
+    Retrying {
+        /// Consecutive events whose writes exhausted all attempts.
+        failures: u32,
+    },
+    /// The retry budget is spent; the sink is abandoned until a new
+    /// journal is attached.
+    Down,
+}
+
+/// Wraps the boxed journal with retry/backoff bookkeeping (and keeps a
+/// useful `Debug` impl — a `Box<dyn Write>` has none).
+struct JournalSink {
+    journal: BoxedJournal,
+    policy: RetryPolicy,
+    /// Consecutive events that exhausted every write attempt.
+    failures: u32,
+    /// Events still to skip before the next write attempt.
+    skip: u64,
+    /// Permanently abandoned (failures reached `policy.max_failures`).
+    down: bool,
+}
+
+impl JournalSink {
+    fn new(journal: BoxedJournal, policy: RetryPolicy) -> Self {
+        JournalSink {
+            journal,
+            policy,
+            failures: 0,
+            skip: 0,
+            down: false,
+        }
+    }
+
+    fn health(&self) -> JournalHealth {
+        if self.down {
+            JournalHealth::Down
+        } else if self.failures > 0 {
+            JournalHealth::Retrying {
+                failures: self.failures,
+            }
+        } else {
+            JournalHealth::Healthy
+        }
+    }
+
+    /// Writes one event, honouring the backoff and retry budgets.
+    fn write(&mut self, kind: &str, payload: &Json) {
+        let metrics = hka_obs::global();
+        if self.down {
+            metrics.counter("ts.journal_skipped").incr();
+            return;
+        }
+        if self.skip > 0 {
+            self.skip -= 1;
+            metrics.counter("ts.journal_skipped").incr();
+            return;
+        }
+        let attempts = self.policy.attempts.max(1);
+        for attempt in 0..attempts {
+            if self.journal.append(kind, payload.clone()).is_ok() {
+                if self.failures > 0 {
+                    metrics.counter("ts.journal_recoveries").incr();
+                }
+                self.failures = 0;
+                return;
+            }
+            metrics.counter("ts.journal_errors").incr();
+            if attempt + 1 < attempts {
+                metrics.counter("ts.journal_retries").incr();
+            }
+        }
+        // Every attempt failed: escalate.
+        self.failures += 1;
+        if self.failures >= self.policy.max_failures {
+            self.down = true;
+        } else {
+            self.skip = self.policy.backoff_base << self.failures;
+        }
+    }
+}
 
 impl std::fmt::Debug for JournalSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JournalSink")
-            .field("next_seq", &self.0.next_seq())
+            .field("next_seq", &self.journal.next_seq())
+            .field("health", &self.health())
             .finish()
     }
 }
@@ -206,6 +342,11 @@ pub struct TsStats {
     pub suppressed_mixzone: usize,
     /// Requests suppressed by the risk policy.
     pub suppressed_risk: usize,
+    /// Requests suppressed by the fail-closed invariant (injected
+    /// faults or degraded server modes).
+    pub suppressed_degraded: usize,
+    /// Server mode transitions.
+    pub mode_changes: usize,
     /// Pseudonym changes (successful unlinks).
     pub pseudonym_changes: usize,
     /// At-risk notifications.
@@ -286,10 +427,12 @@ impl TsStats {
             TsEvent::Suppressed { reason, .. } => match reason {
                 SuppressReason::MixZone => self.suppressed_mixzone += 1,
                 SuppressReason::RiskPolicy => self.suppressed_risk += 1,
+                SuppressReason::Degraded => self.suppressed_degraded += 1,
             },
             TsEvent::PseudonymChanged { .. } => self.pseudonym_changes += 1,
             TsEvent::AtRisk { .. } => self.at_risk += 1,
             TsEvent::LbqidMatched { .. } => self.lbqid_matches += 1,
+            TsEvent::ModeChanged { .. } => self.mode_changes += 1,
         }
     }
 }
@@ -318,33 +461,58 @@ impl EventLog {
     /// Routes every subsequent event into `journal` (before it enters
     /// the ring), giving a complete hash-chained record on disk even
     /// after in-memory eviction. Returns the previous sink, if any.
+    /// Retry bookkeeping starts fresh (default [`RetryPolicy`]).
     pub fn attach_journal(&mut self, journal: BoxedJournal) -> Option<BoxedJournal> {
-        self.journal.replace(JournalSink(journal)).map(|j| j.0)
+        self.attach_journal_with(journal, RetryPolicy::default())
+    }
+
+    /// Like [`EventLog::attach_journal`] with an explicit retry policy.
+    pub fn attach_journal_with(
+        &mut self,
+        journal: BoxedJournal,
+        policy: RetryPolicy,
+    ) -> Option<BoxedJournal> {
+        self.journal
+            .replace(JournalSink::new(journal, policy))
+            .map(|j| j.journal)
     }
 
     /// Detaches and returns the journal sink.
     pub fn take_journal(&mut self) -> Option<BoxedJournal> {
-        self.journal.take().map(|j| j.0)
+        self.journal.take().map(|j| j.journal)
+    }
+
+    /// Current health of the journal sink.
+    pub fn journal_health(&self) -> JournalHealth {
+        match &self.journal {
+            None => JournalHealth::Detached,
+            Some(sink) => sink.health(),
+        }
     }
 
     /// Flushes the attached journal, if any.
     pub fn flush_journal(&mut self) -> std::io::Result<()> {
         match &mut self.journal {
-            Some(sink) => sink.0.flush(),
+            Some(sink) => sink.journal.flush(),
             None => Ok(()),
         }
     }
 
     /// Appends an event: folds it into the running statistics, writes it
     /// to the journal (if attached), then stores it in the ring.
-    /// Journal write failures are reported once via the
-    /// `ts.journal_errors` counter rather than panicking the server.
+    ///
+    /// Journal write failures never panic the server. Each event gets up
+    /// to [`RetryPolicy::attempts`] immediate write attempts
+    /// (`ts.journal_errors` / `ts.journal_retries` counters); after a
+    /// fully-failed event the sink backs off exponentially in event
+    /// counts (`ts.journal_skipped`), and after
+    /// [`RetryPolicy::max_failures`] consecutive failed events it is
+    /// declared [`JournalHealth::Down`] until a new journal is attached.
+    /// The in-memory ring and statistics always stay current.
     pub fn push(&mut self, e: TsEvent) {
         self.stats.absorb(&e);
         if let Some(sink) = &mut self.journal {
-            if sink.0.append(e.kind(), e.payload()).is_err() {
-                hka_obs::global().counter("ts.journal_errors").incr();
-            }
+            sink.write(e.kind(), &e.payload());
         }
         self.ring.push(e);
     }
@@ -541,6 +709,92 @@ mod tests {
         assert!(log.take_journal().is_some());
     }
 
+    /// A sink whose first `fail` writes error, then all succeed.
+    struct FailN {
+        left: u32,
+    }
+    impl std::io::Write for FailN {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.left > 0 {
+                self.left -= 1;
+                Err(std::io::Error::other("transient"))
+            } else {
+                Ok(buf.len())
+            }
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn boxed(w: impl std::io::Write + Send + Sync + 'static) -> hka_obs::BoxedJournal {
+        hka_obs::Journal::new(Box::new(w) as Box<dyn std::io::Write + Send + Sync>)
+    }
+
+    #[test]
+    fn journal_sink_retries_then_goes_down() {
+        let mut log = EventLog::new();
+        log.attach_journal_with(
+            boxed(FailN { left: u32::MAX }),
+            RetryPolicy {
+                attempts: 2,
+                max_failures: 3,
+                backoff_base: 1,
+            },
+        );
+        assert_eq!(log.journal_health(), JournalHealth::Healthy);
+        log.push(forwarded(0));
+        assert_eq!(log.journal_health(), JournalHealth::Retrying { failures: 1 });
+        // Drive through every backoff window until the budget is spent.
+        for i in 1..64 {
+            log.push(forwarded(i));
+        }
+        assert_eq!(log.journal_health(), JournalHealth::Down);
+        // The ring and statistics never lost an event.
+        assert_eq!(log.stats().forwarded_exact, 64);
+        // A fresh sink restores health.
+        log.attach_journal(boxed(std::io::sink()));
+        assert_eq!(log.journal_health(), JournalHealth::Healthy);
+    }
+
+    #[test]
+    fn in_event_retry_masks_a_single_write_failure() {
+        let mut log = EventLog::new();
+        // One failed write; the second attempt for the same event lands.
+        log.attach_journal_with(boxed(FailN { left: 1 }), RetryPolicy::default());
+        log.push(forwarded(0));
+        assert_eq!(log.journal_health(), JournalHealth::Healthy);
+    }
+
+    #[test]
+    fn journal_sink_recovers_after_transient_outage() {
+        let mut log = EventLog::new();
+        // Both attempts of the first event fail; later events succeed.
+        log.attach_journal_with(
+            boxed(FailN { left: 2 }),
+            RetryPolicy {
+                attempts: 2,
+                max_failures: 4,
+                backoff_base: 1,
+            },
+        );
+        log.push(forwarded(0));
+        assert_eq!(log.journal_health(), JournalHealth::Retrying { failures: 1 });
+        // Two events fall into the backoff window (skip = 1 << 1)…
+        log.push(forwarded(1));
+        log.push(forwarded(2));
+        assert_eq!(log.journal_health(), JournalHealth::Retrying { failures: 1 });
+        // …then the next write attempt succeeds and health recovers.
+        log.push(forwarded(3));
+        assert_eq!(log.journal_health(), JournalHealth::Healthy);
+        assert_eq!(log.stats().forwarded_exact, 4);
+    }
+
+    #[test]
+    fn detached_log_reports_detached_health() {
+        assert_eq!(EventLog::new().journal_health(), JournalHealth::Detached);
+    }
+
     #[test]
     fn event_payloads_name_their_kind() {
         let events = [
@@ -582,5 +836,14 @@ mod tests {
             // Every payload is an object naming the user.
             assert!(e.payload().get("user").is_some());
         }
+        // ModeChanged is server-scoped (no user); it names both modes.
+        let mc = TsEvent::ModeChanged {
+            at: TimeSec(9),
+            from: ServerMode::Normal,
+            to: ServerMode::Degraded,
+        };
+        assert_eq!(mc.kind(), "ts.mode_changed");
+        assert_eq!(mc.payload().get("from").and_then(|j| j.as_str()), Some("normal"));
+        assert_eq!(mc.payload().get("to").and_then(|j| j.as_str()), Some("degraded"));
     }
 }

@@ -44,10 +44,13 @@ mod randomize;
 mod server;
 mod shared;
 
-pub use events::{EventLog, SuppressReason, TsEvent, TsStats};
+pub use events::{EventLog, JournalHealth, RetryPolicy, SuppressReason, TsEvent, TsStats};
 pub use generalize::{algorithm1_first, algorithm1_first_brute, algorithm1_subsequent, Generalization};
 pub use mixzone::{MixZoneConfig, MixZoneManager, UnlinkDecision};
 pub use policy::{PrivacyLevel, PrivacyParams, RiskAction, Tolerance};
 pub use randomize::{RandomizeConfig, Randomizer};
-pub use server::{PrivacyIndicator, RequestOutcome, SuppressReasonPub, TrustedServer, TsConfig, TsError};
+pub use server::{
+    PrivacyIndicator, RequestOutcome, ServerMode, SuppressReasonPub, TrustedServer, TsConfig,
+    TsError,
+};
 pub use shared::SharedTrustedServer;

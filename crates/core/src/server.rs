@@ -1,6 +1,6 @@
 //! The Trusted Server: the Section-6.1 strategy end to end.
 
-use crate::events::SuppressReason;
+use crate::events::{JournalHealth, RetryPolicy, SuppressReason};
 use crate::{
     algorithm1_first, algorithm1_subsequent, EventLog, MixZoneConfig, MixZoneManager,
     PrivacyLevel, PrivacyParams, RandomizeConfig, Randomizer, RiskAction, Tolerance, TsEvent,
@@ -9,10 +9,54 @@ use crate::{
 use hka_anonymity::{
     historical_k_anonymity, HkOutcome, MsgId, Pseudonym, ServiceId, SpRequest,
 };
-use hka_geo::{Rect, StBox, StPoint};
+use hka_faults::{sites, FaultInjector};
+use hka_geo::{Rect, StBox, StPoint, TimeSec};
 use hka_lbqid::{Lbqid, Monitor};
 use hka_trajectory::{GridIndex, GridIndexConfig, TrajectoryStore, UserId};
 use std::collections::BTreeMap;
+
+/// The server's operating mode, driven by the health of the durable
+/// event journal (the audit trail every privacy guarantee is
+/// demonstrated against).
+///
+/// Transitions are one-directional while a sink is failing —
+/// `Normal → Degraded → ReadOnly` — and reset to `Normal` when a fresh
+/// journal is attached. Each transition is counted
+/// (`ts.mode_changes`), exported as a gauge (`ts.mode`: 0/1/2), and
+/// journaled as a `ts.mode_changed` event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServerMode {
+    /// Fully operational: the journal (if attached) is accepting writes.
+    Normal,
+    /// The journal sink is failing and in retry backoff. The server
+    /// keeps serving, but forwards only demonstrably protected requests
+    /// (generalized with HK-anonymity intact); everything else is
+    /// suppressed fail-closed.
+    Degraded,
+    /// The journal is down for good (retry budget exhausted): with no
+    /// durable audit trail, no request is forwarded and no mutation is
+    /// accepted until a new journal is attached. Location updates are
+    /// still ingested — the positioning infrastructure keeps reporting,
+    /// and a stale PHL would only hurt the crowd's anonymity later.
+    ReadOnly,
+}
+
+impl ServerMode {
+    /// Stable string form (journal payloads, metrics labels).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServerMode::Normal => "normal",
+            ServerMode::Degraded => "degraded",
+            ServerMode::ReadOnly => "read_only",
+        }
+    }
+}
+
+impl std::fmt::Display for ServerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Trusted-server configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +125,27 @@ impl UserState {
     }
 }
 
+/// What a forwarded request disclosed: whether its context was
+/// generalized at all, and whether the generalization met full
+/// historical k-anonymity. Journaled with the `ts.forwarded` event.
+#[derive(Debug, Clone, Copy)]
+struct Disclosure {
+    generalized: bool,
+    hk_ok: bool,
+}
+
+/// What [`TrustedServer::ingest`] did with one observation.
+struct Ingest {
+    /// The observation, with its timestamp normalized (clamped forward
+    /// onto the PHL's last timestamp if it arrived out of order).
+    at: StPoint,
+    /// Whether the point landed in the store and index (`false` = an
+    /// injected PHL-write fault dropped it).
+    recorded: bool,
+    /// Whether the move crossed into a static mix-zone.
+    entering: bool,
+}
+
 /// What the TS did with a request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestOutcome {
@@ -103,6 +168,9 @@ pub enum TsError {
     DuplicateUser(UserId),
     /// Custom privacy parameters failed validation.
     InvalidParams(String),
+    /// The server is read-only (journal sink down): mutations are
+    /// refused until a new journal is attached.
+    Degraded,
 }
 
 impl std::fmt::Display for TsError {
@@ -111,6 +179,9 @@ impl std::fmt::Display for TsError {
             TsError::UnknownUser(u) => write!(f, "unknown user {u}"),
             TsError::DuplicateUser(u) => write!(f, "user {u} already registered"),
             TsError::InvalidParams(msg) => write!(f, "invalid privacy parameters: {msg}"),
+            TsError::Degraded => {
+                write!(f, "server is read-only: journal sink down, mutations refused")
+            }
         }
     }
 }
@@ -142,6 +213,10 @@ pub enum SuppressReasonPub {
     /// Risk policy: generalization and unlinking both failed and the user
     /// profile says suppress.
     RiskPolicy,
+    /// Fail-closed: an injected fault or a degraded server mode made it
+    /// impossible to guarantee this request's protection, so it was
+    /// suppressed rather than forwarded under-generalized or exact.
+    Degraded,
 }
 
 /// The Trusted Server of the paper's service model (Fig. 1).
@@ -167,6 +242,13 @@ pub struct TrustedServer {
     routes: BTreeMap<MsgId, UserId>,
     next_msg: u64,
     next_pseudonym: u64,
+    /// Fault-injection hook (inert unless a plan is attached).
+    injector: FaultInjector,
+    /// Degraded-mode state machine, kept in sync with journal health.
+    mode: ServerMode,
+    /// Timestamp of the most recent event, so administrative
+    /// transitions (e.g. re-attaching a journal) can be stamped.
+    last_time: TimeSec,
 }
 
 impl TrustedServer {
@@ -185,6 +267,9 @@ impl TrustedServer {
             routes: BTreeMap::new(),
             next_msg: 0,
             next_pseudonym: 0,
+            injector: FaultInjector::none(),
+            mode: ServerMode::Normal,
+            last_time: TimeSec(0),
         }
     }
 
@@ -192,23 +277,28 @@ impl TrustedServer {
     /// pseudonym.
     ///
     /// # Panics
-    /// If custom parameters fail validation, or the user already exists —
-    /// use [`TrustedServer::try_register_user`] where these are runtime
+    /// If custom parameters fail validation, the user already exists, or
+    /// the server is read-only — use
+    /// [`TrustedServer::try_register_user`] where these are runtime
     /// conditions rather than programming errors.
     pub fn register_user(&mut self, user: UserId, level: PrivacyLevel) -> Pseudonym {
         match self.try_register_user(user, level) {
             Ok(p) => p,
             Err(TsError::DuplicateUser(u)) => panic!("user {u} registered twice"),
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("register_user({user}) failed: {e}"),
         }
     }
 
     /// Fallible registration (see [`TrustedServer::register_user`]).
+    /// Refused with [`TsError::Degraded`] while the server is read-only.
     pub fn try_register_user(
         &mut self,
         user: UserId,
         level: PrivacyLevel,
     ) -> Result<Pseudonym, TsError> {
+        if self.mode == ServerMode::ReadOnly {
+            return Err(TsError::Degraded);
+        }
         let params = level.params();
         if let Some(p) = &params {
             p.validate().map_err(TsError::InvalidParams)?;
@@ -236,14 +326,20 @@ impl TrustedServer {
     /// location-based quasi-identifier specifications").
     ///
     /// # Panics
-    /// If the user is unknown — use [`TrustedServer::try_add_lbqid`]
-    /// otherwise.
+    /// If the user is unknown or the server is read-only — use
+    /// [`TrustedServer::try_add_lbqid`] otherwise.
     pub fn add_lbqid(&mut self, user: UserId, lbqid: Lbqid) {
-        self.try_add_lbqid(user, lbqid).expect("unknown user");
+        if let Err(e) = self.try_add_lbqid(user, lbqid) {
+            panic!("add_lbqid({user}) failed: {e}");
+        }
     }
 
-    /// Fallible variant of [`TrustedServer::add_lbqid`].
+    /// Fallible variant of [`TrustedServer::add_lbqid`]. Refused with
+    /// [`TsError::Degraded`] while the server is read-only.
     pub fn try_add_lbqid(&mut self, user: UserId, lbqid: Lbqid) -> Result<(), TsError> {
+        if self.mode == ServerMode::ReadOnly {
+            return Err(TsError::Degraded);
+        }
         let st = self
             .users
             .get_mut(&user)
@@ -264,6 +360,9 @@ impl TrustedServer {
         service: ServiceId,
         level: PrivacyLevel,
     ) -> Result<(), TsError> {
+        if self.mode == ServerMode::ReadOnly {
+            return Err(TsError::Degraded);
+        }
         let params = level.params();
         if let Some(p) = &params {
             p.validate().map_err(TsError::InvalidParams)?;
@@ -296,16 +395,59 @@ impl TrustedServer {
     /// entering the area)". Only protected users participate; users with
     /// privacy off keep their pseudonym.
     pub fn location_update(&mut self, user: UserId, at: StPoint) {
+        let ing = self.ingest(user, at);
+        if ing.entering {
+            // Fetch-once: operate on the owned state, then put it back.
+            if let Some(mut state) = self.users.remove(&user) {
+                if state.params.is_some() {
+                    self.change_pseudonym_state(user, &mut state, ing.at);
+                }
+                self.users.insert(user, state);
+            }
+        }
+    }
+
+    /// Normalizes an out-of-order observation timestamp against the
+    /// user's PHL: a regressed timestamp is clamped forward onto the
+    /// last recorded one (counted in `ts.reordered`) instead of
+    /// panicking the time-ordered store.
+    fn normalize_time(&self, user: UserId, mut at: StPoint) -> StPoint {
+        if let Some(last) = self.store.phl(user).and_then(|p| p.last()) {
+            if at.t < last.t {
+                hka_obs::global().counter("ts.reordered").incr();
+                at.t = last.t;
+            }
+        }
+        at
+    }
+
+    /// Records one observation: timestamp normalization, PHL-write
+    /// fault check, store + index insert, static-zone crossing
+    /// detection.
+    fn ingest(&mut self, user: UserId, at: StPoint) -> Ingest {
+        let at = self.normalize_time(user, at);
         let entering = self.mixzones.in_static_zone(&at.pos)
             && self
                 .store
                 .phl(user)
                 .and_then(|p| p.last())
                 .is_some_and(|prev| !self.mixzones.in_static_zone(&prev.pos));
+        if self.injector.check(sites::PHL_WRITE).is_some() {
+            // The observation is lost before it reaches the store; the
+            // forwarding boundary fails closed on the `recorded` flag.
+            self.note_fault(sites::PHL_WRITE);
+            return Ingest {
+                at,
+                recorded: false,
+                entering: false,
+            };
+        }
         self.store.record(user, at);
         self.index.insert(user, at);
-        if entering && self.users.get(&user).is_some_and(|s| s.params.is_some()) {
-            self.change_pseudonym(user, at);
+        Ingest {
+            at,
+            recorded: true,
+            entering,
         }
     }
 
@@ -318,11 +460,15 @@ impl TrustedServer {
     pub fn handle_request(&mut self, user: UserId, at: StPoint, service: ServiceId) -> RequestOutcome {
         match self.try_handle_request(user, at, service) {
             Ok(out) => out,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("handle_request({user}) failed: {e}"),
         }
     }
 
     /// Fallible variant of [`TrustedServer::handle_request`].
+    ///
+    /// Fetch-once: the user's state is taken out of the map, the whole
+    /// request is handled against the owned value, and the state is put
+    /// back — no mid-flight re-lookups, no "checked above" unwraps.
     pub fn try_handle_request(
         &mut self,
         user: UserId,
@@ -331,18 +477,38 @@ impl TrustedServer {
     ) -> Result<RequestOutcome, TsError> {
         let _span = hka_obs::span("ts.handle_request");
         hka_obs::global().counter("ts.requests").incr();
-        if !self.users.contains_key(&user) {
-            return Err(TsError::UnknownUser(user));
-        }
+        let mut state = self
+            .users
+            .remove(&user)
+            .ok_or(TsError::UnknownUser(user))?;
+        let outcome = self.handle_owned(user, &mut state, at, service);
+        self.users.insert(user, state);
+        Ok(outcome)
+    }
+
+    /// The Section-6.1 strategy over the owned per-user state.
+    fn handle_owned(
+        &mut self,
+        user: UserId,
+        state: &mut UserState,
+        at: StPoint,
+        service: ServiceId,
+    ) -> RequestOutcome {
         // The request instant is part of the PHL ("for each request r_i
         // there must be an element in the PHL of User(r_i)").
+        let at = self.normalize_time(user, at);
         let already_recorded = self
             .store
             .phl(user)
             .and_then(|p| p.last())
             .is_some_and(|p| *p == at);
+        let mut faulted = false;
         if !already_recorded {
-            self.location_update(user, at);
+            let ing = self.ingest(user, at);
+            faulted = !ing.recorded;
+            if ing.entering && state.params.is_some() {
+                self.change_pseudonym_state(user, state, ing.at);
+            }
         }
 
         let tolerance = *self
@@ -350,27 +516,32 @@ impl TrustedServer {
             .get(&service)
             .unwrap_or(&self.config.default_tolerance);
 
-        let state = self.users.get(&user).expect("checked above");
         let Some(params) = state.params_for(service) else {
-            // Privacy off (for this service): forward the exact context.
-            return Ok(self.forward(user, at, StBox::point(at), service, false, true));
+            // Privacy off (for this service): forward the exact context
+            // — unless a fault or degraded mode forbids it.
+            if let Some(denied) = self.fail_closed(user, at, false, true, faulted) {
+                return denied;
+            }
+            return self.forward(user, state.pseudonym, at, StBox::point(at), service, Disclosure { generalized: false, hk_ok: true });
         };
 
         // Mix-zone suppression (static zones and cooling on-demand zones).
         if self.mixzones.suppressed_at(&at) {
             hka_obs::global().counter("ts.suppressed").incr();
-            self.log.push(TsEvent::Suppressed {
-                user,
-                at: at.t,
-                reason: SuppressReason::MixZone,
-            });
-            return Ok(RequestOutcome::Suppressed(SuppressReasonPub::MixZone));
+            self.push_event(
+                TsEvent::Suppressed {
+                    user,
+                    at: at.t,
+                    reason: SuppressReason::MixZone,
+                },
+                at.t,
+            );
+            return RequestOutcome::Suppressed(SuppressReasonPub::MixZone);
         }
 
         // LBQID monitoring: the first pattern that recognizes the request
         // claims it (the paper's simplifying assumption: "each request can
         // match an element in only one of the LBQIDs").
-        let state = self.users.get_mut(&user).expect("checked above");
         let mut hit: Option<(usize, hka_lbqid::MatchEvent)> = None;
         for (mi, monitor) in state.monitors.iter_mut().enumerate() {
             if let Some(ev) = monitor.observe(at) {
@@ -381,21 +552,36 @@ impl TrustedServer {
 
         let Some((mi, ev)) = hit else {
             // Not part of any quasi-identifier: forward exactly.
-            return Ok(self.forward(user, at, StBox::point(at), service, false, true));
+            if let Some(denied) = self.fail_closed(user, at, false, true, faulted) {
+                return denied;
+            }
+            return self.forward(user, state.pseudonym, at, StBox::point(at), service, Disclosure { generalized: false, hk_ok: true });
         };
 
         if ev.full_match {
             let name = state.monitors[mi].lbqid().name().to_owned();
-            self.log.push(TsEvent::LbqidMatched {
-                user,
-                at: at.t,
-                lbqid: name,
-            });
+            self.push_event(
+                TsEvent::LbqidMatched {
+                    user,
+                    at: at.t,
+                    lbqid: name,
+                },
+                at.t,
+            );
+        }
+
+        // Algorithm 1 needs the spatio-temporal index to establish the
+        // anonymity set; an unavailable index fails the request closed.
+        if self.injector.check(sites::INDEX_QUERY).is_some() {
+            self.note_fault(sites::INDEX_QUERY);
+            return self
+                .fail_closed(user, at, false, false, true)
+                .expect("a faulted request always fails closed");
         }
 
         // Generalize with Algorithm 1.
         let (gen, step) = {
-            let pattern = &self.users[&user].patterns[mi];
+            let pattern = &state.patterns[mi];
             if pattern.selected.is_empty() {
                 let k0 = params.k_at_step(0);
                 (algorithm1_first(&self.index, &at, user, k0, &tolerance), 0)
@@ -417,76 +603,140 @@ impl TrustedServer {
         };
 
         if gen.hk_anonymity {
-            let state = self.users.get_mut(&user).expect("checked above");
+            // The fail-closed gate runs *before* the pattern state is
+            // committed: a suppressed request must leave no trace in the
+            // anonymity-set bookkeeping or the audit contexts.
+            if let Some(denied) = self.fail_closed(user, at, true, true, faulted) {
+                return denied;
+            }
             let pattern = &mut state.patterns[mi];
             pattern.selected = gen.selected.clone();
             pattern.step = step + 1;
             pattern.contexts.push(gen.context);
-            return Ok(self.forward(user, at, gen.context, service, true, true));
+            return self.forward(user, state.pseudonym, at, gen.context, service, Disclosure { generalized: true, hk_ok: true });
         }
 
-        // Generalization failed: try to unlink (Section 6.1 step 2).
+        // Generalization failed: try to unlink (Section 6.1 step 2). An
+        // unavailable mix-zone subsystem leaves no protection at all.
+        if self.injector.check(sites::MIXZONE).is_some() {
+            self.note_fault(sites::MIXZONE);
+            return self
+                .fail_closed(user, at, false, false, true)
+                .expect("a faulted request always fails closed");
+        }
         match self.mixzones.try_unlink(&self.store, user, &at, params.k) {
             UnlinkDecision::Unlinked { .. } => {
-                self.change_pseudonym(user, at);
+                self.change_pseudonym_state(user, state, at);
                 // The request itself falls inside the just-activated zone:
                 // service is interrupted while the crowd mixes.
                 hka_obs::global().counter("ts.suppressed").incr();
-                self.log.push(TsEvent::Suppressed {
-                    user,
-                    at: at.t,
-                    reason: SuppressReason::MixZone,
-                });
-                Ok(RequestOutcome::Suppressed(SuppressReasonPub::MixZone))
+                self.push_event(
+                    TsEvent::Suppressed {
+                        user,
+                        at: at.t,
+                        reason: SuppressReason::MixZone,
+                    },
+                    at.t,
+                );
+                RequestOutcome::Suppressed(SuppressReasonPub::MixZone)
             }
             UnlinkDecision::Infeasible { .. } => {
                 // "The user is considered at risk of identification, and
                 // notified about it."
-                let name = {
-                    let state = self.users.get_mut(&user).expect("checked above");
-                    state.at_risk = true;
-                    state.monitors[mi].lbqid().name().to_owned()
-                };
+                state.at_risk = true;
+                let name = state.monitors[mi].lbqid().name().to_owned();
                 hka_obs::global().counter("ts.at_risk").incr();
-                self.log.push(TsEvent::AtRisk {
-                    user,
-                    at: at.t,
-                    lbqid: name,
-                });
+                self.push_event(
+                    TsEvent::AtRisk {
+                        user,
+                        at: at.t,
+                        lbqid: name,
+                    },
+                    at.t,
+                );
                 match params.on_risk {
                     RiskAction::Forward => {
-                        let state = self.users.get_mut(&user).expect("checked above");
+                        // The clamped (sub-k) forward is exactly what
+                        // degraded modes must not let through.
+                        if let Some(denied) = self.fail_closed(user, at, true, false, faulted) {
+                            return denied;
+                        }
                         let pattern = &mut state.patterns[mi];
                         pattern.selected = gen.selected.clone();
                         pattern.step = step + 1;
                         pattern.contexts.push(gen.context);
-                        Ok(self.forward(user, at, gen.context, service, true, false))
+                        self.forward(user, state.pseudonym, at, gen.context, service, Disclosure { generalized: true, hk_ok: false })
                     }
                     RiskAction::Suppress => {
                         hka_obs::global().counter("ts.suppressed").incr();
-                        self.log.push(TsEvent::Suppressed {
-                            user,
-                            at: at.t,
-                            reason: SuppressReason::RiskPolicy,
-                        });
-                        Ok(RequestOutcome::Suppressed(SuppressReasonPub::RiskPolicy))
+                        self.push_event(
+                            TsEvent::Suppressed {
+                                user,
+                                at: at.t,
+                                reason: SuppressReason::RiskPolicy,
+                            },
+                            at.t,
+                        );
+                        RequestOutcome::Suppressed(SuppressReasonPub::RiskPolicy)
                     }
                 }
             }
         }
     }
 
-    fn forward(
+    /// The single fail-closed gate at the forwarding boundary.
+    ///
+    /// Returns the suppression outcome when the request must not go out
+    /// in its current form:
+    ///
+    /// * any injected fault on the request's path (`faulted`) denies in
+    ///   every mode — a dropped PHL write, an unavailable index or
+    ///   mix-zone all mean the protection cannot be established;
+    /// * [`ServerMode::Degraded`] additionally denies everything that is
+    ///   not a generalized, HK-anonymity-preserving forward (exact
+    ///   contexts and sub-k clamps included): without a trustworthy
+    ///   audit trail only demonstrably protected requests flow;
+    /// * [`ServerMode::ReadOnly`] denies unconditionally.
+    fn fail_closed(
         &mut self,
         user: UserId,
         at: StPoint,
-        context: StBox,
-        service: ServiceId,
         generalized: bool,
         hk_ok: bool,
+        faulted: bool,
+    ) -> Option<RequestOutcome> {
+        let deny = match self.mode {
+            ServerMode::Normal => faulted,
+            ServerMode::Degraded => faulted || !(generalized && hk_ok),
+            ServerMode::ReadOnly => true,
+        };
+        if !deny {
+            return None;
+        }
+        let metrics = hka_obs::global();
+        metrics.counter("ts.suppressed").incr();
+        metrics.counter("ts.suppressed_degraded").incr();
+        self.push_event(
+            TsEvent::Suppressed {
+                user,
+                at: at.t,
+                reason: SuppressReason::Degraded,
+            },
+            at.t,
+        );
+        Some(RequestOutcome::Suppressed(SuppressReasonPub::Degraded))
+    }
+
+    fn forward(
+        &mut self,
+        user: UserId,
+        pseudonym: Pseudonym,
+        at: StPoint,
+        context: StBox,
+        service: ServiceId,
+        Disclosure { generalized, hk_ok }: Disclosure,
     ) -> RequestOutcome {
         debug_assert!(context.contains(&at), "context must cover the true point");
-        let pseudonym = self.users[&user].pseudonym;
         let msg_id = MsgId(self.next_msg);
         self.next_msg += 1;
         // Anti-inference randomization (Conclusions: "randomization should
@@ -510,23 +760,26 @@ impl TrustedServer {
         if generalized {
             metrics.counter("ts.forwarded_generalized").incr();
         }
-        self.log.push(TsEvent::Forwarded {
-            user,
-            at: at.t,
-            context,
-            generalized,
-            hk_ok,
-        });
+        self.push_event(
+            TsEvent::Forwarded {
+                user,
+                at: at.t,
+                context,
+                generalized,
+                hk_ok,
+            },
+            at.t,
+        );
         RequestOutcome::Forwarded(req)
     }
 
     /// Changes a user's pseudonym and resets all pattern state: "if
     /// unlinking succeeds … all partially matched patterns based on old
-    /// pseudonym for that user are reset."
-    fn change_pseudonym(&mut self, user: UserId, at: StPoint) {
+    /// pseudonym for that user are reset." Operates on the owned state
+    /// (fetch-once discipline — the state may be out of the map).
+    fn change_pseudonym_state(&mut self, user: UserId, state: &mut UserState, at: StPoint) {
         hka_obs::global().counter("ts.unlinks").incr();
         let new = self.fresh_pseudonym();
-        let state = self.users.get_mut(&user).expect("unknown user");
         let old = state.pseudonym;
         state.pseudonym = new;
         for m in &mut state.monitors {
@@ -536,12 +789,61 @@ impl TrustedServer {
             *p = PatternState::default();
         }
         state.at_risk = false;
-        self.log.push(TsEvent::PseudonymChanged {
-            user,
-            old,
-            new,
-            at: at.t,
+        self.push_event(
+            TsEvent::PseudonymChanged {
+                user,
+                old,
+                new,
+                at: at.t,
+            },
+            at.t,
+        );
+    }
+
+    /// Pushes an event and re-synchronizes the mode state machine with
+    /// the journal's health (every event is a journal write attempt, so
+    /// every event can move the health).
+    fn push_event(&mut self, e: TsEvent, at: TimeSec) {
+        self.last_time = at;
+        self.log.push(e);
+        self.sync_mode(at);
+    }
+
+    /// Aligns [`TrustedServer::mode`] with the journal's health,
+    /// emitting the transition (counter, gauge, `ts.mode_changed`
+    /// event) when it moves.
+    fn sync_mode(&mut self, at: TimeSec) {
+        let target = match self.log.journal_health() {
+            JournalHealth::Detached | JournalHealth::Healthy => ServerMode::Normal,
+            JournalHealth::Retrying { .. } => ServerMode::Degraded,
+            JournalHealth::Down => ServerMode::ReadOnly,
+        };
+        if target == self.mode {
+            return;
+        }
+        let from = self.mode;
+        self.mode = target;
+        let metrics = hka_obs::global();
+        metrics.counter("ts.mode_changes").incr();
+        metrics.gauge("ts.mode").set(match target {
+            ServerMode::Normal => 0,
+            ServerMode::Degraded => 1,
+            ServerMode::ReadOnly => 2,
         });
+        // Direct push, no re-sync: this event's own journal write (which
+        // may itself fail) is observed by whichever event comes next.
+        self.log.push(TsEvent::ModeChanged {
+            at,
+            from,
+            to: target,
+        });
+    }
+
+    /// Counts one injected fault, globally and per site.
+    fn note_fault(&mut self, site: &str) {
+        let metrics = hka_obs::global();
+        metrics.counter("faults.injected").incr();
+        metrics.counter(&format!("faults.{site}")).incr();
     }
 
     fn fresh_pseudonym(&mut self) -> Pseudonym {
@@ -602,12 +904,50 @@ impl TrustedServer {
 
     /// Routes every subsequent logged event into a hash-chained JSONL
     /// journal (see `hka_obs::journal`). Returns the previous sink, if
-    /// one was attached.
+    /// one was attached. A fresh sink is healthy, so a degraded or
+    /// read-only server returns to [`ServerMode::Normal`].
     pub fn attach_journal(
         &mut self,
         journal: hka_obs::BoxedJournal,
     ) -> Option<hka_obs::BoxedJournal> {
-        self.log.attach_journal(journal)
+        self.attach_journal_with(journal, RetryPolicy::default())
+    }
+
+    /// Like [`TrustedServer::attach_journal`] with an explicit retry /
+    /// backoff policy for the sink.
+    pub fn attach_journal_with(
+        &mut self,
+        journal: hka_obs::BoxedJournal,
+        policy: RetryPolicy,
+    ) -> Option<hka_obs::BoxedJournal> {
+        let previous = self.log.attach_journal_with(journal, policy);
+        self.sync_mode(self.last_time);
+        previous
+    }
+
+    /// Health of the journal sink (drives [`TrustedServer::mode`]).
+    pub fn journal_health(&self) -> JournalHealth {
+        self.log.journal_health()
+    }
+
+    /// The server's current operating mode.
+    pub fn mode(&self) -> ServerMode {
+        self.mode
+    }
+
+    /// Attaches a fault-injection plan: the named sites in the request
+    /// path (`phl.write`, `index.query`, `mixzone.available`; pair with
+    /// `hka_faults::FaultyWriter` for `journal.io`) consult it on every
+    /// hit. Injected faults never widen what the server forwards — the
+    /// fail-closed gate suppresses any request whose protection a fault
+    /// put in doubt.
+    pub fn attach_faults(&mut self, injector: FaultInjector) {
+        self.injector = injector;
+    }
+
+    /// The attached fault injector (inert unless a plan was attached).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.injector
     }
 
     /// Flushes the attached journal, if any.
@@ -1083,6 +1423,177 @@ mod tests {
             panic!("expected forward");
         };
         assert_eq!(req.context, req2.context);
+    }
+
+    use hka_faults::{FaultKind, FaultPlan, Trigger};
+
+    /// A journal sink that always fails.
+    struct BrokenSink;
+    impl std::io::Write for BrokenSink {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("sink down"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn boxed(w: impl std::io::Write + Send + Sync + 'static) -> hka_obs::BoxedJournal {
+        hka_obs::Journal::new(Box::new(w) as Box<dyn std::io::Write + Send + Sync>)
+    }
+
+    #[test]
+    fn reordered_timestamps_are_clamped_not_fatal() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Off);
+        s.location_update(UserId(1), sp(0.0, 0.0, 100));
+        s.location_update(UserId(1), sp(5.0, 0.0, 40)); // arrives late
+        let phl = s.store().phl(UserId(1)).unwrap();
+        assert_eq!(phl.len(), 2);
+        assert_eq!(phl.last().unwrap().t, TimeSec(100), "clamped forward");
+        // A regressed *request* timestamp is clamped and still served.
+        match s.handle_request(UserId(1), sp(6.0, 0.0, 70), SVC) {
+            RequestOutcome::Forwarded(req) => {
+                assert_eq!(req.context.span.start(), TimeSec(100));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn phl_write_fault_fails_the_request_closed() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Off);
+        s.attach_faults(FaultInjector::new(FaultPlan::new(7).with_rule(
+            sites::PHL_WRITE,
+            Trigger::Always,
+            FaultKind::Drop,
+        )));
+        match s.handle_request(UserId(1), sp(0.0, 0.0, 10), SVC) {
+            RequestOutcome::Suppressed(SuppressReasonPub::Degraded) => {}
+            other => panic!("{other:?}"),
+        }
+        // The dropped observation never reached the store, and nothing
+        // was forwarded on its back.
+        assert!(s.store().phl(UserId(1)).unwrap().is_empty());
+        assert_eq!(s.log().stats().suppressed_degraded, 1);
+        assert_eq!(s.log().stats().forwarded(), 0);
+        assert_eq!(s.fault_injector().fired(sites::PHL_WRITE), 1);
+    }
+
+    #[test]
+    fn index_and_mixzone_faults_fail_pattern_requests_closed() {
+        for site in [sites::INDEX_QUERY, sites::MIXZONE] {
+            let mut s = ts_with_crowd(10);
+            s.register_user(UserId(1), PrivacyLevel::Low);
+            s.add_lbqid(UserId(1), one_shot_pattern());
+            s.attach_faults(FaultInjector::new(FaultPlan::new(1).with_rule(
+                site,
+                Trigger::Always,
+                FaultKind::Unavailable,
+            )));
+            match s.handle_request(UserId(1), sp(0.0, 0.0, 100), SVC) {
+                RequestOutcome::Suppressed(SuppressReasonPub::Degraded) => {}
+                // The mix-zone site is only consulted when generalization
+                // already failed; with this crowd it succeeds, so the
+                // forward must be a fully protected one.
+                RequestOutcome::Forwarded(req) if site == sites::MIXZONE => {
+                    assert!(req.context.area() > 0.0);
+                }
+                other => panic!("{site}: {other:?}"),
+            }
+            // No exact location escaped either way.
+            for req in s.provider_view() {
+                assert!(req.context.area() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_mode_forwards_only_protected_requests() {
+        let mut s = ts_with_crowd(10);
+        s.register_user(UserId(1), PrivacyLevel::Low);
+        s.add_lbqid(UserId(1), one_shot_pattern());
+        // A generous budget: the sink keeps failing but the server stays
+        // Degraded (not ReadOnly) across this test's event volume.
+        s.attach_journal_with(
+            boxed(BrokenSink),
+            RetryPolicy {
+                attempts: 1,
+                max_failures: 10,
+                backoff_base: 8,
+            },
+        );
+        assert_eq!(s.mode(), ServerMode::Normal);
+
+        // First request forwards (the gate saw Normal), but its journal
+        // write fails and the server degrades.
+        let out = s.handle_request(UserId(100), sp(1.0, 1.0, 500), SVC);
+        assert!(matches!(out, RequestOutcome::Forwarded(_)));
+        assert_eq!(s.mode(), ServerMode::Degraded);
+
+        // Degraded: exact forwards are refused fail-closed…
+        match s.handle_request(UserId(101), sp(6.0, 1.0, 510), SVC) {
+            RequestOutcome::Suppressed(SuppressReasonPub::Degraded) => {}
+            other => panic!("{other:?}"),
+        }
+        // …but a demonstrably protected (generalized, HK-ok) request
+        // still flows.
+        match s.handle_request(UserId(1), sp(0.0, 0.0, 520), SVC) {
+            RequestOutcome::Forwarded(req) => assert!(req.context.area() > 0.0),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.mode(), ServerMode::Degraded);
+        let stats = s.log().stats();
+        assert_eq!(stats.suppressed_degraded, 1);
+        assert!(stats.mode_changes >= 1);
+    }
+
+    #[test]
+    fn journal_down_means_read_only_until_a_new_journal() {
+        let mut s = ts();
+        s.register_user(UserId(1), PrivacyLevel::Off);
+        s.register_user(UserId(2), PrivacyLevel::Off);
+        // No budget at all: the first failed event kills the sink.
+        s.attach_journal_with(
+            boxed(BrokenSink),
+            RetryPolicy {
+                attempts: 1,
+                max_failures: 1,
+                backoff_base: 1,
+            },
+        );
+        let out = s.handle_request(UserId(1), sp(1.0, 1.0, 10), SVC);
+        assert!(matches!(out, RequestOutcome::Forwarded(_)));
+        assert_eq!(s.mode(), ServerMode::ReadOnly);
+        assert_eq!(s.journal_health(), JournalHealth::Down);
+
+        // Read-only: nothing is forwarded, mutations are refused, yet
+        // location updates still land (the PHL must not go stale).
+        match s.handle_request(UserId(1), sp(2.0, 1.0, 20), SVC) {
+            RequestOutcome::Suppressed(SuppressReasonPub::Degraded) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            s.try_register_user(UserId(50), PrivacyLevel::Off),
+            Err(TsError::Degraded)
+        );
+        assert_eq!(
+            s.try_add_lbqid(UserId(1), one_shot_pattern()),
+            Err(TsError::Degraded)
+        );
+        let before = s.store().phl(UserId(2)).unwrap().len();
+        s.location_update(UserId(2), sp(15.0, 1.0, 30));
+        assert_eq!(s.store().phl(UserId(2)).unwrap().len(), before + 1);
+
+        // A fresh journal restores normal service.
+        s.attach_journal(boxed(std::io::sink()));
+        assert_eq!(s.mode(), ServerMode::Normal);
+        let out = s.handle_request(UserId(1), sp(3.0, 1.0, 40), SVC);
+        assert!(matches!(out, RequestOutcome::Forwarded(_)));
+        let stats = s.log().stats();
+        assert!(stats.mode_changes >= 2, "N→RO and RO→N at least");
+        assert!(stats.suppressed_degraded >= 1);
     }
 
     #[test]

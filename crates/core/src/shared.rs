@@ -11,7 +11,7 @@
 //! * readers (`audit_patterns`, `stats`, `pseudonym_of`, …) take the read
 //!   lock and proceed in parallel.
 
-use crate::{PrivacyLevel, RequestOutcome, Tolerance, TrustedServer, TsConfig, TsStats};
+use crate::{PrivacyLevel, RequestOutcome, ServerMode, Tolerance, TrustedServer, TsConfig, TsStats};
 use hka_anonymity::{HkOutcome, Pseudonym, ServiceId, SpRequest};
 use hka_geo::{Rect, StPoint};
 use hka_lbqid::Lbqid;
@@ -88,6 +88,11 @@ impl SharedTrustedServer {
     /// See [`TrustedServer::pseudonym_of`].
     pub fn pseudonym_of(&self, user: UserId) -> Option<Pseudonym> {
         self.read(|ts| ts.pseudonym_of(user))
+    }
+
+    /// See [`TrustedServer::mode`].
+    pub fn mode(&self) -> ServerMode {
+        self.read(|ts| ts.mode())
     }
 
     /// Aggregate statistics snapshot.

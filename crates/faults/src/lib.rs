@@ -1,0 +1,64 @@
+//! # hka-faults
+//!
+//! Deterministic, seedable fault injection for the hka pipeline.
+//!
+//! The paper's guarantee (Theorem 1) assumes the Trusted Server can
+//! *always* generalize, unlink, or refuse. Real infrastructure fails:
+//! disks return errors mid-journal-write, indexes time out, mix-zone
+//! bookkeeping becomes unavailable, and positioning updates arrive
+//! dropped, duplicated, or out of order. Spatio-temporal linkage
+//! attacks exploit exactly those moments — a privacy layer that
+//! degrades *open* leaks precise tuples. This crate provides the
+//! machinery to rehearse every such failure deterministically:
+//!
+//! * [`FaultPlan`] — an ordered set of rules, each *injection site* ×
+//!   *trigger predicate* × [`FaultKind`]. Evaluation is purely a
+//!   function of the plan's seed and per-site hit counters, so a given
+//!   plan replays identically on every run.
+//! * [`FaultInjector`] — a cheaply cloneable handle threaded through
+//!   the hot paths; [`FaultInjector::none`] is a zero-cost disabled
+//!   injector for production configurations.
+//! * [`FaultyWriter`] — an `io::Write` adapter that injects clean I/O
+//!   errors and *torn* (partial) writes into any byte sink, modelling
+//!   a crash mid-journal-append.
+//! * [`randomized_plan`] — a seeded generator of fault schedules over
+//!   the standard injection sites, for chaos suites that want many
+//!   diverse schedules from a list of seeds.
+//!
+//! Zero dependencies by design, like `hka-obs`: any crate in the
+//! workspace can thread an injector through its hot path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod schedule;
+mod writer;
+
+pub use plan::{FaultInjector, FaultKind, FaultPlan, FaultRule, Trigger};
+pub use schedule::randomized_plan;
+pub use writer::FaultyWriter;
+
+/// Named injection sites threaded through the pipeline's hot paths.
+///
+/// Site names are part of the observable surface: injected-fault
+/// counters are exported as `faults.<site>` in the `hka-obs` metrics
+/// registry.
+pub mod sites {
+    /// PHL store writes (location updates and request-point recording).
+    pub const PHL_WRITE: &str = "phl.write";
+    /// Journal sink byte-level I/O (see [`crate::FaultyWriter`]).
+    pub const JOURNAL_IO: &str = "journal.io";
+    /// Mix-zone subsystem availability at unlink time.
+    pub const MIXZONE: &str = "mixzone.available";
+    /// Grid/R-tree moving-object index queries (Algorithm 1's
+    /// candidate search).
+    pub const INDEX_QUERY: &str = "index.query";
+    /// Request arrival: drop / duplicate / out-of-order timestamps.
+    /// Applied by the event driver (simulator, chaos harness), not
+    /// inside the server.
+    pub const ARRIVAL: &str = "request.arrival";
+
+    /// Every standard site, in a fixed order.
+    pub const ALL: [&str; 5] = [PHL_WRITE, JOURNAL_IO, MIXZONE, INDEX_QUERY, ARRIVAL];
+}

@@ -1,0 +1,371 @@
+//! The fault plan: injection site × trigger predicate × fault kind.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// What kind of failure to inject at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// An I/O error: the operation fails cleanly, nothing is written.
+    Io,
+    /// A torn write: only a prefix of the bytes lands before the error
+    /// (models a crash mid-append). Only meaningful for byte sinks;
+    /// other sites treat it like [`FaultKind::Io`].
+    Torn,
+    /// The item (location update, request) is silently dropped.
+    Drop,
+    /// The item is delivered twice (driver-level arrival fault).
+    Duplicate,
+    /// The item is delivered with an out-of-order timestamp
+    /// (driver-level arrival fault).
+    Reorder,
+    /// The subsystem is unavailable for this call (index query,
+    /// mix-zone search).
+    Unavailable,
+}
+
+impl FaultKind {
+    /// A short stable tag, for logs and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::Io => "io",
+            FaultKind::Torn => "torn",
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Unavailable => "unavailable",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// When a rule fires, as a pure function of the site's 0-based hit
+/// counter (and, for [`Trigger::Prob`], the plan seed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fires on every hit.
+    Always,
+    /// Fires on exactly the `n`-th hit (0-based).
+    Once(u64),
+    /// Fires on hits `n-1, 2n-1, 3n-1, …` (every `n`-th; `n ≥ 1`).
+    EveryNth(u64),
+    /// Fires on hits in `[from, to)`.
+    Window {
+        /// First hit (inclusive) that fires.
+        from: u64,
+        /// First hit (exclusive) that no longer fires.
+        to: u64,
+    },
+    /// Fires with probability `p`, decided by a deterministic hash of
+    /// (plan seed, site, hit index) — the same plan replays the same
+    /// firing pattern bit-for-bit.
+    Prob(f64),
+}
+
+impl Trigger {
+    fn fires(&self, seed: u64, site: &str, hit: u64) -> bool {
+        match *self {
+            Trigger::Always => true,
+            Trigger::Once(n) => hit == n,
+            Trigger::EveryNth(n) => n > 0 && (hit + 1).is_multiple_of(n),
+            Trigger::Window { from, to } => hit >= from && hit < to,
+            Trigger::Prob(p) => {
+                if p <= 0.0 {
+                    return false;
+                }
+                if p >= 1.0 {
+                    return true;
+                }
+                let x = splitmix64(seed ^ fnv1a(site.as_bytes()) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                (x as f64 / u64::MAX as f64) < p
+            }
+        }
+    }
+}
+
+/// One injection rule: at `site`, when `trigger` matches, inject `kind`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// The named injection site (see [`crate::sites`]).
+    pub site: String,
+    /// When the rule fires.
+    pub trigger: Trigger,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule.
+///
+/// `check(site)` increments the site's hit counter and evaluates the
+/// rules in insertion order; the first matching rule fires and its
+/// kind is returned. Fired faults are counted per site for the chaos
+/// harness's ground truth.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    hits: BTreeMap<String, u64>,
+    fired: BTreeMap<String, u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no rules ever fire) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with_rule(mut self, site: &str, trigger: Trigger, kind: FaultKind) -> Self {
+        self.push_rule(site, trigger, kind);
+        self
+    }
+
+    /// Adds a rule.
+    pub fn push_rule(&mut self, site: &str, trigger: Trigger, kind: FaultKind) {
+        self.rules.push(FaultRule {
+            site: site.to_string(),
+            trigger,
+            kind,
+        });
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Registers one hit at `site` and returns the injected fault, if
+    /// any rule fires.
+    pub fn check(&mut self, site: &str) -> Option<FaultKind> {
+        let hit = {
+            let counter = self.hits.entry(site.to_string()).or_insert(0);
+            let h = *counter;
+            *counter += 1;
+            h
+        };
+        let fired = self
+            .rules
+            .iter()
+            .find(|r| r.site == site && r.trigger.fires(self.seed, site, hit))
+            .map(|r| r.kind);
+        if fired.is_some() {
+            *self.fired.entry(site.to_string()).or_insert(0) += 1;
+        }
+        fired
+    }
+
+    /// How many times `site` has been hit (checked).
+    pub fn hits(&self, site: &str) -> u64 {
+        self.hits.get(site).copied().unwrap_or(0)
+    }
+
+    /// How many faults have fired at `site`.
+    pub fn fired(&self, site: &str) -> u64 {
+        self.fired.get(site).copied().unwrap_or(0)
+    }
+
+    /// Total faults fired across all sites.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.values().sum()
+    }
+
+    /// Per-site fired counts, in site order.
+    pub fn fired_by_site(&self) -> Vec<(String, u64)> {
+        self.fired.iter().map(|(s, n)| (s.clone(), *n)).collect()
+    }
+}
+
+/// A cheaply cloneable, thread-safe handle to a [`FaultPlan`] — or to
+/// nothing at all ([`FaultInjector::none`]), in which case every check
+/// is a branch on a `None` and injection costs nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector(Option<Arc<Mutex<FaultPlan>>>);
+
+impl FaultInjector {
+    /// A disabled injector: checks never fire.
+    pub fn none() -> Self {
+        FaultInjector(None)
+    }
+
+    /// An injector over the given plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector(Some(Arc::new(Mutex::new(plan))))
+    }
+
+    /// Whether a plan is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Registers a hit at `site`; returns the injected fault, if any.
+    pub fn check(&self, site: &str) -> Option<FaultKind> {
+        let plan = self.0.as_ref()?;
+        lock(plan).check(site)
+    }
+
+    /// Faults fired at `site` so far.
+    pub fn fired(&self, site: &str) -> u64 {
+        self.0.as_ref().map_or(0, |p| lock(p).fired(site))
+    }
+
+    /// Total faults fired across all sites.
+    pub fn total_fired(&self) -> u64 {
+        self.0.as_ref().map_or(0, |p| lock(p).total_fired())
+    }
+
+    /// Runs a closure against the plan (no-op returning `None` when
+    /// disabled).
+    pub fn with_plan<R>(&self, f: impl FnOnce(&FaultPlan) -> R) -> Option<R> {
+        self.0.as_ref().map(|p| f(&lock(p)))
+    }
+}
+
+/// Recover the guard even if a panicking thread poisoned the lock —
+/// fault bookkeeping must survive a failing test.
+fn lock(plan: &Mutex<FaultPlan>) -> std::sync::MutexGuard<'_, FaultPlan> {
+    plan.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer (public domain
+/// constants), enough for deterministic fault sampling.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over bytes, used to fold site names into the sample stream.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut plan = FaultPlan::new(7);
+        for _ in 0..100 {
+            assert_eq!(plan.check(sites::PHL_WRITE), None);
+        }
+        assert_eq!(plan.hits(sites::PHL_WRITE), 100);
+        assert_eq!(plan.total_fired(), 0);
+    }
+
+    #[test]
+    fn triggers_fire_as_specified() {
+        let mut plan = FaultPlan::new(1)
+            .with_rule("a", Trigger::Once(2), FaultKind::Io)
+            .with_rule("b", Trigger::EveryNth(3), FaultKind::Drop)
+            .with_rule("c", Trigger::Window { from: 1, to: 3 }, FaultKind::Unavailable);
+        let a: Vec<bool> = (0..5).map(|_| plan.check("a").is_some()).collect();
+        assert_eq!(a, vec![false, false, true, false, false]);
+        let b: Vec<bool> = (0..7).map(|_| plan.check("b").is_some()).collect();
+        assert_eq!(b, vec![false, false, true, false, false, true, false]);
+        let c: Vec<bool> = (0..4).map(|_| plan.check("c").is_some()).collect();
+        assert_eq!(c, vec![false, true, true, false]);
+        assert_eq!(plan.fired("a"), 1);
+        assert_eq!(plan.fired("b"), 2);
+        assert_eq!(plan.fired("c"), 2);
+        assert_eq!(plan.total_fired(), 5);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let mut plan = FaultPlan::new(1)
+            .with_rule("s", Trigger::Once(0), FaultKind::Drop)
+            .with_rule("s", Trigger::Always, FaultKind::Io);
+        assert_eq!(plan.check("s"), Some(FaultKind::Drop));
+        assert_eq!(plan.check("s"), Some(FaultKind::Io));
+    }
+
+    #[test]
+    fn prob_trigger_is_deterministic_and_plausible() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut plan = FaultPlan::new(seed).with_rule("s", Trigger::Prob(0.25), FaultKind::Io);
+            (0..1000).map(|_| plan.check("s").is_some()).collect()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed must replay identically");
+        assert_ne!(a, run(43), "different seeds must differ");
+        let rate = a.iter().filter(|&&f| f).count() as f64 / 1000.0;
+        assert!((0.15..0.35).contains(&rate), "rate {rate} far from 0.25");
+        // Degenerate probabilities are exact.
+        let mut never = FaultPlan::new(1).with_rule("s", Trigger::Prob(0.0), FaultKind::Io);
+        let mut always = FaultPlan::new(1).with_rule("s", Trigger::Prob(1.0), FaultKind::Io);
+        assert!((0..50).all(|_| never.check("s").is_none()));
+        assert!((0..50).all(|_| always.check("s").is_some()));
+    }
+
+    #[test]
+    fn sites_are_counted_independently() {
+        let mut plan = FaultPlan::new(1).with_rule("a", Trigger::Once(1), FaultKind::Io);
+        assert_eq!(plan.check("b"), None);
+        assert_eq!(plan.check("a"), None);
+        assert_eq!(plan.check("a"), Some(FaultKind::Io));
+        assert_eq!(plan.hits("a"), 2);
+        assert_eq!(plan.hits("b"), 1);
+        assert_eq!(plan.fired_by_site(), vec![("a".to_string(), 1)]);
+    }
+
+    #[test]
+    fn disabled_injector_is_inert() {
+        let inj = FaultInjector::none();
+        assert!(!inj.is_enabled());
+        assert_eq!(inj.check(sites::INDEX_QUERY), None);
+        assert_eq!(inj.total_fired(), 0);
+        assert_eq!(inj.with_plan(|p| p.seed()), None);
+    }
+
+    #[test]
+    fn injector_shares_state_across_clones() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(9).with_rule("s", Trigger::Once(1), FaultKind::Unavailable),
+        );
+        let other = inj.clone();
+        assert_eq!(inj.check("s"), None);
+        assert_eq!(other.check("s"), Some(FaultKind::Unavailable));
+        assert_eq!(inj.fired("s"), 1);
+        assert_eq!(other.total_fired(), 1);
+        assert_eq!(inj.with_plan(|p| p.hits("s")), Some(2));
+    }
+
+    #[test]
+    fn fault_kinds_have_stable_tags() {
+        let tags: Vec<&str> = [
+            FaultKind::Io,
+            FaultKind::Torn,
+            FaultKind::Drop,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::Unavailable,
+        ]
+        .iter()
+        .map(|k| k.as_str())
+        .collect();
+        assert_eq!(tags, vec!["io", "torn", "drop", "duplicate", "reorder", "unavailable"]);
+        assert_eq!(FaultKind::Io.to_string(), "io");
+    }
+}

@@ -1,0 +1,116 @@
+//! Seeded generation of diverse fault schedules for chaos suites.
+
+use crate::plan::{splitmix64, FaultKind, FaultPlan, Trigger};
+use crate::sites;
+
+/// A tiny deterministic stream over SplitMix64.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Generates a randomized — but fully seed-determined — fault plan
+/// over the standard injection sites ([`sites::ALL`]).
+///
+/// Each site is included with probability ~0.7 and receives one rule
+/// with a trigger drawn from `EveryNth`, `Window`, or `Prob`, and a
+/// fault kind appropriate to the site (arrival faults draw from
+/// drop/duplicate/reorder; journal I/O from io/torn; the index and
+/// mix-zone from unavailability). Calling this for seeds `0..n` yields
+/// `n` diverse schedules whose firing patterns replay identically on
+/// every run.
+pub fn randomized_plan(seed: u64) -> FaultPlan {
+    let mut s = Stream(splitmix64(seed ^ 0xC0FF_EE00_DEAD_BEEF));
+    let mut plan = FaultPlan::new(seed);
+    for site in sites::ALL {
+        if s.unit() > 0.7 {
+            continue;
+        }
+        let kind = match site {
+            sites::PHL_WRITE => [FaultKind::Drop, FaultKind::Io][s.below(2) as usize],
+            sites::JOURNAL_IO => [FaultKind::Io, FaultKind::Torn][s.below(2) as usize],
+            sites::ARRIVAL => {
+                [FaultKind::Drop, FaultKind::Duplicate, FaultKind::Reorder][s.below(3) as usize]
+            }
+            _ => FaultKind::Unavailable,
+        };
+        let trigger = match s.below(3) {
+            0 => Trigger::EveryNth(2 + s.below(40)),
+            1 => {
+                let from = s.below(200);
+                Trigger::Window {
+                    from,
+                    to: from + 1 + s.below(30),
+                }
+            }
+            _ => Trigger::Prob(0.02 + 0.2 * s.unit()),
+        };
+        plan.push_rule(site, trigger, kind);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        for seed in 0..16 {
+            assert_eq!(randomized_plan(seed), randomized_plan(seed));
+        }
+        assert_ne!(randomized_plan(1).rules(), randomized_plan(2).rules());
+    }
+
+    #[test]
+    fn seed_sweep_covers_every_site_and_stays_bounded() {
+        let mut sites_seen = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            let plan = randomized_plan(seed);
+            assert!(plan.rules().len() <= sites::ALL.len());
+            for rule in plan.rules() {
+                assert!(sites::ALL.contains(&rule.site.as_str()));
+                sites_seen.insert(rule.site.clone());
+                if let Trigger::Prob(p) = rule.trigger {
+                    assert!((0.0..=0.25).contains(&p));
+                }
+            }
+        }
+        assert_eq!(sites_seen.len(), sites::ALL.len(), "64 seeds must exercise every site");
+    }
+
+    #[test]
+    fn kinds_match_their_sites() {
+        for seed in 0..64 {
+            for rule in randomized_plan(seed).rules().iter() {
+                match rule.site.as_str() {
+                    sites::PHL_WRITE => {
+                        assert!(matches!(rule.kind, FaultKind::Drop | FaultKind::Io))
+                    }
+                    sites::JOURNAL_IO => {
+                        assert!(matches!(rule.kind, FaultKind::Io | FaultKind::Torn))
+                    }
+                    sites::ARRIVAL => assert!(matches!(
+                        rule.kind,
+                        FaultKind::Drop | FaultKind::Duplicate | FaultKind::Reorder
+                    )),
+                    _ => assert_eq!(rule.kind, FaultKind::Unavailable),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! An `io::Write` adapter that injects I/O faults into any byte sink.
+
+use crate::plan::FaultKind;
+use crate::sites;
+use crate::FaultInjector;
+use std::io::{self, Write};
+
+/// Wraps a byte sink and consults a [`FaultInjector`] (site
+/// [`sites::JOURNAL_IO`]) on every `write`:
+///
+/// * [`FaultKind::Io`] — nothing is written; a clean `io::Error` is
+///   returned (the sink is intact, the record is lost).
+/// * [`FaultKind::Torn`] — only the first half of the buffer lands
+///   before the error (models a crash mid-append; the sink now holds
+///   a partial record that `Journal::recover` must truncate).
+/// * Any other kind is treated like [`FaultKind::Io`].
+///
+/// `flush` is never failed: flush faults would be indistinguishable
+/// from write faults one record later, and keeping them separate makes
+/// chaos schedules easier to reason about.
+#[derive(Debug)]
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+    injector: FaultInjector,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner`, injecting at [`sites::JOURNAL_IO`].
+    pub fn new(inner: W, injector: FaultInjector) -> Self {
+        FaultyWriter { inner, injector }
+    }
+
+    /// Consumes the wrapper and returns the sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.injector.check(sites::JOURNAL_IO) {
+            None => self.inner.write(buf),
+            Some(FaultKind::Torn) => {
+                let half = buf.len() / 2;
+                if half > 0 {
+                    // Best effort: if even the torn half fails, the
+                    // injected error below still reports the fault.
+                    let _ = self.inner.write(&buf[..half]);
+                }
+                Err(io::Error::other("injected torn write"))
+            }
+            Some(kind) => Err(io::Error::other(format!("injected {kind} fault"))),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultPlan, Trigger};
+
+    #[test]
+    fn passes_bytes_through_when_no_fault() {
+        let mut w = FaultyWriter::new(Vec::new(), FaultInjector::none());
+        w.write_all(b"hello").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.into_inner(), b"hello");
+    }
+
+    #[test]
+    fn io_fault_loses_the_record_cleanly() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(1).with_rule(sites::JOURNAL_IO, Trigger::Once(1), FaultKind::Io),
+        );
+        let mut w = FaultyWriter::new(Vec::new(), inj.clone());
+        assert!(w.write(b"first\n").is_ok());
+        assert!(w.write(b"second\n").is_err());
+        assert!(w.write(b"third\n").is_ok());
+        assert_eq!(w.into_inner(), b"first\nthird\n");
+        assert_eq!(inj.fired(sites::JOURNAL_IO), 1);
+    }
+
+    #[test]
+    fn torn_fault_leaves_partial_bytes() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(1).with_rule(sites::JOURNAL_IO, Trigger::Once(0), FaultKind::Torn),
+        );
+        let mut w = FaultyWriter::new(Vec::new(), inj);
+        assert!(w.write(b"abcdefgh").is_err());
+        assert_eq!(w.into_inner(), b"abcd", "exactly half the buffer landed");
+    }
+}

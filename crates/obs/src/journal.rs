@@ -125,6 +125,18 @@ impl<W: Write> Journal<W> {
         }
     }
 
+    /// A journal resuming an existing chain: the next append receives
+    /// `next_seq` and chains from `prev_hash`. Used by [`recover`] after
+    /// a crash; callers are responsible for `prev_hash` actually being
+    /// the hash of record `next_seq - 1` in whatever `sink` appends to.
+    pub fn resume(sink: W, next_seq: u64, prev_hash: String) -> Self {
+        Journal {
+            sink,
+            next_seq,
+            prev_hash,
+        }
+    }
+
     /// Appends one event, returning its assigned sequence number.
     pub fn append(&mut self, kind: &str, payload: Json) -> io::Result<u64> {
         let seq = self.next_seq;
@@ -135,10 +147,18 @@ impl<W: Write> Journal<W> {
             seq,
             kind: kind.to_string(),
             payload,
-            prev: std::mem::take(&mut self.prev_hash),
+            // Clone rather than take: on a failed write the journal's
+            // state must be untouched, so a retried append reproduces
+            // byte-identical output and the chain stays verifiable.
+            prev: self.prev_hash.clone(),
             hash: hash.clone(),
         };
-        writeln!(self.sink, "{}", record.to_json())?;
+        // One buffered write per record (not one per JSON fragment): a
+        // record either lands as a unit or tears once, and an appender
+        // over a raw file does one syscall per event instead of hundreds.
+        let mut line = record.to_json().to_string();
+        line.push('\n');
+        self.sink.write_all(line.as_bytes())?;
         self.next_seq = seq + 1;
         self.prev_hash = hash;
         Ok(seq)
@@ -290,6 +310,92 @@ pub fn verify_chain(reader: impl BufRead) -> Result<ChainReport, ChainError> {
     })
 }
 
+/// What [`recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records in the surviving valid prefix.
+    pub valid_records: u64,
+    /// Bytes truncated off the end of the file (0 for a clean journal).
+    pub truncated_bytes: u64,
+    /// Hash of the last surviving record (genesis hash if none).
+    pub head: String,
+}
+
+/// Recovers a journal file after a crash mid-write.
+///
+/// Scans the file line by line, verifying the chain incrementally
+/// (version, sequence, `prev` link, recomputed hash) exactly as
+/// [`verify_chain`] does. The first invalid line — a torn partial
+/// record, garbage bytes, or a record whose chain does not verify —
+/// ends the valid prefix; everything after it is unrecoverable (later
+/// records chain through the bad one) and is truncated off. A final
+/// line without a trailing newline is treated as torn even if it
+/// parses: a complete append always ends in `\n`.
+///
+/// Returns a [`Journal`] positioned to append record `valid_records`
+/// chained from the surviving head, plus a [`RecoveryReport`]. An
+/// empty or missing file recovers to a fresh genesis journal.
+pub fn recover(
+    path: &std::path::Path,
+) -> io::Result<(Journal<std::fs::File>, RecoveryReport)> {
+    use std::io::{Read, Seek};
+
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+
+    let mut prev_hash = GENESIS_HASH.to_string();
+    let mut valid_records = 0u64;
+    let mut valid_end = 0usize; // byte offset one past the last valid record
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+            break; // torn final line: no terminating newline
+        };
+        let line_end = offset + nl;
+        let Ok(line) = std::str::from_utf8(&bytes[offset..line_end]) else {
+            break; // garbage bytes
+        };
+        if line.trim().is_empty() {
+            offset = line_end + 1;
+            valid_end = offset;
+            continue;
+        }
+        let Ok(record) = JournalRecord::parse_line(line) else {
+            break;
+        };
+        let chain_ok = record.version == JOURNAL_VERSION
+            && record.seq == valid_records
+            && record.prev == prev_hash
+            && event_hash(record.seq, &record.kind, &record.payload.to_string(), &record.prev)
+                == record.hash;
+        if !chain_ok {
+            break;
+        }
+        prev_hash = record.hash;
+        valid_records += 1;
+        offset = line_end + 1;
+        valid_end = offset;
+    }
+
+    let truncated_bytes = (bytes.len() - valid_end) as u64;
+    if truncated_bytes > 0 {
+        file.set_len(valid_end as u64)?;
+    }
+    file.seek(std::io::SeekFrom::Start(valid_end as u64))?;
+    let report = RecoveryReport {
+        valid_records,
+        truncated_bytes,
+        head: prev_hash.clone(),
+    };
+    Ok((Journal::resume(file, valid_records, prev_hash), report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +418,40 @@ mod tests {
         assert_eq!(journal.append("a", Json::Null).unwrap(), 0);
         assert_eq!(journal.append("b", Json::Null).unwrap(), 1);
         assert_eq!(journal.next_seq(), 2);
+    }
+
+    /// A sink that rejects writes while `fail` is set, writing nothing.
+    struct Faucet {
+        bytes: Vec<u8>,
+        fail: bool,
+    }
+
+    impl Write for Faucet {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.fail {
+                return Err(io::Error::other("injected"));
+            }
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failed_append_leaves_state_untouched_so_retry_rechains() {
+        let mut journal = Journal::new(Faucet { bytes: Vec::new(), fail: false });
+        journal.append("a", Json::Int(1)).unwrap();
+        journal.sink.fail = true;
+        assert!(journal.append("b", Json::Int(2)).is_err());
+        assert_eq!(journal.next_seq(), 1, "failed append must not advance seq");
+        // The retry after the transient error continues the chain.
+        journal.sink.fail = false;
+        assert_eq!(journal.append("b", Json::Int(2)).unwrap(), 1);
+        journal.append("c", Json::Int(3)).unwrap();
+        let report = verify_chain(&journal.sink.bytes[..]).unwrap();
+        assert_eq!(report.records.len(), 3);
     }
 
     #[test]
@@ -388,5 +528,110 @@ mod tests {
             let record = JournalRecord::parse_line(line).unwrap();
             assert_eq!(record.to_json().to_string(), line);
         }
+    }
+
+    /// A scratch file that cleans up after itself.
+    struct TempPath(std::path::PathBuf);
+
+    impl TempPath {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "hka-journal-{}-{tag}.jsonl",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            TempPath(path)
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    /// Recovers `path`, appends `extra` records, and asserts the file
+    /// then verifies end to end. Returns the recovery report.
+    fn recover_append_verify(path: &std::path::Path, extra: i64) -> RecoveryReport {
+        let (mut journal, report) = recover(path).unwrap();
+        assert_eq!(journal.next_seq(), report.valid_records);
+        for i in 0..extra {
+            journal.append("post.recovery", sample_payload(i)).unwrap();
+        }
+        journal.flush().unwrap();
+        drop(journal);
+        let bytes = std::fs::read(path).unwrap();
+        let chain = verify_chain(&bytes[..]).unwrap();
+        assert_eq!(
+            chain.records.len() as u64,
+            report.valid_records + extra as u64
+        );
+        report
+    }
+
+    #[test]
+    fn recover_truncated_final_line_resumes_chain() {
+        let tmp = TempPath::new("truncated");
+        let full = build_journal(6);
+        // Drop the trailing newline and half of the final record: a
+        // crash mid-append.
+        let text = String::from_utf8(full).unwrap();
+        let last_len = text.lines().last().unwrap().len();
+        let cut = text.len() - 1 - last_len / 2;
+        std::fs::write(&tmp.0, &text.as_bytes()[..cut]).unwrap();
+
+        let report = recover_append_verify(&tmp.0, 3);
+        assert_eq!(report.valid_records, 5);
+        assert!(report.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn recover_torn_garbage_tail_truncates_it() {
+        let tmp = TempPath::new("torn");
+        let mut bytes = build_journal(4);
+        bytes.extend_from_slice(&[0xFF, 0xFE, b'{', b'"', 0x00]);
+        std::fs::write(&tmp.0, &bytes).unwrap();
+
+        let report = recover_append_verify(&tmp.0, 2);
+        assert_eq!(report.valid_records, 4);
+        assert_eq!(report.truncated_bytes, 5);
+    }
+
+    #[test]
+    fn recover_complete_line_with_broken_chain_is_dropped() {
+        let tmp = TempPath::new("badchain");
+        let bytes = build_journal(5);
+        let text = String::from_utf8(bytes).unwrap();
+        // Tamper with the *fourth* record's payload (newline intact):
+        // records 0..=2 survive, 3 fails its hash, 4 is unreachable.
+        let tampered = text.replacen("\"user\":3", "\"user\":30", 1);
+        std::fs::write(&tmp.0, tampered).unwrap();
+
+        let report = recover_append_verify(&tmp.0, 1);
+        assert_eq!(report.valid_records, 3);
+    }
+
+    #[test]
+    fn recover_empty_and_missing_file_start_at_genesis() {
+        let tmp = TempPath::new("empty");
+        // Missing file.
+        let report = recover_append_verify(&tmp.0, 2);
+        assert_eq!(report.valid_records, 0);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(report.head, GENESIS_HASH);
+
+        // Explicitly empty file.
+        std::fs::write(&tmp.0, b"").unwrap();
+        let report = recover_append_verify(&tmp.0, 1);
+        assert_eq!(report.valid_records, 0);
+    }
+
+    #[test]
+    fn recover_clean_journal_is_lossless() {
+        let tmp = TempPath::new("clean");
+        std::fs::write(&tmp.0, build_journal(7)).unwrap();
+        let report = recover_append_verify(&tmp.0, 2);
+        assert_eq!(report.valid_records, 7);
+        assert_eq!(report.truncated_bytes, 0);
     }
 }

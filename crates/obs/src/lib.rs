@@ -27,8 +27,8 @@ pub mod sha256;
 pub mod span;
 
 pub use journal::{
-    event_hash, verify_chain, BoxedJournal, ChainError, ChainReport, Journal, JournalRecord,
-    GENESIS_HASH, JOURNAL_VERSION,
+    event_hash, recover, verify_chain, BoxedJournal, ChainError, ChainReport, Journal,
+    JournalRecord, RecoveryReport, GENESIS_HASH, JOURNAL_VERSION,
 };
 pub use json::Json;
 pub use metrics::{

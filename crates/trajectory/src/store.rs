@@ -31,6 +31,16 @@ impl TrajectoryStore {
         self.total_points += 1;
     }
 
+    /// Records a location update, clamping an out-of-order timestamp
+    /// forward onto the user's latest recorded one instead of
+    /// panicking (see [`Phl::push_clamped`]). Returns `true` when the
+    /// timestamp was clamped.
+    pub fn record_clamped(&mut self, user: UserId, p: StPoint) -> bool {
+        let clamped = self.phls.entry(user).or_default().push_clamped(p);
+        self.total_points += 1;
+        clamped
+    }
+
     /// Registers a user with an empty history (idempotent).
     pub fn ensure_user(&mut self, user: UserId) {
         self.phls.entry(user).or_default();
@@ -91,6 +101,15 @@ mod tests {
         assert_eq!(s.total_points(), 3);
         assert_eq!(s.phl(UserId(1)).unwrap().len(), 2);
         assert!(s.phl(UserId(9)).is_none());
+    }
+
+    #[test]
+    fn record_clamped_tolerates_reordered_updates() {
+        let mut s = TrajectoryStore::new();
+        assert!(!s.record_clamped(UserId(1), sp(0.0, 0.0, 100)));
+        assert!(s.record_clamped(UserId(1), sp(1.0, 0.0, 50)));
+        assert_eq!(s.phl(UserId(1)).unwrap().last().unwrap().t, TimeSec(100));
+        assert_eq!(s.total_points(), 2);
     }
 
     #[test]

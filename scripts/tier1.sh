@@ -21,4 +21,7 @@ cargo test -q --workspace
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== chaos (fixed seeds, fail-closed invariant) =="
+cargo run --release -q --bin hka-sim -- chaos --seeds 8 --seed 1 --days 1
+
 echo "tier-1: OK"

@@ -7,7 +7,16 @@
 //! hka-sim derive   [--seed N] [--user N] [--days N]
 //! hka-sim attack   [--seed N] [--level off|low|medium|high]
 //! hka-sim export   [--seed N] [--days N] --out FILE     # write a trace file
+//! hka-sim chaos    [--seeds N] [--seed N] [--days N] [--commuters N]
+//!                  [--roamers N] [--k N]
 //! ```
+//!
+//! `chaos` drives the simulation under `--seeds` randomized fault
+//! schedules (deterministic per seed: dropped PHL writes, journal I/O
+//! errors and torn writes, unavailable index/mix-zone, perturbed request
+//! arrival) and checks the fail-closed invariant on every request: a
+//! faulted or degraded request is suppressed, never forwarded exact or
+//! under-generalized. Exits non-zero on any violation.
 //!
 //! `simulate` is the default subcommand: `hka-sim --trace-out t.jsonl
 //! --metrics` simulates with defaults. `--trace-out FILE` streams every
@@ -305,10 +314,129 @@ fn cmd_export(flags: HashMap<String, String>) {
     );
 }
 
+/// One chaos run: drive a seeded world through a server with a
+/// randomized fault schedule and count fail-open violations.
+struct ChaosReport {
+    requests: u64,
+    forwarded: u64,
+    suppressed: u64,
+    faults_fired: u64,
+    violations: u64,
+    final_mode: ServerMode,
+}
+
+fn chaos_run(seed: u64, days: i64, commuters: usize, roamers: usize, k: usize) -> ChaosReport {
+    use hka::faults::sites;
+    let world = build_world(seed, days, commuters, roamers);
+    let mut ts = protected_server(&world, k);
+    let injector = FaultInjector::new(randomized_plan(seed));
+    ts.attach_faults(injector.clone());
+    // The journal shares the schedule: journal.io faults surface as real
+    // sink errors (including torn writes) and drive the mode machine.
+    ts.attach_journal(hka::obs::Journal::new(Box::new(FaultyWriter::new(
+        std::io::sink(),
+        injector.clone(),
+    ))
+        as Box<dyn std::io::Write + Send + Sync>));
+
+    // Sites whose faults must fail the in-flight request closed.
+    // journal.io is excluded: the sink is consulted when events are
+    // *logged*, after the forwarding decision; its effect is the mode
+    // machine, which the next request's gate sees.
+    let request_sites = [sites::PHL_WRITE, sites::INDEX_QUERY, sites::MIXZONE];
+    let fired_now = |inj: &FaultInjector| -> u64 { request_sites.iter().map(|s| inj.fired(s)).sum() };
+
+    let mut report = ChaosReport {
+        requests: 0,
+        forwarded: 0,
+        suppressed: 0,
+        faults_fired: 0,
+        violations: 0,
+        final_mode: ServerMode::Normal,
+    };
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => ts.location_update(e.user, e.at),
+            EventKind::Request { service } => {
+                // Arrival perturbation: drop, duplicate, or deliver the
+                // request with a stale (reordered) timestamp.
+                let mut deliveries: Vec<StPoint> = Vec::with_capacity(2);
+                match injector.check(sites::ARRIVAL) {
+                    Some(FaultKind::Drop) => {}
+                    Some(FaultKind::Duplicate) => {
+                        deliveries.push(e.at);
+                        deliveries.push(e.at);
+                    }
+                    Some(FaultKind::Reorder) => {
+                        let mut late = e.at;
+                        late.t = TimeSec(late.t.0.saturating_sub(300));
+                        deliveries.push(late);
+                    }
+                    _ => deliveries.push(e.at),
+                }
+                for at in deliveries {
+                    let mode_before = ts.mode();
+                    let before = fired_now(&injector);
+                    let out = ts.handle_request(e.user, at, ServiceId(service));
+                    let faulted = fired_now(&injector) > before;
+                    report.requests += 1;
+                    let fail_closed = match &out {
+                        RequestOutcome::Suppressed(_) => {
+                            report.suppressed += 1;
+                            true
+                        }
+                        RequestOutcome::Forwarded(req) => {
+                            report.forwarded += 1;
+                            !faulted
+                                && match mode_before {
+                                    ServerMode::Normal => true,
+                                    ServerMode::Degraded => req.context.area() > 0.0,
+                                    ServerMode::ReadOnly => false,
+                                }
+                        }
+                    };
+                    if !fail_closed {
+                        report.violations += 1;
+                    }
+                }
+            }
+        }
+    }
+    report.faults_fired = injector.total_fired();
+    report.final_mode = ts.mode();
+    report
+}
+
+fn cmd_chaos(flags: HashMap<String, String>) {
+    let seeds = get(&flags, "seeds", 16u64);
+    let base = get(&flags, "seed", 1u64);
+    let days = get(&flags, "days", 2i64);
+    let commuters = get(&flags, "commuters", 6usize);
+    let roamers = get(&flags, "roamers", 30usize);
+    let k = get(&flags, "k", 4usize);
+    let mut total_faults = 0u64;
+    let mut total_violations = 0u64;
+    for i in 0..seeds {
+        let seed = base.wrapping_add(i);
+        let r = chaos_run(seed, days, commuters, roamers, k);
+        total_faults += r.faults_fired;
+        total_violations += r.violations;
+        println!(
+            "seed {seed:>5}: {:>5} requests, {:>5} forwarded, {:>5} suppressed, {:>4} faults, mode {:<9} violations {}",
+            r.requests, r.forwarded, r.suppressed, r.faults_fired, r.final_mode, r.violations
+        );
+    }
+    println!("{seeds} schedules, {total_faults} injected faults, {total_violations} fail-open violations");
+    if total_violations > 0 {
+        eprintln!("FAIL: a faulted or degraded request was forwarded");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(first) = args.first() else {
-        eprintln!("usage: hka-sim <simulate|plan|derive|attack|export> [--flags]");
+        eprintln!("usage: hka-sim <simulate|plan|derive|attack|export|chaos> [--flags]");
         std::process::exit(2);
     };
     // A leading flag means the subcommand was omitted: default to `simulate`.
@@ -324,8 +452,9 @@ fn main() {
         "derive" => cmd_derive(flags),
         "attack" => cmd_attack(flags),
         "export" => cmd_export(flags),
+        "chaos" => cmd_chaos(flags),
         other => {
-            eprintln!("unknown command '{other}' (use simulate|plan|derive|attack|export)");
+            eprintln!("unknown command '{other}' (use simulate|plan|derive|attack|export|chaos)");
             std::process::exit(2);
         }
     }

@@ -73,6 +73,7 @@
 //! | [`core`] | the trusted server, Algorithm 1, mix-zones, adversary |
 //! | [`baselines`] | Gruteser–Grunwald cloaking, actual-senders, uniform |
 //! | [`obs`] | metrics, span timers, hash-chained JSONL event journal |
+//! | [`faults`] | deterministic fault injection and chaos schedules |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,6 +81,7 @@
 pub use hka_anonymity as anonymity;
 pub use hka_baselines as baselines;
 pub use hka_core as core;
+pub use hka_faults as faults;
 pub use hka_geo as geo;
 pub use hka_granules as granules;
 pub use hka_lbqid as lbqid;
@@ -99,9 +101,13 @@ pub mod prelude {
     pub use hka_core::planning::{evaluate_deployment, DeploymentReport, PlanningConfig};
     pub use hka_core::{
         algorithm1_first, algorithm1_first_brute, algorithm1_subsequent, Generalization,
-        MixZoneConfig, MixZoneManager, PrivacyIndicator, PrivacyLevel, PrivacyParams,
-        RandomizeConfig, Randomizer, RequestOutcome, RiskAction, SharedTrustedServer, Tolerance,
-        TrustedServer, TsConfig, TsEvent, TsStats, UnlinkDecision,
+        JournalHealth, MixZoneConfig, MixZoneManager, PrivacyIndicator, PrivacyLevel,
+        PrivacyParams, RandomizeConfig, Randomizer, RequestOutcome, RetryPolicy, RiskAction,
+        ServerMode, SharedTrustedServer, Tolerance, TrustedServer, TsConfig, TsError, TsEvent,
+        TsStats, UnlinkDecision,
+    };
+    pub use hka_faults::{
+        randomized_plan, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultyWriter, Trigger,
     };
     pub use hka_geo::{
         DayWindow, Point, Rect, SpaceTimeScale, StBox, StPoint, TimeInterval, TimeSec, DAY, HOUR,

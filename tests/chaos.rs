@@ -1,0 +1,282 @@
+//! Chaos acceptance suite for the robustness layer: randomized fault
+//! schedules must never make the trusted server fail open (forward a
+//! request it should have suppressed), journal outages must walk the
+//! documented Normal → Degraded → ReadOnly mode ladder and recover when
+//! a healthy journal is attached, and a journal file crashed mid-append
+//! must recover to a verifiable chain that new records extend.
+
+use hka::faults::sites;
+use hka::obs;
+use hka::prelude::*;
+use std::io::Write;
+
+fn small_world(seed: u64) -> World {
+    World::generate(&WorldConfig {
+        seed,
+        days: 1,
+        n_commuters: 4,
+        n_roamers: 16,
+        n_poi_regulars: 2,
+        city: CityConfig {
+            width: 2_000.0,
+            height: 2_000.0,
+            ..CityConfig::default()
+        },
+        ..WorldConfig::default()
+    })
+}
+
+fn protected_server(world: &World, k: usize) -> TrustedServer {
+    let mut ts = TrustedServer::new(TsConfig::default());
+    ts.register_service(ServiceId(BACKGROUND_SERVICE), Tolerance::navigation());
+    ts.register_service(ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 10 * MINUTE));
+    let commuters: Vec<UserId> = world.commuters().collect();
+    for agent in &world.agents {
+        let level = if commuters.contains(&agent.user) {
+            PrivacyLevel::Custom(PrivacyParams {
+                k,
+                theta: 0.5,
+                k_init: 2 * k,
+                k_decrement: 1,
+                on_risk: RiskAction::Forward,
+            })
+        } else {
+            PrivacyLevel::Off
+        };
+        ts.register_user(agent.user, level);
+    }
+    for &u in &commuters {
+        ts.add_lbqid(
+            u,
+            Lbqid::example_commute(world.home_of(u).unwrap(), world.office_of(u).unwrap()),
+        );
+    }
+    ts
+}
+
+struct ChaosOutcome {
+    requests: u64,
+    faults_fired: u64,
+    violations: u64,
+}
+
+/// Drives one seeded world under one randomized fault schedule and
+/// checks the fail-closed invariant on every delivered request.
+fn chaos_run(seed: u64) -> ChaosOutcome {
+    let world = small_world(seed);
+    let mut ts = protected_server(&world, 4);
+    let injector = FaultInjector::new(randomized_plan(seed));
+    ts.attach_faults(injector.clone());
+    ts.attach_journal(obs::Journal::new(Box::new(FaultyWriter::new(
+        std::io::sink(),
+        injector.clone(),
+    )) as Box<dyn Write + Send + Sync>));
+
+    // journal.io is excluded: the sink is consulted when the decision is
+    // *logged*, after forwarding; its effect (the mode ladder) gates the
+    // next request, which the mode_before check below covers.
+    let request_sites = [sites::PHL_WRITE, sites::INDEX_QUERY, sites::MIXZONE];
+    let fired_now =
+        |inj: &FaultInjector| -> u64 { request_sites.iter().map(|s| inj.fired(s)).sum() };
+
+    let mut out = ChaosOutcome {
+        requests: 0,
+        faults_fired: 0,
+        violations: 0,
+    };
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => ts.location_update(e.user, e.at),
+            EventKind::Request { service } => {
+                let mut deliveries: Vec<StPoint> = Vec::with_capacity(2);
+                match injector.check(sites::ARRIVAL) {
+                    Some(FaultKind::Drop) => {}
+                    Some(FaultKind::Duplicate) => {
+                        deliveries.push(e.at);
+                        deliveries.push(e.at);
+                    }
+                    Some(FaultKind::Reorder) => {
+                        let mut late = e.at;
+                        late.t = TimeSec(late.t.0.saturating_sub(300));
+                        deliveries.push(late);
+                    }
+                    _ => deliveries.push(e.at),
+                }
+                for at in deliveries {
+                    let mode_before = ts.mode();
+                    let before = fired_now(&injector);
+                    let outcome = ts.handle_request(e.user, at, ServiceId(service));
+                    let faulted = fired_now(&injector) > before;
+                    out.requests += 1;
+                    let fail_closed = match &outcome {
+                        RequestOutcome::Suppressed(_) => true,
+                        RequestOutcome::Forwarded(req) => {
+                            !faulted
+                                && match mode_before {
+                                    ServerMode::Normal => true,
+                                    ServerMode::Degraded => req.context.area() > 0.0,
+                                    ServerMode::ReadOnly => false,
+                                }
+                        }
+                    };
+                    if !fail_closed {
+                        out.violations += 1;
+                    }
+                }
+            }
+        }
+    }
+    out.faults_fired = injector.total_fired();
+    out
+}
+
+#[test]
+fn thirty_two_seeded_schedules_never_fail_open() {
+    let mut total_faults = 0u64;
+    let mut total_requests = 0u64;
+    for seed in 1..=32u64 {
+        let r = chaos_run(seed);
+        assert_eq!(
+            r.violations, 0,
+            "seed {seed}: a faulted or degraded request was forwarded"
+        );
+        total_faults += r.faults_fired;
+        total_requests += r.requests;
+    }
+    assert!(
+        total_faults > 100,
+        "schedules injected too few faults ({total_faults}) to exercise anything"
+    );
+    assert!(total_requests > 1_000, "worlds produced too few requests");
+}
+
+#[test]
+fn journal_outage_walks_the_mode_ladder_and_recovers() {
+    let mut ts = TrustedServer::new(TsConfig::default());
+    ts.register_service(ServiceId(1), Tolerance::navigation());
+    ts.register_user(UserId(1), PrivacyLevel::Off);
+
+    // Every journal write fails: the first event degrades the server and
+    // the escalation (each event is itself a write attempt) takes it down.
+    let broken = FaultInjector::new(FaultPlan::new(5).with_rule(
+        sites::JOURNAL_IO,
+        Trigger::Always,
+        FaultKind::Io,
+    ));
+    ts.attach_journal_with(
+        obs::Journal::new(Box::new(FaultyWriter::new(std::io::sink(), broken))
+            as Box<dyn Write + Send + Sync>),
+        RetryPolicy {
+            attempts: 1,
+            max_failures: 2,
+            backoff_base: 0,
+        },
+    );
+    assert_eq!(ts.mode(), ServerMode::Normal);
+
+    for t in 1..=6i64 {
+        let at = StPoint::xyt(100.0, 100.0, TimeSec(600 * t));
+        ts.location_update(UserId(1), at);
+        let _ = ts.handle_request(UserId(1), at, ServiceId(1));
+    }
+    assert_eq!(ts.mode(), ServerMode::ReadOnly);
+    assert_eq!(ts.journal_health(), JournalHealth::Down);
+
+    // Read-only means mutations are refused and requests are suppressed.
+    assert!(matches!(
+        ts.try_register_user(UserId(9), PrivacyLevel::Off),
+        Err(TsError::Degraded)
+    ));
+    let at = StPoint::xyt(100.0, 100.0, TimeSec(4_200));
+    assert!(matches!(
+        ts.handle_request(UserId(1), at, ServiceId(1)),
+        RequestOutcome::Suppressed(_)
+    ));
+
+    // A fresh healthy journal restores normal operation immediately.
+    ts.attach_journal(obs::Journal::new(
+        Box::new(Vec::new()) as Box<dyn Write + Send + Sync>
+    ));
+    assert_eq!(ts.mode(), ServerMode::Normal);
+    let at = StPoint::xyt(100.0, 100.0, TimeSec(4_800));
+    assert!(matches!(
+        ts.handle_request(UserId(1), at, ServiceId(1)),
+        RequestOutcome::Forwarded(_)
+    ));
+
+    // The ladder was journaled in order: Normal → Degraded → ReadOnly →
+    // Normal again.
+    let ladder: Vec<(ServerMode, ServerMode)> = ts
+        .log()
+        .events()
+        .filter_map(|e| match e {
+            TsEvent::ModeChanged { from, to, .. } => Some((*from, *to)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        ladder,
+        vec![
+            (ServerMode::Normal, ServerMode::Degraded),
+            (ServerMode::Degraded, ServerMode::ReadOnly),
+            (ServerMode::ReadOnly, ServerMode::Normal),
+        ]
+    );
+    assert_eq!(ts.log().stats().mode_changes, 3);
+}
+
+#[test]
+fn crashed_file_journal_recovers_and_extends_a_verified_chain() {
+    let dir = std::env::temp_dir().join(format!("hka-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+
+    // Run a real pipeline into a file journal whose sink tears one write
+    // mid-append (models a crash), then keeps going: everything after
+    // the tear is unrecoverable garbage from the chain's point of view.
+    {
+        let world = small_world(11);
+        let mut ts = protected_server(&world, 3);
+        let file = std::fs::File::create(&path).unwrap();
+        let crashy = FaultInjector::new(FaultPlan::new(11).with_rule(
+            sites::JOURNAL_IO,
+            Trigger::Once(12),
+            FaultKind::Torn,
+        ));
+        ts.attach_journal_with(
+            obs::Journal::new(
+                Box::new(FaultyWriter::new(file, crashy)) as Box<dyn Write + Send + Sync>
+            ),
+            RetryPolicy {
+                attempts: 1,
+                max_failures: 64,
+                backoff_base: 1,
+            },
+        );
+        for e in &world.events {
+            match e.kind {
+                EventKind::Location => ts.location_update(e.user, e.at),
+                EventKind::Request { service } => {
+                    let _ = ts.handle_request(e.user, e.at, ServiceId(service));
+                }
+            }
+        }
+        ts.flush_journal().unwrap();
+    }
+
+    // Recovery truncates the torn tail and resumes the hash chain.
+    let (mut journal, report) = obs::recover(&path).unwrap();
+    assert!(report.valid_records > 0, "no intact prefix survived");
+    assert!(report.truncated_bytes > 0, "the tear left nothing to drop");
+    journal
+        .append("chaos.recovered", obs::Json::obj([("ok", obs::Json::Bool(true))]))
+        .unwrap();
+    journal.flush().unwrap();
+    drop(journal);
+
+    let file = std::fs::File::open(&path).unwrap();
+    let chain = obs::verify_chain(std::io::BufReader::new(file)).expect("recovered chain verifies");
+    assert_eq!(chain.records.len() as u64, report.valid_records + 1);
+    assert_eq!(chain.records.last().unwrap().kind, "chaos.recovered");
+    std::fs::remove_file(&path).ok();
+}
