@@ -1,0 +1,96 @@
+//! `hka-audit` — replay and audit a hash-chained journal offline.
+//!
+//! ```text
+//! hka-audit --journal ts.journal [--json audit.json] [--quiet]
+//!           [--space-tol M2] [--time-tol SECS]
+//! ```
+//!
+//! Exit status: 0 clean, 1 chain verification failed, 2 chain intact
+//! but Theorem-1 / fail-closed violations or schema issues found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hka_audit::{replay_file, AuditConfig};
+
+struct Args {
+    journal: PathBuf,
+    json_out: Option<PathBuf>,
+    quiet: bool,
+    cfg: AuditConfig,
+}
+
+const USAGE: &str = "usage: hka-audit --journal FILE [--json FILE] [--quiet] \
+                     [--space-tol M2] [--time-tol SECS]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut journal = None;
+    let mut json_out = None;
+    let mut quiet = false;
+    let mut cfg = AuditConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--journal" => journal = Some(PathBuf::from(value("--journal")?)),
+            "--json" => json_out = Some(PathBuf::from(value("--json")?)),
+            "--quiet" => quiet = true,
+            "--space-tol" => {
+                let v = value("--space-tol")?;
+                cfg.space_tol =
+                    Some(v.parse().map_err(|_| format!("--space-tol: bad number '{v}'"))?);
+            }
+            "--time-tol" => {
+                let v = value("--time-tol")?;
+                cfg.time_tol =
+                    Some(v.parse().map_err(|_| format!("--time-tol: bad number '{v}'"))?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    let journal = journal.ok_or_else(|| format!("--journal is required\n{USAGE}"))?;
+    Ok(Args { journal, json_out, quiet, cfg })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hka-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match replay_file(&args.journal, args.cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hka-audit: cannot read {}: {e}", args.journal.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json_out {
+        if let Err(e) = std::fs::write(path, outcome.to_json().to_string() + "\n") {
+            eprintln!("hka-audit: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !args.quiet {
+        print!("{}", outcome.render());
+    }
+
+    if !outcome.chain.verified() {
+        ExitCode::from(1)
+    } else if outcome.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,327 @@
+//! Decoding journal records into the audit event vocabulary.
+//!
+//! The decoder works from the on-disk payload schema alone (kind tags
+//! and field names as written by `hka-core`'s `TsEvent::payload`), not
+//! from the server's types: the auditor is a second, independent
+//! implementation of the schema, which is exactly what makes it a drift
+//! guard. A known kind with missing or mistyped required fields decodes
+//! to an error; an unknown kind is tolerated and counted (forward
+//! compatibility within a journal version: fields and kinds may be
+//! added, never changed or removed).
+
+use hka_obs::{Json, JournalRecord};
+
+/// Server operating mode as journaled in `ts.mode_changed` records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Mode {
+    /// Full service.
+    Normal,
+    /// Journal writes failing: only demonstrably protected requests flow.
+    Degraded,
+    /// Journal down: nothing flows.
+    ReadOnly,
+}
+
+impl Mode {
+    /// Parses the on-disk mode string.
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s {
+            "normal" => Some(Mode::Normal),
+            "degraded" => Some(Mode::Degraded),
+            "read_only" => Some(Mode::ReadOnly),
+            _ => None,
+        }
+    }
+
+    /// The on-disk mode string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Normal => "normal",
+            Mode::Degraded => "degraded",
+            Mode::ReadOnly => "read_only",
+        }
+    }
+}
+
+/// One journal record decoded for analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditEvent {
+    /// A request went out to a service provider.
+    Forwarded {
+        /// Issuing user.
+        user: u64,
+        /// Request instant (seconds).
+        at: i64,
+        /// Area of the disclosed context, m² (0 for exact points).
+        area: f64,
+        /// Duration of the disclosed context, seconds.
+        duration: i64,
+        /// Whether the context was generalized by Algorithm 1.
+        generalized: bool,
+        /// Whether the generalization met full HK-anonymity.
+        hk_ok: bool,
+        /// Service class (absent in pre-audit v1 journals).
+        service: Option<u64>,
+        /// Requested k after the k′ schedule (absent in older journals).
+        k_req: Option<u64>,
+        /// Achieved anonymity-set size (absent in older journals).
+        k_got: Option<u64>,
+        /// Matched LBQID name (null/absent for non-pattern forwards).
+        lbqid: Option<String>,
+    },
+    /// A request was suppressed.
+    Suppressed {
+        /// Issuing user.
+        user: u64,
+        /// Request instant.
+        at: i64,
+        /// On-disk reason string (`mix_zone`, `risk_policy`, `degraded`).
+        reason: String,
+        /// Service class (absent in older journals).
+        service: Option<u64>,
+    },
+    /// A successful unlink changed the user's pseudonym.
+    PseudonymChanged {
+        /// The user.
+        user: u64,
+        /// When.
+        at: i64,
+    },
+    /// Generalization failed and unlinking was infeasible.
+    AtRisk {
+        /// The user.
+        user: u64,
+        /// When.
+        at: i64,
+        /// LBQID concerned.
+        lbqid: String,
+    },
+    /// A full LBQID match completed under one pseudonym.
+    LbqidMatched {
+        /// The user.
+        user: u64,
+        /// When.
+        at: i64,
+        /// The LBQID.
+        lbqid: String,
+    },
+    /// The server's operating mode changed.
+    ModeChanged {
+        /// When.
+        at: i64,
+        /// Mode left behind.
+        from: Mode,
+        /// Mode entered.
+        to: Mode,
+    },
+    /// `Journal::recover` truncated a crashed file.
+    JournalRecovered {
+        /// Bytes dropped off the torn tail.
+        truncated_bytes: u64,
+        /// Records in the surviving prefix.
+        valid_records: u64,
+    },
+    /// A kind this auditor does not know — tolerated and counted.
+    Unknown,
+}
+
+fn req_int(p: &Json, kind: &str, name: &str) -> Result<i64, String> {
+    p.get(name)
+        .and_then(Json::as_int)
+        .ok_or_else(|| format!("{kind}: missing or mistyped '{name}'"))
+}
+
+fn req_u64(p: &Json, kind: &str, name: &str) -> Result<u64, String> {
+    let v = req_int(p, kind, name)?;
+    u64::try_from(v).map_err(|_| format!("{kind}: '{name}' is negative"))
+}
+
+fn req_f64(p: &Json, kind: &str, name: &str) -> Result<f64, String> {
+    p.get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{kind}: missing or mistyped '{name}'"))
+}
+
+fn req_bool(p: &Json, kind: &str, name: &str) -> Result<bool, String> {
+    p.get(name)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("{kind}: missing or mistyped '{name}'"))
+}
+
+fn req_str(p: &Json, kind: &str, name: &str) -> Result<String, String> {
+    p.get(name)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{kind}: missing or mistyped '{name}'"))
+}
+
+fn opt_u64(p: &Json, name: &str) -> Option<u64> {
+    p.get(name).and_then(Json::as_int).and_then(|v| u64::try_from(v).ok())
+}
+
+/// Decodes one verified journal record. `Err` means a *known* kind did
+/// not carry its required v1 fields — schema drift the audit must
+/// surface, not paper over.
+pub fn decode(record: &JournalRecord) -> Result<AuditEvent, String> {
+    let p = &record.payload;
+    let kind = record.kind.as_str();
+    match kind {
+        "ts.forwarded" => {
+            let x_min = req_f64(p, kind, "x_min")?;
+            let y_min = req_f64(p, kind, "y_min")?;
+            let x_max = req_f64(p, kind, "x_max")?;
+            let y_max = req_f64(p, kind, "y_max")?;
+            let t_start = req_int(p, kind, "t_start")?;
+            let t_end = req_int(p, kind, "t_end")?;
+            Ok(AuditEvent::Forwarded {
+                user: req_u64(p, kind, "user")?,
+                at: req_int(p, kind, "at")?,
+                area: (x_max - x_min) * (y_max - y_min),
+                duration: t_end - t_start,
+                generalized: req_bool(p, kind, "generalized")?,
+                hk_ok: req_bool(p, kind, "hk_ok")?,
+                service: opt_u64(p, "service"),
+                k_req: opt_u64(p, "k_req"),
+                k_got: opt_u64(p, "k_got"),
+                lbqid: p.get("lbqid").and_then(Json::as_str).map(str::to_string),
+            })
+        }
+        "ts.suppressed" => Ok(AuditEvent::Suppressed {
+            user: req_u64(p, kind, "user")?,
+            at: req_int(p, kind, "at")?,
+            reason: req_str(p, kind, "reason")?,
+            service: opt_u64(p, "service"),
+        }),
+        "ts.pseudonym_changed" => Ok(AuditEvent::PseudonymChanged {
+            user: req_u64(p, kind, "user")?,
+            at: req_int(p, kind, "at")?,
+        }),
+        "ts.at_risk" => Ok(AuditEvent::AtRisk {
+            user: req_u64(p, kind, "user")?,
+            at: req_int(p, kind, "at")?,
+            lbqid: req_str(p, kind, "lbqid")?,
+        }),
+        "ts.lbqid_matched" => Ok(AuditEvent::LbqidMatched {
+            user: req_u64(p, kind, "user")?,
+            at: req_int(p, kind, "at")?,
+            lbqid: req_str(p, kind, "lbqid")?,
+        }),
+        "ts.mode_changed" => {
+            let from = req_str(p, kind, "from")?;
+            let to = req_str(p, kind, "to")?;
+            Ok(AuditEvent::ModeChanged {
+                at: req_int(p, kind, "at")?,
+                from: Mode::parse(&from)
+                    .ok_or_else(|| format!("{kind}: unknown mode '{from}'"))?,
+                to: Mode::parse(&to).ok_or_else(|| format!("{kind}: unknown mode '{to}'"))?,
+            })
+        }
+        "journal.recovered" => Ok(AuditEvent::JournalRecovered {
+            truncated_bytes: req_u64(p, kind, "truncated_bytes")?,
+            valid_records: req_u64(p, kind, "valid_records")?,
+        }),
+        _ => Ok(AuditEvent::Unknown),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: &str, payload: Json) -> JournalRecord {
+        JournalRecord {
+            version: 1,
+            seq: 0,
+            kind: kind.to_string(),
+            payload,
+            prev: String::new(),
+            hash: String::new(),
+        }
+    }
+
+    #[test]
+    fn forwarded_decodes_area_and_optional_audit_fields() {
+        let payload = Json::obj([
+            ("user", Json::Int(7)),
+            ("at", Json::Int(100)),
+            ("x_min", Json::Num(0.0)),
+            ("y_min", Json::Num(0.0)),
+            ("x_max", Json::Num(10.0)),
+            ("y_max", Json::Num(20.0)),
+            ("t_start", Json::Int(90)),
+            ("t_end", Json::Int(110)),
+            ("generalized", Json::Bool(true)),
+            ("hk_ok", Json::Bool(true)),
+            ("service", Json::Int(2)),
+            ("k_req", Json::Int(5)),
+            ("k_got", Json::Int(5)),
+            ("lbqid", Json::from("commute")),
+        ]);
+        match decode(&record("ts.forwarded", payload)).unwrap() {
+            AuditEvent::Forwarded {
+                user,
+                area,
+                duration,
+                service,
+                k_req,
+                lbqid,
+                ..
+            } => {
+                assert_eq!(user, 7);
+                assert_eq!(area, 200.0);
+                assert_eq!(duration, 20);
+                assert_eq!(service, Some(2));
+                assert_eq!(k_req, Some(5));
+                assert_eq!(lbqid.as_deref(), Some("commute"));
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forwarded_without_audit_fields_still_decodes() {
+        // A journal written before the audit fields existed (same v1
+        // schema, additive fields): required fields suffice.
+        let payload = Json::obj([
+            ("user", Json::Int(1)),
+            ("at", Json::Int(0)),
+            ("x_min", Json::Num(1.0)),
+            ("y_min", Json::Num(1.0)),
+            ("x_max", Json::Num(1.0)),
+            ("y_max", Json::Num(1.0)),
+            ("t_start", Json::Int(0)),
+            ("t_end", Json::Int(0)),
+            ("generalized", Json::Bool(false)),
+            ("hk_ok", Json::Bool(true)),
+        ]);
+        match decode(&record("ts.forwarded", payload)).unwrap() {
+            AuditEvent::Forwarded { service, k_req, k_got, lbqid, .. } => {
+                assert_eq!((service, k_req, k_got, lbqid), (None, None, None, None));
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_field_is_a_schema_issue() {
+        let payload = Json::obj([("at", Json::Int(0))]);
+        let err = decode(&record("ts.suppressed", payload)).unwrap_err();
+        assert!(err.contains("user"), "error names the field: {err}");
+    }
+
+    #[test]
+    fn unknown_kind_is_tolerated() {
+        assert_eq!(
+            decode(&record("ts.some_future_thing", Json::Null)).unwrap(),
+            AuditEvent::Unknown
+        );
+    }
+
+    #[test]
+    fn mode_strings_round_trip() {
+        for m in [Mode::Normal, Mode::Degraded, Mode::ReadOnly] {
+            assert_eq!(Mode::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Mode::parse("sideways"), None);
+    }
+}

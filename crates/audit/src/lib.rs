@@ -1,0 +1,354 @@
+//! Offline audit of the trusted server's hash-chained journal.
+//!
+//! `hka-obs` gives the pipeline a tamper-evident record of every
+//! decision; this crate is the consumer that turns the record into
+//! analysis. [`replay`] streams a journal through
+//! [`hka_obs::JournalReader`] — verifying the SHA-256 chain as it goes —
+//! and reconstructs:
+//!
+//! * **per-user anonymity timelines** ([`UserTimeline`]): k over time,
+//!   generalization area/duration, suppressions, unlink and at-risk
+//!   events;
+//! * **the mode ladder** ([`ModeTransition`]): every journaled
+//!   Normal ⇄ Degraded ⇄ ReadOnly transition, checked for consistency;
+//! * **violations** ([`Violation`]): Theorem-1 bookkeeping breaks
+//!   (unexplained sub-k clamps) and fail-closed breaks (forwards under
+//!   degraded/read-only modes);
+//! * **trade-off tables** ([`ServiceRow`], [`LbqidRow`]): the paper's
+//!   QoS vs degree-of-anonymity vs unlink-frequency triangle, per
+//!   service class and per LBQID.
+//!
+//! The decoder works from the on-disk v1 schema alone (it depends only
+//! on `hka-obs`, not on the server), so it doubles as a drift guard:
+//! a journal the server writes that the auditor cannot read is a bug by
+//! construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod report;
+pub mod timeline;
+
+pub use event::{AuditEvent, Mode};
+pub use report::{AuditOutcome, ChainSummary};
+pub use timeline::{
+    AuditConfig, Auditor, KSample, LbqidRow, ModeTransition, ServiceRow, Totals, UserTimeline,
+    Violation, ViolationKind,
+};
+
+use std::io::BufRead;
+use std::path::Path;
+
+use hka_obs::JournalReader;
+
+/// Replays a journal: verifies the chain record by record and folds
+/// every verified record into the audit state. A chain failure stops
+/// the replay — everything after the first bad record chains through it
+/// and cannot be trusted — and is reported in the outcome rather than
+/// returned as an error, so a tampered journal still yields the
+/// analysis of its valid prefix.
+pub fn replay(input: impl BufRead, cfg: AuditConfig) -> AuditOutcome {
+    let mut reader = JournalReader::new(input);
+    let mut auditor = Auditor::new(cfg);
+    let mut error = None;
+    for record in reader.by_ref() {
+        match record {
+            Ok(r) => auditor.observe(&r),
+            Err(e) => {
+                error = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    auditor.finish(ChainSummary {
+        records: reader.records_read(),
+        head: reader.head().to_string(),
+        error,
+    })
+}
+
+/// [`replay`] over a journal file on disk.
+pub fn replay_file(path: &Path, cfg: AuditConfig) -> std::io::Result<AuditOutcome> {
+    let file = std::fs::File::open(path)?;
+    Ok(replay(std::io::BufReader::new(file), cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_obs::{Journal, Json};
+
+    /// Builds a journal in memory from `(kind, payload)` pairs.
+    fn journal_of(events: &[(&str, Json)]) -> Vec<u8> {
+        let mut j = Journal::new(Vec::new());
+        for (kind, payload) in events {
+            j.append(kind, payload.clone()).unwrap();
+        }
+        j.into_inner()
+    }
+
+    fn fwd(user: i64, at: i64, generalized: bool, hk_ok: bool, k_req: i64, k_got: i64) -> Json {
+        let side = if generalized { 100.0 } else { 0.0 };
+        Json::obj([
+            ("user", Json::Int(user)),
+            ("at", Json::Int(at)),
+            ("x_min", Json::Num(0.0)),
+            ("y_min", Json::Num(0.0)),
+            ("x_max", Json::Num(side)),
+            ("y_max", Json::Num(side)),
+            ("t_start", Json::Int(at - 30)),
+            ("t_end", Json::Int(at + 30)),
+            ("generalized", Json::Bool(generalized)),
+            ("hk_ok", Json::Bool(hk_ok)),
+            ("service", Json::Int(1)),
+            ("k_req", Json::Int(k_req)),
+            ("k_got", Json::Int(k_got)),
+            (
+                "lbqid",
+                if generalized { Json::from("commute") } else { Json::Null },
+            ),
+        ])
+    }
+
+    fn mode_change(at: i64, from: &str, to: &str) -> Json {
+        Json::obj([
+            ("at", Json::Int(at)),
+            ("from", Json::from(from)),
+            ("to", Json::from(to)),
+        ])
+    }
+
+    #[test]
+    fn clean_replay_builds_timelines_and_tables() {
+        let bytes = journal_of(&[
+            ("ts.forwarded", fwd(1, 100, true, true, 5, 5)),
+            ("ts.forwarded", fwd(1, 200, true, true, 4, 6)),
+            (
+                "ts.suppressed",
+                Json::obj([
+                    ("user", Json::Int(2)),
+                    ("at", Json::Int(150)),
+                    ("reason", Json::from("mix_zone")),
+                    ("service", Json::Int(1)),
+                ]),
+            ),
+            (
+                "ts.lbqid_matched",
+                Json::obj([
+                    ("user", Json::Int(1)),
+                    ("at", Json::Int(200)),
+                    ("lbqid", Json::from("commute")),
+                ]),
+            ),
+        ]);
+        let out = replay(&bytes[..], AuditConfig::default());
+        assert!(out.ok(), "violations: {:?}", out.violations);
+        assert!(out.chain.verified());
+        assert_eq!(out.chain.records, 4);
+        assert_eq!(out.totals.forwarded(), 2);
+        assert_eq!(out.totals.requests(), 3);
+        assert_eq!(out.totals.lbqid_matches, 1);
+
+        let u1 = out.users.iter().find(|u| u.user == 1).unwrap();
+        assert_eq!(
+            u1.k_samples,
+            vec![
+                KSample { at: 100, k_req: 5, k_got: 5 },
+                KSample { at: 200, k_req: 4, k_got: 6 },
+            ]
+        );
+        assert_eq!(u1.min_k, Some(5));
+        assert_eq!(u1.mean_area(), 10_000.0);
+        assert_eq!(u1.mean_duration(), 60.0);
+
+        let svc = out.services.iter().find(|s| s.service == 1).unwrap();
+        assert_eq!(svc.forwarded(), 2);
+        assert_eq!(svc.suppressed, 1);
+        assert_eq!(svc.mean_k_req(), 4.5);
+        let lb = out.lbqids.iter().find(|l| l.lbqid == "commute").unwrap();
+        assert_eq!(lb.forwarded_ok, 2);
+        assert_eq!(lb.matches, 1);
+    }
+
+    #[test]
+    fn clamp_after_at_risk_is_explained_without_is_violation() {
+        // Clamp preceded by an at-risk notification: Theorem-1 honoured.
+        let explained = journal_of(&[
+            (
+                "ts.at_risk",
+                Json::obj([
+                    ("user", Json::Int(1)),
+                    ("at", Json::Int(90)),
+                    ("lbqid", Json::from("commute")),
+                ]),
+            ),
+            ("ts.forwarded", fwd(1, 100, true, false, 5, 2)),
+        ]);
+        let out = replay(&explained[..], AuditConfig::default());
+        assert!(out.ok(), "violations: {:?}", out.violations);
+        let u = &out.users[0];
+        assert_eq!(u.at_risk_windows, vec![(90, None)]);
+        assert_eq!(u.forwarded_clamped, 1);
+
+        // The same clamp with no at-risk anywhere: violation.
+        let unexplained = journal_of(&[("ts.forwarded", fwd(1, 100, true, false, 5, 2))]);
+        let out = replay(&unexplained[..], AuditConfig::default());
+        assert!(!out.ok());
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].kind, ViolationKind::UnexplainedClamp);
+        assert_eq!(out.violations[0].user, Some(1));
+    }
+
+    #[test]
+    fn pseudonym_change_closes_the_at_risk_window() {
+        let bytes = journal_of(&[
+            (
+                "ts.at_risk",
+                Json::obj([
+                    ("user", Json::Int(1)),
+                    ("at", Json::Int(50)),
+                    ("lbqid", Json::from("commute")),
+                ]),
+            ),
+            (
+                "ts.pseudonym_changed",
+                Json::obj([
+                    ("user", Json::Int(1)),
+                    ("old", Json::Int(10)),
+                    ("new", Json::Int(11)),
+                    ("at", Json::Int(60)),
+                ]),
+            ),
+            // A clamp *after* the window closed is unexplained again.
+            ("ts.forwarded", fwd(1, 100, true, false, 5, 2)),
+        ]);
+        let out = replay(&bytes[..], AuditConfig::default());
+        let u = &out.users[0];
+        assert_eq!(u.at_risk_windows, vec![(50, Some(60))]);
+        assert_eq!(u.unlinks, vec![60]);
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].kind, ViolationKind::UnexplainedClamp);
+    }
+
+    #[test]
+    fn forwards_under_degraded_and_read_only_modes_are_violations() {
+        let bytes = journal_of(&[
+            ("ts.mode_changed", mode_change(10, "normal", "degraded")),
+            // Exact forward while degraded: fail-closed broken.
+            ("ts.forwarded", fwd(1, 20, false, true, 0, 0)),
+            // Protected forward while degraded: allowed.
+            ("ts.forwarded", fwd(1, 30, true, true, 5, 5)),
+            ("ts.mode_changed", mode_change(40, "degraded", "read_only")),
+            // Anything while read-only: broken.
+            ("ts.forwarded", fwd(1, 50, true, true, 5, 5)),
+        ]);
+        let out = replay(&bytes[..], AuditConfig::default());
+        let kinds: Vec<ViolationKind> = out.violations.iter().map(|v| v.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ViolationKind::ForwardWhileDegraded,
+                ViolationKind::ForwardWhileReadOnly,
+            ]
+        );
+        assert!(out.mode_consistent);
+        assert_eq!(out.mode_transitions.len(), 2);
+    }
+
+    #[test]
+    fn inconsistent_mode_ladder_is_flagged() {
+        let bytes = journal_of(&[
+            ("ts.mode_changed", mode_change(10, "normal", "degraded")),
+            // Claims to come from normal, but the journal said degraded.
+            ("ts.mode_changed", mode_change(20, "normal", "read_only")),
+        ]);
+        let out = replay(&bytes[..], AuditConfig::default());
+        assert!(!out.mode_consistent);
+        assert_eq!(out.violations[0].kind, ViolationKind::ModeLadderGap);
+    }
+
+    #[test]
+    fn tampered_journal_reports_chain_error_and_keeps_prefix() {
+        let bytes = journal_of(&[
+            ("ts.forwarded", fwd(1, 100, true, true, 5, 5)),
+            ("ts.forwarded", fwd(2, 200, true, true, 5, 5)),
+            ("ts.forwarded", fwd(3, 300, true, true, 5, 5)),
+        ]);
+        let text = String::from_utf8(bytes).unwrap();
+        let tampered = text.replacen("\"user\":2", "\"user\":9", 1);
+        let out = replay(tampered.as_bytes(), AuditConfig::default());
+        assert!(!out.ok());
+        assert!(!out.chain.verified());
+        assert_eq!(out.chain.records, 1, "only the prefix before the tamper");
+        assert_eq!(out.totals.forwarded(), 1);
+        assert!(out.chain.error.as_deref().unwrap().contains("hash"));
+    }
+
+    #[test]
+    fn schema_drift_is_surfaced_not_ignored() {
+        // A known kind missing a required field fails the audit...
+        let bytes = journal_of(&[(
+            "ts.forwarded",
+            Json::obj([("user", Json::Int(1)), ("at", Json::Int(0))]),
+        )]);
+        let out = replay(&bytes[..], AuditConfig::default());
+        assert!(!out.ok());
+        assert_eq!(out.schema_issues.len(), 1);
+
+        // ...while an unknown kind is tolerated and counted.
+        let bytes = journal_of(&[("ts.future", Json::obj([("x", Json::Int(1))]))]);
+        let out = replay(&bytes[..], AuditConfig::default());
+        assert!(out.ok());
+        assert_eq!(out.totals.unknown_kinds, 1);
+    }
+
+    #[test]
+    fn recovery_marker_is_reported() {
+        let bytes = journal_of(&[(
+            "journal.recovered",
+            Json::obj([
+                ("truncated_bytes", Json::Int(57)),
+                ("valid_records", Json::Int(12)),
+            ]),
+        )]);
+        let out = replay(&bytes[..], AuditConfig::default());
+        assert_eq!(out.recoveries, vec![(57, 12)]);
+    }
+
+    #[test]
+    fn json_output_is_canonical_and_round_trips() {
+        let bytes = journal_of(&[
+            ("ts.forwarded", fwd(1, 100, true, true, 5, 5)),
+            ("ts.mode_changed", mode_change(10, "normal", "degraded")),
+        ]);
+        let out = replay(
+            &bytes[..],
+            AuditConfig { space_tol: Some(1e6), time_tol: Some(600) },
+        );
+        let json = out.to_json();
+        let text = json.to_string();
+        let reparsed = hka_obs::json::parse(&text).unwrap();
+        assert_eq!(reparsed.to_string(), text, "canonical serialization");
+        assert_eq!(
+            reparsed.get("chain").unwrap().get("verified"),
+            Some(&Json::Bool(true))
+        );
+        assert!(reparsed.get("trade_off").unwrap().get("overall").is_some());
+        // Inflation ratios present when tolerances are configured.
+        let overall = json.get("trade_off").unwrap().get("overall").unwrap();
+        assert!(overall.get("area_inflation").unwrap().as_f64().unwrap() > 0.0);
+        // Text render names the headline facts.
+        let text = out.render();
+        assert!(text.contains("chain: VERIFIED"));
+        assert!(text.contains("violations"));
+    }
+
+    #[test]
+    fn empty_journal_is_clean() {
+        let out = replay(&b""[..], AuditConfig::default());
+        assert!(out.ok());
+        assert_eq!(out.totals.events, 0);
+        assert_eq!(out.users.len(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! **Continuous benchmark: pipeline latency breakdown + audit replay.**
+//!
+//! Runs the standard protected-city scenario with an in-memory journal
+//! attached, then:
+//!
+//! 1. writes `BENCH_pipeline.json` — wall-clock for the whole run plus
+//!    the per-stage latency histograms (`ts.stage.*`: ingest → LBQID
+//!    match → Algorithm 1 → link check → forward/suppress) and the
+//!    end-to-end `ts.handle_request` histogram, each with count, mean,
+//!    p50/p95/p99 and the raw log₂ buckets;
+//! 2. replays the journal through `hka-audit` (chain verification +
+//!    timeline reconstruction), timing it, and writes `BENCH_audit.json`
+//!    with replay throughput and the audit verdict.
+//!
+//! Exits non-zero if the journal's hash chain fails to verify or the
+//! audit finds Theorem-1 / fail-closed violations — a regression in the
+//! pipeline's bookkeeping fails the bench job, not just a slow run.
+//!
+//! ```text
+//! cargo run --release -p hka-bench --bin bench_pipeline -- [--out DIR]
+//! ```
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use hka_audit::AuditConfig;
+use hka_bench::{build, run_events, ScenarioConfig};
+use hka_obs::{global, Json};
+
+/// An in-memory journal sink readable after the run.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn histogram_json(snap: &hka_obs::MetricsSnapshot, name: &str) -> Json {
+    match snap.histogram(name) {
+        Some(h) => h.to_json(),
+        None => Json::Null,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = String::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_dir = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: bench_pipeline [--out DIR] (got '{other}')");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = ScenarioConfig {
+        seed: 1,
+        days: 4,
+        n_commuters: 8,
+        n_roamers: 40,
+        ..ScenarioConfig::default()
+    };
+
+    // --- Phase 1: the pipeline under measurement. -----------------------
+    global().reset();
+    let mut scenario = build(&cfg);
+    let sink = SharedBuf::default();
+    scenario.ts.attach_journal(hka_obs::Journal::new(
+        Box::new(sink.clone()) as Box<dyn Write + Send + Sync>
+    ));
+    let events = scenario.world.events.len();
+    let t0 = Instant::now();
+    run_events(&mut scenario);
+    scenario.ts.flush_journal().expect("in-memory sink cannot fail");
+    let pipeline_ns = t0.elapsed().as_nanos() as u64;
+
+    let snap = scenario.ts.metrics_snapshot();
+    let requests = snap.counter("ts.requests");
+    let mut stages = Vec::new();
+    for name in hka_obs::stage::ALL {
+        stages.push((name.to_string(), histogram_json(&snap, name)));
+    }
+    stages.push((
+        "ts.handle_request".to_string(),
+        histogram_json(&snap, "ts.handle_request"),
+    ));
+    let pipeline_json = Json::obj([
+        ("bench", Json::from("pipeline")),
+        (
+            "scenario",
+            Json::obj([
+                ("seed", Json::from(cfg.seed)),
+                ("days", Json::Int(cfg.days)),
+                ("commuters", Json::from(cfg.n_commuters as u64)),
+                ("roamers", Json::from(cfg.n_roamers as u64)),
+                ("k", Json::from(cfg.params.k as u64)),
+            ]),
+        ),
+        ("events", Json::from(events as u64)),
+        ("requests", Json::from(requests)),
+        ("wall_ns", Json::from(pipeline_ns)),
+        (
+            "events_per_sec",
+            Json::Num(events as f64 / (pipeline_ns as f64 / 1e9)),
+        ),
+        ("stages", Json::Obj(stages.into_iter().collect())),
+    ]);
+
+    // --- Phase 2: audit replay over the journal just written. -----------
+    let journal = sink.0.lock().unwrap().clone();
+    let t1 = Instant::now();
+    let outcome = hka_audit::replay(&journal[..], AuditConfig::default());
+    let replay_ns = t1.elapsed().as_nanos() as u64;
+
+    let audit_json = Json::obj([
+        ("bench", Json::from("audit_replay")),
+        ("journal_bytes", Json::from(journal.len() as u64)),
+        ("records", Json::from(outcome.chain.records)),
+        ("wall_ns", Json::from(replay_ns)),
+        (
+            "records_per_sec",
+            Json::Num(outcome.chain.records as f64 / (replay_ns as f64 / 1e9)),
+        ),
+        ("chain_verified", Json::Bool(outcome.chain.verified())),
+        ("violations", Json::from(outcome.violations.len() as u64)),
+        ("schema_issues", Json::from(outcome.schema_issues.len() as u64)),
+        ("users_audited", Json::from(outcome.users.len() as u64)),
+    ]);
+
+    for (file, json) in [
+        ("BENCH_pipeline.json", &pipeline_json),
+        ("BENCH_audit.json", &audit_json),
+    ] {
+        let path = format!("{out_dir}/{file}");
+        std::fs::write(&path, json.to_string() + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    println!(
+        "pipeline: {events} events ({requests} requests) in {:.1} ms | replay: {} records in {:.1} ms",
+        pipeline_ns as f64 / 1e6,
+        outcome.chain.records,
+        replay_ns as f64 / 1e6,
+    );
+
+    if !outcome.chain.verified() {
+        eprintln!("FAIL: journal chain verification failed: {:?}", outcome.chain.error);
+        std::process::exit(1);
+    }
+    if !outcome.ok() {
+        eprintln!(
+            "FAIL: audit found {} violations, {} schema issues",
+            outcome.violations.len(),
+            outcome.schema_issues.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -14,7 +14,7 @@
 //! before it enters the ring.
 
 use crate::server::ServerMode;
-use hka_anonymity::Pseudonym;
+use hka_anonymity::{Pseudonym, ServiceId};
 use hka_geo::{StBox, TimeSec};
 use hka_obs::{BoxedJournal, Json, RingBuffer};
 use hka_trajectory::UserId;
@@ -36,6 +36,16 @@ pub enum TsEvent {
         /// Algorithm 1's HK-anonymity flag (always `true` for exact,
         /// non-pattern requests).
         hk_ok: bool,
+        /// The service class the request was forwarded to.
+        service: ServiceId,
+        /// Anonymity target for this step after the k′ schedule
+        /// (0 for exact, non-pattern forwards).
+        k_req: usize,
+        /// Size of the anonymity set Algorithm 1 achieved (0 for exact
+        /// forwards).
+        k_got: usize,
+        /// Name of the matched LBQID (`None` for non-pattern forwards).
+        lbqid: Option<String>,
     },
     /// A request was suppressed (mix-zone cool-down or risk policy).
     Suppressed {
@@ -45,6 +55,8 @@ pub enum TsEvent {
         at: TimeSec,
         /// Why.
         reason: SuppressReason,
+        /// The service class the suppressed request addressed.
+        service: ServiceId,
     },
     /// The user's pseudonym was changed after a successful unlink.
     PseudonymChanged {
@@ -111,6 +123,10 @@ impl TsEvent {
                 context,
                 generalized,
                 hk_ok,
+                service,
+                k_req,
+                k_got,
+                lbqid,
             } => Json::obj([
                 ("user", Json::from(user.0)),
                 ("at", Json::Int(at.0)),
@@ -122,8 +138,23 @@ impl TsEvent {
                 ("t_end", Json::Int(context.span.end().0)),
                 ("generalized", Json::Bool(*generalized)),
                 ("hk_ok", Json::Bool(*hk_ok)),
+                ("service", Json::from(u64::from(service.0))),
+                ("k_req", Json::from(*k_req as u64)),
+                ("k_got", Json::from(*k_got as u64)),
+                (
+                    "lbqid",
+                    match lbqid {
+                        Some(name) => Json::from(name.as_str()),
+                        None => Json::Null,
+                    },
+                ),
             ]),
-            TsEvent::Suppressed { user, at, reason } => Json::obj([
+            TsEvent::Suppressed {
+                user,
+                at,
+                reason,
+                service,
+            } => Json::obj([
                 ("user", Json::from(user.0)),
                 ("at", Json::Int(at.0)),
                 (
@@ -134,6 +165,7 @@ impl TsEvent {
                         SuppressReason::Degraded => "degraded",
                     }),
                 ),
+                ("service", Json::from(u64::from(service.0))),
             ]),
             TsEvent::PseudonymChanged { user, old, new, at } => Json::obj([
                 ("user", Json::from(user.0)),
@@ -554,6 +586,10 @@ mod tests {
             context: StBox::point(StPoint::xyt(0.0, 0.0, TimeSec(n))),
             generalized: false,
             hk_ok: true,
+            service: ServiceId(1),
+            k_req: 0,
+            k_got: 0,
+            lbqid: None,
         }
     }
 
@@ -566,6 +602,10 @@ mod tests {
             context: StBox::point(StPoint::xyt(0.0, 0.0, TimeSec(0))),
             generalized: false,
             hk_ok: true,
+            service: ServiceId(1),
+            k_req: 0,
+            k_got: 0,
+            lbqid: None,
         });
         log.push(TsEvent::Forwarded {
             user: UserId(1),
@@ -573,6 +613,10 @@ mod tests {
             context: ctx(10.0, 60),
             generalized: true,
             hk_ok: true,
+            service: ServiceId(1),
+            k_req: 5,
+            k_got: 5,
+            lbqid: Some("commute".into()),
         });
         log.push(TsEvent::Forwarded {
             user: UserId(1),
@@ -580,11 +624,16 @@ mod tests {
             context: ctx(20.0, 120),
             generalized: true,
             hk_ok: false,
+            service: ServiceId(1),
+            k_req: 5,
+            k_got: 3,
+            lbqid: Some("commute".into()),
         });
         log.push(TsEvent::Suppressed {
             user: UserId(2),
             at: TimeSec(3),
             reason: SuppressReason::MixZone,
+            service: ServiceId(1),
         });
         log.push(TsEvent::PseudonymChanged {
             user: UserId(2),
@@ -631,6 +680,7 @@ mod tests {
             user: UserId(9),
             at: TimeSec(1),
             reason: SuppressReason::RiskPolicy,
+            service: ServiceId(1),
         });
         let s = log.stats();
         assert_eq!(s.generalized(), 0);
@@ -803,6 +853,7 @@ mod tests {
                 user: UserId(1),
                 at: TimeSec(0),
                 reason: SuppressReason::MixZone,
+                service: ServiceId(1),
             },
             TsEvent::PseudonymChanged {
                 user: UserId(1),
@@ -836,6 +887,17 @@ mod tests {
             // Every payload is an object naming the user.
             assert!(e.payload().get("user").is_some());
         }
+        // Forwarded payloads carry the audit fields, with a null lbqid
+        // for non-pattern forwards.
+        let fwd = forwarded(0).payload();
+        assert_eq!(fwd.get("service").and_then(|j| j.as_int()), Some(1));
+        assert_eq!(fwd.get("k_req").and_then(|j| j.as_int()), Some(0));
+        assert_eq!(fwd.get("k_got").and_then(|j| j.as_int()), Some(0));
+        assert_eq!(fwd.get("lbqid"), Some(&Json::Null));
+        assert_eq!(
+            events[1].payload().get("service").and_then(|j| j.as_int()),
+            Some(1)
+        );
         // ModeChanged is server-scoped (no user); it names both modes.
         let mc = TsEvent::ModeChanged {
             at: TimeSec(9),

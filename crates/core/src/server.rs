@@ -126,12 +126,31 @@ impl UserState {
 }
 
 /// What a forwarded request disclosed: whether its context was
-/// generalized at all, and whether the generalization met full
-/// historical k-anonymity. Journaled with the `ts.forwarded` event.
-#[derive(Debug, Clone, Copy)]
+/// generalized at all, whether the generalization met full historical
+/// k-anonymity, and the anonymity bookkeeping the audit trail needs
+/// (requested k, achieved anonymity-set size, matched LBQID). Journaled
+/// with the `ts.forwarded` event.
+#[derive(Debug, Clone)]
 struct Disclosure {
     generalized: bool,
     hk_ok: bool,
+    k_req: usize,
+    k_got: usize,
+    lbqid: Option<String>,
+}
+
+impl Disclosure {
+    /// An exact, non-pattern forward: no generalization, no anonymity
+    /// set, no LBQID.
+    fn exact() -> Self {
+        Disclosure {
+            generalized: false,
+            hk_ok: true,
+            k_req: 0,
+            k_got: 0,
+            lbqid: None,
+        }
+    }
 }
 
 /// What [`TrustedServer::ingest`] did with one observation.
@@ -425,6 +444,7 @@ impl TrustedServer {
     /// fault check, store + index insert, static-zone crossing
     /// detection.
     fn ingest(&mut self, user: UserId, at: StPoint) -> Ingest {
+        let _stage = hka_obs::span(hka_obs::stage::INGEST);
         let at = self.normalize_time(user, at);
         let entering = self.mixzones.in_static_zone(&at.pos)
             && self
@@ -519,10 +539,10 @@ impl TrustedServer {
         let Some(params) = state.params_for(service) else {
             // Privacy off (for this service): forward the exact context
             // — unless a fault or degraded mode forbids it.
-            if let Some(denied) = self.fail_closed(user, at, false, true, faulted) {
+            if let Some(denied) = self.fail_closed(user, at, service, false, true, faulted) {
                 return denied;
             }
-            return self.forward(user, state.pseudonym, at, StBox::point(at), service, Disclosure { generalized: false, hk_ok: true });
+            return self.forward(user, state.pseudonym, at, StBox::point(at), service, Disclosure::exact());
         };
 
         // Mix-zone suppression (static zones and cooling on-demand zones).
@@ -533,6 +553,7 @@ impl TrustedServer {
                     user,
                     at: at.t,
                     reason: SuppressReason::MixZone,
+                    service,
                 },
                 at.t,
             );
@@ -543,19 +564,22 @@ impl TrustedServer {
         // claims it (the paper's simplifying assumption: "each request can
         // match an element in only one of the LBQIDs").
         let mut hit: Option<(usize, hka_lbqid::MatchEvent)> = None;
-        for (mi, monitor) in state.monitors.iter_mut().enumerate() {
-            if let Some(ev) = monitor.observe(at) {
-                hit = Some((mi, ev));
-                break;
+        {
+            let _stage = hka_obs::span(hka_obs::stage::LBQID_MATCH);
+            for (mi, monitor) in state.monitors.iter_mut().enumerate() {
+                if let Some(ev) = monitor.observe(at) {
+                    hit = Some((mi, ev));
+                    break;
+                }
             }
         }
 
         let Some((mi, ev)) = hit else {
             // Not part of any quasi-identifier: forward exactly.
-            if let Some(denied) = self.fail_closed(user, at, false, true, faulted) {
+            if let Some(denied) = self.fail_closed(user, at, service, false, true, faulted) {
                 return denied;
             }
-            return self.forward(user, state.pseudonym, at, StBox::point(at), service, Disclosure { generalized: false, hk_ok: true });
+            return self.forward(user, state.pseudonym, at, StBox::point(at), service, Disclosure::exact());
         };
 
         if ev.full_match {
@@ -575,16 +599,17 @@ impl TrustedServer {
         if self.injector.check(sites::INDEX_QUERY).is_some() {
             self.note_fault(sites::INDEX_QUERY);
             return self
-                .fail_closed(user, at, false, false, true)
+                .fail_closed(user, at, service, false, false, true)
                 .expect("a faulted request always fails closed");
         }
 
         // Generalize with Algorithm 1.
-        let (gen, step) = {
+        let (gen, step, k_req) = {
+            let _stage = hka_obs::span(hka_obs::stage::ALGO1);
             let pattern = &state.patterns[mi];
             if pattern.selected.is_empty() {
                 let k0 = params.k_at_step(0);
-                (algorithm1_first(&self.index, &at, user, k0, &tolerance), 0)
+                (algorithm1_first(&self.index, &at, user, k0, &tolerance), 0, k0)
             } else {
                 let step = pattern.step;
                 let k_eff = params.k_at_step(step);
@@ -598,6 +623,7 @@ impl TrustedServer {
                         &self.config.index.scale,
                     ),
                     step,
+                    k_eff,
                 )
             }
         };
@@ -606,14 +632,21 @@ impl TrustedServer {
             // The fail-closed gate runs *before* the pattern state is
             // committed: a suppressed request must leave no trace in the
             // anonymity-set bookkeeping or the audit contexts.
-            if let Some(denied) = self.fail_closed(user, at, true, true, faulted) {
+            if let Some(denied) = self.fail_closed(user, at, service, true, true, faulted) {
                 return denied;
             }
             let pattern = &mut state.patterns[mi];
             pattern.selected = gen.selected.clone();
             pattern.step = step + 1;
             pattern.contexts.push(gen.context);
-            return self.forward(user, state.pseudonym, at, gen.context, service, Disclosure { generalized: true, hk_ok: true });
+            let disclosure = Disclosure {
+                generalized: true,
+                hk_ok: true,
+                k_req,
+                k_got: gen.selected.len(),
+                lbqid: Some(state.monitors[mi].lbqid().name().to_owned()),
+            };
+            return self.forward(user, state.pseudonym, at, gen.context, service, disclosure);
         }
 
         // Generalization failed: try to unlink (Section 6.1 step 2). An
@@ -621,10 +654,14 @@ impl TrustedServer {
         if self.injector.check(sites::MIXZONE).is_some() {
             self.note_fault(sites::MIXZONE);
             return self
-                .fail_closed(user, at, false, false, true)
+                .fail_closed(user, at, service, false, false, true)
                 .expect("a faulted request always fails closed");
         }
-        match self.mixzones.try_unlink(&self.store, user, &at, params.k) {
+        let decision = {
+            let _stage = hka_obs::span(hka_obs::stage::LINK_CHECK);
+            self.mixzones.try_unlink(&self.store, user, &at, params.k)
+        };
+        match decision {
             UnlinkDecision::Unlinked { .. } => {
                 self.change_pseudonym_state(user, state, at);
                 // The request itself falls inside the just-activated zone:
@@ -635,6 +672,7 @@ impl TrustedServer {
                         user,
                         at: at.t,
                         reason: SuppressReason::MixZone,
+                        service,
                     },
                     at.t,
                 );
@@ -658,14 +696,21 @@ impl TrustedServer {
                     RiskAction::Forward => {
                         // The clamped (sub-k) forward is exactly what
                         // degraded modes must not let through.
-                        if let Some(denied) = self.fail_closed(user, at, true, false, faulted) {
+                        if let Some(denied) = self.fail_closed(user, at, service, true, false, faulted) {
                             return denied;
                         }
                         let pattern = &mut state.patterns[mi];
                         pattern.selected = gen.selected.clone();
                         pattern.step = step + 1;
                         pattern.contexts.push(gen.context);
-                        self.forward(user, state.pseudonym, at, gen.context, service, Disclosure { generalized: true, hk_ok: false })
+                        let disclosure = Disclosure {
+                            generalized: true,
+                            hk_ok: false,
+                            k_req,
+                            k_got: gen.selected.len(),
+                            lbqid: Some(state.monitors[mi].lbqid().name().to_owned()),
+                        };
+                        self.forward(user, state.pseudonym, at, gen.context, service, disclosure)
                     }
                     RiskAction::Suppress => {
                         hka_obs::global().counter("ts.suppressed").incr();
@@ -674,6 +719,7 @@ impl TrustedServer {
                                 user,
                                 at: at.t,
                                 reason: SuppressReason::RiskPolicy,
+                                service,
                             },
                             at.t,
                         );
@@ -701,6 +747,7 @@ impl TrustedServer {
         &mut self,
         user: UserId,
         at: StPoint,
+        service: ServiceId,
         generalized: bool,
         hk_ok: bool,
         faulted: bool,
@@ -721,6 +768,7 @@ impl TrustedServer {
                 user,
                 at: at.t,
                 reason: SuppressReason::Degraded,
+                service,
             },
             at.t,
         );
@@ -734,8 +782,16 @@ impl TrustedServer {
         at: StPoint,
         context: StBox,
         service: ServiceId,
-        Disclosure { generalized, hk_ok }: Disclosure,
+        disclosure: Disclosure,
     ) -> RequestOutcome {
+        let _stage = hka_obs::span(hka_obs::stage::FORWARD);
+        let Disclosure {
+            generalized,
+            hk_ok,
+            k_req,
+            k_got,
+            lbqid,
+        } = disclosure;
         debug_assert!(context.contains(&at), "context must cover the true point");
         let msg_id = MsgId(self.next_msg);
         self.next_msg += 1;
@@ -767,6 +823,10 @@ impl TrustedServer {
                 context,
                 generalized,
                 hk_ok,
+                service,
+                k_req,
+                k_got,
+                lbqid,
             },
             at.t,
         );

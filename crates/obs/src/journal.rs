@@ -257,18 +257,50 @@ pub struct ChainReport {
     pub head: String,
 }
 
-/// Verifies a whole journal: parses every line, checks versions,
-/// sequence monotonicity, prev-hash links, and recomputes every hash.
-pub fn verify_chain(reader: impl BufRead) -> Result<ChainReport, ChainError> {
-    let mut records = Vec::new();
-    let mut prev_hash = GENESIS_HASH.to_string();
-    for (i, line) in reader.lines().enumerate() {
-        let line_no = i + 1;
-        let line = line.map_err(|e| ChainError::Io(e.to_string()))?;
-        if line.trim().is_empty() {
-            continue;
+/// A streaming reader over a journal: yields each record after checking
+/// it against the chain so far (schema version, sequence monotonicity,
+/// `prev` link, recomputed hash). The first failure is yielded as an
+/// `Err` and iteration stops; [`records_read`](JournalReader::records_read)
+/// and [`head`](JournalReader::head) then describe the verified prefix.
+///
+/// [`verify_chain`] is this reader run to completion. Replay consumers
+/// (`hka-audit`) drive the reader directly so an arbitrarily large
+/// journal is verified and analyzed in one pass without buffering every
+/// record in memory.
+#[derive(Debug)]
+pub struct JournalReader<R: BufRead> {
+    input: R,
+    line_no: usize,
+    records_read: u64,
+    head: String,
+    done: bool,
+}
+
+impl<R: BufRead> JournalReader<R> {
+    /// A reader over `input`, expecting a chain that starts at genesis.
+    pub fn new(input: R) -> Self {
+        JournalReader {
+            input,
+            line_no: 0,
+            records_read: 0,
+            head: GENESIS_HASH.to_string(),
+            done: false,
         }
-        let record = JournalRecord::parse_line(&line).map_err(|e| match e {
+    }
+
+    /// Records verified so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Hash of the last verified record (genesis hash before the first).
+    pub fn head(&self) -> &str {
+        &self.head
+    }
+
+    fn check(&mut self, line: &str) -> Result<JournalRecord, ChainError> {
+        let line_no = self.line_no;
+        let record = JournalRecord::parse_line(line).map_err(|e| match e {
             ChainError::Malformed { message, .. } => ChainError::Malformed {
                 line: line_no,
                 message,
@@ -281,15 +313,14 @@ pub fn verify_chain(reader: impl BufRead) -> Result<ChainReport, ChainError> {
                 found: record.version,
             });
         }
-        let expected_seq = records.len() as u64;
-        if record.seq != expected_seq {
+        if record.seq != self.records_read {
             return Err(ChainError::BadSequence {
                 line: line_no,
-                expected: expected_seq,
+                expected: self.records_read,
                 found: record.seq,
             });
         }
-        if record.prev != prev_hash {
+        if record.prev != self.head {
             return Err(ChainError::BrokenLink { line: line_no });
         }
         let recomputed = event_hash(
@@ -301,12 +332,57 @@ pub fn verify_chain(reader: impl BufRead) -> Result<ChainReport, ChainError> {
         if recomputed != record.hash {
             return Err(ChainError::BadHash { line: line_no });
         }
-        prev_hash = record.hash.clone();
-        records.push(record);
+        self.head = record.hash.clone();
+        self.records_read += 1;
+        Ok(record)
+    }
+}
+
+impl<R: BufRead> Iterator for JournalReader<R> {
+    type Item = Result<JournalRecord, ChainError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut line = String::new();
+        loop {
+            line.clear();
+            self.line_no += 1;
+            match self.input.read_line(&mut line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(ChainError::Io(e.to_string())));
+                }
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let result = self.check(&line);
+            if result.is_err() {
+                self.done = true;
+            }
+            return Some(result);
+        }
+    }
+}
+
+/// Verifies a whole journal: parses every line, checks versions,
+/// sequence monotonicity, prev-hash links, and recomputes every hash.
+pub fn verify_chain(reader: impl BufRead) -> Result<ChainReport, ChainError> {
+    let mut reader = JournalReader::new(reader);
+    let mut records = Vec::new();
+    for record in reader.by_ref() {
+        records.push(record?);
     }
     Ok(ChainReport {
         records,
-        head: prev_hash,
+        head: reader.head().to_string(),
     })
 }
 
@@ -335,6 +411,15 @@ pub struct RecoveryReport {
 /// Returns a [`Journal`] positioned to append record `valid_records`
 /// chained from the surviving head, plus a [`RecoveryReport`]. An
 /// empty or missing file recovers to a fresh genesis journal.
+///
+/// When bytes were actually truncated the recovery itself is made
+/// visible downstream: the returned journal has already appended a
+/// `journal.recovered` record (payload `{truncated_bytes,
+/// valid_records}`) extending the surviving chain, and the global
+/// `ts.journal_recovered_bytes` counter is bumped by the bytes dropped.
+/// The [`RecoveryReport`] describes the state *before* that append
+/// (`head` is the last surviving record's hash), so callers can still
+/// distinguish what the crash left from what recovery wrote.
 pub fn recover(
     path: &std::path::Path,
 ) -> io::Result<(Journal<std::fs::File>, RecoveryReport)> {
@@ -393,7 +478,20 @@ pub fn recover(
         truncated_bytes,
         head: prev_hash.clone(),
     };
-    Ok((Journal::resume(file, valid_records, prev_hash), report))
+    let mut journal = Journal::resume(file, valid_records, prev_hash);
+    if truncated_bytes > 0 {
+        crate::metrics::global()
+            .counter("ts.journal_recovered_bytes")
+            .add(truncated_bytes);
+        journal.append(
+            "journal.recovered",
+            Json::obj([
+                ("truncated_bytes", Json::from(truncated_bytes)),
+                ("valid_records", Json::from(valid_records)),
+            ]),
+        )?;
+    }
+    Ok((journal, report))
 }
 
 #[cfg(test)]
@@ -551,10 +649,13 @@ mod tests {
     }
 
     /// Recovers `path`, appends `extra` records, and asserts the file
-    /// then verifies end to end. Returns the recovery report.
+    /// then verifies end to end. A recovery that truncated bytes also
+    /// appends one `journal.recovered` marker record, which the counts
+    /// below account for. Returns the recovery report.
     fn recover_append_verify(path: &std::path::Path, extra: i64) -> RecoveryReport {
         let (mut journal, report) = recover(path).unwrap();
-        assert_eq!(journal.next_seq(), report.valid_records);
+        let marker = u64::from(report.truncated_bytes > 0);
+        assert_eq!(journal.next_seq(), report.valid_records + marker);
         for i in 0..extra {
             journal.append("post.recovery", sample_payload(i)).unwrap();
         }
@@ -564,8 +665,14 @@ mod tests {
         let chain = verify_chain(&bytes[..]).unwrap();
         assert_eq!(
             chain.records.len() as u64,
-            report.valid_records + extra as u64
+            report.valid_records + marker + extra as u64
         );
+        if marker == 1 {
+            assert_eq!(
+                chain.records[report.valid_records as usize].kind,
+                "journal.recovered"
+            );
+        }
         report
     }
 
@@ -624,6 +731,70 @@ mod tests {
         std::fs::write(&tmp.0, b"").unwrap();
         let report = recover_append_verify(&tmp.0, 1);
         assert_eq!(report.valid_records, 0);
+    }
+
+    #[test]
+    fn streaming_reader_matches_verify_chain() {
+        let bytes = build_journal(10);
+        let mut reader = JournalReader::new(&bytes[..]);
+        let streamed: Vec<JournalRecord> =
+            reader.by_ref().collect::<Result<_, _>>().unwrap();
+        let report = verify_chain(&bytes[..]).unwrap();
+        assert_eq!(streamed, report.records);
+        assert_eq!(reader.head(), report.head);
+        assert_eq!(reader.records_read(), 10);
+    }
+
+    #[test]
+    fn streaming_reader_stops_at_first_error_keeping_valid_prefix() {
+        let bytes = build_journal(6);
+        let text = String::from_utf8(bytes).unwrap();
+        let tampered = text.replacen("\"user\":3", "\"user\":33", 1);
+        let mut reader = JournalReader::new(tampered.as_bytes());
+        let mut ok = 0u64;
+        let mut err = None;
+        for r in reader.by_ref() {
+            match r {
+                Ok(_) => ok += 1,
+                Err(e) => err = Some(e),
+            }
+        }
+        assert_eq!(ok, 3, "records before the tampered one verify");
+        assert!(matches!(err, Some(ChainError::BadHash { line: 4 })));
+        assert_eq!(reader.records_read(), 3);
+        // Iteration is over: the reader does not resynchronize.
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn recover_truncation_emits_marker_event_and_metric() {
+        let tmp = TempPath::new("marker");
+        let text = String::from_utf8(build_journal(3)).unwrap();
+        std::fs::write(&tmp.0, &text.as_bytes()[..text.len() - 7]).unwrap();
+
+        let before = crate::metrics::global()
+            .snapshot()
+            .counter("ts.journal_recovered_bytes");
+        let (mut journal, report) = recover(&tmp.0).unwrap();
+        journal.flush().unwrap();
+        drop(journal);
+        assert!(report.truncated_bytes > 0);
+        let after = crate::metrics::global()
+            .snapshot()
+            .counter("ts.journal_recovered_bytes");
+        assert!(after >= before + report.truncated_bytes);
+
+        let chain = verify_chain(&std::fs::read(&tmp.0).unwrap()[..]).unwrap();
+        let last = chain.records.last().unwrap();
+        assert_eq!(last.kind, "journal.recovered");
+        assert_eq!(
+            last.payload.get("truncated_bytes").unwrap().as_int(),
+            Some(report.truncated_bytes as i64)
+        );
+        assert_eq!(
+            last.payload.get("valid_records").unwrap().as_int(),
+            Some(report.valid_records as i64)
+        );
     }
 
     #[test]

@@ -49,6 +49,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The integer value, if this is an integer.
     pub fn as_int(&self) -> Option<i64> {
         match self {

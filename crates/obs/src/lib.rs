@@ -25,10 +25,11 @@ pub mod metrics;
 pub mod ring;
 pub mod sha256;
 pub mod span;
+pub mod stage;
 
 pub use journal::{
     event_hash, recover, verify_chain, BoxedJournal, ChainError, ChainReport, Journal,
-    JournalRecord, RecoveryReport, GENESIS_HASH, JOURNAL_VERSION,
+    JournalReader, JournalRecord, RecoveryReport, GENESIS_HASH, JOURNAL_VERSION,
 };
 pub use json::Json;
 pub use metrics::{

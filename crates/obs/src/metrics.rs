@@ -56,7 +56,7 @@ impl Gauge {
 
 /// Number of histogram buckets: bucket `i` covers values whose
 /// bit-length is `i`, i.e. `[2^(i-1), 2^i)`, with bucket 0 holding zero.
-const BUCKETS: usize = 64;
+pub const BUCKETS: usize = 64;
 
 /// A fixed-bucket latency histogram over `u64` values (nanoseconds by
 /// convention). Buckets are powers of two — `leading_zeros` gives the
@@ -86,9 +86,10 @@ impl Histogram {
         (u64::BITS - value.leading_zeros()) as usize
     }
 
-    /// Upper bound (exclusive) of bucket `i`, used as its representative
-    /// value in percentile estimates; pessimistic by at most 2×.
-    fn bucket_bound(index: usize) -> u64 {
+    /// Upper bound (exclusive) of bucket `index`, used as its
+    /// representative value in percentile estimates and in exported
+    /// bucket tables; pessimistic by at most 2×.
+    pub fn bucket_bound(index: usize) -> u64 {
         if index == 0 {
             0
         } else {
@@ -113,12 +114,11 @@ impl Histogram {
     /// A consistent-enough copy for reporting (individual loads are
     /// relaxed; exactness across concurrent writers is not required).
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let count: u64 = counts.iter().sum();
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        let count: u64 = buckets.iter().sum();
         let sum = self.sum.load(Ordering::Relaxed);
         let percentile = |q: f64| -> u64 {
             if count == 0 {
@@ -126,7 +126,7 @@ impl Histogram {
             }
             let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
             let mut seen = 0u64;
-            for (i, &c) in counts.iter().enumerate() {
+            for (i, &c) in buckets.iter().enumerate() {
                 seen += c;
                 if seen >= rank {
                     return Self::bucket_bound(i);
@@ -142,6 +142,7 @@ impl Histogram {
             p50: percentile(0.50),
             p95: percentile(0.95),
             p99: percentile(0.99),
+            buckets,
         }
     }
 }
@@ -163,6 +164,45 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// 99th percentile, as the upper bound of its log₂ bucket.
     pub p99: u64,
+    /// Raw per-bucket observation counts (`buckets[i]` covers values of
+    /// bit-length `i`); the full latency distribution, not just its
+    /// summary — audit and bench consumers export these as breakdowns.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Non-empty buckets as `(upper_bound, count)` pairs, low to high —
+    /// the sparse form used in JSON exports.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Histogram::bucket_bound(i), c))
+    }
+
+    /// The summary plus sparse buckets as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("sum_ns", Json::from(self.sum)),
+            ("mean_ns", Json::Num(self.mean)),
+            ("max_ns", Json::from(self.max)),
+            ("p50_ns", Json::from(self.p50)),
+            ("p95_ns", Json::from(self.p95)),
+            ("p99_ns", Json::from(self.p99)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .map(|(bound, count)| {
+                            Json::Arr(vec![Json::from(bound), Json::from(count)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Holds every registered metric. One global instance (see [`global`])
@@ -301,20 +341,7 @@ impl MetricsSnapshot {
         let histograms = Json::Obj(
             self.histograms
                 .iter()
-                .map(|(k, h)| {
-                    (
-                        k.clone(),
-                        Json::obj([
-                            ("count", Json::from(h.count)),
-                            ("sum_ns", Json::from(h.sum)),
-                            ("mean_ns", Json::Num(h.mean)),
-                            ("max_ns", Json::from(h.max)),
-                            ("p50_ns", Json::from(h.p50)),
-                            ("p95_ns", Json::from(h.p95)),
-                            ("p99_ns", Json::from(h.p99)),
-                        ]),
-                    )
-                })
+                .map(|(k, h)| (k.clone(), h.to_json()))
                 .collect(),
         );
         Json::obj([
@@ -426,6 +453,22 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.counter("a"), 0);
         assert_eq!(snap.histogram("h").unwrap().count, 0);
+    }
+
+    #[test]
+    fn snapshot_exposes_raw_buckets_consistent_with_count() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 3, 3, 700, 700, 700] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[10], 3, "700 has bit-length 10");
+        let sparse: Vec<(u64, u64)> = s.nonzero_buckets().collect();
+        assert_eq!(sparse, vec![(0, 1), (2, 1), (4, 2), (1024, 3)]);
     }
 
     #[test]

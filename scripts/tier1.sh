@@ -24,4 +24,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== chaos (fixed seeds, fail-closed invariant) =="
 cargo run --release -q --bin hka-sim -- chaos --seeds 8 --seed 1 --days 1
 
+echo "== audit (journal replay smoke: simulate, then verify + audit) =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q --bin hka-sim -- simulate --days 2 --commuters 4 \
+    --roamers 20 --trace-out "$tmp/ts.journal" > /dev/null
+cargo run --release -q -p hka-audit --bin hka-audit -- --journal "$tmp/ts.journal" \
+    --json "$tmp/audit.json" --quiet
+cargo run --release -q --bin hka-sim -- audit --journal "$tmp/ts.journal" --quiet
+
 echo "tier-1: OK"

@@ -9,6 +9,8 @@
 //! hka-sim export   [--seed N] [--days N] --out FILE     # write a trace file
 //! hka-sim chaos    [--seeds N] [--seed N] [--days N] [--commuters N]
 //!                  [--roamers N] [--k N]
+//! hka-sim audit    --journal FILE [--json FILE] [--quiet]
+//!                  [--space-tol M2] [--time-tol SECS]
 //! ```
 //!
 //! `chaos` drives the simulation under `--seeds` randomized fault
@@ -17,6 +19,12 @@
 //! arrival) and checks the fail-closed invariant on every request: a
 //! faulted or degraded request is suppressed, never forwarded exact or
 //! under-generalized. Exits non-zero on any violation.
+//!
+//! `audit` replays a journal written with `--trace-out` (see
+//! `hka::audit`): it verifies the hash chain, reconstructs per-user
+//! anonymity timelines and the QoS/k/unlink trade-off tables, and exits
+//! non-zero on chain failures or Theorem-1 / fail-closed violations.
+//! `--json FILE` additionally writes the canonical JSON report.
 //!
 //! `simulate` is the default subcommand: `hka-sim --trace-out t.jsonl
 //! --metrics` simulates with defaults. `--trace-out FILE` streams every
@@ -433,10 +441,44 @@ fn cmd_chaos(flags: HashMap<String, String>) {
     }
 }
 
+fn cmd_audit(flags: HashMap<String, String>) {
+    let Some(journal) = flags.get("journal").filter(|p| p.as_str() != "true") else {
+        eprintln!("audit requires --journal FILE");
+        std::process::exit(2);
+    };
+    let mut cfg = hka::audit::AuditConfig::default();
+    if flags.contains_key("space-tol") {
+        cfg.space_tol = Some(get(&flags, "space-tol", 0.0f64));
+    }
+    if flags.contains_key("time-tol") {
+        cfg.time_tol = Some(get(&flags, "time-tol", 0i64));
+    }
+    let outcome = hka::audit::replay_file(std::path::Path::new(journal), cfg)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read {journal}: {e}");
+            std::process::exit(2);
+        });
+    if let Some(path) = flags.get("json").filter(|p| p.as_str() != "true") {
+        std::fs::write(path, outcome.to_json().to_string() + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    if !flags.contains_key("quiet") {
+        print!("{}", outcome.render());
+    }
+    if !outcome.chain.verified() {
+        std::process::exit(1);
+    }
+    if !outcome.ok() {
+        std::process::exit(2);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(first) = args.first() else {
-        eprintln!("usage: hka-sim <simulate|plan|derive|attack|export|chaos> [--flags]");
+        eprintln!("usage: hka-sim <simulate|plan|derive|attack|export|chaos|audit> [--flags]");
         std::process::exit(2);
     };
     // A leading flag means the subcommand was omitted: default to `simulate`.
@@ -453,8 +495,9 @@ fn main() {
         "attack" => cmd_attack(flags),
         "export" => cmd_export(flags),
         "chaos" => cmd_chaos(flags),
+        "audit" => cmd_audit(flags),
         other => {
-            eprintln!("unknown command '{other}' (use simulate|plan|derive|attack|export|chaos)");
+            eprintln!("unknown command '{other}' (use simulate|plan|derive|attack|export|chaos|audit)");
             std::process::exit(2);
         }
     }

@@ -74,11 +74,13 @@
 //! | [`baselines`] | Gruteser–Grunwald cloaking, actual-senders, uniform |
 //! | [`obs`] | metrics, span timers, hash-chained JSONL event journal |
 //! | [`faults`] | deterministic fault injection and chaos schedules |
+//! | [`audit`] | offline journal replay, anonymity timelines, trade-off tables |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use hka_anonymity as anonymity;
+pub use hka_audit as audit;
 pub use hka_baselines as baselines;
 pub use hka_core as core;
 pub use hka_faults as faults;

@@ -5,10 +5,26 @@
 //! a healthy journal is attached, and a journal file crashed mid-append
 //! must recover to a verifiable chain that new records extend.
 
+use hka::audit::{self, AuditConfig};
 use hka::faults::sites;
 use hka::obs;
 use hka::prelude::*;
 use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// An in-memory journal sink readable after the run.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
 
 fn small_world(seed: u64) -> World {
     World::generate(&WorldConfig {
@@ -276,7 +292,113 @@ fn crashed_file_journal_recovers_and_extends_a_verified_chain() {
 
     let file = std::fs::File::open(&path).unwrap();
     let chain = obs::verify_chain(std::io::BufReader::new(file)).expect("recovered chain verifies");
-    assert_eq!(chain.records.len() as u64, report.valid_records + 1);
+    // Recovery appended its own `journal.recovered` marker before ours.
+    assert_eq!(chain.records.len() as u64, report.valid_records + 2);
+    assert_eq!(
+        chain.records[report.valid_records as usize].kind,
+        "journal.recovered"
+    );
     assert_eq!(chain.records.last().unwrap().kind, "chaos.recovered");
     std::fs::remove_file(&path).ok();
+}
+
+/// The chaos suite's live invariant checks, confirmed offline: a run
+/// with request-path faults (dropped PHL writes, unavailable index and
+/// mix-zones) but a healthy journal replays through `hka::audit` with a
+/// verified chain, zero fail-open forwards, and an empty mode ladder.
+/// What the inline assertions saw request-by-request, the auditor must
+/// reconstruct from the durable record alone.
+#[test]
+fn audited_chaos_journal_replays_clean() {
+    let world = small_world(21);
+    let mut ts = protected_server(&world, 4);
+    let plan = FaultPlan::new(21)
+        .with_rule(sites::PHL_WRITE, Trigger::EveryNth(5), FaultKind::Drop)
+        .with_rule(sites::INDEX_QUERY, Trigger::EveryNth(7), FaultKind::Unavailable)
+        .with_rule(sites::MIXZONE, Trigger::EveryNth(3), FaultKind::Unavailable);
+    let injector = FaultInjector::new(plan);
+    ts.attach_faults(injector.clone());
+    let sink = SharedBuf::default();
+    ts.attach_journal(obs::Journal::new(
+        Box::new(sink.clone()) as Box<dyn Write + Send + Sync>
+    ));
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => ts.location_update(e.user, e.at),
+            EventKind::Request { service } => {
+                let _ = ts.handle_request(e.user, e.at, ServiceId(service));
+            }
+        }
+    }
+    ts.flush_journal().unwrap();
+    assert!(injector.total_fired() > 0, "the plan never fired");
+
+    let bytes = sink.0.lock().unwrap().clone();
+    let out = audit::replay(&bytes[..], AuditConfig::default());
+    assert!(out.chain.verified(), "{:?}", out.chain.error);
+    assert!(out.ok(), "violations: {:?}", out.violations);
+    assert!(out.violations.is_empty(), "faulted requests must fail closed");
+    assert!(out.mode_consistent);
+    assert!(
+        out.mode_transitions.is_empty(),
+        "a healthy journal must keep the server in Normal"
+    );
+    assert!(out.totals.forwarded() > 0, "the run produced no traffic");
+    assert_eq!(out.totals.forwarded(), ts.log().stats().forwarded() as u64);
+}
+
+/// The mode-ladder timeline survives the outage-and-recovery cycle: the
+/// replacement journal attached after a total outage opens with the
+/// ReadOnly → Normal transition, and the auditor finds the post-recovery
+/// record consistent and violation-free.
+#[test]
+fn audited_recovery_journal_opens_with_the_ladder_transition() {
+    let mut ts = TrustedServer::new(TsConfig::default());
+    ts.register_service(ServiceId(1), Tolerance::navigation());
+    ts.register_user(UserId(1), PrivacyLevel::Off);
+
+    let broken = FaultInjector::new(FaultPlan::new(5).with_rule(
+        sites::JOURNAL_IO,
+        Trigger::Always,
+        FaultKind::Io,
+    ));
+    ts.attach_journal_with(
+        obs::Journal::new(Box::new(FaultyWriter::new(std::io::sink(), broken))
+            as Box<dyn Write + Send + Sync>),
+        RetryPolicy {
+            attempts: 1,
+            max_failures: 2,
+            backoff_base: 0,
+        },
+    );
+    for t in 1..=6i64 {
+        let at = StPoint::xyt(100.0, 100.0, TimeSec(600 * t));
+        ts.location_update(UserId(1), at);
+        let _ = ts.handle_request(UserId(1), at, ServiceId(1));
+    }
+    assert_eq!(ts.mode(), ServerMode::ReadOnly);
+
+    // Recovery: the fresh journal records the ladder exit and the
+    // traffic that resumed under it.
+    let sink = SharedBuf::default();
+    ts.attach_journal(obs::Journal::new(
+        Box::new(sink.clone()) as Box<dyn Write + Send + Sync>
+    ));
+    assert_eq!(ts.mode(), ServerMode::Normal);
+    for t in 7..=9i64 {
+        let at = StPoint::xyt(100.0, 100.0, TimeSec(600 * t));
+        ts.location_update(UserId(1), at);
+        let _ = ts.handle_request(UserId(1), at, ServiceId(1));
+    }
+    ts.flush_journal().unwrap();
+
+    let bytes = sink.0.lock().unwrap().clone();
+    let out = audit::replay(&bytes[..], AuditConfig::default());
+    assert!(out.chain.verified(), "{:?}", out.chain.error);
+    assert!(out.ok(), "violations: {:?}", out.violations);
+    assert_eq!(out.mode_transitions.len(), 1);
+    assert_eq!(out.mode_transitions[0].from, audit::Mode::ReadOnly);
+    assert_eq!(out.mode_transitions[0].to, audit::Mode::Normal);
+    assert!(out.mode_consistent);
+    assert!(out.totals.forwarded() > 0, "recovered traffic missing");
 }

@@ -84,3 +84,42 @@ fn derive_runs_for_commuter_and_roamer() {
     // Either outcome is legitimate; the line shapes are fixed.
     assert!(stdout.contains("population") || stdout.contains("no identifying"));
 }
+
+#[test]
+fn simulate_then_audit_round_trips() {
+    let dir = std::env::temp_dir().join("hka-cli-audit-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("ts.journal");
+    let journal_s = journal.to_str().unwrap();
+    let report = dir.join("audit.json");
+    let report_s = report.to_str().unwrap();
+
+    let (ok, _, stderr) = hka_sim(&[
+        "simulate", "--days", "2", "--commuters", "3", "--roamers", "20",
+        "--trace-out", journal_s,
+    ]);
+    assert!(ok, "{stderr}");
+
+    // A clean run audits clean, writes the canonical JSON report, and
+    // exits 0.
+    let (ok, stdout, stderr) = hka_sim(&["audit", "--journal", journal_s, "--json", report_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("chain: VERIFIED"));
+    assert!(stdout.contains("violations: none"));
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"trade_off\""));
+    assert!(json.contains("\"k_timeline\""));
+
+    // Tampering with the journal fails the audit.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let tampered_path = dir.join("tampered.journal");
+    std::fs::write(&tampered_path, text.replacen("\"user\":", "\"USER\":", 1)).unwrap();
+    let (ok, stdout, _) = hka_sim(&["audit", "--journal", tampered_path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stdout.contains("chain: FAILED"));
+
+    // Missing flag is a usage error.
+    let (ok, _, stderr) = hka_sim(&["audit"]);
+    assert!(!ok);
+    assert!(stderr.contains("--journal"));
+}
