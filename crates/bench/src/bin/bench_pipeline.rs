@@ -34,7 +34,12 @@ struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap().extend_from_slice(buf);
+        // Recover the guard after a panicked writer: one poisoned
+        // append must not fail every later flush.
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -120,7 +125,7 @@ fn main() {
     ]);
 
     // --- Phase 2: audit replay over the journal just written. -----------
-    let journal = sink.0.lock().unwrap().clone();
+    let journal = sink.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
     let t1 = Instant::now();
     let outcome = hka_audit::replay(&journal[..], AuditConfig::default());
     let replay_ns = t1.elapsed().as_nanos() as u64;

@@ -107,16 +107,27 @@ pub fn build(cfg: &ScenarioConfig) -> Scenario {
     }
 }
 
-/// Drives every workload event through the server.
-pub fn run_events(scenario: &mut Scenario) {
+/// Drives every workload event through the server. Request-level errors
+/// (unknown user, read-only refusals) are counted and returned instead
+/// of aborting the experiment — a generated workload should produce
+/// none, so callers typically assert the count is zero.
+pub fn run_events(scenario: &mut Scenario) -> u64 {
+    let mut errors = 0;
     for e in &scenario.world.events {
         match e.kind {
             EventKind::Location => scenario.ts.location_update(e.user, e.at),
             EventKind::Request { service } => {
-                let _ = scenario.ts.handle_request(e.user, e.at, ServiceId(service));
+                if scenario
+                    .ts
+                    .try_handle_request(e.user, e.at, ServiceId(service))
+                    .is_err()
+                {
+                    errors += 1;
+                }
             }
         }
     }
+    errors
 }
 
 /// Mean of a sample (0 for empty).

@@ -720,7 +720,13 @@ mod tests {
         struct Shared(Arc<Mutex<Vec<u8>>>);
         impl std::io::Write for Shared {
             fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.lock().unwrap().extend_from_slice(buf);
+                // Recover the guard even if another writer panicked
+                // mid-append: a poisoned buffer must not cascade into
+                // every later flush.
+                self.0
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend_from_slice(buf);
                 Ok(buf.len())
             }
             fn flush(&mut self) -> std::io::Result<()> {
@@ -738,7 +744,7 @@ mod tests {
         }
         log.flush_journal().unwrap();
 
-        let bytes = buffer.0.lock().unwrap().clone();
+        let bytes = buffer.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
         let report = hka_obs::verify_chain(&bytes[..]).expect("chain verifies");
         // All five events journaled even though only two stayed in memory.
         assert_eq!(report.records.len(), 5);

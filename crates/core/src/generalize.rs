@@ -39,7 +39,7 @@
 
 use crate::Tolerance;
 use hka_geo::{SpaceTimeScale, StBox, StPoint};
-use hka_trajectory::{brute, GridIndex, TrajectoryStore, UserId};
+use hka_trajectory::{brute, GridIndex, Phl, TrajectoryStore, UserId};
 
 /// The result of one generalization step.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,17 +114,36 @@ pub fn algorithm1_subsequent(
     tolerance: &Tolerance,
     scale: &SpaceTimeScale,
 ) -> Generalization {
+    algorithm1_subsequent_from(|u| store.phl(u), seed, stored_users, k, tolerance, scale)
+}
+
+/// [`algorithm1_subsequent`] over any PHL lookup, so callers that hold
+/// per-user state in something other than one [`TrajectoryStore`] (a
+/// sharded server, a composite of partitions) can drive the identical
+/// selection. Behaviour and bookkeeping match the store-backed entry
+/// point exactly.
+///
+/// Distances are ordered with [`f64::total_cmp`]: a degenerate PHL point
+/// (non-finite coordinates producing a NaN score) sorts after every real
+/// candidate instead of panicking the comparator.
+pub fn algorithm1_subsequent_from<'p>(
+    phl_of: impl Fn(UserId) -> Option<&'p Phl>,
+    seed: &StPoint,
+    stored_users: &[UserId],
+    k: usize,
+    tolerance: &Tolerance,
+    scale: &SpaceTimeScale,
+) -> Generalization {
     let _span = hka_obs::span("algo1.generalize");
     let mut picks: Vec<(UserId, f64, StPoint)> = stored_users
         .iter()
         .filter_map(|u| {
-            store
-                .phl(*u)
+            phl_of(*u)
                 .and_then(|phl| phl.nearest_point(seed, scale))
                 .map(|p| (*u, scale.dist_sq(seed, &p), p))
         })
         .collect();
-    picks.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    picks.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     picks.truncate(k);
     hka_obs::global()
         .counter("algo1.iterations")
@@ -135,6 +154,25 @@ pub fn algorithm1_subsequent(
         k,
         tolerance,
     )
+}
+
+/// Lines 5–6 + 8–13 of the first-element branch, starting from an
+/// already-computed candidate list (each entry a user and its
+/// per-user-nearest PHL point, ordered by distance-then-id, at most `k`
+/// of them). This is the bounding + tolerance tail of
+/// [`algorithm1_first`] exposed so that callers which merge candidates
+/// from several index partitions can finish the algorithm identically.
+pub fn algorithm1_first_from(
+    seed: &StPoint,
+    picks: Vec<(UserId, StPoint)>,
+    k: usize,
+    tolerance: &Tolerance,
+) -> Generalization {
+    let _span = hka_obs::span("algo1.generalize");
+    hka_obs::global()
+        .counter("algo1.iterations")
+        .add(picks.len() as u64);
+    finish(seed, picks, k, tolerance)
 }
 
 /// Lines 3/5 (bounding) + 8–13 (tolerance check and uniform reduction).
@@ -289,6 +327,61 @@ mod tests {
         assert_eq!(g.context, StBox::point(seed));
         assert!(g.hk_anonymity, "k = 0 is vacuously satisfied");
         assert!(g.selected.is_empty());
+    }
+
+    #[test]
+    fn subsequent_branch_survives_nan_scoring_candidate() {
+        // A PHL point with non-finite coordinates makes dist_sq NaN.
+        // The old partial_cmp(..).unwrap() comparator panicked here;
+        // total_cmp must instead order the NaN candidate after every
+        // finite one and keep the run alive.
+        let mut store = TrajectoryStore::new();
+        store.record(UserId(1), sp(10.0, 5.0, 10));
+        store.record(UserId(2), sp(f64::NAN, f64::NAN, 20));
+        store.record(UserId(3), sp(30.0, 5.0, 30));
+        let seed = sp(0.0, 0.0, 0);
+        let scale = SpaceTimeScale::new(1.0);
+        let stored = vec![UserId(1), UserId(2), UserId(3)];
+        let g = algorithm1_subsequent(&store, &seed, &stored, 2, &loose(), &scale);
+        // The two finite candidates win; the NaN one sorts last and is
+        // truncated away.
+        assert_eq!(g.selected, vec![UserId(1), UserId(3)]);
+        // Even when k is large enough to keep the NaN candidate, the
+        // sort must not panic and the finite users must come first.
+        let g = algorithm1_subsequent(&store, &seed, &stored, 3, &loose(), &scale);
+        assert_eq!(g.selected, vec![UserId(1), UserId(3), UserId(2)]);
+    }
+
+    #[test]
+    fn first_from_matches_first_branch() {
+        let (_, index) = setup();
+        let seed = sp(0.0, 0.0, 0);
+        for k in 0..=6 {
+            let whole = algorithm1_first(&index, &seed, UserId(0), k, &loose());
+            let picks = index.k_nearest_users(&seed, k, Some(UserId(0)));
+            let from = algorithm1_first_from(&seed, picks, k, &loose());
+            assert_eq!(whole, from, "k={k}");
+        }
+    }
+
+    #[test]
+    fn subsequent_from_matches_store_backed_entry_point() {
+        let (store, _) = setup();
+        let seed = sp(100.0, 0.0, 200);
+        let scale = SpaceTimeScale::new(1.0);
+        let stored = vec![UserId(1), UserId(2), UserId(3), UserId(99)];
+        for k in 0..=4 {
+            let a = algorithm1_subsequent(&store, &seed, &stored, k, &loose(), &scale);
+            let b = algorithm1_subsequent_from(
+                |u| store.phl(u),
+                &seed,
+                &stored,
+                k,
+                &loose(),
+                &scale,
+            );
+            assert_eq!(a, b, "k={k}");
+        }
     }
 
     #[test]

@@ -43,9 +43,13 @@ mod policy;
 mod randomize;
 mod server;
 mod shared;
+pub mod strategy;
 
 pub use events::{EventLog, JournalHealth, RetryPolicy, SuppressReason, TsEvent, TsStats};
-pub use generalize::{algorithm1_first, algorithm1_first_brute, algorithm1_subsequent, Generalization};
+pub use generalize::{
+    algorithm1_first, algorithm1_first_brute, algorithm1_first_from, algorithm1_subsequent,
+    algorithm1_subsequent_from, Generalization,
+};
 pub use mixzone::{MixZoneConfig, MixZoneManager, UnlinkDecision};
 pub use policy::{PrivacyLevel, PrivacyParams, RiskAction, Tolerance};
 pub use randomize::{RandomizeConfig, Randomizer};
@@ -54,3 +58,4 @@ pub use server::{
     TsError,
 };
 pub use shared::SharedTrustedServer;
+pub use strategy::{Disclosure, Ingest, PatternState, RequestHost, UserState};

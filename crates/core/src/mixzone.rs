@@ -20,7 +20,7 @@
 //! period, then the user emerges under a fresh pseudonym.
 
 use hka_geo::{angular_separation, Point, Rect, StBox, StPoint, TimeInterval, TimeSec};
-use hka_trajectory::{TrajectoryStore, UserId};
+use hka_trajectory::{Phl, TrajectoryStore, UserId};
 
 /// Parameters of the on-demand mix-zone search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -136,6 +136,22 @@ impl MixZoneManager {
         at: &StPoint,
         k: usize,
     ) -> UnlinkDecision {
+        self.try_unlink_over(store.iter(), requester, at, k)
+    }
+
+    /// [`MixZoneManager::try_unlink`] over any `(user, PHL)` iteration,
+    /// so callers whose PHLs live in several partitions (the sharded
+    /// server) can drive the identical search. The iteration order must
+    /// be ascending by user id — the greedy heading selection is
+    /// order-sensitive, and [`TrajectoryStore::iter`] (which the
+    /// store-backed entry point uses) yields users in that order.
+    pub fn try_unlink_over<'p>(
+        &mut self,
+        phls: impl IntoIterator<Item = (UserId, &'p Phl)>,
+        requester: UserId,
+        at: &StPoint,
+        k: usize,
+    ) -> UnlinkDecision {
         let _span = hka_obs::span("mixzone.try_unlink");
         let cfg = self.config;
         let window = TimeInterval::new(at.t - cfg.lookback, at.t);
@@ -145,7 +161,7 @@ impl MixZoneManager {
         // Candidate users near the point, with their current heading
         // (bearing between their last two observations in the window).
         let mut candidates: Vec<(UserId, f64)> = Vec::new();
-        for (user, phl) in store.iter() {
+        for (user, phl) in phls {
             if user == requester {
                 continue;
             }

@@ -1,15 +1,15 @@
 //! The Trusted Server: the Section-6.1 strategy end to end.
 
-use crate::events::{JournalHealth, RetryPolicy, SuppressReason};
+use crate::events::{JournalHealth, RetryPolicy};
+use crate::strategy::{self, PatternState, RequestHost, UserState};
 use crate::{
-    algorithm1_first, algorithm1_subsequent, EventLog, MixZoneConfig, MixZoneManager,
-    PrivacyLevel, PrivacyParams, RandomizeConfig, Randomizer, RiskAction, Tolerance, TsEvent,
-    UnlinkDecision,
+    algorithm1_first, algorithm1_subsequent, EventLog, Generalization, MixZoneConfig,
+    MixZoneManager, PrivacyLevel, RandomizeConfig, Randomizer, Tolerance, TsEvent, UnlinkDecision,
 };
 use hka_anonymity::{
     historical_k_anonymity, HkOutcome, MsgId, Pseudonym, ServiceId, SpRequest,
 };
-use hka_faults::{sites, FaultInjector};
+use hka_faults::FaultInjector;
 use hka_geo::{Rect, StBox, StPoint, TimeSec};
 use hka_lbqid::{Lbqid, Monitor};
 use hka_trajectory::{GridIndex, GridIndexConfig, TrajectoryStore, UserId};
@@ -82,87 +82,6 @@ impl Default for TsConfig {
             randomize: None,
         }
     }
-}
-
-/// Per-LBQID anonymity-set state under the current pseudonym.
-///
-/// Algorithm 1 "store\[s\] the ids of the k users" the first time a
-/// request matches the pattern's initial element; every later matching
-/// request re-uses (a shrinking subset of) those ids, so that one fixed
-/// crowd of candidate histories covers the whole matched request set —
-/// exactly what Definition 8 requires.
-#[derive(Debug, Clone, Default)]
-struct PatternState {
-    /// The stored user ids (monotonically shrinking along the trace).
-    selected: Vec<UserId>,
-    /// How many generalized requests this pattern has produced so far
-    /// (drives the k′ schedule).
-    step: usize,
-    /// The generalized contexts forwarded for this pattern, for audits.
-    contexts: Vec<StBox>,
-}
-
-/// Per-user TS state.
-#[derive(Debug)]
-struct UserState {
-    pseudonym: Pseudonym,
-    params: Option<PrivacyParams>,
-    /// Per-service overrides — Section 3: "the user choice may be applied
-    /// uniformly to all services or selectively". `Some(None)` means
-    /// privacy explicitly off for that service.
-    overrides: BTreeMap<ServiceId, Option<PrivacyParams>>,
-    monitors: Vec<Monitor>,
-    patterns: Vec<PatternState>,
-    at_risk: bool,
-}
-
-impl UserState {
-    fn params_for(&self, service: ServiceId) -> Option<PrivacyParams> {
-        match self.overrides.get(&service) {
-            Some(p) => *p,
-            None => self.params,
-        }
-    }
-}
-
-/// What a forwarded request disclosed: whether its context was
-/// generalized at all, whether the generalization met full historical
-/// k-anonymity, and the anonymity bookkeeping the audit trail needs
-/// (requested k, achieved anonymity-set size, matched LBQID). Journaled
-/// with the `ts.forwarded` event.
-#[derive(Debug, Clone)]
-struct Disclosure {
-    generalized: bool,
-    hk_ok: bool,
-    k_req: usize,
-    k_got: usize,
-    lbqid: Option<String>,
-}
-
-impl Disclosure {
-    /// An exact, non-pattern forward: no generalization, no anonymity
-    /// set, no LBQID.
-    fn exact() -> Self {
-        Disclosure {
-            generalized: false,
-            hk_ok: true,
-            k_req: 0,
-            k_got: 0,
-            lbqid: None,
-        }
-    }
-}
-
-/// What [`TrustedServer::ingest`] did with one observation.
-struct Ingest {
-    /// The observation, with its timestamp normalized (clamped forward
-    /// onto the PHL's last timestamp if it arrived out of order).
-    at: StPoint,
-    /// Whether the point landed in the store and index (`false` = an
-    /// injected PHL-write fault dropped it).
-    recorded: bool,
-    /// Whether the move crossed into a static mix-zone.
-    entering: bool,
 }
 
 /// What the TS did with a request.
@@ -414,60 +333,15 @@ impl TrustedServer {
     /// entering the area)". Only protected users participate; users with
     /// privacy off keep their pseudonym.
     pub fn location_update(&mut self, user: UserId, at: StPoint) {
-        let ing = self.ingest(user, at);
+        let ing = strategy::ingest_on(self, user, at);
         if ing.entering {
             // Fetch-once: operate on the owned state, then put it back.
             if let Some(mut state) = self.users.remove(&user) {
                 if state.params.is_some() {
-                    self.change_pseudonym_state(user, &mut state, ing.at);
+                    strategy::change_pseudonym_on(self, user, &mut state, ing.at);
                 }
                 self.users.insert(user, state);
             }
-        }
-    }
-
-    /// Normalizes an out-of-order observation timestamp against the
-    /// user's PHL: a regressed timestamp is clamped forward onto the
-    /// last recorded one (counted in `ts.reordered`) instead of
-    /// panicking the time-ordered store.
-    fn normalize_time(&self, user: UserId, mut at: StPoint) -> StPoint {
-        if let Some(last) = self.store.phl(user).and_then(|p| p.last()) {
-            if at.t < last.t {
-                hka_obs::global().counter("ts.reordered").incr();
-                at.t = last.t;
-            }
-        }
-        at
-    }
-
-    /// Records one observation: timestamp normalization, PHL-write
-    /// fault check, store + index insert, static-zone crossing
-    /// detection.
-    fn ingest(&mut self, user: UserId, at: StPoint) -> Ingest {
-        let _stage = hka_obs::span(hka_obs::stage::INGEST);
-        let at = self.normalize_time(user, at);
-        let entering = self.mixzones.in_static_zone(&at.pos)
-            && self
-                .store
-                .phl(user)
-                .and_then(|p| p.last())
-                .is_some_and(|prev| !self.mixzones.in_static_zone(&prev.pos));
-        if self.injector.check(sites::PHL_WRITE).is_some() {
-            // The observation is lost before it reaches the store; the
-            // forwarding boundary fails closed on the `recorded` flag.
-            self.note_fault(sites::PHL_WRITE);
-            return Ingest {
-                at,
-                recorded: false,
-                entering: false,
-            };
-        }
-        self.store.record(user, at);
-        self.index.insert(user, at);
-        Ingest {
-            at,
-            recorded: true,
-            entering,
         }
     }
 
@@ -501,363 +375,9 @@ impl TrustedServer {
             .users
             .remove(&user)
             .ok_or(TsError::UnknownUser(user))?;
-        let outcome = self.handle_owned(user, &mut state, at, service);
+        let outcome = strategy::handle_request_on(self, user, &mut state, at, service);
         self.users.insert(user, state);
         Ok(outcome)
-    }
-
-    /// The Section-6.1 strategy over the owned per-user state.
-    fn handle_owned(
-        &mut self,
-        user: UserId,
-        state: &mut UserState,
-        at: StPoint,
-        service: ServiceId,
-    ) -> RequestOutcome {
-        // The request instant is part of the PHL ("for each request r_i
-        // there must be an element in the PHL of User(r_i)").
-        let at = self.normalize_time(user, at);
-        let already_recorded = self
-            .store
-            .phl(user)
-            .and_then(|p| p.last())
-            .is_some_and(|p| *p == at);
-        let mut faulted = false;
-        if !already_recorded {
-            let ing = self.ingest(user, at);
-            faulted = !ing.recorded;
-            if ing.entering && state.params.is_some() {
-                self.change_pseudonym_state(user, state, ing.at);
-            }
-        }
-
-        let tolerance = *self
-            .services
-            .get(&service)
-            .unwrap_or(&self.config.default_tolerance);
-
-        let Some(params) = state.params_for(service) else {
-            // Privacy off (for this service): forward the exact context
-            // — unless a fault or degraded mode forbids it.
-            if let Some(denied) = self.fail_closed(user, at, service, false, true, faulted) {
-                return denied;
-            }
-            return self.forward(user, state.pseudonym, at, StBox::point(at), service, Disclosure::exact());
-        };
-
-        // Mix-zone suppression (static zones and cooling on-demand zones).
-        if self.mixzones.suppressed_at(&at) {
-            hka_obs::global().counter("ts.suppressed").incr();
-            self.push_event(
-                TsEvent::Suppressed {
-                    user,
-                    at: at.t,
-                    reason: SuppressReason::MixZone,
-                    service,
-                },
-                at.t,
-            );
-            return RequestOutcome::Suppressed(SuppressReasonPub::MixZone);
-        }
-
-        // LBQID monitoring: the first pattern that recognizes the request
-        // claims it (the paper's simplifying assumption: "each request can
-        // match an element in only one of the LBQIDs").
-        let mut hit: Option<(usize, hka_lbqid::MatchEvent)> = None;
-        {
-            let _stage = hka_obs::span(hka_obs::stage::LBQID_MATCH);
-            for (mi, monitor) in state.monitors.iter_mut().enumerate() {
-                if let Some(ev) = monitor.observe(at) {
-                    hit = Some((mi, ev));
-                    break;
-                }
-            }
-        }
-
-        let Some((mi, ev)) = hit else {
-            // Not part of any quasi-identifier: forward exactly.
-            if let Some(denied) = self.fail_closed(user, at, service, false, true, faulted) {
-                return denied;
-            }
-            return self.forward(user, state.pseudonym, at, StBox::point(at), service, Disclosure::exact());
-        };
-
-        if ev.full_match {
-            let name = state.monitors[mi].lbqid().name().to_owned();
-            self.push_event(
-                TsEvent::LbqidMatched {
-                    user,
-                    at: at.t,
-                    lbqid: name,
-                },
-                at.t,
-            );
-        }
-
-        // Algorithm 1 needs the spatio-temporal index to establish the
-        // anonymity set; an unavailable index fails the request closed.
-        if self.injector.check(sites::INDEX_QUERY).is_some() {
-            self.note_fault(sites::INDEX_QUERY);
-            return self
-                .fail_closed(user, at, service, false, false, true)
-                .expect("a faulted request always fails closed");
-        }
-
-        // Generalize with Algorithm 1.
-        let (gen, step, k_req) = {
-            let _stage = hka_obs::span(hka_obs::stage::ALGO1);
-            let pattern = &state.patterns[mi];
-            if pattern.selected.is_empty() {
-                let k0 = params.k_at_step(0);
-                (algorithm1_first(&self.index, &at, user, k0, &tolerance), 0, k0)
-            } else {
-                let step = pattern.step;
-                let k_eff = params.k_at_step(step);
-                (
-                    algorithm1_subsequent(
-                        &self.store,
-                        &at,
-                        &pattern.selected,
-                        k_eff,
-                        &tolerance,
-                        &self.config.index.scale,
-                    ),
-                    step,
-                    k_eff,
-                )
-            }
-        };
-
-        if gen.hk_anonymity {
-            // The fail-closed gate runs *before* the pattern state is
-            // committed: a suppressed request must leave no trace in the
-            // anonymity-set bookkeeping or the audit contexts.
-            if let Some(denied) = self.fail_closed(user, at, service, true, true, faulted) {
-                return denied;
-            }
-            let pattern = &mut state.patterns[mi];
-            pattern.selected = gen.selected.clone();
-            pattern.step = step + 1;
-            pattern.contexts.push(gen.context);
-            let disclosure = Disclosure {
-                generalized: true,
-                hk_ok: true,
-                k_req,
-                k_got: gen.selected.len(),
-                lbqid: Some(state.monitors[mi].lbqid().name().to_owned()),
-            };
-            return self.forward(user, state.pseudonym, at, gen.context, service, disclosure);
-        }
-
-        // Generalization failed: try to unlink (Section 6.1 step 2). An
-        // unavailable mix-zone subsystem leaves no protection at all.
-        if self.injector.check(sites::MIXZONE).is_some() {
-            self.note_fault(sites::MIXZONE);
-            return self
-                .fail_closed(user, at, service, false, false, true)
-                .expect("a faulted request always fails closed");
-        }
-        let decision = {
-            let _stage = hka_obs::span(hka_obs::stage::LINK_CHECK);
-            self.mixzones.try_unlink(&self.store, user, &at, params.k)
-        };
-        match decision {
-            UnlinkDecision::Unlinked { .. } => {
-                self.change_pseudonym_state(user, state, at);
-                // The request itself falls inside the just-activated zone:
-                // service is interrupted while the crowd mixes.
-                hka_obs::global().counter("ts.suppressed").incr();
-                self.push_event(
-                    TsEvent::Suppressed {
-                        user,
-                        at: at.t,
-                        reason: SuppressReason::MixZone,
-                        service,
-                    },
-                    at.t,
-                );
-                RequestOutcome::Suppressed(SuppressReasonPub::MixZone)
-            }
-            UnlinkDecision::Infeasible { .. } => {
-                // "The user is considered at risk of identification, and
-                // notified about it."
-                state.at_risk = true;
-                let name = state.monitors[mi].lbqid().name().to_owned();
-                hka_obs::global().counter("ts.at_risk").incr();
-                self.push_event(
-                    TsEvent::AtRisk {
-                        user,
-                        at: at.t,
-                        lbqid: name,
-                    },
-                    at.t,
-                );
-                match params.on_risk {
-                    RiskAction::Forward => {
-                        // The clamped (sub-k) forward is exactly what
-                        // degraded modes must not let through.
-                        if let Some(denied) = self.fail_closed(user, at, service, true, false, faulted) {
-                            return denied;
-                        }
-                        let pattern = &mut state.patterns[mi];
-                        pattern.selected = gen.selected.clone();
-                        pattern.step = step + 1;
-                        pattern.contexts.push(gen.context);
-                        let disclosure = Disclosure {
-                            generalized: true,
-                            hk_ok: false,
-                            k_req,
-                            k_got: gen.selected.len(),
-                            lbqid: Some(state.monitors[mi].lbqid().name().to_owned()),
-                        };
-                        self.forward(user, state.pseudonym, at, gen.context, service, disclosure)
-                    }
-                    RiskAction::Suppress => {
-                        hka_obs::global().counter("ts.suppressed").incr();
-                        self.push_event(
-                            TsEvent::Suppressed {
-                                user,
-                                at: at.t,
-                                reason: SuppressReason::RiskPolicy,
-                                service,
-                            },
-                            at.t,
-                        );
-                        RequestOutcome::Suppressed(SuppressReasonPub::RiskPolicy)
-                    }
-                }
-            }
-        }
-    }
-
-    /// The single fail-closed gate at the forwarding boundary.
-    ///
-    /// Returns the suppression outcome when the request must not go out
-    /// in its current form:
-    ///
-    /// * any injected fault on the request's path (`faulted`) denies in
-    ///   every mode — a dropped PHL write, an unavailable index or
-    ///   mix-zone all mean the protection cannot be established;
-    /// * [`ServerMode::Degraded`] additionally denies everything that is
-    ///   not a generalized, HK-anonymity-preserving forward (exact
-    ///   contexts and sub-k clamps included): without a trustworthy
-    ///   audit trail only demonstrably protected requests flow;
-    /// * [`ServerMode::ReadOnly`] denies unconditionally.
-    fn fail_closed(
-        &mut self,
-        user: UserId,
-        at: StPoint,
-        service: ServiceId,
-        generalized: bool,
-        hk_ok: bool,
-        faulted: bool,
-    ) -> Option<RequestOutcome> {
-        let deny = match self.mode {
-            ServerMode::Normal => faulted,
-            ServerMode::Degraded => faulted || !(generalized && hk_ok),
-            ServerMode::ReadOnly => true,
-        };
-        if !deny {
-            return None;
-        }
-        let metrics = hka_obs::global();
-        metrics.counter("ts.suppressed").incr();
-        metrics.counter("ts.suppressed_degraded").incr();
-        self.push_event(
-            TsEvent::Suppressed {
-                user,
-                at: at.t,
-                reason: SuppressReason::Degraded,
-                service,
-            },
-            at.t,
-        );
-        Some(RequestOutcome::Suppressed(SuppressReasonPub::Degraded))
-    }
-
-    fn forward(
-        &mut self,
-        user: UserId,
-        pseudonym: Pseudonym,
-        at: StPoint,
-        context: StBox,
-        service: ServiceId,
-        disclosure: Disclosure,
-    ) -> RequestOutcome {
-        let _stage = hka_obs::span(hka_obs::stage::FORWARD);
-        let Disclosure {
-            generalized,
-            hk_ok,
-            k_req,
-            k_got,
-            lbqid,
-        } = disclosure;
-        debug_assert!(context.contains(&at), "context must cover the true point");
-        let msg_id = MsgId(self.next_msg);
-        self.next_msg += 1;
-        // Anti-inference randomization (Conclusions: "randomization should
-        // be used as part of the TS strategy"): only generalized contexts
-        // are perturbed — exact contexts belong to users who opted out.
-        let context = match (&self.randomizer, generalized) {
-            (Some(rz), true) => {
-                let tolerance = *self
-                    .services
-                    .get(&service)
-                    .unwrap_or(&self.config.default_tolerance);
-                rz.randomize(&context, &at, msg_id.0, &tolerance)
-            }
-            _ => context,
-        };
-        let req = SpRequest::new(msg_id, pseudonym, context, service);
-        self.outbox.push((user, req.clone()));
-        self.routes.insert(msg_id, user);
-        let metrics = hka_obs::global();
-        metrics.counter("ts.forwarded").incr();
-        if generalized {
-            metrics.counter("ts.forwarded_generalized").incr();
-        }
-        self.push_event(
-            TsEvent::Forwarded {
-                user,
-                at: at.t,
-                context,
-                generalized,
-                hk_ok,
-                service,
-                k_req,
-                k_got,
-                lbqid,
-            },
-            at.t,
-        );
-        RequestOutcome::Forwarded(req)
-    }
-
-    /// Changes a user's pseudonym and resets all pattern state: "if
-    /// unlinking succeeds … all partially matched patterns based on old
-    /// pseudonym for that user are reset." Operates on the owned state
-    /// (fetch-once discipline — the state may be out of the map).
-    fn change_pseudonym_state(&mut self, user: UserId, state: &mut UserState, at: StPoint) {
-        hka_obs::global().counter("ts.unlinks").incr();
-        let new = self.fresh_pseudonym();
-        let old = state.pseudonym;
-        state.pseudonym = new;
-        for m in &mut state.monitors {
-            m.reset();
-        }
-        for p in &mut state.patterns {
-            *p = PatternState::default();
-        }
-        state.at_risk = false;
-        self.push_event(
-            TsEvent::PseudonymChanged {
-                user,
-                old,
-                new,
-                at: at.t,
-            },
-            at.t,
-        );
     }
 
     /// Pushes an event and re-synchronizes the mode state machine with
@@ -899,12 +419,6 @@ impl TrustedServer {
         });
     }
 
-    /// Counts one injected fault, globally and per site.
-    fn note_fault(&mut self, site: &str) {
-        let metrics = hka_obs::global();
-        metrics.counter("faults.injected").incr();
-        metrics.counter(&format!("faults.{site}")).incr();
-    }
 
     fn fresh_pseudonym(&mut self) -> Pseudonym {
         let p = Pseudonym(self.next_pseudonym);
@@ -1113,9 +627,119 @@ impl TrustedServer {
     }
 }
 
+/// The capability surface the extracted Section-6.1 strategy
+/// ([`crate::strategy`]) needs, answered by the server's own store,
+/// index, mix-zone manager, and bookkeeping. The sharded frontend
+/// implements the same trait over a partitioned layout; differential
+/// tests pin the two to identical behaviour.
+impl RequestHost for TrustedServer {
+    fn phl_last(&self, user: UserId) -> Option<StPoint> {
+        self.store.phl(user).and_then(|p| p.last()).copied()
+    }
+
+    fn record(&mut self, user: UserId, at: StPoint) {
+        self.store.record(user, at);
+        self.index.insert(user, at);
+    }
+
+    fn check_fault(&mut self, site: &str) -> bool {
+        if self.injector.check(site).is_some() {
+            let metrics = hka_obs::global();
+            metrics.counter("faults.injected").incr();
+            metrics.counter(&format!("faults.{site}")).incr();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn in_static_zone(&self, pos: &hka_geo::Point) -> bool {
+        self.mixzones.in_static_zone(pos)
+    }
+
+    fn suppressed_at(&mut self, at: &StPoint) -> bool {
+        self.mixzones.suppressed_at(at)
+    }
+
+    fn tolerance_for(&self, service: ServiceId) -> Tolerance {
+        *self
+            .services
+            .get(&service)
+            .unwrap_or(&self.config.default_tolerance)
+    }
+
+    fn mode(&self) -> ServerMode {
+        self.mode
+    }
+
+    fn algo1_first(
+        &mut self,
+        at: &StPoint,
+        user: UserId,
+        k: usize,
+        tolerance: &Tolerance,
+    ) -> Generalization {
+        algorithm1_first(&self.index, at, user, k, tolerance)
+    }
+
+    fn algo1_subsequent(
+        &mut self,
+        at: &StPoint,
+        stored: &[UserId],
+        k: usize,
+        tolerance: &Tolerance,
+    ) -> Generalization {
+        algorithm1_subsequent(&self.store, at, stored, k, tolerance, &self.config.index.scale)
+    }
+
+    fn try_unlink(&mut self, user: UserId, at: &StPoint, k: usize) -> UnlinkDecision {
+        self.mixzones.try_unlink(&self.store, user, at, k)
+    }
+
+    fn fresh_pseudonym(&mut self) -> Pseudonym {
+        TrustedServer::fresh_pseudonym(self)
+    }
+
+    fn next_msg_id(&mut self) -> MsgId {
+        let m = MsgId(self.next_msg);
+        self.next_msg += 1;
+        m
+    }
+
+    fn randomize(
+        &mut self,
+        context: StBox,
+        at: &StPoint,
+        msg_id: u64,
+        service: ServiceId,
+    ) -> StBox {
+        match &self.randomizer {
+            Some(rz) => {
+                let tolerance = *self
+                    .services
+                    .get(&service)
+                    .unwrap_or(&self.config.default_tolerance);
+                rz.randomize(&context, at, msg_id, &tolerance)
+            }
+            None => context,
+        }
+    }
+
+    fn emit(&mut self, e: TsEvent, at: TimeSec) {
+        self.push_event(e, at);
+    }
+
+    fn deliver(&mut self, user: UserId, req: SpRequest) {
+        self.routes.insert(req.msg_id, user);
+        self.outbox.push((user, req));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{PrivacyParams, RiskAction};
+    use hka_faults::sites;
     use hka_geo::{SpaceTimeScale, TimeSec};
 
     fn sp(x: f64, y: f64, t: i64) -> StPoint {

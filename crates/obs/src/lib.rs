@@ -28,8 +28,9 @@ pub mod span;
 pub mod stage;
 
 pub use journal::{
-    event_hash, recover, verify_chain, BoxedJournal, ChainError, ChainReport, Journal,
-    JournalReader, JournalRecord, RecoveryReport, GENESIS_HASH, JOURNAL_VERSION,
+    event_hash, recover, verify_chain, BoxedJournal, ChainError, ChainReport, DurableJournal,
+    DurableSink, Journal, JournalReader, JournalRecord, RecoveryReport, Unsynced, GENESIS_HASH,
+    JOURNAL_VERSION,
 };
 pub use json::Json;
 pub use metrics::{

@@ -1,0 +1,715 @@
+//! # hka-shard
+//!
+//! A sharded frontend for the paper's Trusted Server: users are
+//! hash-partitioned across N worker shards, each owning the
+//! `TrustedServer`-style per-user state (pseudonym, privacy profile,
+//! LBQID monitors, pattern bookkeeping) and a partition of the PHL
+//! store + grid index for its users.
+//!
+//! ## Execution model: canonical-order phases
+//!
+//! Events are submitted with a global **position** (their submission
+//! order) and classified:
+//!
+//! * **parallel-safe** — location ingests, and requests whose effective
+//!   privacy is *off* for the addressed service (the exact-forward
+//!   path): these touch only the issuing user's shard, so consecutive
+//!   runs of them execute concurrently, one `std::thread::scope` worker
+//!   per shard, each shard replaying its slice in position order;
+//! * **serialization points** — every protected (pattern-matching)
+//!   request, and *all* events once a fault plan is attached or a
+//!   randomizer is configured: the scheduler drains the parallel stage
+//!   to quiescence (a **barrier**, which is also the epoch tick that
+//!   publishes a fresh read snapshot), commits the journal, and runs
+//!   the event on the coordinator against the union of all shards.
+//!
+//! Cross-shard reads on the serialized path go through
+//! [`IndexSnapshot`](hka_trajectory::IndexSnapshot) — an immutable
+//! epoch snapshot over the per-shard indices whose merged k-candidate
+//! answer is bit-identical to a single index (shards partition users
+//! disjointly). This is what keeps Algorithm 1's anonymity sets exact:
+//! a snapshot that lagged ingests could only *shrink* candidate sets
+//! (fail-closed), never inflate them, but the barrier-published
+//! snapshot has zero lag and the differential tests pin byte equality.
+//!
+//! ## Group-commit journal
+//!
+//! All shards' events funnel into **one** hash chain: workers buffer
+//! `(position, event)` pairs, the barrier merges them in canonical
+//! order, and a commit appends the whole batch with a single
+//! flush + fsync (see [`crate::commit`]'s module docs in the source for
+//! the batched retry semantics). `verify_chain` and `hka-audit` accept
+//! the result unchanged — batching alters durability cadence, not one
+//! byte of the chain.
+//!
+//! ## Equivalence contract
+//!
+//! For every shard count, [`ShardedTs`] produces **identical per-user
+//! outcomes** to the sequential [`TrustedServer`](hka_core::TrustedServer)
+//! run over the same submissions: outcome kind, forwarded context box,
+//! service, suppression reason, per-user event order, and canonical
+//! global event order all match. Message ids and pseudonyms come from
+//! disjoint per-shard id spaces (shard *i* allocates
+//! `((i+1) << 48) | n`), so their *values* differ unless every event
+//! serializes — with a fault plan or randomizer attached the sharded
+//! server replays the sequential id allocation exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod commit;
+mod serial;
+mod worker;
+
+use crate::commit::GroupCommit;
+use crate::serial::{shard_of, Coordinator, SerialHost};
+use crate::worker::{ShardState, Work, WorkKind};
+use hka_anonymity::{historical_k_anonymity, HkOutcome, MsgId, Pseudonym, ServiceId, SpRequest};
+use hka_core::strategy::{self, PatternState, UserState};
+use hka_core::{
+    EventLog, JournalHealth, PrivacyIndicator, PrivacyLevel, RequestOutcome, RetryPolicy,
+    ServerMode, Tolerance, TsConfig, TsError, TsStats,
+};
+use hka_faults::FaultInjector;
+use hka_geo::{Rect, StBox, StPoint};
+use hka_lbqid::{Lbqid, Monitor};
+use hka_obs::DurableJournal;
+use hka_trajectory::{TrajectoryStore, UserId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Classification metadata the scheduler keeps outside the shards, so
+/// submissions can be routed without touching (possibly busy) worker
+/// state: whether privacy is on at registration, and per-service
+/// overrides.
+#[derive(Debug, Clone)]
+struct PrivacyMeta {
+    base_on: bool,
+    overrides: BTreeMap<ServiceId, bool>,
+}
+
+impl PrivacyMeta {
+    fn on_for(&self, service: ServiceId) -> bool {
+        *self.overrides.get(&service).unwrap_or(&self.base_on)
+    }
+}
+
+/// A submitted, not-yet-executed event.
+#[derive(Debug, Clone)]
+enum Submitted {
+    Location {
+        pos: u64,
+        user: UserId,
+        at: StPoint,
+    },
+    Request {
+        pos: u64,
+        user: UserId,
+        at: StPoint,
+        service: ServiceId,
+    },
+}
+
+/// The sharded Trusted Server frontend. See the crate docs for the
+/// execution model; the API is submission-based — queue events with
+/// [`ShardedTs::submit_location`] / [`ShardedTs::submit_request`], run
+/// them with [`ShardedTs::flush`], and collect request outcomes (tagged
+/// with their submission position) via [`ShardedTs::take_outcomes`].
+pub struct ShardedTs {
+    shards: Vec<ShardState>,
+    co: Coordinator,
+    registered: BTreeSet<UserId>,
+    privacy: BTreeMap<UserId, PrivacyMeta>,
+    queue: Vec<Submitted>,
+    outcomes: Vec<(u64, UserId, Result<RequestOutcome, TsError>)>,
+    next_pos: u64,
+    epoch: u64,
+    parallel_threshold: usize,
+}
+
+impl ShardedTs {
+    /// Creates an empty sharded TS with `shards` worker partitions
+    /// (clamped to at least 1).
+    pub fn new(config: TsConfig, shards: usize) -> Self {
+        let n = shards.max(1);
+        // On a single-core host worker threads cannot overlap; spawning
+        // them per barrier is pure overhead, so default to inline
+        // execution there (results are identical either way — the
+        // differential tests force the threaded path explicitly).
+        let single_core = std::thread::available_parallelism()
+            .map(|p| p.get() == 1)
+            .unwrap_or(false);
+        ShardedTs {
+            shards: (0..n).map(|i| ShardState::new(i, &config)).collect(),
+            co: Coordinator::new(config),
+            registered: BTreeSet::new(),
+            privacy: BTreeMap::new(),
+            queue: Vec::new(),
+            outcomes: Vec::new(),
+            next_pos: 0,
+            epoch: 0,
+            parallel_threshold: if single_core { usize::MAX } else { 64 },
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// How many epochs (barrier publications of a fresh read snapshot)
+    /// have elapsed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Minimum staged batch size before the scheduler spawns worker
+    /// threads; smaller batches run inline (thread spawn costs more
+    /// than it saves). One-shard servers always run inline. Pass `0` to
+    /// force the threaded path, `usize::MAX` to always run inline (the
+    /// default on single-core hosts).
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.parallel_threshold = threshold;
+    }
+
+    // ------------------------------------------------------------------
+    // Setup (serial; drains any queued events first).
+    // ------------------------------------------------------------------
+
+    /// Registers a user; returns the initial pseudonym (allocated from
+    /// the coordinator's id space, matching the sequential server).
+    ///
+    /// # Panics
+    /// On the same conditions as the sequential
+    /// [`register_user`](hka_core::TrustedServer::register_user).
+    pub fn register_user(&mut self, user: UserId, level: PrivacyLevel) -> Pseudonym {
+        match self.try_register_user(user, level) {
+            Ok(p) => p,
+            Err(TsError::DuplicateUser(u)) => panic!("user {u} registered twice"),
+            Err(e) => panic!("register_user({user}) failed: {e}"),
+        }
+    }
+
+    /// Fallible registration; refused with [`TsError::Degraded`] while
+    /// read-only.
+    pub fn try_register_user(
+        &mut self,
+        user: UserId,
+        level: PrivacyLevel,
+    ) -> Result<Pseudonym, TsError> {
+        self.flush();
+        if self.co.mode == ServerMode::ReadOnly {
+            return Err(TsError::Degraded);
+        }
+        let params = level.params();
+        if let Some(p) = &params {
+            p.validate().map_err(TsError::InvalidParams)?;
+        }
+        if self.registered.contains(&user) {
+            return Err(TsError::DuplicateUser(user));
+        }
+        let pseudonym = Pseudonym(self.co.next_pseudonym);
+        self.co.next_pseudonym += 1;
+        let sid = shard_of(self.shards.len(), user);
+        let shard = &mut self.shards[sid];
+        shard.users.insert(user, UserState::new(pseudonym, params));
+        shard.store.ensure_user(user);
+        self.registered.insert(user);
+        self.privacy.insert(
+            user,
+            PrivacyMeta {
+                base_on: params.is_some(),
+                overrides: BTreeMap::new(),
+            },
+        );
+        Ok(pseudonym)
+    }
+
+    /// Attaches an LBQID to a user.
+    ///
+    /// # Panics
+    /// If the user is unknown or the server is read-only.
+    pub fn add_lbqid(&mut self, user: UserId, lbqid: Lbqid) {
+        if let Err(e) = self.try_add_lbqid(user, lbqid) {
+            panic!("add_lbqid({user}) failed: {e}");
+        }
+    }
+
+    /// Fallible variant of [`ShardedTs::add_lbqid`].
+    pub fn try_add_lbqid(&mut self, user: UserId, lbqid: Lbqid) -> Result<(), TsError> {
+        self.flush();
+        if self.co.mode == ServerMode::ReadOnly {
+            return Err(TsError::Degraded);
+        }
+        let sid = shard_of(self.shards.len(), user);
+        let shard = &mut self.shards[sid];
+        let st = shard
+            .users
+            .get_mut(&user)
+            .ok_or(TsError::UnknownUser(user))?;
+        st.monitors.push(Monitor::new(lbqid));
+        st.patterns.push(PatternState::default());
+        Ok(())
+    }
+
+    /// Sets a per-service privacy override for a user.
+    pub fn set_service_privacy(
+        &mut self,
+        user: UserId,
+        service: ServiceId,
+        level: PrivacyLevel,
+    ) -> Result<(), TsError> {
+        self.flush();
+        if self.co.mode == ServerMode::ReadOnly {
+            return Err(TsError::Degraded);
+        }
+        let params = level.params();
+        if let Some(p) = &params {
+            p.validate().map_err(TsError::InvalidParams)?;
+        }
+        let sid = shard_of(self.shards.len(), user);
+        let shard = &mut self.shards[sid];
+        let state = shard
+            .users
+            .get_mut(&user)
+            .ok_or(TsError::UnknownUser(user))?;
+        state.overrides.insert(service, params);
+        self.privacy
+            .get_mut(&user)
+            .expect("privacy metadata tracks registration")
+            .overrides
+            .insert(service, params.is_some());
+        Ok(())
+    }
+
+    /// Registers a service's tolerance constraints (replicated to every
+    /// shard — the strategy resolves the tolerance on both paths).
+    pub fn register_service(&mut self, service: ServiceId, tolerance: Tolerance) {
+        self.flush();
+        self.co.services.insert(service, tolerance);
+        for shard in &mut self.shards {
+            shard.services.insert(service, tolerance);
+        }
+    }
+
+    /// Adds a static mix-zone (replicated to every shard for crossing
+    /// detection on the parallel ingest path).
+    pub fn add_static_mixzone(&mut self, zone: Rect) {
+        self.flush();
+        self.co.mixzones.add_static_zone(zone);
+        for shard in &mut self.shards {
+            shard.static_zones.push(zone);
+        }
+    }
+
+    /// Attaches a fault-injection plan. Faults make every event a
+    /// serialization point: the shared plan's triggers (`Once`,
+    /// `EveryNth`, windows) must observe the exact sequential order of
+    /// site checks, so the scheduler stops running anything in parallel.
+    pub fn attach_faults(&mut self, injector: FaultInjector) {
+        self.flush();
+        for shard in &mut self.shards {
+            shard.injector = injector.clone();
+        }
+        self.co.injector = injector;
+        self.co.serialize_all = true;
+    }
+
+    /// Routes every logged event into a durable hash-chained journal
+    /// via group commit (default [`RetryPolicy`]). Returns the previous
+    /// journal, if any. A fresh sink is healthy, so a degraded server
+    /// returns to [`ServerMode::Normal`].
+    pub fn attach_journal(&mut self, journal: DurableJournal) -> Option<DurableJournal> {
+        self.attach_journal_with(journal, RetryPolicy::default())
+    }
+
+    /// Like [`ShardedTs::attach_journal`] with an explicit retry policy.
+    pub fn attach_journal_with(
+        &mut self,
+        journal: DurableJournal,
+        policy: RetryPolicy,
+    ) -> Option<DurableJournal> {
+        self.flush();
+        // Give the outgoing sink a last chance at the pending batch;
+        // whatever it cannot take carries over to the fresh journal.
+        let previous = self.co.journal.take().map(|mut old| {
+            old.commit(&mut self.co.pending);
+            old.into_journal()
+        });
+        self.co.journal = Some(GroupCommit::new(journal, policy));
+        self.co.sync_mode();
+        previous
+    }
+
+    /// Runs any queued events and commits the pending journal batch
+    /// (flush + fsync). Errors surface through the health ladder rather
+    /// than this result, mirroring the sequential
+    /// [`flush_journal`](hka_core::TrustedServer::flush_journal).
+    pub fn flush_journal(&mut self) -> std::io::Result<()> {
+        self.flush();
+        self.co.commit();
+        Ok(())
+    }
+
+    /// Detaches and returns the journal after committing what's pending.
+    pub fn take_journal(&mut self) -> Option<DurableJournal> {
+        self.flush();
+        self.co.commit();
+        let taken = self.co.journal.take().map(GroupCommit::into_journal);
+        self.co.sync_mode();
+        taken
+    }
+
+    // ------------------------------------------------------------------
+    // Submission API.
+    // ------------------------------------------------------------------
+
+    /// Queues a location update; returns its canonical position.
+    pub fn submit_location(&mut self, user: UserId, at: StPoint) -> u64 {
+        let pos = self.next_pos;
+        self.next_pos += 1;
+        self.queue.push(Submitted::Location { pos, user, at });
+        pos
+    }
+
+    /// Queues a service request; returns its canonical position (the
+    /// key into [`ShardedTs::take_outcomes`]).
+    pub fn submit_request(&mut self, user: UserId, at: StPoint, service: ServiceId) -> u64 {
+        let pos = self.next_pos;
+        self.next_pos += 1;
+        self.queue.push(Submitted::Request {
+            pos,
+            user,
+            at,
+            service,
+        });
+        pos
+    }
+
+    /// Runs every queued event through the phase scheduler and commits
+    /// the journal.
+    pub fn flush(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let q = std::mem::take(&mut self.queue);
+        let n = self.shards.len();
+        let mut staged: Vec<Vec<Work>> = (0..n).map(|_| Vec::new()).collect();
+        let mut staged_count = 0usize;
+        for ev in q {
+            match ev {
+                Submitted::Location { pos, user, at } => {
+                    if self.co.serialize_all {
+                        self.run_barrier(&mut staged, &mut staged_count);
+                        self.run_serial_location(user, at);
+                    } else {
+                        staged[shard_of(n, user)].push(Work {
+                            pos,
+                            user,
+                            kind: WorkKind::Location { at },
+                        });
+                        staged_count += 1;
+                    }
+                }
+                Submitted::Request {
+                    pos,
+                    user,
+                    at,
+                    service,
+                } => {
+                    if !self.registered.contains(&user) {
+                        // The sequential server counts the request
+                        // before rejecting it; keep totals identical.
+                        let _span = hka_obs::span("ts.handle_request");
+                        hka_obs::global().counter("ts.requests").incr();
+                        self.outcomes
+                            .push((pos, user, Err(TsError::UnknownUser(user))));
+                    } else if !self.co.serialize_all
+                        && !self.privacy[&user].on_for(service)
+                    {
+                        staged[shard_of(n, user)].push(Work {
+                            pos,
+                            user,
+                            kind: WorkKind::Request { at, service },
+                        });
+                        staged_count += 1;
+                    } else {
+                        self.run_barrier(&mut staged, &mut staged_count);
+                        // Serial requests consult the mode ladder, so
+                        // they must see a freshly committed health.
+                        self.co.commit();
+                        self.run_serial_request(pos, user, at, service);
+                    }
+                }
+            }
+        }
+        self.run_barrier(&mut staged, &mut staged_count);
+        self.co.commit();
+    }
+
+    /// Flushes and returns all collected request outcomes, ordered by
+    /// canonical position.
+    pub fn take_outcomes(&mut self) -> Vec<(u64, UserId, Result<RequestOutcome, TsError>)> {
+        self.flush();
+        let mut out = std::mem::take(&mut self.outcomes);
+        out.sort_by_key(|(pos, _, _)| *pos);
+        out
+    }
+
+    /// Convenience: submit one request, flush, and return its outcome —
+    /// the sharded analogue of the sequential
+    /// [`try_handle_request`](hka_core::TrustedServer::try_handle_request).
+    pub fn request_now(
+        &mut self,
+        user: UserId,
+        at: StPoint,
+        service: ServiceId,
+    ) -> Result<RequestOutcome, TsError> {
+        let pos = self.submit_request(user, at, service);
+        self.flush();
+        let idx = self
+            .outcomes
+            .iter()
+            .position(|(p, _, _)| *p == pos)
+            .expect("flush records an outcome for every request");
+        self.outcomes.remove(idx).2
+    }
+
+    /// Convenience: submit one location update and flush.
+    pub fn location_update(&mut self, user: UserId, at: StPoint) {
+        self.submit_location(user, at);
+        self.flush();
+    }
+
+    // ------------------------------------------------------------------
+    // Phase execution.
+    // ------------------------------------------------------------------
+
+    /// Drains the staged parallel work to quiescence and publishes a
+    /// new epoch: workers run their slices (threaded above the inline
+    /// threshold), then the coordinator merges events, outcomes, and
+    /// outbox entries back into canonical order.
+    fn run_barrier(&mut self, staged: &mut [Vec<Work>], staged_count: &mut usize) {
+        if *staged_count == 0 {
+            return;
+        }
+        let total = *staged_count;
+        *staged_count = 0;
+        for shard in &mut self.shards {
+            shard.mode = self.co.mode;
+        }
+        if self.shards.len() == 1 || total < self.parallel_threshold {
+            for (sid, work) in staged.iter_mut().enumerate() {
+                if work.is_empty() {
+                    continue;
+                }
+                self.shards[sid].run(std::mem::take(work));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (shard, work) in self.shards.iter_mut().zip(staged.iter_mut()) {
+                    if work.is_empty() {
+                        continue;
+                    }
+                    let batch = std::mem::take(work);
+                    scope.spawn(move || shard.run(batch));
+                }
+            });
+        }
+        self.epoch += 1;
+        self.merge_worker_buffers();
+    }
+
+    /// Merges the workers' per-batch buffers back into global state in
+    /// canonical (position, emission-index) order, so the ring, the
+    /// journal batch, and the outbox are indistinguishable from a
+    /// sequential execution.
+    fn merge_worker_buffers(&mut self) {
+        let mut events = Vec::new();
+        let mut outs = Vec::new();
+        for shard in &mut self.shards {
+            events.append(&mut shard.events_buf);
+            outs.append(&mut shard.outbox_buf);
+            for (pos, user, outcome) in shard.outcomes_buf.drain(..) {
+                self.outcomes.push((pos, user, Ok(outcome)));
+            }
+        }
+        events.sort_by_key(|&(pos, idx, _, _)| (pos, idx));
+        for (_, _, e, at) in events {
+            self.co.emit_event(e, at);
+        }
+        outs.sort_by_key(|(pos, _, _)| *pos);
+        for (_, user, req) in outs {
+            self.co.routes.insert(req.msg_id, user);
+            self.co.outbox.push((user, req));
+        }
+    }
+
+    fn run_serial_location(&mut self, user: UserId, at: StPoint) {
+        let sid = shard_of(self.shards.len(), user);
+        let state = self.shards[sid].users.remove(&user);
+        let mut host = SerialHost {
+            co: &mut self.co,
+            shards: &mut self.shards,
+        };
+        match state {
+            Some(mut st) => {
+                strategy::location_update_on(&mut host, user, &mut st, at);
+                self.shards[sid].users.insert(user, st);
+            }
+            None => {
+                // Unregistered users are still observed by the
+                // positioning infrastructure (sequential behaviour).
+                strategy::ingest_on(&mut host, user, at);
+            }
+        }
+    }
+
+    fn run_serial_request(&mut self, pos: u64, user: UserId, at: StPoint, service: ServiceId) {
+        let _span = hka_obs::span("ts.handle_request");
+        hka_obs::global().counter("ts.requests").incr();
+        let sid = shard_of(self.shards.len(), user);
+        let Some(mut state) = self.shards[sid].users.remove(&user) else {
+            self.outcomes
+                .push((pos, user, Err(TsError::UnknownUser(user))));
+            return;
+        };
+        let mut host = SerialHost {
+            co: &mut self.co,
+            shards: &mut self.shards,
+        };
+        let outcome = strategy::handle_request_on(&mut host, user, &mut state, at, service);
+        self.shards[sid].users.insert(user, state);
+        self.outcomes.push((pos, user, Ok(outcome)));
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (reflects flushed events only).
+    // ------------------------------------------------------------------
+
+    /// The user's current pseudonym.
+    pub fn pseudonym_of(&self, user: UserId) -> Option<Pseudonym> {
+        self.shards[shard_of(self.shards.len(), user)]
+            .users
+            .get(&user)
+            .map(|s| s.pseudonym)
+    }
+
+    /// Whether the user has an unresolved at-risk notification.
+    pub fn is_at_risk(&self, user: UserId) -> bool {
+        self.shards[shard_of(self.shards.len(), user)]
+            .users
+            .get(&user)
+            .is_some_and(|s| s.at_risk)
+    }
+
+    /// The lock-style privacy indicator, or `None` for unknown users.
+    pub fn privacy_indicator(&self, user: UserId) -> Option<PrivacyIndicator> {
+        let state = self.shards[shard_of(self.shards.len(), user)]
+            .users
+            .get(&user)?;
+        Some(if state.params.is_none() {
+            PrivacyIndicator::Off
+        } else if state.at_risk {
+            PrivacyIndicator::AtRisk
+        } else {
+            PrivacyIndicator::Locked
+        })
+    }
+
+    /// The decision log (ring + exact statistics, canonical order).
+    pub fn log(&self) -> &EventLog {
+        &self.co.log
+    }
+
+    /// The exact aggregate statistics.
+    pub fn stats(&self) -> TsStats {
+        self.co.log.stats()
+    }
+
+    /// The server's current operating mode.
+    pub fn mode(&self) -> ServerMode {
+        self.co.mode
+    }
+
+    /// Health of the group-commit journal sink.
+    pub fn journal_health(&self) -> JournalHealth {
+        self.co.journal_health()
+    }
+
+    /// Everything forwarded so far, with ground-truth issuers, in
+    /// canonical order.
+    pub fn outbox(&self) -> &[(UserId, SpRequest)] {
+        &self.co.outbox
+    }
+
+    /// Provider view: the bare request stream.
+    pub fn provider_view(&self) -> Vec<SpRequest> {
+        self.co.outbox.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Routes a provider's answer back to the issuing user.
+    pub fn route_response(&self, msg_id: MsgId) -> Option<UserId> {
+        self.co.routes.get(&msg_id).copied()
+    }
+
+    /// A single store holding every shard's PHLs — the global view for
+    /// audits and experiments.
+    pub fn merged_store(&self) -> TrajectoryStore {
+        TrajectoryStore::merged(self.shards.iter().map(|s| &s.store))
+    }
+
+    /// Per-LBQID audit, as the sequential
+    /// [`audit_patterns`](hka_core::TrustedServer::audit_patterns):
+    /// pattern name, full-match flag, and the audited historical
+    /// k-anonymity of the forwarded contexts (over the merged store).
+    pub fn audit_patterns(&self, user: UserId, k: usize) -> Vec<(String, bool, HkOutcome)> {
+        let shard = &self.shards[shard_of(self.shards.len(), user)];
+        let Some(state) = shard.users.get(&user) else {
+            return Vec::new();
+        };
+        let store = self.merged_store();
+        state
+            .monitors
+            .iter()
+            .zip(&state.patterns)
+            .map(|(m, p)| {
+                (
+                    m.lbqid().name().to_owned(),
+                    m.is_fully_matched(),
+                    historical_k_anonymity(&store, user, &p.contexts, k),
+                )
+            })
+            .collect()
+    }
+
+    /// The generalized contexts forwarded for each of the user's
+    /// patterns under the current pseudonym.
+    pub fn pattern_contexts(&self, user: UserId) -> Vec<(String, Vec<StBox>)> {
+        let shard = &self.shards[shard_of(self.shards.len(), user)];
+        let Some(state) = shard.users.get(&user) else {
+            return Vec::new();
+        };
+        state
+            .monitors
+            .iter()
+            .zip(&state.patterns)
+            .map(|(m, p)| (m.lbqid().name().to_owned(), p.contexts.clone()))
+            .collect()
+    }
+
+    /// A point-in-time snapshot of the process-wide metrics registry.
+    pub fn metrics_snapshot(&self) -> hka_obs::MetricsSnapshot {
+        hka_obs::global().snapshot()
+    }
+}
+
+impl std::fmt::Debug for ShardedTs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedTs")
+            .field("shards", &self.shards.len())
+            .field("users", &self.registered.len())
+            .field("epoch", &self.epoch)
+            .field("mode", &self.co.mode)
+            .finish()
+    }
+}

@@ -1,0 +1,282 @@
+//! The coordinator and the serialized event path.
+//!
+//! Everything a parallel-safe event can never touch lives here: the
+//! mix-zone manager (on-demand zones are global state), the randomizer,
+//! the service registry, the fault injector, the mode ladder, the
+//! outbox/routing table, and the group-commit journal. A serialization
+//! point runs against [`SerialHost`], which answers the extracted
+//! strategy's [`RequestHost`] capabilities over the *union* of all
+//! shards — Algorithm 1's candidate search goes through the merged
+//! [`IndexSnapshot`](hka_trajectory::IndexSnapshot), and unlink
+//! attempts iterate the shards' PHLs in global user order, so every
+//! answer is bit-identical to the sequential server's.
+
+use crate::commit::GroupCommit;
+use crate::worker::ShardState;
+use hka_anonymity::{MsgId, Pseudonym, ServiceId, SpRequest};
+use hka_core::strategy::RequestHost;
+use hka_core::{
+    algorithm1_first_from, algorithm1_subsequent_from, EventLog, Generalization, JournalHealth,
+    MixZoneManager, Randomizer, ServerMode, Tolerance, TsConfig, TsEvent, UnlinkDecision,
+};
+use hka_faults::FaultInjector;
+use hka_geo::{Point, StBox, StPoint, TimeSec};
+use hka_obs::Json;
+use hka_trajectory::{IndexSnapshot, UserId};
+use std::collections::BTreeMap;
+
+/// Which shard owns a user: a stable hash of the id. Registration is
+/// not required — unregistered users' observations partition the same
+/// way (the sequential server ingests those too).
+pub(crate) fn shard_of(shards: usize, user: UserId) -> usize {
+    (user.0 % shards as u64) as usize
+}
+
+/// Coordinator-only state: global subsystems plus the group-commit
+/// journal and the mode ladder.
+pub(crate) struct Coordinator {
+    pub config: TsConfig,
+    pub services: BTreeMap<ServiceId, Tolerance>,
+    pub mixzones: MixZoneManager,
+    pub randomizer: Option<Randomizer>,
+    /// Ring + exact statistics (journaling is the group-commit sink's
+    /// job, so the log itself never carries one).
+    pub log: EventLog,
+    /// Events merged in canonical order, awaiting the next commit.
+    pub pending: Vec<(String, Json)>,
+    pub journal: Option<GroupCommit>,
+    pub outbox: Vec<(UserId, SpRequest)>,
+    pub routes: BTreeMap<MsgId, UserId>,
+    pub next_msg: u64,
+    pub next_pseudonym: u64,
+    pub injector: FaultInjector,
+    /// Every event becomes a serialization point (fault plan attached,
+    /// or a randomizer configured): the sharded server then replays the
+    /// sequential server's exact id allocation and fault-site order.
+    pub serialize_all: bool,
+    pub mode: ServerMode,
+    pub last_time: TimeSec,
+}
+
+impl Coordinator {
+    pub fn new(config: TsConfig) -> Self {
+        Coordinator {
+            config,
+            services: BTreeMap::new(),
+            mixzones: MixZoneManager::new(config.mixzone),
+            randomizer: config.randomize.map(Randomizer::new),
+            log: EventLog::new(),
+            pending: Vec::new(),
+            journal: None,
+            outbox: Vec::new(),
+            routes: BTreeMap::new(),
+            next_msg: 0,
+            next_pseudonym: 0,
+            injector: FaultInjector::none(),
+            serialize_all: config.randomize.is_some(),
+            mode: ServerMode::Normal,
+            last_time: TimeSec(0),
+        }
+    }
+
+    /// Folds one event into the ring + statistics and queues it for the
+    /// next group commit. Unlike the sequential server, no journal write
+    /// happens here — health (and therefore mode) moves only at commit
+    /// barriers.
+    pub fn emit_event(&mut self, e: TsEvent, at: TimeSec) {
+        self.last_time = at;
+        if self.journal.is_some() {
+            self.pending.push((e.kind().to_string(), e.payload()));
+        }
+        self.log.push(e);
+    }
+
+    /// Commits the pending batch (append + fsync) and re-aligns the
+    /// mode ladder with the sink's health.
+    pub fn commit(&mut self) {
+        if let Some(sink) = &mut self.journal {
+            sink.commit(&mut self.pending);
+        }
+        self.sync_mode();
+    }
+
+    pub fn journal_health(&self) -> JournalHealth {
+        match &self.journal {
+            None => JournalHealth::Detached,
+            Some(sink) => sink.health(),
+        }
+    }
+
+    /// Aligns the mode with journal health, emitting the transition
+    /// exactly like the sequential server (counter, gauge,
+    /// `ts.mode_changed` into ring and pending batch).
+    pub fn sync_mode(&mut self) {
+        let target = match self.journal_health() {
+            JournalHealth::Detached | JournalHealth::Healthy => ServerMode::Normal,
+            JournalHealth::Retrying { .. } => ServerMode::Degraded,
+            JournalHealth::Down => ServerMode::ReadOnly,
+        };
+        if target == self.mode {
+            return;
+        }
+        let from = self.mode;
+        self.mode = target;
+        let metrics = hka_obs::global();
+        metrics.counter("ts.mode_changes").incr();
+        metrics.gauge("ts.mode").set(match target {
+            ServerMode::Normal => 0,
+            ServerMode::Degraded => 1,
+            ServerMode::ReadOnly => 2,
+        });
+        let e = TsEvent::ModeChanged {
+            at: self.last_time,
+            from,
+            to: target,
+        };
+        if self.journal.is_some() {
+            self.pending.push((e.kind().to_string(), e.payload()));
+        }
+        self.log.push(e);
+    }
+}
+
+/// The serialized-path host: the coordinator's global subsystems plus
+/// mutable access to every quiescent shard.
+pub(crate) struct SerialHost<'a> {
+    pub co: &'a mut Coordinator,
+    pub shards: &'a mut [ShardState],
+}
+
+impl RequestHost for SerialHost<'_> {
+    fn phl_last(&self, user: UserId) -> Option<StPoint> {
+        self.shards[shard_of(self.shards.len(), user)]
+            .store
+            .phl(user)
+            .and_then(|p| p.last())
+            .copied()
+    }
+
+    fn record(&mut self, user: UserId, at: StPoint) {
+        let shard = &mut self.shards[shard_of(self.shards.len(), user)];
+        shard.store.record(user, at);
+        shard.index.insert(user, at);
+    }
+
+    fn check_fault(&mut self, site: &str) -> bool {
+        if self.co.injector.check(site).is_some() {
+            let metrics = hka_obs::global();
+            metrics.counter("faults.injected").incr();
+            metrics.counter(&format!("faults.{site}")).incr();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn in_static_zone(&self, pos: &Point) -> bool {
+        self.co.mixzones.in_static_zone(pos)
+    }
+
+    fn suppressed_at(&mut self, at: &StPoint) -> bool {
+        self.co.mixzones.suppressed_at(at)
+    }
+
+    fn tolerance_for(&self, service: ServiceId) -> Tolerance {
+        *self
+            .co
+            .services
+            .get(&service)
+            .unwrap_or(&self.co.config.default_tolerance)
+    }
+
+    fn mode(&self) -> ServerMode {
+        self.co.mode
+    }
+
+    fn algo1_first(
+        &mut self,
+        at: &StPoint,
+        user: UserId,
+        k: usize,
+        tolerance: &Tolerance,
+    ) -> Generalization {
+        // The epoch snapshot: immutable references to every shard's
+        // index at quiescence. The merged k-candidate query reproduces
+        // the single-index answer exactly (see `IndexSnapshot`).
+        let snapshot = IndexSnapshot::new(self.shards.iter().map(|s| &s.index).collect());
+        let picks = snapshot.k_nearest_users(at, k, Some(user));
+        algorithm1_first_from(at, picks, k, tolerance)
+    }
+
+    fn algo1_subsequent(
+        &mut self,
+        at: &StPoint,
+        stored: &[UserId],
+        k: usize,
+        tolerance: &Tolerance,
+    ) -> Generalization {
+        let shards = &*self.shards;
+        algorithm1_subsequent_from(
+            |u| shards[shard_of(shards.len(), u)].store.phl(u),
+            at,
+            stored,
+            k,
+            tolerance,
+            &self.co.config.index.scale,
+        )
+    }
+
+    fn try_unlink(&mut self, user: UserId, at: &StPoint, k: usize) -> UnlinkDecision {
+        // The greedy heading selection is order-sensitive: feed the
+        // shards' PHLs in ascending global user order, exactly as one
+        // sequential store would iterate.
+        let mut phls: Vec<_> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.store.iter())
+            .collect();
+        phls.sort_by_key(|(u, _)| *u);
+        self.co.mixzones.try_unlink_over(phls, user, at, k)
+    }
+
+    fn fresh_pseudonym(&mut self) -> Pseudonym {
+        let p = Pseudonym(self.co.next_pseudonym);
+        self.co.next_pseudonym += 1;
+        p
+    }
+
+    fn next_msg_id(&mut self) -> MsgId {
+        let m = MsgId(self.co.next_msg);
+        self.co.next_msg += 1;
+        m
+    }
+
+    fn randomize(
+        &mut self,
+        context: StBox,
+        at: &StPoint,
+        msg_id: u64,
+        service: ServiceId,
+    ) -> StBox {
+        match &self.co.randomizer {
+            Some(rz) => {
+                let tolerance = *self
+                    .co
+                    .services
+                    .get(&service)
+                    .unwrap_or(&self.co.config.default_tolerance);
+                rz.randomize(&context, at, msg_id, &tolerance)
+            }
+            None => context,
+        }
+    }
+
+    fn emit(&mut self, e: TsEvent, at: TimeSec) {
+        self.co.emit_event(e, at);
+    }
+
+    fn deliver(&mut self, user: UserId, req: SpRequest) {
+        self.co.routes.insert(req.msg_id, user);
+        self.co.outbox.push((user, req));
+    }
+}

@@ -34,11 +34,13 @@ mod index;
 pub mod io;
 mod phl;
 mod rtree;
+mod snapshot;
 mod store;
 mod user;
 
 pub use index::{GridIndex, GridIndexConfig};
 pub use phl::Phl;
 pub use rtree::RTreeIndex;
+pub use snapshot::IndexSnapshot;
 pub use store::TrajectoryStore;
 pub use user::UserId;

@@ -1,0 +1,147 @@
+//! Read-only snapshot over partitioned grid indices.
+//!
+//! The sharded trusted server partitions users across workers, each
+//! owning a [`GridIndex`] over its own slice of the trajectory store.
+//! Algorithm 1's k-nearest-users query, however, is global: the paper
+//! asks for "the closest k points **considering … each user**", not
+//! each user on one shard. [`IndexSnapshot`] answers that global query
+//! exactly by merging the per-partition answers.
+//!
+//! **Exactness.** Partitions are disjoint by user, and each partition's
+//! [`GridIndex::k_nearest_users`] returns that partition's k closest
+//! per-user-nearest points. Every member of the global top-k belongs to
+//! some partition and is, within it, among that partition's top-k — so
+//! the concatenation of per-partition answers is a superset of the
+//! global answer, and re-ranking by the same `(distance, user id)` key
+//! then truncating to k reproduces the single-index result bit for bit.
+//!
+//! The snapshot borrows the indices immutably: workers query a published
+//! (quiescent) set of partitions while new ingests accumulate elsewhere,
+//! which is what makes the epoch-snapshot read path of the sharded
+//! server safe without locks.
+
+use crate::{GridIndex, UserId};
+use hka_geo::StPoint;
+
+/// An immutable merged view over disjoint per-shard [`GridIndex`]
+/// partitions, answering global queries with single-index semantics.
+#[derive(Debug, Clone)]
+pub struct IndexSnapshot<'a> {
+    parts: Vec<&'a GridIndex>,
+}
+
+impl<'a> IndexSnapshot<'a> {
+    /// A snapshot over the given partitions. The caller guarantees the
+    /// partitions are user-disjoint (each user's PHL lives in exactly
+    /// one); the merge is only exact under that invariant.
+    pub fn new(parts: Vec<&'a GridIndex>) -> Self {
+        IndexSnapshot { parts }
+    }
+
+    /// How many partitions back this snapshot.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The k users (other than `exclude`) whose nearest PHL point to
+    /// `seed` is closest, with that point — the global query of paper
+    /// Algorithm 1's first branch, merged across partitions.
+    ///
+    /// Ordering matches [`GridIndex::k_nearest_users`]: ascending
+    /// scaled distance, ties broken by user id. Distances are
+    /// recomputed here under each partition's own scale (all partitions
+    /// of one server share a scale), using a total order so a NaN
+    /// distance cannot panic the merge.
+    pub fn k_nearest_users(
+        &self,
+        seed: &StPoint,
+        k: usize,
+        exclude: Option<UserId>,
+    ) -> Vec<(UserId, StPoint)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut scored: Vec<(UserId, f64, StPoint)> = Vec::new();
+        for part in &self.parts {
+            let scale = &part.config().scale;
+            for (user, p) in part.k_nearest_users(seed, k, exclude) {
+                scored.push((user, scale.dist_sq(seed, &p), p));
+            }
+        }
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored.into_iter().map(|(u, _, p)| (u, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridIndexConfig, TrajectoryStore};
+    use hka_geo::StPoint;
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, hka_geo::TimeSec(t))
+    }
+
+    fn seeded_points(n: usize) -> Vec<(UserId, StPoint)> {
+        // Small deterministic LCG scatter; several points per user.
+        let mut s: u64 = 0x9e37_79b9;
+        let mut out = Vec::new();
+        for i in 0..n {
+            for step in 0..3i64 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = (s >> 33) as f64 % 1000.0;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = (s >> 33) as f64 % 1000.0;
+                out.push((UserId(i as u64 + 1), sp(x, y, 100 * step + i as i64)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn merged_partitions_match_single_index() {
+        let cfg = GridIndexConfig::default();
+        let points = seeded_points(23);
+
+        let mut whole_store = TrajectoryStore::new();
+        let mut whole = GridIndex::new(cfg);
+        for (u, p) in &points {
+            whole_store.record(*u, *p);
+            whole.insert(*u, *p);
+        }
+
+        for shards in [1usize, 2, 3, 4, 8] {
+            let mut parts: Vec<GridIndex> =
+                (0..shards).map(|_| GridIndex::new(cfg)).collect();
+            for (u, p) in &points {
+                parts[(u.0 as usize) % shards].insert(*u, *p);
+            }
+            let snap = IndexSnapshot::new(parts.iter().collect());
+            for k in [1usize, 3, 7, 23, 40] {
+                for (seed, excl) in [
+                    (sp(10.0, 20.0, 50), None),
+                    (sp(500.0, 500.0, 150), Some(UserId(5))),
+                    (sp(999.0, 1.0, 0), Some(UserId(1))),
+                ] {
+                    assert_eq!(
+                        snap.k_nearest_users(&seed, k, excl),
+                        whole.k_nearest_users(&seed, k, excl),
+                        "shards={shards} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_and_empty_partitions() {
+        let snap = IndexSnapshot::new(Vec::new());
+        assert!(snap.k_nearest_users(&sp(0.0, 0.0, 0), 3, None).is_empty());
+        let idx = GridIndex::new(GridIndexConfig::default());
+        let snap = IndexSnapshot::new(vec![&idx]);
+        assert_eq!(snap.partitions(), 1);
+        assert!(snap.k_nearest_users(&sp(0.0, 0.0, 0), 0, None).is_empty());
+    }
+}

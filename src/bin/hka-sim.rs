@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! hka-sim simulate [--seed N] [--days N] [--commuters N] [--roamers N] [--k N]
-//!                  [--trace-out FILE] [--metrics]
+//!                  [--trace-out FILE] [--metrics] [--shards N]
 //! hka-sim plan     [--seed N] [--population N] [--k N] [--samples N]
 //! hka-sim derive   [--seed N] [--user N] [--days N]
 //! hka-sim attack   [--seed N] [--level off|low|medium|high]
 //! hka-sim export   [--seed N] [--days N] --out FILE     # write a trace file
 //! hka-sim chaos    [--seeds N] [--seed N] [--days N] [--commuters N]
-//!                  [--roamers N] [--k N]
+//!                  [--roamers N] [--k N] [--shards N]
 //! hka-sim audit    --journal FILE [--json FILE] [--quiet]
 //!                  [--space-tol M2] [--time-tol SECS]
 //! ```
@@ -18,7 +18,9 @@
 //! errors and torn writes, unavailable index/mix-zone, perturbed request
 //! arrival) and checks the fail-closed invariant on every request: a
 //! faulted or degraded request is suppressed, never forwarded exact or
-//! under-generalized. Exits non-zero on any violation.
+//! under-generalized. Exits non-zero on any violation. `--shards N`
+//! (also accepted by `simulate`) runs the workload through the sharded
+//! frontend (`hka::shard::ShardedTs`) instead of the sequential server.
 //!
 //! `audit` replays a journal written with `--trace-out` (see
 //! `hka::audit`): it verifies the hash chain, reconstructs per-user
@@ -116,15 +118,94 @@ fn protected_server(world: &World, k: usize) -> TrustedServer {
     ts
 }
 
-fn run_events(ts: &mut TrustedServer, world: &World) {
+/// Mirrors [`protected_server`] on the sharded frontend.
+fn protected_sharded(world: &World, k: usize, shards: usize) -> ShardedTs {
+    let mut ts = ShardedTs::new(TsConfig::default(), shards);
+    ts.register_service(ServiceId(BACKGROUND_SERVICE), Tolerance::navigation());
+    ts.register_service(ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 10 * MINUTE));
+    let commuters: Vec<UserId> = world.commuters().collect();
+    for agent in &world.agents {
+        let level = if commuters.contains(&agent.user) {
+            PrivacyLevel::Custom(PrivacyParams {
+                k,
+                theta: 0.5,
+                k_init: 2 * k,
+                k_decrement: 1,
+                on_risk: RiskAction::Forward,
+            })
+        } else {
+            PrivacyLevel::Off
+        };
+        ts.register_user(agent.user, level);
+    }
+    for &u in &commuters {
+        ts.add_lbqid(
+            u,
+            Lbqid::example_commute(world.home_of(u).unwrap(), world.office_of(u).unwrap()),
+        );
+    }
+    ts
+}
+
+/// Drives every workload event through the server. A request the server
+/// rejects (unknown user, read-only refusal) is reported and counted
+/// instead of aborting the whole simulation.
+fn run_events(ts: &mut TrustedServer, world: &World) -> u64 {
+    let mut errors = 0;
     for e in &world.events {
         match e.kind {
             EventKind::Location => ts.location_update(e.user, e.at),
             EventKind::Request { service } => {
-                let _ = ts.handle_request(e.user, e.at, ServiceId(service));
+                if let Err(err) = ts.try_handle_request(e.user, e.at, ServiceId(service)) {
+                    if errors == 0 {
+                        eprintln!("request rejected: {err}");
+                    }
+                    errors += 1;
+                }
             }
         }
     }
+    errors
+}
+
+/// [`run_events`] through the sharded frontend: everything is submitted
+/// up front and one flush runs the phase scheduler over the whole
+/// stream.
+fn run_events_sharded(ts: &mut ShardedTs, world: &World) -> u64 {
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => {
+                ts.submit_location(e.user, e.at);
+            }
+            EventKind::Request { service } => {
+                ts.submit_request(e.user, e.at, ServiceId(service));
+            }
+        }
+    }
+    let mut errors = 0;
+    for (_, _, outcome) in ts.take_outcomes() {
+        if let Err(err) = outcome {
+            if errors == 0 {
+                eprintln!("request rejected: {err}");
+            }
+            errors += 1;
+        }
+    }
+    errors
+}
+
+fn open_trace_out(flags: &HashMap<String, String>) -> Option<std::fs::File> {
+    let path = flags.get("trace-out")?;
+    // parse_flags maps a valueless flag to "true"; a journal named
+    // `true` is never what anyone meant (use `./true` to insist).
+    if path == "true" {
+        eprintln!("--trace-out requires a file path");
+        std::process::exit(2);
+    }
+    Some(std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    }))
 }
 
 fn cmd_simulate(flags: HashMap<String, String>) {
@@ -133,30 +214,56 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     let commuters = get(&flags, "commuters", 10usize);
     let roamers = get(&flags, "roamers", 60usize);
     let k = get(&flags, "k", 5usize);
+    let shards = get(&flags, "shards", 1usize);
     let world = build_world(seed, days, commuters, roamers);
-    let mut ts = protected_server(&world, k);
-    if let Some(path) = flags.get("trace-out") {
-        // parse_flags maps a valueless flag to "true"; a journal named
-        // `true` is never what anyone meant (use `./true` to insist).
-        if path == "true" {
-            eprintln!("--trace-out requires a file path");
-            std::process::exit(2);
+
+    // Run through the sequential server or the sharded frontend; both
+    // produce identical decisions (see tests/shard.rs), so the summary
+    // below reads from either through the same shaped data.
+    let (st, audit_rows, journal_info, errors, log_len, log_dropped);
+    if shards > 1 {
+        let mut ts = protected_sharded(&world, k, shards);
+        if let Some(file) = open_trace_out(&flags) {
+            ts.attach_journal(hka::obs::Journal::new(Box::new(std::io::BufWriter::new(
+                file,
+            ))
+                as Box<dyn hka::obs::DurableSink>));
         }
-        let file = std::fs::File::create(path).unwrap_or_else(|e| {
-            eprintln!("cannot create {path}: {e}");
+        errors = run_events_sharded(&mut ts, &world);
+        ts.flush_journal().unwrap_or_else(|e| {
+            eprintln!("journal flush failed: {e}");
             std::process::exit(1);
         });
-        ts.attach_journal(hka::obs::Journal::new(Box::new(std::io::BufWriter::new(
-            file,
-        ))
-            as Box<dyn std::io::Write + Send + Sync>));
+        st = ts.stats();
+        audit_rows = collect_audit_rows(&world, k, |u| ts.audit_patterns(u, k), |u| {
+            ts.privacy_indicator(u)
+        });
+        log_len = ts.log().events().len() as u64;
+        log_dropped = ts.log().dropped();
+        journal_info = flags.get("trace-out").cloned();
+        println!("({} shards, {} epochs)", ts.shard_count(), ts.epoch());
+    } else {
+        let mut ts = protected_server(&world, k);
+        if let Some(file) = open_trace_out(&flags) {
+            ts.attach_journal(hka::obs::Journal::new(Box::new(std::io::BufWriter::new(
+                file,
+            ))
+                as Box<dyn std::io::Write + Send + Sync>));
+        }
+        errors = run_events(&mut ts, &world);
+        ts.flush_journal().unwrap_or_else(|e| {
+            eprintln!("journal flush failed: {e}");
+            std::process::exit(1);
+        });
+        st = ts.log().stats();
+        audit_rows = collect_audit_rows(&world, k, |u| ts.audit_patterns(u, k), |u| {
+            ts.privacy_indicator(u)
+        });
+        log_len = ts.log().events().len() as u64;
+        log_dropped = ts.log().dropped();
+        journal_info = flags.get("trace-out").cloned();
     }
-    run_events(&mut ts, &world);
-    ts.flush_journal().unwrap_or_else(|e| {
-        eprintln!("journal flush failed: {e}");
-        std::process::exit(1);
-    });
-    let st = ts.log().stats();
+
     println!("simulated {days} days, {} users, k = {k}", world.agents.len());
     println!("forwarded:        {} ({} exact, {} generalized)", st.forwarded(), st.forwarded_exact, st.generalized());
     println!("HK success rate:  {:.1}%", 100.0 * st.hk_success_rate());
@@ -164,27 +271,41 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     println!("pseudonym changes:{}", st.pseudonym_changes);
     println!("at-risk notices:  {}", st.at_risk);
     println!("full matches:     {}", st.lbqid_matches);
-    for u in world.commuters() {
-        for (name, matched, hk) in ts.audit_patterns(u, k) {
-            println!(
-                "  {u} {name}: matched={matched} hk={} (eff. k {}) lock={:?}",
-                hk.satisfied,
-                hk.effective_k(),
-                ts.privacy_indicator(u).expect("registered")
-            );
-        }
+    if errors > 0 {
+        println!("request errors:   {errors}");
     }
-    if let Some(path) = flags.get("trace-out") {
+    for (u, name, matched, hk_sat, eff_k, lock) in audit_rows {
+        println!("  {u} {name}: matched={matched} hk={hk_sat} (eff. k {eff_k}) lock={lock:?}");
+    }
+    if let Some(path) = journal_info {
         println!(
             "journal:          {path} ({} events, {} dropped from ring)",
-            ts.log().events().len() as u64 + ts.log().dropped(),
-            ts.log().dropped()
+            log_len + log_dropped,
+            log_dropped
         );
     }
     if flags.contains_key("metrics") {
         println!();
-        print!("{}", ts.metrics_snapshot().render());
+        print!("{}", hka::obs::global().snapshot().render());
     }
+}
+
+type AuditRow = (UserId, String, bool, bool, usize, PrivacyIndicator);
+
+fn collect_audit_rows(
+    world: &World,
+    _k: usize,
+    mut audit: impl FnMut(UserId) -> Vec<(String, bool, HkOutcome)>,
+    mut indicator: impl FnMut(UserId) -> Option<PrivacyIndicator>,
+) -> Vec<AuditRow> {
+    let mut rows = Vec::new();
+    for u in world.commuters() {
+        let lock = indicator(u).expect("registered");
+        for (name, matched, hk) in audit(u) {
+            rows.push((u, name, matched, hk.satisfied, hk.effective_k(), lock));
+        }
+    }
+    rows
 }
 
 fn cmd_plan(flags: HashMap<String, String>) {
@@ -385,7 +506,115 @@ fn chaos_run(seed: u64, days: i64, commuters: usize, roamers: usize, k: usize) -
                 for at in deliveries {
                     let mode_before = ts.mode();
                     let before = fired_now(&injector);
-                    let out = ts.handle_request(e.user, at, ServiceId(service));
+                    let out = match ts.try_handle_request(e.user, at, ServiceId(service)) {
+                        Ok(out) => out,
+                        Err(err) => {
+                            // A refused request (read-only ladder) is
+                            // fail-closed by definition; anything else
+                            // would be a workload bug worth surfacing.
+                            if !matches!(err, TsError::Degraded) {
+                                eprintln!("request rejected: {err}");
+                            }
+                            report.requests += 1;
+                            report.suppressed += 1;
+                            continue;
+                        }
+                    };
+                    let faulted = fired_now(&injector) > before;
+                    report.requests += 1;
+                    let fail_closed = match &out {
+                        RequestOutcome::Suppressed(_) => {
+                            report.suppressed += 1;
+                            true
+                        }
+                        RequestOutcome::Forwarded(req) => {
+                            report.forwarded += 1;
+                            !faulted
+                                && match mode_before {
+                                    ServerMode::Normal => true,
+                                    ServerMode::Degraded => req.context.area() > 0.0,
+                                    ServerMode::ReadOnly => false,
+                                }
+                        }
+                    };
+                    if !fail_closed {
+                        report.violations += 1;
+                    }
+                }
+            }
+        }
+    }
+    report.faults_fired = injector.total_fired();
+    report.final_mode = ts.mode();
+    report
+}
+
+/// [`chaos_run`] through the sharded frontend. A fault plan makes every
+/// event a serialization point, so the run exercises the group-commit
+/// journal and the coordinator's mode ladder under the same schedule.
+/// Events go through one at a time (submit + flush) so `mode()` read
+/// before each request is the mode its fail-closed gate will see.
+fn chaos_run_sharded(
+    seed: u64,
+    days: i64,
+    commuters: usize,
+    roamers: usize,
+    k: usize,
+    shards: usize,
+) -> ChaosReport {
+    use hka::faults::sites;
+    let world = build_world(seed, days, commuters, roamers);
+    let mut ts = protected_sharded(&world, k, shards);
+    let injector = FaultInjector::new(randomized_plan(seed));
+    ts.attach_faults(injector.clone());
+    ts.attach_journal(hka::obs::Journal::new(Box::new(hka::obs::Unsynced(
+        FaultyWriter::new(std::io::sink(), injector.clone()),
+    ))
+        as Box<dyn hka::obs::DurableSink>));
+
+    let request_sites = [sites::PHL_WRITE, sites::INDEX_QUERY, sites::MIXZONE];
+    let fired_now = |inj: &FaultInjector| -> u64 { request_sites.iter().map(|s| inj.fired(s)).sum() };
+
+    let mut report = ChaosReport {
+        requests: 0,
+        forwarded: 0,
+        suppressed: 0,
+        faults_fired: 0,
+        violations: 0,
+        final_mode: ServerMode::Normal,
+    };
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => ts.location_update(e.user, e.at),
+            EventKind::Request { service } => {
+                let mut deliveries: Vec<StPoint> = Vec::with_capacity(2);
+                match injector.check(sites::ARRIVAL) {
+                    Some(FaultKind::Drop) => {}
+                    Some(FaultKind::Duplicate) => {
+                        deliveries.push(e.at);
+                        deliveries.push(e.at);
+                    }
+                    Some(FaultKind::Reorder) => {
+                        let mut late = e.at;
+                        late.t = TimeSec(late.t.0.saturating_sub(300));
+                        deliveries.push(late);
+                    }
+                    _ => deliveries.push(e.at),
+                }
+                for at in deliveries {
+                    let mode_before = ts.mode();
+                    let before = fired_now(&injector);
+                    let out = match ts.request_now(e.user, at, ServiceId(service)) {
+                        Ok(out) => out,
+                        Err(err) => {
+                            if !matches!(err, TsError::Degraded) {
+                                eprintln!("request rejected: {err}");
+                            }
+                            report.requests += 1;
+                            report.suppressed += 1;
+                            continue;
+                        }
+                    };
                     let faulted = fired_now(&injector) > before;
                     report.requests += 1;
                     let fail_closed = match &out {
@@ -422,11 +651,16 @@ fn cmd_chaos(flags: HashMap<String, String>) {
     let commuters = get(&flags, "commuters", 6usize);
     let roamers = get(&flags, "roamers", 30usize);
     let k = get(&flags, "k", 4usize);
+    let shards = get(&flags, "shards", 1usize);
     let mut total_faults = 0u64;
     let mut total_violations = 0u64;
     for i in 0..seeds {
         let seed = base.wrapping_add(i);
-        let r = chaos_run(seed, days, commuters, roamers, k);
+        let r = if shards > 1 {
+            chaos_run_sharded(seed, days, commuters, roamers, k, shards)
+        } else {
+            chaos_run(seed, days, commuters, roamers, k)
+        };
         total_faults += r.faults_fired;
         total_violations += r.violations;
         println!(

@@ -89,6 +89,7 @@ pub use hka_granules as granules;
 pub use hka_lbqid as lbqid;
 pub use hka_mobility as mobility;
 pub use hka_obs as obs;
+pub use hka_shard as shard;
 pub use hka_trajectory as trajectory;
 
 /// The most commonly used types, re-exported flat.
@@ -121,6 +122,7 @@ pub mod prelude {
         Agent, City, CityConfig, Event, EventKind, Role, World, WorldConfig, ANCHOR_SERVICE,
         BACKGROUND_SERVICE,
     };
+    pub use hka_shard::ShardedTs;
     pub use hka_trajectory::io::{read_store, write_store};
     pub use hka_trajectory::{
         brute, GridIndex, GridIndexConfig, Phl, RTreeIndex, TrajectoryStore, UserId,

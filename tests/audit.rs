@@ -17,7 +17,7 @@ struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap().extend_from_slice(buf);
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -223,7 +223,7 @@ fn run_pipeline() -> (TrustedServer, SharedBuf) {
 #[test]
 fn clean_pipeline_replay_is_verified_and_violation_free() {
     let (ts, sink) = run_pipeline();
-    let bytes = sink.0.lock().unwrap().clone();
+    let bytes = sink.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
     let out = audit::replay(&bytes[..], AuditConfig::default());
 
     assert!(out.chain.verified(), "{:?}", out.chain.error);
@@ -266,7 +266,7 @@ fn clean_pipeline_replay_is_verified_and_violation_free() {
 #[test]
 fn tampered_journal_is_detected_with_prefix_preserved() {
     let (_ts, sink) = run_pipeline();
-    let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let text = String::from_utf8(sink.0.lock().unwrap_or_else(|e| e.into_inner()).clone()).unwrap();
     let total = text.lines().count() as u64;
     // Flip one payload byte somewhere in the middle of the journal.
     let tampered = text.replacen("\"generalized\":false", "\"generalized\":true ", 1);
@@ -341,7 +341,7 @@ fn fail_open_journal_yields_violations() {
 #[test]
 fn tolerance_config_yields_inflation_ratios() {
     let (_ts, sink) = run_pipeline();
-    let bytes = sink.0.lock().unwrap().clone();
+    let bytes = sink.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
     let tol = Tolerance::navigation();
     let out = audit::replay(
         &bytes[..],

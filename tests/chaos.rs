@@ -18,7 +18,7 @@ struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap().extend_from_slice(buf);
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -333,7 +333,7 @@ fn audited_chaos_journal_replays_clean() {
     ts.flush_journal().unwrap();
     assert!(injector.total_fired() > 0, "the plan never fired");
 
-    let bytes = sink.0.lock().unwrap().clone();
+    let bytes = sink.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
     let out = audit::replay(&bytes[..], AuditConfig::default());
     assert!(out.chain.verified(), "{:?}", out.chain.error);
     assert!(out.ok(), "violations: {:?}", out.violations);
@@ -392,7 +392,7 @@ fn audited_recovery_journal_opens_with_the_ladder_transition() {
     }
     ts.flush_journal().unwrap();
 
-    let bytes = sink.0.lock().unwrap().clone();
+    let bytes = sink.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
     let out = audit::replay(&bytes[..], AuditConfig::default());
     assert!(out.chain.verified(), "{:?}", out.chain.error);
     assert!(out.ok(), "violations: {:?}", out.violations);

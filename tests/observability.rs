@@ -16,7 +16,7 @@ struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap().extend_from_slice(buf);
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -74,7 +74,7 @@ fn run_pipeline() -> (TrustedServer, SharedBuf) {
 #[test]
 fn pipeline_journal_verifies_and_covers_every_event() {
     let (ts, sink) = run_pipeline();
-    let bytes = sink.0.lock().unwrap().clone();
+    let bytes = sink.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
     let report = obs::verify_chain(&bytes[..]).expect("chain intact");
     let journaled = ts.log().events().len() as u64 + ts.log().dropped();
     assert_eq!(report.records.len() as u64, journaled, "journal covers every event");

@@ -1,0 +1,363 @@
+//! Differential equivalence: the sharded frontend ([`ShardedTs`]) vs
+//! the sequential [`TrustedServer`], on identical seeded workloads.
+//!
+//! The contract under test (see `crates/shard`): for every shard count,
+//! per-request outcomes match the sequential server — outcome kind,
+//! forwarded context box, service, and suppression reason — and the
+//! exact decision statistics agree. Message-id and pseudonym *values*
+//! come from disjoint per-shard id spaces on the parallel path, so they
+//! are excluded there; once every event serializes (fault plan or
+//! randomizer attached) the match is required to be exact, down to the
+//! bytes of the journal.
+
+use hka::obs;
+use hka::prelude::*;
+
+fn build_world(seed: u64, days: i64) -> World {
+    World::generate(&WorldConfig {
+        seed,
+        days,
+        n_commuters: 6,
+        n_roamers: 40,
+        n_poi_regulars: 4,
+        city: CityConfig {
+            width: 2_000.0,
+            height: 2_000.0,
+            ..CityConfig::default()
+        },
+        ..WorldConfig::default()
+    })
+}
+
+fn medium() -> PrivacyParams {
+    PrivacyParams {
+        k: 4,
+        theta: 0.5,
+        k_init: 8,
+        k_decrement: 1,
+        on_risk: RiskAction::Forward,
+    }
+}
+
+/// The identical setup script, applied to either server type.
+struct Script {
+    services: Vec<(ServiceId, Tolerance)>,
+    users: Vec<(UserId, PrivacyLevel)>,
+    lbqids: Vec<(UserId, Lbqid)>,
+    overrides: Vec<(UserId, ServiceId, PrivacyLevel)>,
+}
+
+fn script(world: &World) -> Script {
+    let commuters: Vec<UserId> = world.commuters().collect();
+    Script {
+        services: vec![
+            (ServiceId(BACKGROUND_SERVICE), Tolerance::navigation()),
+            (ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 10 * MINUTE)),
+        ],
+        users: world
+            .agents
+            .iter()
+            .map(|a| {
+                let level = if commuters.contains(&a.user) {
+                    PrivacyLevel::Custom(medium())
+                } else {
+                    PrivacyLevel::Off
+                };
+                (a.user, level)
+            })
+            .collect(),
+        lbqids: commuters
+            .iter()
+            .map(|&u| {
+                (
+                    u,
+                    Lbqid::example_commute(world.home_of(u).unwrap(), world.office_of(u).unwrap()),
+                )
+            })
+            .collect(),
+        // Protected users still use the background service with privacy
+        // off — the exact-forward path the sharded scheduler classifies
+        // as parallel-safe.
+        overrides: commuters
+            .iter()
+            .map(|&u| (u, ServiceId(BACKGROUND_SERVICE), PrivacyLevel::Off))
+            .collect(),
+    }
+}
+
+fn setup_seq(world: &World, config: TsConfig) -> TrustedServer {
+    let s = script(world);
+    let mut ts = TrustedServer::new(config);
+    for (svc, tol) in s.services {
+        ts.register_service(svc, tol);
+    }
+    for (u, level) in s.users {
+        ts.register_user(u, level);
+    }
+    for (u, q) in s.lbqids {
+        ts.add_lbqid(u, q);
+    }
+    for (u, svc, level) in s.overrides {
+        ts.set_service_privacy(u, svc, level).unwrap();
+    }
+    ts
+}
+
+fn setup_sharded(world: &World, config: TsConfig, shards: usize) -> ShardedTs {
+    let s = script(world);
+    let mut ts = ShardedTs::new(config, shards);
+    for (svc, tol) in s.services {
+        ts.register_service(svc, tol);
+    }
+    for (u, level) in s.users {
+        ts.register_user(u, level);
+    }
+    for (u, q) in s.lbqids {
+        ts.add_lbqid(u, q);
+    }
+    for (u, svc, level) in s.overrides {
+        ts.set_service_privacy(u, svc, level).unwrap();
+    }
+    ts
+}
+
+type Outcomes = Vec<(UserId, Result<RequestOutcome, TsError>)>;
+
+fn drive_seq(ts: &mut TrustedServer, world: &World) -> Outcomes {
+    let mut out = Vec::new();
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => ts.location_update(e.user, e.at),
+            EventKind::Request { service } => {
+                out.push((e.user, ts.try_handle_request(e.user, e.at, ServiceId(service))));
+            }
+        }
+    }
+    out
+}
+
+fn drive_sharded(ts: &mut ShardedTs, world: &World) -> Outcomes {
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => {
+                ts.submit_location(e.user, e.at);
+            }
+            EventKind::Request { service } => {
+                ts.submit_request(e.user, e.at, ServiceId(service));
+            }
+        }
+    }
+    ts.take_outcomes()
+        .into_iter()
+        .map(|(_, user, outcome)| (user, outcome))
+        .collect()
+}
+
+/// The id-space-independent fingerprint of an outcome: everything except
+/// the msg-id and pseudonym values.
+fn fingerprint(o: &Result<RequestOutcome, TsError>) -> String {
+    match o {
+        Ok(RequestOutcome::Forwarded(r)) => format!("fwd service={:?} ctx={:?}", r.service, r.context),
+        Ok(RequestOutcome::Suppressed(reason)) => format!("sup {reason:?}"),
+        Err(e) => format!("err {e}"),
+    }
+}
+
+fn assert_equivalent(shards: usize, seq: &Outcomes, shd: &Outcomes) {
+    assert_eq!(seq.len(), shd.len(), "{shards} shards: request count");
+    for (i, ((su, so), (hu, ho))) in seq.iter().zip(shd).enumerate() {
+        assert_eq!(su, hu, "{shards} shards: issuer of request {i}");
+        assert_eq!(
+            fingerprint(so),
+            fingerprint(ho),
+            "{shards} shards: outcome of request {i} (user {su})"
+        );
+    }
+}
+
+#[test]
+fn sharded_outcomes_match_sequential_for_every_shard_count() {
+    let world = build_world(42, 5);
+    let mut seq = setup_seq(&world, TsConfig::default());
+    let seq_out = drive_seq(&mut seq, &world);
+    for shards in [1usize, 2, 4, 8] {
+        let mut shd = setup_sharded(&world, TsConfig::default(), shards);
+        // Force the threaded barrier path even on single-core CI.
+        shd.set_parallel_threshold(0);
+        let shd_out = drive_sharded(&mut shd, &world);
+        assert_equivalent(shards, &seq_out, &shd_out);
+        // Exact decision statistics agree (counts, not id values).
+        assert_eq!(
+            seq.log().stats(),
+            shd.stats(),
+            "{shards} shards: decision statistics"
+        );
+        // The merged canonical event stream has the same kind sequence.
+        let seq_kinds: Vec<&str> = seq.log().events().map(|e| e.kind()).collect();
+        let shd_kinds: Vec<&str> = shd.log().events().map(|e| e.kind()).collect();
+        assert_eq!(seq_kinds, shd_kinds, "{shards} shards: event kinds");
+        // Per-user introspection agrees where it is id-independent.
+        for agent in &world.agents {
+            assert_eq!(
+                seq.is_at_risk(agent.user),
+                shd.is_at_risk(agent.user),
+                "{shards} shards: at-risk flag for {}",
+                agent.user
+            );
+            assert_eq!(
+                seq.privacy_indicator(agent.user),
+                shd.privacy_indicator(agent.user),
+                "{shards} shards: indicator for {}",
+                agent.user
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_audits_match_sequential() {
+    let world = build_world(7, 7);
+    let mut seq = setup_seq(&world, TsConfig::default());
+    drive_seq(&mut seq, &world);
+    let mut shd = setup_sharded(&world, TsConfig::default(), 4);
+    drive_sharded(&mut shd, &world);
+    for u in world.commuters() {
+        let a = seq.audit_patterns(u, 4);
+        let b = shd.audit_patterns(u, 4);
+        assert_eq!(a.len(), b.len());
+        for ((an, am, ah), (bn, bm, bh)) in a.iter().zip(&b) {
+            assert_eq!(an, bn);
+            assert_eq!(am, bm);
+            assert_eq!(ah.satisfied, bh.satisfied, "user {u} pattern {an}");
+        }
+        assert_eq!(seq.pattern_contexts(u), shd.pattern_contexts(u), "user {u}");
+    }
+    // The merged store is the sequential store.
+    let merged = shd.merged_store();
+    for (user, phl) in seq.store().iter() {
+        assert_eq!(Some(phl), merged.phl(user), "PHL of {user}");
+    }
+}
+
+#[test]
+fn unknown_user_requests_report_errors_without_aborting() {
+    let world = build_world(3, 2);
+    let mut shd = setup_sharded(&world, TsConfig::default(), 2);
+    let ghost = UserId(9_999_999);
+    let at = world.events[0].at;
+    assert_eq!(
+        shd.request_now(ghost, at, ServiceId(BACKGROUND_SERVICE)),
+        Err(TsError::UnknownUser(ghost))
+    );
+    // And the same submitted mid-stream: it surfaces in the outcomes.
+    shd.submit_location(ghost, at); // unregistered ingest is fine
+    let pos = shd.submit_request(ghost, at, ServiceId(ANCHOR_SERVICE));
+    let outcomes = shd.take_outcomes();
+    let (_, user, res) = outcomes.iter().find(|(p, _, _)| *p == pos).unwrap();
+    assert_eq!(*user, ghost);
+    assert_eq!(*res, Err(TsError::UnknownUser(ghost)));
+}
+
+/// With a randomizer configured every event serializes, and the sharded
+/// server is required to replay the sequential execution *exactly*:
+/// message ids, pseudonyms, randomized boxes — and the journal bytes.
+#[test]
+fn serialized_mode_is_byte_identical_including_journals() {
+    let dir = std::env::temp_dir().join(format!("hka-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let seq_path = dir.join("seq.jsonl");
+    let shd_path = dir.join("shd.jsonl");
+
+    let config = TsConfig {
+        randomize: Some(RandomizeConfig::default()),
+        ..TsConfig::default()
+    };
+    let world = build_world(11, 4);
+
+    let mut seq = setup_seq(&world, config);
+    seq.attach_journal(obs::Journal::new(Box::new(
+        std::fs::File::create(&seq_path).unwrap(),
+    )
+        as Box<dyn std::io::Write + Send + Sync>));
+    let seq_out = drive_seq(&mut seq, &world);
+    seq.flush_journal().unwrap();
+    drop(seq);
+
+    let mut shd = setup_sharded(&world, config, 4);
+    shd.attach_journal(obs::Journal::new(Box::new(
+        std::fs::File::create(&shd_path).unwrap(),
+    )
+        as Box<dyn obs::DurableSink>));
+    let shd_out = drive_sharded(&mut shd, &world);
+    shd.flush_journal().unwrap();
+    drop(shd);
+
+    // Full equality: same Forwarded payloads (msg ids, pseudonyms,
+    // randomized contexts), same suppressions.
+    assert_eq!(seq_out, shd_out);
+
+    // The two journals are byte-identical: group commit batches the
+    // appends but chains the same bytes.
+    let a = std::fs::read(&seq_path).unwrap();
+    let b = std::fs::read(&shd_path).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "journal bytes diverge");
+}
+
+/// The same fault plan drives identical outcomes through both servers —
+/// chaos testing can run through the sharded frontend.
+#[test]
+fn fault_plans_replay_identically() {
+    for seed in [1u64, 5, 9] {
+        let world = build_world(seed, 3);
+
+        let mut seq = setup_seq(&world, TsConfig::default());
+        seq.attach_faults(FaultInjector::new(randomized_plan(seed)));
+        let seq_out = drive_seq(&mut seq, &world);
+
+        let mut shd = setup_sharded(&world, TsConfig::default(), 4);
+        shd.attach_faults(FaultInjector::new(randomized_plan(seed)));
+        let shd_out = drive_sharded(&mut shd, &world);
+
+        // Faults serialize everything: exact equality, ids included.
+        assert_eq!(seq_out, shd_out, "seed {seed}");
+        assert_eq!(seq.log().stats(), shd.stats(), "seed {seed}");
+    }
+}
+
+/// The sharded journal is a well-formed hash chain and a clean audit:
+/// `verify_chain` accepts it and `hka-audit` replays it with zero
+/// violations, exactly as for the sequential server.
+#[test]
+fn sharded_journal_verifies_and_audits_clean() {
+    let dir = std::env::temp_dir().join(format!("hka-shard-audit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+
+    let world = build_world(21, 6);
+    let mut shd = setup_sharded(&world, TsConfig::default(), 4);
+    shd.set_parallel_threshold(0);
+    shd.attach_journal(obs::Journal::new(Box::new(
+        std::fs::File::create(&path).unwrap(),
+    )
+        as Box<dyn obs::DurableSink>));
+    drive_sharded(&mut shd, &world);
+    shd.flush_journal().unwrap();
+    let journal = shd.take_journal().expect("journal attached");
+    assert!(journal.next_seq() > 0, "journal recorded events");
+    drop(journal);
+
+    let file = std::fs::File::open(&path).unwrap();
+    let report = obs::verify_chain(std::io::BufReader::new(file)).expect("chain intact");
+    assert!(!report.records.is_empty());
+
+    let outcome = hka::audit::replay_file(&path, hka::audit::AuditConfig::default()).unwrap();
+    assert!(outcome.chain.error.is_none(), "{:?}", outcome.chain.error);
+    assert!(outcome.mode_consistent);
+    assert!(
+        outcome.violations.is_empty(),
+        "audit violations: {:?}",
+        outcome.violations
+    );
+    assert!(outcome.schema_issues.is_empty(), "{:?}", outcome.schema_issues);
+}
