@@ -14,7 +14,7 @@
 //! until at least k subjects have visited the area.
 
 use hka_geo::{Rect, StBox, StPoint, TimeInterval};
-use hka_trajectory::{GridIndex, UserId};
+use hka_trajectory::{SpatialIndex, UserId};
 
 /// Quadtree spatial cloaking. Returns the smallest quadrant of `domain`
 /// that contains `at.pos` and is crossed by at least `k` distinct users
@@ -25,7 +25,7 @@ use hka_trajectory::{GridIndex, UserId};
 /// `max_depth` bounds the descent (the original system stops at the
 /// positioning accuracy).
 pub fn spatial_cloak(
-    index: &GridIndex,
+    index: &(impl SpatialIndex + ?Sized),
     domain: Rect,
     at: &StPoint,
     k: usize,
@@ -55,7 +55,7 @@ pub fn spatial_cloak(
 /// have visited the area within it. Returns `None` if even the widest
 /// interval fails.
 pub fn temporal_cloak(
-    index: &GridIndex,
+    index: &(impl SpatialIndex + ?Sized),
     area: Rect,
     at: &StPoint,
     k: usize,
@@ -76,7 +76,7 @@ pub fn temporal_cloak(
 
 /// The anonymity set of a spatially cloaked request, for evaluation.
 pub fn anonymity_set(
-    index: &GridIndex,
+    index: &(impl SpatialIndex + ?Sized),
     area: Rect,
     window: TimeInterval,
 ) -> std::collections::BTreeSet<UserId> {
@@ -87,7 +87,7 @@ pub fn anonymity_set(
 mod tests {
     use super::*;
     use hka_geo::{SpaceTimeScale, TimeSec};
-    use hka_trajectory::{GridIndexConfig, TrajectoryStore};
+    use hka_trajectory::{GridIndex, GridIndexConfig, TrajectoryStore};
 
     fn sp(x: f64, y: f64, t: i64) -> StPoint {
         StPoint::xyt(x, y, TimeSec(t))

@@ -1,14 +1,16 @@
-//! Criterion microbenches: Algorithm 1's two branches.
+//! Criterion microbenches: Algorithm 1's two branches, parameterized
+//! over every [`SpatialIndex`] backend (the first branch runs the
+//! identical code through the trait for each).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hka_core::{algorithm1_first, algorithm1_first_brute, algorithm1_subsequent, Tolerance};
+use hka_core::{algorithm1_first, algorithm1_subsequent, Tolerance};
 use hka_geo::{StPoint, TimeSec};
 use hka_mobility::{CityConfig, World, WorldConfig};
-use hka_trajectory::{GridIndex, GridIndexConfig, TrajectoryStore, UserId};
+use hka_trajectory::{GridIndexConfig, IndexBackend, TrajectoryStore, UserId};
 use std::hint::black_box;
 
-fn setup() -> (TrajectoryStore, GridIndex) {
-    let store = World::generate(&WorldConfig {
+fn setup() -> TrajectoryStore {
+    World::generate(&WorldConfig {
         seed: 5,
         days: 3,
         n_commuters: 20,
@@ -22,40 +24,37 @@ fn setup() -> (TrajectoryStore, GridIndex) {
         background_request_rate: 0.0,
         ..WorldConfig::default()
     })
-    .store();
-    let index = GridIndex::build(&store, GridIndexConfig::default());
-    (store, index)
+    .store()
 }
 
 fn bench_first_branch(c: &mut Criterion) {
-    let (store, index) = setup();
-    let scale = index.config().scale;
+    let store = setup();
     let tolerance = Tolerance::new(f64::MAX, i64::MAX);
     let seed = StPoint::xyt(800.0, 900.0, TimeSec::at_hm(1, 8, 30));
     let mut group = c.benchmark_group("algorithm1_first");
-    for k in [2usize, 5, 20] {
-        group.bench_with_input(BenchmarkId::new("index", k), &k, |b, &k| {
-            b.iter(|| black_box(algorithm1_first(&index, &seed, UserId(0), k, &tolerance)))
-        });
-        group.bench_with_input(BenchmarkId::new("brute", k), &k, |b, &k| {
-            b.iter(|| {
-                black_box(algorithm1_first_brute(
-                    &store,
-                    &seed,
-                    UserId(0),
-                    k,
-                    &tolerance,
-                    &scale,
-                ))
-            })
-        });
+    for backend in IndexBackend::ALL {
+        let index = backend.build(&store, GridIndexConfig::default());
+        for k in [2usize, 5, 20] {
+            group.bench_with_input(BenchmarkId::new(backend.name(), k), &k, |b, &k| {
+                b.iter(|| {
+                    black_box(algorithm1_first(
+                        index.as_ref(),
+                        &seed,
+                        UserId(0),
+                        k,
+                        &tolerance,
+                    ))
+                })
+            });
+        }
     }
     group.finish();
 }
 
 fn bench_subsequent_branch(c: &mut Criterion) {
-    let (store, index) = setup();
-    let scale = index.config().scale;
+    let store = setup();
+    let index = IndexBackend::Grid.build(&store, GridIndexConfig::default());
+    let scale = *index.scale();
     let tolerance = Tolerance::new(f64::MAX, i64::MAX);
     let seed = StPoint::xyt(800.0, 900.0, TimeSec::at_hm(1, 8, 30));
     // A realistic stored set: the 10 nearest users at the morning anchor.

@@ -1,9 +1,11 @@
-//! Criterion microbenches: spatio-temporal index queries (grid vs brute).
+//! Criterion microbenches: spatio-temporal index queries, one series
+//! per [`SpatialIndex`] backend (grid, R-tree, and the brute oracle all
+//! answer through the same trait).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hka_geo::{Rect, StBox, StPoint, TimeInterval, TimeSec};
 use hka_mobility::{CityConfig, World, WorldConfig};
-use hka_trajectory::{brute, GridIndex, GridIndexConfig, RTreeIndex, TrajectoryStore, UserId};
+use hka_trajectory::{GridIndexConfig, IndexBackend, TrajectoryStore, UserId};
 use std::hint::black_box;
 
 fn world_store(users: usize, days: i64) -> TrajectoryStore {
@@ -28,47 +30,32 @@ fn bench_knn(c: &mut Criterion) {
     let mut group = c.benchmark_group("k_nearest_users");
     for users in [40usize, 160] {
         let store = world_store(users, 2);
-        let index = GridIndex::build(&store, GridIndexConfig::default());
-        let scale = index.config().scale;
         let seed = StPoint::xyt(1_000.0, 1_000.0, TimeSec::at_hm(1, 12, 0));
-        group.bench_with_input(BenchmarkId::new("grid", users), &users, |b, _| {
-            b.iter(|| black_box(index.k_nearest_users(&seed, 5, Some(UserId(0)))))
-        });
-        group.bench_with_input(BenchmarkId::new("brute", users), &users, |b, _| {
-            b.iter(|| {
-                black_box(brute::k_nearest_users(
-                    &store,
-                    &seed,
-                    5,
-                    Some(UserId(0)),
-                    &scale,
-                ))
-            })
-        });
-        let rtree = RTreeIndex::build(&store, scale);
-        group.bench_with_input(BenchmarkId::new("rtree", users), &users, |b, _| {
-            b.iter(|| black_box(rtree.k_nearest_users(&seed, 5, Some(UserId(0)))))
-        });
+        for backend in IndexBackend::ALL {
+            let index = backend.build(&store, GridIndexConfig::default());
+            group.bench_with_input(BenchmarkId::new(backend.name(), users), &users, |b, _| {
+                b.iter(|| black_box(index.k_nearest_users(&seed, 5, Some(UserId(0)))))
+            });
+        }
     }
     group.finish();
 }
 
 fn bench_users_crossing(c: &mut Criterion) {
     let store = world_store(80, 2);
-    let index = GridIndex::build(&store, GridIndexConfig::default());
     let b = StBox::new(
         Rect::from_bounds(500.0, 500.0, 1_500.0, 1_500.0),
         TimeInterval::new(TimeSec::at_hm(1, 11, 0), TimeSec::at_hm(1, 13, 0)),
     );
-    c.bench_function("users_crossing/grid", |bch| {
-        bch.iter(|| black_box(index.users_crossing(&b)))
-    });
-    c.bench_function("users_crossing/brute", |bch| {
-        bch.iter(|| black_box(brute::users_crossing(&store, &b)))
-    });
-    c.bench_function("count_users_crossing/limit5", |bch| {
-        bch.iter(|| black_box(index.count_users_crossing(&b, 5)))
-    });
+    for backend in IndexBackend::ALL {
+        let index = backend.build(&store, GridIndexConfig::default());
+        c.bench_function(&format!("users_crossing/{backend}"), |bch| {
+            bch.iter(|| black_box(index.users_crossing(&b)))
+        });
+        c.bench_function(&format!("count_users_crossing/limit5/{backend}"), |bch| {
+            bch.iter(|| black_box(index.count_users_crossing(&b, 5)))
+        });
+    }
 }
 
 criterion_group!(benches, bench_knn, bench_users_crossing);

@@ -1,0 +1,209 @@
+//! **Continuous benchmark: `SpatialIndex` backends on the Algorithm-1
+//! query path.**
+//!
+//! Runs the first-element branch of Algorithm 1 (`algorithm1_first`,
+//! the k-nearest-users window query that dominates the preservation
+//! strategy's cost) through every backend — grid, R-tree, and the
+//! brute-force oracle — over the identical seeded query sample at three
+//! store sizes, and writes a one-line `BENCH_index.json` so future perf
+//! PRs have a tracked grid-vs-rtree baseline.
+//!
+//! Two gates make this a regression check rather than a scoreboard:
+//!
+//! * every backend's Algorithm-1 result is compared against the brute
+//!   oracle on every sampled query (exit non-zero on any divergence);
+//! * at the largest size, each indexed backend must beat the O(k·n)
+//!   brute scan (exit non-zero otherwise — an index slower than the
+//!   exhaustive scan at ~300k points is a structural regression, with
+//!   generous slack for shared-host noise).
+//!
+//! ```text
+//! cargo run --release -p hka-bench --bin bench_index -- [--out DIR] [--backends grid,rtree,brute]
+//! ```
+
+use hka_bench::{median, parse_backends, time_ns, Cell, Report};
+use hka_core::{algorithm1_first, Tolerance};
+use hka_geo::StPoint;
+use hka_mobility::{CityConfig, EventKind, World, WorldConfig};
+use hka_obs::Json;
+use hka_trajectory::{BruteIndex, GridIndexConfig, IndexBackend, UserId};
+
+const SEED: u64 = 77;
+const K: usize = 5;
+const QUERIES: usize = 40;
+const SIZES: [(usize, i64); 3] = [(20, 1), (80, 4), (160, 8)];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = String::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_dir = args[i + 1].clone();
+                i += 2;
+            }
+            "--backends" if i + 1 < args.len() => i += 2,
+            other => {
+                eprintln!(
+                    "usage: bench_index [--out DIR] [--backends grid,rtree,brute] (got '{other}')"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let backends = parse_backends(args);
+    let tolerance = Tolerance::new(f64::MAX, i64::MAX);
+
+    let mut columns = vec!["n points".to_string(), "users".to_string()];
+    for b in &backends {
+        columns.push(format!("{b} µs"));
+    }
+    let column_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut report = Report::new(
+        "bench_index",
+        "Algorithm-1 window queries per SpatialIndex backend (median µs)",
+    )
+    .columns(&column_refs);
+
+    let mut sizes_json = Vec::new();
+    let mut speedup_largest: Option<f64> = None;
+    for (users, days) in SIZES {
+        let world = World::generate(&WorldConfig {
+            seed: SEED,
+            days,
+            sample_interval: 60,
+            n_commuters: users / 4,
+            n_roamers: users / 2,
+            n_poi_regulars: users / 4,
+            city: CityConfig {
+                width: 2_000.0,
+                height: 2_000.0,
+                ..CityConfig::default()
+            },
+            background_request_rate: 0.0,
+            ..WorldConfig::default()
+        });
+        let store = world.store();
+        let n = store.total_points();
+        let queries: Vec<(UserId, StPoint)> = world
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Location)
+            .step_by((world.events.len() / 50).max(1))
+            .map(|e| (e.user, e.at))
+            .take(QUERIES)
+            .collect();
+
+        // The oracle is always built, even if not benchmarked: it is the
+        // per-query equivalence gate for whatever backends run.
+        let oracle = BruteIndex::build(&store, GridIndexConfig::default().scale);
+
+        let mut per_backend = Vec::new();
+        let mut brute_us: Option<f64> = None;
+        let mut worst_indexed_us: f64 = 0.0;
+        for backend in &backends {
+            let index = backend.build(&store, GridIndexConfig::default());
+            let mut samples = Vec::with_capacity(queries.len());
+            for (u, q) in &queries {
+                let got = algorithm1_first(index.as_ref(), q, *u, K, &tolerance);
+                let want = algorithm1_first(&oracle, q, *u, K, &tolerance);
+                if got != want {
+                    eprintln!(
+                        "FAIL: {backend} diverged from brute oracle at n={n} \
+                         user={u:?} seed={q:?}"
+                    );
+                    std::process::exit(1);
+                }
+                samples.push(time_ns(3, || {
+                    std::hint::black_box(algorithm1_first(
+                        index.as_ref(),
+                        q,
+                        *u,
+                        K,
+                        &tolerance,
+                    ));
+                }));
+            }
+            let us = median(&samples) / 1_000.0;
+            match backend {
+                IndexBackend::Brute => brute_us = Some(us),
+                _ => worst_indexed_us = worst_indexed_us.max(us),
+            }
+            per_backend.push((*backend, us));
+        }
+
+        let mut row = vec![Cell::int(n as i64), Cell::int(store.user_count() as i64)];
+        row.extend(per_backend.iter().map(|(_, us)| Cell::num(*us, 1)));
+        report.row(row);
+
+        if (users, days) == SIZES[SIZES.len() - 1] {
+            if let (Some(b), true) = (brute_us, worst_indexed_us > 0.0) {
+                speedup_largest = Some(b / worst_indexed_us);
+            }
+        }
+        sizes_json.push(Json::obj([
+            ("points", Json::from(n as u64)),
+            ("users", Json::from(store.user_count() as u64)),
+            (
+                "median_us",
+                Json::Obj(
+                    per_backend
+                        .iter()
+                        .map(|(b, us)| (b.name().to_string(), Json::Num(*us)))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    report.note("Every backend answers the identical algorithm1_first call through the");
+    report.note("SpatialIndex trait; each sampled query is checked against the brute oracle");
+    report.note("before timing, so a wrong-but-fast index fails the bench, not the chart.");
+    report.emit();
+
+    let json = Json::obj([
+        ("bench", Json::from("index")),
+        (
+            "scenario",
+            Json::obj([
+                ("seed", Json::from(SEED)),
+                ("k", Json::from(K as u64)),
+                ("queries", Json::from(QUERIES as u64)),
+            ]),
+        ),
+        (
+            "backends",
+            Json::Arr(backends.iter().map(|b| Json::from(b.name())).collect()),
+        ),
+        ("sizes", Json::Arr(sizes_json)),
+        (
+            "speedup_largest",
+            speedup_largest.map(Json::Num).unwrap_or(Json::Null),
+        ),
+        (
+            "speedup_definition",
+            Json::from(
+                "speedup_largest = brute median / slowest indexed backend median on \
+                 Algorithm-1 window queries at the largest store size. Medians are \
+                 best-of-3 per query to damp shared-host noise.",
+            ),
+        ),
+    ]);
+    let path = format!("{out_dir}/BENCH_index.json");
+    std::fs::write(&path, json.to_string() + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {path}");
+
+    // Structural gate: at ~300k+ points an index slower than the O(k·n)
+    // scan has regressed. 1.0 (not, say, 2.0) keeps shared-CI noise from
+    // flaking the job; the JSON keeps the real ratio for trend-watching.
+    if let Some(s) = speedup_largest {
+        if s < 1.0 {
+            eprintln!("FAIL: an indexed backend is {s:.2}x the brute scan at the largest size");
+            std::process::exit(1);
+        }
+    }
+}

@@ -21,8 +21,12 @@
 //! not just a slow run.
 //!
 //! ```text
-//! cargo run --release -p hka-bench --bin bench_shard -- [--out DIR]
+//! cargo run --release -p hka-bench --bin bench_shard -- [--out DIR] [--index grid|rtree]
 //! ```
+//!
+//! `--index` selects the [`SpatialIndex`] backend behind Algorithm 1 on
+//! both the baseline and the ladder (the differential outcome check
+//! then also validates that backend end-to-end under sharding).
 
 use std::io::Write;
 use std::time::Instant;
@@ -39,7 +43,7 @@ use hka_mobility::{
 };
 use hka_obs::Json;
 use hka_shard::ShardedTs;
-use hka_trajectory::UserId;
+use hka_trajectory::{IndexBackend, UserId};
 
 const SEED: u64 = 1;
 const DAYS: i64 = 3;
@@ -131,9 +135,12 @@ fn script(world: &World) -> Script {
     }
 }
 
-fn setup_seq(world: &World) -> TrustedServer {
+fn setup_seq(world: &World, backend: IndexBackend) -> TrustedServer {
     let s = script(world);
-    let mut ts = TrustedServer::new(TsConfig::default());
+    let mut ts = TrustedServer::new(TsConfig {
+        backend,
+        ..TsConfig::default()
+    });
     ts.register_service(ServiceId(BACKGROUND_SERVICE), Tolerance::navigation());
     ts.register_service(ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 10 * MINUTE));
     for (u, level) in s.users {
@@ -148,9 +155,15 @@ fn setup_seq(world: &World) -> TrustedServer {
     ts
 }
 
-fn setup_sharded(world: &World, shards: usize) -> ShardedTs {
+fn setup_sharded(world: &World, shards: usize, backend: IndexBackend) -> ShardedTs {
     let s = script(world);
-    let mut ts = ShardedTs::new(TsConfig::default(), shards);
+    let mut ts = ShardedTs::new(
+        TsConfig {
+            backend,
+            ..TsConfig::default()
+        },
+        shards,
+    );
     ts.register_service(ServiceId(BACKGROUND_SERVICE), Tolerance::navigation());
     ts.register_service(ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 10 * MINUTE));
     for (u, level) in s.users {
@@ -207,6 +220,7 @@ fn check_journal(path: &std::path::Path, label: &str) -> u64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_dir = String::from(".");
+    let mut backend = IndexBackend::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -214,8 +228,15 @@ fn main() {
                 out_dir = args[i + 1].clone();
                 i += 2;
             }
+            "--index" if i + 1 < args.len() => {
+                backend = IndexBackend::parse(&args[i + 1]).unwrap_or_else(|| {
+                    eprintln!("unknown backend '{}' (use grid|rtree|brute)", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
             other => {
-                eprintln!("usage: bench_shard [--out DIR] (got '{other}')");
+                eprintln!("usage: bench_shard [--out DIR] [--index grid|rtree] (got '{other}')");
                 std::process::exit(2);
             }
         }
@@ -242,7 +263,7 @@ fn main() {
     let mut seq_outcomes: Vec<String> = Vec::new();
     for _ in 0..TRIALS {
         hka_obs::global().reset();
-        let mut seq = setup_seq(&world);
+        let mut seq = setup_seq(&world, backend);
         seq.attach_journal(hka_obs::Journal::new(Box::new(FsyncEachWrite(
             std::fs::File::create(&seq_path).expect("create baseline journal"),
         ))
@@ -277,7 +298,7 @@ fn main() {
         let mut epochs = 0;
         for _ in 0..TRIALS {
             hka_obs::global().reset();
-            let mut ts = setup_sharded(&world, shards);
+            let mut ts = setup_sharded(&world, shards, backend);
             ts.attach_journal(hka_obs::Journal::new(Box::new(
                 std::fs::File::create(&path).expect("create shard journal"),
             ) as Box<dyn hka_obs::DurableSink>));
@@ -351,6 +372,7 @@ fn main() {
     let ladder_4v1 = wall_by_shards[&1] as f64 / wall_by_shards[&4] as f64;
     let json = Json::obj([
         ("bench", Json::from("shard")),
+        ("index_backend", Json::from(backend.name())),
         (
             "scenario",
             Json::obj([

@@ -39,7 +39,7 @@
 
 use crate::Tolerance;
 use hka_geo::{SpaceTimeScale, StBox, StPoint};
-use hka_trajectory::{brute, GridIndex, Phl, TrajectoryStore, UserId};
+use hka_trajectory::{brute, Phl, SpatialIndex, TrajectoryStore, UserId};
 
 /// The result of one generalization step.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,7 +58,8 @@ pub struct Generalization {
     pub selected: Vec<UserId>,
 }
 
-/// Lines 5–6 + 8–13: first-element branch, over the grid index.
+/// Lines 5–6 + 8–13: first-element branch, over any [`SpatialIndex`]
+/// backend (grid, R-tree, or brute — all answer identically).
 ///
 /// `requester` is excluded from the k selected users: the anonymity set
 /// must contain k users *other than* the issuer so that, per Definition 8,
@@ -66,7 +67,7 @@ pub struct Generalization {
 /// provider discounts the issuer — and the issuer's own trajectory covers
 /// the request trivially.
 pub fn algorithm1_first(
-    index: &GridIndex,
+    index: &(impl SpatialIndex + ?Sized),
     seed: &StPoint,
     requester: UserId,
     k: usize,
@@ -210,7 +211,7 @@ fn finish(
 mod tests {
     use super::*;
     use hka_geo::{TimeSec, MINUTE};
-    use hka_trajectory::GridIndexConfig;
+    use hka_trajectory::{GridIndex, GridIndexConfig};
 
     fn sp(x: f64, y: f64, t: i64) -> StPoint {
         StPoint::xyt(x, y, TimeSec(t))

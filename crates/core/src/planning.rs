@@ -17,7 +17,7 @@
 
 use crate::{algorithm1_first, MixZoneManager, Tolerance, UnlinkDecision};
 use hka_geo::StPoint;
-use hka_trajectory::{GridIndex, TrajectoryStore, UserId};
+use hka_trajectory::{SpatialIndex, TrajectoryStore, UserId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -67,7 +67,7 @@ impl DeploymentReport {
 /// issued) and evaluates the protection machinery on each.
 pub fn evaluate_deployment(
     store: &TrajectoryStore,
-    index: &GridIndex,
+    index: &(impl SpatialIndex + ?Sized),
     mixzones: &MixZoneManager,
     cfg: &PlanningConfig,
 ) -> DeploymentReport {
@@ -139,7 +139,7 @@ mod tests {
     use super::*;
     use crate::MixZoneConfig;
     use hka_geo::{SpaceTimeScale, StPoint, TimeSec};
-    use hka_trajectory::GridIndexConfig;
+    use hka_trajectory::{GridIndex, GridIndexConfig};
 
     fn sp(x: f64, y: f64, t: i64) -> StPoint {
         StPoint::xyt(x, y, TimeSec(t))

@@ -12,7 +12,7 @@ use hka_anonymity::{
 use hka_faults::FaultInjector;
 use hka_geo::{Rect, StBox, StPoint, TimeSec};
 use hka_lbqid::{Lbqid, Monitor};
-use hka_trajectory::{GridIndex, GridIndexConfig, TrajectoryStore, UserId};
+use hka_trajectory::{GridIndexConfig, IndexBackend, SpatialIndex, TrajectoryStore, UserId};
 use std::collections::BTreeMap;
 
 /// The server's operating mode, driven by the health of the durable
@@ -62,8 +62,11 @@ impl std::fmt::Display for ServerMode {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TsConfig {
     /// Grid-index sizing (also fixes the space–time metric used by
-    /// Algorithm 1's nearest-PHL searches).
+    /// Algorithm 1's nearest-PHL searches). The R-tree and brute
+    /// backends use only its `scale`.
     pub index: GridIndexConfig,
+    /// Which [`SpatialIndex`] backend answers Algorithm 1's queries.
+    pub backend: IndexBackend,
     /// Tolerance applied to services that never registered their own.
     pub default_tolerance: Tolerance,
     /// Mix-zone parameters.
@@ -77,6 +80,7 @@ impl Default for TsConfig {
     fn default() -> Self {
         TsConfig {
             index: GridIndexConfig::default(),
+            backend: IndexBackend::default(),
             default_tolerance: Tolerance::navigation(),
             mixzone: MixZoneConfig::default(),
             randomize: None,
@@ -168,7 +172,7 @@ pub enum SuppressReasonPub {
 pub struct TrustedServer {
     config: TsConfig,
     store: TrajectoryStore,
-    index: GridIndex,
+    index: Box<dyn SpatialIndex>,
     users: BTreeMap<UserId, UserState>,
     services: BTreeMap<ServiceId, Tolerance>,
     mixzones: MixZoneManager,
@@ -195,7 +199,7 @@ impl TrustedServer {
         TrustedServer {
             config,
             store: TrajectoryStore::new(),
-            index: GridIndex::new(config.index),
+            index: config.backend.make(config.index),
             users: BTreeMap::new(),
             services: BTreeMap::new(),
             mixzones: MixZoneManager::new(config.mixzone),
@@ -466,9 +470,11 @@ impl TrustedServer {
         &self.store
     }
 
-    /// The spatio-temporal index.
-    pub fn index(&self) -> &GridIndex {
-        &self.index
+    /// The spatio-temporal index, behind the backend-agnostic
+    /// [`SpatialIndex`] seam (pick the backend via
+    /// [`TsConfig::backend`]).
+    pub fn index(&self) -> &dyn SpatialIndex {
+        self.index.as_ref()
     }
 
     /// The decision log.
@@ -679,7 +685,7 @@ impl RequestHost for TrustedServer {
         k: usize,
         tolerance: &Tolerance,
     ) -> Generalization {
-        algorithm1_first(&self.index, at, user, k, tolerance)
+        algorithm1_first(self.index.as_ref(), at, user, k, tolerance)
     }
 
     fn algo1_subsequent(
@@ -756,6 +762,7 @@ mod tests {
             default_tolerance: Tolerance::new(1e8, 7_200),
             mixzone: MixZoneConfig::default(),
             randomize: None,
+            ..TsConfig::default()
         })
     }
 
@@ -928,6 +935,7 @@ mod tests {
             default_tolerance: Tolerance::new(10.0, 5), // brutally tight
             mixzone: MixZoneConfig::default(),
             randomize: None,
+            ..TsConfig::default()
         });
         for (u, angle) in [(100u64, 0.0f64), (101, 1.6), (102, 3.1), (103, 4.7)] {
             s.register_user(UserId(u), PrivacyLevel::Off);
@@ -1070,6 +1078,7 @@ mod tests {
             default_tolerance: Tolerance::new(1e8, 7_200),
             mixzone: MixZoneConfig::default(),
             randomize: Some(crate::RandomizeConfig::default()),
+            ..TsConfig::default()
         };
         let mut s = TrustedServer::new(cfg);
         for u in 100..110u64 {

@@ -7,7 +7,7 @@ use hka_core::{
     RandomizeConfig, Randomizer, RiskAction, Tolerance,
 };
 use hka_geo::{SpaceTimeScale, StBox, StPoint, TimeSec};
-use hka_trajectory::{GridIndex, GridIndexConfig, Phl, TrajectoryStore, UserId};
+use hka_trajectory::{GridIndex, GridIndexConfig, IndexBackend, Phl, TrajectoryStore, UserId};
 use proptest::prelude::*;
 
 fn arb_stpoint() -> impl Strategy<Value = StPoint> {
@@ -102,6 +102,33 @@ proptest! {
         }).collect();
         for (x, y) in da.iter().zip(db.iter()) {
             prop_assert!((x - y).abs() <= 1e-6 * y.max(1.0), "{} vs {}", x, y);
+        }
+    }
+
+    /// Every `SpatialIndex` backend, driven through the trait by the
+    /// *same* `algorithm1_first` code, produces the identical
+    /// generalization: same anonymity set, same HK-anonymity verdict,
+    /// same `⟨Area, TimeInterval⟩` — under loose and tight tolerances
+    /// alike. This is the server-level face of the differential
+    /// equivalence suite (the brute backend is the oracle).
+    #[test]
+    fn algorithm1_first_equivalent_across_backends(
+        store in arb_store(10),
+        seed in arb_stpoint(),
+        k in 0usize..7,
+        tolerance in arb_tolerance(),
+    ) {
+        let cfg = GridIndexConfig {
+            cell_size: 150.0,
+            cell_duration: 300,
+            scale: SpaceTimeScale::new(1.0),
+        };
+        let oracle = IndexBackend::Brute.build(&store, cfg);
+        let want = algorithm1_first(oracle.as_ref(), &seed, UserId(0), k, &tolerance);
+        for backend in [IndexBackend::Grid, IndexBackend::RTree] {
+            let index = backend.build(&store, cfg);
+            let got = algorithm1_first(index.as_ref(), &seed, UserId(0), k, &tolerance);
+            prop_assert_eq!(&got, &want, "{} vs brute oracle", backend);
         }
     }
 

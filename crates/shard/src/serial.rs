@@ -203,7 +203,8 @@ impl RequestHost for SerialHost<'_> {
         // The epoch snapshot: immutable references to every shard's
         // index at quiescence. The merged k-candidate query reproduces
         // the single-index answer exactly (see `IndexSnapshot`).
-        let snapshot = IndexSnapshot::new(self.shards.iter().map(|s| &s.index).collect());
+        let snapshot =
+            IndexSnapshot::new(self.shards.iter().map(|s| s.index.as_ref()).collect());
         let picks = snapshot.k_nearest_users(at, k, Some(user));
         algorithm1_first_from(at, picks, k, tolerance)
     }

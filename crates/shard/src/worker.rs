@@ -16,7 +16,7 @@ use hka_core::strategy::{self, RequestHost, UserState};
 use hka_core::{Generalization, RequestOutcome, ServerMode, Tolerance, TsConfig, TsEvent, UnlinkDecision};
 use hka_faults::FaultInjector;
 use hka_geo::{Point, Rect, StBox, StPoint, TimeSec};
-use hka_trajectory::{GridIndex, TrajectoryStore, UserId};
+use hka_trajectory::{SpatialIndex, TrajectoryStore, UserId};
 use std::collections::BTreeMap;
 
 /// Shard-local ids live in a disjoint space: shard `i` allocates
@@ -52,7 +52,7 @@ pub(crate) struct ShardState {
     pub id: usize,
     pub users: BTreeMap<UserId, UserState>,
     pub store: TrajectoryStore,
-    pub index: GridIndex,
+    pub index: Box<dyn SpatialIndex>,
     /// Static mix-zones, replicated from the coordinator (read-only on
     /// the worker path: crossing detection during ingest).
     pub static_zones: Vec<Rect>,
@@ -86,7 +86,7 @@ impl ShardState {
             id,
             users: BTreeMap::new(),
             store: TrajectoryStore::new(),
-            index: GridIndex::new(config.index),
+            index: config.backend.make(config.index),
             static_zones: Vec::new(),
             services: BTreeMap::new(),
             default_tolerance: config.default_tolerance,

@@ -9,9 +9,69 @@
 //! They serve two purposes: differential testing of [`crate::GridIndex`],
 //! and the un-indexed baseline of experiment T3.
 
+use crate::spatial::{IndexBackend, SpatialIndex};
 use crate::{TrajectoryStore, UserId};
 use hka_geo::{SpaceTimeScale, StBox, StPoint};
 use std::collections::BTreeSet;
+
+/// The exhaustive-scan backend behind the [`SpatialIndex`] seam: owns
+/// its own copy of the observations and answers every query with the
+/// free functions in this module.
+///
+/// This is the differential **oracle** — the executable specification
+/// the grid and R-tree backends are property-tested against — and the
+/// un-indexed O(k·n) baseline of experiment T3. Like
+/// [`TrajectoryStore::record`], [`SpatialIndex::insert`] requires
+/// per-user non-decreasing timestamps (the TS ingestion path clamps
+/// regressions before indexing).
+#[derive(Debug, Clone)]
+pub struct BruteIndex {
+    store: TrajectoryStore,
+    scale: SpaceTimeScale,
+}
+
+impl BruteIndex {
+    /// An empty brute index using `scale` for distance queries.
+    pub fn new(scale: SpaceTimeScale) -> Self {
+        BruteIndex { store: TrajectoryStore::new(), scale }
+    }
+
+    /// A brute index over a copy of `store`.
+    pub fn build(store: &TrajectoryStore, scale: SpaceTimeScale) -> Self {
+        BruteIndex { store: store.clone(), scale }
+    }
+}
+
+impl SpatialIndex for BruteIndex {
+    fn backend(&self) -> IndexBackend {
+        IndexBackend::Brute
+    }
+
+    fn scale(&self) -> &SpaceTimeScale {
+        &self.scale
+    }
+
+    fn len(&self) -> usize {
+        self.store.total_points()
+    }
+
+    fn insert(&mut self, user: UserId, p: StPoint) {
+        self.store.record(user, p);
+    }
+
+    fn users_crossing(&self, b: &StBox) -> BTreeSet<UserId> {
+        users_crossing(&self.store, b)
+    }
+
+    fn k_nearest_users(
+        &self,
+        seed: &StPoint,
+        k: usize,
+        exclude: Option<UserId>,
+    ) -> Vec<(UserId, StPoint)> {
+        k_nearest_users(&self.store, seed, k, exclude, &self.scale)
+    }
+}
 
 /// For each of the `k` users (other than `exclude`) whose PHL comes
 /// closest to `seed`, the closest observation — by scanning every PHL.

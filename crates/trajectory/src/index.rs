@@ -140,6 +140,9 @@ impl GridIndex {
     /// Counts distinct users crossing `b`, stopping early at `limit`
     /// (enough for "are there ≥ k potential senders?" checks).
     pub fn count_users_crossing(&self, b: &StBox, limit: usize) -> usize {
+        if limit == 0 {
+            return 0;
+        }
         let _span = hka_obs::span("index.query");
         let mut probes = 0u64;
         let mut seen = BTreeSet::new();

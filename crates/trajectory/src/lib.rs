@@ -25,6 +25,10 @@
 //!   the grid (differentially tested) with different scaling behaviour.
 //! * [`brute`] — reference implementations by exhaustive scan, used for
 //!   differential testing and as the O(k·n) baseline of experiment T3.
+//! * [`SpatialIndex`] — the backend-agnostic seam over all of the above:
+//!   [`GridIndex`], [`RTreeIndex`], and [`BruteIndex`] implement it and
+//!   must answer identically; [`IndexBackend`] selects one at run time
+//!   and [`IndexSnapshot`] unions partitions of any mix of backends.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,12 +39,15 @@ pub mod io;
 mod phl;
 mod rtree;
 mod snapshot;
+mod spatial;
 mod store;
 mod user;
 
+pub use brute::BruteIndex;
 pub use index::{GridIndex, GridIndexConfig};
 pub use phl::Phl;
 pub use rtree::RTreeIndex;
 pub use snapshot::IndexSnapshot;
+pub use spatial::{IndexBackend, SpatialIndex};
 pub use store::TrajectoryStore;
 pub use user::UserId;

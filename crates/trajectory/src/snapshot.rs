@@ -1,40 +1,44 @@
-//! Read-only snapshot over partitioned grid indices.
+//! Read-only snapshot over partitioned spatial indices.
 //!
 //! The sharded trusted server partitions users across workers, each
-//! owning a [`GridIndex`] over its own slice of the trajectory store.
-//! Algorithm 1's k-nearest-users query, however, is global: the paper
-//! asks for "the closest k points **considering … each user**", not
-//! each user on one shard. [`IndexSnapshot`] answers that global query
-//! exactly by merging the per-partition answers.
+//! owning a [`SpatialIndex`] over its own slice of the trajectory
+//! store. Algorithm 1's k-nearest-users query, however, is global: the
+//! paper asks for "the closest k points **considering … each user**",
+//! not each user on one shard. [`IndexSnapshot`] answers that global
+//! query exactly by merging the per-partition answers.
 //!
 //! **Exactness.** Partitions are disjoint by user, and each partition's
-//! [`GridIndex::k_nearest_users`] returns that partition's k closest
+//! [`SpatialIndex::k_nearest_users`] returns that partition's k closest
 //! per-user-nearest points. Every member of the global top-k belongs to
 //! some partition and is, within it, among that partition's top-k — so
 //! the concatenation of per-partition answers is a superset of the
 //! global answer, and re-ranking by the same `(distance, user id)` key
 //! then truncating to k reproduces the single-index result bit for bit.
+//! Because all backends share the [`SpatialIndex`] answer contract,
+//! the partitions may even mix backends (say, grid next to R-tree) and
+//! the merge stays exact — the per-partition answers are re-scored
+//! here under each partition's own scale.
 //!
 //! The snapshot borrows the indices immutably: workers query a published
 //! (quiescent) set of partitions while new ingests accumulate elsewhere,
 //! which is what makes the epoch-snapshot read path of the sharded
 //! server safe without locks.
 
-use crate::{GridIndex, UserId};
+use crate::{SpatialIndex, UserId};
 use hka_geo::StPoint;
 
-/// An immutable merged view over disjoint per-shard [`GridIndex`]
+/// An immutable merged view over disjoint per-shard [`SpatialIndex`]
 /// partitions, answering global queries with single-index semantics.
 #[derive(Debug, Clone)]
 pub struct IndexSnapshot<'a> {
-    parts: Vec<&'a GridIndex>,
+    parts: Vec<&'a dyn SpatialIndex>,
 }
 
 impl<'a> IndexSnapshot<'a> {
     /// A snapshot over the given partitions. The caller guarantees the
     /// partitions are user-disjoint (each user's PHL lives in exactly
     /// one); the merge is only exact under that invariant.
-    pub fn new(parts: Vec<&'a GridIndex>) -> Self {
+    pub fn new(parts: Vec<&'a dyn SpatialIndex>) -> Self {
         IndexSnapshot { parts }
     }
 
@@ -47,7 +51,7 @@ impl<'a> IndexSnapshot<'a> {
     /// `seed` is closest, with that point — the global query of paper
     /// Algorithm 1's first branch, merged across partitions.
     ///
-    /// Ordering matches [`GridIndex::k_nearest_users`]: ascending
+    /// Ordering matches [`SpatialIndex::k_nearest_users`]: ascending
     /// scaled distance, ties broken by user id. Distances are
     /// recomputed here under each partition's own scale (all partitions
     /// of one server share a scale), using a total order so a NaN
@@ -63,7 +67,7 @@ impl<'a> IndexSnapshot<'a> {
         }
         let mut scored: Vec<(UserId, f64, StPoint)> = Vec::new();
         for part in &self.parts {
-            let scale = &part.config().scale;
+            let scale = part.scale();
             for (user, p) in part.k_nearest_users(seed, k, exclude) {
                 scored.push((user, scale.dist_sq(seed, &p), p));
             }
@@ -77,7 +81,7 @@ impl<'a> IndexSnapshot<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{GridIndexConfig, TrajectoryStore};
+    use crate::{GridIndex, GridIndexConfig, TrajectoryStore};
     use hka_geo::StPoint;
 
     fn sp(x: f64, y: f64, t: i64) -> StPoint {
@@ -118,7 +122,9 @@ mod tests {
             for (u, p) in &points {
                 parts[(u.0 as usize) % shards].insert(*u, *p);
             }
-            let snap = IndexSnapshot::new(parts.iter().collect());
+            let snap = IndexSnapshot::new(
+                parts.iter().map(|p| p as &dyn SpatialIndex).collect(),
+            );
             for k in [1usize, 3, 7, 23, 40] {
                 for (seed, excl) in [
                     (sp(10.0, 20.0, 50), None),
@@ -140,8 +146,41 @@ mod tests {
         let snap = IndexSnapshot::new(Vec::new());
         assert!(snap.k_nearest_users(&sp(0.0, 0.0, 0), 3, None).is_empty());
         let idx = GridIndex::new(GridIndexConfig::default());
-        let snap = IndexSnapshot::new(vec![&idx]);
+        let snap = IndexSnapshot::new(vec![&idx as &dyn SpatialIndex]);
         assert_eq!(snap.partitions(), 1);
         assert!(snap.k_nearest_users(&sp(0.0, 0.0, 0), 0, None).is_empty());
+    }
+
+    #[test]
+    fn mixed_backend_partitions_match_single_index() {
+        // One grid partition next to one R-tree and one brute partition:
+        // the union must still reproduce the single-index answer, which
+        // is exactly what lets a sharded run mix-and-match backends.
+        let cfg = GridIndexConfig::default();
+        let points = seeded_points(17);
+
+        let mut whole = GridIndex::new(cfg);
+        for (u, p) in &points {
+            whole.insert(*u, *p);
+        }
+
+        let mut parts: Vec<Box<dyn SpatialIndex>> = crate::IndexBackend::ALL
+            .iter()
+            .map(|b| b.make(cfg))
+            .collect();
+        let shards = parts.len();
+        for (u, p) in &points {
+            parts[(u.0 as usize) % shards].insert(*u, *p);
+        }
+        let snap = IndexSnapshot::new(parts.iter().map(|p| p.as_ref()).collect());
+        for k in [1usize, 4, 17, 30] {
+            for excl in [None, Some(UserId(3))] {
+                assert_eq!(
+                    snap.k_nearest_users(&sp(250.0, 750.0, 120), k, excl),
+                    whole.k_nearest_users(&sp(250.0, 750.0, 120), k, excl),
+                    "k={k} excl={excl:?}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,311 @@
+//! The [`SpatialIndex`] trait: one seam for every index backend.
+//!
+//! Algorithm 1's anonymity-set search is the hottest path in the
+//! paper's preservation strategy, and the stack above this crate — the
+//! trusted server, the sharded frontend, the baselines, and the bench
+//! binaries — should not care *which* moving-object index answers it.
+//! This module defines the contract all backends share:
+//!
+//! * incremental [`SpatialIndex::insert`] (the TS ingests location
+//!   updates online);
+//! * the window / co-location query [`SpatialIndex::users_crossing`]
+//!   (plus an early-exit counting variant);
+//! * the k-nearest-**users** query [`SpatialIndex::k_nearest_users`]
+//!   mirroring the paper's "nearest neighbor in the PHL of each user,
+//!   then the closest k points".
+//!
+//! Three backends implement it: [`GridIndex`] (uniform space–time
+//! grid), [`RTreeIndex`] (Guttman R-tree), and [`BruteIndex`]
+//! (exhaustive scan — the differential oracle). All three are required
+//! to return *identical* answers, including tie-breaks: ascending
+//! scaled distance under the backend's [`SpaceTimeScale`], ties broken
+//! by ascending user id. That equivalence is enforced by property tests
+//! and is what lets [`crate::IndexSnapshot`] union partitions of
+//! different backends exactly.
+//!
+//! The trait is object-safe on purpose — servers hold a
+//! `Box<dyn SpatialIndex>` chosen at run time via [`IndexBackend`] —
+//! and requires `Send + Sync` because the sharded frontend moves
+//! per-shard indices across scoped worker threads.
+
+use crate::brute::BruteIndex;
+use crate::{GridIndex, GridIndexConfig, RTreeIndex, TrajectoryStore, UserId};
+use hka_geo::{SpaceTimeScale, StBox, StPoint};
+use std::collections::BTreeSet;
+
+/// A spatio-temporal index over users' PHLs answering the two queries
+/// Algorithm 1 needs, behind one backend-agnostic seam.
+///
+/// # Contract
+///
+/// Implementations must agree bit-for-bit on every query: for any
+/// sequence of [`insert`](SpatialIndex::insert)s, two backends built
+/// over the same points and the same [`SpaceTimeScale`] return equal
+/// results from [`users_crossing`](SpatialIndex::users_crossing) and
+/// [`k_nearest_users`](SpatialIndex::k_nearest_users). The brute
+/// backend ([`BruteIndex`]) is the executable specification; the
+/// differential property suite checks the others against it.
+pub trait SpatialIndex: std::fmt::Debug + Send + Sync {
+    /// Which backend this is (for logs, reports, and journal metadata).
+    fn backend(&self) -> IndexBackend;
+
+    /// The space–time metric scale all distance queries use.
+    fn scale(&self) -> &SpaceTimeScale;
+
+    /// Number of indexed observations.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no observations.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Indexes one observation for `user`.
+    fn insert(&mut self, user: UserId, p: StPoint);
+
+    /// Distinct users with at least one observation inside `b`.
+    fn users_crossing(&self, b: &StBox) -> BTreeSet<UserId>;
+
+    /// Number of distinct users crossing `b`, stopping early once
+    /// `limit` distinct users are found. Backends may override this
+    /// with a cheaper early-exit scan; the result must equal
+    /// `users_crossing(b).len().min(limit)`.
+    fn count_users_crossing(&self, b: &StBox, limit: usize) -> usize {
+        self.users_crossing(b).len().min(limit)
+    }
+
+    /// For each of the `k` users (other than `exclude`) whose PHL comes
+    /// closest to `seed`, that user's closest observation — sorted by
+    /// ascending scaled distance, ties broken by ascending user id.
+    fn k_nearest_users(
+        &self,
+        seed: &StPoint,
+        k: usize,
+        exclude: Option<UserId>,
+    ) -> Vec<(UserId, StPoint)>;
+}
+
+impl SpatialIndex for GridIndex {
+    fn backend(&self) -> IndexBackend {
+        IndexBackend::Grid
+    }
+
+    fn scale(&self) -> &SpaceTimeScale {
+        &self.config().scale
+    }
+
+    fn len(&self) -> usize {
+        GridIndex::len(self)
+    }
+
+    fn insert(&mut self, user: UserId, p: StPoint) {
+        GridIndex::insert(self, user, p);
+    }
+
+    fn users_crossing(&self, b: &StBox) -> BTreeSet<UserId> {
+        GridIndex::users_crossing(self, b)
+    }
+
+    fn count_users_crossing(&self, b: &StBox, limit: usize) -> usize {
+        GridIndex::count_users_crossing(self, b, limit)
+    }
+
+    fn k_nearest_users(
+        &self,
+        seed: &StPoint,
+        k: usize,
+        exclude: Option<UserId>,
+    ) -> Vec<(UserId, StPoint)> {
+        GridIndex::k_nearest_users(self, seed, k, exclude)
+    }
+}
+
+impl SpatialIndex for RTreeIndex {
+    fn backend(&self) -> IndexBackend {
+        IndexBackend::RTree
+    }
+
+    fn scale(&self) -> &SpaceTimeScale {
+        RTreeIndex::scale(self)
+    }
+
+    fn len(&self) -> usize {
+        RTreeIndex::len(self)
+    }
+
+    fn insert(&mut self, user: UserId, p: StPoint) {
+        RTreeIndex::insert(self, user, p);
+    }
+
+    fn users_crossing(&self, b: &StBox) -> BTreeSet<UserId> {
+        RTreeIndex::users_crossing(self, b)
+    }
+
+    fn k_nearest_users(
+        &self,
+        seed: &StPoint,
+        k: usize,
+        exclude: Option<UserId>,
+    ) -> Vec<(UserId, StPoint)> {
+        RTreeIndex::k_nearest_users(self, seed, k, exclude)
+    }
+}
+
+/// Which [`SpatialIndex`] implementation to instantiate.
+///
+/// The enum — rather than a generic parameter — is what keeps the
+/// trait object-safe and lets run-time configuration (`hka-sim
+/// --index rtree`, `TsConfig::backend`) pick a backend without
+/// monomorphizing the whole server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexBackend {
+    /// Uniform space–time grid ([`GridIndex`]) — the default.
+    #[default]
+    Grid,
+    /// Guttman R-tree ([`RTreeIndex`]).
+    RTree,
+    /// Exhaustive scan ([`BruteIndex`]) — the O(k·n) differential
+    /// oracle; never pick this for anything but testing and baselines.
+    Brute,
+}
+
+impl IndexBackend {
+    /// All backends, in oracle-last order — handy for differential
+    /// sweeps.
+    pub const ALL: [IndexBackend; 3] =
+        [IndexBackend::Grid, IndexBackend::RTree, IndexBackend::Brute];
+
+    /// Parses a CLI-style name (`grid`, `rtree`, `brute`).
+    pub fn parse(s: &str) -> Option<IndexBackend> {
+        match s.to_ascii_lowercase().as_str() {
+            "grid" => Some(IndexBackend::Grid),
+            "rtree" | "r-tree" => Some(IndexBackend::RTree),
+            "brute" => Some(IndexBackend::Brute),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name (`grid`, `rtree`, `brute`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexBackend::Grid => "grid",
+            IndexBackend::RTree => "rtree",
+            IndexBackend::Brute => "brute",
+        }
+    }
+
+    /// An empty index of this backend. Grid uses the full `config`;
+    /// the R-tree and brute backends only need its `scale`.
+    pub fn make(&self, config: GridIndexConfig) -> Box<dyn SpatialIndex> {
+        match self {
+            IndexBackend::Grid => Box::new(GridIndex::new(config)),
+            IndexBackend::RTree => Box::new(RTreeIndex::new(config.scale)),
+            IndexBackend::Brute => Box::new(BruteIndex::new(config.scale)),
+        }
+    }
+
+    /// An index of this backend bulk-loaded from `store`.
+    pub fn build(
+        &self,
+        store: &TrajectoryStore,
+        config: GridIndexConfig,
+    ) -> Box<dyn SpatialIndex> {
+        match self {
+            IndexBackend::Grid => Box::new(GridIndex::build(store, config)),
+            IndexBackend::RTree => Box::new(RTreeIndex::build(store, config.scale)),
+            IndexBackend::Brute => Box::new(BruteIndex::build(store, config.scale)),
+        }
+    }
+}
+
+impl std::fmt::Display for IndexBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::{Rect, TimeInterval, TimeSec};
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    #[test]
+    fn parse_and_name_round_trip() {
+        for b in IndexBackend::ALL {
+            assert_eq!(IndexBackend::parse(b.name()), Some(b));
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert_eq!(IndexBackend::parse("R-Tree"), Some(IndexBackend::RTree));
+        assert_eq!(IndexBackend::parse("hashmap"), None);
+        assert_eq!(IndexBackend::default(), IndexBackend::Grid);
+    }
+
+    #[test]
+    fn boxed_backends_agree_on_a_tiny_world() {
+        let cfg = GridIndexConfig::default();
+        let points = [
+            (UserId(1), sp(10.0, 10.0, 0)),
+            (UserId(2), sp(20.0, 10.0, 30)),
+            (UserId(3), sp(400.0, 400.0, 60)),
+            (UserId(1), sp(12.0, 11.0, 90)),
+        ];
+        let mut boxed: Vec<Box<dyn SpatialIndex>> =
+            IndexBackend::ALL.iter().map(|b| b.make(cfg)).collect();
+        for idx in &mut boxed {
+            for (u, p) in &points {
+                idx.insert(*u, *p);
+            }
+            assert_eq!(idx.len(), points.len());
+            assert!(!idx.is_empty());
+        }
+        let seed = sp(0.0, 0.0, 10);
+        let window = StBox::new(
+            Rect::from_bounds(0.0, 0.0, 50.0, 50.0),
+            TimeInterval::new(TimeSec(0), TimeSec(100)),
+        );
+        let oracle = &boxed[2];
+        for idx in &boxed[..2] {
+            assert_eq!(
+                idx.k_nearest_users(&seed, 2, Some(UserId(2))),
+                oracle.k_nearest_users(&seed, 2, Some(UserId(2))),
+                "{} vs oracle",
+                idx.backend()
+            );
+            assert_eq!(idx.users_crossing(&window), oracle.users_crossing(&window));
+            assert_eq!(
+                idx.count_users_crossing(&window, 1),
+                oracle.count_users_crossing(&window, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn build_matches_incremental_insert() {
+        let mut store = TrajectoryStore::new();
+        for i in 0..10u64 {
+            store.record(UserId(i % 4 + 1), sp(i as f64 * 7.0, i as f64 * 3.0, i as i64 * 20));
+        }
+        let cfg = GridIndexConfig::default();
+        let seed = sp(5.0, 5.0, 40);
+        for b in IndexBackend::ALL {
+            let built = b.build(&store, cfg);
+            let mut incr = b.make(cfg);
+            for (u, phl) in store.iter() {
+                for p in phl.points() {
+                    incr.insert(u, *p);
+                }
+            }
+            assert_eq!(built.len(), incr.len(), "{b}");
+            assert_eq!(built.backend(), b);
+            assert_eq!(
+                built.k_nearest_users(&seed, 3, None),
+                incr.k_nearest_users(&seed, 3, None),
+                "{b}"
+            );
+        }
+    }
+}

@@ -2,7 +2,10 @@
 //! brute-force reference on every query.
 
 use hka_geo::{Rect, SpaceTimeScale, StBox, StPoint, TimeInterval, TimeSec};
-use hka_trajectory::{brute, GridIndex, GridIndexConfig, Phl, RTreeIndex, TrajectoryStore, UserId};
+use hka_trajectory::{
+    brute, GridIndex, GridIndexConfig, IndexBackend, IndexSnapshot, Phl, RTreeIndex,
+    TrajectoryStore, UserId,
+};
 use proptest::prelude::*;
 
 /// A compact world so that collisions and ties are common.
@@ -151,6 +154,119 @@ proptest! {
             let dx = cfg.scale.dist_sq(&seed, &x.1);
             let dy = cfg.scale.dist_sq(&seed, &y.1);
             prop_assert!((dx - dy).abs() <= 1e-6 * dy.max(1.0));
+        }
+    }
+
+    /// The tentpole contract: every backend, driven purely through the
+    /// `SpatialIndex` trait, returns identical anonymity sets
+    /// (`users_crossing`), co-location counts (including the early-exit
+    /// variant), and k-nearest rankings. The brute backend is the
+    /// oracle. Users and their scaled distances must match bit for bit
+    /// — per-user minimum distances are computed from the same point
+    /// multiset by the same formula in every backend, and user-level
+    /// ties break by ascending id everywhere. (Only the *representative
+    /// point* of one user may differ among its exact-equidistant
+    /// observations, so points are compared by distance, not identity.)
+    #[test]
+    fn backends_agree_through_the_trait(
+        store in arb_store(12, 15),
+        cfg in configs(),
+        b in arb_box(),
+        seed in arb_stpoint(),
+        k in 1usize..8,
+    ) {
+        let oracle = IndexBackend::Brute.build(&store, cfg);
+        let want_set = oracle.users_crossing(&b);
+        let want_knn = oracle.k_nearest_users(&seed, k, None);
+        for backend in [IndexBackend::Grid, IndexBackend::RTree] {
+            let idx = backend.build(&store, cfg);
+            prop_assert_eq!(idx.backend(), backend);
+            prop_assert_eq!(idx.len(), store.total_points());
+            prop_assert_eq!(idx.users_crossing(&b), want_set.clone(),
+                "{} anonymity set", backend);
+            for limit in [0usize, 1, 3, usize::MAX] {
+                prop_assert_eq!(
+                    idx.count_users_crossing(&b, limit),
+                    oracle.count_users_crossing(&b, limit),
+                    "{} co-location count at limit {}", backend, limit
+                );
+            }
+            let fast = idx.k_nearest_users(&seed, k, None);
+            prop_assert_eq!(fast.len(), want_knn.len(), "{} kNN length", backend);
+            for (f, s) in fast.iter().zip(want_knn.iter()) {
+                prop_assert_eq!(f.0, s.0, "{} kNN user ranking", backend);
+                prop_assert_eq!(
+                    cfg.scale.dist_sq(&seed, &f.1).to_bits(),
+                    cfg.scale.dist_sq(&seed, &s.1).to_bits(),
+                    "{} kNN distance for {}", backend, f.0
+                );
+            }
+        }
+    }
+
+    /// Bulk build and incremental insert are interchangeable for every
+    /// backend — the TS ingests online, benches bulk-load.
+    #[test]
+    fn incremental_insert_matches_bulk_build(
+        store in arb_store(10, 12),
+        cfg in configs(),
+        seed in arb_stpoint(),
+        k in 1usize..6,
+    ) {
+        for backend in IndexBackend::ALL {
+            let built = backend.build(&store, cfg);
+            let mut incr = backend.make(cfg);
+            for (u, phl) in store.iter() {
+                for p in phl.points() {
+                    incr.insert(u, *p);
+                }
+            }
+            prop_assert_eq!(built.len(), incr.len(), "{}", backend);
+            let a = built.k_nearest_users(&seed, k, None);
+            let b = incr.k_nearest_users(&seed, k, None);
+            prop_assert_eq!(a.len(), b.len(), "{}", backend);
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(x.0, y.0, "{}", backend);
+                prop_assert_eq!(
+                    cfg.scale.dist_sq(&seed, &x.1).to_bits(),
+                    cfg.scale.dist_sq(&seed, &y.1).to_bits(),
+                    "{}", backend
+                );
+            }
+        }
+    }
+
+    /// A partition-union snapshot over a random mix of backends answers
+    /// the global k-nearest query exactly like one whole-store oracle —
+    /// the property that lets a sharded run mix-and-match backends.
+    #[test]
+    fn mixed_backend_snapshot_matches_oracle(
+        store in arb_store(10, 12),
+        cfg in configs(),
+        seed in arb_stpoint(),
+        k in 1usize..6,
+        shards in 1usize..5,
+        picks in prop::collection::vec(0usize..3, 4),
+    ) {
+        let oracle = IndexBackend::Brute.build(&store, cfg);
+        let mut parts: Vec<_> = (0..shards)
+            .map(|i| IndexBackend::ALL[picks[i % picks.len()]].make(cfg))
+            .collect();
+        for (u, phl) in store.iter() {
+            for p in phl.points() {
+                parts[(u.raw() as usize) % shards].insert(u, *p);
+            }
+        }
+        let snap = IndexSnapshot::new(parts.iter().map(|p| p.as_ref()).collect());
+        let got = snap.k_nearest_users(&seed, k, None);
+        let want = oracle.k_nearest_users(&seed, k, None);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert_eq!(g.0, w.0);
+            prop_assert_eq!(
+                cfg.scale.dist_sq(&seed, &g.1).to_bits(),
+                cfg.scale.dist_sq(&seed, &w.1).to_bits()
+            );
         }
     }
 

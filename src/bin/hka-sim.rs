@@ -3,12 +3,14 @@
 //! ```text
 //! hka-sim simulate [--seed N] [--days N] [--commuters N] [--roamers N] [--k N]
 //!                  [--trace-out FILE] [--metrics] [--shards N]
+//!                  [--index grid|rtree]
 //! hka-sim plan     [--seed N] [--population N] [--k N] [--samples N]
+//!                  [--index grid|rtree]
 //! hka-sim derive   [--seed N] [--user N] [--days N]
 //! hka-sim attack   [--seed N] [--level off|low|medium|high]
 //! hka-sim export   [--seed N] [--days N] --out FILE     # write a trace file
 //! hka-sim chaos    [--seeds N] [--seed N] [--days N] [--commuters N]
-//!                  [--roamers N] [--k N] [--shards N]
+//!                  [--roamers N] [--k N] [--shards N] [--index grid|rtree]
 //! hka-sim audit    --journal FILE [--json FILE] [--quiet]
 //!                  [--space-tol M2] [--time-tol SECS]
 //! ```
@@ -21,6 +23,10 @@
 //! under-generalized. Exits non-zero on any violation. `--shards N`
 //! (also accepted by `simulate`) runs the workload through the sharded
 //! frontend (`hka::shard::ShardedTs`) instead of the sequential server.
+//! `--index grid|rtree` (accepted by `simulate`, `plan`, and `chaos`)
+//! selects the spatial-index backend behind Algorithm 1; the default
+//! `grid` is byte-identical to runs before the flag existed, and every
+//! backend produces the same decisions (differentially tested).
 //!
 //! `audit` replays a journal written with `--trace-out` (see
 //! `hka::audit`): it verifies the hash chain, reconstructs per-user
@@ -64,6 +70,18 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     out
 }
 
+/// Parses `--index grid|rtree` (brute is accepted for completeness; it
+/// is the testing oracle and crawls on real workloads).
+fn get_backend(flags: &HashMap<String, String>) -> IndexBackend {
+    match flags.get("index") {
+        None => IndexBackend::default(),
+        Some(v) => IndexBackend::parse(v).unwrap_or_else(|| {
+            eprintln!("unknown index backend '{v}' for --index (use grid|rtree|brute)");
+            std::process::exit(2);
+        }),
+    }
+}
+
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
     match flags.get(key) {
         Some(v) => v.parse().unwrap_or_else(|_| {
@@ -90,8 +108,11 @@ fn build_world(seed: u64, days: i64, commuters: usize, roamers: usize) -> World 
     })
 }
 
-fn protected_server(world: &World, k: usize) -> TrustedServer {
-    let mut ts = TrustedServer::new(TsConfig::default());
+fn protected_server(world: &World, k: usize, backend: IndexBackend) -> TrustedServer {
+    let mut ts = TrustedServer::new(TsConfig {
+        backend,
+        ..TsConfig::default()
+    });
     ts.register_service(ServiceId(BACKGROUND_SERVICE), Tolerance::navigation());
     ts.register_service(ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 10 * MINUTE));
     let commuters: Vec<UserId> = world.commuters().collect();
@@ -119,8 +140,14 @@ fn protected_server(world: &World, k: usize) -> TrustedServer {
 }
 
 /// Mirrors [`protected_server`] on the sharded frontend.
-fn protected_sharded(world: &World, k: usize, shards: usize) -> ShardedTs {
-    let mut ts = ShardedTs::new(TsConfig::default(), shards);
+fn protected_sharded(world: &World, k: usize, shards: usize, backend: IndexBackend) -> ShardedTs {
+    let mut ts = ShardedTs::new(
+        TsConfig {
+            backend,
+            ..TsConfig::default()
+        },
+        shards,
+    );
     ts.register_service(ServiceId(BACKGROUND_SERVICE), Tolerance::navigation());
     ts.register_service(ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 10 * MINUTE));
     let commuters: Vec<UserId> = world.commuters().collect();
@@ -215,6 +242,7 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     let roamers = get(&flags, "roamers", 60usize);
     let k = get(&flags, "k", 5usize);
     let shards = get(&flags, "shards", 1usize);
+    let backend = get_backend(&flags);
     let world = build_world(seed, days, commuters, roamers);
 
     // Run through the sequential server or the sharded frontend; both
@@ -222,7 +250,7 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     // below reads from either through the same shaped data.
     let (st, audit_rows, journal_info, errors, log_len, log_dropped);
     if shards > 1 {
-        let mut ts = protected_sharded(&world, k, shards);
+        let mut ts = protected_sharded(&world, k, shards, backend);
         if let Some(file) = open_trace_out(&flags) {
             ts.attach_journal(hka::obs::Journal::new(Box::new(std::io::BufWriter::new(
                 file,
@@ -243,7 +271,7 @@ fn cmd_simulate(flags: HashMap<String, String>) {
         journal_info = flags.get("trace-out").cloned();
         println!("({} shards, {} epochs)", ts.shard_count(), ts.epoch());
     } else {
-        let mut ts = protected_server(&world, k);
+        let mut ts = protected_server(&world, k, backend);
         if let Some(file) = open_trace_out(&flags) {
             ts.attach_journal(hka::obs::Journal::new(Box::new(std::io::BufWriter::new(
                 file,
@@ -326,7 +354,7 @@ fn cmd_plan(flags: HashMap<String, String>) {
         }
         None => build_world(seed, 3, population / 5, population * 4 / 5).store(),
     };
-    let index = GridIndex::build(&store, GridIndexConfig::default());
+    let index = get_backend(&flags).build(&store, GridIndexConfig::default());
     let mz = MixZoneManager::new(MixZoneConfig::default());
     for (label, tol) in [
         ("hospital-finder", Tolerance::navigation()),
@@ -334,7 +362,7 @@ fn cmd_plan(flags: HashMap<String, String>) {
     ] {
         let r = evaluate_deployment(
             &store,
-            &index,
+            index.as_ref(),
             &mz,
             &PlanningConfig {
                 k,
@@ -454,10 +482,17 @@ struct ChaosReport {
     final_mode: ServerMode,
 }
 
-fn chaos_run(seed: u64, days: i64, commuters: usize, roamers: usize, k: usize) -> ChaosReport {
+fn chaos_run(
+    seed: u64,
+    days: i64,
+    commuters: usize,
+    roamers: usize,
+    k: usize,
+    backend: IndexBackend,
+) -> ChaosReport {
     use hka::faults::sites;
     let world = build_world(seed, days, commuters, roamers);
-    let mut ts = protected_server(&world, k);
+    let mut ts = protected_server(&world, k, backend);
     let injector = FaultInjector::new(randomized_plan(seed));
     ts.attach_faults(injector.clone());
     // The journal shares the schedule: journal.io faults surface as real
@@ -561,10 +596,11 @@ fn chaos_run_sharded(
     roamers: usize,
     k: usize,
     shards: usize,
+    backend: IndexBackend,
 ) -> ChaosReport {
     use hka::faults::sites;
     let world = build_world(seed, days, commuters, roamers);
-    let mut ts = protected_sharded(&world, k, shards);
+    let mut ts = protected_sharded(&world, k, shards, backend);
     let injector = FaultInjector::new(randomized_plan(seed));
     ts.attach_faults(injector.clone());
     ts.attach_journal(hka::obs::Journal::new(Box::new(hka::obs::Unsynced(
@@ -652,14 +688,15 @@ fn cmd_chaos(flags: HashMap<String, String>) {
     let roamers = get(&flags, "roamers", 30usize);
     let k = get(&flags, "k", 4usize);
     let shards = get(&flags, "shards", 1usize);
+    let backend = get_backend(&flags);
     let mut total_faults = 0u64;
     let mut total_violations = 0u64;
     for i in 0..seeds {
         let seed = base.wrapping_add(i);
         let r = if shards > 1 {
-            chaos_run_sharded(seed, days, commuters, roamers, k, shards)
+            chaos_run_sharded(seed, days, commuters, roamers, k, shards, backend)
         } else {
-            chaos_run(seed, days, commuters, roamers, k)
+            chaos_run(seed, days, commuters, roamers, k, backend)
         };
         total_faults += r.faults_fired;
         total_violations += r.violations;

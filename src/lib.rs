@@ -125,6 +125,7 @@ pub mod prelude {
     pub use hka_shard::ShardedTs;
     pub use hka_trajectory::io::{read_store, write_store};
     pub use hka_trajectory::{
-        brute, GridIndex, GridIndexConfig, Phl, RTreeIndex, TrajectoryStore, UserId,
+        brute, BruteIndex, GridIndex, GridIndexConfig, IndexBackend, IndexSnapshot, Phl,
+        RTreeIndex, SpatialIndex, TrajectoryStore, UserId,
     };
 }

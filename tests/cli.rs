@@ -86,6 +86,53 @@ fn derive_runs_for_commuter_and_roamer() {
 }
 
 #[test]
+fn index_backend_is_observationally_invariant() {
+    let dir = std::env::temp_dir().join("hka-cli-index-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let grid = dir.join("grid.journal");
+    let rtree = dir.join("rtree.journal");
+    let grid_s = grid.to_str().unwrap();
+    let rtree_s = rtree.to_str().unwrap();
+
+    let run = |index: &str, out: &str| {
+        let (ok, stdout, stderr) = hka_sim(&[
+            "simulate", "--days", "2", "--commuters", "3", "--roamers", "20",
+            "--shards", "4", "--index", index, "--trace-out", out,
+        ]);
+        assert!(ok, "{stderr}");
+        stdout
+    };
+    let grid_stdout = run("grid", grid_s);
+    let rtree_stdout = run("rtree", rtree_s);
+
+    // The index backend is a pure query accelerator: switching it must
+    // not move a single request between Forwarded and Suppressed, so
+    // the journals — which record every per-request decision — match
+    // byte for byte, and the summary lines agree.
+    assert_eq!(
+        std::fs::read(&grid).unwrap(),
+        std::fs::read(&rtree).unwrap(),
+        "grid and rtree journals must be byte-identical"
+    );
+    // Summaries agree too, modulo the line naming the output path.
+    let strip = |s: &str| -> String {
+        s.lines().filter(|l| !l.contains(".journal")).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(strip(&grid_stdout), strip(&rtree_stdout));
+
+    // The rtree-backed run passes the full audit on its own merits.
+    let (ok, stdout, stderr) = hka_sim(&["audit", "--journal", rtree_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("chain: VERIFIED"));
+    assert!(stdout.contains("violations: none"));
+
+    // Unknown backends are a usage error, not a silent fallback.
+    let (ok, _, stderr) = hka_sim(&["simulate", "--days", "1", "--index", "quadtree"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown index backend"));
+}
+
+#[test]
 fn simulate_then_audit_round_trips() {
     let dir = std::env::temp_dir().join("hka-cli-audit-test");
     std::fs::create_dir_all(&dir).unwrap();
