@@ -28,10 +28,12 @@
 
 pub mod event;
 pub mod report;
+pub mod tail;
 pub mod timeline;
 
 pub use event::{AuditEvent, Mode};
 pub use report::{AuditOutcome, ChainSummary};
+pub use tail::{TailAuditor, TailPoll, WatchFrame};
 pub use timeline::{
     AuditConfig, Auditor, KSample, LbqidRow, ModeTransition, ServiceRow, Totals, UserTimeline,
     Violation, ViolationKind,
@@ -54,7 +56,7 @@ pub fn replay(input: impl BufRead, cfg: AuditConfig) -> AuditOutcome {
     let mut error = None;
     for record in reader.by_ref() {
         match record {
-            Ok(r) => auditor.observe(&r),
+            Ok(r) => auditor.ingest(&r),
             Err(e) => {
                 error = Some(e.to_string());
                 break;
@@ -324,7 +326,11 @@ mod tests {
         ]);
         let out = replay(
             &bytes[..],
-            AuditConfig { space_tol: Some(1e6), time_tol: Some(600) },
+            AuditConfig {
+                space_tol: Some(1e6),
+                time_tol: Some(600),
+                ..AuditConfig::default()
+            },
         );
         let json = out.to_json();
         let text = json.to_string();

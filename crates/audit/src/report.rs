@@ -128,6 +128,10 @@ impl AuditOutcome {
             ("verified", Json::Bool(self.chain.verified())),
         ]);
         let config = Json::obj([
+            (
+                "sample_cap",
+                self.cfg.sample_cap.map_or(Json::Null, |c| Json::Int(c as i64)),
+            ),
             ("space_tol", opt_num(self.cfg.space_tol)),
             (
                 "time_tol",

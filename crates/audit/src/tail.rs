@@ -1,0 +1,469 @@
+//! The live audit: a [`JournalTailer`] feeding the incremental
+//! [`Auditor`] state machine, polled while the serving process is still
+//! appending.
+//!
+//! [`TailAuditor`] is what `hka-sim watch` and `serve-drill
+//! --audit-tail` run: each [`poll`](TailAuditor::poll) consumes
+//! whatever fully hash-chained records the journal grew, folds them
+//! into the audit state, and reports any *new* violations anchored to
+//! the byte offset of the offending record — the stable address an
+//! operator can seek to in the journal file. Torn tails are tolerated
+//! exactly as the tailer tolerates them: reported as in-flight bytes,
+//! never as a chain failure.
+//!
+//! The equivalence contract: once the writer has flushed and stopped,
+//! a `TailAuditor` that has caught up produces — via
+//! [`snapshot`](TailAuditor::snapshot) — an [`AuditOutcome`] whose
+//! canonical JSON is byte-identical to offline
+//! [`replay_file`](crate::replay_file) on the same journal. The tail
+//! path and the batch path share every moving part ([`ChainCursor`]
+//! for verification, [`Auditor::ingest`] for state), so the guarantee
+//! is structural, and `tests/tail.rs` enforces it under chaos
+//! schedules too.
+//!
+//! [`ChainCursor`]: hka_obs::ChainCursor
+
+use std::path::Path;
+
+use hka_obs::journal::ChainError;
+use hka_obs::{Json, JournalTailer};
+
+use crate::event::Mode;
+use crate::report::{AuditOutcome, ChainSummary};
+use crate::timeline::{AuditConfig, Auditor, Violation};
+
+/// What one [`TailAuditor::poll`] changed.
+#[derive(Debug, Clone, Default)]
+pub struct TailPoll {
+    /// Records verified and ingested by this poll.
+    pub new_records: u64,
+    /// Violations first detected by this poll, each anchored to the
+    /// journal byte offset of the record that exhibits it.
+    pub new_violations: Vec<(u64, Violation)>,
+    /// Bytes of torn/in-flight tail left unconsumed.
+    pub torn_bytes: u64,
+    /// The chain failure, if the tail has ended. Sticky: every poll
+    /// after the first failure reports the same error.
+    pub chain_error: Option<ChainError>,
+}
+
+/// One periodic status frame — the unit `hka-sim watch` prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchFrame {
+    /// Records verified so far.
+    pub records: u64,
+    /// Byte offset one past the last verified record.
+    pub offset: u64,
+    /// Torn/in-flight bytes past the verified offset at the last poll.
+    pub torn_bytes: u64,
+    /// Chain head hash.
+    pub head: String,
+    /// Mode the journal last established.
+    pub mode: Option<Mode>,
+    /// Users with journaled activity.
+    pub users: usize,
+    /// Smallest achieved anonymity-set size across all users.
+    pub min_k: Option<u64>,
+    /// Total forwards so far.
+    pub forwarded: u64,
+    /// Total suppressions so far.
+    pub suppressed: u64,
+    /// At-risk notifications so far.
+    pub at_risk: u64,
+    /// Pseudonym changes so far.
+    pub unlinks: u64,
+    /// Violations detected so far.
+    pub violations: u64,
+    /// Schema issues detected so far.
+    pub schema_issues: u64,
+    /// The chain failure, rendered, if the tail has ended.
+    pub chain_error: Option<String>,
+}
+
+impl WatchFrame {
+    /// The frame as canonical JSON (sorted keys).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("at_risk", Json::from(self.at_risk)),
+            (
+                "chain_error",
+                self.chain_error.as_deref().map_or(Json::Null, Json::from),
+            ),
+            ("forwarded", Json::from(self.forwarded)),
+            ("head", Json::from(self.head.as_str())),
+            (
+                "min_k",
+                self.min_k.map_or(Json::Null, Json::from),
+            ),
+            (
+                "mode",
+                self.mode.map_or(Json::Null, |m| Json::from(m.as_str())),
+            ),
+            ("offset", Json::from(self.offset)),
+            ("records", Json::from(self.records)),
+            ("schema_issues", Json::from(self.schema_issues)),
+            ("suppressed", Json::from(self.suppressed)),
+            ("torn_bytes", Json::from(self.torn_bytes)),
+            ("unlinks", Json::from(self.unlinks)),
+            ("users", Json::from(self.users as u64)),
+            ("violations", Json::from(self.violations)),
+        ])
+    }
+
+    /// One status line for the text watch surface.
+    pub fn render(&self) -> String {
+        let head = if self.head.len() >= 12 { &self.head[..12] } else { &self.head };
+        let mode = self.mode.map_or("-", |m| m.as_str());
+        let min_k = self
+            .min_k
+            .map_or_else(|| "-".to_string(), |k| k.to_string());
+        let mut line = format!(
+            "records={} head={head} mode={mode} users={} min_k={min_k} \
+             forwarded={} suppressed={} at_risk={} unlinks={} violations={} torn={}B",
+            self.records,
+            self.users,
+            self.forwarded,
+            self.suppressed,
+            self.at_risk,
+            self.unlinks,
+            self.violations,
+            self.torn_bytes,
+        );
+        if let Some(e) = &self.chain_error {
+            line.push_str(&format!(" CHAIN-ERROR: {e}"));
+        }
+        line
+    }
+}
+
+/// A tailing auditor over a live journal file: the composition of
+/// [`JournalTailer`] (verified streaming reads) and [`Auditor`]
+/// (incremental replay state). See the module docs for the equivalence
+/// contract with the offline audit.
+#[derive(Debug)]
+pub struct TailAuditor {
+    tailer: JournalTailer,
+    auditor: Auditor,
+    torn_bytes: u64,
+}
+
+impl TailAuditor {
+    /// A tail positioned at the start of `path` (which may not exist
+    /// yet — polls before the writer's first append are clean no-ops).
+    pub fn open(path: &Path, cfg: AuditConfig) -> Self {
+        TailAuditor {
+            tailer: JournalTailer::open(path),
+            auditor: Auditor::new(cfg),
+            torn_bytes: 0,
+        }
+    }
+
+    /// Consumes and audits whatever the journal grew since the last
+    /// poll.
+    pub fn poll(&mut self) -> TailPoll {
+        let mut out = TailPoll::default();
+        match self.tailer.poll() {
+            Ok(batch) => {
+                out.torn_bytes = batch.torn_bytes;
+                self.torn_bytes = batch.torn_bytes;
+                for tr in &batch.records {
+                    let before = self.auditor.violations().len();
+                    self.auditor.ingest(&tr.record);
+                    for v in &self.auditor.violations()[before..] {
+                        out.new_violations.push((tr.offset, v.clone()));
+                    }
+                    out.new_records += 1;
+                }
+                // A mid-batch chain failure is latched on the tailer
+                // while the verified prefix above still gets delivered;
+                // report both in the same poll.
+                out.chain_error = self.tailer.error().cloned();
+            }
+            Err(e) => out.chain_error = Some(e),
+        }
+        out
+    }
+
+    /// Records verified and ingested so far.
+    pub fn records(&self) -> u64 {
+        self.tailer.records_read()
+    }
+
+    /// Chain head hash.
+    pub fn head(&self) -> &str {
+        self.tailer.head()
+    }
+
+    /// Byte offset one past the last verified record.
+    pub fn offset(&self) -> u64 {
+        self.tailer.offset()
+    }
+
+    /// The sticky chain failure, if the tail has ended.
+    pub fn chain_error(&self) -> Option<&ChainError> {
+        self.tailer.error()
+    }
+
+    /// The incremental audit state (read-only).
+    pub fn auditor(&self) -> &Auditor {
+        &self.auditor
+    }
+
+    fn chain(&self) -> ChainSummary {
+        ChainSummary {
+            records: self.tailer.records_read(),
+            head: self.tailer.head().to_string(),
+            error: self.tailer.error().map(|e| e.to_string()),
+        }
+    }
+
+    /// Renders the audit state so far as a full [`AuditOutcome`] —
+    /// byte-identical (canonical JSON) to the offline audit of the
+    /// journal prefix consumed so far.
+    pub fn snapshot(&self) -> AuditOutcome {
+        self.auditor.snapshot(self.chain())
+    }
+
+    /// The current status frame.
+    pub fn frame(&self) -> WatchFrame {
+        let totals = self.auditor.totals();
+        WatchFrame {
+            records: self.records(),
+            offset: self.offset(),
+            torn_bytes: self.torn_bytes,
+            head: self.head().to_string(),
+            mode: self.auditor.mode(),
+            users: self.auditor.users_tracked(),
+            min_k: self.auditor.min_k(),
+            forwarded: totals.forwarded(),
+            suppressed: totals.suppressed_total(),
+            at_risk: totals.at_risk,
+            unlinks: totals.unlinks,
+            violations: self.auditor.violations().len() as u64,
+            schema_issues: self.auditor.schema_issues().len() as u64,
+            chain_error: self.tailer.error().map(|e| e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay;
+    use hka_obs::{Journal, JournalRecord};
+    use std::path::PathBuf;
+
+    struct TempPath(PathBuf);
+
+    impl TempPath {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "hka-audit-tail-{}-{tag}.jsonl",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            TempPath(path)
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn fwd(user: i64, at: i64, generalized: bool, hk_ok: bool, k_req: i64, k_got: i64) -> Json {
+        let side = if generalized { 100.0 } else { 0.0 };
+        Json::obj([
+            ("user", Json::Int(user)),
+            ("at", Json::Int(at)),
+            ("x_min", Json::Num(0.0)),
+            ("y_min", Json::Num(0.0)),
+            ("x_max", Json::Num(side)),
+            ("y_max", Json::Num(side)),
+            ("t_start", Json::Int(at - 30)),
+            ("t_end", Json::Int(at + 30)),
+            ("generalized", Json::Bool(generalized)),
+            ("hk_ok", Json::Bool(hk_ok)),
+            ("service", Json::Int(1)),
+            ("k_req", Json::Int(k_req)),
+            ("k_got", Json::Int(k_got)),
+            ("lbqid", Json::from("commute")),
+        ])
+    }
+
+    fn journal_of(events: &[(&str, Json)]) -> Vec<u8> {
+        let mut j = Journal::new(Vec::new());
+        for (kind, payload) in events {
+            j.append(kind, payload.clone()).unwrap();
+        }
+        j.into_inner()
+    }
+
+    #[test]
+    fn tail_snapshot_is_byte_identical_to_offline_replay() {
+        let tmp = TempPath::new("equiv");
+        let bytes = journal_of(&[
+            ("ts.forwarded", fwd(1, 100, true, true, 5, 5)),
+            ("ts.forwarded", fwd(2, 150, false, true, 0, 0)),
+            (
+                "ts.suppressed",
+                Json::obj([
+                    ("user", Json::Int(3)),
+                    ("at", Json::Int(160)),
+                    ("reason", Json::from("mix_zone")),
+                    ("service", Json::Int(1)),
+                ]),
+            ),
+            ("ts.forwarded", fwd(1, 200, true, true, 4, 6)),
+        ]);
+        std::fs::write(&tmp.0, &bytes).unwrap();
+
+        let mut tail = TailAuditor::open(&tmp.0, AuditConfig::default());
+        let poll = tail.poll();
+        assert_eq!(poll.new_records, 4);
+        assert!(poll.new_violations.is_empty());
+
+        let offline = replay(&bytes[..], AuditConfig::default());
+        assert_eq!(
+            tail.snapshot().to_json().to_string(),
+            offline.to_json().to_string(),
+            "tail and offline audit must agree byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn mid_stream_snapshot_matches_offline_replay_of_the_prefix() {
+        let tmp = TempPath::new("prefix");
+        let full = journal_of(&[
+            ("ts.forwarded", fwd(1, 100, true, true, 5, 5)),
+            ("ts.forwarded", fwd(2, 150, true, true, 5, 7)),
+            ("ts.forwarded", fwd(1, 200, true, true, 4, 6)),
+        ]);
+        let text = String::from_utf8(full.clone()).unwrap();
+        let prefix_len: usize =
+            text.lines().take(2).map(|l| l.len() + 1).sum();
+        std::fs::write(&tmp.0, &full[..prefix_len]).unwrap();
+
+        let mut tail = TailAuditor::open(&tmp.0, AuditConfig::default());
+        tail.poll();
+        let offline = replay(&full[..prefix_len], AuditConfig::default());
+        assert_eq!(
+            tail.snapshot().to_json().to_string(),
+            offline.to_json().to_string()
+        );
+
+        // The file grows; the tail catches up and agrees with the full
+        // offline replay.
+        std::fs::write(&tmp.0, &full).unwrap();
+        tail.poll();
+        let offline = replay(&full[..], AuditConfig::default());
+        assert_eq!(
+            tail.snapshot().to_json().to_string(),
+            offline.to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn new_violations_are_anchored_to_record_offsets() {
+        let tmp = TempPath::new("anchor");
+        let bytes = journal_of(&[
+            ("ts.forwarded", fwd(1, 100, true, true, 5, 5)),
+            // Unexplained sub-k clamp: a violation on the second record.
+            ("ts.forwarded", fwd(2, 150, true, false, 5, 2)),
+        ]);
+        std::fs::write(&tmp.0, &bytes).unwrap();
+
+        let mut tail = TailAuditor::open(&tmp.0, AuditConfig::default());
+        let poll = tail.poll();
+        assert_eq!(poll.new_violations.len(), 1);
+        let (offset, v) = &poll.new_violations[0];
+        assert_eq!(v.user, Some(2));
+        // The offset addresses the offending record in the file.
+        let text = String::from_utf8(bytes).unwrap();
+        let line = text[*offset as usize..].lines().next().unwrap();
+        let rec = JournalRecord::parse_line(line).unwrap();
+        assert_eq!(rec.seq, v.seq);
+
+        // A later poll does not re-report the same violation.
+        assert!(tail.poll().new_violations.is_empty());
+        assert_eq!(tail.frame().violations, 1);
+    }
+
+    #[test]
+    fn frame_summarizes_the_live_state() {
+        let tmp = TempPath::new("frame");
+        let bytes = journal_of(&[
+            (
+                "ts.mode_changed",
+                Json::obj([
+                    ("at", Json::Int(10)),
+                    ("from", Json::from("normal")),
+                    ("to", Json::from("degraded")),
+                ]),
+            ),
+            ("ts.forwarded", fwd(1, 100, true, true, 5, 5)),
+        ]);
+        std::fs::write(&tmp.0, &bytes).unwrap();
+        let mut tail = TailAuditor::open(&tmp.0, AuditConfig::default());
+        tail.poll();
+        let frame = tail.frame();
+        assert_eq!(frame.records, 2);
+        assert_eq!(frame.mode, Some(Mode::Degraded));
+        assert_eq!(frame.min_k, Some(5));
+        assert_eq!(frame.users, 1);
+        assert_eq!(frame.chain_error, None);
+        let line = frame.render();
+        assert!(line.contains("mode=degraded"));
+        assert!(line.contains("min_k=5"));
+        let json = frame.to_json().to_string();
+        assert!(json.contains("\"records\":2"));
+        let reparsed = hka_obs::json::parse(&json).unwrap();
+        assert_eq!(reparsed.to_string(), json, "canonical frame JSON");
+    }
+
+    #[test]
+    fn sample_cap_bounds_per_user_history() {
+        let tmp = TempPath::new("cap");
+        let events: Vec<(&str, Json)> = (0..50)
+            .map(|i| ("ts.forwarded", fwd(1, 100 + i, true, true, 5, 5 + (i % 3))))
+            .collect();
+        let bytes = journal_of(&events);
+        std::fs::write(&tmp.0, &bytes).unwrap();
+
+        let cfg = AuditConfig { sample_cap: Some(8), ..AuditConfig::default() };
+        let mut tail = TailAuditor::open(&tmp.0, cfg);
+        tail.poll();
+        let out = tail.snapshot();
+        let u = &out.users[0];
+        assert_eq!(u.k_samples.len(), 8, "history capped");
+        assert_eq!(u.forwarded_ok, 50, "aggregates keep full counts");
+        assert_eq!(u.min_k, Some(5), "min_k spans the whole run");
+        // Capped tail == capped offline: equivalence holds per-config.
+        let offline = replay(&bytes[..], cfg);
+        assert_eq!(
+            out.to_json().to_string(),
+            offline.to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn chain_failure_is_sticky_and_reported_in_frames() {
+        let tmp = TempPath::new("fail");
+        let bytes = journal_of(&[
+            ("ts.forwarded", fwd(1, 100, true, true, 5, 5)),
+            ("ts.forwarded", fwd(2, 150, true, true, 5, 5)),
+        ]);
+        let text = String::from_utf8(bytes).unwrap();
+        std::fs::write(&tmp.0, text.replacen("\"user\":2", "\"user\":9", 1)).unwrap();
+
+        let mut tail = TailAuditor::open(&tmp.0, AuditConfig::default());
+        let poll = tail.poll();
+        assert!(poll.chain_error.is_some());
+        assert_eq!(tail.records(), 1, "valid prefix still audited");
+        assert!(tail.frame().chain_error.is_some());
+        assert!(!tail.snapshot().ok());
+        // Sticky across polls.
+        assert!(tail.poll().chain_error.is_some());
+    }
+}

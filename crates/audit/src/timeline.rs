@@ -36,6 +36,14 @@ pub struct AuditConfig {
     pub space_tol: Option<f64>,
     /// Reference temporal tolerance, seconds.
     pub time_tol: Option<i64>,
+    /// Bound on per-user history vectors (`k_samples`, `unlinks`,
+    /// `at_risk_windows`): when set, only the most recent `cap` entries
+    /// are retained, so a tailing auditor holds bounded memory over an
+    /// unbounded journal. `None` (the default, and what the offline
+    /// audit uses) keeps everything. Capping never touches the *open*
+    /// at-risk window — only closed history is dropped — so violation
+    /// detection is unaffected.
+    pub sample_cap: Option<usize>,
 }
 
 /// What kind of guarantee a violation breaks.
@@ -333,9 +341,26 @@ impl Totals {
     }
 }
 
-/// Streaming replay state. Feed verified records with
-/// [`Auditor::observe`], then call [`Auditor::finish`].
-#[derive(Debug, Default)]
+/// Drops the oldest entries beyond `cap`; no-op when `cap` is `None`.
+/// Front-draining keeps the *most recent* entries, which is also what
+/// the violation checks look at (the last at-risk window).
+fn trim_front<T>(cap: Option<usize>, v: &mut Vec<T>) {
+    if let Some(cap) = cap {
+        if v.len() > cap {
+            let excess = v.len() - cap;
+            v.drain(..excess);
+        }
+    }
+}
+
+/// Streaming replay state — an incremental state machine. Feed
+/// verified records one at a time with [`Auditor::ingest`]; at any
+/// point [`Auditor::snapshot`] renders the state so far without
+/// consuming it (the live-tail path), and [`Auditor::finish`] consumes
+/// it into the final outcome (the batch path). Both produce identical
+/// reports for the same records, so a tailing auditor that catches up
+/// to end-of-journal emits byte-for-byte the offline audit.
+#[derive(Debug, Clone, Default)]
 pub struct Auditor {
     cfg: AuditConfig,
     users: BTreeMap<u64, UserTimeline>,
@@ -370,8 +395,18 @@ impl Auditor {
         })
     }
 
-    /// Folds one verified journal record into the replay state.
+    /// Folds one verified journal record into the replay state. Alias
+    /// for [`ingest`](Auditor::ingest), kept for the batch-replay
+    /// callers that predate the streaming API.
     pub fn observe(&mut self, record: &JournalRecord) {
+        self.ingest(record);
+    }
+
+    /// Folds one verified journal record into the replay state. This is
+    /// the streaming entry point: state after N calls depends only on
+    /// the first N records, and memory is bounded when
+    /// [`AuditConfig::sample_cap`] is set.
+    pub fn ingest(&mut self, record: &JournalRecord) {
         self.totals.events += 1;
         let event = match decode(record) {
             Ok(e) => e,
@@ -410,8 +445,10 @@ impl Auditor {
             }
             AuditEvent::PseudonymChanged { user, at } => {
                 self.totals.unlinks += 1;
+                let cap = self.cfg.sample_cap;
                 let u = self.user(user);
                 u.unlinks.push(at);
+                trim_front(cap, &mut u.unlinks);
                 if let Some((_, end)) = u.at_risk_windows.last_mut() {
                     if end.is_none() {
                         *end = Some(at);
@@ -421,9 +458,11 @@ impl Auditor {
             AuditEvent::AtRisk { user, at, lbqid } => {
                 self.totals.at_risk += 1;
                 self.lbqid(&lbqid).at_risk += 1;
+                let cap = self.cfg.sample_cap;
                 let u = self.user(user);
                 if !u.at_risk_open() {
                     u.at_risk_windows.push((at, None));
+                    trim_front(cap, &mut u.at_risk_windows);
                 }
             }
             AuditEvent::LbqidMatched { user: _, at: _, lbqid } => {
@@ -545,11 +584,13 @@ impl Auditor {
         self.overall_area_sum += area;
         self.overall_duration_sum += duration;
         {
+            let cap = self.cfg.sample_cap;
             let u = self.user(user);
             u.area_sum += area;
             u.duration_sum += duration;
             if let (Some(req), Some(got)) = (k_req, k_got) {
                 u.k_samples.push(KSample { at, k_req: req, k_got: got });
+                trim_front(cap, &mut u.k_samples);
                 u.min_k = Some(u.min_k.map_or(got, |m| m.min(got)));
             }
         }
@@ -587,6 +628,45 @@ impl Auditor {
             self.overall_k_got_sum += got;
             self.overall_k_samples += 1;
         }
+    }
+
+    /// Violations detected so far, in journal order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Aggregate counters so far.
+    pub fn totals(&self) -> &Totals {
+        &self.totals
+    }
+
+    /// The mode the journal last established (`None` before the first
+    /// `ts.mode_changed`).
+    pub fn mode(&self) -> Option<Mode> {
+        self.mode
+    }
+
+    /// Users with any journaled activity so far.
+    pub fn users_tracked(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Schema issues recorded so far, as `(seq, message)` pairs.
+    pub fn schema_issues(&self) -> &[(u64, String)] {
+        &self.schema_issues
+    }
+
+    /// Smallest achieved anonymity-set size across every user so far.
+    pub fn min_k(&self) -> Option<u64> {
+        self.users.values().filter_map(|u| u.min_k).min()
+    }
+
+    /// Renders the state so far into an outcome **without** consuming
+    /// the auditor — the live-tail path. For the same ingested records
+    /// and the same `chain`, the result is identical to what
+    /// [`finish`](Auditor::finish) would return.
+    pub fn snapshot(&self, chain: crate::report::ChainSummary) -> crate::report::AuditOutcome {
+        self.clone().finish(chain)
     }
 
     /// Consumes the replay state into the final outcome. `chain`

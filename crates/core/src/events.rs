@@ -101,6 +101,26 @@ pub enum TsEvent {
 }
 
 impl TsEvent {
+    /// Whether this event is **sync-class** under the flush contract
+    /// (DESIGN.md §12): its journal record must reach the OS before the
+    /// effect it describes becomes externally visible, so the sink
+    /// flushes immediately after appending it. Sync-class events are
+    /// the ones with effects outside the TS — a forwarded request the
+    /// provider sees ([`TsEvent::Forwarded`]), a pseudonym the network
+    /// starts using ([`TsEvent::PseudonymChanged`]), a notification
+    /// delivered to the user ([`TsEvent::AtRisk`]). Async-class events
+    /// (suppressions, pattern matches, mode transitions) describe
+    /// internal state and may sit in the write buffer until the next
+    /// sync flush; a live audit tail sees them at most one buffer
+    /// flush later, which is safe because none of them make a decision
+    /// visible outside the server.
+    pub fn sync_flush(&self) -> bool {
+        matches!(
+            self,
+            TsEvent::Forwarded { .. } | TsEvent::PseudonymChanged { .. } | TsEvent::AtRisk { .. }
+        )
+    }
+
     /// The journal `kind` tag for this event.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -297,8 +317,12 @@ impl JournalSink {
         }
     }
 
-    /// Writes one event, honouring the backoff and retry budgets.
-    fn write(&mut self, kind: &str, payload: &Json) {
+    /// Writes one event, honouring the backoff and retry budgets. When
+    /// `sync` is set (sync-class events, see [`TsEvent::sync_flush`])
+    /// the sink flushes immediately after a successful append, pushing
+    /// the record past the write buffer before the event's external
+    /// effect happens — the boundary a live audit tail relies on.
+    fn write(&mut self, kind: &str, payload: &Json, sync: bool) {
         let metrics = hka_obs::global();
         if self.down {
             metrics.counter("ts.journal_skipped").incr();
@@ -312,6 +336,18 @@ impl JournalSink {
         let attempts = self.policy.attempts.max(1);
         for attempt in 0..attempts {
             if self.journal.append(kind, payload.clone()).is_ok() {
+                if sync && self.journal.flush().is_err() {
+                    // The record is in the chain — re-appending would
+                    // duplicate it — so a failed flush escalates
+                    // without retrying the write, exactly like the
+                    // group-commit fsync path.
+                    metrics.counter("ts.journal_errors").incr();
+                    self.escalate();
+                    return;
+                }
+                if sync {
+                    metrics.counter("ts.journal_sync_flushes").incr();
+                }
                 if self.failures > 0 {
                     metrics.counter("ts.journal_recoveries").incr();
                 }
@@ -324,6 +360,11 @@ impl JournalSink {
             }
         }
         // Every attempt failed: escalate.
+        self.escalate();
+    }
+
+    /// One more fully-failed event: spend the retry budget or back off.
+    fn escalate(&mut self) {
         self.failures += 1;
         if self.failures >= self.policy.max_failures {
             self.down = true;
@@ -541,10 +582,15 @@ impl EventLog {
     /// [`RetryPolicy::max_failures`] consecutive failed events it is
     /// declared [`JournalHealth::Down`] until a new journal is attached.
     /// The in-memory ring and statistics always stay current.
+    ///
+    /// Sync-class events ([`TsEvent::sync_flush`]) are flushed through
+    /// the write buffer as part of the append, so their records are
+    /// visible to a concurrent audit tail before the effects they
+    /// describe leave the server.
     pub fn push(&mut self, e: TsEvent) {
         self.stats.absorb(&e);
         if let Some(sink) = &mut self.journal {
-            sink.write(e.kind(), &e.payload());
+            sink.write(e.kind(), &e.payload(), e.sync_flush());
         }
         self.ring.push(e);
     }
@@ -849,6 +895,85 @@ mod tests {
     #[test]
     fn detached_log_reports_detached_health() {
         assert_eq!(EventLog::new().journal_health(), JournalHealth::Detached);
+    }
+
+    #[test]
+    fn sync_class_events_flush_through_the_write_buffer() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut log = EventLog::new();
+        log.attach_journal(boxed(std::io::BufWriter::with_capacity(
+            1 << 20,
+            shared.clone(),
+        )));
+
+        // Async-class: sits in the buffer, invisible downstream.
+        log.push(TsEvent::Suppressed {
+            user: UserId(1),
+            at: TimeSec(0),
+            reason: SuppressReason::MixZone,
+            service: ServiceId(1),
+        });
+        assert!(
+            shared.0.lock().unwrap_or_else(|e| e.into_inner()).is_empty(),
+            "async-class events may buffer"
+        );
+
+        // Sync-class: the flush pushes *everything buffered so far*
+        // through — the tail sees both records, in order.
+        log.push(forwarded(1));
+        let bytes = shared.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let report = hka_obs::verify_chain(&bytes[..]).expect("chain verifies");
+        let kinds: Vec<&str> = report.records.iter().map(|r| r.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["ts.suppressed", "ts.forwarded"]);
+    }
+
+    #[test]
+    fn sync_flush_failure_escalates_without_reappending() {
+        use std::sync::{Arc, Mutex};
+
+        /// Writes land; every flush fails.
+        #[derive(Clone)]
+        struct FlushFail(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for FlushFail {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("injected flush failure"))
+            }
+        }
+
+        let shared = FlushFail(Arc::new(Mutex::new(Vec::new())));
+        let mut log = EventLog::new();
+        log.attach_journal(boxed(shared.clone()));
+        log.push(forwarded(0)); // sync-class
+        assert_eq!(log.journal_health(), JournalHealth::Retrying { failures: 1 });
+        // The record chained exactly once: a failed flush must not be
+        // answered with a duplicate append.
+        let bytes = shared.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let report = hka_obs::verify_chain(&bytes[..]).expect("chain intact");
+        assert_eq!(report.records.len(), 1);
     }
 
     #[test]

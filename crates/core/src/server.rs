@@ -486,6 +486,11 @@ impl TrustedServer {
     /// journal (see `hka_obs::journal`). Returns the previous sink, if
     /// one was attached. A fresh sink is healthy, so a degraded or
     /// read-only server returns to [`ServerMode::Normal`].
+    ///
+    /// Sync-class events ([`TsEvent::sync_flush`](crate::TsEvent)) are
+    /// flushed through the sink as they are appended, so a concurrent
+    /// audit tail sees every externally visible decision no later than
+    /// its effect (DESIGN.md §12).
     pub fn attach_journal(
         &mut self,
         journal: hka_obs::BoxedJournal,
@@ -503,6 +508,14 @@ impl TrustedServer {
         let previous = self.log.attach_journal_with(journal, policy);
         self.sync_mode(self.last_time);
         previous
+    }
+
+    /// Detaches and returns the journal sink, if one was attached. The
+    /// server falls back to in-memory logging; callers that detach to
+    /// recover a journal file (crash drills) should re-attach with
+    /// [`TrustedServer::attach_journal`] before handling more events.
+    pub fn take_journal(&mut self) -> Option<hka_obs::BoxedJournal> {
+        self.log.take_journal()
     }
 
     /// Health of the journal sink (drives [`TrustedServer::mode`]).

@@ -36,7 +36,7 @@ mod schedule;
 mod writer;
 
 pub use plan::{FaultInjector, FaultKind, FaultPlan, FaultRule, Trigger};
-pub use schedule::randomized_plan;
+pub use schedule::{randomized_plan, tail_chaos_plan};
 pub use writer::FaultyWriter;
 
 /// Named injection sites threaded through the pipeline's hot paths.

@@ -148,6 +148,13 @@ impl FaultPlan {
         &self.rules
     }
 
+    /// Keeps only the rules whose site satisfies `keep`. Used to
+    /// restrict a generated schedule to a subset of sites (e.g. the
+    /// request path) without re-drawing the surviving rules.
+    pub fn retain_sites(&mut self, keep: impl Fn(&str) -> bool) {
+        self.rules.retain(|r| keep(&r.site));
+    }
+
     /// Registers one hit at `site` and returns the injected fault, if
     /// any rule fires.
     pub fn check(&mut self, site: &str) -> Option<FaultKind> {

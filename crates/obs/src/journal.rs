@@ -212,6 +212,14 @@ impl<W: Write> Journal<W> {
         self.next_seq
     }
 
+    /// Hash the next append will chain from — the hash of the last
+    /// record written ([`GENESIS_HASH`] for a fresh journal). Together
+    /// with [`next_seq`](Journal::next_seq) this is everything needed to
+    /// hand the chain to another writer via [`Journal::resume`].
+    pub fn head(&self) -> &str {
+        &self.prev_hash
+    }
+
     /// Flushes the underlying sink.
     pub fn flush(&mut self) -> io::Result<()> {
         self.sink.flush()
@@ -328,6 +336,17 @@ pub enum ChainError {
     },
     /// Reading the input failed.
     Io(String),
+    /// A journal file shrank below a byte offset whose prefix had
+    /// already been verified — the verified prefix itself was rewritten
+    /// or replaced under a live reader. (Crash recovery never does
+    /// this: [`recover`] truncates only *invalid* suffix bytes, which a
+    /// tailer never consumes.)
+    TruncatedBehind {
+        /// Byte offset one past the last verified record.
+        offset: u64,
+        /// Observed file length, smaller than `offset`.
+        len: u64,
+    },
 }
 
 impl fmt::Display for ChainError {
@@ -349,6 +368,10 @@ impl fmt::Display for ChainError {
                 write!(f, "line {line}: stored hash does not match recomputed hash")
             }
             ChainError::Io(e) => write!(f, "read error: {e}"),
+            ChainError::TruncatedBehind { offset, len } => write!(
+                f,
+                "journal shrank to {len} bytes, below the verified offset {offset}"
+            ),
         }
     }
 }
@@ -364,49 +387,48 @@ pub struct ChainReport {
     pub head: String,
 }
 
-/// A streaming reader over a journal: yields each record after checking
-/// it against the chain so far (schema version, sequence monotonicity,
-/// `prev` link, recomputed hash). The first failure is yielded as an
-/// `Err` and iteration stops; [`records_read`](JournalReader::records_read)
-/// and [`head`](JournalReader::head) then describe the verified prefix.
-///
-/// [`verify_chain`] is this reader run to completion. Replay consumers
-/// (`hka-audit`) drive the reader directly so an arbitrarily large
-/// journal is verified and analyzed in one pass without buffering every
-/// record in memory.
-#[derive(Debug)]
-pub struct JournalReader<R: BufRead> {
-    input: R,
-    line_no: usize,
-    records_read: u64,
+/// Incremental chain-verification state: the `(expected seq, head hash)`
+/// pair every verifier in this module walks forward one record at a
+/// time. [`JournalReader`], [`recover`], and the tailer
+/// ([`crate::tail::JournalTailer`]) all admit records through the same
+/// cursor, so "fully hash-chained" means exactly one thing everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainCursor {
+    records: u64,
     head: String,
-    done: bool,
 }
 
-impl<R: BufRead> JournalReader<R> {
-    /// A reader over `input`, expecting a chain that starts at genesis.
-    pub fn new(input: R) -> Self {
-        JournalReader {
-            input,
-            line_no: 0,
-            records_read: 0,
+impl Default for ChainCursor {
+    fn default() -> Self {
+        ChainCursor::new()
+    }
+}
+
+impl ChainCursor {
+    /// A cursor positioned before the first record (genesis).
+    pub fn new() -> Self {
+        ChainCursor {
+            records: 0,
             head: GENESIS_HASH.to_string(),
-            done: false,
         }
     }
 
-    /// Records verified so far.
-    pub fn records_read(&self) -> u64 {
-        self.records_read
+    /// Records admitted so far (also the next expected sequence number).
+    pub fn records(&self) -> u64 {
+        self.records
     }
 
-    /// Hash of the last verified record (genesis hash before the first).
+    /// Hash of the last admitted record (genesis hash before the first).
     pub fn head(&self) -> &str {
         &self.head
     }
 
-    fn check(&mut self, line: &str) -> Result<JournalRecord, ChainError> {
-        let line_no = self.line_no;
+    /// Parses one line and checks it against the chain so far: schema
+    /// version, sequence monotonicity, `prev` link, recomputed hash. On
+    /// success the cursor advances; on failure it is untouched, so the
+    /// same line (or a repaired one) can be offered again. `line_no` is
+    /// the 1-based line number used in errors.
+    pub fn admit(&mut self, line_no: usize, line: &str) -> Result<JournalRecord, ChainError> {
         let record = JournalRecord::parse_line(line).map_err(|e| match e {
             ChainError::Malformed { message, .. } => ChainError::Malformed {
                 line: line_no,
@@ -420,10 +442,10 @@ impl<R: BufRead> JournalReader<R> {
                 found: record.version,
             });
         }
-        if record.seq != self.records_read {
+        if record.seq != self.records {
             return Err(ChainError::BadSequence {
                 line: line_no,
-                expected: self.records_read,
+                expected: self.records,
                 found: record.seq,
             });
         }
@@ -440,8 +462,48 @@ impl<R: BufRead> JournalReader<R> {
             return Err(ChainError::BadHash { line: line_no });
         }
         self.head = record.hash.clone();
-        self.records_read += 1;
+        self.records += 1;
         Ok(record)
+    }
+}
+
+/// A streaming reader over a journal: yields each record after checking
+/// it against the chain so far (schema version, sequence monotonicity,
+/// `prev` link, recomputed hash). The first failure is yielded as an
+/// `Err` and iteration stops; [`records_read`](JournalReader::records_read)
+/// and [`head`](JournalReader::head) then describe the verified prefix.
+///
+/// [`verify_chain`] is this reader run to completion. Replay consumers
+/// (`hka-audit`) drive the reader directly so an arbitrarily large
+/// journal is verified and analyzed in one pass without buffering every
+/// record in memory.
+#[derive(Debug)]
+pub struct JournalReader<R: BufRead> {
+    input: R,
+    line_no: usize,
+    cursor: ChainCursor,
+    done: bool,
+}
+
+impl<R: BufRead> JournalReader<R> {
+    /// A reader over `input`, expecting a chain that starts at genesis.
+    pub fn new(input: R) -> Self {
+        JournalReader {
+            input,
+            line_no: 0,
+            cursor: ChainCursor::new(),
+            done: false,
+        }
+    }
+
+    /// Records verified so far.
+    pub fn records_read(&self) -> u64 {
+        self.cursor.records()
+    }
+
+    /// Hash of the last verified record (genesis hash before the first).
+    pub fn head(&self) -> &str {
+        self.cursor.head()
     }
 }
 
@@ -470,7 +532,7 @@ impl<R: BufRead> Iterator for JournalReader<R> {
             if line.trim().is_empty() {
                 continue;
             }
-            let result = self.check(&line);
+            let result = self.cursor.admit(self.line_no, &line);
             if result.is_err() {
                 self.done = true;
             }
@@ -541,8 +603,7 @@ pub fn recover(
     let mut bytes = Vec::new();
     file.read_to_end(&mut bytes)?;
 
-    let mut prev_hash = GENESIS_HASH.to_string();
-    let mut valid_records = 0u64;
+    let mut cursor = ChainCursor::new();
     let mut valid_end = 0usize; // byte offset one past the last valid record
     let mut offset = 0usize;
     while offset < bytes.len() {
@@ -558,22 +619,14 @@ pub fn recover(
             valid_end = offset;
             continue;
         }
-        let Ok(record) = JournalRecord::parse_line(line) else {
-            break;
-        };
-        let chain_ok = record.version == JOURNAL_VERSION
-            && record.seq == valid_records
-            && record.prev == prev_hash
-            && event_hash(record.seq, &record.kind, &record.payload.to_string(), &record.prev)
-                == record.hash;
-        if !chain_ok {
+        if cursor.admit(0, line).is_err() {
             break;
         }
-        prev_hash = record.hash;
-        valid_records += 1;
         offset = line_end + 1;
         valid_end = offset;
     }
+    let valid_records = cursor.records();
+    let prev_hash = cursor.head().to_string();
 
     let truncated_bytes = (bytes.len() - valid_end) as u64;
     if truncated_bytes > 0 {

@@ -26,12 +26,14 @@ pub mod ring;
 pub mod sha256;
 pub mod span;
 pub mod stage;
+pub mod tail;
 
 pub use journal::{
-    event_hash, recover, verify_chain, BoxedJournal, ChainError, ChainReport, DurableJournal,
-    DurableSink, Journal, JournalReader, JournalRecord, RecoveryReport, Unsynced, GENESIS_HASH,
-    JOURNAL_VERSION,
+    event_hash, recover, verify_chain, BoxedJournal, ChainCursor, ChainError, ChainReport,
+    DurableJournal, DurableSink, Journal, JournalReader, JournalRecord, RecoveryReport, Unsynced,
+    GENESIS_HASH, JOURNAL_VERSION,
 };
+pub use tail::{JournalTailer, TailBatch, TailedRecord};
 pub use json::Json;
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,

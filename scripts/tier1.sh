@@ -33,4 +33,9 @@ cargo run --release -q -p hka-audit --bin hka-audit -- --journal "$tmp/ts.journa
     --json "$tmp/audit.json" --quiet
 cargo run --release -q --bin hka-sim -- audit --journal "$tmp/ts.journal" --quiet
 
+echo "== watch (live-tail smoke: report byte-identical to offline audit) =="
+cargo run --release -q --bin hka-sim -- watch "$tmp/ts.journal" \
+    --idle-exit 2 --interval-ms 50 --report "$tmp/watch.json" > /dev/null
+cmp "$tmp/watch.json" "$tmp/audit.json"
+
 echo "tier-1: OK"

@@ -13,6 +13,13 @@
 //!                  [--roamers N] [--k N] [--shards N] [--index grid|rtree]
 //! hka-sim audit    --journal FILE [--json FILE] [--quiet]
 //!                  [--space-tol M2] [--time-tol SECS]
+//! hka-sim watch    JOURNAL [--interval-ms N] [--idle-exit N] [--json]
+//!                  [--report FILE] [--space-tol M2] [--time-tol SECS]
+//!                  [--sample-cap N]
+//! hka-sim serve-drill [--journal FILE] [--audit-tail] [--chaos SEED]
+//!                  [--segments N] [--seed N] [--days N] [--commuters N]
+//!                  [--roamers N] [--k N] [--interval-ms N] [--pace-us N]
+//!                  [--report FILE] [--index grid|rtree]
 //! ```
 //!
 //! `chaos` drives the simulation under `--seeds` randomized fault
@@ -33,6 +40,29 @@
 //! anonymity timelines and the QoS/k/unlink trade-off tables, and exits
 //! non-zero on chain failures or Theorem-1 / fail-closed violations.
 //! `--json FILE` additionally writes the canonical JSON report.
+//!
+//! `watch` is the live audit: it tails a journal that another process
+//! is still appending to, verifying the hash chain record by record and
+//! feeding an incremental auditor. It prints a status frame whenever
+//! the journal grows (`--json` for JSON frames), reports violations
+//! with their byte offsets the moment they appear, tolerates torn tails
+//! (an incomplete final record is re-polled, never a chain failure),
+//! and exits 2 on the first violation, 1 on a chain failure, or 0 after
+//! `--idle-exit N` consecutive quiet polls. `--report FILE` writes the
+//! canonical JSON report on exit — for a completed journal it is
+//! byte-identical to `audit --json` on the same file.
+//!
+//! `serve-drill` runs a simulation and a tailing auditor *at the same
+//! time* (`--audit-tail`), in separate threads over one journal file —
+//! the always-on verification drill. `--segments N` splits the workload
+//! into N segments with a simulated crash between them (a torn
+//! half-record is left behind, `Journal::recover` truncates it, and the
+//! writer re-chains) and `--chaos SEED` injects a request-path fault
+//! schedule (`tail_chaos_plan`; journal I/O faults are excluded so a
+//! live tail must report zero violations). On exit the tail's final
+//! report is compared byte-for-byte against the offline audit of the
+//! same journal; any mismatch, chain error, or violation is a non-zero
+//! exit.
 //!
 //! `simulate` is the default subcommand: `hka-sim --trace-out t.jsonl
 //! --metrics` simulates with defaults. `--trace-out FILE` streams every
@@ -717,13 +747,7 @@ fn cmd_audit(flags: HashMap<String, String>) {
         eprintln!("audit requires --journal FILE");
         std::process::exit(2);
     };
-    let mut cfg = hka::audit::AuditConfig::default();
-    if flags.contains_key("space-tol") {
-        cfg.space_tol = Some(get(&flags, "space-tol", 0.0f64));
-    }
-    if flags.contains_key("time-tol") {
-        cfg.time_tol = Some(get(&flags, "time-tol", 0i64));
-    }
+    let cfg = audit_config(&flags);
     let outcome = hka::audit::replay_file(std::path::Path::new(journal), cfg)
         .unwrap_or_else(|e| {
             eprintln!("cannot read {journal}: {e}");
@@ -746,10 +770,301 @@ fn cmd_audit(flags: HashMap<String, String>) {
     }
 }
 
+/// Parses the audit tolerances shared by `audit` and `watch`.
+fn audit_config(flags: &HashMap<String, String>) -> hka::audit::AuditConfig {
+    let mut cfg = hka::audit::AuditConfig::default();
+    if flags.contains_key("space-tol") {
+        cfg.space_tol = Some(get(flags, "space-tol", 0.0f64));
+    }
+    if flags.contains_key("time-tol") {
+        cfg.time_tol = Some(get(flags, "time-tol", 0i64));
+    }
+    if flags.contains_key("sample-cap") {
+        cfg.sample_cap = Some(get(flags, "sample-cap", 0usize));
+    }
+    cfg
+}
+
+fn cmd_watch(args: &[String]) {
+    // `watch JOURNAL [--flags]`: the journal path may be positional.
+    let (positional, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[1..]),
+        _ => (None, args),
+    };
+    let flags = parse_flags(rest);
+    let journal = positional
+        .or_else(|| flags.get("journal").filter(|p| p.as_str() != "true").cloned())
+        .unwrap_or_else(|| {
+            eprintln!("watch requires a journal path: hka-sim watch FILE [--flags]");
+            std::process::exit(2);
+        });
+    let interval = get(&flags, "interval-ms", 200u64);
+    let idle_exit = get(&flags, "idle-exit", 0u64);
+    let json = flags.contains_key("json");
+    let cfg = audit_config(&flags);
+    let report_path = flags.get("report").filter(|p| p.as_str() != "true").cloned();
+
+    let emit = |frame: &hka::audit::WatchFrame| {
+        if json {
+            println!("{}", frame.to_json());
+        } else {
+            println!("{}", frame.render());
+        }
+    };
+
+    let mut tail = hka::audit::TailAuditor::open(std::path::Path::new(&journal), cfg);
+    let mut idle = 0u64;
+    let code = loop {
+        let poll = tail.poll();
+        for (offset, v) in &poll.new_violations {
+            eprintln!(
+                "violation at offset {offset} (seq {}): {} — {}",
+                v.seq,
+                v.kind.as_str(),
+                v.detail
+            );
+        }
+        if poll.new_records > 0 {
+            idle = 0;
+            emit(&tail.frame());
+        } else {
+            idle += 1;
+        }
+        if !poll.new_violations.is_empty() {
+            break 2;
+        }
+        if let Some(e) = poll.chain_error {
+            emit(&tail.frame());
+            eprintln!("chain failed: {e}");
+            break 1;
+        }
+        if idle_exit > 0 && idle >= idle_exit {
+            emit(&tail.frame());
+            break 0;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval));
+    };
+    if let Some(path) = report_path {
+        std::fs::write(&path, tail.snapshot().to_json().to_string() + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    std::process::exit(code);
+}
+
+fn cmd_serve_drill(flags: HashMap<String, String>) {
+    use hka::faults::sites;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let seed = get(&flags, "seed", 1u64);
+    let days = get(&flags, "days", 2i64);
+    let commuters = get(&flags, "commuters", 6usize);
+    let roamers = get(&flags, "roamers", 30usize);
+    let k = get(&flags, "k", 4usize);
+    let segments = get(&flags, "segments", 1usize).max(1);
+    let interval = get(&flags, "interval-ms", 10u64);
+    let pace_us = get(&flags, "pace-us", 0u64);
+    let backend = get_backend(&flags);
+    let audit_tail = flags.contains_key("audit-tail");
+    let cfg = audit_config(&flags);
+    let journal_path = flags
+        .get("journal")
+        .filter(|p| p.as_str() != "true")
+        .cloned()
+        .unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join(format!("hka-serve-drill-{}.journal", std::process::id()))
+                .to_string_lossy()
+                .into_owned()
+        });
+    let path = std::path::PathBuf::from(&journal_path);
+    let _ = std::fs::remove_file(&path);
+
+    let world = build_world(seed, days, commuters, roamers);
+    let mut ts = protected_server(&world, k, backend);
+    // Chaos is restricted to request-path sites (`tail_chaos_plan`):
+    // with the journal write path fault-free, a live tail must report
+    // zero violations — anything else is a false positive.
+    let injector = flags.contains_key("chaos").then(|| {
+        let inj = FaultInjector::new(tail_chaos_plan(get(&flags, "chaos", seed)));
+        ts.attach_faults(inj.clone());
+        inj
+    });
+
+    let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+        eprintln!("cannot create {journal_path}: {e}");
+        std::process::exit(1);
+    });
+    ts.attach_journal(hka::obs::Journal::new(Box::new(std::io::BufWriter::new(
+        file,
+    ))
+        as Box<dyn std::io::Write + Send + Sync>));
+
+    // The tailing auditor runs in its own thread, polling the same file
+    // the server appends to. It stops once the writer is done AND a
+    // final poll finds nothing new (fully caught up, no torn tail).
+    let stop = Arc::new(AtomicBool::new(false));
+    let tailer = audit_tail.then(|| {
+        let stop = Arc::clone(&stop);
+        let path = path.clone();
+        std::thread::spawn(move || {
+            let mut tail = hka::audit::TailAuditor::open(&path, cfg);
+            let mut polls = 0u64;
+            loop {
+                let done = stop.load(Ordering::SeqCst);
+                let poll = tail.poll();
+                polls += 1;
+                for (offset, v) in &poll.new_violations {
+                    eprintln!(
+                        "violation at offset {offset} (seq {}): {} — {}",
+                        v.seq,
+                        v.kind.as_str(),
+                        v.detail
+                    );
+                }
+                if poll.chain_error.is_some() {
+                    break;
+                }
+                if done && poll.new_records == 0 && poll.torn_bytes == 0 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(interval));
+            }
+            (tail, polls)
+        })
+    });
+
+    // Drive the workload in `segments` slices with a simulated crash
+    // between consecutive slices: the sink is dropped, a torn
+    // half-record (no trailing newline — the only shape a single-write
+    // append can tear into) is left at the tail, `recover` truncates
+    // it, and the writer re-chains from the recovered head. The live
+    // tailer must ride through every cycle without a false alarm.
+    let chunk = world.events.len().div_ceil(segments).max(1);
+    let mut recoveries = 0u64;
+    let mut errors = 0u64;
+    for (i, slice) in world.events.chunks(chunk).enumerate() {
+        if i > 0 {
+            drop(ts.take_journal()); // flushes buffered records on drop
+            {
+                use std::io::Write as _;
+                let mut f = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .expect("journal exists");
+                f.write_all(br#"{"hash":"torn-mid-append"#).expect("append");
+            }
+            let (journal, report) = hka::obs::recover(&path).unwrap_or_else(|e| {
+                eprintln!("recovery failed: {e}");
+                std::process::exit(1);
+            });
+            assert!(report.truncated_bytes > 0, "the torn bytes were truncated");
+            recoveries += 1;
+            let next_seq = journal.next_seq();
+            let head = journal.head().to_string();
+            ts.attach_journal(hka::obs::Journal::resume(
+                Box::new(std::io::BufWriter::new(journal.into_inner()))
+                    as Box<dyn std::io::Write + Send + Sync>,
+                next_seq,
+                head,
+            ));
+        }
+        for e in slice {
+            match e.kind {
+                EventKind::Location => ts.location_update(e.user, e.at),
+                EventKind::Request { service } => {
+                    // Arrival perturbation mirrors `chaos`: drop,
+                    // duplicate, or re-deliver with a stale timestamp.
+                    let mut deliveries: Vec<StPoint> = Vec::with_capacity(2);
+                    match injector.as_ref().and_then(|inj| inj.check(sites::ARRIVAL)) {
+                        Some(FaultKind::Drop) => {}
+                        Some(FaultKind::Duplicate) => {
+                            deliveries.push(e.at);
+                            deliveries.push(e.at);
+                        }
+                        Some(FaultKind::Reorder) => {
+                            let mut late = e.at;
+                            late.t = TimeSec(late.t.0.saturating_sub(300));
+                            deliveries.push(late);
+                        }
+                        _ => deliveries.push(e.at),
+                    }
+                    for at in deliveries {
+                        if ts.try_handle_request(e.user, at, ServiceId(service)).is_err() {
+                            errors += 1;
+                        }
+                    }
+                }
+            }
+            if pace_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(pace_us));
+            }
+        }
+    }
+    drop(ts.take_journal()); // final flush: the journal is complete
+    stop.store(true, Ordering::SeqCst);
+
+    println!(
+        "serve-drill: {} events over {segments} segment(s), {recoveries} recoveries, \
+         {errors} rejected requests",
+        world.events.len()
+    );
+    let offline = hka::audit::replay_file(&path, cfg).unwrap_or_else(|e| {
+        eprintln!("cannot read {journal_path}: {e}");
+        std::process::exit(1);
+    });
+
+    let mut code = 0;
+    if let Some(handle) = tailer {
+        let (tail, polls) = handle.join().expect("tailer thread");
+        let snapshot = tail.snapshot();
+        println!(
+            "tail: {} records in {polls} polls, {} violations, head {}",
+            tail.records(),
+            tail.auditor().violations().len(),
+            &tail.head()[..12.min(tail.head().len())]
+        );
+        let tail_json = snapshot.to_json().to_string();
+        let offline_json = offline.to_json().to_string();
+        if tail_json == offline_json {
+            println!("equivalence: OK (tail report == offline audit, {} bytes)", tail_json.len());
+        } else {
+            eprintln!("equivalence: MISMATCH between live tail and offline audit");
+            code = 1;
+        }
+        if let Some(out) = flags.get("report").filter(|p| p.as_str() != "true") {
+            std::fs::write(out, tail_json + "\n").unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(2);
+            });
+        }
+        if tail.chain_error().is_some() {
+            eprintln!("chain failed: {}", tail.chain_error().unwrap());
+            code = 1;
+        }
+        if !tail.auditor().violations().is_empty() {
+            code = 2;
+        }
+    } else {
+        print!("{}", offline.render());
+        if !offline.chain.verified() {
+            code = 1;
+        } else if !offline.ok() {
+            code = 2;
+        }
+    }
+    println!("journal: {journal_path}");
+    std::process::exit(code);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(first) = args.first() else {
-        eprintln!("usage: hka-sim <simulate|plan|derive|attack|export|chaos|audit> [--flags]");
+        eprintln!(
+            "usage: hka-sim <simulate|plan|derive|attack|export|chaos|audit|watch|serve-drill> [--flags]"
+        );
         std::process::exit(2);
     };
     // A leading flag means the subcommand was omitted: default to `simulate`.
@@ -758,6 +1073,12 @@ fn main() {
     } else {
         (first.as_str(), &args[1..])
     };
+    // `watch` accepts a positional journal path; everything else is
+    // flags-only.
+    if cmd == "watch" {
+        cmd_watch(rest);
+        return;
+    }
     let flags = parse_flags(rest);
     match cmd {
         "simulate" => cmd_simulate(flags),
@@ -767,8 +1088,11 @@ fn main() {
         "export" => cmd_export(flags),
         "chaos" => cmd_chaos(flags),
         "audit" => cmd_audit(flags),
+        "serve-drill" => cmd_serve_drill(flags),
         other => {
-            eprintln!("unknown command '{other}' (use simulate|plan|derive|attack|export|chaos|audit)");
+            eprintln!(
+                "unknown command '{other}' (use simulate|plan|derive|attack|export|chaos|audit|watch|serve-drill)"
+            );
             std::process::exit(2);
         }
     }

@@ -110,7 +110,8 @@ pub mod prelude {
         TsStats, UnlinkDecision,
     };
     pub use hka_faults::{
-        randomized_plan, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultyWriter, Trigger,
+        randomized_plan, tail_chaos_plan, FaultInjector, FaultKind, FaultPlan, FaultRule,
+        FaultyWriter, Trigger,
     };
     pub use hka_geo::{
         DayWindow, Point, Rect, SpaceTimeScale, StBox, StPoint, TimeInterval, TimeSec, DAY, HOUR,

@@ -348,6 +348,7 @@ fn tolerance_config_yields_inflation_ratios() {
         AuditConfig {
             space_tol: Some(tol.max_area),
             time_tol: Some(tol.max_duration),
+            ..AuditConfig::default()
         },
     );
     let overall = out.to_json();
