@@ -11,7 +11,7 @@ use proptest::prelude::*;
 
 fn arb_request() -> impl Strategy<Value = SpRequest> {
     (
-        0u64..6,                      // pseudonym pool (collisions intended)
+        0u64..6, // pseudonym pool (collisions intended)
         0.0f64..3_000.0,
         0.0f64..3_000.0,
         0.0f64..400.0,
@@ -38,9 +38,8 @@ fn arb_stpoint() -> impl Strategy<Value = StPoint> {
 }
 
 fn arb_box() -> impl Strategy<Value = StBox> {
-    (arb_stpoint(), arb_stpoint()).prop_map(|(a, b)| {
-        StBox::new(Rect::new(a.pos, b.pos), TimeInterval::new(a.t, b.t))
-    })
+    (arb_stpoint(), arb_stpoint())
+        .prop_map(|(a, b)| StBox::new(Rect::new(a.pos, b.pos), TimeInterval::new(a.t, b.t)))
 }
 
 /// Naive reachability over the threshold graph, for cross-checking the

@@ -1,51 +1,66 @@
 //! `hka-audit` — replay and audit a hash-chained journal offline.
 //!
 //! ```text
-//! hka-audit --journal ts.journal [--json audit.json] [--quiet]
-//!           [--space-tol M2] [--time-tol SECS]
+//! hka-audit --journal ts.journal [--snapshot FILE] [--json audit.json]
+//!           [--quiet] [--space-tol M2] [--time-tol SECS]
 //! ```
 //!
+//! With `--snapshot`, the audit resumes from a checkpoint snapshot and
+//! replays only the journal suffix after its anchor record — the
+//! outcome is byte-identical to a genesis replay of the same chain, and
+//! any snapshot/anchor mismatch is a hard error (exit 2), never a
+//! silently different audit.
+//!
 //! Exit status: 0 clean, 1 chain verification failed, 2 chain intact
-//! but Theorem-1 / fail-closed violations or schema issues found.
+//! but Theorem-1 / fail-closed violations or schema issues found (also
+//! used for usage/IO/snapshot-binding errors).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hka_audit::{replay_file, AuditConfig};
+use hka_audit::{replay_file, resume_from_snapshot, AuditConfig};
 
 struct Args {
     journal: PathBuf,
+    snapshot: Option<PathBuf>,
     json_out: Option<PathBuf>,
     quiet: bool,
     cfg: AuditConfig,
 }
 
-const USAGE: &str = "usage: hka-audit --journal FILE [--json FILE] [--quiet] \
+const USAGE: &str = "usage: hka-audit --journal FILE [--snapshot FILE] [--json FILE] [--quiet] \
                      [--space-tol M2] [--time-tol SECS]";
 
 fn parse_args() -> Result<Args, String> {
     let mut journal = None;
+    let mut snapshot = None;
     let mut json_out = None;
     let mut quiet = false;
     let mut cfg = AuditConfig::default();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
-            it.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
         };
         match arg.as_str() {
             "--journal" => journal = Some(PathBuf::from(value("--journal")?)),
+            "--snapshot" => snapshot = Some(PathBuf::from(value("--snapshot")?)),
             "--json" => json_out = Some(PathBuf::from(value("--json")?)),
             "--quiet" => quiet = true,
             "--space-tol" => {
                 let v = value("--space-tol")?;
-                cfg.space_tol =
-                    Some(v.parse().map_err(|_| format!("--space-tol: bad number '{v}'"))?);
+                cfg.space_tol = Some(
+                    v.parse()
+                        .map_err(|_| format!("--space-tol: bad number '{v}'"))?,
+                );
             }
             "--time-tol" => {
                 let v = value("--time-tol")?;
-                cfg.time_tol =
-                    Some(v.parse().map_err(|_| format!("--time-tol: bad number '{v}'"))?);
+                cfg.time_tol = Some(
+                    v.parse()
+                        .map_err(|_| format!("--time-tol: bad number '{v}'"))?,
+                );
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -55,7 +70,13 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let journal = journal.ok_or_else(|| format!("--journal is required\n{USAGE}"))?;
-    Ok(Args { journal, json_out, quiet, cfg })
+    Ok(Args {
+        journal,
+        snapshot,
+        json_out,
+        quiet,
+        cfg,
+    })
 }
 
 fn main() -> ExitCode {
@@ -67,10 +88,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let outcome = match replay_file(&args.journal, args.cfg) {
+    let outcome = match &args.snapshot {
+        // The snapshot's embedded config wins on resume; tolerance
+        // flags apply to genesis replays only.
+        Some(snap) => resume_from_snapshot(&args.journal, snap),
+        None => replay_file(&args.journal, args.cfg),
+    };
+    let outcome = match outcome {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("hka-audit: cannot read {}: {e}", args.journal.display());
+            eprintln!("hka-audit: cannot audit {}: {e}", args.journal.display());
             return ExitCode::from(2);
         }
     };

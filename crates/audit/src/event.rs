@@ -9,7 +9,7 @@
 //! compatibility within a journal version: fields and kinds may be
 //! added, never changed or removed).
 
-use hka_obs::{Json, JournalRecord};
+use hka_obs::{JournalRecord, Json};
 
 /// Server operating mode as journaled in `ts.mode_changed` records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -121,6 +121,15 @@ pub enum AuditEvent {
         /// Records in the surviving prefix.
         valid_records: u64,
     },
+    /// A checkpoint snapshot was anchored into the chain.
+    Checkpoint {
+        /// Chain records the snapshot covers (= the record's seq).
+        records: u64,
+        /// Snapshot file name.
+        file: String,
+        /// Content hash the snapshot file must have.
+        snapshot: String,
+    },
     /// A kind this auditor does not know — tolerated and counted.
     Unknown,
 }
@@ -156,7 +165,9 @@ fn req_str(p: &Json, kind: &str, name: &str) -> Result<String, String> {
 }
 
 fn opt_u64(p: &Json, name: &str) -> Option<u64> {
-    p.get(name).and_then(Json::as_int).and_then(|v| u64::try_from(v).ok())
+    p.get(name)
+        .and_then(Json::as_int)
+        .and_then(|v| u64::try_from(v).ok())
 }
 
 /// Decodes one verified journal record. `Err` means a *known* kind did
@@ -211,8 +222,7 @@ pub fn decode(record: &JournalRecord) -> Result<AuditEvent, String> {
             let to = req_str(p, kind, "to")?;
             Ok(AuditEvent::ModeChanged {
                 at: req_int(p, kind, "at")?,
-                from: Mode::parse(&from)
-                    .ok_or_else(|| format!("{kind}: unknown mode '{from}'"))?,
+                from: Mode::parse(&from).ok_or_else(|| format!("{kind}: unknown mode '{from}'"))?,
                 to: Mode::parse(&to).ok_or_else(|| format!("{kind}: unknown mode '{to}'"))?,
             })
         }
@@ -220,6 +230,28 @@ pub fn decode(record: &JournalRecord) -> Result<AuditEvent, String> {
             truncated_bytes: req_u64(p, kind, "truncated_bytes")?,
             valid_records: req_u64(p, kind, "valid_records")?,
         }),
+        "checkpoint" => {
+            let records = req_u64(p, kind, "records")?;
+            let head = req_str(p, kind, "head")?;
+            // The anchor rule is part of the schema: the payload must
+            // agree with the record's own chain position. A checkpoint
+            // record that lies about where it sits is drift the audit
+            // surfaces, exactly like a missing field.
+            if records != record.seq {
+                return Err(format!(
+                    "{kind}: anchor covers {records} records but record sits at seq {}",
+                    record.seq
+                ));
+            }
+            if head != record.prev {
+                return Err(format!("{kind}: anchor head does not match record prev"));
+            }
+            Ok(AuditEvent::Checkpoint {
+                records,
+                file: req_str(p, kind, "file")?,
+                snapshot: req_str(p, kind, "snapshot")?,
+            })
+        }
         _ => Ok(AuditEvent::Unknown),
     }
 }
@@ -295,7 +327,13 @@ mod tests {
             ("hk_ok", Json::Bool(true)),
         ]);
         match decode(&record("ts.forwarded", payload)).unwrap() {
-            AuditEvent::Forwarded { service, k_req, k_got, lbqid, .. } => {
+            AuditEvent::Forwarded {
+                service,
+                k_req,
+                k_got,
+                lbqid,
+                ..
+            } => {
                 assert_eq!((service, k_req, k_got, lbqid), (None, None, None, None));
             }
             other => panic!("decoded {other:?}"),
@@ -315,6 +353,47 @@ mod tests {
             decode(&record("ts.some_future_thing", Json::Null)).unwrap(),
             AuditEvent::Unknown
         );
+    }
+
+    #[test]
+    fn checkpoint_decode_enforces_the_anchor_rule() {
+        let payload = |records: i64, head: &str| {
+            Json::obj([
+                ("records", Json::Int(records)),
+                ("head", Json::from(head)),
+                ("file", Json::from("checkpoint-000005.snap")),
+                ("snapshot", Json::from("abc123")),
+            ])
+        };
+        let mut rec = record("checkpoint", payload(5, "feedbeef"));
+        rec.seq = 5;
+        rec.prev = "feedbeef".to_string();
+        match decode(&rec).unwrap() {
+            AuditEvent::Checkpoint {
+                records,
+                file,
+                snapshot,
+            } => {
+                assert_eq!(records, 5);
+                assert_eq!(file, "checkpoint-000005.snap");
+                assert_eq!(snapshot, "abc123");
+            }
+            other => panic!("decoded {other:?}"),
+        }
+
+        // Wrong seq: the payload claims a different chain position.
+        let mut lies = record("checkpoint", payload(4, "feedbeef"));
+        lies.seq = 5;
+        lies.prev = "feedbeef".to_string();
+        let err = decode(&lies).unwrap_err();
+        assert!(err.contains("seq"), "error names the mismatch: {err}");
+
+        // Wrong head: the payload disagrees with the record's prev hash.
+        let mut lies = record("checkpoint", payload(5, "0000beef"));
+        lies.seq = 5;
+        lies.prev = "feedbeef".to_string();
+        let err = decode(&lies).unwrap_err();
+        assert!(err.contains("prev"), "error names the mismatch: {err}");
     }
 
     #[test]

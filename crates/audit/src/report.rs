@@ -49,6 +49,8 @@ pub struct AuditOutcome {
     pub schema_issues: Vec<(u64, String)>,
     /// `journal.recovered` records seen: `(truncated_bytes, valid_records)`.
     pub recoveries: Vec<(u64, u64)>,
+    /// Checkpoint anchors seen: `(seq, snapshot content hash)`.
+    pub checkpoints: Vec<(u64, String)>,
     /// Whole-journal aggregates.
     pub totals: Totals,
     pub(crate) overall_k_req_sum: u64,
@@ -86,13 +88,21 @@ impl AuditOutcome {
     /// Mean generalized area, m².
     pub fn mean_area(&self) -> f64 {
         let g = self.totals.forwarded_ok + self.totals.forwarded_clamped;
-        if g == 0 { 0.0 } else { self.overall_area_sum / g as f64 }
+        if g == 0 {
+            0.0
+        } else {
+            self.overall_area_sum / g as f64
+        }
     }
 
     /// Mean generalized duration, seconds.
     pub fn mean_duration(&self) -> f64 {
         let g = self.totals.forwarded_ok + self.totals.forwarded_clamped;
-        if g == 0 { 0.0 } else { self.overall_duration_sum as f64 / g as f64 }
+        if g == 0 {
+            0.0
+        } else {
+            self.overall_duration_sum as f64 / g as f64
+        }
     }
 
     /// Mean area as a fraction of the reference spatial tolerance —
@@ -100,14 +110,22 @@ impl AuditOutcome {
     /// configured tolerance.
     pub fn area_inflation(&self) -> Option<f64> {
         self.cfg.space_tol.map(|tol| {
-            if tol <= 0.0 { 0.0 } else { self.mean_area() / tol }
+            if tol <= 0.0 {
+                0.0
+            } else {
+                self.mean_area() / tol
+            }
         })
     }
 
     /// Mean duration as a fraction of the reference temporal tolerance.
     pub fn duration_inflation(&self) -> Option<f64> {
         self.cfg.time_tol.map(|tol| {
-            if tol <= 0 { 0.0 } else { self.mean_duration() / tol as f64 }
+            if tol <= 0 {
+                0.0
+            } else {
+                self.mean_duration() / tol as f64
+            }
         })
     }
 
@@ -118,10 +136,7 @@ impl AuditOutcome {
         let chain = Json::obj([
             (
                 "error",
-                self.chain
-                    .error
-                    .as_deref()
-                    .map_or(Json::Null, Json::from),
+                self.chain.error.as_deref().map_or(Json::Null, Json::from),
             ),
             ("head", Json::from(self.chain.head.as_str())),
             ("records", Json::from(self.chain.records)),
@@ -130,13 +145,12 @@ impl AuditOutcome {
         let config = Json::obj([
             (
                 "sample_cap",
-                self.cfg.sample_cap.map_or(Json::Null, |c| Json::Int(c as i64)),
+                self.cfg
+                    .sample_cap
+                    .map_or(Json::Null, |c| Json::Int(c as i64)),
             ),
             ("space_tol", opt_num(self.cfg.space_tol)),
-            (
-                "time_tol",
-                self.cfg.time_tol.map_or(Json::Null, Json::Int),
-            ),
+            ("time_tol", self.cfg.time_tol.map_or(Json::Null, Json::Int)),
         ]);
         let modes = Json::obj([
             ("consistent", Json::Bool(self.mode_consistent)),
@@ -168,16 +182,25 @@ impl AuditOutcome {
             ("at_risk", Json::from(self.totals.at_risk)),
             ("events", Json::from(self.totals.events)),
             ("forwarded", Json::from(self.totals.forwarded())),
-            ("forwarded_clamped", Json::from(self.totals.forwarded_clamped)),
+            (
+                "forwarded_clamped",
+                Json::from(self.totals.forwarded_clamped),
+            ),
             ("forwarded_exact", Json::from(self.totals.forwarded_exact)),
             ("forwarded_ok", Json::from(self.totals.forwarded_ok)),
             ("hk_success_rate", Json::Num(self.totals.hk_success_rate())),
             ("lbqid_matches", Json::from(self.totals.lbqid_matches)),
             ("requests", Json::from(self.totals.requests())),
             ("suppressed", suppressed(&self.totals.suppressed)),
-            ("suppressed_total", Json::from(self.totals.suppressed_total())),
+            (
+                "suppressed_total",
+                Json::from(self.totals.suppressed_total()),
+            ),
             ("unknown_kinds", Json::from(self.totals.unknown_kinds)),
-            ("unlink_frequency", Json::Num(self.totals.unlink_frequency())),
+            (
+                "unlink_frequency",
+                Json::Num(self.totals.unlink_frequency()),
+            ),
             ("unlinks", Json::from(self.totals.unlinks)),
         ]);
         let per_service = Json::Arr(
@@ -226,7 +249,10 @@ impl AuditOutcome {
             ("mean_duration", Json::Num(self.mean_duration())),
             ("mean_k_got", Json::Num(self.mean_k_got())),
             ("mean_k_req", Json::Num(self.mean_k_req())),
-            ("unlink_frequency", Json::Num(self.totals.unlink_frequency())),
+            (
+                "unlink_frequency",
+                Json::Num(self.totals.unlink_frequency()),
+            ),
         ]);
         let users = Json::Arr(
             self.users
@@ -319,8 +345,20 @@ impl AuditOutcome {
                 })
                 .collect(),
         );
+        let checkpoints = Json::Arr(
+            self.checkpoints
+                .iter()
+                .map(|(seq, hash)| {
+                    Json::obj([
+                        ("seq", Json::from(*seq)),
+                        ("snapshot", Json::from(hash.as_str())),
+                    ])
+                })
+                .collect(),
+        );
         Json::obj([
             ("chain", chain),
+            ("checkpoints", checkpoints),
             ("config", config),
             ("modes", modes),
             ("ok", Json::Bool(self.ok())),
@@ -386,10 +424,23 @@ impl AuditOutcome {
                 bytes
             );
         }
+        if !self.checkpoints.is_empty() {
+            let (seq, hash) = self.checkpoints.last().unwrap();
+            let _ = writeln!(
+                out,
+                "  checkpoints: {} (latest at seq {seq}, snapshot {}…)",
+                self.checkpoints.len(),
+                &hash[..12.min(hash.len())]
+            );
+        }
         let _ = writeln!(
             out,
             "  mode ladder: {} ({} transitions)",
-            if self.mode_consistent { "consistent" } else { "INCONSISTENT" },
+            if self.mode_consistent {
+                "consistent"
+            } else {
+                "INCONSISTENT"
+            },
             self.mode_transitions.len()
         );
         for tr in &self.mode_transitions {
@@ -452,7 +503,11 @@ impl AuditOutcome {
                 let _ = writeln!(
                     out,
                     "                {:<20} {:>5} {:>8} {:>8} {:>8} {:>7.2}",
-                    l.lbqid, l.forwarded_ok, l.forwarded_clamped, l.matches, l.at_risk,
+                    l.lbqid,
+                    l.forwarded_ok,
+                    l.forwarded_clamped,
+                    l.matches,
+                    l.at_risk,
                     l.mean_k_got(),
                 );
             }

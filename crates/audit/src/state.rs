@@ -1,0 +1,682 @@
+//! Serializing replay state for checkpoint snapshots.
+//!
+//! A checkpoint snapshot carries the auditor's *entire* replay state at
+//! the anchor's chain position so that `snapshot + journal suffix`
+//! replays to the byte-identical outcome of a genesis replay. The codec
+//! therefore covers every field of [`Auditor`] — counters, per-user
+//! timelines, per-service and per-LBQID rows, the mode ladder,
+//! violations, schema issues, recoveries, and prior checkpoint anchors.
+//!
+//! Numbers survive exactly: the canonical [`Json`] writer round-trips
+//! every finite `f64` (integral floats keep a trailing `.0`), so
+//! restoring `area_sum` from a snapshot yields the same bits the live
+//! auditor held. Decoding is strict — a missing or mistyped field is an
+//! error, never a default — because a partially-restored auditor would
+//! *silently* diverge from the genesis replay, which is exactly the
+//! failure mode checkpoints must never introduce.
+
+use std::collections::BTreeMap;
+
+use hka_obs::Json;
+
+use crate::event::Mode;
+use crate::timeline::{
+    AuditConfig, Auditor, KSample, LbqidRow, ModeTransition, ServiceRow, Totals, UserTimeline,
+    Violation, ViolationKind,
+};
+
+fn parse_violation_kind(s: &str) -> Option<ViolationKind> {
+    match s {
+        "unexplained_clamp" => Some(ViolationKind::UnexplainedClamp),
+        "forward_while_degraded" => Some(ViolationKind::ForwardWhileDegraded),
+        "forward_while_read_only" => Some(ViolationKind::ForwardWhileReadOnly),
+        "mode_ladder_gap" => Some(ViolationKind::ModeLadderGap),
+        _ => None,
+    }
+}
+
+fn opt_int(v: Option<i64>) -> Json {
+    v.map_or(Json::Null, Json::Int)
+}
+
+fn opt_u64_json(v: Option<u64>) -> Json {
+    v.map_or(Json::Null, Json::from)
+}
+
+fn counts_obj(map: &BTreeMap<String, u64>) -> Json {
+    Json::Obj(
+        map.iter()
+            .map(|(k, v)| (k.clone(), Json::from(*v)))
+            .collect(),
+    )
+}
+
+fn req<'a>(o: &'a Json, what: &str, name: &str) -> Result<&'a Json, String> {
+    o.get(name)
+        .ok_or_else(|| format!("{what}: missing '{name}'"))
+}
+
+fn req_u64(o: &Json, what: &str, name: &str) -> Result<u64, String> {
+    req(o, what, name)?
+        .as_int()
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or_else(|| format!("{what}: mistyped '{name}'"))
+}
+
+fn req_i64(o: &Json, what: &str, name: &str) -> Result<i64, String> {
+    req(o, what, name)?
+        .as_int()
+        .ok_or_else(|| format!("{what}: mistyped '{name}'"))
+}
+
+fn req_f64(o: &Json, what: &str, name: &str) -> Result<f64, String> {
+    req(o, what, name)?
+        .as_f64()
+        .ok_or_else(|| format!("{what}: mistyped '{name}'"))
+}
+
+fn req_str(o: &Json, what: &str, name: &str) -> Result<String, String> {
+    req(o, what, name)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what}: mistyped '{name}'"))
+}
+
+fn req_arr<'a>(o: &'a Json, what: &str, name: &str) -> Result<&'a [Json], String> {
+    match req(o, what, name)? {
+        Json::Arr(items) => Ok(items),
+        _ => Err(format!("{what}: '{name}' is not an array")),
+    }
+}
+
+fn opt_u64_of(o: &Json, what: &str, name: &str) -> Result<Option<u64>, String> {
+    match req(o, what, name)? {
+        Json::Null => Ok(None),
+        Json::Int(v) => u64::try_from(*v)
+            .map(Some)
+            .map_err(|_| format!("{what}: '{name}' is negative")),
+        _ => Err(format!("{what}: mistyped '{name}'")),
+    }
+}
+
+fn opt_i64_of(o: &Json, what: &str, name: &str) -> Result<Option<i64>, String> {
+    match req(o, what, name)? {
+        Json::Null => Ok(None),
+        Json::Int(v) => Ok(Some(*v)),
+        _ => Err(format!("{what}: mistyped '{name}'")),
+    }
+}
+
+fn counts_of(o: &Json, what: &str, name: &str) -> Result<BTreeMap<String, u64>, String> {
+    match req(o, what, name)? {
+        Json::Obj(map) => map
+            .iter()
+            .map(|(k, v)| {
+                v.as_int()
+                    .and_then(|v| u64::try_from(v).ok())
+                    .map(|v| (k.clone(), v))
+                    .ok_or_else(|| format!("{what}: '{name}.{k}' is not a count"))
+            })
+            .collect(),
+        _ => Err(format!("{what}: '{name}' is not an object")),
+    }
+}
+
+fn user_to_json(u: &UserTimeline) -> Json {
+    Json::obj([
+        ("user", Json::from(u.user)),
+        (
+            "k_samples",
+            Json::Arr(
+                u.k_samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("at", Json::Int(s.at)),
+                            ("k_req", Json::from(s.k_req)),
+                            ("k_got", Json::from(s.k_got)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("forwarded_exact", Json::from(u.forwarded_exact)),
+        ("forwarded_ok", Json::from(u.forwarded_ok)),
+        ("forwarded_clamped", Json::from(u.forwarded_clamped)),
+        ("suppressed", counts_obj(&u.suppressed)),
+        (
+            "unlinks",
+            Json::Arr(u.unlinks.iter().map(|at| Json::Int(*at)).collect()),
+        ),
+        (
+            "at_risk_windows",
+            Json::Arr(
+                u.at_risk_windows
+                    .iter()
+                    .map(|(open, close)| {
+                        Json::obj([("opened", Json::Int(*open)), ("closed", opt_int(*close))])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("min_k", opt_u64_json(u.min_k)),
+        ("area_sum", Json::Num(u.area_sum)),
+        ("duration_sum", Json::Int(u.duration_sum)),
+    ])
+}
+
+fn user_of_json(j: &Json) -> Result<UserTimeline, String> {
+    let what = "user";
+    let mut k_samples = Vec::new();
+    for s in req_arr(j, what, "k_samples")? {
+        k_samples.push(KSample {
+            at: req_i64(s, "k_sample", "at")?,
+            k_req: req_u64(s, "k_sample", "k_req")?,
+            k_got: req_u64(s, "k_sample", "k_got")?,
+        });
+    }
+    let mut unlinks = Vec::new();
+    for at in req_arr(j, what, "unlinks")? {
+        unlinks.push(at.as_int().ok_or("user: mistyped unlink instant")?);
+    }
+    let mut at_risk_windows = Vec::new();
+    for w in req_arr(j, what, "at_risk_windows")? {
+        at_risk_windows.push((
+            req_i64(w, "at_risk_window", "opened")?,
+            opt_i64_of(w, "at_risk_window", "closed")?,
+        ));
+    }
+    Ok(UserTimeline {
+        user: req_u64(j, what, "user")?,
+        k_samples,
+        forwarded_exact: req_u64(j, what, "forwarded_exact")?,
+        forwarded_ok: req_u64(j, what, "forwarded_ok")?,
+        forwarded_clamped: req_u64(j, what, "forwarded_clamped")?,
+        suppressed: counts_of(j, what, "suppressed")?,
+        unlinks,
+        at_risk_windows,
+        min_k: opt_u64_of(j, what, "min_k")?,
+        area_sum: req_f64(j, what, "area_sum")?,
+        duration_sum: req_i64(j, what, "duration_sum")?,
+    })
+}
+
+fn service_to_json(s: &ServiceRow) -> Json {
+    Json::obj([
+        ("service", Json::from(s.service)),
+        ("forwarded_exact", Json::from(s.forwarded_exact)),
+        ("forwarded_ok", Json::from(s.forwarded_ok)),
+        ("forwarded_clamped", Json::from(s.forwarded_clamped)),
+        ("suppressed", Json::from(s.suppressed)),
+        ("k_req_sum", Json::from(s.k_req_sum)),
+        ("k_got_sum", Json::from(s.k_got_sum)),
+        ("k_samples", Json::from(s.k_samples)),
+        ("area_sum", Json::Num(s.area_sum)),
+        ("duration_sum", Json::Int(s.duration_sum)),
+    ])
+}
+
+fn service_of_json(j: &Json) -> Result<ServiceRow, String> {
+    let what = "service";
+    Ok(ServiceRow {
+        service: req_u64(j, what, "service")?,
+        forwarded_exact: req_u64(j, what, "forwarded_exact")?,
+        forwarded_ok: req_u64(j, what, "forwarded_ok")?,
+        forwarded_clamped: req_u64(j, what, "forwarded_clamped")?,
+        suppressed: req_u64(j, what, "suppressed")?,
+        k_req_sum: req_u64(j, what, "k_req_sum")?,
+        k_got_sum: req_u64(j, what, "k_got_sum")?,
+        k_samples: req_u64(j, what, "k_samples")?,
+        area_sum: req_f64(j, what, "area_sum")?,
+        duration_sum: req_i64(j, what, "duration_sum")?,
+    })
+}
+
+fn lbqid_to_json(l: &LbqidRow) -> Json {
+    Json::obj([
+        ("lbqid", Json::from(l.lbqid.as_str())),
+        ("forwarded_ok", Json::from(l.forwarded_ok)),
+        ("forwarded_clamped", Json::from(l.forwarded_clamped)),
+        ("matches", Json::from(l.matches)),
+        ("at_risk", Json::from(l.at_risk)),
+        ("k_got_sum", Json::from(l.k_got_sum)),
+        ("k_samples", Json::from(l.k_samples)),
+        ("area_sum", Json::Num(l.area_sum)),
+        ("duration_sum", Json::Int(l.duration_sum)),
+    ])
+}
+
+fn lbqid_of_json(j: &Json) -> Result<LbqidRow, String> {
+    let what = "lbqid";
+    Ok(LbqidRow {
+        lbqid: req_str(j, what, "lbqid")?,
+        forwarded_ok: req_u64(j, what, "forwarded_ok")?,
+        forwarded_clamped: req_u64(j, what, "forwarded_clamped")?,
+        matches: req_u64(j, what, "matches")?,
+        at_risk: req_u64(j, what, "at_risk")?,
+        k_got_sum: req_u64(j, what, "k_got_sum")?,
+        k_samples: req_u64(j, what, "k_samples")?,
+        area_sum: req_f64(j, what, "area_sum")?,
+        duration_sum: req_i64(j, what, "duration_sum")?,
+    })
+}
+
+impl Auditor {
+    /// Serializes the complete replay state as canonical [`Json`] — the
+    /// `audit` section of a checkpoint snapshot. [`Auditor::from_state`]
+    /// inverts it exactly.
+    pub fn to_state(&self) -> Json {
+        Json::obj([
+            (
+                "cfg",
+                Json::obj([
+                    (
+                        "space_tol",
+                        self.cfg.space_tol.map_or(Json::Null, Json::Num),
+                    ),
+                    ("time_tol", opt_int(self.cfg.time_tol)),
+                    (
+                        "sample_cap",
+                        self.cfg
+                            .sample_cap
+                            .map_or(Json::Null, |c| Json::from(c as u64)),
+                    ),
+                ]),
+            ),
+            (
+                "users",
+                Json::Arr(self.users.values().map(user_to_json).collect()),
+            ),
+            (
+                "services",
+                Json::Arr(self.services.values().map(service_to_json).collect()),
+            ),
+            (
+                "lbqids",
+                Json::Arr(self.lbqids.values().map(lbqid_to_json).collect()),
+            ),
+            (
+                "mode",
+                self.mode.map_or(Json::Null, |m| Json::from(m.as_str())),
+            ),
+            (
+                "mode_transitions",
+                Json::Arr(
+                    self.mode_transitions
+                        .iter()
+                        .map(|t| {
+                            Json::obj([
+                                ("seq", Json::from(t.seq)),
+                                ("at", Json::Int(t.at)),
+                                ("from", Json::from(t.from.as_str())),
+                                ("to", Json::from(t.to.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| {
+                            Json::obj([
+                                ("seq", Json::from(v.seq)),
+                                ("at", Json::Int(v.at)),
+                                ("user", opt_u64_json(v.user)),
+                                ("kind", Json::from(v.kind.as_str())),
+                                ("detail", Json::from(v.detail.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "schema_issues",
+                Json::Arr(
+                    self.schema_issues
+                        .iter()
+                        .map(|(seq, msg)| {
+                            Json::obj([
+                                ("seq", Json::from(*seq)),
+                                ("issue", Json::from(msg.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "recoveries",
+                Json::Arr(
+                    self.recoveries
+                        .iter()
+                        .map(|(bytes, records)| {
+                            Json::obj([
+                                ("truncated_bytes", Json::from(*bytes)),
+                                ("valid_records", Json::from(*records)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "checkpoints",
+                Json::Arr(
+                    self.checkpoints
+                        .iter()
+                        .map(|(seq, hash)| {
+                            Json::obj([
+                                ("seq", Json::from(*seq)),
+                                ("snapshot", Json::from(hash.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "totals",
+                Json::obj([
+                    ("events", Json::from(self.totals.events)),
+                    ("forwarded_exact", Json::from(self.totals.forwarded_exact)),
+                    ("forwarded_ok", Json::from(self.totals.forwarded_ok)),
+                    (
+                        "forwarded_clamped",
+                        Json::from(self.totals.forwarded_clamped),
+                    ),
+                    ("suppressed", counts_obj(&self.totals.suppressed)),
+                    ("unlinks", Json::from(self.totals.unlinks)),
+                    ("at_risk", Json::from(self.totals.at_risk)),
+                    ("lbqid_matches", Json::from(self.totals.lbqid_matches)),
+                    ("checkpoints", Json::from(self.totals.checkpoints)),
+                    ("unknown_kinds", Json::from(self.totals.unknown_kinds)),
+                ]),
+            ),
+            ("overall_k_req_sum", Json::from(self.overall_k_req_sum)),
+            ("overall_k_got_sum", Json::from(self.overall_k_got_sum)),
+            ("overall_k_samples", Json::from(self.overall_k_samples)),
+            ("overall_area_sum", Json::Num(self.overall_area_sum)),
+            ("overall_duration_sum", Json::Int(self.overall_duration_sum)),
+        ])
+    }
+
+    /// Restores an auditor from a state produced by
+    /// [`Auditor::to_state`]. Strict: any missing or mistyped field is
+    /// an error, because a partially-restored auditor would silently
+    /// diverge from a genesis replay.
+    pub fn from_state(state: &Json) -> Result<Auditor, String> {
+        let what = "audit state";
+        let cfg_j = req(state, what, "cfg")?;
+        let cfg = AuditConfig {
+            space_tol: match req(cfg_j, "cfg", "space_tol")? {
+                Json::Null => None,
+                j => Some(j.as_f64().ok_or("cfg: mistyped 'space_tol'")?),
+            },
+            time_tol: opt_i64_of(cfg_j, "cfg", "time_tol")?,
+            sample_cap: opt_u64_of(cfg_j, "cfg", "sample_cap")?.map(|c| c as usize),
+        };
+
+        let mut users = BTreeMap::new();
+        for j in req_arr(state, what, "users")? {
+            let u = user_of_json(j)?;
+            users.insert(u.user, u);
+        }
+        let mut services = BTreeMap::new();
+        for j in req_arr(state, what, "services")? {
+            let s = service_of_json(j)?;
+            services.insert(s.service, s);
+        }
+        let mut lbqids = BTreeMap::new();
+        for j in req_arr(state, what, "lbqids")? {
+            let l = lbqid_of_json(j)?;
+            lbqids.insert(l.lbqid.clone(), l);
+        }
+
+        let mode = match req(state, what, "mode")? {
+            Json::Null => None,
+            j => {
+                let s = j.as_str().ok_or("audit state: mistyped 'mode'")?;
+                Some(Mode::parse(s).ok_or_else(|| format!("audit state: unknown mode '{s}'"))?)
+            }
+        };
+
+        let mut mode_transitions = Vec::new();
+        for j in req_arr(state, what, "mode_transitions")? {
+            let from = req_str(j, "mode_transition", "from")?;
+            let to = req_str(j, "mode_transition", "to")?;
+            mode_transitions.push(ModeTransition {
+                seq: req_u64(j, "mode_transition", "seq")?,
+                at: req_i64(j, "mode_transition", "at")?,
+                from: Mode::parse(&from)
+                    .ok_or_else(|| format!("mode_transition: unknown mode '{from}'"))?,
+                to: Mode::parse(&to)
+                    .ok_or_else(|| format!("mode_transition: unknown mode '{to}'"))?,
+            });
+        }
+
+        let mut violations = Vec::new();
+        for j in req_arr(state, what, "violations")? {
+            let kind = req_str(j, "violation", "kind")?;
+            violations.push(Violation {
+                seq: req_u64(j, "violation", "seq")?,
+                at: req_i64(j, "violation", "at")?,
+                user: opt_u64_of(j, "violation", "user")?,
+                kind: parse_violation_kind(&kind)
+                    .ok_or_else(|| format!("violation: unknown kind '{kind}'"))?,
+                detail: req_str(j, "violation", "detail")?,
+            });
+        }
+
+        let mut schema_issues = Vec::new();
+        for j in req_arr(state, what, "schema_issues")? {
+            schema_issues.push((
+                req_u64(j, "schema_issue", "seq")?,
+                req_str(j, "schema_issue", "issue")?,
+            ));
+        }
+        let mut recoveries = Vec::new();
+        for j in req_arr(state, what, "recoveries")? {
+            recoveries.push((
+                req_u64(j, "recovery", "truncated_bytes")?,
+                req_u64(j, "recovery", "valid_records")?,
+            ));
+        }
+        let mut checkpoints = Vec::new();
+        for j in req_arr(state, what, "checkpoints")? {
+            checkpoints.push((
+                req_u64(j, "checkpoint", "seq")?,
+                req_str(j, "checkpoint", "snapshot")?,
+            ));
+        }
+
+        let t = req(state, what, "totals")?;
+        let totals = Totals {
+            events: req_u64(t, "totals", "events")?,
+            forwarded_exact: req_u64(t, "totals", "forwarded_exact")?,
+            forwarded_ok: req_u64(t, "totals", "forwarded_ok")?,
+            forwarded_clamped: req_u64(t, "totals", "forwarded_clamped")?,
+            suppressed: counts_of(t, "totals", "suppressed")?,
+            unlinks: req_u64(t, "totals", "unlinks")?,
+            at_risk: req_u64(t, "totals", "at_risk")?,
+            lbqid_matches: req_u64(t, "totals", "lbqid_matches")?,
+            checkpoints: req_u64(t, "totals", "checkpoints")?,
+            unknown_kinds: req_u64(t, "totals", "unknown_kinds")?,
+        };
+
+        Ok(Auditor {
+            cfg,
+            users,
+            services,
+            lbqids,
+            mode,
+            mode_transitions,
+            violations,
+            schema_issues,
+            recoveries,
+            checkpoints,
+            totals,
+            overall_k_req_sum: req_u64(state, what, "overall_k_req_sum")?,
+            overall_k_got_sum: req_u64(state, what, "overall_k_got_sum")?,
+            overall_k_samples: req_u64(state, what, "overall_k_samples")?,
+            overall_area_sum: req_f64(state, what, "overall_area_sum")?,
+            overall_duration_sum: req_i64(state, what, "overall_duration_sum")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_obs::{Journal, JournalReader};
+
+    fn busy_auditor() -> Auditor {
+        // Drive a real journal through the auditor so every field of the
+        // state machine is populated the way production populates it.
+        let mut events: Vec<(&str, Json)> = Vec::new();
+        events.push((
+            "ts.mode_changed",
+            Json::obj([
+                ("at", Json::Int(5)),
+                ("from", Json::from("normal")),
+                ("to", Json::from("degraded")),
+            ]),
+        ));
+        for i in 0..4i64 {
+            events.push((
+                "ts.forwarded",
+                Json::obj([
+                    ("user", Json::Int(i % 2)),
+                    ("at", Json::Int(10 + i)),
+                    ("x_min", Json::Num(0.0)),
+                    ("y_min", Json::Num(0.0)),
+                    ("x_max", Json::Num(10.5 + i as f64)),
+                    ("y_max", Json::Num(7.25)),
+                    ("t_start", Json::Int(10 + i)),
+                    ("t_end", Json::Int(20 + i)),
+                    ("generalized", Json::Bool(true)),
+                    ("hk_ok", Json::Bool(i != 3)),
+                    ("service", Json::Int(i % 2)),
+                    ("k_req", Json::Int(5)),
+                    ("k_got", Json::Int(if i == 3 { 3 } else { 5 })),
+                    ("lbqid", Json::from("commute")),
+                ]),
+            ));
+        }
+        events.push((
+            "ts.suppressed",
+            Json::obj([
+                ("user", Json::Int(1)),
+                ("at", Json::Int(30)),
+                ("reason", Json::from("mix_zone")),
+                ("service", Json::Int(0)),
+            ]),
+        ));
+        events.push((
+            "ts.at_risk",
+            Json::obj([
+                ("user", Json::Int(0)),
+                ("at", Json::Int(31)),
+                ("lbqid", Json::from("commute")),
+            ]),
+        ));
+        events.push((
+            "ts.pseudonym_changed",
+            Json::obj([("user", Json::Int(0)), ("at", Json::Int(32))]),
+        ));
+        events.push((
+            "ts.lbqid_matched",
+            Json::obj([
+                ("user", Json::Int(1)),
+                ("at", Json::Int(33)),
+                ("lbqid", Json::from("commute")),
+            ]),
+        ));
+        events.push(("ts.future_kind", Json::obj([("at", Json::Int(34))])));
+        events.push(("ts.suppressed", Json::obj([("at", Json::Int(35))])));
+        events.push((
+            "journal.recovered",
+            Json::obj([
+                ("truncated_bytes", Json::Int(17)),
+                ("valid_records", Json::Int(9)),
+            ]),
+        ));
+
+        let mut journal = Journal::new(Vec::new());
+        for (kind, payload) in events {
+            journal.append(kind, payload).unwrap();
+        }
+        let bytes = journal.into_inner();
+        let mut auditor = Auditor::new(AuditConfig {
+            space_tol: Some(1000.0),
+            time_tol: Some(60),
+            sample_cap: None,
+        });
+        for record in JournalReader::new(&bytes[..]) {
+            auditor.ingest(&record.unwrap());
+        }
+        auditor.checkpoints.push((3, "deadbeef".repeat(8)));
+        auditor.totals.checkpoints += 1;
+        auditor
+    }
+
+    #[test]
+    fn state_round_trips_every_field() {
+        let auditor = busy_auditor();
+        assert!(!auditor.users.is_empty());
+        assert!(
+            !auditor.violations.is_empty(),
+            "fixture must exercise violations"
+        );
+        assert!(
+            !auditor.schema_issues.is_empty(),
+            "fixture must exercise schema issues"
+        );
+
+        let state = auditor.to_state();
+        let restored = Auditor::from_state(&state).expect("state decodes");
+        // Canonical serialization is the equality oracle: identical
+        // state ⇒ identical bytes ⇒ identical downstream reports.
+        assert_eq!(format!("{}", restored.to_state()), format!("{state}"));
+        assert_eq!(restored.users, auditor.users);
+        assert_eq!(restored.violations, auditor.violations);
+        assert_eq!(restored.totals, auditor.totals);
+        assert_eq!(restored.mode, auditor.mode);
+    }
+
+    #[test]
+    fn state_survives_a_text_round_trip() {
+        // The snapshot file stores the state as text; parse(print(x))
+        // must reproduce x including non-integral float sums.
+        let auditor = busy_auditor();
+        let state = auditor.to_state();
+        let text = format!("{state}");
+        let reparsed = hka_obs::json::parse(&text).expect("canonical text parses");
+        let restored = Auditor::from_state(&reparsed).expect("reparsed state decodes");
+        assert_eq!(restored.overall_area_sum, auditor.overall_area_sum);
+        assert_eq!(restored.users, auditor.users);
+    }
+
+    #[test]
+    fn from_state_rejects_missing_fields() {
+        let auditor = Auditor::new(AuditConfig::default());
+        let state = auditor.to_state();
+        let Json::Obj(mut map) = state else {
+            panic!("state is an object")
+        };
+        map.remove("totals");
+        let err = Auditor::from_state(&Json::Obj(map)).unwrap_err();
+        assert!(err.contains("totals"), "error names the field: {err}");
+    }
+
+    #[test]
+    fn from_state_rejects_unknown_violation_kinds() {
+        let state = busy_auditor().to_state();
+        let text = format!("{state}").replace("unexplained_clamp", "sideways_clamp");
+        let reparsed = hka_obs::json::parse(&text).unwrap();
+        let err = Auditor::from_state(&reparsed).unwrap_err();
+        assert!(
+            err.contains("sideways_clamp"),
+            "error names the kind: {err}"
+        );
+    }
+}

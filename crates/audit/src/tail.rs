@@ -26,7 +26,7 @@
 use std::path::Path;
 
 use hka_obs::journal::ChainError;
-use hka_obs::{Json, JournalTailer};
+use hka_obs::{JournalTailer, Json};
 
 use crate::event::Mode;
 use crate::report::{AuditOutcome, ChainSummary};
@@ -76,6 +76,11 @@ pub struct WatchFrame {
     pub violations: u64,
     /// Schema issues detected so far.
     pub schema_issues: u64,
+    /// Checkpoint anchors seen so far (including any the resume
+    /// snapshot already covered).
+    pub checkpoints: u64,
+    /// Chain position of the most recent checkpoint anchor.
+    pub checkpoint_seq: Option<u64>,
     /// The chain failure, rendered, if the tail has ended.
     pub chain_error: Option<String>,
 }
@@ -89,12 +94,14 @@ impl WatchFrame {
                 "chain_error",
                 self.chain_error.as_deref().map_or(Json::Null, Json::from),
             ),
+            (
+                "checkpoint_seq",
+                self.checkpoint_seq.map_or(Json::Null, Json::from),
+            ),
+            ("checkpoints", Json::from(self.checkpoints)),
             ("forwarded", Json::from(self.forwarded)),
             ("head", Json::from(self.head.as_str())),
-            (
-                "min_k",
-                self.min_k.map_or(Json::Null, Json::from),
-            ),
+            ("min_k", self.min_k.map_or(Json::Null, Json::from)),
             (
                 "mode",
                 self.mode.map_or(Json::Null, |m| Json::from(m.as_str())),
@@ -112,7 +119,11 @@ impl WatchFrame {
 
     /// One status line for the text watch surface.
     pub fn render(&self) -> String {
-        let head = if self.head.len() >= 12 { &self.head[..12] } else { &self.head };
+        let head = if self.head.len() >= 12 {
+            &self.head[..12]
+        } else {
+            &self.head
+        };
         let mode = self.mode.map_or("-", |m| m.as_str());
         let min_k = self
             .min_k
@@ -129,6 +140,12 @@ impl WatchFrame {
             self.violations,
             self.torn_bytes,
         );
+        if self.checkpoints > 0 {
+            let seq = self
+                .checkpoint_seq
+                .map_or_else(|| "-".to_string(), |s| s.to_string());
+            line.push_str(&format!(" checkpoints={}@{seq}", self.checkpoints));
+        }
         if let Some(e) = &self.chain_error {
             line.push_str(&format!(" CHAIN-ERROR: {e}"));
         }
@@ -156,6 +173,26 @@ impl TailAuditor {
             auditor: Auditor::new(cfg),
             torn_bytes: 0,
         }
+    }
+
+    /// A tail resumed from a checkpoint snapshot: the auditor state
+    /// covering the snapshot's prefix is restored from the snapshot's
+    /// `audit` section (the snapshot's embedded config wins) and the
+    /// tailer is positioned at the anchor record, so the first poll
+    /// ingests the anchor and then only the suffix. Once caught up, the
+    /// [`snapshot`](TailAuditor::snapshot) outcome is byte-identical to
+    /// a genesis tail of the same journal. Fail-closed like
+    /// [`crate::resume_from_snapshot`]: any anchor/hash mismatch is an
+    /// error, never a silently different audit.
+    pub fn resume_from_snapshot(path: &Path, snapshot_path: &Path) -> std::io::Result<Self> {
+        let (snapshot, file_hash) = hka_obs::Snapshot::read(snapshot_path)?;
+        let auditor = crate::restore_auditor(&snapshot, snapshot_path)?;
+        let offset = crate::locate_anchor(path, &snapshot, &file_hash, snapshot_path)?;
+        Ok(TailAuditor {
+            tailer: JournalTailer::resume(path, offset, snapshot.records, snapshot.head.clone()),
+            auditor,
+            torn_bytes: 0,
+        })
     }
 
     /// Consumes and audits whatever the journal grew since the last
@@ -241,6 +278,8 @@ impl TailAuditor {
             unlinks: totals.unlinks,
             violations: self.auditor.violations().len() as u64,
             schema_issues: self.auditor.schema_issues().len() as u64,
+            checkpoints: totals.checkpoints,
+            checkpoint_seq: self.auditor.checkpoints().last().map(|(seq, _)| *seq),
             chain_error: self.tailer.error().map(|e| e.to_string()),
         }
     }
@@ -257,10 +296,8 @@ mod tests {
 
     impl TempPath {
         fn new(tag: &str) -> Self {
-            let path = std::env::temp_dir().join(format!(
-                "hka-audit-tail-{}-{tag}.jsonl",
-                std::process::id()
-            ));
+            let path = std::env::temp_dir()
+                .join(format!("hka-audit-tail-{}-{tag}.jsonl", std::process::id()));
             let _ = std::fs::remove_file(&path);
             TempPath(path)
         }
@@ -341,8 +378,7 @@ mod tests {
             ("ts.forwarded", fwd(1, 200, true, true, 4, 6)),
         ]);
         let text = String::from_utf8(full.clone()).unwrap();
-        let prefix_len: usize =
-            text.lines().take(2).map(|l| l.len() + 1).sum();
+        let prefix_len: usize = text.lines().take(2).map(|l| l.len() + 1).sum();
         std::fs::write(&tmp.0, &full[..prefix_len]).unwrap();
 
         let mut tail = TailAuditor::open(&tmp.0, AuditConfig::default());
@@ -431,7 +467,10 @@ mod tests {
         let bytes = journal_of(&events);
         std::fs::write(&tmp.0, &bytes).unwrap();
 
-        let cfg = AuditConfig { sample_cap: Some(8), ..AuditConfig::default() };
+        let cfg = AuditConfig {
+            sample_cap: Some(8),
+            ..AuditConfig::default()
+        };
         let mut tail = TailAuditor::open(&tmp.0, cfg);
         tail.poll();
         let out = tail.snapshot();
@@ -441,10 +480,7 @@ mod tests {
         assert_eq!(u.min_k, Some(5), "min_k spans the whole run");
         // Capped tail == capped offline: equivalence holds per-config.
         let offline = replay(&bytes[..], cfg);
-        assert_eq!(
-            out.to_json().to_string(),
-            offline.to_json().to_string()
-        );
+        assert_eq!(out.to_json().to_string(), offline.to_json().to_string());
     }
 
     #[test]

@@ -139,18 +139,28 @@ impl UserTimeline {
     /// Mean generalized area, m² (0 when nothing was generalized).
     pub fn mean_area(&self) -> f64 {
         let g = self.generalized();
-        if g == 0 { 0.0 } else { self.area_sum / g as f64 }
+        if g == 0 {
+            0.0
+        } else {
+            self.area_sum / g as f64
+        }
     }
 
     /// Mean generalized duration, seconds (0 when nothing generalized).
     pub fn mean_duration(&self) -> f64 {
         let g = self.generalized();
-        if g == 0 { 0.0 } else { self.duration_sum as f64 / g as f64 }
+        if g == 0 {
+            0.0
+        } else {
+            self.duration_sum as f64 / g as f64
+        }
     }
 
     /// Whether an at-risk window is currently open.
     fn at_risk_open(&self) -> bool {
-        self.at_risk_windows.last().is_some_and(|(_, end)| end.is_none())
+        self.at_risk_windows
+            .last()
+            .is_some_and(|(_, end)| end.is_none())
     }
 }
 
@@ -209,35 +219,59 @@ impl ServiceRow {
     /// nothing was generalized).
     pub fn hk_success_rate(&self) -> f64 {
         let g = self.generalized();
-        if g == 0 { 0.0 } else { self.forwarded_ok as f64 / g as f64 }
+        if g == 0 {
+            0.0
+        } else {
+            self.forwarded_ok as f64 / g as f64
+        }
     }
 
     /// Fraction of this service's requests that were suppressed.
     pub fn interruption_rate(&self) -> f64 {
         let total = self.forwarded() + self.suppressed;
-        if total == 0 { 0.0 } else { self.suppressed as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            self.suppressed as f64 / total as f64
+        }
     }
 
     /// Mean requested k (0 without audit-field samples).
     pub fn mean_k_req(&self) -> f64 {
-        if self.k_samples == 0 { 0.0 } else { self.k_req_sum as f64 / self.k_samples as f64 }
+        if self.k_samples == 0 {
+            0.0
+        } else {
+            self.k_req_sum as f64 / self.k_samples as f64
+        }
     }
 
     /// Mean achieved k (0 without audit-field samples).
     pub fn mean_k_got(&self) -> f64 {
-        if self.k_samples == 0 { 0.0 } else { self.k_got_sum as f64 / self.k_samples as f64 }
+        if self.k_samples == 0 {
+            0.0
+        } else {
+            self.k_got_sum as f64 / self.k_samples as f64
+        }
     }
 
     /// Mean generalized area, m².
     pub fn mean_area(&self) -> f64 {
         let g = self.generalized();
-        if g == 0 { 0.0 } else { self.area_sum / g as f64 }
+        if g == 0 {
+            0.0
+        } else {
+            self.area_sum / g as f64
+        }
     }
 
     /// Mean generalized duration, seconds.
     pub fn mean_duration(&self) -> f64 {
         let g = self.generalized();
-        if g == 0 { 0.0 } else { self.duration_sum as f64 / g as f64 }
+        if g == 0 {
+            0.0
+        } else {
+            self.duration_sum as f64 / g as f64
+        }
     }
 }
 
@@ -267,7 +301,11 @@ pub struct LbqidRow {
 impl LbqidRow {
     /// Mean achieved k (0 without samples).
     pub fn mean_k_got(&self) -> f64 {
-        if self.k_samples == 0 { 0.0 } else { self.k_got_sum as f64 / self.k_samples as f64 }
+        if self.k_samples == 0 {
+            0.0
+        } else {
+            self.k_got_sum as f64 / self.k_samples as f64
+        }
     }
 
     /// All generalized forwards on this LBQID.
@@ -278,13 +316,21 @@ impl LbqidRow {
     /// Mean generalized area, m².
     pub fn mean_area(&self) -> f64 {
         let g = self.generalized();
-        if g == 0 { 0.0 } else { self.area_sum / g as f64 }
+        if g == 0 {
+            0.0
+        } else {
+            self.area_sum / g as f64
+        }
     }
 
     /// Mean generalized duration, seconds.
     pub fn mean_duration(&self) -> f64 {
         let g = self.generalized();
-        if g == 0 { 0.0 } else { self.duration_sum as f64 / g as f64 }
+        if g == 0 {
+            0.0
+        } else {
+            self.duration_sum as f64 / g as f64
+        }
     }
 }
 
@@ -307,6 +353,8 @@ pub struct Totals {
     pub at_risk: u64,
     /// Completed LBQID matches.
     pub lbqid_matches: u64,
+    /// Checkpoint anchors seen.
+    pub checkpoints: u64,
     /// Records with kinds this auditor does not know.
     pub unknown_kinds: u64,
 }
@@ -331,13 +379,21 @@ impl Totals {
     /// unlinking" corner of the trade-off triangle. 0 when no requests.
     pub fn unlink_frequency(&self) -> f64 {
         let r = self.requests();
-        if r == 0 { 0.0 } else { self.unlinks as f64 / r as f64 }
+        if r == 0 {
+            0.0
+        } else {
+            self.unlinks as f64 / r as f64
+        }
     }
 
     /// Fraction of generalized forwards that kept HK-anonymity.
     pub fn hk_success_rate(&self) -> f64 {
         let g = self.forwarded_ok + self.forwarded_clamped;
-        if g == 0 { 0.0 } else { self.forwarded_ok as f64 / g as f64 }
+        if g == 0 {
+            0.0
+        } else {
+            self.forwarded_ok as f64 / g as f64
+        }
     }
 }
 
@@ -362,21 +418,23 @@ fn trim_front<T>(cap: Option<usize>, v: &mut Vec<T>) {
 /// to end-of-journal emits byte-for-byte the offline audit.
 #[derive(Debug, Clone, Default)]
 pub struct Auditor {
-    cfg: AuditConfig,
-    users: BTreeMap<u64, UserTimeline>,
-    services: BTreeMap<u64, ServiceRow>,
-    lbqids: BTreeMap<String, LbqidRow>,
-    mode: Option<Mode>,
-    mode_transitions: Vec<ModeTransition>,
-    violations: Vec<Violation>,
-    schema_issues: Vec<(u64, String)>,
-    recoveries: Vec<(u64, u64)>,
-    totals: Totals,
-    overall_k_req_sum: u64,
-    overall_k_got_sum: u64,
-    overall_k_samples: u64,
-    overall_area_sum: f64,
-    overall_duration_sum: i64,
+    pub(crate) cfg: AuditConfig,
+    pub(crate) users: BTreeMap<u64, UserTimeline>,
+    pub(crate) services: BTreeMap<u64, ServiceRow>,
+    pub(crate) lbqids: BTreeMap<String, LbqidRow>,
+    pub(crate) mode: Option<Mode>,
+    pub(crate) mode_transitions: Vec<ModeTransition>,
+    pub(crate) violations: Vec<Violation>,
+    pub(crate) schema_issues: Vec<(u64, String)>,
+    pub(crate) recoveries: Vec<(u64, u64)>,
+    /// Checkpoint anchors seen: `(seq, snapshot content hash)`.
+    pub(crate) checkpoints: Vec<(u64, String)>,
+    pub(crate) totals: Totals,
+    pub(crate) overall_k_req_sum: u64,
+    pub(crate) overall_k_got_sum: u64,
+    pub(crate) overall_k_samples: u64,
+    pub(crate) overall_area_sum: f64,
+    pub(crate) overall_duration_sum: i64,
 }
 
 impl Auditor {
@@ -428,8 +486,17 @@ impl Auditor {
                 k_got,
                 lbqid,
             } => self.observe_forwarded(
-                record.seq, user, at, area, duration, generalized, hk_ok, service, k_req,
-                k_got, lbqid,
+                record.seq,
+                user,
+                at,
+                area,
+                duration,
+                generalized,
+                hk_ok,
+                service,
+                k_req,
+                k_got,
+                lbqid,
             ),
             AuditEvent::Suppressed {
                 user,
@@ -465,7 +532,11 @@ impl Auditor {
                     trim_front(cap, &mut u.at_risk_windows);
                 }
             }
-            AuditEvent::LbqidMatched { user: _, at: _, lbqid } => {
+            AuditEvent::LbqidMatched {
+                user: _,
+                at: _,
+                lbqid,
+            } => {
                 self.totals.lbqid_matches += 1;
                 self.lbqid(&lbqid).matches += 1;
             }
@@ -497,6 +568,11 @@ impl Auditor {
                 truncated_bytes,
                 valid_records,
             } => self.recoveries.push((truncated_bytes, valid_records)),
+            AuditEvent::Checkpoint { snapshot, .. } => {
+                self.totals.checkpoints += 1;
+                self.checkpoints.push((record.seq, snapshot));
+                trim_front(self.cfg.sample_cap, &mut self.checkpoints);
+            }
             AuditEvent::Unknown => self.totals.unknown_kinds += 1,
         }
     }
@@ -509,10 +585,12 @@ impl Auditor {
     }
 
     fn lbqid(&mut self, name: &str) -> &mut LbqidRow {
-        self.lbqids.entry(name.to_string()).or_insert_with(|| LbqidRow {
-            lbqid: name.to_string(),
-            ..LbqidRow::default()
-        })
+        self.lbqids
+            .entry(name.to_string())
+            .or_insert_with(|| LbqidRow {
+                lbqid: name.to_string(),
+                ..LbqidRow::default()
+            })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -589,7 +667,11 @@ impl Auditor {
             u.area_sum += area;
             u.duration_sum += duration;
             if let (Some(req), Some(got)) = (k_req, k_got) {
-                u.k_samples.push(KSample { at, k_req: req, k_got: got });
+                u.k_samples.push(KSample {
+                    at,
+                    k_req: req,
+                    k_got: got,
+                });
                 trim_front(cap, &mut u.k_samples);
                 u.min_k = Some(u.min_k.map_or(got, |m| m.min(got)));
             }
@@ -656,6 +738,12 @@ impl Auditor {
         &self.schema_issues
     }
 
+    /// Checkpoint anchors seen so far, as `(seq, snapshot hash)` pairs
+    /// (bounded by [`AuditConfig::sample_cap`] like other history).
+    pub fn checkpoints(&self) -> &[(u64, String)] {
+        &self.checkpoints
+    }
+
     /// Smallest achieved anonymity-set size across every user so far.
     pub fn min_k(&self) -> Option<u64> {
         self.users.values().filter_map(|u| u.min_k).min()
@@ -687,6 +775,7 @@ impl Auditor {
             violations: self.violations,
             schema_issues: self.schema_issues,
             recoveries: self.recoveries,
+            checkpoints: self.checkpoints,
             totals: self.totals,
             overall_k_req_sum: self.overall_k_req_sum,
             overall_k_got_sum: self.overall_k_got_sum,

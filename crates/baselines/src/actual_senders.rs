@@ -94,10 +94,7 @@ pub fn evaluate(requests: &[(UserId, StPoint)], cfg: &ActualSendersConfig) -> Ve
         if bbox.rect.width() > cfg.max_side || bbox.rect.height() > cfg.max_side {
             continue;
         }
-        let context = StBox::new(
-            bbox.rect,
-            TimeInterval::new(bbox.span.start(), at.t),
-        );
+        let context = StBox::new(bbox.rect, TimeInterval::new(bbox.span.start(), at.t));
         let released: Vec<usize> = members.iter().map(|p| p.idx).collect();
         for p in &members {
             outcomes[p.idx] = SenderOutcome::Released {
@@ -159,7 +156,9 @@ mod tests {
     fn colocated_simultaneous_senders_release() {
         let reqs = vec![r(1, 0.0, 0.0, 0), r(2, 10.0, 10.0, 5), r(3, 20.0, 0.0, 9)];
         let out = evaluate(&reqs, &cfg(3));
-        assert!(out.iter().all(|o| matches!(o, SenderOutcome::Released { .. })));
+        assert!(out
+            .iter()
+            .all(|o| matches!(o, SenderOutcome::Released { .. })));
         if let SenderOutcome::Released { context, delay } = &out[0] {
             assert!(context.rect.contains(&reqs[0].1.pos));
             assert_eq!(*delay, 9);

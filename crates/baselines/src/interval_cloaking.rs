@@ -98,7 +98,14 @@ mod tests {
     fn crowd_index(n: u64) -> GridIndex {
         let mut store = TrajectoryStore::new();
         for u in 0..n {
-            store.record(UserId(u), sp(90.0 + (u % 5) as f64 * 5.0, 90.0 + (u / 5) as f64 * 5.0, 1000));
+            store.record(
+                UserId(u),
+                sp(
+                    90.0 + (u % 5) as f64 * 5.0,
+                    90.0 + (u / 5) as f64 * 5.0,
+                    1000,
+                ),
+            );
         }
         GridIndex::build(
             &store,
@@ -186,13 +193,6 @@ mod tests {
     #[should_panic(expected = "step must be positive")]
     fn temporal_cloak_rejects_zero_step() {
         let index = crowd_index(2);
-        let _ = temporal_cloak(
-            &index,
-            domain(),
-            &sp(0.0, 0.0, 0),
-            2,
-            0,
-            100,
-        );
+        let _ = temporal_cloak(&index, domain(), &sp(0.0, 0.0, 0), 2, 0, 100);
     }
 }

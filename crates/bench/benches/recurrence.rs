@@ -2,8 +2,8 @@
 //! arithmetic.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hka_granules::{calendar, Granularity, Recurrence};
 use hka_geo::{TimeInterval, TimeSec, HOUR};
+use hka_granules::{calendar, Granularity, Recurrence};
 use std::hint::black_box;
 
 fn observations(n: usize) -> Vec<TimeInterval> {

@@ -1,0 +1,351 @@
+//! **Continuous benchmark: crash recovery from snapshot + suffix, and
+//! PHL compaction memory bounds.**
+//!
+//! Two halves, matching the two resource claims of the checkpoint
+//! design:
+//!
+//! * **Recovery.** A synthetic journal of schema-valid `ts.forwarded`
+//!   records over a user-scale ladder, with a checkpoint snapshot
+//!   anchored into the chain near the end (a ~2% suffix follows it).
+//!   The bench times a full genesis replay (`hka_audit::replay_file`)
+//!   against `resume_from_snapshot` over the same file, and checks the
+//!   two reports are byte-identical. The gate is the acceptance
+//!   criterion from the checkpoint design: at the 100k-user rung,
+//!   snapshot + suffix must be at least **5× faster** than replaying
+//!   from genesis.
+//!
+//! * **Compaction.** One million users receive paced location fixes
+//!   day by day, with a granularity-aware compaction pass
+//!   (`CompactionPolicy`, `Days`) after each simulated day — the
+//!   steady-state loop a long-lived trusted server runs. The gate:
+//!   retained points never exceed the analytic fold bound (≤ 6
+//!   representatives per granule plus the untouched recent window),
+//!   and resident history bytes stay under half of what the appended
+//!   fixes would occupy uncompacted.
+//!
+//! Writes `BENCH_checkpoint.json` and exits non-zero if a report
+//! mismatches, the speedup gate fails, or compaction breaches either
+//! bound.
+//!
+//! ```text
+//! cargo run --release -p hka-bench --bin bench_checkpoint -- [--out DIR]
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+
+use hka_audit::{replay_file, resume_from_snapshot, state_at, AuditConfig, AUDIT_SECTION};
+use hka_geo::{Point, StPoint, TimeSec, DAY};
+use hka_granules::Granularity;
+use hka_obs::checkpoint::{anchor_payload, Snapshot};
+use hka_obs::{Journal, Json, CHECKPOINT_KIND};
+use hka_trajectory::{CompactionPolicy, TrajectoryStore, UserId};
+
+/// User-scale ladder for the recovery half. The top rung carries the
+/// speedup gate.
+const USER_SCALES: [u64; 2] = [10_000, 100_000];
+
+/// Journal records per user in the checkpointed prefix — a served
+/// request every so often over the deployment's history.
+const RECORDS_PER_USER: u64 = 8;
+
+/// Suffix records (per user, as a fraction): the traffic that arrived
+/// after the last checkpoint and must be replayed either way.
+const SUFFIX_DIVISOR: u64 = 50;
+
+/// The recovery gate: snapshot + suffix at the top rung must beat a
+/// genesis replay by at least this factor.
+const GATE_SPEEDUP: f64 = 5.0;
+
+/// Compaction half: population size and per-day fix rate.
+const COMPACT_USERS: u64 = 1_000_000;
+const COMPACT_DAYS: u64 = 5;
+const FIXES_PER_DAY: u64 = 24;
+
+/// The memory gate: resident history bytes after the run must be under
+/// this fraction of the uncompacted total.
+const GATE_RESIDENT_RATIO: f64 = 0.5;
+
+/// A schema-valid exact-point forward so the auditor decodes every
+/// record cleanly; `i` spreads users and time deterministically.
+fn forwarded_payload(i: u64, users: u64) -> Json {
+    let at = i as i64;
+    let x = (i % 97) as f64;
+    let y = (i % 89) as f64;
+    Json::obj([
+        ("user", Json::Int((i % users) as i64)),
+        ("at", Json::Int(at)),
+        ("x_min", Json::Num(x)),
+        ("y_min", Json::Num(y)),
+        ("x_max", Json::Num(x)),
+        ("y_max", Json::Num(y)),
+        ("t_start", Json::Int(at)),
+        ("t_end", Json::Int(at)),
+        ("generalized", Json::Bool(false)),
+        ("hk_ok", Json::Bool(true)),
+    ])
+}
+
+struct RecoveryRung {
+    users: u64,
+    prefix: u64,
+    suffix: u64,
+    snapshot_bytes: u64,
+    genesis_secs: f64,
+    resume_secs: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+/// Builds a journal of `prefix` records, snapshots the audit state at
+/// that position, anchors the snapshot into the chain, appends `suffix`
+/// more records, and returns the snapshot path.
+fn build_journal(path: &Path, snap: &Path, users: u64, prefix: u64, suffix: u64) -> u64 {
+    let cfg = AuditConfig::default();
+    let file = std::fs::File::create(path).expect("create bench journal");
+    let mut journal = Journal::new(file);
+    for i in 0..prefix {
+        journal
+            .append("ts.forwarded", forwarded_payload(i, users))
+            .expect("append prefix");
+    }
+    journal.flush().expect("flush prefix");
+
+    let (audit_state, records, head) = state_at(path, None, cfg).expect("audit state at prefix");
+    assert_eq!(records, prefix, "prefix replay covers every record");
+    let mut snapshot = Snapshot::new(records, head.clone());
+    snapshot.set_section(AUDIT_SECTION, audit_state);
+    let encoded = snapshot.encode();
+    std::fs::write(snap, &encoded).expect("write snapshot");
+    let hash = snapshot.content_hash();
+    let name = snap.file_name().unwrap().to_string_lossy().into_owned();
+
+    journal
+        .append(
+            CHECKPOINT_KIND,
+            anchor_payload(&name, records, &head, &hash),
+        )
+        .expect("append anchor");
+    for i in 0..suffix {
+        journal
+            .append("ts.forwarded", forwarded_payload(prefix + i, users))
+            .expect("append suffix");
+    }
+    journal.flush().expect("flush suffix");
+    encoded.len() as u64
+}
+
+fn run_recovery(users: u64) -> RecoveryRung {
+    let cfg = AuditConfig::default();
+    let tmp = std::env::temp_dir();
+    let path = tmp.join(format!("bench-ckpt-{}-{users}.journal", std::process::id()));
+    let snap = tmp.join(format!("bench-ckpt-{}-{users}.snap", std::process::id()));
+    let prefix = users * RECORDS_PER_USER;
+    let suffix = users / SUFFIX_DIVISOR;
+    let snapshot_bytes = build_journal(&path, &snap, users, prefix, suffix);
+
+    let t0 = Instant::now();
+    let genesis = replay_file(&path, cfg).expect("genesis replay");
+    let genesis_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let resumed = resume_from_snapshot(&path, &snap).expect("snapshot resume");
+    let resume_secs = t0.elapsed().as_secs_f64();
+
+    let identical = genesis.to_json().to_string() == resumed.to_json().to_string();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&snap);
+    RecoveryRung {
+        users,
+        prefix,
+        suffix,
+        snapshot_bytes,
+        genesis_secs,
+        resume_secs,
+        speedup: genesis_secs / resume_secs,
+        identical,
+    }
+}
+
+struct CompactionRun {
+    appended_points: u64,
+    retained_points: u64,
+    bound_points: u64,
+    peak_points: u64,
+    resident_bytes: u64,
+    uncompacted_bytes: u64,
+    secs: f64,
+}
+
+/// Day-by-day append-then-compact loop at `COMPACT_USERS` users. Every
+/// user gets `FIXES_PER_DAY` fixes per day; the nightly pass folds
+/// everything older than one day at `Days` granularity.
+fn run_compaction() -> CompactionRun {
+    let t0 = Instant::now();
+    let policy = CompactionPolicy::new(DAY, Granularity::Days);
+    let mut store = TrajectoryStore::default();
+    let mut peak_points = 0u64;
+    for day in 0..COMPACT_DAYS {
+        for u in 0..COMPACT_USERS {
+            for f in 0..FIXES_PER_DAY {
+                let t = day as i64 * DAY + (f as i64 * DAY) / FIXES_PER_DAY as i64;
+                let p = Point {
+                    x: ((u + f) % 997) as f64,
+                    y: ((u ^ f) % 991) as f64,
+                };
+                store.record(
+                    UserId(u),
+                    StPoint {
+                        pos: p,
+                        t: TimeSec(t),
+                    },
+                );
+            }
+        }
+        peak_points = peak_points.max(store.total_points() as u64);
+        store.compact(TimeSec((day as i64 + 1) * DAY), &policy);
+    }
+    let appended = COMPACT_USERS * COMPACT_DAYS * FIXES_PER_DAY;
+    // Fold bound: ≤ 6 representatives per folded granule (one full day
+    // each for every day but the last) plus the untouched recent day.
+    let bound = COMPACT_USERS * (6 * (COMPACT_DAYS - 1) + FIXES_PER_DAY);
+    let point_bytes = std::mem::size_of::<StPoint>() as u64;
+    CompactionRun {
+        appended_points: appended,
+        retained_points: store.total_points() as u64,
+        bound_points: bound,
+        peak_points,
+        resident_bytes: store.approx_bytes() as u64,
+        uncompacted_bytes: appended * point_bytes,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = String::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_dir = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: bench_checkpoint [--out DIR] (got '{other}')");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failed = false;
+    let mut rows = Vec::new();
+    let mut top_speedup = 0.0f64;
+    for users in USER_SCALES {
+        let r = run_recovery(users);
+        println!(
+            "recover {:>7} users: {} + {} records | genesis {:.3}s, resume {:.3}s — {:.1}x{}",
+            r.users,
+            r.prefix,
+            r.suffix,
+            r.genesis_secs,
+            r.resume_secs,
+            r.speedup,
+            if r.identical { "" } else { " REPORT-MISMATCH" },
+        );
+        if !r.identical {
+            failed = true;
+        }
+        if users == USER_SCALES[USER_SCALES.len() - 1] {
+            top_speedup = r.speedup;
+        }
+        rows.push(Json::obj([
+            ("users", Json::from(r.users)),
+            ("prefix_records", Json::from(r.prefix)),
+            ("suffix_records", Json::from(r.suffix)),
+            ("snapshot_bytes", Json::from(r.snapshot_bytes)),
+            ("genesis_secs", Json::Num(r.genesis_secs)),
+            ("resume_secs", Json::Num(r.resume_secs)),
+            ("speedup", Json::Num(r.speedup)),
+            ("reports_identical", Json::Bool(r.identical)),
+        ]));
+    }
+    if top_speedup < GATE_SPEEDUP {
+        failed = true;
+    }
+
+    let c = run_compaction();
+    let ratio = c.resident_bytes as f64 / c.uncompacted_bytes as f64;
+    println!(
+        "compact {} users x {} days x {} fixes/day: {} appended -> {} retained \
+         (bound {}, peak {}) | resident {:.1} MiB of {:.1} MiB uncompacted ({:.0}%) in {:.1}s",
+        COMPACT_USERS,
+        COMPACT_DAYS,
+        FIXES_PER_DAY,
+        c.appended_points,
+        c.retained_points,
+        c.bound_points,
+        c.peak_points,
+        c.resident_bytes as f64 / (1 << 20) as f64,
+        c.uncompacted_bytes as f64 / (1 << 20) as f64,
+        ratio * 100.0,
+        c.secs,
+    );
+    if c.retained_points > c.bound_points || ratio >= GATE_RESIDENT_RATIO {
+        failed = true;
+    }
+
+    let json = Json::obj([
+        ("bench", Json::from("checkpoint")),
+        (
+            "definition",
+            Json::from(
+                "recovery: wall-clock of a genesis replay_file vs resume_from_snapshot over \
+                 the same journal (checkpoint anchored before a ~2% suffix), reports compared \
+                 byte-for-byte; compaction: day-by-day append-then-compact at Days granularity, \
+                 retained points checked against the 6-per-granule fold bound",
+            ),
+        ),
+        ("records_per_user", Json::from(RECORDS_PER_USER)),
+        ("recovery", Json::Arr(rows)),
+        (
+            "compaction",
+            Json::obj([
+                ("users", Json::from(COMPACT_USERS)),
+                ("days", Json::from(COMPACT_DAYS)),
+                ("fixes_per_day", Json::from(FIXES_PER_DAY)),
+                ("appended_points", Json::from(c.appended_points)),
+                ("retained_points", Json::from(c.retained_points)),
+                ("bound_points", Json::from(c.bound_points)),
+                ("peak_points", Json::from(c.peak_points)),
+                ("resident_bytes", Json::from(c.resident_bytes)),
+                ("uncompacted_bytes", Json::from(c.uncompacted_bytes)),
+                ("resident_ratio", Json::Num(ratio)),
+                ("secs", Json::Num(c.secs)),
+            ]),
+        ),
+        (
+            "gate",
+            Json::obj([
+                ("speedup_at_top_rung_at_least", Json::Num(GATE_SPEEDUP)),
+                ("speedup_at_top_rung", Json::Num(top_speedup)),
+                ("resident_ratio_below", Json::Num(GATE_RESIDENT_RATIO)),
+                ("pass", Json::Bool(!failed)),
+            ]),
+        ),
+    ]);
+
+    let path = format!("{out_dir}/BENCH_checkpoint.json");
+    std::fs::write(&path, json.to_string() + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {path}");
+
+    if failed {
+        eprintln!(
+            "FAIL: report mismatch, speedup below {GATE_SPEEDUP}x, or a compaction bound breached"
+        );
+        std::process::exit(1);
+    }
+}

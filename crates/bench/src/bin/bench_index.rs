@@ -116,13 +116,7 @@ fn main() {
                     std::process::exit(1);
                 }
                 samples.push(time_ns(3, || {
-                    std::hint::black_box(algorithm1_first(
-                        index.as_ref(),
-                        q,
-                        *u,
-                        K,
-                        &tolerance,
-                    ));
+                    std::hint::black_box(algorithm1_first(index.as_ref(), q, *u, K, &tolerance));
                 }));
             }
             let us = median(&samples) / 1_000.0;

@@ -89,7 +89,10 @@ fn main() {
     let events = scenario.world.events.len();
     let t0 = Instant::now();
     run_events(&mut scenario);
-    scenario.ts.flush_journal().expect("in-memory sink cannot fail");
+    scenario
+        .ts
+        .flush_journal()
+        .expect("in-memory sink cannot fail");
     let pipeline_ns = t0.elapsed().as_nanos() as u64;
 
     let snap = scenario.ts.metrics_snapshot();
@@ -141,7 +144,10 @@ fn main() {
         ),
         ("chain_verified", Json::Bool(outcome.chain.verified())),
         ("violations", Json::from(outcome.violations.len() as u64)),
-        ("schema_issues", Json::from(outcome.schema_issues.len() as u64)),
+        (
+            "schema_issues",
+            Json::from(outcome.schema_issues.len() as u64),
+        ),
         ("users_audited", Json::from(outcome.users.len() as u64)),
     ]);
 
@@ -164,7 +170,10 @@ fn main() {
     );
 
     if !outcome.chain.verified() {
-        eprintln!("FAIL: journal chain verification failed: {:?}", outcome.chain.error);
+        eprintln!(
+            "FAIL: journal chain verification failed: {:?}",
+            outcome.chain.error
+        );
         std::process::exit(1);
     }
     if !outcome.ok() {

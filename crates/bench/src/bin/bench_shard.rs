@@ -38,9 +38,7 @@ use hka_core::{
 };
 use hka_geo::MINUTE;
 use hka_lbqid::Lbqid;
-use hka_mobility::{
-    CityConfig, EventKind, World, WorldConfig, ANCHOR_SERVICE, BACKGROUND_SERVICE,
-};
+use hka_mobility::{CityConfig, EventKind, World, WorldConfig, ANCHOR_SERVICE, BACKGROUND_SERVICE};
 use hka_obs::Json;
 use hka_shard::ShardedTs;
 use hka_trajectory::{IndexBackend, UserId};
@@ -301,7 +299,8 @@ fn main() {
             let mut ts = setup_sharded(&world, shards, backend);
             ts.attach_journal(hka_obs::Journal::new(Box::new(
                 std::fs::File::create(&path).expect("create shard journal"),
-            ) as Box<dyn hka_obs::DurableSink>));
+            )
+                as Box<dyn hka_obs::DurableSink>));
             let t = Instant::now();
             for e in &world.events {
                 match e.kind {

@@ -247,7 +247,10 @@ fn main() {
                  thread paced at the offered rate, one TailAuditor polling every 5 ms",
             ),
         ),
-        ("poll_interval_ms", Json::from(POLL_INTERVAL.as_millis() as u64)),
+        (
+            "poll_interval_ms",
+            Json::from(POLL_INTERVAL.as_millis() as u64),
+        ),
         ("seconds_per_rate", Json::from(SECONDS_PER_RATE)),
         ("rates", Json::Arr(rows)),
         (

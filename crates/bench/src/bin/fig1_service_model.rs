@@ -37,7 +37,10 @@ fn main() {
                 let outcome = s.ts.handle_request(e.user, e.at, ServiceId(service));
                 if e.user == alice && shown < 8 {
                     shown += 1;
-                    println!("user {:>4} ──▶ TS   exact ⟨{:.0}, {:.0}⟩ @ {}", e.user, e.at.pos.x, e.at.pos.y, e.at.t);
+                    println!(
+                        "user {:>4} ──▶ TS   exact ⟨{:.0}, {:.0}⟩ @ {}",
+                        e.user, e.at.pos.x, e.at.pos.y, e.at.t
+                    );
                     match outcome {
                         RequestOutcome::Forwarded(req) => {
                             println!(

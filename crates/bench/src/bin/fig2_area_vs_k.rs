@@ -46,9 +46,19 @@ fn main() {
 
     let mut report = Report::new(
         "F2",
-        &format!("mean cloaked area (m²) vs k — {} request samples", samples.len()),
+        &format!(
+            "mean cloaked area (m²) vs k — {} request samples",
+            samples.len()
+        ),
     )
-    .columns(&["k", "algo1", "quadtree", "uniform", "algo1 ok%", "uniform<k%"]);
+    .columns(&[
+        "k",
+        "algo1",
+        "quadtree",
+        "uniform",
+        "algo1 ok%",
+        "uniform<k%",
+    ]);
     let loose = Tolerance::new(f64::MAX, i64::MAX);
     for k in [2usize, 3, 5, 8, 12, 20] {
         let mut a1_areas = vec![];
@@ -72,10 +82,7 @@ fn main() {
             }
             let b = uniform.cloak(at);
             let window = TimeInterval::new(at.t - 300, at.t);
-            let pop = index.count_users_crossing(
-                &hka_geo::StBox::new(b.rect, window),
-                k,
-            );
+            let pop = index.count_users_crossing(&hka_geo::StBox::new(b.rect, window), k);
             if pop < k {
                 uni_small += 1;
             }

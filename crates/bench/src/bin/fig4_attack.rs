@@ -177,9 +177,19 @@ fn main() {
             on_risk: RiskAction::Forward,
         };
         let gen_only = run(&world, Some(params), false);
-        attack_row(&mut report, "generalization only", &k.to_string(), &gen_only);
+        attack_row(
+            &mut report,
+            "generalization only",
+            &k.to_string(),
+            &gen_only,
+        );
         let full = run(&world, Some(params), true);
-        attack_row(&mut report, "full strategy (+unlink)", &k.to_string(), &full);
+        attack_row(
+            &mut report,
+            "full strategy (+unlink)",
+            &k.to_string(),
+            &full,
+        );
     }
     report.note("Reading: without protection the phone-book attack identifies many");
     report.note("home-owners and the home/work pair attack even more. Generalization");

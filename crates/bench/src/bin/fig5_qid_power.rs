@@ -65,13 +65,34 @@ fn main() {
 
     // Specificity ladder, tightest first.
     let ladder: Vec<(&str, Lbqid)> = vec![
-        ("exact bldgs, 3.Weekdays*2.Weeks", variant(home, office, 0.0, 0, "3.Weekdays * 2.Weeks")),
-        ("exact bldgs, 1.Weekdays", variant(home, office, 0.0, 0, "1.Weekdays")),
-        ("+100 m areas, 3.Weekdays*2.Weeks", variant(home, office, 100.0, 0, "3.Weekdays * 2.Weeks")),
-        ("+300 m areas, 3.Weekdays*2.Weeks", variant(home, office, 300.0, 0, "3.Weekdays * 2.Weeks")),
-        ("+300 m, ±1 h windows", variant(home, office, 300.0, 1, "3.Weekdays * 2.Weeks")),
-        ("+700 m, ±2 h windows", variant(home, office, 700.0, 2, "3.Weekdays * 2.Weeks")),
-        ("+700 m, ±2 h, 1.Weekdays", variant(home, office, 700.0, 2, "1.Weekdays")),
+        (
+            "exact bldgs, 3.Weekdays*2.Weeks",
+            variant(home, office, 0.0, 0, "3.Weekdays * 2.Weeks"),
+        ),
+        (
+            "exact bldgs, 1.Weekdays",
+            variant(home, office, 0.0, 0, "1.Weekdays"),
+        ),
+        (
+            "+100 m areas, 3.Weekdays*2.Weeks",
+            variant(home, office, 100.0, 0, "3.Weekdays * 2.Weeks"),
+        ),
+        (
+            "+300 m areas, 3.Weekdays*2.Weeks",
+            variant(home, office, 300.0, 0, "3.Weekdays * 2.Weeks"),
+        ),
+        (
+            "+300 m, ±1 h windows",
+            variant(home, office, 300.0, 1, "3.Weekdays * 2.Weeks"),
+        ),
+        (
+            "+700 m, ±2 h windows",
+            variant(home, office, 700.0, 2, "3.Weekdays * 2.Weeks"),
+        ),
+        (
+            "+700 m, ±2 h, 1.Weekdays",
+            variant(home, office, 700.0, 2, "1.Weekdays"),
+        ),
     ];
 
     let mut report = Report::new(

@@ -32,7 +32,10 @@ fn main() {
         "at-risk/1k",
     ]);
     let tolerances = [
-        ("strict (0.25 km², 2 min)", Tolerance::new(2.5e5, 2 * MINUTE)),
+        (
+            "strict (0.25 km², 2 min)",
+            Tolerance::new(2.5e5, 2 * MINUTE),
+        ),
         ("medium (4 km², 10 min)", Tolerance::new(4e6, 10 * MINUTE)),
         ("loose (25 km², 60 min)", Tolerance::new(2.5e7, 60 * MINUTE)),
     ];
@@ -64,10 +67,8 @@ fn main() {
                 });
                 run_events(&mut s);
                 let st = s.ts.log().stats();
-                let pattern_reqs = (st.generalized()
-                    + st.suppressed_mixzone
-                    + st.suppressed_risk)
-                    .max(1) as f64;
+                let pattern_reqs =
+                    (st.generalized() + st.suppressed_mixzone + st.suppressed_risk).max(1) as f64;
                 rates.push(st.hk_success_rate());
                 areas.push(st.mean_generalized_area());
                 durs.push(st.mean_generalized_duration());

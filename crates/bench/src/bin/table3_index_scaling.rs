@@ -102,10 +102,7 @@ fn main() {
             Some(p) => micros.iter().zip(p).map(|(m, pm)| m / pm).collect(),
             None => vec![1.0; micros.len()],
         };
-        let mut row = vec![
-            Cell::int(n as i64),
-            Cell::int(store.user_count() as i64),
-        ];
+        let mut row = vec![Cell::int(n as i64), Cell::int(store.user_count() as i64)];
         row.extend(micros.iter().map(|m| Cell::num(*m, 1)));
         row.extend(growth.iter().map(|g| Cell::num(*g, 2)));
         report.row(row);

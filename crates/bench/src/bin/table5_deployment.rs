@@ -29,15 +29,7 @@ fn main() {
         "service deployability per district (400 sampled request situations each)",
     )
     .columns(&[
-        "district",
-        "users",
-        "service",
-        "k",
-        "HK ok %",
-        "mean m²",
-        "mean s",
-        "unlink %",
-        "risk %",
+        "district", "users", "service", "k", "HK ok %", "mean m²", "mean s", "unlink %", "risk %",
         "verdict",
     ]);
 
@@ -91,7 +83,11 @@ fn main() {
                     Cell::num(r.mean_duration, 0),
                     Cell::pct(r.unlink_fallback_rate, 1),
                     Cell::pct(r.at_risk_rate, 1),
-                    Cell::text(if r.deployable(0.05) { "deploy" } else { "DO NOT DEPLOY" }),
+                    Cell::text(if r.deployable(0.05) {
+                        "deploy"
+                    } else {
+                        "DO NOT DEPLOY"
+                    }),
                 ]);
             }
         }

@@ -138,10 +138,7 @@ fn rebuild_with(mut s: hka_bench::Scenario, cfg: hka_core::TsConfig) -> hka_benc
     for &u in &s.protected {
         ts.add_lbqid(
             u,
-            Lbqid::example_commute(
-                s.world.home_of(u).unwrap(),
-                s.world.office_of(u).unwrap(),
-            ),
+            Lbqid::example_commute(s.world.home_of(u).unwrap(), s.world.office_of(u).unwrap()),
         );
     }
     s.ts = ts;

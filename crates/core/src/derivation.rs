@@ -99,7 +99,10 @@ fn dwell_episodes(phl: &Phl, cfg: &DerivationConfig) -> Vec<(i64, i64, StPoint, 
     while i < pts.len() {
         let c = cell(&pts[i]);
         let mut j = i;
-        while j + 1 < pts.len() && cell(&pts[j + 1]) == c && pts[j + 1].t.day_index() == pts[i].t.day_index() {
+        while j + 1 < pts.len()
+            && cell(&pts[j + 1]) == c
+            && pts[j + 1].t.day_index() == pts[i].t.day_index()
+        {
             j += 1;
         }
         if pts[j].t - pts[i].t >= cfg.min_dwell {
@@ -115,15 +118,18 @@ fn mine_anchors(phl: &Phl, cfg: &DerivationConfig) -> Vec<Anchor> {
     // Group episodes by (cell, coarse time-of-day bucket) so that morning
     // and evening presence at the same place become separate anchors.
     const BUCKET: i64 = 4 * 3_600; // 4-hour buckets
-    // (day index, start/end seconds-of-day, start/end points) per episode.
+                                   // (day index, start/end seconds-of-day, start/end points) per episode.
     type Episode = (i64, i64, i64, StPoint, StPoint);
     let mut groups: BTreeMap<(i64, i64, i64), Vec<Episode>> = BTreeMap::new();
     for (cx, cy, start, end) in dwell_episodes(phl, cfg) {
         let bucket = start.t.second_of_day() / BUCKET;
-        groups
-            .entry((cx, cy, bucket))
-            .or_default()
-            .push((start.t.day_index(), start.t.second_of_day(), end.t.second_of_day(), start, end));
+        groups.entry((cx, cy, bucket)).or_default().push((
+            start.t.day_index(),
+            start.t.second_of_day(),
+            end.t.second_of_day(),
+            start,
+            end,
+        ));
     }
     let mut anchors = Vec::new();
     for ((cx, cy, _bucket), eps) in groups {
@@ -152,11 +158,7 @@ fn mine_anchors(phl: &Phl, cfg: &DerivationConfig) -> Vec<Anchor> {
             (cx + 1) as f64 * cfg.cell,
             (cy + 1) as f64 * cfg.cell,
         );
-        anchors.push(Anchor {
-            area,
-            window,
-            days,
-        });
+        anchors.push(Anchor { area, window, days });
     }
     // Strongest support first.
     anchors.sort_by_key(|a| std::cmp::Reverse(a.days.len()));
@@ -227,12 +229,10 @@ pub fn derive_lbqids(
     if top.len() >= 2 {
         let days: Vec<i64> = intersect_days(top.iter().map(|a| &a.days));
         if days.len() >= cfg.min_days {
-            let elements: Vec<Element> = top
-                .iter()
-                .map(|a| Element::new(a.area, a.window))
-                .collect();
-            let lbqid = Lbqid::new("derived-sequence", elements, fit_recurrence(&days))
-                .expect("non-empty");
+            let elements: Vec<Element> =
+                top.iter().map(|a| Element::new(a.area, a.window)).collect();
+            let lbqid =
+                Lbqid::new("derived-sequence", elements, fit_recurrence(&days)).expect("non-empty");
             out.push((lbqid, days.len()));
         }
     }
@@ -307,12 +307,18 @@ mod tests {
 
     #[test]
     fn mines_home_and_office_anchors() {
-        let phl = commuter_phl(Point::new(50.0, 50.0), Point::new(1_000.0, 1_000.0), weekdays(2));
+        let phl = commuter_phl(
+            Point::new(50.0, 50.0),
+            Point::new(1_000.0, 1_000.0),
+            weekdays(2),
+        );
         let anchors = mine_anchors(&phl, &DerivationConfig::default());
         assert!(anchors.len() >= 2, "found {} anchors", anchors.len());
         // Some anchor covers home in the morning.
-        assert!(anchors.iter().any(|a| a.area.contains(&Point::new(50.0, 50.0))
-            && a.window.contains(TimeSec::at_hm(0, 7, 20))));
+        assert!(anchors
+            .iter()
+            .any(|a| a.area.contains(&Point::new(50.0, 50.0))
+                && a.window.contains(TimeSec::at_hm(0, 7, 20))));
         // Some anchor covers the office during the day.
         assert!(anchors
             .iter()
@@ -322,17 +328,25 @@ mod tests {
     #[test]
     fn derives_identifying_pattern_for_lone_commuter() {
         let mut store = TrajectoryStore::new();
-        store_phl(&mut store, UserId(1), commuter_phl(
-            Point::new(50.0, 50.0),
-            Point::new(1_000.0, 1_000.0),
-            weekdays(2),
-        ));
+        store_phl(
+            &mut store,
+            UserId(1),
+            commuter_phl(
+                Point::new(50.0, 50.0),
+                Point::new(1_000.0, 1_000.0),
+                weekdays(2),
+            ),
+        );
         // A second user with a very different life.
-        store_phl(&mut store, UserId(2), commuter_phl(
-            Point::new(1_800.0, 100.0),
-            Point::new(300.0, 1_700.0),
-            weekdays(2),
-        ));
+        store_phl(
+            &mut store,
+            UserId(2),
+            commuter_phl(
+                Point::new(1_800.0, 100.0),
+                Point::new(300.0, 1_700.0),
+                weekdays(2),
+            ),
+        );
         let derived = derive_lbqids(&store, UserId(1), &DerivationConfig::default());
         assert!(!derived.is_empty());
         let best = &derived[0];
@@ -355,11 +369,15 @@ mod tests {
         // pattern matches all of them and exceeds max_population.
         let mut store = TrajectoryStore::new();
         for u in 1..=5u64 {
-            store_phl(&mut store, UserId(u), commuter_phl(
-                Point::new(50.0, 50.0),
-                Point::new(1_000.0, 1_000.0),
-                weekdays(2),
-            ));
+            store_phl(
+                &mut store,
+                UserId(u),
+                commuter_phl(
+                    Point::new(50.0, 50.0),
+                    Point::new(1_000.0, 1_000.0),
+                    weekdays(2),
+                ),
+            );
         }
         let cfg = DerivationConfig {
             max_population: 3,

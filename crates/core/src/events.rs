@@ -611,6 +611,45 @@ impl EventLog {
     pub fn stats(&self) -> TsStats {
         self.stats
     }
+
+    /// Replaces the aggregate counters wholesale. Checkpoint restore
+    /// only: the counters come from the snapshot's `stats` section; the
+    /// in-memory ring is deliberately not restored (it is a debugging
+    /// tail, not durable state).
+    pub fn restore_stats(&mut self, stats: TsStats) {
+        self.stats = stats;
+    }
+
+    /// The attached sink's chain position: `(next_seq, head)` — how many
+    /// records the journal holds and the hash of the last one. `None`
+    /// when no journal is attached.
+    pub fn journal_position(&self) -> Option<(u64, String)> {
+        self.journal
+            .as_ref()
+            .map(|s| (s.journal.next_seq(), s.journal.head().to_string()))
+    }
+
+    /// Appends a record directly to the attached journal and flushes it,
+    /// bypassing the ring, the statistics, and the retry bookkeeping.
+    ///
+    /// Checkpoint anchors use this: they are chain metadata, not server
+    /// events, so a failed append is surfaced to the caller (which
+    /// aborts the checkpoint and leaves the journal exactly as it was)
+    /// instead of escalating the sink's health ladder. Errors when no
+    /// journal is attached or the sink is already [`JournalHealth::Down`].
+    pub fn append_direct(&mut self, kind: &str, payload: Json) -> std::io::Result<u64> {
+        let not_connected =
+            |msg: &str| std::io::Error::new(std::io::ErrorKind::NotConnected, msg.to_string());
+        let Some(sink) = &mut self.journal else {
+            return Err(not_connected("no journal attached"));
+        };
+        if sink.down {
+            return Err(not_connected("journal sink is down"));
+        }
+        let seq = sink.journal.append(kind, payload)?;
+        sink.journal.flush()?;
+        Ok(seq)
+    }
 }
 
 #[cfg(test)]
@@ -846,7 +885,10 @@ mod tests {
         );
         assert_eq!(log.journal_health(), JournalHealth::Healthy);
         log.push(forwarded(0));
-        assert_eq!(log.journal_health(), JournalHealth::Retrying { failures: 1 });
+        assert_eq!(
+            log.journal_health(),
+            JournalHealth::Retrying { failures: 1 }
+        );
         // Drive through every backoff window until the budget is spent.
         for i in 1..64 {
             log.push(forwarded(i));
@@ -881,11 +923,17 @@ mod tests {
             },
         );
         log.push(forwarded(0));
-        assert_eq!(log.journal_health(), JournalHealth::Retrying { failures: 1 });
+        assert_eq!(
+            log.journal_health(),
+            JournalHealth::Retrying { failures: 1 }
+        );
         // Two events fall into the backoff window (skip = 1 << 1)…
         log.push(forwarded(1));
         log.push(forwarded(2));
-        assert_eq!(log.journal_health(), JournalHealth::Retrying { failures: 1 });
+        assert_eq!(
+            log.journal_health(),
+            JournalHealth::Retrying { failures: 1 }
+        );
         // …then the next write attempt succeeds and health recovers.
         log.push(forwarded(3));
         assert_eq!(log.journal_health(), JournalHealth::Healthy);
@@ -931,7 +979,11 @@ mod tests {
             service: ServiceId(1),
         });
         assert!(
-            shared.0.lock().unwrap_or_else(|e| e.into_inner()).is_empty(),
+            shared
+                .0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty(),
             "async-class events may buffer"
         );
 
@@ -968,7 +1020,10 @@ mod tests {
         let mut log = EventLog::new();
         log.attach_journal(boxed(shared.clone()));
         log.push(forwarded(0)); // sync-class
-        assert_eq!(log.journal_health(), JournalHealth::Retrying { failures: 1 });
+        assert_eq!(
+            log.journal_health(),
+            JournalHealth::Retrying { failures: 1 }
+        );
         // The record chained exactly once: a failed flush must not be
         // answered with a duplicate append.
         let bytes = shared.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
@@ -1036,7 +1091,13 @@ mod tests {
             to: ServerMode::Degraded,
         };
         assert_eq!(mc.kind(), "ts.mode_changed");
-        assert_eq!(mc.payload().get("from").and_then(|j| j.as_str()), Some("normal"));
-        assert_eq!(mc.payload().get("to").and_then(|j| j.as_str()), Some("degraded"));
+        assert_eq!(
+            mc.payload().get("from").and_then(|j| j.as_str()),
+            Some("normal")
+        );
+        assert_eq!(
+            mc.payload().get("to").and_then(|j| j.as_str()),
+            Some("degraded")
+        );
     }
 }

@@ -373,14 +373,8 @@ mod tests {
         let stored = vec![UserId(1), UserId(2), UserId(3), UserId(99)];
         for k in 0..=4 {
             let a = algorithm1_subsequent(&store, &seed, &stored, k, &loose(), &scale);
-            let b = algorithm1_subsequent_from(
-                |u| store.phl(u),
-                &seed,
-                &stored,
-                k,
-                &loose(),
-                &scale,
-            );
+            let b =
+                algorithm1_subsequent_from(|u| store.phl(u), &seed, &stored, k, &loose(), &scale);
             assert_eq!(a, b, "k={k}");
         }
     }

@@ -28,12 +28,16 @@
 //!   re-identification empirically;
 //! * **deployability analysis** ([`planning`]) — the paper's purpose (b):
 //!   "evaluate if the privacy policies that a location-based service
-//!   guarantees are sufficient to deploy the service in a certain area".
+//!   guarantees are sufficient to deploy the service in a certain area";
+//! * **crash-safe checkpoints** ([`checkpoint`]) — atomic snapshots of the
+//!   TS state anchored into the journal's hash chain, enabling
+//!   snapshot + journal-suffix recovery and prefix truncation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod checkpoint;
 pub mod derivation;
 mod events;
 mod generalize;
@@ -45,6 +49,9 @@ mod server;
 mod shared;
 pub mod strategy;
 
+pub use checkpoint::{
+    CheckpointReceipt, Checkpointer, RecoveredCheckpoint, ServerMeta, SkippedCheckpoints, UserMeta,
+};
 pub use events::{EventLog, JournalHealth, RetryPolicy, SuppressReason, TsEvent, TsStats};
 pub use generalize::{
     algorithm1_first, algorithm1_first_brute, algorithm1_first_from, algorithm1_subsequent,

@@ -101,6 +101,13 @@ impl MixZoneManager {
         self.static_zones.push(zone);
     }
 
+    /// The registered static zones, in registration order (checkpoint
+    /// snapshots persist these; active on-demand zones are transient
+    /// cool-downs and are not serialized).
+    pub fn static_zones(&self) -> &[Rect] {
+        &self.static_zones
+    }
+
     /// The configured parameters.
     pub fn config(&self) -> &MixZoneConfig {
         &self.config
@@ -166,7 +173,10 @@ impl MixZoneManager {
                 continue;
             }
             let recent = phl.in_interval(&window);
-            let inside: Vec<&StPoint> = recent.iter().filter(|p| probe.rect.contains(&p.pos)).collect();
+            let inside: Vec<&StPoint> = recent
+                .iter()
+                .filter(|p| probe.rect.contains(&p.pos))
+                .collect();
             if inside.len() < 2 {
                 continue;
             }
@@ -232,10 +242,7 @@ mod tests {
         for (u, angle) in headings {
             // Two observations approaching the origin from -angle side.
             let dir = Point::new(angle.cos(), angle.sin());
-            store.record(
-                UserId(*u),
-                sp(-60.0 * dir.x, -60.0 * dir.y, 900),
-            );
+            store.record(UserId(*u), sp(-60.0 * dir.x, -60.0 * dir.y, 900));
             store.record(UserId(*u), sp(-10.0 * dir.x, -10.0 * dir.y, 960));
         }
         store

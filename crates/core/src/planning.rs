@@ -117,7 +117,11 @@ pub fn evaluate_deployment(
     }
 
     DeploymentReport {
-        hk_success_rate: if evaluated == 0 { 0.0 } else { ok as f64 / evaluated as f64 },
+        hk_success_rate: if evaluated == 0 {
+            0.0
+        } else {
+            ok as f64 / evaluated as f64
+        },
         mean_area: if ok == 0 { 0.0 } else { area_sum / ok as f64 },
         mean_duration: if ok == 0 { 0.0 } else { dur_sum / ok as f64 },
         unlink_fallback_rate: if failed == 0 {
@@ -151,7 +155,11 @@ mod tests {
             for t in 0..20 {
                 store.record(
                     UserId(u),
-                    sp((u % 10) as f64 * 20.0, (u / 10) as f64 * 20.0 + t as f64, t * 60),
+                    sp(
+                        (u % 10) as f64 * 20.0,
+                        (u / 10) as f64 * 20.0 + t as f64,
+                        t * 60,
+                    ),
                 );
             }
         }

@@ -18,7 +18,10 @@ pub struct Tolerance {
 impl Tolerance {
     /// Creates a tolerance; both bounds must be non-negative.
     pub fn new(max_area: f64, max_duration: Duration) -> Self {
-        assert!(max_area >= 0.0 && max_duration >= 0, "tolerances must be ≥ 0");
+        assert!(
+            max_area >= 0.0 && max_duration >= 0,
+            "tolerances must be ≥ 0"
+        );
         Tolerance {
             max_area,
             max_duration,

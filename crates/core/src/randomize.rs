@@ -94,7 +94,8 @@ impl Randomizer {
         tolerance: &Tolerance,
     ) -> StBox {
         debug_assert!(context.contains(exact));
-        let mut rng = StdRng::seed_from_u64(self.config.secret ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.secret ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
         // Ensure a minimum extent so exact contexts also receive cover.
         let (min_w, min_d) = self.config.min_extent;
@@ -143,7 +144,8 @@ impl Randomizer {
         );
         let slack_before = (exact.t - span.start()) as f64;
         let slack_after = (span.end() - exact.t) as f64;
-        let dt = rng.random_range(-s * slack_before..=s * slack_after.max(f64::MIN_POSITIVE)) as Duration;
+        let dt = rng.random_range(-s * slack_before..=s * slack_after.max(f64::MIN_POSITIVE))
+            as Duration;
         let span = TimeInterval::new(span.start() - dt, span.end() - dt);
 
         let out = StBox::new(rect, span);
@@ -199,7 +201,10 @@ mod tests {
         let (b, exact) = ctx();
         for nonce in 0..50 {
             let out = r.randomize(&b, &exact, nonce, &loose());
-            assert!(out.contains_box(&b), "nonce {nonce}: witnesses must stay covered");
+            assert!(
+                out.contains_box(&b),
+                "nonce {nonce}: witnesses must stay covered"
+            );
         }
     }
 

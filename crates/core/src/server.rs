@@ -6,9 +6,7 @@ use crate::{
     algorithm1_first, algorithm1_subsequent, EventLog, Generalization, MixZoneConfig,
     MixZoneManager, PrivacyLevel, RandomizeConfig, Randomizer, Tolerance, TsEvent, UnlinkDecision,
 };
-use hka_anonymity::{
-    historical_k_anonymity, HkOutcome, MsgId, Pseudonym, ServiceId, SpRequest,
-};
+use hka_anonymity::{historical_k_anonymity, HkOutcome, MsgId, Pseudonym, ServiceId, SpRequest};
 use hka_faults::FaultInjector;
 use hka_geo::{Rect, StBox, StPoint, TimeSec};
 use hka_lbqid::{Lbqid, Monitor};
@@ -122,7 +120,10 @@ impl std::fmt::Display for TsError {
             TsError::DuplicateUser(u) => write!(f, "user {u} already registered"),
             TsError::InvalidParams(msg) => write!(f, "invalid privacy parameters: {msg}"),
             TsError::Degraded => {
-                write!(f, "server is read-only: journal sink down, mutations refused")
+                write!(
+                    f,
+                    "server is read-only: journal sink down, mutations refused"
+                )
             }
         }
     }
@@ -355,7 +356,12 @@ impl TrustedServer {
     /// # Panics
     /// If the user is unknown — use [`TrustedServer::try_handle_request`]
     /// otherwise.
-    pub fn handle_request(&mut self, user: UserId, at: StPoint, service: ServiceId) -> RequestOutcome {
+    pub fn handle_request(
+        &mut self,
+        user: UserId,
+        at: StPoint,
+        service: ServiceId,
+    ) -> RequestOutcome {
         match self.try_handle_request(user, at, service) {
             Ok(out) => out,
             Err(e) => panic!("handle_request({user}) failed: {e}"),
@@ -375,10 +381,7 @@ impl TrustedServer {
     ) -> Result<RequestOutcome, TsError> {
         let _span = hka_obs::span("ts.handle_request");
         hka_obs::global().counter("ts.requests").incr();
-        let mut state = self
-            .users
-            .remove(&user)
-            .ok_or(TsError::UnknownUser(user))?;
+        let mut state = self.users.remove(&user).ok_or(TsError::UnknownUser(user))?;
         let outcome = strategy::handle_request_on(self, user, &mut state, at, service);
         self.users.insert(user, state);
         Ok(outcome)
@@ -422,7 +425,6 @@ impl TrustedServer {
             to: target,
         });
     }
-
 
     fn fresh_pseudonym(&mut self) -> Pseudonym {
         let p = Pseudonym(self.next_pseudonym);
@@ -480,6 +482,35 @@ impl TrustedServer {
     /// The decision log.
     pub fn log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// Folds PHL points older than the policy cutoff (granularity-aware
+    /// compaction, [`hka_trajectory::CompactionPolicy`]) and rebuilds
+    /// the spatial index over the folded store, so index queries never
+    /// see points the store no longer holds. Algorithm 1's anonymity
+    /// queries look only at the recent window the cutoff leaves
+    /// untouched, and folding preserves per-granule occupancy and
+    /// extremes, so request outcomes and the auditor's k-timelines are
+    /// unchanged — the differential tests pin exactly that.
+    pub fn compact_history(
+        &mut self,
+        now: TimeSec,
+        policy: &hka_trajectory::CompactionPolicy,
+    ) -> hka_trajectory::CompactionStats {
+        let stats = self.store.compact(now, policy);
+        let mut index = self.config.backend.make(self.config.index);
+        for (user, phl) in self.store.iter() {
+            for p in phl.points() {
+                index.insert(user, *p);
+            }
+        }
+        self.index = index;
+        let metrics = hka_obs::global();
+        metrics.counter("ts.compactions").incr();
+        metrics
+            .counter("ts.compacted_points")
+            .add(stats.points_dropped());
+        stats
     }
 
     /// Routes every subsequent logged event into a hash-chained JSONL
@@ -546,6 +577,127 @@ impl TrustedServer {
     /// Flushes the attached journal, if any.
     pub fn flush_journal(&mut self) -> std::io::Result<()> {
         self.log.flush_journal()
+    }
+
+    /// The attached journal sink's chain position `(next_seq, head)`, or
+    /// `None` when no journal is attached. Checkpoints anchor here.
+    pub fn journal_position(&self) -> Option<(u64, String)> {
+        self.log.journal_position()
+    }
+
+    /// Appends a chain-metadata record (checkpoint anchor) directly to
+    /// the journal, bypassing the event path (see
+    /// [`crate::EventLog::append_direct`]).
+    pub(crate) fn append_journal_record(
+        &mut self,
+        kind: &str,
+        payload: hka_obs::Json,
+    ) -> std::io::Result<u64> {
+        self.log.append_direct(kind, payload)
+    }
+
+    /// The durable server state beyond the trajectory store — the
+    /// `server` section of a checkpoint snapshot.
+    pub fn server_meta(&self) -> crate::checkpoint::ServerMeta {
+        crate::checkpoint::ServerMeta {
+            mode: self.mode,
+            last_time: self.last_time,
+            next_msg: self.next_msg,
+            next_pseudonym: self.next_pseudonym,
+            services: self.services.iter().map(|(id, tol)| (*id, *tol)).collect(),
+            static_zones: self.mixzones.static_zones().to_vec(),
+            users: self
+                .users
+                .iter()
+                .map(|(user, st)| crate::checkpoint::UserMeta {
+                    user: *user,
+                    pseudonym: st.pseudonym,
+                    params: st.params,
+                    overrides: st.overrides.iter().map(|(s, p)| (*s, *p)).collect(),
+                    at_risk: st.at_risk,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a server from a checkpoint snapshot's `store`, `server`,
+    /// and `stats` sections: the trajectory store (index re-inserted
+    /// point by point), pseudonym bindings, privacy parameters and
+    /// overrides, at-risk flags, service tolerances, static mix-zones,
+    /// mode, and counters.
+    ///
+    /// LBQID monitors and pattern traversals restart conservatively
+    /// (exactly like after an unlink) — the operator re-attaches LBQIDs
+    /// with [`TrustedServer::add_lbqid`]; active mix-zone cool-downs and
+    /// the outbox/routing tables are transient and start empty. The
+    /// restored server has no journal attached; callers re-attach one
+    /// (resuming the chain) before serving.
+    pub fn restore(config: TsConfig, snapshot: &hka_obs::Snapshot) -> Result<Self, String> {
+        use crate::checkpoint::{self, ServerMeta};
+
+        let store = hka_trajectory::state::store_of_json(
+            snapshot
+                .section(checkpoint::STORE_SECTION)
+                .ok_or("snapshot has no 'store' section")?,
+        )?;
+        let meta = ServerMeta::of_json(
+            snapshot
+                .section(checkpoint::SERVER_SECTION)
+                .ok_or("snapshot has no 'server' section")?,
+        )?;
+        let stats = checkpoint::stats_of_json(
+            snapshot
+                .section(checkpoint::STATS_SECTION)
+                .ok_or("snapshot has no 'stats' section")?,
+        )?;
+
+        let mut index = config.backend.make(config.index);
+        for (user, phl) in store.iter() {
+            for p in phl.points() {
+                index.insert(user, *p);
+            }
+        }
+        let mut mixzones = MixZoneManager::new(config.mixzone);
+        for zone in &meta.static_zones {
+            mixzones.add_static_zone(*zone);
+        }
+        let users = meta
+            .users
+            .iter()
+            .map(|u| {
+                (
+                    u.user,
+                    UserState {
+                        pseudonym: u.pseudonym,
+                        params: u.params,
+                        overrides: u.overrides.iter().cloned().collect(),
+                        monitors: Vec::new(),
+                        patterns: Vec::new(),
+                        at_risk: u.at_risk,
+                    },
+                )
+            })
+            .collect();
+        let mut log = EventLog::new();
+        log.restore_stats(stats);
+
+        Ok(TrustedServer {
+            config,
+            store,
+            index,
+            users,
+            services: meta.services.iter().copied().collect(),
+            mixzones,
+            randomizer: config.randomize.map(Randomizer::new),
+            log,
+            outbox: Vec::new(),
+            routes: BTreeMap::new(),
+            next_msg: meta.next_msg,
+            next_pseudonym: meta.next_pseudonym,
+            injector: FaultInjector::none(),
+            mode: meta.mode,
+            last_time: meta.last_time,
+        })
     }
 
     /// A point-in-time snapshot of the pipeline's metrics: request
@@ -708,7 +860,14 @@ impl RequestHost for TrustedServer {
         k: usize,
         tolerance: &Tolerance,
     ) -> Generalization {
-        algorithm1_subsequent(&self.store, at, stored, k, tolerance, &self.config.index.scale)
+        algorithm1_subsequent(
+            &self.store,
+            at,
+            stored,
+            k,
+            tolerance,
+            &self.config.index.scale,
+        )
     }
 
     fn try_unlink(&mut self, user: UserId, at: &StPoint, k: usize) -> UnlinkDecision {
@@ -871,7 +1030,10 @@ mod tests {
     #[test]
     fn generalized_context_covers_k_witnesses() {
         let mut s = ts_with_crowd(10);
-        s.register_user(UserId(1), PrivacyLevel::Custom(PrivacyParams::fixed(4, 0.5)));
+        s.register_user(
+            UserId(1),
+            PrivacyLevel::Custom(PrivacyParams::fixed(4, 0.5)),
+        );
         s.add_lbqid(UserId(1), one_shot_pattern());
         let at = sp(0.0, 0.0, 100);
         let RequestOutcome::Forwarded(req) = s.handle_request(UserId(1), at, SVC) else {
@@ -952,16 +1114,13 @@ mod tests {
         });
         for (u, angle) in [(100u64, 0.0f64), (101, 1.6), (102, 3.1), (103, 4.7)] {
             s.register_user(UserId(u), PrivacyLevel::Off);
-            s.location_update(
-                UserId(u),
-                sp(-60.0 * angle.cos(), -60.0 * angle.sin(), 40),
-            );
-            s.location_update(
-                UserId(u),
-                sp(-10.0 * angle.cos(), -10.0 * angle.sin(), 90),
-            );
+            s.location_update(UserId(u), sp(-60.0 * angle.cos(), -60.0 * angle.sin(), 40));
+            s.location_update(UserId(u), sp(-10.0 * angle.cos(), -10.0 * angle.sin(), 90));
         }
-        s.register_user(UserId(1), PrivacyLevel::Custom(PrivacyParams::fixed(3, 0.5)));
+        s.register_user(
+            UserId(1),
+            PrivacyLevel::Custom(PrivacyParams::fixed(3, 0.5)),
+        );
         s.add_lbqid(UserId(1), one_shot_pattern());
         let before = s.pseudonym_of(UserId(1)).unwrap();
         match s.handle_request(UserId(1), sp(0.0, 0.0, 100), SVC) {
@@ -996,8 +1155,16 @@ mod tests {
             s.location_update(UserId(u), sp(150.0, 50.0, 60 + u as i64));
             s.location_update(UserId(u), sp(250.0, 50.0, 120 + u as i64));
         }
-        assert_ne!(s.pseudonym_of(UserId(1)).unwrap(), before, "protected user unlinked");
-        assert_eq!(s.pseudonym_of(UserId(2)).unwrap(), off_before, "opted-out user untouched");
+        assert_ne!(
+            s.pseudonym_of(UserId(1)).unwrap(),
+            before,
+            "protected user unlinked"
+        );
+        assert_eq!(
+            s.pseudonym_of(UserId(2)).unwrap(),
+            off_before,
+            "opted-out user untouched"
+        );
         assert_eq!(s.log().stats().pseudonym_changes, 1);
         // Dwelling inside (no new crossing) does not churn pseudonyms.
         let after = s.pseudonym_of(UserId(1)).unwrap();
@@ -1038,7 +1205,10 @@ mod tests {
     #[test]
     fn service_specific_tolerance_is_used() {
         let mut s = ts_with_crowd(10);
-        s.register_user(UserId(1), PrivacyLevel::Custom(PrivacyParams::fixed(5, 0.5)));
+        s.register_user(
+            UserId(1),
+            PrivacyLevel::Custom(PrivacyParams::fixed(5, 0.5)),
+        );
         s.add_lbqid(UserId(1), one_shot_pattern());
         // A service with zero tolerance: any generalization gets clamped.
         let strict = ServiceId(9);
@@ -1062,7 +1232,10 @@ mod tests {
         s.register_user(UserId(1), PrivacyLevel::Off);
         s.register_user(UserId(2), PrivacyLevel::Medium);
         assert_eq!(s.privacy_indicator(UserId(1)), Some(PrivacyIndicator::Off));
-        assert_eq!(s.privacy_indicator(UserId(2)), Some(PrivacyIndicator::Locked));
+        assert_eq!(
+            s.privacy_indicator(UserId(2)),
+            Some(PrivacyIndicator::Locked)
+        );
         assert_eq!(s.privacy_indicator(UserId(9)), None);
         // Drive user 3 into the at-risk state (nobody around, suppress).
         s.register_user(
@@ -1077,7 +1250,10 @@ mod tests {
         );
         s.add_lbqid(UserId(3), one_shot_pattern());
         s.handle_request(UserId(3), sp(0.0, 0.0, 100), SVC);
-        assert_eq!(s.privacy_indicator(UserId(3)), Some(PrivacyIndicator::AtRisk));
+        assert_eq!(
+            s.privacy_indicator(UserId(3)),
+            Some(PrivacyIndicator::AtRisk)
+        );
     }
 
     #[test]

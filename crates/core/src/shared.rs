@@ -11,7 +11,9 @@
 //! * readers (`audit_patterns`, `stats`, `pseudonym_of`, …) take the read
 //!   lock and proceed in parallel.
 
-use crate::{PrivacyLevel, RequestOutcome, ServerMode, Tolerance, TrustedServer, TsConfig, TsStats};
+use crate::{
+    PrivacyLevel, RequestOutcome, ServerMode, Tolerance, TrustedServer, TsConfig, TsStats,
+};
 use hka_anonymity::{HkOutcome, Pseudonym, ServiceId, SpRequest};
 use hka_geo::{Rect, StPoint};
 use hka_lbqid::Lbqid;

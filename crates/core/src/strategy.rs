@@ -526,7 +526,15 @@ pub fn handle_request_on<H: RequestHost>(
             k_got: gen.selected.len(),
             lbqid: Some(state.monitors[mi].lbqid().name().to_owned()),
         };
-        return forward_on(host, user, state.pseudonym, at, gen.context, service, disclosure);
+        return forward_on(
+            host,
+            user,
+            state.pseudonym,
+            at,
+            gen.context,
+            service,
+            disclosure,
+        );
     }
 
     // Generalization failed: try to unlink (Section 6.1 step 2). An
@@ -590,7 +598,15 @@ pub fn handle_request_on<H: RequestHost>(
                         k_got: gen.selected.len(),
                         lbqid: Some(state.monitors[mi].lbqid().name().to_owned()),
                     };
-                    forward_on(host, user, state.pseudonym, at, gen.context, service, disclosure)
+                    forward_on(
+                        host,
+                        user,
+                        state.pseudonym,
+                        at,
+                        gen.context,
+                        service,
+                        disclosure,
+                    )
                 }
                 RiskAction::Suppress => {
                     hka_obs::global().counter("ts.suppressed").incr();

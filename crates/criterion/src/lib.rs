@@ -74,13 +74,21 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Runs one benchmark with an input value.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
         let mut b = Bencher { ns_per_iter: 0.0 };
         f(&mut b, input);
-        println!("{}/{:<40} {:>14.1} ns/iter", self.name, id.name, b.ns_per_iter);
+        println!(
+            "{}/{:<40} {:>14.1} ns/iter",
+            self.name, id.name, b.ns_per_iter
+        );
         self
     }
 

@@ -36,7 +36,7 @@ mod schedule;
 mod writer;
 
 pub use plan::{FaultInjector, FaultKind, FaultPlan, FaultRule, Trigger};
-pub use schedule::{randomized_plan, tail_chaos_plan};
+pub use schedule::{checkpoint_chaos_plan, randomized_plan, tail_chaos_plan};
 pub use writer::FaultyWriter;
 
 /// Named injection sites threaded through the pipeline's hot paths.
@@ -58,7 +58,38 @@ pub mod sites {
     /// Applied by the event driver (simulator, chaos harness), not
     /// inside the server.
     pub const ARRIVAL: &str = "request.arrival";
+    /// Checkpoint snapshot temp-file write: a clean I/O error or a
+    /// torn write leaving a partial `.tmp` behind.
+    pub const SNAPSHOT_WRITE: &str = "snapshot.write";
+    /// Checkpoint snapshot atomic rename: the crash window between a
+    /// fully fsynced temp file and its publication, orphaning the temp.
+    pub const SNAPSHOT_RENAME: &str = "snapshot.rename";
+    /// Checkpoint anchor-record append: the snapshot file exists but
+    /// the journal never learns about it (no anchor in the chain).
+    pub const CHECKPOINT_APPEND: &str = "checkpoint.append";
+    /// Journal prefix truncation after a checkpoint: failure while
+    /// swapping the suffix into place, possibly tearing the copy.
+    pub const JOURNAL_TRUNCATE: &str = "journal.truncate";
 
     /// Every standard site, in a fixed order.
-    pub const ALL: [&str; 5] = [PHL_WRITE, JOURNAL_IO, MIXZONE, INDEX_QUERY, ARRIVAL];
+    pub const ALL: [&str; 9] = [
+        PHL_WRITE,
+        JOURNAL_IO,
+        MIXZONE,
+        INDEX_QUERY,
+        ARRIVAL,
+        SNAPSHOT_WRITE,
+        SNAPSHOT_RENAME,
+        CHECKPOINT_APPEND,
+        JOURNAL_TRUNCATE,
+    ];
+
+    /// The checkpoint-path subset of [`ALL`], in write-protocol order:
+    /// snapshot write → rename → anchor append → prefix truncation.
+    pub const CHECKPOINT_PATH: [&str; 4] = [
+        SNAPSHOT_WRITE,
+        SNAPSHOT_RENAME,
+        CHECKPOINT_APPEND,
+        JOURNAL_TRUNCATE,
+    ];
 }

@@ -82,7 +82,9 @@ impl Trigger {
                 if p >= 1.0 {
                     return true;
                 }
-                let x = splitmix64(seed ^ fnv1a(site.as_bytes()) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let x = splitmix64(
+                    seed ^ fnv1a(site.as_bytes()) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 (x as f64 / u64::MAX as f64) < p
             }
         }
@@ -286,7 +288,11 @@ mod tests {
         let mut plan = FaultPlan::new(1)
             .with_rule("a", Trigger::Once(2), FaultKind::Io)
             .with_rule("b", Trigger::EveryNth(3), FaultKind::Drop)
-            .with_rule("c", Trigger::Window { from: 1, to: 3 }, FaultKind::Unavailable);
+            .with_rule(
+                "c",
+                Trigger::Window { from: 1, to: 3 },
+                FaultKind::Unavailable,
+            );
         let a: Vec<bool> = (0..5).map(|_| plan.check("a").is_some()).collect();
         assert_eq!(a, vec![false, false, true, false, false]);
         let b: Vec<bool> = (0..7).map(|_| plan.check("b").is_some()).collect();
@@ -348,9 +354,11 @@ mod tests {
 
     #[test]
     fn injector_shares_state_across_clones() {
-        let inj = FaultInjector::new(
-            FaultPlan::new(9).with_rule("s", Trigger::Once(1), FaultKind::Unavailable),
-        );
+        let inj = FaultInjector::new(FaultPlan::new(9).with_rule(
+            "s",
+            Trigger::Once(1),
+            FaultKind::Unavailable,
+        ));
         let other = inj.clone();
         assert_eq!(inj.check("s"), None);
         assert_eq!(other.check("s"), Some(FaultKind::Unavailable));
@@ -372,7 +380,10 @@ mod tests {
         .iter()
         .map(|k| k.as_str())
         .collect();
-        assert_eq!(tags, vec!["io", "torn", "drop", "duplicate", "reorder", "unavailable"]);
+        assert_eq!(
+            tags,
+            vec!["io", "torn", "drop", "duplicate", "reorder", "unavailable"]
+        );
         assert_eq!(FaultKind::Io.to_string(), "io");
     }
 }

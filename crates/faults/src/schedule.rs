@@ -42,7 +42,10 @@ pub fn randomized_plan(seed: u64) -> FaultPlan {
         }
         let kind = match site {
             sites::PHL_WRITE => [FaultKind::Drop, FaultKind::Io][s.below(2) as usize],
-            sites::JOURNAL_IO => [FaultKind::Io, FaultKind::Torn][s.below(2) as usize],
+            sites::JOURNAL_IO | sites::SNAPSHOT_WRITE | sites::JOURNAL_TRUNCATE => {
+                [FaultKind::Io, FaultKind::Torn][s.below(2) as usize]
+            }
+            sites::SNAPSHOT_RENAME | sites::CHECKPOINT_APPEND => FaultKind::Io,
             sites::ARRIVAL => {
                 [FaultKind::Drop, FaultKind::Duplicate, FaultKind::Reorder][s.below(3) as usize]
             }
@@ -79,7 +82,43 @@ pub fn randomized_plan(seed: u64) -> FaultPlan {
 /// the tail's final report is byte-identical to the offline audit.
 pub fn tail_chaos_plan(seed: u64) -> FaultPlan {
     let mut plan = randomized_plan(seed);
-    plan.retain_sites(|site| site != sites::JOURNAL_IO);
+    plan.retain_sites(|site| site != sites::JOURNAL_IO && !sites::CHECKPOINT_PATH.contains(&site));
+    plan
+}
+
+/// A seeded plan restricted to the **checkpoint-path** sites
+/// ([`sites::CHECKPOINT_PATH`]): snapshot write, snapshot rename,
+/// anchor append, and prefix truncation.
+///
+/// Checkpoint attempts are rare (one per `--checkpoint-every` batch),
+/// so unlike [`randomized_plan`] the triggers here are aggressive —
+/// every hit or every other hit, or a coin-flip probability — and the
+/// plan always contains at least one rule. Crash/recover drills sweep
+/// seeds over this generator to hit every stage of the write protocol.
+pub fn checkpoint_chaos_plan(seed: u64) -> FaultPlan {
+    let mut s = Stream(splitmix64(seed ^ 0x5EED_CAFE_F00D_D00D));
+    let mut plan = FaultPlan::new(seed);
+    let forced = s.below(sites::CHECKPOINT_PATH.len() as u64) as usize;
+    for (i, site) in sites::CHECKPOINT_PATH.into_iter().enumerate() {
+        if i != forced && s.unit() > 0.5 {
+            continue;
+        }
+        let kind = match site {
+            sites::SNAPSHOT_WRITE | sites::JOURNAL_TRUNCATE => {
+                [FaultKind::Io, FaultKind::Torn][s.below(2) as usize]
+            }
+            _ => FaultKind::Io,
+        };
+        let trigger = match s.below(3) {
+            0 => Trigger::EveryNth(1 + s.below(2)),
+            1 => Trigger::Window {
+                from: 0,
+                to: 1 + s.below(3),
+            },
+            _ => Trigger::Prob(0.5 + 0.4 * s.unit()),
+        };
+        plan.push_rule(site, trigger, kind);
+    }
     plan
 }
 
@@ -109,7 +148,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(sites_seen.len(), sites::ALL.len(), "64 seeds must exercise every site");
+        assert_eq!(
+            sites_seen.len(),
+            sites::ALL.len(),
+            "64 seeds must exercise every site"
+        );
     }
 
     #[test]
@@ -128,8 +171,45 @@ mod tests {
         }
         assert_eq!(
             request_sites.len(),
-            sites::ALL.len() - 1,
+            sites::ALL.len() - 1 - sites::CHECKPOINT_PATH.len(),
             "64 seeds must exercise every request-path site"
+        );
+    }
+
+    #[test]
+    fn checkpoint_plans_are_aggressive_and_cover_the_whole_path() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            let plan = checkpoint_chaos_plan(seed);
+            assert_eq!(plan, checkpoint_chaos_plan(seed));
+            assert!(
+                !plan.rules().is_empty(),
+                "drill plans always fault something"
+            );
+            for rule in plan.rules() {
+                assert!(sites::CHECKPOINT_PATH.contains(&rule.site.as_str()));
+                seen.insert(rule.site.clone());
+                match rule.site.as_str() {
+                    sites::SNAPSHOT_WRITE | sites::JOURNAL_TRUNCATE => {
+                        assert!(matches!(rule.kind, FaultKind::Io | FaultKind::Torn))
+                    }
+                    _ => assert_eq!(rule.kind, FaultKind::Io),
+                }
+                match rule.trigger {
+                    Trigger::EveryNth(n) => assert!((1..=2).contains(&n)),
+                    Trigger::Window { from, to } => {
+                        assert_eq!(from, 0);
+                        assert!(to >= 1);
+                    }
+                    Trigger::Prob(p) => assert!((0.5..=0.9).contains(&p)),
+                    other => panic!("unexpected drill trigger {other:?}"),
+                }
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            sites::CHECKPOINT_PATH.len(),
+            "64 seeds must exercise every checkpoint-path site"
         );
     }
 
@@ -141,8 +221,11 @@ mod tests {
                     sites::PHL_WRITE => {
                         assert!(matches!(rule.kind, FaultKind::Drop | FaultKind::Io))
                     }
-                    sites::JOURNAL_IO => {
+                    sites::JOURNAL_IO | sites::SNAPSHOT_WRITE | sites::JOURNAL_TRUNCATE => {
                         assert!(matches!(rule.kind, FaultKind::Io | FaultKind::Torn))
+                    }
+                    sites::SNAPSHOT_RENAME | sites::CHECKPOINT_APPEND => {
+                        assert_eq!(rule.kind, FaultKind::Io)
                     }
                     sites::ARRIVAL => assert!(matches!(
                         rule.kind,

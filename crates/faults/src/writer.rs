@@ -73,9 +73,11 @@ mod tests {
 
     #[test]
     fn io_fault_loses_the_record_cleanly() {
-        let inj = FaultInjector::new(
-            FaultPlan::new(1).with_rule(sites::JOURNAL_IO, Trigger::Once(1), FaultKind::Io),
-        );
+        let inj = FaultInjector::new(FaultPlan::new(1).with_rule(
+            sites::JOURNAL_IO,
+            Trigger::Once(1),
+            FaultKind::Io,
+        ));
         let mut w = FaultyWriter::new(Vec::new(), inj.clone());
         assert!(w.write(b"first\n").is_ok());
         assert!(w.write(b"second\n").is_err());
@@ -86,9 +88,11 @@ mod tests {
 
     #[test]
     fn torn_fault_leaves_partial_bytes() {
-        let inj = FaultInjector::new(
-            FaultPlan::new(1).with_rule(sites::JOURNAL_IO, Trigger::Once(0), FaultKind::Torn),
-        );
+        let inj = FaultInjector::new(FaultPlan::new(1).with_rule(
+            sites::JOURNAL_IO,
+            Trigger::Once(0),
+            FaultKind::Torn,
+        ));
         let mut w = FaultyWriter::new(Vec::new(), inj);
         assert!(w.write(b"abcdefgh").is_err());
         assert_eq!(w.into_inner(), b"abcd", "exactly half the buffer landed");

@@ -402,7 +402,10 @@ mod tests {
         let a = TimeInterval::new(TimeSec(0), TimeSec(5));
         let b = TimeInterval::new(TimeSec(8), TimeSec(9));
         assert_eq!(a.union(&b), TimeInterval::new(TimeSec(0), TimeSec(9)));
-        assert_eq!(a.expand_to(TimeSec(-3)), TimeInterval::new(TimeSec(-3), TimeSec(5)));
+        assert_eq!(
+            a.expand_to(TimeSec(-3)),
+            TimeInterval::new(TimeSec(-3), TimeSec(5))
+        );
         assert_eq!(a.expand_to(TimeSec(3)), a);
     }
 

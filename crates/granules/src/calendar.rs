@@ -211,7 +211,10 @@ mod tests {
         assert_eq!(day_of_date(CivilDate::new(2000, 1, 1)), -2);
         assert_eq!(weekday_of_day(-2), Weekday::Saturday);
         // 2000-02-29 existed (leap year).
-        assert_eq!(date_of_day(day_of_date(CivilDate::new(2000, 2, 29))).day, 29);
+        assert_eq!(
+            date_of_day(day_of_date(CivilDate::new(2000, 2, 29))).day,
+            29
+        );
         // 2004-07-04 was a Sunday.
         let d = day_of_date(CivilDate::new(2004, 7, 4));
         assert_eq!(weekday_of_day(d), Weekday::Sunday);
@@ -254,8 +257,14 @@ mod tests {
     fn month_indices() {
         assert_eq!(month_index_of_day(0), 0); // Jan 2000
         assert_eq!(month_start_day(0), day_of_date(CivilDate::new(2000, 1, 1)));
-        assert_eq!(month_index_of_day(day_of_date(CivilDate::new(2000, 2, 1))), 1);
-        assert_eq!(month_index_of_day(day_of_date(CivilDate::new(2001, 1, 15))), 12);
+        assert_eq!(
+            month_index_of_day(day_of_date(CivilDate::new(2000, 2, 1))),
+            1
+        );
+        assert_eq!(
+            month_index_of_day(day_of_date(CivilDate::new(2001, 1, 15))),
+            12
+        );
         assert_eq!(
             month_index_of_day(day_of_date(CivilDate::new(1999, 12, 31))),
             -1
@@ -271,7 +280,10 @@ mod tests {
     #[test]
     fn year_helpers() {
         assert_eq!(year_of_day(0), 2000);
-        assert_eq!(year_start_day(2000), day_of_date(CivilDate::new(2000, 1, 1)));
+        assert_eq!(
+            year_start_day(2000),
+            day_of_date(CivilDate::new(2000, 1, 1))
+        );
         assert_eq!(year_of_day(year_start_day(2003)), 2003);
         assert_eq!(year_of_day(year_start_day(2003) - 1), 2002);
     }

@@ -159,7 +159,8 @@ impl Recurrence {
         let mut level_gran = g1;
         for window in self.terms.windows(2) {
             let (inner, outer) = (window[0], window[1]);
-            let mut counts: std::collections::BTreeMap<i64, u32> = std::collections::BTreeMap::new();
+            let mut counts: std::collections::BTreeMap<i64, u32> =
+                std::collections::BTreeMap::new();
             for id in &satisfied {
                 let mid = level_gran.granule_span(*id).midpoint();
                 if let Some(outer_id) = outer.granularity.granule_of(mid) {
@@ -382,7 +383,10 @@ mod tests {
         // An "observation" stretching from Monday into Tuesday fits no
         // single Weekdays granule.
         let crossing = TimeInterval::new(TimeSec::at_hm(0, 22, 0), TimeSec::at_hm(1, 2, 0));
-        assert!(!"1.Weekdays".parse::<Recurrence>().unwrap().is_satisfied(&[crossing]));
+        assert!(!"1.Weekdays"
+            .parse::<Recurrence>()
+            .unwrap()
+            .is_satisfied(&[crossing]));
         assert!(!r.is_satisfied(&[crossing; 6]));
     }
 
@@ -468,7 +472,7 @@ mod tests {
     fn completability_projects_the_future() {
         use hka_geo::TimeSec;
         let r = commute(); // 3.Weekdays * 2.Weeks
-        // Nothing observed yet, three full weeks of runway: completable.
+                           // Nothing observed yet, three full weeks of runway: completable.
         assert!(r.completable_by(&[], TimeSec::at(0, 0), TimeSec::at(21, 0)));
         // Only four days of runway: a second week can never be reached.
         assert!(!r.completable_by(&[], TimeSec::at(0, 0), TimeSec::at(4, 0)));
@@ -480,8 +484,12 @@ mod tests {
         assert!(!r.completable_by(&week0, TimeSec::at(5, 0), TimeSec::at(8, 23)));
         // Already satisfied: completable regardless of deadline.
         let full = vec![
-            obs(0, 7, 19), obs(1, 7, 19), obs(2, 7, 19),
-            obs(7, 7, 19), obs(8, 7, 19), obs(9, 7, 19),
+            obs(0, 7, 19),
+            obs(1, 7, 19),
+            obs(2, 7, 19),
+            obs(7, 7, 19),
+            obs(8, 7, 19),
+            obs(9, 7, 19),
         ];
         assert!(r.completable_by(&full, TimeSec::at(10, 0), TimeSec::at(10, 0)));
     }

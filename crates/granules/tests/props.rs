@@ -1,8 +1,8 @@
 //! Property-based tests for granularities and recurrence formulas.
 
+use hka_geo::{TimeInterval, TimeSec, DAY, HOUR};
 use hka_granules::calendar::{self, CivilDate, Weekday};
 use hka_granules::{Granularity, Recurrence};
-use hka_geo::{TimeInterval, TimeSec, DAY, HOUR};
 use proptest::prelude::*;
 
 fn arb_granularity() -> impl Strategy<Value = Granularity> {

@@ -219,11 +219,8 @@ impl Monitor {
             }
             if self.partials.len() >= Self::MAX_PARTIALS {
                 // Evict the stalest traversal (earliest last activity).
-                if let Some((evict, _)) = self
-                    .partials
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, q)| q.last)
+                if let Some((evict, _)) =
+                    self.partials.iter().enumerate().min_by_key(|(_, q)| q.last)
                 {
                     self.partials.remove(evict);
                 }

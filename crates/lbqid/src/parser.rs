@@ -275,10 +275,8 @@ mod tests {
 
     #[test]
     fn labels_are_optional() {
-        let q = parse_lbqid(
-            "lbqid x { element area(0,0,1,1) window(07:00,08:00); recur 2.Days; }",
-        )
-        .unwrap();
+        let q = parse_lbqid("lbqid x { element area(0,0,1,1) window(07:00,08:00); recur 2.Days; }")
+            .unwrap();
         assert_eq!(q.elements().len(), 1);
         assert_eq!(q.elements()[0].label, None);
         assert_eq!(q.recurrence().to_string(), "2.Days");
@@ -292,19 +290,18 @@ mod tests {
 
     #[test]
     fn negative_and_decimal_coordinates() {
-        let q = parse_lbqid(
-            "lbqid x { element area(-10.5, -3, 22.25, 7) window(00:00, 23:59); }",
-        )
-        .unwrap();
-        assert_eq!(q.elements()[0].area, Rect::from_bounds(-10.5, -3.0, 22.25, 7.0));
+        let q = parse_lbqid("lbqid x { element area(-10.5, -3, 22.25, 7) window(00:00, 23:59); }")
+            .unwrap();
+        assert_eq!(
+            q.elements()[0].area,
+            Rect::from_bounds(-10.5, -3.0, 22.25, 7.0)
+        );
     }
 
     #[test]
     fn wrapping_window_parses() {
-        let q = parse_lbqid(
-            "lbqid nightowl { element area(0,0,1,1) window(22:00, 02:00); }",
-        )
-        .unwrap();
+        let q =
+            parse_lbqid("lbqid nightowl { element area(0,0,1,1) window(22:00, 02:00); }").unwrap();
         assert!(q.elements()[0].window.wraps());
     }
 
@@ -315,15 +312,33 @@ mod tests {
             ("lbqid {", "expected identifier"),
             ("lbqid x element", "expected '{'"),
             ("lbqid x { element area(0,0,1,1); }", "expected identifier"),
-            ("lbqid x { element area(0,0,1,1) win(07:00,08:00); }", "expected 'window'"),
-            ("lbqid x { element area(0,0,1,1) window(25:99, 08:00); }", "out of range"),
+            (
+                "lbqid x { element area(0,0,1,1) win(07:00,08:00); }",
+                "expected 'window'",
+            ),
+            (
+                "lbqid x { element area(0,0,1,1) window(25:99, 08:00); }",
+                "out of range",
+            ),
             ("lbqid x { recur 3.Lightyears; }", "bad recurrence"),
             ("lbqid x { widget; }", "expected 'element' or 'recur'"),
             ("lbqid x { }", "at least one element"),
-            ("lbqid x { element area(0,0,1,1) window(07:00,08:00);", "unterminated"),
-            ("lbqid x { element area(0,0,1,1) window(07:00,08:00); } garbage", "trailing"),
-            ("lbqid x { element area(a,0,1,1) window(07:00,08:00); }", "expected number"),
-            ("lbqid x { element area(0,0,1,1) window(0700,0800); }", "expected HH:MM"),
+            (
+                "lbqid x { element area(0,0,1,1) window(07:00,08:00);",
+                "unterminated",
+            ),
+            (
+                "lbqid x { element area(0,0,1,1) window(07:00,08:00); } garbage",
+                "trailing",
+            ),
+            (
+                "lbqid x { element area(a,0,1,1) window(07:00,08:00); }",
+                "expected number",
+            ),
+            (
+                "lbqid x { element area(0,0,1,1) window(0700,0800); }",
+                "expected HH:MM",
+            ),
         ];
         for (src, needle) in cases {
             let err = parse_lbqid(src).unwrap_err().to_string();

@@ -105,7 +105,9 @@ impl Agent {
         let mut trace = DayTrace::default();
         let mut t = day_start;
         while t <= day_end {
-            trace.samples.push(StPoint::new(position_at(&itinerary, t, self.speed), t));
+            trace
+                .samples
+                .push(StPoint::new(position_at(&itinerary, t, self.speed), t));
             t += dt;
         }
         // Anchors snap to the nearest sample at-or-after their time.
@@ -119,7 +121,12 @@ impl Agent {
     }
 
     /// Builds the day's itinerary and the anchor schedule.
-    fn plan(&self, city: &City, day: i64, rng: &mut StdRng) -> (Itinerary, Vec<(TimeSec, AnchorKind)>) {
+    fn plan(
+        &self,
+        city: &City,
+        day: i64,
+        rng: &mut StdRng,
+    ) -> (Itinerary, Vec<(TimeSec, AnchorKind)>) {
         let jitter = |rng: &mut StdRng, spread: i64| rng.random_range(-spread..=spread);
         match &self.role {
             Role::Commuter {
@@ -151,16 +158,21 @@ impl Agent {
                     (leave_office, home_p),
                 ];
                 // Anchor times inside the canonical commute windows.
-                let travel =
-                    (home_p.manhattan_dist(&office_p) / self.speed).ceil() as i64;
+                let travel = (home_p.manhattan_dist(&office_p) / self.speed).ceil() as i64;
                 let anchors = vec![
-                    (leave_home - rng.random_range(5 * MINUTE..20 * MINUTE), AnchorKind::HomeMorning),
+                    (
+                        leave_home - rng.random_range(5 * MINUTE..20 * MINUTE),
+                        AnchorKind::HomeMorning,
+                    ),
                     (
                         (leave_home + travel + rng.random_range(2 * MINUTE..10 * MINUTE))
                             .max(TimeSec::at_hm(day, 8, 1)),
                         AnchorKind::OfficeArrive,
                     ),
-                    (leave_office - rng.random_range(5 * MINUTE..20 * MINUTE), AnchorKind::OfficeLeave),
+                    (
+                        leave_office - rng.random_range(5 * MINUTE..20 * MINUTE),
+                        AnchorKind::OfficeLeave,
+                    ),
                     (
                         (leave_office + travel + rng.random_range(2 * MINUTE..10 * MINUTE))
                             .max(TimeSec::at_hm(day, 17, 1)),
@@ -202,7 +214,10 @@ impl Agent {
                     let back = leave + travel + *dwell;
                     it.push((leave, poi_p));
                     it.push((back, home_p));
-                    anchors.push((leave + travel + rng.random_range(MINUTE..10 * MINUTE), AnchorKind::PoiVisit));
+                    anchors.push((
+                        leave + travel + rng.random_range(MINUTE..10 * MINUTE),
+                        AnchorKind::PoiVisit,
+                    ));
                 }
                 (it, anchors)
             }
@@ -362,7 +377,9 @@ mod tests {
         let city = city();
         let a = Agent {
             user: UserId(2),
-            role: Role::Roamer { max_pause: 10 * MINUTE },
+            role: Role::Roamer {
+                max_pause: 10 * MINUTE,
+            },
             speed: 1.5,
         };
         let mut rng = StdRng::seed_from_u64(9);

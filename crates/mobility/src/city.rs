@@ -74,7 +74,9 @@ impl City {
         let offices = (0..cfg.n_offices)
             .map(|_| place(rng, 2.0 * cfg.width / 3.0, cfg.width))
             .collect();
-        let pois = (0..cfg.n_pois).map(|_| place(rng, 0.0, cfg.width)).collect();
+        let pois = (0..cfg.n_pois)
+            .map(|_| place(rng, 0.0, cfg.width))
+            .collect();
         City {
             bounds,
             homes,

@@ -155,7 +155,9 @@ impl World {
         for agent in &agents {
             // A per-agent stream derived from the master seed keeps agents
             // independent of each other's sampling order.
-            let mut arng = StdRng::seed_from_u64(cfg.seed ^ (agent.user.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let mut arng = StdRng::seed_from_u64(
+                cfg.seed ^ (agent.user.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
             for day in 0..cfg.days {
                 let trace = agent.simulate_day(&city, day, cfg.sample_interval, &mut arng);
                 for s in &trace.samples {
@@ -223,20 +225,26 @@ impl World {
 
     /// The home rectangle of an agent, if it has one.
     pub fn home_of(&self, user: UserId) -> Option<Rect> {
-        self.agents.iter().find(|a| a.user == user).and_then(|a| match &a.role {
-            Role::Commuter { home, .. } | Role::PoiRegular { home, .. } => {
-                Some(self.city.homes[*home])
-            }
-            Role::Roamer { .. } => None,
-        })
+        self.agents
+            .iter()
+            .find(|a| a.user == user)
+            .and_then(|a| match &a.role {
+                Role::Commuter { home, .. } | Role::PoiRegular { home, .. } => {
+                    Some(self.city.homes[*home])
+                }
+                Role::Roamer { .. } => None,
+            })
     }
 
     /// The office rectangle of a commuter.
     pub fn office_of(&self, user: UserId) -> Option<Rect> {
-        self.agents.iter().find(|a| a.user == user).and_then(|a| match &a.role {
-            Role::Commuter { office, .. } => Some(self.city.offices[*office]),
-            _ => None,
-        })
+        self.agents
+            .iter()
+            .find(|a| a.user == user)
+            .and_then(|a| match &a.role {
+                Role::Commuter { office, .. } => Some(self.city.offices[*office]),
+                _ => None,
+            })
     }
 
     /// All commuter user ids.
@@ -344,10 +352,7 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = World::generate(&small());
-        let b = World::generate(&WorldConfig {
-            seed: 8,
-            ..small()
-        });
+        let b = World::generate(&WorldConfig { seed: 8, ..small() });
         assert_ne!(a.events, b.events);
     }
 

@@ -27,8 +27,7 @@ use crate::sha256::sha256_hex;
 pub const JOURNAL_VERSION: i64 = 1;
 
 /// `prev` of the first record: 64 hex zeros.
-pub const GENESIS_HASH: &str =
-    "0000000000000000000000000000000000000000000000000000000000000000";
+pub const GENESIS_HASH: &str = "0000000000000000000000000000000000000000000000000000000000000000";
 
 /// The hash of one record: covers version, sequence number, kind,
 /// canonical payload, and the previous record's hash.
@@ -73,8 +72,14 @@ impl JournalRecord {
             message: what.to_string(),
         };
         let value = json::parse(line.trim()).map_err(|e| bad(&e.to_string()))?;
-        let field = |name: &str| value.get(name).ok_or_else(|| bad(&format!("missing '{name}'")));
-        let version = field("v")?.as_int().ok_or_else(|| bad("'v' not an integer"))?;
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| bad(&format!("missing '{name}'")))
+        };
+        let version = field("v")?
+            .as_int()
+            .ok_or_else(|| bad("'v' not an integer"))?;
         let seq = field("seq")?
             .as_int()
             .and_then(|s| u64::try_from(s).ok())
@@ -358,7 +363,11 @@ impl fmt::Display for ChainError {
             ChainError::BadVersion { line, found } => {
                 write!(f, "line {line}: unsupported schema version {found}")
             }
-            ChainError::BadSequence { line, expected, found } => {
+            ChainError::BadSequence {
+                line,
+                expected,
+                found,
+            } => {
                 write!(f, "line {line}: expected seq {expected}, found {found}")
             }
             ChainError::BrokenLink { line } => {
@@ -411,6 +420,16 @@ impl ChainCursor {
             records: 0,
             head: GENESIS_HASH.to_string(),
         }
+    }
+
+    /// A cursor positioned mid-chain: the next admitted record must
+    /// carry sequence number `records` and chain from `head`. This is
+    /// how a verifier starts from a checkpoint anchor instead of
+    /// genesis — a truncated journal's leading `checkpoint` record
+    /// carries exactly this pair in its payload
+    /// ([`crate::checkpoint::CheckpointAnchor`]).
+    pub fn resume(records: u64, head: String) -> Self {
+        ChainCursor { records, head }
     }
 
     /// Records admitted so far (also the next expected sequence number).
@@ -483,16 +502,36 @@ pub struct JournalReader<R: BufRead> {
     line_no: usize,
     cursor: ChainCursor,
     done: bool,
+    at_start: bool,
 }
 
 impl<R: BufRead> JournalReader<R> {
-    /// A reader over `input`, expecting a chain that starts at genesis.
+    /// A reader over `input`, expecting a chain that starts at genesis
+    /// — or at a self-describing `checkpoint` anchor: when the first
+    /// record is a checkpoint record whose payload agrees with its own
+    /// chain position (see [`crate::checkpoint`]), the reader seeds its
+    /// cursor from that anchor so a truncated/archived journal suffix
+    /// verifies exactly like the full file it was cut from.
     pub fn new(input: R) -> Self {
         JournalReader {
             input,
             line_no: 0,
             cursor: ChainCursor::new(),
             done: false,
+            at_start: true,
+        }
+    }
+
+    /// A reader resuming mid-chain: the first record must carry
+    /// sequence `records` and chain from `head`. No anchor
+    /// auto-detection — the caller already knows the position.
+    pub fn resume(input: R, records: u64, head: String) -> Self {
+        JournalReader {
+            input,
+            line_no: 0,
+            cursor: ChainCursor::resume(records, head),
+            done: false,
+            at_start: false,
         }
     }
 
@@ -532,6 +571,12 @@ impl<R: BufRead> Iterator for JournalReader<R> {
             if line.trim().is_empty() {
                 continue;
             }
+            if self.at_start {
+                self.at_start = false;
+                if let Some((records, head)) = crate::checkpoint::suffix_anchor(&line) {
+                    self.cursor = ChainCursor::resume(records, head);
+                }
+            }
             let result = self.cursor.admit(self.line_no, &line);
             if result.is_err() {
                 self.done = true;
@@ -558,12 +603,29 @@ pub fn verify_chain(reader: impl BufRead) -> Result<ChainReport, ChainError> {
 /// What [`recover`] found and did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Records in the surviving valid prefix.
+    /// Chain length after the surviving valid prefix: for a genesis
+    /// journal, the records in the file; for a checkpoint-anchored
+    /// suffix, the anchor's `records` plus the surviving suffix records.
     pub valid_records: u64,
     /// Bytes truncated off the end of the file (0 for a clean journal).
     pub truncated_bytes: u64,
     /// Hash of the last surviving record (genesis hash if none).
     pub head: String,
+}
+
+/// The first complete (newline-terminated), non-blank, UTF-8 line of
+/// `bytes`, if any. A torn or non-UTF-8 first line yields `None`.
+fn first_complete_line(bytes: &[u8]) -> Option<&str> {
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let nl = bytes[offset..].iter().position(|&b| b == b'\n')?;
+        let line = std::str::from_utf8(&bytes[offset..offset + nl]).ok()?;
+        if !line.trim().is_empty() {
+            return Some(line);
+        }
+        offset += nl + 1;
+    }
+    None
 }
 
 /// Recovers a journal file after a crash mid-write.
@@ -581,6 +643,19 @@ pub struct RecoveryReport {
 /// chained from the surviving head, plus a [`RecoveryReport`]. An
 /// empty or missing file recovers to a fresh genesis journal.
 ///
+/// A journal whose first record is a self-describing `checkpoint`
+/// anchor (a suffix left by prefix truncation — see
+/// [`crate::checkpoint`]) recovers from that anchor: the cursor is
+/// seeded with the anchor's `(records, head)` and `valid_records`
+/// counts the *chain* length, prefix included. A first record that
+/// claims to be a checkpoint anchor but whose payload disagrees with
+/// its own chain position is refused with
+/// [`io::ErrorKind::InvalidData`] — the file is left untouched rather
+/// than truncated to nothing, because every byte of a suffix journal
+/// hangs off its anchor and "recovering" past a bad one would silently
+/// discard the whole suffix (fail-open). Higher layers fall back to an
+/// earlier checkpoint or a genesis replay instead.
+///
 /// When bytes were actually truncated the recovery itself is made
 /// visible downstream: the returned journal has already appended a
 /// `journal.recovered` record (payload `{truncated_bytes,
@@ -589,9 +664,7 @@ pub struct RecoveryReport {
 /// The [`RecoveryReport`] describes the state *before* that append
 /// (`head` is the last surviving record's hash), so callers can still
 /// distinguish what the crash left from what recovery wrote.
-pub fn recover(
-    path: &std::path::Path,
-) -> io::Result<(Journal<std::fs::File>, RecoveryReport)> {
+pub fn recover(path: &std::path::Path) -> io::Result<(Journal<std::fs::File>, RecoveryReport)> {
     use std::io::{Read, Seek};
 
     let mut file = std::fs::OpenOptions::new()
@@ -604,6 +677,21 @@ pub fn recover(
     file.read_to_end(&mut bytes)?;
 
     let mut cursor = ChainCursor::new();
+    // A truncated journal begins at its checkpoint anchor, not genesis:
+    // seed the cursor from a consistent leading anchor, refuse an
+    // inconsistent one (fail-closed — see the function docs).
+    if let Some(first) = first_complete_line(&bytes) {
+        match crate::checkpoint::leading_anchor(first) {
+            Ok(Some((records, head))) => cursor = ChainCursor::resume(records, head),
+            Ok(None) => {}
+            Err(reason) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("refusing to recover {}: {reason}", path.display()),
+                ));
+            }
+        }
+    }
     let mut valid_end = 0usize; // byte offset one past the last valid record
     let mut offset = 0usize;
     while offset < bytes.len() {
@@ -699,7 +787,10 @@ mod tests {
 
     #[test]
     fn failed_append_leaves_state_untouched_so_retry_rechains() {
-        let mut journal = Journal::new(Faucet { bytes: Vec::new(), fail: false });
+        let mut journal = Journal::new(Faucet {
+            bytes: Vec::new(),
+            fail: false,
+        });
         journal.append("a", Json::Int(1)).unwrap();
         journal.sink.fail = true;
         assert!(journal.append("b", Json::Int(2)).is_err());
@@ -751,7 +842,11 @@ mod tests {
             .collect();
         assert!(matches!(
             verify_chain(without_third.as_bytes()),
-            Err(ChainError::BadSequence { line: 3, expected: 2, found: 3 })
+            Err(ChainError::BadSequence {
+                line: 3,
+                expected: 2,
+                found: 3
+            })
         ));
     }
 
@@ -771,7 +866,9 @@ mod tests {
     #[test]
     fn wrong_version_is_rejected() {
         let bytes = build_journal(2);
-        let text = String::from_utf8(bytes).unwrap().replace("\"v\":1", "\"v\":2");
+        let text = String::from_utf8(bytes)
+            .unwrap()
+            .replace("\"v\":1", "\"v\":2");
         assert!(matches!(
             verify_chain(text.as_bytes()),
             Err(ChainError::BadVersion { line: 1, found: 2 })
@@ -793,10 +890,8 @@ mod tests {
 
     impl TempPath {
         fn new(tag: &str) -> Self {
-            let path = std::env::temp_dir().join(format!(
-                "hka-journal-{}-{tag}.jsonl",
-                std::process::id()
-            ));
+            let path = std::env::temp_dir()
+                .join(format!("hka-journal-{}-{tag}.jsonl", std::process::id()));
             let _ = std::fs::remove_file(&path);
             TempPath(path)
         }
@@ -897,8 +992,7 @@ mod tests {
     fn streaming_reader_matches_verify_chain() {
         let bytes = build_journal(10);
         let mut reader = JournalReader::new(&bytes[..]);
-        let streamed: Vec<JournalRecord> =
-            reader.by_ref().collect::<Result<_, _>>().unwrap();
+        let streamed: Vec<JournalRecord> = reader.by_ref().collect::<Result<_, _>>().unwrap();
         let report = verify_chain(&bytes[..]).unwrap();
         assert_eq!(streamed, report.records);
         assert_eq!(reader.head(), report.head);
@@ -977,8 +1071,7 @@ mod tests {
             let mut batch: Vec<(String, Json)> = Vec::new();
             for (i, e) in events.iter().enumerate() {
                 batch.push(e.clone());
-                let boundary =
-                    i + 1 == events.len() || split_mask & (1 << i) != 0;
+                let boundary = i + 1 == events.len() || split_mask & (1 << i) != 0;
                 if boundary {
                     let first = journal.next_seq();
                     let range = journal.append_batch(&batch).unwrap();
@@ -1005,9 +1098,13 @@ mod tests {
 
     #[test]
     fn failed_batch_leaves_state_untouched_so_retry_rechains() {
-        let batch: Vec<(String, Json)> =
-            (0..4).map(|i| ("b".to_string(), sample_payload(i))).collect();
-        let mut journal = Journal::new(Faucet { bytes: Vec::new(), fail: false });
+        let batch: Vec<(String, Json)> = (0..4)
+            .map(|i| ("b".to_string(), sample_payload(i)))
+            .collect();
+        let mut journal = Journal::new(Faucet {
+            bytes: Vec::new(),
+            fail: false,
+        });
         journal.append("a", Json::Int(1)).unwrap();
         journal.sink.fail = true;
         assert!(journal.append_batch(&batch).is_err());
@@ -1023,8 +1120,9 @@ mod tests {
     #[test]
     fn recover_truncates_torn_batch_to_last_valid_record() {
         let tmp = TempPath::new("torn-batch");
-        let batch: Vec<(String, Json)> =
-            (0..5).map(|i| ("b".to_string(), sample_payload(i))).collect();
+        let batch: Vec<(String, Json)> = (0..5)
+            .map(|i| ("b".to_string(), sample_payload(i)))
+            .collect();
         let mut journal = Journal::new(Vec::new());
         journal.append_batch(&batch).unwrap();
         let bytes = journal.into_inner();
@@ -1075,5 +1173,83 @@ mod tests {
         let report = recover_append_verify(&tmp.0, 2);
         assert_eq!(report.valid_records, 7);
         assert_eq!(report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn recover_exact_record_boundary_appends_no_marker() {
+        // A file ending exactly on a record boundary (trailing newline
+        // present, nothing after it) is clean: no truncation, no
+        // `journal.recovered` marker, resume exactly at the next seq.
+        let tmp = TempPath::new("boundary");
+        let bytes = build_journal(4);
+        assert_eq!(*bytes.last().unwrap(), b'\n');
+        std::fs::write(&tmp.0, &bytes).unwrap();
+        let report = recover_append_verify(&tmp.0, 0);
+        assert_eq!(report.valid_records, 4);
+        assert_eq!(report.truncated_bytes, 0);
+        let chain = verify_chain(&std::fs::read(&tmp.0).unwrap()[..]).unwrap();
+        assert!(chain.records.iter().all(|r| r.kind != "journal.recovered"));
+    }
+
+    #[test]
+    fn recover_torn_first_line_only_journals_one_marker() {
+        // A file whose only content is a torn first line: nothing
+        // survives, the torn bytes are truncated, and exactly one
+        // `journal.recovered` marker (valid_records 0) starts a fresh
+        // genesis chain.
+        let tmp = TempPath::new("torn-first");
+        let full = build_journal(1);
+        std::fs::write(&tmp.0, &full[..full.len() / 2]).unwrap();
+
+        let report = recover_append_verify(&tmp.0, 1);
+        assert_eq!(report.valid_records, 0);
+        assert_eq!(report.truncated_bytes, (full.len() / 2) as u64);
+        assert_eq!(report.head, GENESIS_HASH);
+        let chain = verify_chain(&std::fs::read(&tmp.0).unwrap()[..]).unwrap();
+        assert_eq!(chain.records[0].kind, "journal.recovered");
+        assert_eq!(
+            chain.records[0]
+                .payload
+                .get("valid_records")
+                .unwrap()
+                .as_int(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn recover_is_idempotent_and_marker_rule_is_consistent() {
+        // The marker rule, pinned: exactly one `journal.recovered` per
+        // recovery that truncated bytes, none otherwise. Re-recovering
+        // an already-recovered file is a clean no-op — no second marker.
+        for (tag, torn_cut) in [("idem-zero", None), ("idem-torn", Some(9))] {
+            let tmp = TempPath::new(tag);
+            let bytes = build_journal(3);
+            let keep = torn_cut.map_or(bytes.len(), |c| bytes.len() - c);
+            std::fs::write(&tmp.0, &bytes[..keep]).unwrap();
+
+            let (journal, first) = recover(&tmp.0).unwrap();
+            drop(journal);
+            assert_eq!(first.truncated_bytes > 0, torn_cut.is_some());
+
+            let (journal, second) = recover(&tmp.0).unwrap();
+            drop(journal);
+            assert_eq!(
+                second.truncated_bytes, 0,
+                "{tag}: second pass truncates nothing"
+            );
+
+            let chain = verify_chain(&std::fs::read(&tmp.0).unwrap()[..]).unwrap();
+            let markers = chain
+                .records
+                .iter()
+                .filter(|r| r.kind == "journal.recovered")
+                .count();
+            assert_eq!(
+                markers,
+                usize::from(torn_cut.is_some()),
+                "{tag}: marker count"
+            );
+        }
     }
 }

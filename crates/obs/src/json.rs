@@ -33,12 +33,7 @@ pub enum Json {
 impl Json {
     /// Builds an object from key/value pairs.
     pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// The string value, if this is a string.
@@ -196,7 +191,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -314,12 +313,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole run up to the next quote or
+                    // escape and validate just that slice — validating
+                    // from `pos` to the end of input per character
+                    // would make parsing quadratic in document size
+                    // (ruinous for multi-megabyte checkpoint
+                    // snapshots). Quote and backslash can't appear
+                    // inside a multi-byte scalar (UTF-8 continuation
+                    // bytes are ≥ 0x80), so the byte scan is safe.
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("peek saw a byte");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -351,8 +359,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if is_float {
             text.parse::<f64>()
                 .map(Json::Num)
@@ -466,10 +474,9 @@ mod tests {
     #[test]
     fn parses_whitespace_and_exponents() {
         let v = parse(" { \"a\" : [ 1 , -2.5e2 , true ] } ").unwrap();
-        assert_eq!(v.get("a").unwrap(), &Json::Arr(vec![
-            Json::Int(1),
-            Json::Num(-250.0),
-            Json::Bool(true),
-        ]));
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::Int(1), Json::Num(-250.0), Json::Bool(true),])
+        );
     }
 }

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod journal;
 pub mod json;
 pub mod metrics;
@@ -28,15 +29,16 @@ pub mod span;
 pub mod stage;
 pub mod tail;
 
+pub use checkpoint::{CheckpointAnchor, Snapshot, CHECKPOINT_KIND, SNAPSHOT_VERSION};
 pub use journal::{
     event_hash, recover, verify_chain, BoxedJournal, ChainCursor, ChainError, ChainReport,
     DurableJournal, DurableSink, Journal, JournalReader, JournalRecord, RecoveryReport, Unsynced,
     GENESIS_HASH, JOURNAL_VERSION,
 };
-pub use tail::{JournalTailer, TailBatch, TailedRecord};
 pub use json::Json;
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 pub use ring::RingBuffer;
 pub use span::{span, SpanGuard};
+pub use tail::{JournalTailer, TailBatch, TailedRecord};

@@ -137,7 +137,11 @@ impl Histogram {
         HistogramSnapshot {
             count,
             sum,
-            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
             max: self.max.load(Ordering::Relaxed),
             p50: percentile(0.50),
             p95: percentile(0.95),
@@ -195,9 +199,7 @@ impl HistogramSnapshot {
                 "buckets",
                 Json::Arr(
                     self.nonzero_buckets()
-                        .map(|(bound, count)| {
-                            Json::Arr(vec![Json::from(bound), Json::from(count)])
-                        })
+                        .map(|(bound, count)| Json::Arr(vec![Json::from(bound), Json::from(count)]))
                         .collect(),
                 ),
             ),
@@ -438,10 +440,7 @@ mod tests {
     fn empty_histogram_snapshot_is_zero() {
         let h = Histogram::default();
         let s = h.snapshot();
-        assert_eq!(
-            (s.count, s.sum, s.mean, s.p50, s.p99),
-            (0, 0, 0.0, 0, 0)
-        );
+        assert_eq!((s.count, s.sum, s.mean, s.p50, s.p99), (0, 0, 0.0, 0, 0));
     }
 
     #[test]
@@ -477,7 +476,10 @@ mod tests {
         r.counter("x").incr();
         r.histogram("lat").record(2048);
         let json = r.snapshot().to_json();
-        assert_eq!(json.get("counters").unwrap().get("x").unwrap().as_int(), Some(1));
+        assert_eq!(
+            json.get("counters").unwrap().get("x").unwrap().as_int(),
+            Some(1)
+        );
         let lat = json.get("histograms").unwrap().get("lat").unwrap();
         assert_eq!(lat.get("count").unwrap().as_int(), Some(1));
     }

@@ -68,12 +68,19 @@ pub struct JournalTailer {
     cursor: ChainCursor,
     /// The first chain failure, sticky: a journal is unusable past it.
     failed: Option<ChainError>,
+    /// True until the first complete line is seen: a tailer opened at
+    /// the start of a file may find a checkpoint-anchored suffix there
+    /// and seed its cursor from the anchor.
+    at_start: bool,
 }
 
 impl JournalTailer {
     /// A tailer positioned at the start of `path`. The file does not
     /// need to exist yet — polls before the writer's first append
-    /// return empty batches.
+    /// return empty batches. Like the offline reader, a first record
+    /// that is a self-consistent `checkpoint` anchor (a truncated
+    /// journal suffix — see [`crate::checkpoint`]) seeds the cursor
+    /// from the anchor instead of genesis.
     pub fn open(path: &Path) -> Self {
         JournalTailer {
             path: path.to_path_buf(),
@@ -81,6 +88,22 @@ impl JournalTailer {
             line_no: 0,
             cursor: ChainCursor::new(),
             failed: None,
+            at_start: true,
+        }
+    }
+
+    /// A tailer resuming mid-file: the next record starts at byte
+    /// `offset` and must carry sequence `records` chained from `head`.
+    /// This is how a watcher restarts from a checkpoint instead of
+    /// re-verifying from the start of the file.
+    pub fn resume(path: &Path, offset: u64, records: u64, head: String) -> Self {
+        JournalTailer {
+            path: path.to_path_buf(),
+            offset,
+            line_no: 0,
+            cursor: ChainCursor::resume(records, head),
+            failed: None,
+            at_start: false,
         }
     }
 
@@ -184,6 +207,12 @@ impl JournalTailer {
             };
             self.line_no += 1;
             if !line.trim().is_empty() {
+                if self.at_start {
+                    self.at_start = false;
+                    if let Some((records, head)) = crate::checkpoint::suffix_anchor(line) {
+                        self.cursor = ChainCursor::resume(records, head);
+                    }
+                }
                 match self.cursor.admit(self.line_no, line) {
                     Ok(record) => batch.records.push(TailedRecord {
                         offset: record_offset,
@@ -219,10 +248,8 @@ mod tests {
 
     impl TempPath {
         fn new(tag: &str) -> Self {
-            let path = std::env::temp_dir().join(format!(
-                "hka-tail-{}-{tag}.jsonl",
-                std::process::id()
-            ));
+            let path =
+                std::env::temp_dir().join(format!("hka-tail-{}-{tag}.jsonl", std::process::id()));
             let _ = std::fs::remove_file(&path);
             TempPath(path)
         }
@@ -400,7 +427,10 @@ mod tests {
         let torn = &journal_bytes(0..5)[text.len()..];
         let half = &torn[..torn.len() / 2];
         {
-            let mut f = std::fs::OpenOptions::new().append(true).open(&tmp.0).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&tmp.0)
+                .unwrap();
             f.write_all(half).unwrap();
         }
         let batch = tailer.poll().unwrap();
@@ -417,8 +447,11 @@ mod tests {
         drop(journal);
 
         let batch = tailer.poll().unwrap();
-        let kinds: Vec<&str> =
-            batch.records.iter().map(|r| r.record.kind.as_str()).collect();
+        let kinds: Vec<&str> = batch
+            .records
+            .iter()
+            .map(|r| r.record.kind.as_str())
+            .collect();
         assert_eq!(kinds, vec!["journal.recovered", "post.recovery"]);
         assert_eq!(batch.torn_bytes, 0);
         assert!(tailer.offset() > offset_before_crash);

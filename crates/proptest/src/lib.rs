@@ -339,8 +339,8 @@ where
 /// Everything a property-test file needs.
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        Just, ProptestConfig, Strategy, TestCaseError,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -434,7 +434,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
         let _ = r;
     }};
@@ -504,9 +506,7 @@ mod tests {
         super::run_proptest(
             &ProptestConfig::with_cases(8),
             "failing",
-            |_rng| -> Result<(), TestCaseError> {
-                Err(TestCaseError::Fail("forced".into()))
-            },
+            |_rng| -> Result<(), TestCaseError> { Err(TestCaseError::Fail("forced".into())) },
         );
     }
 }

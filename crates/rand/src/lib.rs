@@ -69,10 +69,7 @@ pub mod rngs {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ (Blackman & Vigna, public domain reference).
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -182,7 +179,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..100 {
-            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
         }
         let mut c = StdRng::seed_from_u64(43);
         let sa: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
@@ -221,6 +221,9 @@ mod tests {
         let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
         assert!((2_000..3_000).contains(&hits), "{hits}");
         assert!(!rng.random_bool(0.0));
-        assert!(rng.random_bool(1.0), "p = 1 always hits: unit draw is in [0,1)");
+        assert!(
+            rng.random_bool(1.0),
+            "p = 1 always hits: unit draw is in [0,1)"
+        );
     }
 }

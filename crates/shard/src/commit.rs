@@ -72,6 +72,31 @@ impl GroupCommit {
         self.journal
     }
 
+    /// The sink's chain position: `(next_seq, head)`. Only meaningful
+    /// between commits with an empty pending batch — the coordinator's
+    /// checkpoint path enforces that.
+    pub fn position(&self) -> (u64, String) {
+        (self.journal.next_seq(), self.journal.head().to_string())
+    }
+
+    /// Appends one record directly and durably (append + flush + fsync),
+    /// bypassing the pending batch and the retry/backoff bookkeeping —
+    /// the checkpoint anchor's path. A failure here neither escalates
+    /// `failures` nor backs off: the caller (the checkpointer) treats it
+    /// as "this checkpoint didn't happen" and the regular event flow's
+    /// health ladder is unaffected. Refused while the sink is down.
+    pub fn append_now(&mut self, kind: &str, payload: Json) -> std::io::Result<u64> {
+        if self.down {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "journal sink is down",
+            ));
+        }
+        let seq = self.journal.append(kind, payload)?;
+        self.journal.commit()?;
+        Ok(seq)
+    }
+
     /// Attempts to commit the pending batch: one `append_batch` per
     /// attempt, then a single flush + fsync. On success `pending` is
     /// cleared; on append failure it is retained for a byte-identical

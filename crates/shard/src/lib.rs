@@ -65,17 +65,23 @@ use crate::commit::GroupCommit;
 use crate::serial::{shard_of, Coordinator, SerialHost};
 use crate::worker::{ShardState, Work, WorkKind};
 use hka_anonymity::{historical_k_anonymity, HkOutcome, MsgId, Pseudonym, ServiceId, SpRequest};
+use hka_core::checkpoint::{
+    stats_to_json, AUDIT_SECTION, SERVER_SECTION, STATS_SECTION, STORE_SECTION,
+};
 use hka_core::strategy::{self, PatternState, UserState};
 use hka_core::{
-    EventLog, JournalHealth, PrivacyIndicator, PrivacyLevel, RequestOutcome, RetryPolicy,
-    ServerMode, Tolerance, TsConfig, TsError, TsStats,
+    CheckpointReceipt, Checkpointer, EventLog, JournalHealth, PrivacyIndicator, PrivacyLevel,
+    RequestOutcome, RetryPolicy, ServerMeta, ServerMode, Tolerance, TsConfig, TsError, TsStats,
+    UserMeta,
 };
-use hka_faults::FaultInjector;
+use hka_faults::{sites, FaultInjector};
 use hka_geo::{Rect, StBox, StPoint};
 use hka_lbqid::{Lbqid, Monitor};
-use hka_obs::DurableJournal;
+use hka_obs::checkpoint::{anchor_payload, Snapshot};
+use hka_obs::{DurableJournal, CHECKPOINT_KIND};
 use hka_trajectory::{TrajectoryStore, UserId};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// Classification metadata the scheduler keeps outside the shards, so
 /// submissions can be routed without touching (possibly busy) worker
@@ -360,6 +366,238 @@ impl ShardedTs {
     }
 
     // ------------------------------------------------------------------
+    // Checkpoints: the coordinated cross-shard variant of
+    // `hka_core::checkpoint` (same snapshot codecs, fault sites,
+    // metrics, and recovery ladder).
+    // ------------------------------------------------------------------
+
+    /// The group-commit sink's chain position `(records, head)`, or
+    /// `None` when no journal is attached. Meaningful only at a commit
+    /// barrier with nothing pending — exactly where
+    /// [`ShardedTs::write_checkpoint`] reads it.
+    pub fn journal_position(&self) -> Option<(u64, String)> {
+        self.co.journal.as_ref().map(|sink| sink.position())
+    }
+
+    /// The `server` snapshot section: per-user bindings merged across
+    /// all shards in ascending user order, so the bytes are identical to
+    /// the sequential server's
+    /// [`server_meta`](hka_core::TrustedServer::server_meta) for the
+    /// same state.
+    pub fn server_meta(&self) -> ServerMeta {
+        let mut users: Vec<UserMeta> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.users.iter())
+            .map(|(user, st)| UserMeta {
+                user: *user,
+                pseudonym: st.pseudonym,
+                params: st.params,
+                overrides: st.overrides.iter().map(|(svc, p)| (*svc, *p)).collect(),
+                at_risk: st.at_risk,
+            })
+            .collect();
+        users.sort_by_key(|u| u.user);
+        ServerMeta {
+            mode: self.co.mode,
+            last_time: self.co.last_time,
+            next_msg: self.co.next_msg,
+            next_pseudonym: self.co.next_pseudonym,
+            services: self
+                .co
+                .services
+                .iter()
+                .map(|(id, tol)| (*id, *tol))
+                .collect(),
+            static_zones: self.co.mixzones.static_zones().to_vec(),
+            users,
+        }
+    }
+
+    /// Writes a **coordinated cross-shard checkpoint** at an epoch
+    /// boundary: drains the queue to quiescence (a barrier), commits the
+    /// pending batch so the on-disk chain covers every folded event,
+    /// snapshots the union of all shards (merged store + merged server
+    /// meta + stats + resumed audit state), publishes it atomically
+    /// through the [`Checkpointer`], and anchors it into the chain with
+    /// a direct durable append on the group-commit sink.
+    ///
+    /// The snapshot is the *global* state — shard count is not part of
+    /// it — so it restores into [`ShardedTs::restore`] with any shard
+    /// count, or into the sequential
+    /// [`TrustedServer::restore`](hka_core::TrustedServer::restore).
+    ///
+    /// Fail-closed refusals: no journal attached, a non-empty pending
+    /// batch after the commit attempt (a degraded sink would leave the
+    /// snapshot claiming events the chain doesn't have), or an audit
+    /// position diverging from the sink's. On any error the previous
+    /// checkpoint (or genesis) stays authoritative and the server keeps
+    /// serving; `ts.checkpoint_failures` counts the attempt.
+    ///
+    /// Journal-prefix truncation is deliberately **not** offered on this
+    /// path: the group-commit sink cannot be detached around the
+    /// inode swap mid-run. Truncate offline instead — after
+    /// [`ShardedTs::take_journal`], call
+    /// [`truncate_to_anchor`](hka_obs::checkpoint::truncate_to_anchor)
+    /// and re-attach a fresh sink.
+    pub fn write_checkpoint(
+        &mut self,
+        cp: &mut Checkpointer,
+    ) -> std::io::Result<CheckpointReceipt> {
+        let started = Instant::now();
+        let result = self.try_write_checkpoint(cp, started);
+        if result.is_err() {
+            cp.note_failed();
+        }
+        result
+    }
+
+    fn try_write_checkpoint(
+        &mut self,
+        cp: &mut Checkpointer,
+        started: Instant,
+    ) -> std::io::Result<CheckpointReceipt> {
+        fn invalid(msg: &str) -> std::io::Error {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+        }
+        self.flush();
+        self.co.commit();
+        if !self.co.pending.is_empty() {
+            return Err(invalid(
+                "pending events not durably committed: refusing to snapshot ahead of the chain",
+            ));
+        }
+        let (records, head) = self
+            .journal_position()
+            .ok_or_else(|| invalid("no journal attached: nothing to anchor a checkpoint into"))?;
+        let audit_state = cp.audit_state_at(records, &head)?;
+
+        let mut snapshot = Snapshot::new(records, head.clone());
+        snapshot.set_section(
+            STORE_SECTION,
+            hka_trajectory::state::store_to_json(&self.merged_store()),
+        );
+        snapshot.set_section(SERVER_SECTION, self.server_meta().to_json());
+        snapshot.set_section(STATS_SECTION, stats_to_json(&self.stats()));
+        snapshot.set_section(AUDIT_SECTION, audit_state);
+
+        let (path, hash, bytes) = cp.publish_snapshot(&snapshot)?;
+
+        if cp.check_site(sites::CHECKPOINT_APPEND).is_some() {
+            return Err(std::io::Error::other(format!(
+                "injected fault at {}",
+                sites::CHECKPOINT_APPEND
+            )));
+        }
+        let file_name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .ok_or_else(|| invalid("snapshot path has no file name"))?;
+        let sink = self
+            .co
+            .journal
+            .as_mut()
+            .expect("position above proved a sink is attached");
+        let seq = sink.append_now(
+            CHECKPOINT_KIND,
+            anchor_payload(&file_name, records, &head, &hash),
+        )?;
+        debug_assert_eq!(seq, records, "anchor seq equals the records it covers");
+        cp.note_committed(&path, bytes, records, started);
+        Ok(CheckpointReceipt {
+            seq,
+            path,
+            snapshot_hash: hash,
+            bytes,
+            truncated_bytes: 0,
+        })
+    }
+
+    /// Rebuilds a sharded server from a checkpoint snapshot, re-hashing
+    /// users (and their PHL partitions) across `shards` workers — the
+    /// snapshot is shard-count-free, so recovery may scale the fleet up
+    /// or down. The same conservative-restart rules as the sequential
+    /// [`TrustedServer::restore`](hka_core::TrustedServer::restore)
+    /// apply: LBQID monitors restart empty (re-attach them), and no
+    /// journal is attached (re-attach one, resuming the chain, before
+    /// serving).
+    pub fn restore(config: TsConfig, shards: usize, snapshot: &Snapshot) -> Result<Self, String> {
+        use hka_core::checkpoint;
+
+        let store = hka_trajectory::state::store_of_json(
+            snapshot
+                .section(STORE_SECTION)
+                .ok_or("snapshot has no 'store' section")?,
+        )?;
+        let meta = ServerMeta::of_json(
+            snapshot
+                .section(SERVER_SECTION)
+                .ok_or("snapshot has no 'server' section")?,
+        )?;
+        let stats = checkpoint::stats_of_json(
+            snapshot
+                .section(STATS_SECTION)
+                .ok_or("snapshot has no 'stats' section")?,
+        )?;
+
+        let mut sharded = ShardedTs::new(config, shards);
+        let n = sharded.shards.len();
+        for (user, phl) in store.iter() {
+            let shard = &mut sharded.shards[shard_of(n, user)];
+            shard.store.ensure_user(user);
+            for p in phl.points() {
+                shard.store.record(user, *p);
+                shard.index.insert(user, *p);
+            }
+        }
+        for (id, tol) in &meta.services {
+            sharded.co.services.insert(*id, *tol);
+            for shard in &mut sharded.shards {
+                shard.services.insert(*id, *tol);
+            }
+        }
+        for zone in &meta.static_zones {
+            sharded.co.mixzones.add_static_zone(*zone);
+            for shard in &mut sharded.shards {
+                shard.static_zones.push(*zone);
+            }
+        }
+        for u in &meta.users {
+            let shard = &mut sharded.shards[shard_of(n, u.user)];
+            shard.store.ensure_user(u.user);
+            shard.users.insert(
+                u.user,
+                UserState {
+                    pseudonym: u.pseudonym,
+                    params: u.params,
+                    overrides: u.overrides.iter().cloned().collect(),
+                    monitors: Vec::new(),
+                    patterns: Vec::new(),
+                    at_risk: u.at_risk,
+                },
+            );
+            sharded.registered.insert(u.user);
+            sharded.privacy.insert(
+                u.user,
+                PrivacyMeta {
+                    base_on: u.params.is_some(),
+                    overrides: u
+                        .overrides
+                        .iter()
+                        .map(|(svc, p)| (*svc, p.is_some()))
+                        .collect(),
+                },
+            );
+        }
+        sharded.co.log.restore_stats(stats);
+        sharded.co.next_msg = meta.next_msg;
+        sharded.co.next_pseudonym = meta.next_pseudonym;
+        sharded.co.last_time = meta.last_time;
+        sharded.co.mode = meta.mode;
+        Ok(sharded)
+    }
+
+    // ------------------------------------------------------------------
     // Submission API.
     // ------------------------------------------------------------------
 
@@ -423,9 +661,7 @@ impl ShardedTs {
                         hka_obs::global().counter("ts.requests").incr();
                         self.outcomes
                             .push((pos, user, Err(TsError::UnknownUser(user))));
-                    } else if !self.co.serialize_all
-                        && !self.privacy[&user].on_for(service)
-                    {
+                    } else if !self.co.serialize_all && !self.privacy[&user].on_for(service) {
                         staged[shard_of(n, user)].push(Work {
                             pos,
                             user,
@@ -711,5 +947,245 @@ impl std::fmt::Debug for ShardedTs {
             .field("epoch", &self.epoch)
             .field("mode", &self.co.mode)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_audit::AuditConfig;
+    use hka_core::TrustedServer;
+    use hka_faults::{FaultKind, FaultPlan, Trigger};
+    use hka_geo::{Point, TimeSec};
+    use hka_obs::{DurableSink, Journal};
+    use std::path::{Path, PathBuf};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path =
+                std::env::temp_dir().join(format!("hka-shard-ckpt-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    fn durable_file_journal(path: &Path) -> DurableJournal {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap();
+        Journal::new(Box::new(file) as Box<dyn DurableSink>)
+    }
+
+    fn boxed_file_journal(path: &Path) -> hka_obs::BoxedJournal {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap();
+        Journal::new(Box::new(std::io::BufWriter::new(file)))
+    }
+
+    /// The identical traffic script for either frontend: six users
+    /// (privacy alternating Medium/Off), five location updates and one
+    /// request each.
+    fn traffic(mut run: impl FnMut(Op)) {
+        for u in 0..6u64 {
+            let level = if u % 2 == 0 {
+                PrivacyLevel::Medium
+            } else {
+                PrivacyLevel::Off
+            };
+            run(Op::Reg(UserId(u), level));
+            for t in 0..5 {
+                run(Op::Loc(
+                    UserId(u),
+                    sp(10.0 * u as f64, 3.0 * t as f64, 60 * t),
+                ));
+            }
+            run(Op::Req(
+                UserId(u),
+                sp(10.0 * u as f64, 20.0, 400),
+                ServiceId(1),
+            ));
+        }
+    }
+
+    enum Op {
+        Reg(UserId, PrivacyLevel),
+        Loc(UserId, StPoint),
+        Req(UserId, StPoint, ServiceId),
+    }
+
+    fn busy_sharded(dir: &Path, shards: usize) -> (ShardedTs, PathBuf) {
+        let journal = dir.join("shard-journal.jsonl");
+        let mut ts = ShardedTs::new(TsConfig::default(), shards);
+        // Serialize everything: the sharded server then replays the
+        // sequential id allocation, making runs comparable byte for byte.
+        ts.attach_faults(FaultInjector::none());
+        ts.attach_journal(durable_file_journal(&journal));
+        ts.register_service(ServiceId(1), Tolerance::new(1e8, 7_200));
+        ts.add_static_mixzone(Rect::new(
+            Point::new(500.0, 500.0),
+            Point::new(600.0, 600.0),
+        ));
+        traffic(|op| match op {
+            Op::Reg(u, level) => {
+                ts.register_user(u, level);
+            }
+            Op::Loc(u, at) => ts.location_update(u, at),
+            Op::Req(u, at, svc) => {
+                let _ = ts.request_now(u, at, svc);
+            }
+        });
+        (ts, journal)
+    }
+
+    #[test]
+    fn coordinated_checkpoint_matches_the_sequential_snapshot_byte_for_byte() {
+        let dir = TempDir::new("coord");
+        let seq_journal = dir.0.join("seq-journal.jsonl");
+        let mut seq = TrustedServer::new(TsConfig::default());
+        seq.attach_journal(boxed_file_journal(&seq_journal));
+        seq.register_service(ServiceId(1), Tolerance::new(1e8, 7_200));
+        seq.add_static_mixzone(Rect::new(
+            Point::new(500.0, 500.0),
+            Point::new(600.0, 600.0),
+        ));
+        traffic(|op| match op {
+            Op::Reg(u, level) => {
+                seq.register_user(u, level);
+            }
+            Op::Loc(u, at) => seq.location_update(u, at),
+            Op::Req(u, at, svc) => {
+                let _ = seq.handle_request(u, at, svc);
+            }
+        });
+        let (mut shd, shd_journal) = busy_sharded(&dir.0, 3);
+
+        let mut cp_seq = Checkpointer::new(&seq_journal, dir.0.join("seq-snaps"));
+        let mut cp_shd = Checkpointer::new(&shd_journal, dir.0.join("shd-snaps"));
+        let a = cp_seq.checkpoint(&mut seq, false).unwrap();
+        let b = shd.write_checkpoint(&mut cp_shd).unwrap();
+
+        // Same chain position, same snapshot bytes (the hash covers the
+        // whole file), and — because the anchor payload only names the
+        // file, not the directory — the same journal bytes end to end.
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.snapshot_hash, b.snapshot_hash);
+        assert_eq!(
+            std::fs::read(&seq_journal).unwrap(),
+            std::fs::read(&shd_journal).unwrap()
+        );
+    }
+
+    #[test]
+    fn sharded_anchor_resumes_the_audit_byte_identically() {
+        let dir = TempDir::new("audit");
+        let (mut shd, journal) = busy_sharded(&dir.0, 4);
+        let mut cp = Checkpointer::new(&journal, dir.0.join("snaps"));
+        let receipt = shd.write_checkpoint(&mut cp).unwrap();
+
+        // Suffix traffic after the anchor.
+        for u in 0..6u64 {
+            let _ = shd.request_now(UserId(u), sp(10.0 * u as f64, 25.0, 700), ServiceId(1));
+        }
+        shd.flush_journal().unwrap();
+
+        let genesis = hka_audit::replay_file(&journal, AuditConfig::default()).unwrap();
+        let resumed = hka_audit::resume_from_snapshot(&journal, &receipt.path).unwrap();
+        assert!(genesis.chain.verified(), "{:?}", genesis.chain.error);
+        assert_eq!(genesis.totals.checkpoints, 1);
+        assert_eq!(resumed.to_json().to_string(), genesis.to_json().to_string());
+    }
+
+    #[test]
+    fn sharded_checkpoint_restores_with_a_different_shard_count() {
+        let dir = TempDir::new("restore");
+        let (mut shd, journal) = busy_sharded(&dir.0, 3);
+        let mut cp = Checkpointer::new(&journal, dir.0.join("snaps"));
+        shd.write_checkpoint(&mut cp).unwrap();
+
+        let (found, skipped) = cp.latest_valid().unwrap();
+        assert!(skipped.is_empty());
+        let rec = found.expect("checkpoint recovered");
+
+        // Scale the fleet from 3 to 5 shards on restore: the snapshot is
+        // shard-count-free, so the merged view must be unchanged.
+        let restored = ShardedTs::restore(TsConfig::default(), 5, &rec.snapshot).unwrap();
+        assert_eq!(restored.shard_count(), 5);
+        assert_eq!(restored.server_meta(), shd.server_meta());
+        assert_eq!(restored.stats(), shd.stats());
+        assert_eq!(
+            hka_trajectory::state::store_to_json(&restored.merged_store()).to_string(),
+            hka_trajectory::state::store_to_json(&shd.merged_store()).to_string()
+        );
+
+        // And it keeps serving: a protected request from restored state
+        // answers identically to the original server's.
+        let mut restored = restored;
+        let at = sp(0.0, 26.0, 800);
+        let a = shd.request_now(UserId(0), at, ServiceId(1)).unwrap();
+        let b = restored.request_now(UserId(0), at, ServiceId(1)).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn checkpoint_faults_leave_the_previous_checkpoint_authoritative() {
+        for (site, kind) in [
+            (sites::SNAPSHOT_WRITE, FaultKind::Torn),
+            (sites::SNAPSHOT_RENAME, FaultKind::Io),
+            (sites::CHECKPOINT_APPEND, FaultKind::Io),
+        ] {
+            let dir = TempDir::new(&format!("fault-{}", site.replace('.', "-")));
+            let (mut shd, journal) = busy_sharded(&dir.0, 2);
+            let mut cp = Checkpointer::new(&journal, dir.0.join("snaps"));
+            let good = shd.write_checkpoint(&mut cp).unwrap();
+            let _ = shd.request_now(UserId(1), sp(10.0, 30.0, 800), ServiceId(1));
+
+            let mut plan = FaultPlan::new(7);
+            plan.push_rule(site, Trigger::Always, kind);
+            cp.attach_faults(FaultInjector::new(plan));
+            let err = shd.write_checkpoint(&mut cp).unwrap_err();
+            assert!(err.to_string().contains(site), "{site}: {err}");
+
+            cp.attach_faults(FaultInjector::none());
+            let (found, _skipped) = cp.latest_valid().unwrap();
+            assert_eq!(
+                found.expect("previous checkpoint survives").anchor.records,
+                good.seq,
+                "{site}"
+            );
+
+            // The server keeps serving and the chain stays verifiable.
+            let _ = shd.request_now(UserId(2), sp(20.0, 30.0, 900), ServiceId(1));
+            shd.flush_journal().unwrap();
+            let out = hka_audit::replay_file(&journal, AuditConfig::default()).unwrap();
+            assert!(out.chain.verified(), "{site}: {:?}", out.chain.error);
+            assert!(out.ok(), "{site}: {:?}", out.violations);
+        }
+    }
+
+    #[test]
+    fn checkpoint_without_a_journal_is_refused() {
+        let dir = TempDir::new("nojournal");
+        let mut shd = ShardedTs::new(TsConfig::default(), 2);
+        let mut cp = Checkpointer::new(dir.0.join("none.jsonl"), dir.0.join("snaps"));
+        let err = shd.write_checkpoint(&mut cp).unwrap_err();
+        assert!(err.to_string().contains("no journal attached"), "{err}");
     }
 }

@@ -203,8 +203,7 @@ impl RequestHost for SerialHost<'_> {
         // The epoch snapshot: immutable references to every shard's
         // index at quiescence. The merged k-candidate query reproduces
         // the single-index answer exactly (see `IndexSnapshot`).
-        let snapshot =
-            IndexSnapshot::new(self.shards.iter().map(|s| s.index.as_ref()).collect());
+        let snapshot = IndexSnapshot::new(self.shards.iter().map(|s| s.index.as_ref()).collect());
         let picks = snapshot.k_nearest_users(at, k, Some(user));
         algorithm1_first_from(at, picks, k, tolerance)
     }
@@ -231,11 +230,7 @@ impl RequestHost for SerialHost<'_> {
         // The greedy heading selection is order-sensitive: feed the
         // shards' PHLs in ascending global user order, exactly as one
         // sequential store would iterate.
-        let mut phls: Vec<_> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.store.iter())
-            .collect();
+        let mut phls: Vec<_> = self.shards.iter().flat_map(|s| s.store.iter()).collect();
         phls.sort_by_key(|(u, _)| *u);
         self.co.mixzones.try_unlink_over(phls, user, at, k)
     }

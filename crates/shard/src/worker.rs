@@ -13,7 +13,9 @@
 
 use hka_anonymity::{MsgId, Pseudonym, ServiceId, SpRequest};
 use hka_core::strategy::{self, RequestHost, UserState};
-use hka_core::{Generalization, RequestOutcome, ServerMode, Tolerance, TsConfig, TsEvent, UnlinkDecision};
+use hka_core::{
+    Generalization, RequestOutcome, ServerMode, Tolerance, TsConfig, TsEvent, UnlinkDecision,
+};
 use hka_faults::FaultInjector;
 use hka_geo::{Point, Rect, StBox, StPoint, TimeSec};
 use hka_trajectory::{SpatialIndex, TrajectoryStore, UserId};
@@ -165,11 +167,16 @@ impl RequestHost for ShardState {
     }
 
     fn suppressed_at(&mut self, _at: &StPoint) -> bool {
-        unreachable!("mix-zone probes never run on the parallel path (protected requests serialize)")
+        unreachable!(
+            "mix-zone probes never run on the parallel path (protected requests serialize)"
+        )
     }
 
     fn tolerance_for(&self, service: ServiceId) -> Tolerance {
-        *self.services.get(&service).unwrap_or(&self.default_tolerance)
+        *self
+            .services
+            .get(&service)
+            .unwrap_or(&self.default_tolerance)
     }
 
     fn mode(&self) -> ServerMode {
@@ -197,7 +204,9 @@ impl RequestHost for ShardState {
     }
 
     fn try_unlink(&mut self, _user: UserId, _at: &StPoint, _k: usize) -> UnlinkDecision {
-        unreachable!("unlink attempts never run on the parallel path (protected requests serialize)")
+        unreachable!(
+            "unlink attempts never run on the parallel path (protected requests serialize)"
+        )
     }
 
     fn fresh_pseudonym(&mut self) -> Pseudonym {

@@ -33,12 +33,18 @@ pub struct BruteIndex {
 impl BruteIndex {
     /// An empty brute index using `scale` for distance queries.
     pub fn new(scale: SpaceTimeScale) -> Self {
-        BruteIndex { store: TrajectoryStore::new(), scale }
+        BruteIndex {
+            store: TrajectoryStore::new(),
+            scale,
+        }
     }
 
     /// A brute index over a copy of `store`.
     pub fn build(store: &TrajectoryStore, scale: SpaceTimeScale) -> Self {
-        BruteIndex { store: store.clone(), scale }
+        BruteIndex {
+            store: store.clone(),
+            scale,
+        }
     }
 }
 
@@ -124,13 +130,7 @@ mod tests {
         store.record(UserId(1), sp(1.0, 0.0, 0));
         store.record(UserId(2), sp(2.0, 0.0, 0));
         store.record(UserId(3), sp(9.0, 0.0, 0));
-        let got = k_nearest_users(
-            &store,
-            &sp(0.0, 0.0, 0),
-            2,
-            None,
-            &SpaceTimeScale::new(1.0),
-        );
+        let got = k_nearest_users(&store, &sp(0.0, 0.0, 0), 2, None, &SpaceTimeScale::new(1.0));
         let ids: Vec<u64> = got.iter().map(|(u, _)| u.raw()).collect();
         assert_eq!(ids, vec![1, 2]);
     }
@@ -152,13 +152,7 @@ mod tests {
         let mut store = TrajectoryStore::new();
         store.record(UserId(9), sp(1.0, 0.0, 0));
         store.record(UserId(3), sp(-1.0, 0.0, 0));
-        let got = k_nearest_users(
-            &store,
-            &sp(0.0, 0.0, 0),
-            1,
-            None,
-            &SpaceTimeScale::new(1.0),
-        );
+        let got = k_nearest_users(&store, &sp(0.0, 0.0, 0), 1, None, &SpaceTimeScale::new(1.0));
         assert_eq!(got[0].0, UserId(3));
     }
 

@@ -1,0 +1,368 @@
+//! Granularity-aware PHL compaction: time-partitioned folding of old
+//! precise observations into per-granule representatives.
+//!
+//! A trusted server that never forgets holds every location update ever
+//! received — unbounded resident memory. The paper's own machinery says
+//! what old history is still *for*: LBQID recurrence formulas observe
+//! the past at the resolution of their time granularities (a "Mondays"
+//! pattern cares which granule a visit fell in and where, not about
+//! each 10-second fix). Compaction exploits exactly that: points
+//! strictly older than a policy horizon are folded so that each granule
+//! of the policy granularity keeps at most six representatives — the
+//! granule's first and last observations and its four spatial extremes.
+//!
+//! What folding preserves, per granule, for the compacted (old) region:
+//!
+//! * **occupancy** — a granule holds points after compaction iff it did
+//!   before (so granule-resolution pattern bookkeeping is unchanged);
+//! * **entry/exit** — the first and last observations survive verbatim
+//!   (so the PHL's overall time span and granule dwell spans survive);
+//! * **spatial extent** — the per-granule bounding box is exact (so any
+//!   region-containment answer at granule resolution that was driven by
+//!   an extreme point is unchanged, and no answer can widen).
+//!
+//! What it deliberately drops is intra-granule precision older than the
+//! horizon. Requests the live server actually evaluates — Algorithm 1
+//! neighbourhoods and anonymity-set boxes around *current* requests —
+//! look only at the recent window, which compaction never touches; the
+//! differential tests in `tests/checkpoint.rs` pin that Algorithm 1
+//! outputs and auditor k-timelines are byte-identical with and without
+//! compaction. Points falling in granularity *gaps* (e.g. a Saturday
+//! under `Weekdays`) fold at civil-day resolution instead of being kept
+//! forever or lumped into a neighbouring granule.
+
+use hka_geo::{StPoint, TimeSec};
+use hka_granules::Granularity;
+
+use crate::{Phl, TrajectoryStore};
+
+/// What to fold and how coarsely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Observations younger than `now - horizon` (in seconds) are never
+    /// touched. Choose this at least as wide as the widest window any
+    /// live query looks back over.
+    pub horizon: i64,
+    /// The coarsest granularity any live LBQID still needs over old
+    /// history; folded granules are granules of this.
+    pub granularity: Granularity,
+}
+
+impl CompactionPolicy {
+    /// A policy keeping `horizon` seconds precise and folding older
+    /// points into granules of `granularity`.
+    pub fn new(horizon: i64, granularity: Granularity) -> Self {
+        CompactionPolicy {
+            horizon,
+            granularity,
+        }
+    }
+
+    /// The oldest instant left untouched when compacting at `now`.
+    pub fn cutoff(&self, now: TimeSec) -> TimeSec {
+        TimeSec(now.0.saturating_sub(self.horizon))
+    }
+}
+
+/// Aggregate outcome of one compaction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Users whose PHL lost at least one point.
+    pub users_compacted: u64,
+    /// Points across all processed PHLs before the pass.
+    pub points_before: u64,
+    /// Points remaining after the pass.
+    pub points_after: u64,
+    /// Granules (and gap-days) the folded region partitioned into.
+    pub granules: u64,
+}
+
+impl CompactionStats {
+    /// Points removed by the pass.
+    pub fn points_dropped(&self) -> u64 {
+        self.points_before - self.points_after
+    }
+
+    /// Folds another pass (or another PHL's outcome) into this one.
+    pub fn absorb(&mut self, other: CompactionStats) {
+        self.users_compacted += other.users_compacted;
+        self.points_before += other.points_before;
+        self.points_after += other.points_after;
+        self.granules += other.granules;
+    }
+}
+
+/// The partition key for one old observation: its granule, or — in a
+/// granularity gap — its civil day, kept distinct so gap points fold at
+/// day resolution rather than joining a neighbouring granule. Both
+/// components are non-decreasing in time, so equal keys are contiguous
+/// in a time-ordered PHL.
+fn fold_key(granularity: &Granularity, t: TimeSec) -> (bool, i64) {
+    match granularity.granule_of(t) {
+        Some(g) => (false, g),
+        None => (true, t.day_index()),
+    }
+}
+
+/// Folds the time-ordered prefix `points[..cut]`, returning the new
+/// point vector (folded prefix + untouched suffix) and the number of
+/// granules the prefix partitioned into. Pure so it can be unit-tested
+/// against the module invariants directly.
+pub(crate) fn fold_points(
+    points: &[StPoint],
+    cut: usize,
+    granularity: &Granularity,
+) -> (Vec<StPoint>, u64) {
+    let mut out = Vec::with_capacity(points.len());
+    let mut granules = 0u64;
+    let mut i = 0;
+    while i < cut {
+        let key = fold_key(granularity, points[i].t);
+        let start = i;
+        while i < cut && fold_key(granularity, points[i].t) == key {
+            i += 1;
+        }
+        granules += 1;
+        let group = &points[start..i];
+        // Representatives: entry, exit, and the four spatial extremes.
+        let mut keep = [0usize, group.len() - 1, 0, 0, 0, 0];
+        for (j, p) in group.iter().enumerate() {
+            if p.pos.x < group[keep[2]].pos.x {
+                keep[2] = j;
+            }
+            if p.pos.x > group[keep[3]].pos.x {
+                keep[3] = j;
+            }
+            if p.pos.y < group[keep[4]].pos.y {
+                keep[4] = j;
+            }
+            if p.pos.y > group[keep[5]].pos.y {
+                keep[5] = j;
+            }
+        }
+        let mut keep = keep.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        out.extend(keep.into_iter().map(|j| group[j]));
+    }
+    out.extend_from_slice(&points[cut..]);
+    (out, granules)
+}
+
+impl Phl {
+    /// Folds observations strictly older than the policy cutoff at
+    /// `now`; newer observations are untouched. Idempotent for a fixed
+    /// `(now, policy)`: a second pass finds ≤6 points per granule and
+    /// keeps them all.
+    pub fn compact(&mut self, now: TimeSec, policy: &CompactionPolicy) -> CompactionStats {
+        let cutoff = policy.cutoff(now);
+        let points = self.points();
+        let before = points.len() as u64;
+        let cut = points.partition_point(|p| p.t < cutoff);
+        if cut == 0 {
+            return CompactionStats {
+                points_before: before,
+                points_after: before,
+                ..CompactionStats::default()
+            };
+        }
+        let (folded, granules) = fold_points(points, cut, &policy.granularity);
+        let after = folded.len() as u64;
+        self.replace_points(folded);
+        CompactionStats {
+            users_compacted: u64::from(after < before),
+            points_before: before,
+            points_after: after,
+            granules,
+        }
+    }
+
+    /// Approximate resident bytes of this history (points only; the
+    /// quantity compaction bounds).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of_val(self.points())
+    }
+}
+
+impl TrajectoryStore {
+    /// Compacts every user's PHL under one policy, keeping the store's
+    /// point accounting consistent. Returns the aggregate stats.
+    pub fn compact(&mut self, now: TimeSec, policy: &CompactionPolicy) -> CompactionStats {
+        let mut stats = CompactionStats::default();
+        self.for_each_phl(|phl| stats.absorb(phl.compact(now, policy)));
+        self.set_total_points(stats.points_after as usize);
+        stats
+    }
+
+    /// Approximate resident bytes of all histories.
+    pub fn approx_bytes(&self) -> usize {
+        self.iter().map(|(_, phl)| phl.approx_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UserId;
+    use hka_geo::{Rect, StBox, TimeInterval, DAY, HOUR};
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    /// Two weeks of dense weekday commuting plus a weekend excursion,
+    /// then a recent day of points inside the horizon.
+    fn dense_history() -> Phl {
+        let mut pts = Vec::new();
+        for day in 0..14i64 {
+            for step in 0..48i64 {
+                let t = day * DAY + 8 * HOUR + step * 600;
+                pts.push(sp(step as f64 * 12.5, day as f64 * 3.0, t));
+            }
+        }
+        Phl::from_points(pts)
+    }
+
+    #[test]
+    fn folding_preserves_occupancy_span_and_bbox_per_granule() {
+        let mut phl = dense_history();
+        let original = phl.clone();
+        let policy = CompactionPolicy::new(2 * DAY, Granularity::Days);
+        let now = TimeSec(14 * DAY);
+        let stats = phl.compact(now, &policy);
+        assert!(stats.points_dropped() > 0);
+        assert_eq!(stats.points_after as usize, phl.len());
+
+        let cutoff = policy.cutoff(now);
+        for g in 0..14 {
+            let span = Granularity::Days.granule_span(g);
+            if span.end() >= cutoff {
+                continue; // not (fully) folded
+            }
+            let old = original.in_interval(&span);
+            let new = phl.in_interval(&span);
+            assert_eq!(old.is_empty(), new.is_empty(), "occupancy of day {g}");
+            if old.is_empty() {
+                continue;
+            }
+            assert!(new.len() <= 6, "≤6 representatives, day {g}");
+            assert_eq!(old.first(), new.first(), "entry of day {g}");
+            assert_eq!(old.last(), new.last(), "exit of day {g}");
+            let bbox = |pts: &[StPoint]| {
+                let xs: Vec<f64> = pts.iter().map(|p| p.pos.x).collect();
+                let ys: Vec<f64> = pts.iter().map(|p| p.pos.y).collect();
+                (
+                    xs.iter().cloned().fold(f64::INFINITY, f64::min),
+                    xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                    ys.iter().cloned().fold(f64::INFINITY, f64::min),
+                    ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                )
+            };
+            assert_eq!(bbox(old), bbox(new), "bbox of day {g}");
+        }
+        // The recent window is untouched, point for point.
+        let recent = TimeInterval::new(cutoff, TimeSec(i64::MAX));
+        assert_eq!(original.in_interval(&recent), phl.in_interval(&recent));
+        // Overall span survives (entry of the very first granule kept).
+        assert_eq!(original.time_span(), phl.time_span());
+    }
+
+    #[test]
+    fn compaction_is_idempotent() {
+        let mut phl = dense_history();
+        let policy = CompactionPolicy::new(DAY, Granularity::Weeks);
+        let now = TimeSec(14 * DAY);
+        phl.compact(now, &policy);
+        let once = phl.clone();
+        let stats = phl.compact(now, &policy);
+        assert_eq!(phl, once, "second pass must be a no-op");
+        assert_eq!(stats.points_dropped(), 0);
+        assert_eq!(stats.users_compacted, 0);
+    }
+
+    #[test]
+    fn gap_points_fold_at_day_resolution() {
+        // Weekdays granularity: Saturday/Sunday (days 5, 6) are gaps.
+        let mut pts = Vec::new();
+        for day in [4i64, 5, 6, 7] {
+            for step in 0..10i64 {
+                pts.push(sp(step as f64, day as f64, day * DAY + step * HOUR));
+            }
+        }
+        let mut phl = Phl::from_points(pts);
+        let policy = CompactionPolicy::new(0, Granularity::Weekdays);
+        let stats = phl.compact(TimeSec(9 * DAY), &policy);
+        // 2 weekday granules + 2 gap days, each folded independently.
+        assert_eq!(stats.granules, 4);
+        for day in [4i64, 5, 6, 7] {
+            let span = TimeInterval::new(TimeSec(day * DAY), TimeSec((day + 1) * DAY - 1));
+            let kept = phl.in_interval(&span);
+            assert!(!kept.is_empty(), "day {day} still occupied");
+            assert!(kept.len() <= 6, "day {day} folded");
+        }
+    }
+
+    #[test]
+    fn crossing_answers_driven_by_extremes_survive() {
+        let mut phl = dense_history();
+        let boxes: Vec<StBox> = (0..12)
+            .map(|g| {
+                StBox::new(
+                    Rect::from_bounds(500.0, -1.0, 700.0, 50.0),
+                    Granularity::Days.granule_span(g),
+                )
+            })
+            .collect();
+        let before: Vec<bool> = boxes.iter().map(|b| phl.crosses(b)).collect();
+        phl.compact(
+            TimeSec(14 * DAY),
+            &CompactionPolicy::new(DAY, Granularity::Days),
+        );
+        let after: Vec<bool> = boxes.iter().map(|b| phl.crosses(b)).collect();
+        assert_eq!(before, after, "granule-aligned extreme-driven crossings");
+    }
+
+    #[test]
+    fn store_compaction_keeps_point_accounting() {
+        let mut store = TrajectoryStore::new();
+        for user in 1..=5u64 {
+            for day in 0..4i64 {
+                for step in 0..20i64 {
+                    store.record(
+                        UserId(user),
+                        sp(step as f64, user as f64, day * DAY + step * 60),
+                    );
+                }
+            }
+        }
+        let before_bytes = store.approx_bytes();
+        let stats = store.compact(
+            TimeSec(4 * DAY),
+            &CompactionPolicy::new(DAY, Granularity::Days),
+        );
+        assert_eq!(stats.users_compacted, 5);
+        assert_eq!(store.total_points(), stats.points_after as usize);
+        assert_eq!(
+            store.total_points(),
+            store.iter().map(|(_, p)| p.len()).sum::<usize>(),
+            "accounting matches reality"
+        );
+        assert!(
+            store.approx_bytes() < before_bytes,
+            "memory actually shrank"
+        );
+    }
+
+    #[test]
+    fn empty_and_all_recent_histories_are_untouched() {
+        let mut empty = Phl::new();
+        let policy = CompactionPolicy::new(DAY, Granularity::Days);
+        let stats = empty.compact(TimeSec(100), &policy);
+        assert_eq!((stats.points_before, stats.points_after), (0, 0));
+
+        let mut recent = Phl::from_points(vec![sp(0.0, 0.0, 50), sp(1.0, 0.0, 90)]);
+        let stats = recent.compact(TimeSec(100), &policy);
+        assert_eq!(stats.points_dropped(), 0);
+        assert_eq!(recent.len(), 2);
+    }
+}

@@ -218,13 +218,11 @@ impl GridIndex {
         let scale = &self.config.scale;
         let mps = scale.meters_per_second;
         let seed_slab = seed.t.0.div_euclid(self.config.cell_duration);
-        let (slab_min, slab_max) = match (
-            self.by_time.keys().next(),
-            self.by_time.keys().next_back(),
-        ) {
-            (Some(a), Some(b)) => (*a, *b),
-            _ => return Vec::new(),
-        };
+        let (slab_min, slab_max) =
+            match (self.by_time.keys().next(), self.by_time.keys().next_back()) {
+                (Some(a), Some(b)) => (*a, *b),
+                _ => return Vec::new(),
+            };
 
         // Best (distance², point) per user, plus a max-heap of the current
         // k best distances for pruning.
@@ -232,10 +230,10 @@ impl GridIndex {
         let mut topk: std::collections::BinaryHeap<OrdF64> = std::collections::BinaryHeap::new();
 
         let update = |user: UserId,
-                          d: f64,
-                          p: StPoint,
-                          best: &mut HashMap<UserId, (f64, StPoint)>,
-                          topk: &mut std::collections::BinaryHeap<OrdF64>| {
+                      d: f64,
+                      p: StPoint,
+                      best: &mut HashMap<UserId, (f64, StPoint)>,
+                      topk: &mut std::collections::BinaryHeap<OrdF64>| {
             match best.get_mut(&user) {
                 Some(cur) if cur.0 <= d => {}
                 Some(cur) => {
@@ -309,10 +307,8 @@ impl GridIndex {
         }
         hka_obs::global().counter("index.probes").add(probes);
 
-        let mut out: Vec<(UserId, f64, StPoint)> = best
-            .into_iter()
-            .map(|(u, (d, p))| (u, d, p))
-            .collect();
+        let mut out: Vec<(UserId, f64, StPoint)> =
+            best.into_iter().map(|(u, (d, p))| (u, d, p)).collect();
         out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         out.truncate(k);
         out.into_iter().map(|(u, _, p)| (u, p)).collect()

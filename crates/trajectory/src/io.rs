@@ -34,7 +34,11 @@ pub struct TraceFormatError {
 
 impl fmt::Display for TraceFormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -115,7 +119,10 @@ pub fn read_store<R: BufRead>(input: R) -> Result<TrajectoryStore, TraceReadErro
         if fields.next().is_some() {
             return Err(err("trailing fields".into()));
         }
-        by_user.entry(user).or_default().push(StPoint::xyt(x, y, TimeSec(t)));
+        by_user
+            .entry(user)
+            .or_default()
+            .push(StPoint::xyt(x, y, TimeSec(t)));
     }
     let mut store = TrajectoryStore::new();
     for (user, pts) in by_user {
@@ -210,6 +217,9 @@ mod tests {
         let mut buf = Vec::new();
         write_store(&s, &mut buf).unwrap();
         let back = read_store(buf.as_slice()).unwrap();
-        assert_eq!(back.phl(UserId(1)).unwrap().points()[0], StPoint::xyt(-10.5, -0.25, TimeSec(-3_600)));
+        assert_eq!(
+            back.phl(UserId(1)).unwrap().points()[0],
+            StPoint::xyt(-10.5, -0.25, TimeSec(-3_600))
+        );
     }
 }

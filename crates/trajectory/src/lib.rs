@@ -25,6 +25,11 @@
 //!   the grid (differentially tested) with different scaling behaviour.
 //! * [`brute`] — reference implementations by exhaustive scan, used for
 //!   differential testing and as the O(k·n) baseline of experiment T3.
+//! * [`CompactionPolicy`] — granularity-aware folding of old PHL points
+//!   into per-granule representatives (bounded memory over unbounded
+//!   feeds; see the `compact` module docs for the exact invariants), and
+//!   [`state`] — the exact canonical-JSON codec checkpoint snapshots use
+//!   to persist and restore the store.
 //! * [`SpatialIndex`] — the backend-agnostic seam over all of the above:
 //!   [`GridIndex`], [`RTreeIndex`], and [`BruteIndex`] implement it and
 //!   must answer identically; [`IndexBackend`] selects one at run time
@@ -34,16 +39,19 @@
 #![warn(missing_docs)]
 
 pub mod brute;
+mod compact;
 mod index;
 pub mod io;
 mod phl;
 mod rtree;
 mod snapshot;
 mod spatial;
+pub mod state;
 mod store;
 mod user;
 
 pub use brute::BruteIndex;
+pub use compact::{CompactionPolicy, CompactionStats};
 pub use index::{GridIndex, GridIndexConfig};
 pub use phl::Phl;
 pub use rtree::RTreeIndex;

@@ -105,7 +105,9 @@ impl Phl {
     /// whether this PHL "crosses" the box. This is the per-request core of
     /// LT-consistency (Definition 7).
     pub fn crosses(&self, b: &StBox) -> bool {
-        self.in_interval(&b.span).iter().any(|p| b.rect.contains(&p.pos))
+        self.in_interval(&b.span)
+            .iter()
+            .any(|p| b.rect.contains(&p.pos))
     }
 
     /// The user's interpolated position at time `t`, if `t` lies within
@@ -191,6 +193,13 @@ impl Phl {
             }
         }
         best.map(|(_, p)| p)
+    }
+
+    /// Swaps in a new point vector. Callers must keep the time-ordering
+    /// invariant; compaction does (it only removes points).
+    pub(crate) fn replace_points(&mut self, points: Vec<StPoint>) {
+        debug_assert!(points.windows(2).all(|w| w[0].t <= w[1].t));
+        self.points = points;
     }
 
     /// Total time covered by the history (0 for fewer than two points).
@@ -325,7 +334,11 @@ mod tests {
     #[test]
     fn nearest_point_matches_linear_scan() {
         let phl = walk();
-        for scale in [SpaceTimeScale::new(0.0), SpaceTimeScale::new(0.5), SpaceTimeScale::new(10.0)] {
+        for scale in [
+            SpaceTimeScale::new(0.0),
+            SpaceTimeScale::new(0.5),
+            SpaceTimeScale::new(10.0),
+        ] {
             for q in [sp(-5.0, 3.0, -7), sp(33.0, -2.0, 95), sp(200.0, 0.0, 400)] {
                 let fast = phl.nearest_point(&q, &scale).unwrap();
                 let slow = phl

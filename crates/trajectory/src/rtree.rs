@@ -20,7 +20,7 @@
 
 use crate::{TrajectoryStore, UserId};
 use hka_geo::{SpaceTimeScale, StBox, StPoint};
-use std::collections::{BinaryHeap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 /// Maximum entries per node before it splits.
 const MAX_ENTRIES: usize = 16;
@@ -32,12 +32,8 @@ type Child = (StBox, Box<Node>);
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf {
-        entries: Vec<(UserId, StPoint)>,
-    },
-    Inner {
-        children: Vec<Child>,
-    },
+    Leaf { entries: Vec<(UserId, StPoint)> },
+    Inner { children: Vec<Child> },
 }
 
 /// An R-tree over `(UserId, StPoint)` observations.
@@ -239,8 +235,7 @@ impl RTreeIndex {
                             Some(cur) if cur.0 <= d => {}
                             Some(cur) => {
                                 *cur = (d, *p);
-                                let mut ds: Vec<f64> =
-                                    best.values().map(|(d, _)| *d).collect();
+                                let mut ds: Vec<f64> = best.values().map(|(d, _)| *d).collect();
                                 ds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                                 ds.truncate(k);
                                 topk.clear();
@@ -297,10 +292,9 @@ impl RTreeIndex {
         fn bbox(node: &Node) -> Option<StBox> {
             match node {
                 Node::Leaf { entries } => StBox::mbb(entries.iter().map(|(_, p)| p)),
-                Node::Inner { children } => children
-                    .iter()
-                    .map(|(b, _)| *b)
-                    .reduce(|a, b| a.union(&b)),
+                Node::Inner { children } => {
+                    children.iter().map(|(b, _)| *b).reduce(|a, b| a.union(&b))
+                }
             }
         }
         fn walk(node: &Node, depth: usize, leaf_depth: &mut Option<usize>) -> Result<(), String> {
@@ -310,9 +304,7 @@ impl RTreeIndex {
                         return Err(format!("leaf overflow: {}", entries.len()));
                     }
                     match leaf_depth {
-                        Some(d) if *d != depth => {
-                            return Err("leaves at different depths".into())
-                        }
+                        Some(d) if *d != depth => return Err("leaves at different depths".into()),
                         None => *leaf_depth = Some(depth),
                         _ => {}
                     }
@@ -476,7 +468,10 @@ fn quadratic_split(boxes: &[StBox], scale: &SpaceTimeScale) -> (StBox, StBox, Ve
     (
         group_a,
         group_b,
-        assign.into_iter().map(|a| a.expect("all assigned")).collect(),
+        assign
+            .into_iter()
+            .map(|a| a.expect("all assigned"))
+            .collect(),
     )
 }
 
@@ -525,7 +520,11 @@ mod tests {
         let (tree, _) = random_tree(2_000, 1);
         assert_eq!(tree.len(), 2_000);
         tree.check_invariants().unwrap();
-        assert!(tree.height() >= 3, "2000 entries must split: h={}", tree.height());
+        assert!(
+            tree.height() >= 3,
+            "2000 entries must split: h={}",
+            tree.height()
+        );
     }
 
     #[test]
@@ -547,7 +546,11 @@ mod tests {
     fn knn_matches_brute_force_scan() {
         let (tree, pts) = random_tree(800, 3);
         let scale = SpaceTimeScale::new(1.0);
-        for seed_pt in [sp(0.0, 0.0, 0), sp(1_000.0, 1_000.0, 3_600), sp(1_999.0, 5.0, 7_000)] {
+        for seed_pt in [
+            sp(0.0, 0.0, 0),
+            sp(1_000.0, 1_000.0, 3_600),
+            sp(1_999.0, 5.0, 7_000),
+        ] {
             for k in [1usize, 5, 19] {
                 let got = tree.k_nearest_users(&seed_pt, k, Some(UserId(0)));
                 // Scan: best per user, excluding user 0.

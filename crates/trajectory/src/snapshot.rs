@@ -94,9 +94,13 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..n {
             for step in 0..3i64 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = (s >> 33) as f64 % 1000.0;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = (s >> 33) as f64 % 1000.0;
                 out.push((UserId(i as u64 + 1), sp(x, y, 100 * step + i as i64)));
             }
@@ -117,14 +121,11 @@ mod tests {
         }
 
         for shards in [1usize, 2, 3, 4, 8] {
-            let mut parts: Vec<GridIndex> =
-                (0..shards).map(|_| GridIndex::new(cfg)).collect();
+            let mut parts: Vec<GridIndex> = (0..shards).map(|_| GridIndex::new(cfg)).collect();
             for (u, p) in &points {
                 parts[(u.0 as usize) % shards].insert(*u, *p);
             }
-            let snap = IndexSnapshot::new(
-                parts.iter().map(|p| p as &dyn SpatialIndex).collect(),
-            );
+            let snap = IndexSnapshot::new(parts.iter().map(|p| p as &dyn SpatialIndex).collect());
             for k in [1usize, 3, 7, 23, 40] {
                 for (seed, excl) in [
                     (sp(10.0, 20.0, 50), None),

@@ -205,11 +205,7 @@ impl IndexBackend {
     }
 
     /// An index of this backend bulk-loaded from `store`.
-    pub fn build(
-        &self,
-        store: &TrajectoryStore,
-        config: GridIndexConfig,
-    ) -> Box<dyn SpatialIndex> {
+    pub fn build(&self, store: &TrajectoryStore, config: GridIndexConfig) -> Box<dyn SpatialIndex> {
         match self {
             IndexBackend::Grid => Box::new(GridIndex::build(store, config)),
             IndexBackend::RTree => Box::new(RTreeIndex::build(store, config.scale)),
@@ -287,7 +283,10 @@ mod tests {
     fn build_matches_incremental_insert() {
         let mut store = TrajectoryStore::new();
         for i in 0..10u64 {
-            store.record(UserId(i % 4 + 1), sp(i as f64 * 7.0, i as f64 * 3.0, i as i64 * 20));
+            store.record(
+                UserId(i % 4 + 1),
+                sp(i as f64 * 7.0, i as f64 * 3.0, i as i64 * 20),
+            );
         }
         let cfg = GridIndexConfig::default();
         let seed = sp(5.0, 5.0, 40);

@@ -1,0 +1,163 @@
+//! Canonical JSON codec for trajectory state — the `store` section of a
+//! checkpoint snapshot.
+//!
+//! The encoding must be *deterministic* (checkpoint snapshots are
+//! content-hashed and chained into the journal) and *exact* (a restored
+//! store must answer every query identically, so coordinates round-trip
+//! bit-for-bit through [`hka_obs::Json`]'s canonical float printing).
+//! Points are encoded as compact `[x, y, t]` triples; users appear in
+//! ascending id order because the store iterates a `BTreeMap`.
+
+use hka_geo::{StPoint, TimeSec};
+use hka_obs::Json;
+
+use crate::{Phl, TrajectoryStore, UserId};
+
+fn point_to_json(p: &StPoint) -> Json {
+    Json::Arr(vec![
+        Json::Num(p.pos.x),
+        Json::Num(p.pos.y),
+        Json::Int(p.t.0),
+    ])
+}
+
+fn point_of_json(j: &Json) -> Result<StPoint, String> {
+    let Json::Arr(items) = j else {
+        return Err("point is not an [x, y, t] array".into());
+    };
+    let [x, y, t] = items.as_slice() else {
+        return Err(format!("point has {} elements, expected 3", items.len()));
+    };
+    let x = x.as_f64().ok_or("point x is not a number")?;
+    let y = y.as_f64().ok_or("point y is not a number")?;
+    let t = t.as_int().ok_or("point t is not an integer")?;
+    if !(x.is_finite() && y.is_finite()) {
+        return Err("point coordinates must be finite".into());
+    }
+    Ok(StPoint::xyt(x, y, TimeSec(t)))
+}
+
+/// Encodes one history as an array of `[x, y, t]` triples.
+pub fn phl_to_json(phl: &Phl) -> Json {
+    Json::Arr(phl.points().iter().map(point_to_json).collect())
+}
+
+/// Decodes a history; points must already be time-ordered (snapshots
+/// are written from time-ordered PHLs, so disorder means corruption and
+/// is rejected rather than silently re-sorted).
+pub fn phl_of_json(j: &Json) -> Result<Phl, String> {
+    let Json::Arr(items) = j else {
+        return Err("phl is not an array".into());
+    };
+    let mut points = Vec::with_capacity(items.len());
+    for item in items {
+        points.push(point_of_json(item)?);
+    }
+    if !points.windows(2).all(|w| w[0].t <= w[1].t) {
+        return Err("phl points are not time-ordered".into());
+    }
+    let mut phl = Phl::new();
+    phl.replace_points(points);
+    Ok(phl)
+}
+
+/// Encodes the whole store: `{"users": [{"phl": [...], "user": N}]}`.
+pub fn store_to_json(store: &TrajectoryStore) -> Json {
+    Json::obj([(
+        "users",
+        Json::Arr(
+            store
+                .iter()
+                .map(|(user, phl)| {
+                    Json::obj([("user", Json::from(user.raw())), ("phl", phl_to_json(phl))])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Decodes a store encoded by [`store_to_json`], restoring users (empty
+/// histories included) and point accounting exactly.
+pub fn store_of_json(j: &Json) -> Result<TrajectoryStore, String> {
+    let Some(Json::Arr(users)) = j.get("users") else {
+        return Err("store: missing 'users' array".into());
+    };
+    let mut store = TrajectoryStore::new();
+    for entry in users {
+        let user = entry
+            .get("user")
+            .and_then(Json::as_int)
+            .and_then(|v| u64::try_from(v).ok())
+            .ok_or("store user: missing or mistyped 'user'")?;
+        let phl = phl_of_json(entry.get("phl").ok_or("store user: missing 'phl'")?)
+            .map_err(|e| format!("user {user}: {e}"))?;
+        store.ensure_user(UserId(user));
+        for p in phl.points() {
+            store.record(UserId(user), *p);
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    fn sample() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.record(UserId(7), sp(1_900.0, 55.125, 25_200));
+        s.record(UserId(42), sp(103.5, 2_210.0, 25_200));
+        s.record(UserId(42), sp(110.25, 2_208.9, 25_260));
+        s.ensure_user(UserId(99)); // registered, no points yet
+        s
+    }
+
+    #[test]
+    fn store_round_trips_exactly_including_empty_users() {
+        let store = sample();
+        let json = store_to_json(&store);
+        let text = json.to_string();
+        let reparsed = hka_obs::json::parse(&text).unwrap();
+        assert_eq!(reparsed.to_string(), text, "canonical encoding");
+        let back = store_of_json(&reparsed).unwrap();
+        assert_eq!(back.user_count(), store.user_count());
+        assert_eq!(back.total_points(), store.total_points());
+        for (u, phl) in store.iter() {
+            assert_eq!(back.phl(u).unwrap().points(), phl.points());
+        }
+        // And the round trip is a fixed point byte-for-byte.
+        assert_eq!(store_to_json(&back).to_string(), text);
+    }
+
+    #[test]
+    fn decode_rejects_disorder_and_junk() {
+        let disordered =
+            hka_obs::json::parse(r#"{"users":[{"phl":[[0.0,0.0,10],[1.0,0.0,5]],"user":1}]}"#)
+                .unwrap();
+        assert!(store_of_json(&disordered)
+            .unwrap_err()
+            .contains("time-ordered"));
+
+        let junk = hka_obs::json::parse(r#"{"users":[{"phl":[[0.0,0.0]],"user":1}]}"#).unwrap();
+        assert!(store_of_json(&junk).unwrap_err().contains("elements"));
+
+        let no_users = hka_obs::json::parse(r#"{}"#).unwrap();
+        assert!(store_of_json(&no_users).unwrap_err().contains("users"));
+    }
+
+    #[test]
+    fn negative_and_fractional_values_survive() {
+        let mut s = TrajectoryStore::new();
+        s.record(UserId(1), sp(-10.5, -0.25, -3_600));
+        s.record(UserId(1), sp(0.1 + 0.2, 1e-9, 0)); // awkward floats
+        let back = store_of_json(&store_to_json(&s)).unwrap();
+        assert_eq!(
+            back.phl(UserId(1)).unwrap().points(),
+            s.phl(UserId(1)).unwrap().points()
+        );
+    }
+}

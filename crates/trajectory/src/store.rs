@@ -80,6 +80,20 @@ impl TrajectoryStore {
         out
     }
 
+    /// Runs `f` over every PHL mutably, in user order (compaction's
+    /// access path; point accounting is the caller's job).
+    pub(crate) fn for_each_phl(&mut self, mut f: impl FnMut(&mut Phl)) {
+        for phl in self.phls.values_mut() {
+            f(phl);
+        }
+    }
+
+    /// Overwrites the cached total point count (used after bulk edits
+    /// that bypass [`record`](TrajectoryStore::record)).
+    pub(crate) fn set_total_points(&mut self, n: usize) {
+        self.total_points = n;
+    }
+
     /// Iterates `(user, phl)` pairs in user order.
     pub fn iter(&self) -> impl Iterator<Item = (UserId, &Phl)> + '_ {
         self.phls.iter().map(|(u, p)| (*u, p))

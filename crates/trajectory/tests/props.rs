@@ -15,24 +15,30 @@ fn arb_stpoint() -> impl Strategy<Value = StPoint> {
 }
 
 fn arb_store(max_users: usize, max_pts: usize) -> impl Strategy<Value = TrajectoryStore> {
-    prop::collection::vec((0u64..max_users as u64, prop::collection::vec(arb_stpoint(), 1..max_pts)), 1..max_users)
-        .prop_map(|users| {
-            // Duplicate user ids are possible: merge their points first so
-            // that the store's time-ordering invariant holds.
-            let mut merged: std::collections::BTreeMap<u64, Vec<StPoint>> =
-                std::collections::BTreeMap::new();
-            for (uid, pts) in users {
-                merged.entry(uid).or_default().extend(pts);
+    prop::collection::vec(
+        (
+            0u64..max_users as u64,
+            prop::collection::vec(arb_stpoint(), 1..max_pts),
+        ),
+        1..max_users,
+    )
+    .prop_map(|users| {
+        // Duplicate user ids are possible: merge their points first so
+        // that the store's time-ordering invariant holds.
+        let mut merged: std::collections::BTreeMap<u64, Vec<StPoint>> =
+            std::collections::BTreeMap::new();
+        for (uid, pts) in users {
+            merged.entry(uid).or_default().extend(pts);
+        }
+        let mut store = TrajectoryStore::new();
+        for (uid, pts) in merged {
+            let phl = Phl::from_points(pts);
+            for p in phl.points() {
+                store.record(UserId(uid), *p);
             }
-            let mut store = TrajectoryStore::new();
-            for (uid, pts) in merged {
-                let phl = Phl::from_points(pts);
-                for p in phl.points() {
-                    store.record(UserId(uid), *p);
-                }
-            }
-            store
-        })
+        }
+        store
+    })
 }
 
 fn configs() -> impl Strategy<Value = GridIndexConfig> {
@@ -44,12 +50,8 @@ fn configs() -> impl Strategy<Value = GridIndexConfig> {
 }
 
 fn arb_box() -> impl Strategy<Value = StBox> {
-    (arb_stpoint(), arb_stpoint()).prop_map(|(a, b)| {
-        StBox::new(
-            Rect::new(a.pos, b.pos),
-            TimeInterval::new(a.t, b.t),
-        )
-    })
+    (arb_stpoint(), arb_stpoint())
+        .prop_map(|(a, b)| StBox::new(Rect::new(a.pos, b.pos), TimeInterval::new(a.t, b.t)))
 }
 
 proptest! {

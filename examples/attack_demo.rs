@@ -46,7 +46,10 @@ fn run(level: PrivacyLevel, label: &str) {
     for agent in &world.agents {
         let home = world.home_of(agent.user);
         let protected = home.is_some();
-        ts.register_user(agent.user, if protected { level } else { PrivacyLevel::Off });
+        ts.register_user(
+            agent.user,
+            if protected { level } else { PrivacyLevel::Off },
+        );
         if let Some(home) = home {
             registry.add(home, agent.user);
             targets.push(agent.user);
@@ -72,8 +75,7 @@ fn run(level: PrivacyLevel, label: &str) {
     }
 
     // The provider's view, attacked with the standard composite linker.
-    let (truth, requests): (Vec<UserId>, Vec<SpRequest>) =
-        ts.outbox().iter().cloned().unzip();
+    let (truth, requests): (Vec<UserId>, Vec<SpRequest>) = ts.outbox().iter().cloned().unzip();
     // Pseudonyms are the reliable link: every request carries one, and
     // the paper assumes "pseudonyms are not shared by different
     // individuals". (Tracker-based chaining across pseudonym changes is

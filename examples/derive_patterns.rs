@@ -33,8 +33,13 @@ fn main() {
     let store = world.store();
 
     let cfg = DerivationConfig::default();
-    println!("mining LBQIDs (cell {} m, dwell ≥ {} min, support ≥ {} days, population cap {})\n",
-        cfg.cell, cfg.min_dwell / 60, cfg.min_days, cfg.max_population);
+    println!(
+        "mining LBQIDs (cell {} m, dwell ≥ {} min, support ≥ {} days, population cap {})\n",
+        cfg.cell,
+        cfg.min_dwell / 60,
+        cfg.min_days,
+        cfg.max_population
+    );
 
     let mut protected = 0usize;
     let mut none_found = 0usize;
@@ -47,7 +52,10 @@ fn main() {
         };
         if derived.is_empty() {
             none_found += 1;
-            println!("{:>5} ({kind:<11}) — no identifying recurring pattern found", agent.user.to_string());
+            println!(
+                "{:>5} ({kind:<11}) — no identifying recurring pattern found",
+                agent.user.to_string()
+            );
             continue;
         }
         protected += 1;

@@ -40,10 +40,22 @@ fn main() {
             element AreaCondominium area({}, {}, {}, {}) window(17:00, 19:00);
             recur 3.Weekdays * 2.Weeks;
         }}",
-        home.min().x, home.min().y, home.max().x, home.max().y,
-        office.min().x, office.min().y, office.max().x, office.max().y,
-        office.min().x, office.min().y, office.max().x, office.max().y,
-        home.min().x, home.min().y, home.max().x, home.max().y,
+        home.min().x,
+        home.min().y,
+        home.max().x,
+        home.max().y,
+        office.min().x,
+        office.min().y,
+        office.max().x,
+        office.max().y,
+        office.min().x,
+        office.min().y,
+        office.max().x,
+        office.max().y,
+        home.min().x,
+        home.min().y,
+        home.max().x,
+        home.max().y,
     );
     let commute = parse_lbqid(&dsl).expect("valid DSL");
     println!("LBQID under protection:\n  {commute}\n");
@@ -102,13 +114,15 @@ fn main() {
 
     // 6. Audit Alice's pattern against Definition 8.
     for (name, matched, hk) in ts.audit_patterns(alice, 5) {
-        println!(
-            "\naudit '{name}': fully matched under current pseudonym = {matched}"
-        );
+        println!("\naudit '{name}': fully matched under current pseudonym = {matched}");
         println!(
             "historical {}-anonymity: {} (effective k = {}, witnesses: {:?})",
             hk.k,
-            if hk.satisfied { "SATISFIED" } else { "VIOLATED" },
+            if hk.satisfied {
+                "SATISFIED"
+            } else {
+                "VIOLATED"
+            },
             hk.effective_k(),
             hk.witnesses.iter().take(8).collect::<Vec<_>>()
         );

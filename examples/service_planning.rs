@@ -86,7 +86,11 @@ fn main() {
                     report.mean_duration,
                     100.0 * report.unlink_fallback_rate,
                     100.0 * report.at_risk_rate,
-                    if report.deployable(0.05) { "" } else { "   ← DO NOT DEPLOY" }
+                    if report.deployable(0.05) {
+                        ""
+                    } else {
+                        "   ← DO NOT DEPLOY"
+                    }
                 );
             }
         }

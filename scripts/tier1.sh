@@ -9,6 +9,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== fmt =="
+cargo fmt --all -- --check
+
 echo "== build (release) =="
 cargo build --release
 
@@ -37,5 +40,15 @@ echo "== watch (live-tail smoke: report byte-identical to offline audit) =="
 cargo run --release -q --bin hka-sim -- watch "$tmp/ts.journal" \
     --idle-exit 2 --interval-ms 50 --report "$tmp/watch.json" > /dev/null
 cmp "$tmp/watch.json" "$tmp/audit.json"
+
+echo "== checkpoint (drill with checkpoints, then snapshot+suffix == genesis) =="
+cargo run --release -q --bin hka-sim -- serve-drill --journal "$tmp/drill.journal" \
+    --days 1 --commuters 4 --roamers 20 --checkpoint-every 100 > /dev/null
+snap="$(ls "$tmp/drill.journal.ckpt"/checkpoint-*.snap | sort | tail -1)"
+cargo run --release -q --bin hka-sim -- audit --journal "$tmp/drill.journal" \
+    --snapshot "$snap" --json "$tmp/resume.json" --quiet
+cargo run --release -q --bin hka-sim -- audit --journal "$tmp/drill.journal" \
+    --json "$tmp/genesis.json" --quiet
+cmp "$tmp/resume.json" "$tmp/genesis.json"
 
 echo "tier-1: OK"

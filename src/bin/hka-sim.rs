@@ -11,12 +11,14 @@
 //! hka-sim export   [--seed N] [--days N] --out FILE     # write a trace file
 //! hka-sim chaos    [--seeds N] [--seed N] [--days N] [--commuters N]
 //!                  [--roamers N] [--k N] [--shards N] [--index grid|rtree]
-//! hka-sim audit    --journal FILE [--json FILE] [--quiet]
+//! hka-sim audit    --journal FILE [--snapshot FILE] [--json FILE] [--quiet]
 //!                  [--space-tol M2] [--time-tol SECS]
-//! hka-sim watch    JOURNAL [--interval-ms N] [--idle-exit N] [--json]
-//!                  [--report FILE] [--space-tol M2] [--time-tol SECS]
-//!                  [--sample-cap N]
+//! hka-sim watch    JOURNAL [--snapshot FILE] [--interval-ms N]
+//!                  [--idle-exit N] [--json] [--report FILE]
+//!                  [--space-tol M2] [--time-tol SECS] [--sample-cap N]
 //! hka-sim serve-drill [--journal FILE] [--audit-tail] [--chaos SEED]
+//!                  [--checkpoint-every N] [--truncate]
+//!                  [--checkpoint-chaos SEED]
 //!                  [--segments N] [--seed N] [--days N] [--commuters N]
 //!                  [--roamers N] [--k N] [--interval-ms N] [--pace-us N]
 //!                  [--report FILE] [--index grid|rtree]
@@ -40,6 +42,10 @@
 //! anonymity timelines and the QoS/k/unlink trade-off tables, and exits
 //! non-zero on chain failures or Theorem-1 / fail-closed violations.
 //! `--json FILE` additionally writes the canonical JSON report.
+//! `--snapshot FILE` resumes the replay from a checkpoint snapshot
+//! (see `hka::core::checkpoint`) instead of genesis — the report is
+//! byte-identical either way, just cheaper; `watch` accepts the same
+//! flag to start its tail at the anchor.
 //!
 //! `watch` is the live audit: it tails a journal that another process
 //! is still appending to, verifying the hash chain record by record and
@@ -63,6 +69,20 @@
 //! report is compared byte-for-byte against the offline audit of the
 //! same journal; any mismatch, chain error, or violation is a non-zero
 //! exit.
+//!
+//! `--checkpoint-every N` additionally writes a crash-safe checkpoint
+//! whenever the journal has grown by at least N records since the last
+//! one (snapshots under `JOURNAL.ckpt/`), verifying after
+//! each one that a server restored from the snapshot is identical to
+//! the live one, and on exit that the audit resumed from the last
+//! snapshot is byte-identical to the genesis replay. `--truncate`
+//! archives the journal prefix behind each checkpoint (incompatible
+//! with `--audit-tail`: truncation swaps the journal inode, which a
+//! live byte-offset tail cannot follow). `--checkpoint-chaos SEED`
+//! faults the checkpoint path itself (`checkpoint_chaos_plan`:
+//! snapshot write/rename tears, anchor-append and truncation failures)
+//! — failed checkpoints are counted and recovery falls back to the
+//! previous valid one, never a half-written snapshot.
 //!
 //! `simulate` is the default subcommand: `hka-sim --trace-out t.jsonl
 //! --metrics` simulates with defaults. `--trace-out FILE` streams every
@@ -282,10 +302,9 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     if shards > 1 {
         let mut ts = protected_sharded(&world, k, shards, backend);
         if let Some(file) = open_trace_out(&flags) {
-            ts.attach_journal(hka::obs::Journal::new(Box::new(std::io::BufWriter::new(
-                file,
-            ))
-                as Box<dyn hka::obs::DurableSink>));
+            ts.attach_journal(hka::obs::Journal::new(
+                Box::new(std::io::BufWriter::new(file)) as Box<dyn hka::obs::DurableSink>,
+            ));
         }
         errors = run_events_sharded(&mut ts, &world);
         ts.flush_journal().unwrap_or_else(|e| {
@@ -293,9 +312,12 @@ fn cmd_simulate(flags: HashMap<String, String>) {
             std::process::exit(1);
         });
         st = ts.stats();
-        audit_rows = collect_audit_rows(&world, k, |u| ts.audit_patterns(u, k), |u| {
-            ts.privacy_indicator(u)
-        });
+        audit_rows = collect_audit_rows(
+            &world,
+            k,
+            |u| ts.audit_patterns(u, k),
+            |u| ts.privacy_indicator(u),
+        );
         log_len = ts.log().events().len() as u64;
         log_dropped = ts.log().dropped();
         journal_info = flags.get("trace-out").cloned();
@@ -303,10 +325,9 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     } else {
         let mut ts = protected_server(&world, k, backend);
         if let Some(file) = open_trace_out(&flags) {
-            ts.attach_journal(hka::obs::Journal::new(Box::new(std::io::BufWriter::new(
-                file,
-            ))
-                as Box<dyn std::io::Write + Send + Sync>));
+            ts.attach_journal(hka::obs::Journal::new(
+                Box::new(std::io::BufWriter::new(file)) as Box<dyn std::io::Write + Send + Sync>,
+            ));
         }
         errors = run_events(&mut ts, &world);
         ts.flush_journal().unwrap_or_else(|e| {
@@ -314,18 +335,33 @@ fn cmd_simulate(flags: HashMap<String, String>) {
             std::process::exit(1);
         });
         st = ts.log().stats();
-        audit_rows = collect_audit_rows(&world, k, |u| ts.audit_patterns(u, k), |u| {
-            ts.privacy_indicator(u)
-        });
+        audit_rows = collect_audit_rows(
+            &world,
+            k,
+            |u| ts.audit_patterns(u, k),
+            |u| ts.privacy_indicator(u),
+        );
         log_len = ts.log().events().len() as u64;
         log_dropped = ts.log().dropped();
         journal_info = flags.get("trace-out").cloned();
     }
 
-    println!("simulated {days} days, {} users, k = {k}", world.agents.len());
-    println!("forwarded:        {} ({} exact, {} generalized)", st.forwarded(), st.forwarded_exact, st.generalized());
+    println!(
+        "simulated {days} days, {} users, k = {k}",
+        world.agents.len()
+    );
+    println!(
+        "forwarded:        {} ({} exact, {} generalized)",
+        st.forwarded(),
+        st.forwarded_exact,
+        st.generalized()
+    );
     println!("HK success rate:  {:.1}%", 100.0 * st.hk_success_rate());
-    println!("mean cloak:       {:.0} m² × {:.0} s", st.mean_generalized_area(), st.mean_generalized_duration());
+    println!(
+        "mean cloak:       {:.0} m² × {:.0} s",
+        st.mean_generalized_area(),
+        st.mean_generalized_duration()
+    );
     println!("pseudonym changes:{}", st.pseudonym_changes);
     println!("at-risk notices:  {}", st.at_risk);
     println!("full matches:     {}", st.lbqid_matches);
@@ -454,7 +490,11 @@ fn cmd_attack(flags: HashMap<String, String>) {
         let home = world.home_of(agent.user);
         ts.register_user(
             agent.user,
-            if home.is_some() { level } else { PrivacyLevel::Off },
+            if home.is_some() {
+                level
+            } else {
+                PrivacyLevel::Off
+            },
         );
         if let Some(home) = home {
             registry.add(home, agent.user);
@@ -538,7 +578,8 @@ fn chaos_run(
     // *logged*, after the forwarding decision; its effect is the mode
     // machine, which the next request's gate sees.
     let request_sites = [sites::PHL_WRITE, sites::INDEX_QUERY, sites::MIXZONE];
-    let fired_now = |inj: &FaultInjector| -> u64 { request_sites.iter().map(|s| inj.fired(s)).sum() };
+    let fired_now =
+        |inj: &FaultInjector| -> u64 { request_sites.iter().map(|s| inj.fired(s)).sum() };
 
     let mut report = ChaosReport {
         requests: 0,
@@ -633,13 +674,16 @@ fn chaos_run_sharded(
     let mut ts = protected_sharded(&world, k, shards, backend);
     let injector = FaultInjector::new(randomized_plan(seed));
     ts.attach_faults(injector.clone());
-    ts.attach_journal(hka::obs::Journal::new(Box::new(hka::obs::Unsynced(
-        FaultyWriter::new(std::io::sink(), injector.clone()),
-    ))
-        as Box<dyn hka::obs::DurableSink>));
+    ts.attach_journal(hka::obs::Journal::new(
+        Box::new(hka::obs::Unsynced(FaultyWriter::new(
+            std::io::sink(),
+            injector.clone(),
+        ))) as Box<dyn hka::obs::DurableSink>,
+    ));
 
     let request_sites = [sites::PHL_WRITE, sites::INDEX_QUERY, sites::MIXZONE];
-    let fired_now = |inj: &FaultInjector| -> u64 { request_sites.iter().map(|s| inj.fired(s)).sum() };
+    let fired_now =
+        |inj: &FaultInjector| -> u64 { request_sites.iter().map(|s| inj.fired(s)).sum() };
 
     let mut report = ChaosReport {
         requests: 0,
@@ -748,11 +792,23 @@ fn cmd_audit(flags: HashMap<String, String>) {
         std::process::exit(2);
     };
     let cfg = audit_config(&flags);
-    let outcome = hka::audit::replay_file(std::path::Path::new(journal), cfg)
+    // With --snapshot the replay resumes from the checkpoint anchor
+    // (the snapshot's embedded audit config wins over the flags); the
+    // outcome is byte-identical to the genesis replay, just cheaper.
+    let outcome = match flags.get("snapshot").filter(|p| p.as_str() != "true") {
+        Some(snap) => hka::audit::resume_from_snapshot(
+            std::path::Path::new(journal),
+            std::path::Path::new(snap),
+        )
         .unwrap_or_else(|e| {
+            eprintln!("cannot resume {journal} from {snap}: {e}");
+            std::process::exit(2);
+        }),
+        None => hka::audit::replay_file(std::path::Path::new(journal), cfg).unwrap_or_else(|e| {
             eprintln!("cannot read {journal}: {e}");
             std::process::exit(2);
-        });
+        }),
+    };
     if let Some(path) = flags.get("json").filter(|p| p.as_str() != "true") {
         std::fs::write(path, outcome.to_json().to_string() + "\n").unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
@@ -793,7 +849,12 @@ fn cmd_watch(args: &[String]) {
     };
     let flags = parse_flags(rest);
     let journal = positional
-        .or_else(|| flags.get("journal").filter(|p| p.as_str() != "true").cloned())
+        .or_else(|| {
+            flags
+                .get("journal")
+                .filter(|p| p.as_str() != "true")
+                .cloned()
+        })
         .unwrap_or_else(|| {
             eprintln!("watch requires a journal path: hka-sim watch FILE [--flags]");
             std::process::exit(2);
@@ -802,7 +863,10 @@ fn cmd_watch(args: &[String]) {
     let idle_exit = get(&flags, "idle-exit", 0u64);
     let json = flags.contains_key("json");
     let cfg = audit_config(&flags);
-    let report_path = flags.get("report").filter(|p| p.as_str() != "true").cloned();
+    let report_path = flags
+        .get("report")
+        .filter(|p| p.as_str() != "true")
+        .cloned();
 
     let emit = |frame: &hka::audit::WatchFrame| {
         if json {
@@ -812,7 +876,20 @@ fn cmd_watch(args: &[String]) {
         }
     };
 
-    let mut tail = hka::audit::TailAuditor::open(std::path::Path::new(&journal), cfg);
+    // --snapshot starts the tail at the checkpoint anchor instead of
+    // genesis; once caught up, frames and the final report are
+    // byte-identical to a genesis tail of the same journal.
+    let mut tail = match flags.get("snapshot").filter(|p| p.as_str() != "true") {
+        Some(snap) => hka::audit::TailAuditor::resume_from_snapshot(
+            std::path::Path::new(&journal),
+            std::path::Path::new(snap),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot resume {journal} from {snap}: {e}");
+            std::process::exit(2);
+        }),
+        None => hka::audit::TailAuditor::open(std::path::Path::new(&journal), cfg),
+    };
     let mut idle = 0u64;
     let code = loop {
         let poll = tail.poll();
@@ -869,6 +946,23 @@ fn cmd_serve_drill(flags: HashMap<String, String>) {
     let backend = get_backend(&flags);
     let audit_tail = flags.contains_key("audit-tail");
     let cfg = audit_config(&flags);
+    let checkpoint_every = get(&flags, "checkpoint-every", 0u64);
+    let truncate = flags.contains_key("truncate");
+    if truncate && checkpoint_every == 0 {
+        eprintln!("--truncate requires --checkpoint-every N");
+        std::process::exit(2);
+    }
+    if truncate && audit_tail {
+        eprintln!(
+            "--truncate archives the journal prefix by swapping a new inode into place, \
+             which a live byte-offset tail cannot follow; drop --audit-tail or --truncate"
+        );
+        std::process::exit(2);
+    }
+    if flags.contains_key("checkpoint-chaos") && checkpoint_every == 0 {
+        eprintln!("--checkpoint-chaos requires --checkpoint-every N");
+        std::process::exit(2);
+    }
     let journal_path = flags
         .get("journal")
         .filter(|p| p.as_str() != "true")
@@ -897,10 +991,31 @@ fn cmd_serve_drill(flags: HashMap<String, String>) {
         eprintln!("cannot create {journal_path}: {e}");
         std::process::exit(1);
     });
-    ts.attach_journal(hka::obs::Journal::new(Box::new(std::io::BufWriter::new(
-        file,
-    ))
-        as Box<dyn std::io::Write + Send + Sync>));
+    ts.attach_journal(hka::obs::Journal::new(
+        Box::new(std::io::BufWriter::new(file)) as Box<dyn std::io::Write + Send + Sync>,
+    ));
+
+    // The checkpointer for the drill: snapshots live next to the
+    // journal, and --checkpoint-chaos faults the checkpoint path itself
+    // (a failed checkpoint leaves the previous one authoritative — the
+    // exit-time equivalence check proves it).
+    let mut cp = (checkpoint_every > 0).then(|| {
+        let dir = format!("{journal_path}.ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cp = Checkpointer::new(&path, &dir).with_audit_config(cfg);
+        if flags.contains_key("checkpoint-chaos") {
+            cp.attach_faults(FaultInjector::new(checkpoint_chaos_plan(get(
+                &flags,
+                "checkpoint-chaos",
+                seed,
+            ))));
+        }
+        cp
+    });
+    let mut last_ckpt_seq: Option<u64> = None;
+    let mut ckpt_ok = 0u64;
+    let mut ckpt_failed = 0u64;
+    let mut ckpt_archived = 0u64;
 
     // The tailing auditor runs in its own thread, polling the same file
     // the server appends to. It stops once the writer is done AND a
@@ -992,9 +1107,62 @@ fn cmd_serve_drill(flags: HashMap<String, String>) {
                         _ => deliveries.push(e.at),
                     }
                     for at in deliveries {
-                        if ts.try_handle_request(e.user, at, ServiceId(service)).is_err() {
+                        if ts
+                            .try_handle_request(e.user, at, ServiceId(service))
+                            .is_err()
+                        {
                             errors += 1;
                         }
+                    }
+                }
+            }
+            if let Some(cp) = cp.as_mut() {
+                // A checkpoint covers a chain position, so the cadence
+                // is journal growth, not event count — most workload
+                // events journal nothing, and re-snapshotting an
+                // unchanged chain would buy two fsyncs for no new
+                // state. `seq + 1` because the previous anchor record
+                // itself sits at `last_ckpt_seq`.
+                let due = match (ts.journal_position(), last_ckpt_seq) {
+                    (Some((records, _)), Some(seq)) => {
+                        records.saturating_sub(seq + 1) >= checkpoint_every
+                    }
+                    (Some((records, _)), None) => records >= checkpoint_every,
+                    (None, _) => false,
+                };
+                if due {
+                    match cp.checkpoint(&mut ts, truncate) {
+                        Ok(receipt) => {
+                            ckpt_ok += 1;
+                            ckpt_archived += receipt.truncated_bytes;
+                            last_ckpt_seq = Some(receipt.seq);
+                            // Restore fidelity: a server rebuilt from the
+                            // just-written snapshot must be identical to
+                            // the live one at this instant.
+                            let (restored, _, _) = cp
+                                .restore_server(TsConfig {
+                                    backend,
+                                    ..TsConfig::default()
+                                })
+                                .unwrap_or_else(|e| {
+                                    eprintln!("recovery scan failed: {e}");
+                                    std::process::exit(1);
+                                });
+                            let same = restored.server_meta() == ts.server_meta()
+                                && restored.log().stats() == ts.log().stats()
+                                && hka::trajectory::state::store_to_json(restored.store())
+                                    .to_string()
+                                    == hka::trajectory::state::store_to_json(ts.store())
+                                        .to_string();
+                            if !same {
+                                eprintln!(
+                                    "restore fidelity: MISMATCH at checkpoint seq {}",
+                                    receipt.seq
+                                );
+                                std::process::exit(1);
+                            }
+                        }
+                        Err(_) => ckpt_failed += 1,
                     }
                 }
             }
@@ -1011,6 +1179,12 @@ fn cmd_serve_drill(flags: HashMap<String, String>) {
          {errors} rejected requests",
         world.events.len()
     );
+    if checkpoint_every > 0 {
+        println!(
+            "checkpoints: {ckpt_ok} written, {ckpt_failed} failed, \
+             {ckpt_archived} prefix bytes archived"
+        );
+    }
     let offline = hka::audit::replay_file(&path, cfg).unwrap_or_else(|e| {
         eprintln!("cannot read {journal_path}: {e}");
         std::process::exit(1);
@@ -1029,7 +1203,10 @@ fn cmd_serve_drill(flags: HashMap<String, String>) {
         let tail_json = snapshot.to_json().to_string();
         let offline_json = offline.to_json().to_string();
         if tail_json == offline_json {
-            println!("equivalence: OK (tail report == offline audit, {} bytes)", tail_json.len());
+            println!(
+                "equivalence: OK (tail report == offline audit, {} bytes)",
+                tail_json.len()
+            );
         } else {
             eprintln!("equivalence: MISMATCH between live tail and offline audit");
             code = 1;
@@ -1054,6 +1231,31 @@ fn cmd_serve_drill(flags: HashMap<String, String>) {
         } else if !offline.ok() {
             code = 2;
         }
+    }
+    if let Some(last) = cp.as_ref().and_then(|c| c.last_snapshot()) {
+        match hka::audit::resume_from_snapshot(&path, last) {
+            Ok(resumed) => {
+                if truncate {
+                    // The genesis prefix was archived at the anchor; the
+                    // resumed report is the authoritative full-history
+                    // view, so there is no genesis replay to compare to.
+                    println!("checkpoint resume: OK (snapshot+suffix report over archived prefix)");
+                } else if resumed.to_json().to_string() == offline.to_json().to_string() {
+                    println!("checkpoint equivalence: OK (snapshot+suffix == genesis replay)");
+                } else {
+                    eprintln!(
+                        "checkpoint equivalence: MISMATCH (snapshot+suffix != genesis replay)"
+                    );
+                    code = 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("checkpoint resume failed: {e}");
+                code = 1;
+            }
+        }
+    } else if checkpoint_every > 0 {
+        println!("checkpoint equivalence: skipped (no checkpoint survived the run)");
     }
     println!("journal: {journal_path}");
     std::process::exit(code);

@@ -96,22 +96,25 @@ pub use hka_trajectory as trajectory;
 pub mod prelude {
     pub use hka_anonymity::{
         anonymity_set, historical_k_anonymity, is_link_connected, link_components, lt_consistent,
-        CompositeLinker,
-        HkOutcome, Linker, MsgId, Pseudonym, PseudonymLinker, ServiceId, SpRequest, TrackerLinker,
+        CompositeLinker, HkOutcome, Linker, MsgId, Pseudonym, PseudonymLinker, ServiceId,
+        SpRequest, TrackerLinker,
     };
-    pub use hka_core::adversary::{pair_attack, Adversary, AttackReport, HomeRegistry, PairRegistry};
+    pub use hka_core::adversary::{
+        pair_attack, Adversary, AttackReport, HomeRegistry, PairRegistry,
+    };
     pub use hka_core::derivation::{derive_lbqids, DerivationConfig, DerivedPattern};
     pub use hka_core::planning::{evaluate_deployment, DeploymentReport, PlanningConfig};
     pub use hka_core::{
-        algorithm1_first, algorithm1_first_brute, algorithm1_subsequent, Generalization,
-        JournalHealth, MixZoneConfig, MixZoneManager, PrivacyIndicator, PrivacyLevel,
-        PrivacyParams, RandomizeConfig, Randomizer, RequestOutcome, RetryPolicy, RiskAction,
-        ServerMode, SharedTrustedServer, Tolerance, TrustedServer, TsConfig, TsError, TsEvent,
-        TsStats, UnlinkDecision,
+        algorithm1_first, algorithm1_first_brute, algorithm1_subsequent, CheckpointReceipt,
+        Checkpointer, Generalization, JournalHealth, MixZoneConfig, MixZoneManager,
+        PrivacyIndicator, PrivacyLevel, PrivacyParams, RandomizeConfig, Randomizer,
+        RecoveredCheckpoint, RequestOutcome, RetryPolicy, RiskAction, ServerMeta, ServerMode,
+        SharedTrustedServer, Tolerance, TrustedServer, TsConfig, TsError, TsEvent, TsStats,
+        UnlinkDecision,
     };
     pub use hka_faults::{
-        randomized_plan, tail_chaos_plan, FaultInjector, FaultKind, FaultPlan, FaultRule,
-        FaultyWriter, Trigger,
+        checkpoint_chaos_plan, randomized_plan, tail_chaos_plan, FaultInjector, FaultKind,
+        FaultPlan, FaultRule, FaultyWriter, Trigger,
     };
     pub use hka_geo::{
         DayWindow, Point, Rect, SpaceTimeScale, StBox, StPoint, TimeInterval, TimeSec, DAY, HOUR,
@@ -126,7 +129,7 @@ pub mod prelude {
     pub use hka_shard::ShardedTs;
     pub use hka_trajectory::io::{read_store, write_store};
     pub use hka_trajectory::{
-        brute, BruteIndex, GridIndex, GridIndexConfig, IndexBackend, IndexSnapshot, Phl,
-        RTreeIndex, SpatialIndex, TrajectoryStore, UserId,
+        brute, BruteIndex, CompactionPolicy, CompactionStats, GridIndex, GridIndexConfig,
+        IndexBackend, IndexSnapshot, Phl, RTreeIndex, SpatialIndex, TrajectoryStore, UserId,
     };
 }

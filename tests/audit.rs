@@ -17,7 +17,10 @@ struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(buf);
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -132,8 +135,8 @@ fn fixture_bytes() -> Vec<u8> {
 /// --test audit` after a *versioned* schema change.
 #[test]
 fn journal_v1_fixture_is_byte_stable() {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures/journal_v1.jsonl");
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/journal_v1.jsonl");
     let generated = fixture_bytes();
     if std::env::var_os("HKA_BLESS").is_some() {
         std::fs::write(&path, &generated).unwrap();
@@ -156,7 +159,10 @@ fn auditor_reads_the_fixture_without_drift() {
     assert!(out.ok(), "violations: {:?}", out.violations);
     assert!(out.chain.verified());
     assert_eq!(out.chain.records, 11);
-    assert_eq!(out.totals.unknown_kinds, 1, "only the vendor kind is unknown");
+    assert_eq!(
+        out.totals.unknown_kinds, 1,
+        "only the vendor kind is unknown"
+    );
     assert!(out.schema_issues.is_empty(), "{:?}", out.schema_issues);
     assert_eq!(out.totals.forwarded_exact, 1);
     assert_eq!(out.totals.forwarded_ok, 1);
@@ -239,7 +245,11 @@ fn clean_pipeline_replay_is_verified_and_violation_free() {
     assert_eq!(out.totals.lbqid_matches, st.lbqid_matches as u64);
 
     // Protected users produced k-timelines with real anonymity targets.
-    let with_samples: Vec<_> = out.users.iter().filter(|u| !u.k_samples.is_empty()).collect();
+    let with_samples: Vec<_> = out
+        .users
+        .iter()
+        .filter(|u| !u.k_samples.is_empty())
+        .collect();
     assert!(!with_samples.is_empty(), "no generalized traffic audited");
     for u in &with_samples {
         assert!(u.k_samples.iter().all(|s| s.k_req >= 2));
@@ -305,7 +315,9 @@ fn fail_open_journal_yields_violations() {
     let mut journal = obs::Journal::new(Vec::new());
     // Sub-k release with no at-risk notification anywhere: the paper's
     // Section 6.1 duty to notify was skipped.
-    journal.append("ts.forwarded", mk_fwd(1, 100, true, false, 2)).unwrap();
+    journal
+        .append("ts.forwarded", mk_fwd(1, 100, true, false, 2))
+        .unwrap();
     // The ladder says read-only, yet a request flows.
     journal
         .append(
@@ -317,7 +329,9 @@ fn fail_open_journal_yields_violations() {
             ]),
         )
         .unwrap();
-    journal.append("ts.forwarded", mk_fwd(2, 300, true, true, 5)).unwrap();
+    journal
+        .append("ts.forwarded", mk_fwd(2, 300, true, true, 5))
+        .unwrap();
     let bytes = journal.into_inner();
 
     let out = audit::replay(&bytes[..], AuditConfig::default());

@@ -96,7 +96,10 @@ fn interval_cloaking_is_comparable_in_dense_areas() {
         }
     }
     assert!(samples > 100);
-    assert!(both > samples / 2, "cloaking should usually succeed: {both}/{samples}");
+    assert!(
+        both > samples / 2,
+        "cloaking should usually succeed: {both}/{samples}"
+    );
 }
 
 /// Uniform coarsening guarantees nothing: there exist cells where the
@@ -148,9 +151,7 @@ fn temporal_cloaking_monotone_in_k() {
         if let Some(w) = interval_cloaking::temporal_cloak(&index, area, &at, k, 60, 12 * HOUR) {
             assert!(w.duration() >= last, "k={k} shrank the window");
             last = w.duration();
-            assert!(
-                interval_cloaking::anonymity_set(&index, area, w).len() >= k
-            );
+            assert!(interval_cloaking::anonymity_set(&index, area, w).len() >= k);
         }
     }
 }

@@ -18,7 +18,10 @@ struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(buf);
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -180,8 +183,9 @@ fn journal_outage_walks_the_mode_ladder_and_recovers() {
         FaultKind::Io,
     ));
     ts.attach_journal_with(
-        obs::Journal::new(Box::new(FaultyWriter::new(std::io::sink(), broken))
-            as Box<dyn Write + Send + Sync>),
+        obs::Journal::new(
+            Box::new(FaultyWriter::new(std::io::sink(), broken)) as Box<dyn Write + Send + Sync>
+        ),
         RetryPolicy {
             attempts: 1,
             max_failures: 2,
@@ -285,7 +289,10 @@ fn crashed_file_journal_recovers_and_extends_a_verified_chain() {
     assert!(report.valid_records > 0, "no intact prefix survived");
     assert!(report.truncated_bytes > 0, "the tear left nothing to drop");
     journal
-        .append("chaos.recovered", obs::Json::obj([("ok", obs::Json::Bool(true))]))
+        .append(
+            "chaos.recovered",
+            obs::Json::obj([("ok", obs::Json::Bool(true))]),
+        )
         .unwrap();
     journal.flush().unwrap();
     drop(journal);
@@ -314,7 +321,11 @@ fn audited_chaos_journal_replays_clean() {
     let mut ts = protected_server(&world, 4);
     let plan = FaultPlan::new(21)
         .with_rule(sites::PHL_WRITE, Trigger::EveryNth(5), FaultKind::Drop)
-        .with_rule(sites::INDEX_QUERY, Trigger::EveryNth(7), FaultKind::Unavailable)
+        .with_rule(
+            sites::INDEX_QUERY,
+            Trigger::EveryNth(7),
+            FaultKind::Unavailable,
+        )
         .with_rule(sites::MIXZONE, Trigger::EveryNth(3), FaultKind::Unavailable);
     let injector = FaultInjector::new(plan);
     ts.attach_faults(injector.clone());
@@ -337,7 +348,10 @@ fn audited_chaos_journal_replays_clean() {
     let out = audit::replay(&bytes[..], AuditConfig::default());
     assert!(out.chain.verified(), "{:?}", out.chain.error);
     assert!(out.ok(), "violations: {:?}", out.violations);
-    assert!(out.violations.is_empty(), "faulted requests must fail closed");
+    assert!(
+        out.violations.is_empty(),
+        "faulted requests must fail closed"
+    );
     assert!(out.mode_consistent);
     assert!(
         out.mode_transitions.is_empty(),
@@ -363,8 +377,9 @@ fn audited_recovery_journal_opens_with_the_ladder_transition() {
         FaultKind::Io,
     ));
     ts.attach_journal_with(
-        obs::Journal::new(Box::new(FaultyWriter::new(std::io::sink(), broken))
-            as Box<dyn Write + Send + Sync>),
+        obs::Journal::new(
+            Box::new(FaultyWriter::new(std::io::sink(), broken)) as Box<dyn Write + Send + Sync>
+        ),
         RetryPolicy {
             attempts: 1,
             max_failures: 2,

@@ -18,7 +18,15 @@ fn hka_sim(args: &[&str]) -> (bool, String, String) {
 #[test]
 fn simulate_prints_summary_and_audits() {
     let (ok, stdout, _) = hka_sim(&[
-        "simulate", "--days", "3", "--commuters", "3", "--roamers", "20", "--k", "3",
+        "simulate",
+        "--days",
+        "3",
+        "--commuters",
+        "3",
+        "--roamers",
+        "20",
+        "--k",
+        "3",
     ]);
     assert!(ok);
     assert!(stdout.contains("simulated 3 days"));
@@ -96,8 +104,19 @@ fn index_backend_is_observationally_invariant() {
 
     let run = |index: &str, out: &str| {
         let (ok, stdout, stderr) = hka_sim(&[
-            "simulate", "--days", "2", "--commuters", "3", "--roamers", "20",
-            "--shards", "4", "--index", index, "--trace-out", out,
+            "simulate",
+            "--days",
+            "2",
+            "--commuters",
+            "3",
+            "--roamers",
+            "20",
+            "--shards",
+            "4",
+            "--index",
+            index,
+            "--trace-out",
+            out,
         ]);
         assert!(ok, "{stderr}");
         stdout
@@ -116,7 +135,10 @@ fn index_backend_is_observationally_invariant() {
     );
     // Summaries agree too, modulo the line naming the output path.
     let strip = |s: &str| -> String {
-        s.lines().filter(|l| !l.contains(".journal")).collect::<Vec<_>>().join("\n")
+        s.lines()
+            .filter(|l| !l.contains(".journal"))
+            .collect::<Vec<_>>()
+            .join("\n")
     };
     assert_eq!(strip(&grid_stdout), strip(&rtree_stdout));
 
@@ -142,8 +164,15 @@ fn simulate_then_audit_round_trips() {
     let report_s = report.to_str().unwrap();
 
     let (ok, _, stderr) = hka_sim(&[
-        "simulate", "--days", "2", "--commuters", "3", "--roamers", "20",
-        "--trace-out", journal_s,
+        "simulate",
+        "--days",
+        "2",
+        "--commuters",
+        "3",
+        "--roamers",
+        "20",
+        "--trace-out",
+        journal_s,
     ]);
     assert!(ok, "{stderr}");
 

@@ -16,7 +16,10 @@ struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(buf);
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -77,7 +80,11 @@ fn pipeline_journal_verifies_and_covers_every_event() {
     let bytes = sink.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
     let report = obs::verify_chain(&bytes[..]).expect("chain intact");
     let journaled = ts.log().events().len() as u64 + ts.log().dropped();
-    assert_eq!(report.records.len() as u64, journaled, "journal covers every event");
+    assert_eq!(
+        report.records.len() as u64,
+        journaled,
+        "journal covers every event"
+    );
     assert!(!report.records.is_empty(), "simulation produced events");
     // Tampering with any byte of a payload must break verification.
     let mut tampered = bytes.clone();
@@ -93,7 +100,12 @@ fn pipeline_journal_verifies_and_covers_every_event() {
 fn pipeline_metrics_cover_all_hot_paths() {
     let (ts, _) = run_pipeline();
     let snap = ts.metrics_snapshot();
-    for counter in ["ts.requests", "ts.forwarded", "algo1.iterations", "index.probes"] {
+    for counter in [
+        "ts.requests",
+        "ts.forwarded",
+        "algo1.iterations",
+        "index.probes",
+    ] {
         assert!(snap.counter(counter) > 0, "counter {counter} is zero");
     }
     for stage in [
@@ -129,7 +141,10 @@ fn thousand_event_chain_verifies_and_detects_reorder() {
     let report = obs::verify_chain(&bytes[..]).expect("1k-event chain intact");
     assert_eq!(report.records.len(), 1_000);
     // Swapping two adjacent records breaks the chain.
-    let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+    let mut lines: Vec<&[u8]> = bytes
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .collect();
     lines.swap(500, 501);
     let reordered = lines.join(&b'\n');
     assert!(obs::verify_chain(&reordered[..]).is_err());
@@ -154,7 +169,15 @@ fn cli_trace_out_and_metrics_default_to_simulate() {
     let trace = dir.join("trace.jsonl");
     let trace_s = trace.to_str().unwrap();
     let (ok, stdout, stderr) = hka_sim(&[
-        "--trace-out", trace_s, "--metrics", "--days", "2", "--commuters", "3", "--roamers", "15",
+        "--trace-out",
+        trace_s,
+        "--metrics",
+        "--days",
+        "2",
+        "--commuters",
+        "3",
+        "--roamers",
+        "15",
     ]);
     assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
     // The subcommand defaulted to `simulate`.

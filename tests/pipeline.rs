@@ -137,7 +137,10 @@ fn hk_ok_contexts_hold_k_witnesses() {
             checked += 1;
         }
     }
-    assert!(checked > 10, "expected a meaningful number of HK-ok requests");
+    assert!(
+        checked > 10,
+        "expected a meaningful number of HK-ok requests"
+    );
 }
 
 /// Tolerance constraints are honored by every generalized context.
@@ -171,8 +174,7 @@ fn pseudonyms_are_unique_and_single_user() {
     // With unlinking happening, protected users accumulate > 1 pseudonym.
     let changes = ts.log().stats().pseudonym_changes;
     if changes > 0 {
-        let distinct: std::collections::BTreeSet<Pseudonym> =
-            owner.keys().copied().collect();
+        let distinct: std::collections::BTreeSet<Pseudonym> = owner.keys().copied().collect();
         assert!(distinct.len() > ts.store().user_count() - changes);
     }
 }
@@ -183,8 +185,7 @@ fn pseudonyms_are_unique_and_single_user() {
 fn full_matches_are_sound_wrt_definition3() {
     let (world, ts) = run_city(13, 14, medium());
     for u in world.commuters() {
-        let lbqid =
-            Lbqid::example_commute(world.home_of(u).unwrap(), world.office_of(u).unwrap());
+        let lbqid = Lbqid::example_commute(world.home_of(u).unwrap(), world.office_of(u).unwrap());
         // Exact anchor request points of this user, from the workload.
         let points: Vec<StPoint> = world
             .events

@@ -129,7 +129,10 @@ fn drive_seq(ts: &mut TrustedServer, world: &World) -> Outcomes {
         match e.kind {
             EventKind::Location => ts.location_update(e.user, e.at),
             EventKind::Request { service } => {
-                out.push((e.user, ts.try_handle_request(e.user, e.at, ServiceId(service))));
+                out.push((
+                    e.user,
+                    ts.try_handle_request(e.user, e.at, ServiceId(service)),
+                ));
             }
         }
     }
@@ -157,7 +160,9 @@ fn drive_sharded(ts: &mut ShardedTs, world: &World) -> Outcomes {
 /// the msg-id and pseudonym values.
 fn fingerprint(o: &Result<RequestOutcome, TsError>) -> String {
     match o {
-        Ok(RequestOutcome::Forwarded(r)) => format!("fwd service={:?} ctx={:?}", r.service, r.context),
+        Ok(RequestOutcome::Forwarded(r)) => {
+            format!("fwd service={:?} ctx={:?}", r.service, r.context)
+        }
         Ok(RequestOutcome::Suppressed(reason)) => format!("sup {reason:?}"),
         Err(e) => format!("err {e}"),
     }
@@ -275,19 +280,18 @@ fn serialized_mode_is_byte_identical_including_journals() {
     let world = build_world(11, 4);
 
     let mut seq = setup_seq(&world, config);
-    seq.attach_journal(obs::Journal::new(Box::new(
-        std::fs::File::create(&seq_path).unwrap(),
-    )
-        as Box<dyn std::io::Write + Send + Sync>));
+    seq.attach_journal(obs::Journal::new(
+        Box::new(std::fs::File::create(&seq_path).unwrap())
+            as Box<dyn std::io::Write + Send + Sync>,
+    ));
     let seq_out = drive_seq(&mut seq, &world);
     seq.flush_journal().unwrap();
     drop(seq);
 
     let mut shd = setup_sharded(&world, config, 4);
-    shd.attach_journal(obs::Journal::new(Box::new(
-        std::fs::File::create(&shd_path).unwrap(),
-    )
-        as Box<dyn obs::DurableSink>));
+    shd.attach_journal(obs::Journal::new(
+        Box::new(std::fs::File::create(&shd_path).unwrap()) as Box<dyn obs::DurableSink>,
+    ));
     let shd_out = drive_sharded(&mut shd, &world);
     shd.flush_journal().unwrap();
     drop(shd);
@@ -337,10 +341,9 @@ fn sharded_journal_verifies_and_audits_clean() {
     let world = build_world(21, 6);
     let mut shd = setup_sharded(&world, TsConfig::default(), 4);
     shd.set_parallel_threshold(0);
-    shd.attach_journal(obs::Journal::new(Box::new(
-        std::fs::File::create(&path).unwrap(),
-    )
-        as Box<dyn obs::DurableSink>));
+    shd.attach_journal(obs::Journal::new(
+        Box::new(std::fs::File::create(&path).unwrap()) as Box<dyn obs::DurableSink>,
+    ));
     drive_sharded(&mut shd, &world);
     shd.flush_journal().unwrap();
     let journal = shd.take_journal().expect("journal attached");
@@ -359,5 +362,9 @@ fn sharded_journal_verifies_and_audits_clean() {
         "audit violations: {:?}",
         outcome.violations
     );
-    assert!(outcome.schema_issues.is_empty(), "{:?}", outcome.schema_issues);
+    assert!(
+        outcome.schema_issues.is_empty(),
+        "{:?}",
+        outcome.schema_issues
+    );
 }

@@ -61,8 +61,20 @@ fn serve_drill_with_live_tail_is_clean_and_watchable() {
     let path = tmp("drill.journal");
     let path_s = path.to_str().unwrap();
     let (code, stdout, stderr) = hka_sim(&[
-        "serve-drill", "--audit-tail", "--journal", path_s, "--days", "1",
-        "--commuters", "4", "--roamers", "16", "--segments", "2", "--interval-ms", "5",
+        "serve-drill",
+        "--audit-tail",
+        "--journal",
+        path_s,
+        "--days",
+        "1",
+        "--commuters",
+        "4",
+        "--roamers",
+        "16",
+        "--segments",
+        "2",
+        "--interval-ms",
+        "5",
     ]);
     assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
     assert!(stdout.contains("equivalence: OK"), "{stdout}");
@@ -73,12 +85,23 @@ fn serve_drill_with_live_tail_is_clean_and_watchable() {
     let watch = tmp("drill-watch.json");
     let offline = tmp("drill-offline.json");
     let (code, stdout, _) = hka_sim(&[
-        "watch", path_s, "--idle-exit", "2", "--interval-ms", "20",
-        "--report", watch.to_str().unwrap(),
+        "watch",
+        path_s,
+        "--idle-exit",
+        "2",
+        "--interval-ms",
+        "20",
+        "--report",
+        watch.to_str().unwrap(),
     ]);
     assert_eq!(code, 0, "{stdout}");
     let (code, _, _) = hka_sim(&[
-        "audit", "--journal", path_s, "--json", offline.to_str().unwrap(), "--quiet",
+        "audit",
+        "--journal",
+        path_s,
+        "--json",
+        offline.to_str().unwrap(),
+        "--quiet",
     ]);
     assert_eq!(code, 0);
     assert_eq!(
@@ -101,9 +124,22 @@ fn chaos_under_tail_never_reports_a_false_violation() {
         let path = tmp(&format!("chaos-{seed}.journal"));
         let path_s = path.to_str().unwrap();
         let (code, stdout, stderr) = hka_sim(&[
-            "serve-drill", "--audit-tail", "--journal", path_s, "--days", "1",
-            "--commuters", "4", "--roamers", "16", "--segments", "3",
-            "--interval-ms", "5", "--chaos", &seed.to_string(),
+            "serve-drill",
+            "--audit-tail",
+            "--journal",
+            path_s,
+            "--days",
+            "1",
+            "--commuters",
+            "4",
+            "--roamers",
+            "16",
+            "--segments",
+            "3",
+            "--interval-ms",
+            "5",
+            "--chaos",
+            &seed.to_string(),
         ]);
         assert_eq!(code, 0, "seed {seed}: stdout:\n{stdout}\nstderr:\n{stderr}");
         assert!(stdout.contains("equivalence: OK"), "seed {seed}: {stdout}");
@@ -116,18 +152,31 @@ fn chaos_under_tail_never_reports_a_false_violation() {
 fn watch_flags_a_violation_with_its_journal_offset() {
     let path = tmp("violation.journal");
     let mut journal = obs::Journal::new(std::fs::File::create(&path).unwrap());
-    journal.append("ts.forwarded", forwarded(1, 100, false, true)).unwrap();
+    journal
+        .append("ts.forwarded", forwarded(1, 100, false, true))
+        .unwrap();
     journal.flush().unwrap();
     let offset = std::fs::metadata(&path).unwrap().len();
     // A sub-k (clamped) generalized forward with no preceding at-risk
     // notification: an UnexplainedClamp the watcher must flag.
-    journal.append("ts.forwarded", forwarded(1, 200, true, false)).unwrap();
+    journal
+        .append("ts.forwarded", forwarded(1, 200, true, false))
+        .unwrap();
     journal.flush().unwrap();
     drop(journal);
 
-    let (code, stdout, stderr) =
-        hka_sim(&["watch", path.to_str().unwrap(), "--idle-exit", "2", "--interval-ms", "20"]);
-    assert_eq!(code, 2, "watch exits 2 on violations\nstdout:\n{stdout}\nstderr:\n{stderr}");
+    let (code, stdout, stderr) = hka_sim(&[
+        "watch",
+        path.to_str().unwrap(),
+        "--idle-exit",
+        "2",
+        "--interval-ms",
+        "20",
+    ]);
+    assert_eq!(
+        code, 2,
+        "watch exits 2 on violations\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
     assert!(stderr.contains("unexplained_clamp"), "{stderr}");
     assert!(
         stderr.contains(&format!("offset {offset}")),
@@ -145,16 +194,27 @@ fn watch_and_audit_agree_on_an_empty_journal() {
     let watch = tmp("empty-watch.json");
     let offline = tmp("empty-offline.json");
     let (code, stdout, stderr) = hka_sim(&[
-        "watch", path.to_str().unwrap(), "--idle-exit", "1",
-        "--report", watch.to_str().unwrap(),
+        "watch",
+        path.to_str().unwrap(),
+        "--idle-exit",
+        "1",
+        "--report",
+        watch.to_str().unwrap(),
     ]);
     assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
     let (code, stdout, _) = hka_sim(&[
-        "audit", "--journal", path.to_str().unwrap(),
-        "--json", offline.to_str().unwrap(), "--quiet",
+        "audit",
+        "--journal",
+        path.to_str().unwrap(),
+        "--json",
+        offline.to_str().unwrap(),
+        "--quiet",
     ]);
     assert_eq!(code, 0, "{stdout}");
-    assert_eq!(std::fs::read(&watch).unwrap(), std::fs::read(&offline).unwrap());
+    assert_eq!(
+        std::fs::read(&watch).unwrap(),
+        std::fs::read(&offline).unwrap()
+    );
     for p in [path, watch, offline] {
         let _ = std::fs::remove_file(p);
     }
@@ -180,14 +240,20 @@ fn tail_survives_recovery_truncation_and_rechain() {
     journal.flush().unwrap();
     drop(journal);
     // Crash mid-append: a newline-less torn tail.
-    let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
     f.write_all(br#"{"hash":"torn-mid-append"#).unwrap();
     drop(f);
 
     let mut tail = TailAuditor::open(&path, AuditConfig::default());
     let poll = tail.poll();
     assert_eq!(poll.new_records, 3);
-    assert!(poll.torn_bytes > 0, "the torn tail is visible but not consumed");
+    assert!(
+        poll.torn_bytes > 0,
+        "the torn tail is visible but not consumed"
+    );
     assert!(poll.chain_error.is_none());
 
     // Recovery truncates exactly the bytes the tailer never consumed,
@@ -205,8 +271,15 @@ fn tail_survives_recovery_truncation_and_rechain() {
     drop(journal);
 
     let poll = tail.poll();
-    assert!(poll.chain_error.is_none(), "recovery must be invisible: {:?}", poll.chain_error);
-    assert_eq!(poll.new_records, 2, "the journal.recovered marker plus the new record");
+    assert!(
+        poll.chain_error.is_none(),
+        "recovery must be invisible: {:?}",
+        poll.chain_error
+    );
+    assert_eq!(
+        poll.new_records, 2,
+        "the journal.recovered marker plus the new record"
+    );
     assert_eq!(poll.torn_bytes, 0);
 
     let tailed = tail.snapshot().to_json().to_string();
@@ -214,7 +287,10 @@ fn tail_survives_recovery_truncation_and_rechain() {
         .unwrap()
         .to_json()
         .to_string();
-    assert_eq!(tailed, offline, "tail and offline reports must be byte-identical");
+    assert_eq!(
+        tailed, offline,
+        "tail and offline reports must be byte-identical"
+    );
     let _ = std::fs::remove_file(path);
 }
 
@@ -225,7 +301,11 @@ fn small_world(seed: u64) -> World {
         n_commuters: 4,
         n_roamers: 16,
         n_poi_regulars: 2,
-        city: CityConfig { width: 2_000.0, height: 2_000.0, ..CityConfig::default() },
+        city: CityConfig {
+            width: 2_000.0,
+            height: 2_000.0,
+            ..CityConfig::default()
+        },
         ..WorldConfig::default()
     })
 }
@@ -277,10 +357,9 @@ fn journal_fault_chaos_tail_matches_offline_audit_byte_for_byte() {
         let injector = FaultInjector::new(randomized_plan(seed));
         ts.attach_faults(injector.clone());
         let file = std::fs::File::create(&path).unwrap();
-        ts.attach_journal(obs::Journal::new(Box::new(FaultyWriter::new(
-            file,
-            injector.clone(),
-        )) as Box<dyn Write + Send + Sync>));
+        ts.attach_journal(obs::Journal::new(
+            Box::new(FaultyWriter::new(file, injector.clone())) as Box<dyn Write + Send + Sync>,
+        ));
 
         let done = Arc::new(AtomicBool::new(false));
         let tailer = {
@@ -352,7 +431,8 @@ fn journal_fault_chaos_tail_matches_offline_audit_byte_for_byte() {
             .to_json()
             .to_string();
         assert_eq!(
-            tailed, offline,
+            tailed,
+            offline,
             "seed {seed}: tail and offline reports diverged on {}",
             path.display()
         );
