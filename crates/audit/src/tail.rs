@@ -81,6 +81,16 @@ pub struct WatchFrame {
     pub checkpoints: u64,
     /// Chain position of the most recent checkpoint anchor.
     pub checkpoint_seq: Option<u64>,
+    /// SLO objectives currently in breach (journaled `ts.slo_breach`
+    /// without a matching `ts.slo_recovered` yet), sorted.
+    pub slo_active: Vec<String>,
+    /// Total `ts.slo_breach` events seen so far.
+    pub slo_breaches: u64,
+    /// Trace id of the worst-latency request in the watchdog's window,
+    /// as carried by the most recent SLO transition.
+    pub worst_trace: Option<u64>,
+    /// That request's latency, microseconds.
+    pub worst_us: Option<u64>,
     /// The chain failure, rendered, if the tail has ended.
     pub chain_error: Option<String>,
 }
@@ -109,11 +119,26 @@ impl WatchFrame {
             ("offset", Json::from(self.offset)),
             ("records", Json::from(self.records)),
             ("schema_issues", Json::from(self.schema_issues)),
+            (
+                "slo_active",
+                Json::Arr(
+                    self.slo_active
+                        .iter()
+                        .map(|s| Json::from(s.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("slo_breaches", Json::from(self.slo_breaches)),
             ("suppressed", Json::from(self.suppressed)),
             ("torn_bytes", Json::from(self.torn_bytes)),
             ("unlinks", Json::from(self.unlinks)),
             ("users", Json::from(self.users as u64)),
             ("violations", Json::from(self.violations)),
+            (
+                "worst_trace",
+                self.worst_trace.map_or(Json::Null, Json::from),
+            ),
+            ("worst_us", self.worst_us.map_or(Json::Null, Json::from)),
         ])
     }
 
@@ -146,6 +171,13 @@ impl WatchFrame {
                 .map_or_else(|| "-".to_string(), |s| s.to_string());
             line.push_str(&format!(" checkpoints={}@{seq}", self.checkpoints));
         }
+        if let Some(t) = self.worst_trace {
+            let us = self.worst_us.unwrap_or(0);
+            line.push_str(&format!(" worst=t{t:08x}/{us}us"));
+        }
+        if !self.slo_active.is_empty() {
+            line.push_str(&format!(" SLO-BREACH[{}]", self.slo_active.join(",")));
+        }
         if let Some(e) = &self.chain_error {
             line.push_str(&format!(" CHAIN-ERROR: {e}"));
         }
@@ -162,6 +194,12 @@ pub struct TailAuditor {
     tailer: JournalTailer,
     auditor: Auditor,
     torn_bytes: u64,
+    /// SLO objectives currently in breach, from journaled watchdog
+    /// transitions. Watch-surface state only — it never feeds the audit
+    /// outcome, so tail/offline byte-equality is untouched.
+    slo_active: std::collections::BTreeSet<String>,
+    slo_breaches: u64,
+    worst_trace: Option<(u64, u64)>,
 }
 
 impl TailAuditor {
@@ -172,6 +210,9 @@ impl TailAuditor {
             tailer: JournalTailer::open(path),
             auditor: Auditor::new(cfg),
             torn_bytes: 0,
+            slo_active: std::collections::BTreeSet::new(),
+            slo_breaches: 0,
+            worst_trace: None,
         }
     }
 
@@ -192,7 +233,34 @@ impl TailAuditor {
             tailer: JournalTailer::resume(path, offset, snapshot.records, snapshot.head.clone()),
             auditor,
             torn_bytes: 0,
+            slo_active: std::collections::BTreeSet::new(),
+            slo_breaches: 0,
+            worst_trace: None,
         })
+    }
+
+    /// Folds one journaled SLO transition into the watch-surface state.
+    fn note_slo(&mut self, kind: &str, payload: &Json) {
+        let name = payload
+            .get("slo")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        match kind {
+            "ts.slo_breach" => {
+                self.slo_breaches += 1;
+                self.slo_active.insert(name);
+                let trace = payload.get("worst_trace").and_then(Json::as_int);
+                let us = payload.get("worst_us").and_then(Json::as_int);
+                if let Some(t) = trace {
+                    self.worst_trace = Some((t as u64, us.unwrap_or(0) as u64));
+                }
+            }
+            "ts.slo_recovered" => {
+                self.slo_active.remove(&name);
+            }
+            _ => {}
+        }
     }
 
     /// Consumes and audits whatever the journal grew since the last
@@ -204,6 +272,9 @@ impl TailAuditor {
                 out.torn_bytes = batch.torn_bytes;
                 self.torn_bytes = batch.torn_bytes;
                 for tr in &batch.records {
+                    if tr.record.kind.starts_with("ts.slo_") {
+                        self.note_slo(&tr.record.kind, &tr.record.payload);
+                    }
                     let before = self.auditor.violations().len();
                     self.auditor.ingest(&tr.record);
                     for v in &self.auditor.violations()[before..] {
@@ -280,6 +351,10 @@ impl TailAuditor {
             schema_issues: self.auditor.schema_issues().len() as u64,
             checkpoints: totals.checkpoints,
             checkpoint_seq: self.auditor.checkpoints().last().map(|(seq, _)| *seq),
+            slo_active: self.slo_active.iter().cloned().collect(),
+            slo_breaches: self.slo_breaches,
+            worst_trace: self.worst_trace.map(|(t, _)| t),
+            worst_us: self.worst_trace.map(|(_, us)| us),
             chain_error: self.tailer.error().map(|e| e.to_string()),
         }
     }
@@ -481,6 +556,70 @@ mod tests {
         // Capped tail == capped offline: equivalence holds per-config.
         let offline = replay(&bytes[..], cfg);
         assert_eq!(out.to_json().to_string(), offline.to_json().to_string());
+    }
+
+    #[test]
+    fn slo_transitions_drive_the_watch_banner_without_touching_the_audit() {
+        let tmp = TempPath::new("slo");
+        let slo = |breached: bool| {
+            let mut j = Json::obj([
+                ("at", Json::Int(100)),
+                ("slo", Json::from("latency_p99")),
+                ("value", Json::Num(9.0e7)),
+                ("threshold", Json::Num(5.0e7)),
+                ("worst_trace", Json::Int(42)),
+                ("worst_us", Json::Int(90_000)),
+            ]);
+            if !breached {
+                if let Json::Obj(m) = &mut j {
+                    m.remove("worst_trace");
+                    m.remove("worst_us");
+                }
+            }
+            j
+        };
+        let bytes = journal_of(&[
+            ("ts.forwarded", fwd(1, 100, true, true, 5, 5)),
+            ("ts.slo_breach", slo(true)),
+            ("ts.forwarded", fwd(1, 200, true, true, 5, 5)),
+        ]);
+        std::fs::write(&tmp.0, &bytes).unwrap();
+
+        let mut tail = TailAuditor::open(&tmp.0, AuditConfig::default());
+        tail.poll();
+        let frame = tail.frame();
+        assert_eq!(frame.slo_active, vec!["latency_p99".to_string()]);
+        assert_eq!(frame.slo_breaches, 1);
+        assert_eq!(frame.worst_trace, Some(42));
+        assert_eq!(frame.worst_us, Some(90_000));
+        let line = frame.render();
+        assert!(line.contains("SLO-BREACH[latency_p99]"), "{line}");
+        assert!(line.contains("worst=t0000002a/90000us"), "{line}");
+        // Watchdog telemetry never dirties the audit.
+        let out = tail.snapshot();
+        assert!(out.ok(), "{:?}", out.violations);
+        assert_eq!(out.totals.unknown_kinds, 1);
+
+        // A recovery clears the banner; the trace pointer persists.
+        let mut j = Journal::resume(
+            std::fs::OpenOptions::new()
+                .append(true)
+                .open(&tmp.0)
+                .unwrap(),
+            3,
+            tail.head().to_string(),
+        );
+        j.append("ts.slo_recovered", slo(false)).unwrap();
+        drop(j);
+        tail.poll();
+        let frame = tail.frame();
+        assert!(frame.slo_active.is_empty());
+        assert_eq!(frame.slo_breaches, 1);
+        assert_eq!(frame.worst_trace, Some(42));
+        assert!(!frame.render().contains("SLO-BREACH"), "{}", frame.render());
+        let json = frame.to_json().to_string();
+        let reparsed = hka_obs::json::parse(&json).unwrap();
+        assert_eq!(reparsed.to_string(), json, "canonical frame JSON");
     }
 
     #[test]

@@ -98,9 +98,61 @@ pub enum TsEvent {
         /// The mode entered.
         to: ServerMode,
     },
+    /// A service-level objective crossed its threshold (SLO watchdog).
+    SloBreach {
+        /// When the breach was observed (simulated time).
+        at: TimeSec,
+        /// Objective name (`latency_p99`, `suppression_rate`,
+        /// `flush_lag`, `mode_residency`).
+        slo: String,
+        /// The observed value that crossed the threshold.
+        value: f64,
+        /// The configured threshold.
+        threshold: f64,
+        /// Trace id of the worst-latency request in the window (0 when
+        /// unknown), so an operator can jump from the breach to a trace.
+        worst_trace: u64,
+        /// That request's latency, microseconds.
+        worst_us: u64,
+    },
+    /// A previously-breached objective dropped back under its threshold.
+    SloRecovered {
+        /// When the recovery was observed (simulated time).
+        at: TimeSec,
+        /// Objective name.
+        slo: String,
+        /// The observed value at recovery.
+        value: f64,
+        /// The configured threshold.
+        threshold: f64,
+    },
 }
 
 impl TsEvent {
+    /// Converts an SLO watchdog transition into its journal event,
+    /// stamped with the simulated time `at`. Breaches and recoveries
+    /// are async-class: they describe internal telemetry, never an
+    /// externally-visible decision.
+    pub fn from_slo(ev: &hka_obs::SloEvent, at: TimeSec) -> TsEvent {
+        if ev.breached {
+            TsEvent::SloBreach {
+                at,
+                slo: ev.slo.to_string(),
+                value: ev.value,
+                threshold: ev.threshold,
+                worst_trace: ev.worst_trace,
+                worst_us: ev.worst_us,
+            }
+        } else {
+            TsEvent::SloRecovered {
+                at,
+                slo: ev.slo.to_string(),
+                value: ev.value,
+                threshold: ev.threshold,
+            }
+        }
+    }
+
     /// Whether this event is **sync-class** under the flush contract
     /// (DESIGN.md §12): its journal record must reach the OS before the
     /// effect it describes becomes externally visible, so the sink
@@ -130,6 +182,8 @@ impl TsEvent {
             TsEvent::AtRisk { .. } => "ts.at_risk",
             TsEvent::LbqidMatched { .. } => "ts.lbqid_matched",
             TsEvent::ModeChanged { .. } => "ts.mode_changed",
+            TsEvent::SloBreach { .. } => "ts.slo_breach",
+            TsEvent::SloRecovered { .. } => "ts.slo_recovered",
         }
     }
 
@@ -207,6 +261,32 @@ impl TsEvent {
                 ("at", Json::Int(at.0)),
                 ("from", Json::from(from.as_str())),
                 ("to", Json::from(to.as_str())),
+            ]),
+            TsEvent::SloBreach {
+                at,
+                slo,
+                value,
+                threshold,
+                worst_trace,
+                worst_us,
+            } => Json::obj([
+                ("at", Json::Int(at.0)),
+                ("slo", Json::from(slo.as_str())),
+                ("value", Json::Num(*value)),
+                ("threshold", Json::Num(*threshold)),
+                ("worst_trace", Json::from(*worst_trace)),
+                ("worst_us", Json::from(*worst_us)),
+            ]),
+            TsEvent::SloRecovered {
+                at,
+                slo,
+                value,
+                threshold,
+            } => Json::obj([
+                ("at", Json::Int(at.0)),
+                ("slo", Json::from(slo.as_str())),
+                ("value", Json::Num(*value)),
+                ("threshold", Json::Num(*threshold)),
             ]),
         }
     }
@@ -506,6 +586,10 @@ impl TsStats {
             TsEvent::AtRisk { .. } => self.at_risk += 1,
             TsEvent::LbqidMatched { .. } => self.lbqid_matches += 1,
             TsEvent::ModeChanged { .. } => self.mode_changes += 1,
+            // SLO transitions are watchdog telemetry, not TS decisions:
+            // keeping them out of TsStats leaves the checkpoint stats
+            // section's format (and restore fidelity) untouched.
+            TsEvent::SloBreach { .. } | TsEvent::SloRecovered { .. } => {}
         }
     }
 }

@@ -159,7 +159,8 @@ impl MixZoneManager {
         at: &StPoint,
         k: usize,
     ) -> UnlinkDecision {
-        let _span = hka_obs::span("mixzone.try_unlink");
+        let mut span = hka_obs::span("mixzone.try_unlink");
+        span.attr("k", hka_obs::Json::from(k as u64));
         let cfg = self.config;
         let window = TimeInterval::new(at.t - cfg.lookback, at.t);
         let zone = Rect::square(at.pos, cfg.radius * 2.0);
@@ -201,6 +202,7 @@ impl MixZoneManager {
 
         // The requester is one of the mixed users; k−1 diverging others
         // suffice for a crowd of k.
+        span.attr("crowd", hka_obs::Json::from((chosen.len() + 1) as u64));
         if chosen.len() + 1 >= k.max(2) {
             hka_obs::global().counter("mixzone.unlinked").incr();
             let until = at.t + cfg.cooldown;

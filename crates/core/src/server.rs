@@ -192,6 +192,10 @@ pub struct TrustedServer {
     /// Timestamp of the most recent event, so administrative
     /// transitions (e.g. re-attaching a journal) can be stamped.
     last_time: TimeSec,
+    /// Continuous SLO watchdog over the request stream
+    /// ([`TrustedServer::enable_slo`]); off by default so journals stay
+    /// byte-identical with existing fixtures.
+    slo: Option<hka_obs::SloMonitor>,
 }
 
 impl TrustedServer {
@@ -213,7 +217,25 @@ impl TrustedServer {
             injector: FaultInjector::none(),
             mode: ServerMode::Normal,
             last_time: TimeSec(0),
+            slo: None,
         }
+    }
+
+    /// Turns on the continuous SLO watchdog: every handled request is
+    /// folded into a rolling window, and threshold crossings emit
+    /// `ts.slo_breach` / `ts.slo_recovered` journal events (async-class;
+    /// they never gate a request).
+    pub fn enable_slo(&mut self, config: hka_obs::SloConfig) {
+        self.slo = Some(hka_obs::SloMonitor::new(config));
+    }
+
+    /// The worst-latency request in the SLO window: `(trace id,
+    /// microseconds)`. `None` when the watchdog is off or idle.
+    pub fn slo_worst(&self) -> Option<(u64, u64)> {
+        self.slo
+            .as_ref()
+            .and_then(|m| m.worst())
+            .map(|(t, us)| (t.0, us))
     }
 
     /// Registers a user with a privacy level; returns the initial
@@ -379,11 +401,41 @@ impl TrustedServer {
         at: StPoint,
         service: ServiceId,
     ) -> Result<RequestOutcome, TsError> {
+        // The root span for this request's trace: minted before any
+        // stage span so every `hka_obs::span` site below becomes a
+        // child. The trace id exists even with collection disabled, so
+        // SLO payloads referencing it are identical tracing on or off.
+        let mut root = hka_obs::trace::root("ts.request");
+        let started = std::time::Instant::now();
         let _span = hka_obs::span("ts.handle_request");
         hka_obs::global().counter("ts.requests").incr();
         let mut state = self.users.remove(&user).ok_or(TsError::UnknownUser(user))?;
+        root.attr("uid", hka_obs::Json::from(state.pseudonym.0));
         let outcome = strategy::handle_request_on(self, user, &mut state, at, service);
         self.users.insert(user, state);
+        root.attr(
+            "outcome",
+            hka_obs::Json::from(match &outcome {
+                RequestOutcome::Forwarded(_) => "forwarded",
+                RequestOutcome::Suppressed(_) => "suppressed",
+            }),
+        );
+        let trace = root.trace_id();
+        drop(_span);
+        drop(root);
+        let transitions = match self.slo.as_mut() {
+            Some(monitor) => {
+                let latency = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let suppressed = matches!(outcome, RequestOutcome::Suppressed(_));
+                let degraded = self.mode != ServerMode::Normal;
+                monitor.observe_request(latency, suppressed, degraded, trace)
+            }
+            None => Vec::new(),
+        };
+        for ev in &transitions {
+            let at = self.last_time;
+            self.push_event(TsEvent::from_slo(ev, at), at);
+        }
         Ok(outcome)
     }
 
@@ -697,6 +749,9 @@ impl TrustedServer {
             injector: FaultInjector::none(),
             mode: meta.mode,
             last_time: meta.last_time,
+            // The watchdog's rolling window is telemetry, not durable
+            // state: a restored server starts with a fresh (off) one.
+            slo: None,
         })
     }
 

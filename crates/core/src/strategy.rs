@@ -340,7 +340,7 @@ pub fn forward_on<H: RequestHost>(
     service: ServiceId,
     disclosure: Disclosure,
 ) -> RequestOutcome {
-    let _stage = hka_obs::span(hka_obs::stage::FORWARD);
+    let mut stage = hka_obs::span(hka_obs::stage::FORWARD);
     let Disclosure {
         generalized,
         hk_ok,
@@ -348,6 +348,8 @@ pub fn forward_on<H: RequestHost>(
         k_got,
         lbqid,
     } = disclosure;
+    stage.attr("generalized", hka_obs::Json::Bool(generalized));
+    stage.attr("service", hka_obs::Json::from(u64::from(service.0)));
     debug_assert!(context.contains(&at), "context must cover the true point");
     let msg_id = host.next_msg_id();
     // Anti-inference randomization (Conclusions: "randomization should
@@ -492,9 +494,9 @@ pub fn handle_request_on<H: RequestHost>(
 
     // Generalize with Algorithm 1.
     let (gen, step, k_req) = {
-        let _stage = hka_obs::span(hka_obs::stage::ALGO1);
+        let mut stage = hka_obs::span(hka_obs::stage::ALGO1);
         let pattern = &state.patterns[mi];
-        if pattern.selected.is_empty() {
+        let (gen, step, k_req) = if pattern.selected.is_empty() {
             let k0 = params.k_at_step(0);
             (host.algo1_first(&at, user, k0, &tolerance), 0, k0)
         } else {
@@ -505,7 +507,12 @@ pub fn handle_request_on<H: RequestHost>(
                 step,
                 k_eff,
             )
-        }
+        };
+        stage.attr("k_req", hka_obs::Json::from(k_req as u64));
+        stage.attr("k_got", hka_obs::Json::from(gen.selected.len() as u64));
+        stage.attr("hk_ok", hka_obs::Json::Bool(gen.hk_anonymity));
+        stage.attr("step", hka_obs::Json::from(step as u64));
+        (gen, step, k_req)
     };
 
     if gen.hk_anonymity {
@@ -544,8 +551,13 @@ pub fn handle_request_on<H: RequestHost>(
             .expect("a faulted request always fails closed");
     }
     let decision = {
-        let _stage = hka_obs::span(hka_obs::stage::LINK_CHECK);
-        host.try_unlink(user, &at, params.k)
+        let mut stage = hka_obs::span(hka_obs::stage::LINK_CHECK);
+        let decision = host.try_unlink(user, &at, params.k);
+        stage.attr(
+            "unlinked",
+            hka_obs::Json::Bool(matches!(decision, UnlinkDecision::Unlinked { .. })),
+        );
+        decision
     };
     match decision {
         UnlinkDecision::Unlinked { .. } => {

@@ -1,0 +1,34 @@
+//! Multithreaded span-recording micro: 4 worker threads each recording
+//! N spans concurrently, with a live base context (the shard barrier
+//! shape). Prints ns/op per thread.
+
+use std::time::Instant;
+
+fn main() {
+    let iters = 200_000u64;
+    hka_obs::trace::enable(1 << 20);
+    let root = hka_obs::trace::root_detached("root");
+    let ctx = root.context();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..4u32 {
+            scope.spawn(move || {
+                hka_obs::trace::set_thread_track(t + 1);
+                let prev = hka_obs::trace::swap_current(ctx);
+                for _ in 0..iters {
+                    let _s = hka_obs::trace::child("ts.handle_request");
+                }
+                hka_obs::trace::swap_current(prev);
+            });
+        }
+    });
+    let total = t0.elapsed().as_nanos() as f64;
+    println!(
+        "4 threads x {} recorded spans: {:.1} ns/op (per-thread)",
+        iters,
+        total / iters as f64
+    );
+    drop(root);
+    hka_obs::trace::disable();
+    println!("drained {}", hka_obs::trace::drain().len());
+}

@@ -15,6 +15,13 @@
 //!   where each record carries a monotonic sequence number and a
 //!   SHA-256 hash chained over the previous record, so truncation,
 //!   reordering, and edits are detectable by [`verify_chain`].
+//! * **Tracing** ([`trace`]) — per-request trace/span contexts handed
+//!   across threads, collected into bounded per-track rings, exported
+//!   as Perfetto-loadable Chrome trace-event JSON; span guards open
+//!   trace children automatically when collection is enabled.
+//! * **SLOs** ([`slo`]) — a rolling-window watchdog (latency p99,
+//!   suppression rate, flush lag, mode residency) with latched
+//!   breach/recovery transitions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +32,11 @@ pub mod json;
 pub mod metrics;
 pub mod ring;
 pub mod sha256;
+pub mod slo;
 pub mod span;
 pub mod stage;
 pub mod tail;
+pub mod trace;
 
 pub use checkpoint::{CheckpointAnchor, Snapshot, CHECKPOINT_KIND, SNAPSHOT_VERSION};
 pub use journal::{
@@ -40,5 +49,10 @@ pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 pub use ring::RingBuffer;
+pub use slo::{SloConfig, SloEvent, SloMonitor};
 pub use span::{span, SpanGuard};
 pub use tail::{JournalTailer, TailBatch, TailedRecord};
+pub use trace::{
+    chrome_trace, validate_chrome_trace, ActiveSpan, SpanContext, SpanId, SpanRecord, TraceCheck,
+    TraceClock, TraceId,
+};

@@ -19,10 +19,16 @@ pub struct RingBuffer<T> {
 
 impl<T> RingBuffer<T> {
     /// A buffer holding at most `capacity` elements (minimum 1).
+    ///
+    /// `capacity` is an eviction bound, not an upfront allocation: the
+    /// backing storage grows on demand. Trace collection creates one
+    /// ring per track at 64Ki slots by default; eagerly reserving those
+    /// would bill megabytes of page faults to the first span recorded
+    /// on each thread.
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         RingBuffer {
-            buf: VecDeque::with_capacity(capacity),
+            buf: VecDeque::with_capacity(capacity.min(64)),
             capacity,
             dropped: 0,
         }
@@ -58,6 +64,11 @@ impl<T> RingBuffer<T> {
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Removes and returns every element, oldest first.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
     }
 
     /// How many elements have been evicted over the buffer's lifetime.

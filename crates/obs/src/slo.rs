@@ -1,0 +1,269 @@
+//! A continuous SLO watchdog over the request stream.
+//!
+//! [`SloMonitor`] keeps a rolling window of per-request samples and
+//! evaluates four service-level objectives after every observation:
+//!
+//! * `latency_p99` — exact 99th-percentile request latency in the
+//!   window vs a nanosecond threshold;
+//! * `suppression_rate` — fraction of windowed requests suppressed;
+//! * `mode_residency` — fraction of windowed requests handled while the
+//!   server sat outside `Normal` mode;
+//! * `flush_lag` — pending journal events awaiting the next group
+//!   commit (observed separately at commit barriers).
+//!
+//! Each objective carries a latch: crossing the threshold emits one
+//! breach event, and only dropping back under it emits the matching
+//! recovery — no per-request event spam while a breach persists. Breach
+//! events carry the worst-latency trace id in the window so an operator
+//! can jump from a live banner straight to the trace.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::trace::TraceId;
+
+/// SLO thresholds and window sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Rolling window length, in requests.
+    pub window: usize,
+    /// Minimum samples before latency/rate objectives are judged.
+    pub min_samples: usize,
+    /// p99 request latency ceiling, nanoseconds.
+    pub latency_p99_ns: u64,
+    /// Suppressed-request fraction ceiling in the window.
+    pub max_suppression_rate: f64,
+    /// Pending group-commit events ceiling.
+    pub max_flush_lag: usize,
+    /// Fraction of windowed requests handled outside Normal mode.
+    pub max_degraded_residency: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            window: 256,
+            min_samples: 32,
+            latency_p99_ns: 50_000_000,
+            max_suppression_rate: 0.5,
+            max_flush_lag: 4096,
+            max_degraded_residency: 0.5,
+        }
+    }
+}
+
+/// One SLO state transition: a breach or a recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloEvent {
+    /// Objective name (`latency_p99`, `suppression_rate`,
+    /// `mode_residency`, `flush_lag`).
+    pub slo: &'static str,
+    /// `true` for a breach, `false` for a recovery.
+    pub breached: bool,
+    /// The observed value that crossed the threshold.
+    pub value: f64,
+    /// The configured threshold.
+    pub threshold: f64,
+    /// Trace id of the worst-latency request in the window.
+    pub worst_trace: u64,
+    /// That request's latency, microseconds.
+    pub worst_us: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    latency_ns: u64,
+    suppressed: bool,
+    degraded: bool,
+    trace: TraceId,
+}
+
+/// Rolling-window SLO evaluation with per-objective breach latches.
+#[derive(Debug)]
+pub struct SloMonitor {
+    config: SloConfig,
+    window: VecDeque<Sample>,
+    latched: BTreeMap<&'static str, bool>,
+}
+
+impl SloMonitor {
+    /// A monitor with the given thresholds.
+    pub fn new(config: SloConfig) -> Self {
+        SloMonitor {
+            config,
+            window: VecDeque::with_capacity(config.window.max(1)),
+            latched: BTreeMap::new(),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// The worst-latency request in the current window:
+    /// `(trace id, latency microseconds)`.
+    pub fn worst(&self) -> Option<(TraceId, u64)> {
+        self.window
+            .iter()
+            .max_by_key(|s| s.latency_ns)
+            .map(|s| (s.trace, s.latency_ns / 1_000))
+    }
+
+    fn transition(&mut self, slo: &'static str, breached: bool) -> bool {
+        let latch = self.latched.entry(slo).or_insert(false);
+        if *latch == breached {
+            return false;
+        }
+        *latch = breached;
+        true
+    }
+
+    fn judge(&mut self, slo: &'static str, value: f64, threshold: f64, out: &mut Vec<SloEvent>) {
+        let breached = value > threshold;
+        if self.transition(slo, breached) {
+            let (worst_trace, worst_us) = self.worst().map(|(t, us)| (t.0, us)).unwrap_or((0, 0));
+            out.push(SloEvent {
+                slo,
+                breached,
+                value,
+                threshold,
+                worst_trace,
+                worst_us,
+            });
+        }
+    }
+
+    /// Folds one finished request into the window and returns any SLO
+    /// transitions it caused.
+    pub fn observe_request(
+        &mut self,
+        latency_ns: u64,
+        suppressed: bool,
+        degraded: bool,
+        trace: TraceId,
+    ) -> Vec<SloEvent> {
+        if self.window.len() == self.config.window.max(1) {
+            self.window.pop_front();
+        }
+        self.window.push_back(Sample {
+            latency_ns,
+            suppressed,
+            degraded,
+            trace,
+        });
+        let n = self.window.len();
+        let mut out = Vec::new();
+        if n < self.config.min_samples.max(1) {
+            return out;
+        }
+        let mut lats: Vec<u64> = self.window.iter().map(|s| s.latency_ns).collect();
+        lats.sort_unstable();
+        let p99 = lats[(n * 99).div_ceil(100).saturating_sub(1).min(n - 1)];
+        self.judge(
+            "latency_p99",
+            p99 as f64,
+            self.config.latency_p99_ns as f64,
+            &mut out,
+        );
+        let suppressed_n = self.window.iter().filter(|s| s.suppressed).count();
+        self.judge(
+            "suppression_rate",
+            suppressed_n as f64 / n as f64,
+            self.config.max_suppression_rate,
+            &mut out,
+        );
+        let degraded_n = self.window.iter().filter(|s| s.degraded).count();
+        self.judge(
+            "mode_residency",
+            degraded_n as f64 / n as f64,
+            self.config.max_degraded_residency,
+            &mut out,
+        );
+        out
+    }
+
+    /// Observes the journal backlog at a commit barrier and returns any
+    /// `flush_lag` transition.
+    pub fn observe_flush_lag(&mut self, pending: usize) -> Vec<SloEvent> {
+        let mut out = Vec::new();
+        self.judge(
+            "flush_lag",
+            pending as f64,
+            self.config.max_flush_lag as f64,
+            &mut out,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SloConfig {
+        SloConfig {
+            window: 8,
+            min_samples: 4,
+            latency_p99_ns: 1_000_000, // 1ms
+            max_suppression_rate: 0.5,
+            max_flush_lag: 10,
+            max_degraded_residency: 0.5,
+        }
+    }
+
+    #[test]
+    fn breach_latches_and_recovers_once() {
+        let mut m = SloMonitor::new(tiny());
+        // Fast requests: below min_samples, then clean.
+        for i in 0..4 {
+            assert!(m
+                .observe_request(1_000, false, false, TraceId(i))
+                .is_empty());
+        }
+        // A slow burst breaches p99 exactly once.
+        let ev = m.observe_request(5_000_000, false, false, TraceId(9));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].slo, "latency_p99");
+        assert!(ev[0].breached);
+        assert_eq!(ev[0].worst_trace, 9);
+        assert!(ev[0].worst_us >= 5_000);
+        // Still breached: no re-emission while latched.
+        assert!(m
+            .observe_request(5_000_000, false, false, TraceId(10))
+            .is_empty());
+        // Fast requests push the slow ones out of the window: recovery.
+        let mut recovered = Vec::new();
+        for i in 0..10 {
+            recovered.extend(m.observe_request(1_000, false, false, TraceId(20 + i)));
+        }
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].slo, "latency_p99");
+        assert!(!recovered[0].breached);
+    }
+
+    #[test]
+    fn suppression_and_residency_rates_judge_the_window() {
+        let mut m = SloMonitor::new(tiny());
+        let mut events = Vec::new();
+        for i in 0..8 {
+            events.extend(m.observe_request(1_000, true, true, TraceId(i)));
+        }
+        let slos: Vec<&str> = events.iter().map(|e| e.slo).collect();
+        assert!(slos.contains(&"suppression_rate"));
+        assert!(slos.contains(&"mode_residency"));
+        assert!(events.iter().all(|e| e.breached));
+    }
+
+    #[test]
+    fn flush_lag_is_judged_at_barriers() {
+        let mut m = SloMonitor::new(tiny());
+        assert!(m.observe_flush_lag(5).is_empty());
+        let breach = m.observe_flush_lag(50);
+        assert_eq!(breach.len(), 1);
+        assert_eq!(breach[0].slo, "flush_lag");
+        assert!(m.observe_flush_lag(50).is_empty(), "latched");
+        let rec = m.observe_flush_lag(0);
+        assert_eq!(rec.len(), 1);
+        assert!(!rec[0].breached);
+    }
+}

@@ -103,6 +103,12 @@ impl GroupCommit {
     /// retry at a later commit.
     pub fn commit(&mut self, pending: &mut Vec<(String, Json)>) {
         let metrics = hka_obs::global();
+        // Group commits batch many requests, so the span is its own
+        // root rather than a child of any one trace. Minted through the
+        // same unconditional counter as request roots, keeping trace-id
+        // allocation identical with collection on and off.
+        let mut span = hka_obs::trace::root_detached("shard.group_commit");
+        span.attr("batch", Json::from(pending.len() as u64));
         if self.down {
             if !pending.is_empty() {
                 metrics

@@ -99,6 +99,15 @@ impl PrivacyMeta {
     }
 }
 
+/// Per-request tracing/SLO bookkeeping: the deferred root span opened
+/// at submission (kept open across the whole flush while children run
+/// on worker threads) and the submission instant for latency samples.
+#[derive(Debug)]
+struct ReqMeta {
+    root: hka_obs::trace::ActiveSpan,
+    started: Instant,
+}
+
 /// A submitted, not-yet-executed event.
 #[derive(Debug, Clone)]
 enum Submitted {
@@ -127,6 +136,11 @@ pub struct ShardedTs {
     privacy: BTreeMap<UserId, PrivacyMeta>,
     queue: Vec<Submitted>,
     outcomes: Vec<(u64, UserId, Result<RequestOutcome, TsError>)>,
+    /// Open request roots keyed by position; populated at submission
+    /// while tracing or the SLO watchdog is on, finished at the end of
+    /// the flush in position order.
+    req_meta: BTreeMap<u64, ReqMeta>,
+    slo: Option<hka_obs::SloMonitor>,
     next_pos: u64,
     epoch: u64,
     parallel_threshold: usize,
@@ -151,6 +165,11 @@ impl ShardedTs {
             privacy: BTreeMap::new(),
             queue: Vec::new(),
             outcomes: Vec::new(),
+            req_meta: BTreeMap::new(),
+            // Rolling windows are telemetry, not durable state: restore
+            // paths start with the watchdog off, like the sequential
+            // server.
+            slo: None,
             next_pos: 0,
             epoch: 0,
             parallel_threshold: if single_core { usize::MAX } else { 64 },
@@ -175,6 +194,21 @@ impl ShardedTs {
     /// default on single-core hosts).
     pub fn set_parallel_threshold(&mut self, threshold: usize) {
         self.parallel_threshold = threshold;
+    }
+
+    /// Turns on the continuous SLO watchdog: every flushed request feeds
+    /// a rolling window, and threshold transitions emit
+    /// `ts.slo_breach` / `ts.slo_recovered` journal events — exactly the
+    /// sequential [`enable_slo`](hka_core::TrustedServer::enable_slo).
+    pub fn enable_slo(&mut self, config: hka_obs::SloConfig) {
+        self.slo = Some(hka_obs::SloMonitor::new(config));
+    }
+
+    /// The worst-latency request in the SLO window, as
+    /// `(trace id, latency µs)`; `None` when the watchdog is off or the
+    /// window is empty.
+    pub fn slo_worst(&self) -> Option<(u64, u64)> {
+        self.slo.as_ref()?.worst().map(|(t, us)| (t.0, us))
     }
 
     // ------------------------------------------------------------------
@@ -614,6 +648,20 @@ impl ShardedTs {
     pub fn submit_request(&mut self, user: UserId, at: StPoint, service: ServiceId) -> u64 {
         let pos = self.next_pos;
         self.next_pos += 1;
+        if hka_obs::trace::enabled() || self.slo.is_some() {
+            // Deferred root: opened detached (no thread frame) so it can
+            // stay live across the flush while children run on worker
+            // threads, and finished in position order afterwards.
+            let mut root = hka_obs::trace::root_detached("ts.request");
+            root.attr("pos", hka_obs::Json::from(pos));
+            self.req_meta.insert(
+                pos,
+                ReqMeta {
+                    root,
+                    started: Instant::now(),
+                },
+            );
+        }
         self.queue.push(Submitted::Request {
             pos,
             user,
@@ -644,6 +692,7 @@ impl ShardedTs {
                             pos,
                             user,
                             kind: WorkKind::Location { at },
+                            ctx: None,
                         });
                         staged_count += 1;
                     }
@@ -666,6 +715,7 @@ impl ShardedTs {
                             pos,
                             user,
                             kind: WorkKind::Request { at, service },
+                            ctx: self.req_meta.get(&pos).and_then(|m| m.root.context()),
                         });
                         staged_count += 1;
                     } else {
@@ -679,7 +729,63 @@ impl ShardedTs {
             }
         }
         self.run_barrier(&mut staged, &mut staged_count);
+        self.finish_request_roots();
         self.co.commit();
+    }
+
+    /// Finishes the flush's deferred request roots in position order
+    /// (attaching the outcome), feeds the SLO watchdog, and queues any
+    /// SLO transitions for the commit that follows.
+    fn finish_request_roots(&mut self) {
+        if self.req_meta.is_empty() && self.slo.is_none() {
+            return;
+        }
+        let meta = std::mem::take(&mut self.req_meta);
+        // One pass over the outcome buffer (it may still hold untaken
+        // outcomes from earlier flushes; those have no open root).
+        let mut by_pos: BTreeMap<u64, &Result<RequestOutcome, TsError>> = BTreeMap::new();
+        for (pos, _, outcome) in &self.outcomes {
+            if meta.contains_key(pos) {
+                by_pos.insert(*pos, outcome);
+            }
+        }
+        let mut transitions = Vec::new();
+        for (pos, mut m) in meta {
+            let suppressed = match by_pos.get(&pos) {
+                Some(Ok(RequestOutcome::Forwarded(_))) => {
+                    m.root.attr("outcome", hka_obs::Json::from("forwarded"));
+                    false
+                }
+                Some(Ok(RequestOutcome::Suppressed(_))) => {
+                    m.root.attr("outcome", hka_obs::Json::from("suppressed"));
+                    true
+                }
+                Some(Err(_)) => {
+                    m.root.attr("outcome", hka_obs::Json::from("rejected"));
+                    false
+                }
+                // A root without an outcome can only mean the request is
+                // still queued (flush re-entered); keep it open.
+                None => {
+                    self.req_meta.insert(pos, m);
+                    continue;
+                }
+            };
+            let trace = m.root.trace_id();
+            let latency = u64::try_from(m.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            drop(m.root);
+            if let Some(monitor) = self.slo.as_mut() {
+                let degraded = self.co.mode != ServerMode::Normal;
+                transitions.extend(monitor.observe_request(latency, suppressed, degraded, trace));
+            }
+        }
+        if let Some(monitor) = self.slo.as_mut() {
+            transitions.extend(monitor.observe_flush_lag(self.co.pending.len()));
+        }
+        for ev in &transitions {
+            let at = self.co.last_time;
+            self.co.emit_event(hka_core::TsEvent::from_slo(ev, at), at);
+        }
     }
 
     /// Flushes and returns all collected request outcomes, ordered by
@@ -738,8 +844,12 @@ impl ShardedTs {
                 if work.is_empty() {
                     continue;
                 }
+                // Inline execution still attributes spans to the shard's
+                // track, so the export looks the same either way.
+                hka_obs::trace::set_thread_track(sid as u32 + 1);
                 self.shards[sid].run(std::mem::take(work));
             }
+            hka_obs::trace::set_thread_track(0);
         } else {
             std::thread::scope(|scope| {
                 for (shard, work) in self.shards.iter_mut().zip(staged.iter_mut()) {
@@ -747,7 +857,11 @@ impl ShardedTs {
                         continue;
                     }
                     let batch = std::mem::take(work);
-                    scope.spawn(move || shard.run(batch));
+                    let track = shard.id as u32 + 1;
+                    scope.spawn(move || {
+                        hka_obs::trace::set_thread_track(track);
+                        shard.run(batch);
+                    });
                 }
             });
         }
@@ -801,21 +915,34 @@ impl ShardedTs {
     }
 
     fn run_serial_request(&mut self, pos: u64, user: UserId, at: StPoint, service: ServiceId) {
+        // Serialized requests run on the coordinator thread (track 0);
+        // adopt the request's root so Algorithm 1 / mix-zone stage spans
+        // parent under it.
+        let handoff = self
+            .req_meta
+            .get(&pos)
+            .and_then(|m| m.root.context())
+            .map(|ctx| hka_obs::trace::swap_current(Some(ctx)));
         let _span = hka_obs::span("ts.handle_request");
         hka_obs::global().counter("ts.requests").incr();
-        let sid = shard_of(self.shards.len(), user);
-        let Some(mut state) = self.shards[sid].users.remove(&user) else {
-            self.outcomes
-                .push((pos, user, Err(TsError::UnknownUser(user))));
-            return;
+        let outcome = 'run: {
+            let sid = shard_of(self.shards.len(), user);
+            let Some(mut state) = self.shards[sid].users.remove(&user) else {
+                break 'run Err(TsError::UnknownUser(user));
+            };
+            let mut host = SerialHost {
+                co: &mut self.co,
+                shards: &mut self.shards,
+            };
+            let outcome = strategy::handle_request_on(&mut host, user, &mut state, at, service);
+            self.shards[sid].users.insert(user, state);
+            Ok(outcome)
         };
-        let mut host = SerialHost {
-            co: &mut self.co,
-            shards: &mut self.shards,
-        };
-        let outcome = strategy::handle_request_on(&mut host, user, &mut state, at, service);
-        self.shards[sid].users.insert(user, state);
-        self.outcomes.push((pos, user, Ok(outcome)));
+        self.outcomes.push((pos, user, outcome));
+        drop(_span);
+        if let Some(prev) = handoff {
+            hka_obs::trace::swap_current(prev);
+        }
     }
 
     // ------------------------------------------------------------------

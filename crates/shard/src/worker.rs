@@ -35,6 +35,10 @@ pub(crate) struct Work {
     pub pos: u64,
     pub user: UserId,
     pub kind: WorkKind,
+    /// The request's trace context, handed across the thread boundary so
+    /// worker-side spans parent under the submitting request's root.
+    /// `None` for locations and whenever tracing is off.
+    pub ctx: Option<hka_obs::SpanContext>,
 }
 
 /// What the work item does.
@@ -112,6 +116,10 @@ impl ShardState {
         for w in work {
             self.cur_pos = w.pos;
             self.cur_idx = 0;
+            // Hand the request's trace context to this worker thread for
+            // the duration of the item; spans opened below then parent
+            // under the submitting request's root.
+            let handoff = w.ctx.map(|ctx| hka_obs::trace::swap_current(Some(ctx)));
             match w.kind {
                 WorkKind::Location { at } => {
                     let ing = strategy::ingest_on(self, w.user, at);
@@ -125,7 +133,8 @@ impl ShardState {
                     }
                 }
                 WorkKind::Request { at, service } => {
-                    let _span = hka_obs::span("ts.handle_request");
+                    let mut span = hka_obs::span("ts.handle_request");
+                    span.attr("shard", hka_obs::Json::from(self.id as u64));
                     hka_obs::global().counter("ts.requests").incr();
                     let mut state = self
                         .users
@@ -136,6 +145,9 @@ impl ShardState {
                     self.users.insert(w.user, state);
                     self.outcomes_buf.push((w.pos, w.user, outcome));
                 }
+            }
+            if let Some(prev) = handoff {
+                hka_obs::trace::swap_current(prev);
             }
         }
     }

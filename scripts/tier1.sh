@@ -15,6 +15,9 @@ cargo fmt --all -- --check
 echo "== build (release) =="
 cargo build --release
 
+echo "== build (examples) =="
+cargo build --release --workspace --examples
+
 echo "== tier-1 tests (root package) =="
 cargo test -q
 

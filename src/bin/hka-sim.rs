@@ -3,7 +3,8 @@
 //! ```text
 //! hka-sim simulate [--seed N] [--days N] [--commuters N] [--roamers N] [--k N]
 //!                  [--trace-out FILE] [--metrics] [--shards N]
-//!                  [--index grid|rtree]
+//!                  [--index grid|rtree] [--trace-export FILE]
+//!                  [--trace-clock logical|wall] [--trace-capacity N] [--slo]
 //! hka-sim plan     [--seed N] [--population N] [--k N] [--samples N]
 //!                  [--index grid|rtree]
 //! hka-sim derive   [--seed N] [--user N] [--days N]
@@ -13,6 +14,7 @@
 //!                  [--roamers N] [--k N] [--shards N] [--index grid|rtree]
 //! hka-sim audit    --journal FILE [--snapshot FILE] [--json FILE] [--quiet]
 //!                  [--space-tol M2] [--time-tol SECS]
+//! hka-sim trace    JOURNAL [--out FILE] [--validate FILE]
 //! hka-sim watch    JOURNAL [--snapshot FILE] [--interval-ms N]
 //!                  [--idle-exit N] [--json] [--report FILE]
 //!                  [--space-tol M2] [--time-tol SECS] [--sample-cap N]
@@ -89,6 +91,26 @@
 //! server decision into a hash-chained JSONL journal (verifiable with
 //! `hka::obs::verify_chain`); `--metrics` prints the metrics snapshot —
 //! counters and per-stage latency histograms — after the run.
+//!
+//! `--trace-export FILE` turns on causal request tracing
+//! (`hka::obs::trace`) for the run and writes the collected spans as
+//! Chrome trace-event JSON, loadable in Perfetto or `chrome://tracing`.
+//! `--trace-clock logical` (the default) stamps deterministic per-track
+//! ticks — the artifact is byte-stable for a fixed seed — while `wall`
+//! stamps real microseconds. `--trace-capacity N` bounds the per-track
+//! span ring (drop-oldest; counted in `obs.trace_dropped`). `--slo`
+//! arms the continuous SLO watchdog: rolling-window latency
+//! p99 / suppression-rate / mode-residency / flush-lag objectives whose
+//! breach/recovery transitions land in the journal as `ts.slo_breach` /
+//! `ts.slo_recovered` and light up `watch` frames. Tracing never writes
+//! to the journal: bytes are identical with tracing on and off.
+//!
+//! `trace JOURNAL --out FILE` reconstructs a *coarse* trace from a
+//! decision journal after the fact — one complete event per journaled
+//! decision, sequence-numbered ticks — for runs that never had live
+//! tracing on. `trace --validate FILE` schema-checks any trace artifact
+//! (required fields, unique span ids, acyclic parent linkage) and exits
+//! non-zero on the first defect; CI runs it on the exported artifact.
 //!
 //! `plan` accepts `--trace FILE` to analyze an imported trace (the
 //! `hka-trace v1` text format, see `hka::trajectory::io`) instead of a
@@ -293,14 +315,32 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     let k = get(&flags, "k", 5usize);
     let shards = get(&flags, "shards", 1usize);
     let backend = get_backend(&flags);
+    let trace_export = flags
+        .get("trace-export")
+        .filter(|p| p.as_str() != "true")
+        .cloned();
+    let trace_clock = match flags.get("trace-clock") {
+        None => hka::obs::TraceClock::Logical,
+        Some(v) => hka::obs::TraceClock::parse(v).unwrap_or_else(|| {
+            eprintln!("unknown clock '{v}' for --trace-clock (use logical|wall)");
+            std::process::exit(2);
+        }),
+    };
+    let slo = flags.contains_key("slo");
+    if trace_export.is_some() {
+        hka::obs::trace::enable(get(&flags, "trace-capacity", 1 << 16));
+    }
     let world = build_world(seed, days, commuters, roamers);
 
     // Run through the sequential server or the sharded frontend; both
     // produce identical decisions (see tests/shard.rs), so the summary
     // below reads from either through the same shaped data.
-    let (st, audit_rows, journal_info, errors, log_len, log_dropped);
+    let (st, audit_rows, journal_info, errors, log_len, log_dropped, slo_worst);
     if shards > 1 {
         let mut ts = protected_sharded(&world, k, shards, backend);
+        if slo {
+            ts.enable_slo(hka::obs::SloConfig::default());
+        }
         if let Some(file) = open_trace_out(&flags) {
             ts.attach_journal(hka::obs::Journal::new(
                 Box::new(std::io::BufWriter::new(file)) as Box<dyn hka::obs::DurableSink>,
@@ -321,9 +361,13 @@ fn cmd_simulate(flags: HashMap<String, String>) {
         log_len = ts.log().events().len() as u64;
         log_dropped = ts.log().dropped();
         journal_info = flags.get("trace-out").cloned();
+        slo_worst = ts.slo_worst();
         println!("({} shards, {} epochs)", ts.shard_count(), ts.epoch());
     } else {
         let mut ts = protected_server(&world, k, backend);
+        if slo {
+            ts.enable_slo(hka::obs::SloConfig::default());
+        }
         if let Some(file) = open_trace_out(&flags) {
             ts.attach_journal(hka::obs::Journal::new(
                 Box::new(std::io::BufWriter::new(file)) as Box<dyn std::io::Write + Send + Sync>,
@@ -344,6 +388,7 @@ fn cmd_simulate(flags: HashMap<String, String>) {
         log_len = ts.log().events().len() as u64;
         log_dropped = ts.log().dropped();
         journal_info = flags.get("trace-out").cloned();
+        slo_worst = ts.slo_worst();
     }
 
     println!(
@@ -376,6 +421,32 @@ fn cmd_simulate(flags: HashMap<String, String>) {
             "journal:          {path} ({} events, {} dropped from ring)",
             log_len + log_dropped,
             log_dropped
+        );
+    }
+    if slo {
+        match slo_worst {
+            Some((trace, us)) => println!("slo worst:        t{trace:08x} ({us} µs)"),
+            None => println!("slo worst:        - (window empty)"),
+        }
+    }
+    if let Some(path) = trace_export {
+        hka::obs::trace::disable();
+        let records = hka::obs::trace::drain();
+        let doc = hka::obs::chrome_trace(&records, trace_clock);
+        let check = hka::obs::validate_chrome_trace(&doc).unwrap_or_else(|e| {
+            eprintln!("exported trace failed validation: {e}");
+            std::process::exit(1);
+        });
+        std::fs::write(&path, doc.to_string() + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "trace:            {path} ({} spans, {} roots, {} tracks, {} dropped)",
+            check.spans,
+            check.roots,
+            check.tracks,
+            hka::obs::global().snapshot().counter("obs.trace_dropped")
         );
     }
     if flags.contains_key("metrics") {
@@ -826,6 +897,123 @@ fn cmd_audit(flags: HashMap<String, String>) {
     }
 }
 
+/// `trace JOURNAL --out FILE`: reconstructs a coarse Chrome trace from
+/// a decision journal (one complete event per record, sequence ticks);
+/// `trace --validate FILE` schema-checks an existing artifact. Both
+/// surfaces share `hka::obs::validate_chrome_trace`, so CI's smoke job
+/// and an operator's post-hoc reconstruction apply the same rules.
+fn cmd_trace(args: &[String]) {
+    let (positional, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[1..]),
+        _ => (None, args),
+    };
+    let flags = parse_flags(rest);
+
+    if let Some(path) = flags.get("validate").filter(|p| p.as_str() != "true") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let doc = hka::obs::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: not valid JSON: {e:?}");
+            std::process::exit(1);
+        });
+        match hka::obs::validate_chrome_trace(&doc) {
+            Ok(check) => {
+                println!(
+                    "{path}: OK ({} events, {} spans, {} roots, {} tracks)",
+                    check.events, check.spans, check.roots, check.tracks
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let Some(journal) = positional.or_else(|| {
+        flags
+            .get("journal")
+            .filter(|p| p.as_str() != "true")
+            .cloned()
+    }) else {
+        eprintln!("trace requires a journal path or --validate FILE\n{TRACE_USAGE}");
+        std::process::exit(2);
+    };
+    let Some(out) = flags.get("out").filter(|p| p.as_str() != "true") else {
+        eprintln!("trace reconstruction requires --out FILE\n{TRACE_USAGE}");
+        std::process::exit(2);
+    };
+    let file = std::fs::File::open(&journal).unwrap_or_else(|e| {
+        eprintln!("cannot open {journal}: {e}");
+        std::process::exit(2);
+    });
+    // Coarse reconstruction: every journaled decision becomes one
+    // complete event at its (deterministic) sequence tick, so a run that
+    // never had live tracing on still yields a Perfetto-loadable
+    // timeline of what the server decided, in order.
+    let mut events = Vec::new();
+    events.push(hka::obs::Json::obj([
+        ("ph", hka::obs::Json::from("M")),
+        ("pid", hka::obs::Json::Int(1)),
+        ("tid", hka::obs::Json::from(0u64)),
+        ("name", hka::obs::Json::from("thread_name")),
+        (
+            "args",
+            hka::obs::Json::obj([("name", hka::obs::Json::from("journal"))]),
+        ),
+    ]));
+    let mut records = 0u64;
+    for rec in hka::obs::JournalReader::new(std::io::BufReader::new(file)) {
+        let rec = match rec {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{journal}: chain error at record {records}: {e}");
+                std::process::exit(1);
+            }
+        };
+        records += 1;
+        let mut args = std::collections::BTreeMap::new();
+        args.insert(
+            "span".to_string(),
+            hka::obs::Json::from(format!("j{:012x}", rec.seq)),
+        );
+        args.insert("parent".to_string(), hka::obs::Json::Null);
+        args.insert("seq".to_string(), hka::obs::Json::from(rec.seq));
+        if let Some(at) = rec.payload.get("at").and_then(hka::obs::Json::as_int) {
+            args.insert("at".to_string(), hka::obs::Json::Int(at));
+        }
+        events.push(hka::obs::Json::obj([
+            ("ph", hka::obs::Json::from("X")),
+            ("pid", hka::obs::Json::Int(1)),
+            ("tid", hka::obs::Json::from(0u64)),
+            ("name", hka::obs::Json::from(rec.kind.as_str())),
+            ("cat", hka::obs::Json::from("journal")),
+            ("ts", hka::obs::Json::from(rec.seq)),
+            ("dur", hka::obs::Json::Int(1)),
+            ("args", hka::obs::Json::Obj(args)),
+        ]));
+    }
+    let doc = hka::obs::Json::obj([
+        ("displayTimeUnit", hka::obs::Json::from("ms")),
+        ("traceEvents", hka::obs::Json::Arr(events)),
+    ]);
+    let check = hka::obs::validate_chrome_trace(&doc).unwrap_or_else(|e| {
+        eprintln!("reconstructed trace failed validation: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(out, doc.to_string() + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    println!("{out}: {records} journal records → {} spans", check.spans);
+}
+
+const TRACE_USAGE: &str =
+    "usage: hka-sim trace JOURNAL --out FILE\n       hka-sim trace --validate FILE";
+
 /// Parses the audit tolerances shared by `audit` and `watch`.
 fn audit_config(flags: &HashMap<String, String>) -> hka::audit::AuditConfig {
     let mut cfg = hka::audit::AuditConfig::default();
@@ -1265,7 +1453,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(first) = args.first() else {
         eprintln!(
-            "usage: hka-sim <simulate|plan|derive|attack|export|chaos|audit|watch|serve-drill> [--flags]"
+            "usage: hka-sim <simulate|plan|derive|attack|export|chaos|audit|watch|trace|serve-drill> [--flags]"
         );
         std::process::exit(2);
     };
@@ -1275,10 +1463,14 @@ fn main() {
     } else {
         (first.as_str(), &args[1..])
     };
-    // `watch` accepts a positional journal path; everything else is
-    // flags-only.
+    // `watch` and `trace` accept a positional journal path; everything
+    // else is flags-only.
     if cmd == "watch" {
         cmd_watch(rest);
+        return;
+    }
+    if cmd == "trace" {
+        cmd_trace(rest);
         return;
     }
     let flags = parse_flags(rest);
@@ -1293,7 +1485,7 @@ fn main() {
         "serve-drill" => cmd_serve_drill(flags),
         other => {
             eprintln!(
-                "unknown command '{other}' (use simulate|plan|derive|attack|export|chaos|audit|watch|serve-drill)"
+                "unknown command '{other}' (use simulate|plan|derive|attack|export|chaos|audit|watch|trace|serve-drill)"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,302 @@
+//! Acceptance tests for end-to-end request tracing and the SLO
+//! watchdog: Perfetto-loadable export with correct parent/child nesting
+//! across shard thread boundaries, byte-stable artifacts for a fixed
+//! seed, journals unchanged by collection state, and SLO breaches that
+//! land in the journal without disturbing the audit.
+
+use hka::obs;
+use hka::prelude::*;
+use std::process::Command;
+use std::sync::Mutex;
+
+/// The trace collector is process-global; library-driven tests that
+/// enable/disable it serialize here (CLI-driven tests run their own
+/// processes and need no lock).
+static COLLECTOR: Mutex<()> = Mutex::new(());
+
+fn hka_sim(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hka-sim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hka-trace-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn build_world(days: i64) -> World {
+    World::generate(&WorldConfig {
+        seed: 11,
+        days,
+        n_commuters: 4,
+        n_roamers: 16,
+        n_poi_regulars: 2,
+        ..WorldConfig::default()
+    })
+}
+
+fn setup_sharded(world: &World, shards: usize) -> ShardedTs {
+    let mut ts = ShardedTs::new(TsConfig::default(), shards);
+    ts.register_service(ServiceId(BACKGROUND_SERVICE), Tolerance::navigation());
+    ts.register_service(ServiceId(ANCHOR_SERVICE), Tolerance::new(9e6, 600));
+    let commuters: Vec<UserId> = world.commuters().collect();
+    for agent in &world.agents {
+        let level = if commuters.contains(&agent.user) {
+            PrivacyLevel::Medium
+        } else {
+            PrivacyLevel::Off
+        };
+        ts.register_user(agent.user, level);
+    }
+    for &u in &commuters {
+        ts.add_lbqid(
+            u,
+            Lbqid::example_commute(world.home_of(u).unwrap(), world.office_of(u).unwrap()),
+        );
+    }
+    // Explicit privacy-off overrides let the scheduler classify the
+    // background traffic parallel-safe, so requests actually cross onto
+    // worker threads.
+    for &u in &commuters {
+        ts.set_service_privacy(u, ServiceId(BACKGROUND_SERVICE), PrivacyLevel::Off)
+            .expect("registered");
+    }
+    ts
+}
+
+fn drive(ts: &mut ShardedTs, world: &World) {
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => {
+                ts.submit_location(e.user, e.at);
+            }
+            EventKind::Request { service } => {
+                ts.submit_request(e.user, e.at, ServiceId(service));
+            }
+        }
+    }
+    ts.flush_journal().expect("flush");
+}
+
+/// The tentpole acceptance check: spans recorded on worker threads
+/// (track ≥ 1) parent under the request roots minted on the coordinator
+/// (track 0), within the same trace — and the whole document passes the
+/// Chrome-trace validator.
+#[test]
+fn export_nests_spans_across_shard_thread_boundaries() {
+    let _g = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+    obs::trace::enable(1 << 16);
+    let world = build_world(2);
+    let mut ts = setup_sharded(&world, 4);
+    // Force every batch through the threaded barrier path.
+    ts.set_parallel_threshold(0);
+    drive(&mut ts, &world);
+    obs::trace::disable();
+    let records = obs::trace::drain();
+    obs::trace::set_thread_track(0);
+
+    let doc = obs::chrome_trace(&records, obs::TraceClock::Logical);
+    let check = obs::validate_chrome_trace(&doc).expect("exported trace is schema-valid");
+    assert_eq!(check.spans, records.len());
+    assert!(check.tracks > 1, "worker tracks appear in the export");
+
+    let roots: std::collections::BTreeMap<_, _> = records
+        .iter()
+        .filter(|r| r.name == "ts.request")
+        .map(|r| (r.id, r))
+        .collect();
+    assert!(!roots.is_empty(), "request roots recorded");
+    let cross: Vec<_> = records
+        .iter()
+        .filter(|r| r.name == "ts.handle_request" && r.track != 0)
+        .collect();
+    assert!(
+        !cross.is_empty(),
+        "some requests were handled on worker threads"
+    );
+    for span in cross {
+        let parent = span.parent.expect("worker span has a parent");
+        let root = roots
+            .get(&parent)
+            .expect("worker span parents under a request root");
+        assert_eq!(root.track, 0, "roots are minted on the coordinator");
+        assert_eq!(root.trace, span.trace, "parent and child share the trace");
+    }
+}
+
+/// Same seed, two fresh processes: the exported artifact (logical
+/// clock, the default) is byte-identical.
+#[test]
+fn trace_export_is_byte_stable_for_a_fixed_seed() {
+    let dir = tmp_dir("stable");
+    let run = |tag: &str| {
+        let out = dir.join(format!("{tag}.json"));
+        let (ok, stdout, stderr) = hka_sim(&[
+            "simulate",
+            "--days",
+            "1",
+            "--commuters",
+            "3",
+            "--roamers",
+            "12",
+            "--seed",
+            "5",
+            "--shards",
+            "2",
+            "--trace-export",
+            out.to_str().unwrap(),
+        ]);
+        assert!(ok, "{stdout}{stderr}");
+        std::fs::read(&out).unwrap()
+    };
+    let a = run("a");
+    let b = run("b");
+    assert_eq!(a, b, "trace export must be byte-stable for a fixed seed");
+
+    let path = dir.join("a.json");
+    let (ok, stdout, stderr) = hka_sim(&["trace", "--validate", path.to_str().unwrap()]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("OK"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Collection state must never leak into the decision record: the
+/// journal written with `--trace-export` is byte-identical to the one
+/// written without.
+#[test]
+fn journals_are_byte_identical_with_tracing_on_and_off() {
+    let dir = tmp_dir("onoff");
+    let run = |tag: &str, traced: bool| {
+        let journal = dir.join(format!("{tag}.jsonl"));
+        let mut args = vec![
+            "simulate".to_string(),
+            "--days".into(),
+            "1".into(),
+            "--commuters".into(),
+            "3".into(),
+            "--roamers".into(),
+            "12".into(),
+            "--seed".into(),
+            "5".into(),
+            "--shards".into(),
+            "2".into(),
+            "--trace-out".into(),
+            journal.to_str().unwrap().to_string(),
+        ];
+        if traced {
+            args.push("--trace-export".into());
+            args.push(
+                dir.join(format!("{tag}.json"))
+                    .to_str()
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let (ok, stdout, stderr) = hka_sim(&argv);
+        assert!(ok, "{stdout}{stderr}");
+        std::fs::read(&journal).unwrap()
+    };
+    let with = run("traced", true);
+    let without = run("plain", false);
+    assert!(!with.is_empty());
+    assert_eq!(
+        with, without,
+        "journal bytes must not depend on trace collection"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `hka-sim trace JOURNAL --out` reconstructs a validator-clean coarse
+/// timeline from a journal written without any live tracing.
+#[test]
+fn trace_subcommand_reconstructs_a_valid_timeline_from_a_journal() {
+    let dir = tmp_dir("reconstruct");
+    let journal = dir.join("run.jsonl");
+    let (ok, stdout, stderr) = hka_sim(&[
+        "simulate",
+        "--days",
+        "1",
+        "--commuters",
+        "3",
+        "--roamers",
+        "12",
+        "--trace-out",
+        journal.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    let out = dir.join("reconstructed.json");
+    let (ok, stdout, stderr) = hka_sim(&[
+        "trace",
+        journal.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("journal records"), "{stdout}");
+    let (ok, stdout, stderr) = hka_sim(&["trace", "--validate", out.to_str().unwrap()]);
+    assert!(ok, "{stdout}{stderr}");
+    let doc = obs::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    let check = obs::validate_chrome_trace(&doc).unwrap();
+    assert!(check.spans > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An impossible latency objective forces `ts.slo_breach` into the
+/// journal; the chain still verifies, the auditor stays clean (unknown
+/// kinds are tolerated, not violations), and the breach payload carries
+/// the worst request's trace id.
+#[test]
+fn slo_breach_lands_in_the_journal_and_audit_stays_clean() {
+    let dir = tmp_dir("slo");
+    let path = dir.join("slo.jsonl");
+    let world = build_world(1);
+    let mut ts = setup_sharded(&world, 2);
+    ts.attach_journal(obs::Journal::new(
+        Box::new(std::fs::File::create(&path).unwrap()) as Box<dyn obs::DurableSink>,
+    ));
+    ts.enable_slo(obs::SloConfig {
+        window: 16,
+        min_samples: 1,
+        latency_p99_ns: 1, // any real request breaches immediately
+        ..obs::SloConfig::default()
+    });
+    drive(&mut ts, &world);
+    assert!(
+        ts.slo_worst().is_some(),
+        "the window saw requests, so a worst trace exists"
+    );
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let breach = text
+        .lines()
+        .find(|l| l.contains("\"ts.slo_breach\""))
+        .expect("a breach event reached the journal");
+    let rec = obs::json::parse(breach).unwrap();
+    let payload = rec.get("payload").unwrap();
+    assert_eq!(
+        payload.get("slo").and_then(|j| j.as_str()),
+        Some("latency_p99")
+    );
+    assert!(payload
+        .get("worst_trace")
+        .and_then(|j| j.as_int())
+        .is_some());
+
+    let outcome = hka::audit::replay_file(&path, hka::audit::AuditConfig::default()).unwrap();
+    assert!(outcome.chain.verified(), "chain verifies with SLO events");
+    assert!(outcome.ok(), "SLO events are not audit violations");
+    assert!(
+        outcome.totals.unknown_kinds > 0,
+        "breach counted as unknown"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
