@@ -163,15 +163,25 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
-/// Wall-clock of `f()` in nanoseconds, best of `reps`.
+/// Wall-clock of `f()` in nanoseconds: one untimed warmup call, then the
+/// **median** of `reps` timed calls.
+///
+/// The warmup absorbs one-time costs (cold caches, lazy allocation, page
+/// faults) that would otherwise land in the first sample. The median —
+/// rather than the previous best-of-N — keeps a single lucky sample from
+/// defining the result: best-of-N is biased low, and the bias *grows*
+/// with N, so raising reps would silently "speed up" every benchmark.
+/// The median is a consistent estimator of the typical call under the
+/// one-sided noise of a shared host.
 pub fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
+    f();
+    let mut samples = Vec::with_capacity(reps.max(1));
     for _ in 0..reps.max(1) {
         let t0 = std::time::Instant::now();
         f();
-        best = best.min(t0.elapsed().as_nanos() as f64);
+        samples.push(t0.elapsed().as_nanos() as f64);
     }
-    best
+    median(&samples)
 }
 
 /// Prints a rule line of the given width.
@@ -179,7 +189,7 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
-/// Parses a `--backends grid,rtree,brute` argument out of a raw
+/// Parses a `--backends grid,rtree,soa,brute` argument out of a raw
 /// argument stream (the bench bins are dependency-free, so no clap).
 /// Absent the flag, all backends are compared — oracle last. Unknown
 /// names abort with exit code 2 so CI misconfigurations fail loudly.
@@ -192,7 +202,7 @@ pub fn parse_backends(args: impl IntoIterator<Item = String>) -> Vec<IndexBacken
                 .split(',')
                 .map(|name| {
                     IndexBackend::parse(name.trim()).unwrap_or_else(|| {
-                        eprintln!("unknown backend '{name}' (use grid|rtree|brute)");
+                        eprintln!("unknown backend '{name}' (use grid|rtree|soa|brute)");
                         std::process::exit(2);
                     })
                 })

@@ -390,6 +390,43 @@ impl TrustedServer {
         }
     }
 
+    /// Handles a batch of co-arriving requests in submission order
+    /// through one Algorithm-1 pass
+    /// ([`strategy::handle_request_batch_on`]). Outcomes, decision
+    /// events, and journal bytes are identical to calling
+    /// [`TrustedServer::try_handle_request`] once per element — order
+    /// equivalence is the helper's contract — but a host sharing
+    /// Algorithm-1 window state across the run may answer faster.
+    /// Per-request trace roots are not minted on this bulk path.
+    pub fn handle_requests(
+        &mut self,
+        requests: &[(UserId, StPoint, ServiceId)],
+    ) -> Vec<Result<RequestOutcome, TsError>> {
+        let tagged: Vec<(usize, UserId, StPoint, ServiceId)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, (u, at, s))| (i, *u, *at, *s))
+            .collect();
+        let mut out: Vec<Result<RequestOutcome, TsError>> = Vec::with_capacity(requests.len());
+        strategy::handle_request_batch_on(
+            self,
+            &tagged,
+            |h, user| {
+                let _span = hka_obs::span("ts.handle_request");
+                hka_obs::global().counter("ts.requests").incr();
+                h.users.remove(&user)
+            },
+            |h, _i, user, settled| match settled {
+                Some((state, outcome)) => {
+                    h.users.insert(user, state);
+                    out.push(Ok(outcome));
+                }
+                None => out.push(Err(TsError::UnknownUser(user))),
+            },
+        );
+        out
+    }
+
     /// Fallible variant of [`TrustedServer::handle_request`].
     ///
     /// Fetch-once: the user's state is taken out of the map, the whole

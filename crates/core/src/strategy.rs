@@ -162,6 +162,17 @@ pub trait RequestHost {
     /// Algorithm 1, first-element branch: the k nearest users' PHL
     /// points around `at`, excluding `user`, bounded and
     /// tolerance-checked.
+    ///
+    /// **Batching contract.** Hosts may serve this query from shared
+    /// state (a union index reused across co-arriving requests, a memo
+    /// of window expansions) **only if** the served answer is equal to
+    /// a fresh query against the host's *current* store — i.e. the
+    /// shared state must be invalidated or versioned past every
+    /// intervening [`RequestHost::record`]. Since the strategy records
+    /// the request's own point before calling this, any memo keyed by
+    /// anything weaker than a mutation-counting generation stamp would
+    /// serve stale anonymity sets and silently break the order
+    /// equivalence that [`handle_request_batch_on`] relies on.
     fn algo1_first(
         &mut self,
         at: &StPoint,
@@ -382,6 +393,34 @@ pub fn forward_on<H: RequestHost>(
         at.t,
     );
     RequestOutcome::Forwarded(req)
+}
+
+/// Runs a batch of co-arriving service requests through **one**
+/// Algorithm-1 pass in submission order: each request executes the
+/// full [`handle_request_on`] decision procedure against the same host,
+/// so window queries and granule expansions the host chooses to share
+/// (see the batching contract on [`RequestHost::algo1_first`]) are
+/// reused across the run while results stay equal to processing the
+/// requests one by one — order equivalence holds by construction
+/// because nothing here reorders, coalesces, or short-circuits the
+/// per-request ladder. `fetch` checks a request's `UserState` out of
+/// the host's map (`None` rejects as unknown without touching state);
+/// `settle` returns it and receives the outcome in submission order.
+pub fn handle_request_batch_on<H: RequestHost, T>(
+    host: &mut H,
+    requests: &[(T, UserId, StPoint, ServiceId)],
+    mut fetch: impl FnMut(&mut H, UserId) -> Option<UserState>,
+    mut settle: impl FnMut(&mut H, &T, UserId, Option<(UserState, RequestOutcome)>),
+) {
+    for (tag, user, at, service) in requests {
+        match fetch(host, *user) {
+            Some(mut state) => {
+                let outcome = handle_request_on(host, *user, &mut state, *at, *service);
+                settle(host, tag, *user, Some((state, outcome)));
+            }
+            None => settle(host, tag, *user, None),
+        }
+    }
 }
 
 /// The Section-6.1 strategy over the owned per-user state — the full

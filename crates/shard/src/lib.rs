@@ -109,7 +109,7 @@ struct ReqMeta {
 }
 
 /// A submitted, not-yet-executed event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Submitted {
     Location {
         pos: u64,
@@ -160,7 +160,7 @@ impl ShardedTs {
             .unwrap_or(false);
         ShardedTs {
             shards: (0..n).map(|i| ShardState::new(i, &config)).collect(),
-            co: Coordinator::new(config),
+            co: Coordinator::new(config, n),
             registered: BTreeSet::new(),
             privacy: BTreeMap::new(),
             queue: Vec::new(),
@@ -194,6 +194,92 @@ impl ShardedTs {
     /// default on single-core hosts).
     pub fn set_parallel_threshold(&mut self, threshold: usize) {
         self.parallel_threshold = threshold;
+    }
+
+    /// Toggles the incrementally maintained union index on the
+    /// protected-request path. On (the default), Algorithm 1's global
+    /// k-candidate query runs against one owned index kept current by
+    /// per-epoch shard deltas; off, every protected request re-unions
+    /// the per-shard indices through an
+    /// [`IndexSnapshot`](hka_trajectory::IndexSnapshot) — the
+    /// pre-incremental baseline the benches and differential tests
+    /// compare against. Answers are identical either way; only the cost
+    /// profile changes.
+    pub fn set_incremental_index(&mut self, on: bool) {
+        self.flush();
+        if !on {
+            self.co.union.invalidate();
+        }
+        self.co.incremental_index = on;
+    }
+
+    /// Whether the protected-request path uses the incremental union.
+    pub fn incremental_index(&self) -> bool {
+        self.co.incremental_index
+    }
+
+    /// The union index generation stamp — bumps on every index mutation
+    /// or invalidation, so a reading across a compaction can prove the
+    /// snapshot it used was discarded.
+    pub fn union_generation(&self) -> u64 {
+        self.co.union.generation()
+    }
+
+    /// Folds PHL points older than the policy cutoff on **every shard**
+    /// (the sharded analogue of
+    /// [`compact_history`](hka_core::TrustedServer::compact_history)):
+    /// drains the queue to quiescence, compacts each shard's store,
+    /// rebuilds each shard's index over its folded partition, and
+    /// **invalidates the union index** — a removal is exactly what the
+    /// insert-only delta stream cannot express, so any snapshot
+    /// generation spanning the compaction is discarded and the next
+    /// protected request rebuilds from the folded stores.
+    ///
+    /// When a journal is attached, one deterministic `ts.compaction`
+    /// chain record (fields: `at`, `dropped`, `kept`) is appended
+    /// durably via the group-commit sink — auditors tolerate the extra
+    /// kind, and the payload is independent of shard count and of the
+    /// incremental-index toggle, so equivalence comparisons across
+    /// configurations stay byte-for-byte.
+    pub fn compact_history(
+        &mut self,
+        now: hka_geo::TimeSec,
+        policy: &hka_trajectory::CompactionPolicy,
+    ) -> hka_trajectory::CompactionStats {
+        self.flush();
+        let mut total = hka_trajectory::CompactionStats::default();
+        for shard in &mut self.shards {
+            let stats = shard.store.compact(now, policy);
+            shard.index = self
+                .co
+                .config
+                .backend
+                .build(&shard.store, self.co.config.index);
+            total.absorb(stats);
+        }
+        self.co.union.invalidate();
+        let metrics = hka_obs::global();
+        metrics.counter("ts.compactions").incr();
+        metrics
+            .counter("ts.compacted_points")
+            .add(total.points_dropped());
+        if let Some(sink) = &mut self.co.journal {
+            let kept: u64 = self
+                .shards
+                .iter()
+                .map(|s| s.store.total_points() as u64)
+                .sum();
+            let payload = hka_obs::Json::obj([
+                ("at", hka_obs::Json::from(now.0)),
+                ("dropped", hka_obs::Json::from(total.points_dropped())),
+                ("kept", hka_obs::Json::from(kept)),
+            ]);
+            // Best-effort durability: a down sink already has the mode
+            // ladder degraded; the compaction itself must not be undone.
+            let _ = sink.append_now("ts.compaction", payload);
+        }
+        self.co.sync_mode();
+        total
     }
 
     /// Turns on the continuous SLO watchdog: every flushed request feeds
@@ -671,8 +757,25 @@ impl ShardedTs {
         pos
     }
 
+    /// Whether a queued request is a serialization point (as opposed to
+    /// parallel-safe exact-forward work or an inline rejection).
+    fn serializes(&self, user: UserId, service: ServiceId) -> bool {
+        self.registered.contains(&user)
+            && (self.co.serialize_all || self.privacy[&user].on_for(service))
+    }
+
     /// Runs every queued event through the phase scheduler and commits
     /// the journal.
+    ///
+    /// Co-arriving serialized requests are **batched**: a maximal run of
+    /// consecutive protected requests crosses one barrier (one epoch
+    /// publication) and then executes through a single Algorithm-1 pass
+    /// ([`strategy::handle_request_batch_on`]-shaped: commit, run,
+    /// repeat), sharing the live union index and its generation-keyed
+    /// query memo across the run. The per-request commit cadence is
+    /// exactly what unbatched execution produced — a barrier between two
+    /// back-to-back serialized requests was always empty — so journal
+    /// bytes and the mode ladder are byte-for-byte unchanged.
     pub fn flush(&mut self) {
         if self.queue.is_empty() {
             return;
@@ -681,8 +784,9 @@ impl ShardedTs {
         let n = self.shards.len();
         let mut staged: Vec<Vec<Work>> = (0..n).map(|_| Vec::new()).collect();
         let mut staged_count = 0usize;
-        for ev in q {
-            match ev {
+        let mut i = 0usize;
+        while i < q.len() {
+            match q[i] {
                 Submitted::Location { pos, user, at } => {
                     if self.co.serialize_all {
                         self.run_barrier(&mut staged, &mut staged_count);
@@ -696,6 +800,7 @@ impl ShardedTs {
                         });
                         staged_count += 1;
                     }
+                    i += 1;
                 }
                 Submitted::Request {
                     pos,
@@ -710,6 +815,7 @@ impl ShardedTs {
                         hka_obs::global().counter("ts.requests").incr();
                         self.outcomes
                             .push((pos, user, Err(TsError::UnknownUser(user))));
+                        i += 1;
                     } else if !self.co.serialize_all && !self.privacy[&user].on_for(service) {
                         staged[shard_of(n, user)].push(Work {
                             pos,
@@ -718,12 +824,42 @@ impl ShardedTs {
                             ctx: self.req_meta.get(&pos).and_then(|m| m.root.context()),
                         });
                         staged_count += 1;
+                        i += 1;
                     } else {
+                        // The maximal run of consecutive serialized
+                        // requests starting here: one barrier, then the
+                        // whole run against the published epoch.
+                        let mut end = i + 1;
+                        while end < q.len() {
+                            match q[end] {
+                                Submitted::Request { user, service, .. }
+                                    if self.serializes(user, service) =>
+                                {
+                                    end += 1
+                                }
+                                _ => break,
+                            }
+                        }
                         self.run_barrier(&mut staged, &mut staged_count);
-                        // Serial requests consult the mode ladder, so
-                        // they must see a freshly committed health.
-                        self.co.commit();
-                        self.run_serial_request(pos, user, at, service);
+                        let metrics = hka_obs::global();
+                        metrics.counter("ts.request_batches").incr();
+                        metrics.counter("ts.batched_requests").add((end - i) as u64);
+                        for item in &q[i..end] {
+                            let Submitted::Request {
+                                pos,
+                                user,
+                                at,
+                                service,
+                            } = *item
+                            else {
+                                unreachable!("the run scan only admits requests");
+                            };
+                            // Serial requests consult the mode ladder, so
+                            // each must see a freshly committed health.
+                            self.co.commit();
+                            self.run_serial_request(pos, user, at, service);
+                        }
+                        i = end;
                     }
                 }
             }
@@ -876,13 +1012,20 @@ impl ShardedTs {
     fn merge_worker_buffers(&mut self) {
         let mut events = Vec::new();
         let mut outs = Vec::new();
+        let mut deltas = Vec::new();
         for shard in &mut self.shards {
             events.append(&mut shard.events_buf);
             outs.append(&mut shard.outbox_buf);
+            deltas.append(&mut shard.deltas_buf);
             for (pos, user, outcome) in shard.outcomes_buf.drain(..) {
                 self.outcomes.push((pos, user, Ok(outcome)));
             }
         }
+        // Publish this epoch's index deltas to the union in canonical
+        // position order (no-op — but still a drain — while the union is
+        // invalid or the incremental path is off; the next rebuild reads
+        // the authoritative stores instead).
+        self.co.union.apply_epoch(&mut deltas);
         events.sort_by_key(|&(pos, idx, _, _)| (pos, idx));
         for (_, _, e, at) in events {
             self.co.emit_event(e, at);

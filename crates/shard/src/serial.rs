@@ -22,7 +22,7 @@ use hka_core::{
 use hka_faults::FaultInjector;
 use hka_geo::{Point, StBox, StPoint, TimeSec};
 use hka_obs::Json;
-use hka_trajectory::{IndexSnapshot, UserId};
+use hka_trajectory::{IndexDelta, IndexSnapshot, UnionIndex, UserId};
 use std::collections::BTreeMap;
 
 /// Which shard owns a user: a stable hash of the id. Registration is
@@ -56,10 +56,19 @@ pub(crate) struct Coordinator {
     pub serialize_all: bool,
     pub mode: ServerMode,
     pub last_time: TimeSec,
+    /// The incrementally maintained union index over all shards (the
+    /// tentpole of DESIGN.md §15): built lazily at the first protected
+    /// request, kept current by per-epoch shard deltas, invalidated by
+    /// anything the delta stream cannot express.
+    pub union: UnionIndex,
+    /// When false, every protected request falls back to the per-request
+    /// [`IndexSnapshot`] re-union (the pre-incremental baseline; the
+    /// benches and the CLI's `--no-incremental-index` use this).
+    pub incremental_index: bool,
 }
 
 impl Coordinator {
-    pub fn new(config: TsConfig) -> Self {
+    pub fn new(config: TsConfig, shards: usize) -> Self {
         Coordinator {
             config,
             services: BTreeMap::new(),
@@ -76,6 +85,8 @@ impl Coordinator {
             serialize_all: config.randomize.is_some(),
             mode: ServerMode::Normal,
             last_time: TimeSec(0),
+            union: UnionIndex::new(config.backend, config.index, shards),
+            incremental_index: true,
         }
     }
 
@@ -160,6 +171,13 @@ impl RequestHost for SerialHost<'_> {
         let shard = &mut self.shards[shard_of(self.shards.len(), user)];
         shard.store.record(user, at);
         shard.index.insert(user, at);
+        // Keep the union current on the serialized path too (position 0
+        // is fine: `apply` inserts immediately, no reordering happens).
+        self.co.union.apply(&IndexDelta {
+            pos: 0,
+            user,
+            point: at,
+        });
     }
 
     fn check_fault(&mut self, site: &str) -> bool {
@@ -200,11 +218,30 @@ impl RequestHost for SerialHost<'_> {
         k: usize,
         tolerance: &Tolerance,
     ) -> Generalization {
-        // The epoch snapshot: immutable references to every shard's
-        // index at quiescence. The merged k-candidate query reproduces
-        // the single-index answer exactly (see `IndexSnapshot`).
-        let snapshot = IndexSnapshot::new(self.shards.iter().map(|s| s.index.as_ref()).collect());
-        let picks = snapshot.k_nearest_users(at, k, Some(user));
+        let picks = if self.co.incremental_index {
+            // The incrementally maintained union (DESIGN.md §15): one
+            // owned index over all shards, kept current by the epoch
+            // delta stream, rebuilt lazily from the authoritative
+            // stores after an invalidation. Its generation-keyed memo
+            // lets co-arriving batch members share identical window
+            // queries — a stale answer can never be served because any
+            // mutation bumps the generation.
+            if !self.co.union.is_live() {
+                self.co
+                    .union
+                    .rebuild(self.shards.iter().map(|s| &s.store), self.shards.len());
+            }
+            self.co.union.k_nearest_users(at, k, Some(user))
+        } else {
+            // Baseline: a per-request epoch snapshot over immutable
+            // references to every shard's index. The merged k-candidate
+            // query reproduces the single-index answer exactly (see
+            // `IndexSnapshot`) — the union path above is differentially
+            // pinned against this one.
+            let snapshot =
+                IndexSnapshot::new(self.shards.iter().map(|s| s.index.as_ref()).collect());
+            snapshot.k_nearest_users(at, k, Some(user))
+        };
         algorithm1_first_from(at, picks, k, tolerance)
     }
 

@@ -18,7 +18,7 @@ use hka_core::{
 };
 use hka_faults::FaultInjector;
 use hka_geo::{Point, Rect, StBox, StPoint, TimeSec};
-use hka_trajectory::{SpatialIndex, TrajectoryStore, UserId};
+use hka_trajectory::{IndexDelta, SpatialIndex, TrajectoryStore, UserId};
 use std::collections::BTreeMap;
 
 /// Shard-local ids live in a disjoint space: shard `i` allocates
@@ -82,6 +82,10 @@ pub(crate) struct ShardState {
     pub outbox_buf: Vec<(u64, UserId, SpRequest)>,
     /// Request outcomes this batch.
     pub outcomes_buf: Vec<(u64, UserId, RequestOutcome)>,
+    /// Index mutations this batch, tagged with their canonical position:
+    /// the coordinator drains these at the barrier and applies them to
+    /// the incrementally maintained union index in global order.
+    pub deltas_buf: Vec<IndexDelta>,
     cur_pos: u64,
     cur_idx: u32,
 }
@@ -103,6 +107,7 @@ impl ShardState {
             events_buf: Vec::new(),
             outbox_buf: Vec::new(),
             outcomes_buf: Vec::new(),
+            deltas_buf: Vec::new(),
             cur_pos: 0,
             cur_idx: 0,
         }
@@ -161,6 +166,11 @@ impl RequestHost for ShardState {
     fn record(&mut self, user: UserId, at: StPoint) {
         self.store.record(user, at);
         self.index.insert(user, at);
+        self.deltas_buf.push(IndexDelta {
+            pos: self.cur_pos,
+            user,
+            point: at,
+        });
     }
 
     fn check_fault(&mut self, site: &str) -> bool {

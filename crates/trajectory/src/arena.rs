@@ -1,0 +1,317 @@
+//! Structure-of-arrays point storage: per-user columnar tracks.
+//!
+//! The brute backend answers every query by walking `Vec<StPoint>`
+//! slices behind a `BTreeMap` of [`crate::Phl`]s — each point is an
+//! interleaved `(x, y, t)` record, so a time-pruned nearest-point walk
+//! touches all three fields of every candidate even when the time
+//! column alone would prune it. [`SoaIndex`] keeps the same per-user
+//! time-sorted tracks but stores each coordinate in its own column
+//! (`xs`, `ys`, `ts`): the temporal pruning pass streams a dense `i64`
+//! column, and only the surviving candidates touch the spatial columns.
+//! Query semantics are identical to [`crate::BruteIndex`] — per-user
+//! nearest observation under the space–time metric with the canonical
+//! smallest-`(t, x, y)` tie rule — so the differential suites cover it
+//! with no extra oracle.
+
+use crate::spatial::{obs_cmp, IndexBackend, SpatialIndex};
+use crate::{TrajectoryStore, UserId};
+use hka_geo::{SpaceTimeScale, StBox, StPoint, TimeSec};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One user's time-sorted observations, one column per coordinate.
+#[derive(Debug, Clone, Default)]
+struct SoaTrack {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ts: Vec<i64>,
+}
+
+impl SoaTrack {
+    fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    fn point(&self, i: usize) -> StPoint {
+        StPoint::xyt(self.xs[i], self.ys[i], TimeSec(self.ts[i]))
+    }
+
+    fn push(&mut self, p: StPoint) {
+        debug_assert!(
+            self.ts.last().is_none_or(|last| p.t.0 >= *last),
+            "SoA tracks require per-user non-decreasing timestamps"
+        );
+        self.xs.push(p.pos.x);
+        self.ys.push(p.pos.y);
+        self.ts.push(p.t.0);
+    }
+
+    /// Index of the first observation with `t >= t0` (time column only).
+    fn lower_bound(&self, t0: i64) -> usize {
+        self.ts.partition_point(|t| *t < t0)
+    }
+
+    /// Whether any observation falls inside the box — the columnar twin
+    /// of [`crate::Phl::crosses`]: binary-search the time column, then
+    /// scan only the window's spatial columns.
+    fn crosses(&self, b: &StBox) -> bool {
+        let lo = self.lower_bound(b.span.start().0);
+        let hi = self.ts.partition_point(|t| *t <= b.span.end().0);
+        (lo..hi).any(|i| {
+            b.rect
+                .contains(&hka_geo::Point::new(self.xs[i], self.ys[i]))
+        })
+    }
+
+    /// The nearest observation to `q` under `scale` — the same
+    /// outward-from-insertion-point walk as [`crate::Phl::nearest_point`]
+    /// (each side prunes once its time displacement alone exceeds the
+    /// best), including the canonical equal-distance tie rule.
+    fn nearest(&self, q: &StPoint, scale: &SpaceTimeScale) -> Option<(f64, StPoint)> {
+        if self.ts.is_empty() {
+            return None;
+        }
+        let mid = self.lower_bound(q.t.0);
+        let mps = scale.meters_per_second;
+        let mut best: Option<(f64, StPoint)> = None;
+
+        let consider = |i: usize, best: &mut Option<(f64, StPoint)>| {
+            let p = self.point(i);
+            let d = scale.dist_sq(q, &p);
+            let wins = match best {
+                None => true,
+                Some((bd, bp)) => d < *bd || (d == *bd && obs_cmp(&p, bp).is_lt()),
+            };
+            if wins {
+                *best = Some((d, p));
+            }
+        };
+
+        let mut r = mid;
+        let mut l = mid;
+        loop {
+            let mut advanced = false;
+            if r < self.len() {
+                let tdist = mps * (self.ts[r] - q.t.0) as f64;
+                if best.is_none() || tdist * tdist <= best.unwrap().0 || mps == 0.0 {
+                    consider(r, &mut best);
+                    r += 1;
+                    advanced = true;
+                } else {
+                    r = self.len();
+                }
+            }
+            if l > 0 {
+                let tdist = mps * (q.t.0 - self.ts[l - 1]) as f64;
+                if best.is_none() || tdist * tdist <= best.unwrap().0 || mps == 0.0 {
+                    consider(l - 1, &mut best);
+                    l -= 1;
+                    advanced = true;
+                } else {
+                    l = 0;
+                }
+            }
+            if (r >= self.len() && l == 0) || !advanced {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// The SoA scan backend behind the [`SpatialIndex`] seam: per-user
+/// columnar tracks in user order, answering every query exactly like
+/// the brute oracle but with cache-friendly column scans.
+#[derive(Debug, Clone)]
+pub struct SoaIndex {
+    tracks: BTreeMap<UserId, SoaTrack>,
+    scale: SpaceTimeScale,
+    points: usize,
+}
+
+impl SoaIndex {
+    /// An empty SoA index using `scale` for distance queries.
+    pub fn new(scale: SpaceTimeScale) -> Self {
+        SoaIndex {
+            tracks: BTreeMap::new(),
+            scale,
+            points: 0,
+        }
+    }
+
+    /// An SoA index over every point currently in `store`.
+    pub fn build(store: &TrajectoryStore, scale: SpaceTimeScale) -> Self {
+        let mut idx = SoaIndex::new(scale);
+        for (user, phl) in store.iter() {
+            for p in phl.points() {
+                idx.insert(user, *p);
+            }
+        }
+        idx
+    }
+
+    /// Number of indexed observations.
+    pub fn len(&self) -> usize {
+        self.points
+    }
+
+    /// Whether the index holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.points == 0
+    }
+
+    /// Indexes one observation (per-user non-decreasing timestamps,
+    /// like every backend — the ingestion path clamps regressions).
+    pub fn insert(&mut self, user: UserId, p: StPoint) {
+        self.tracks.entry(user).or_default().push(p);
+        self.points += 1;
+    }
+}
+
+impl SpatialIndex for SoaIndex {
+    fn backend(&self) -> IndexBackend {
+        IndexBackend::Soa
+    }
+
+    fn scale(&self) -> &SpaceTimeScale {
+        &self.scale
+    }
+
+    fn len(&self) -> usize {
+        SoaIndex::len(self)
+    }
+
+    fn insert(&mut self, user: UserId, p: StPoint) {
+        SoaIndex::insert(self, user, p);
+    }
+
+    fn users_crossing(&self, b: &StBox) -> BTreeSet<UserId> {
+        self.tracks
+            .iter()
+            .filter(|(_, track)| track.crosses(b))
+            .map(|(u, _)| *u)
+            .collect()
+    }
+
+    fn count_users_crossing(&self, b: &StBox, limit: usize) -> usize {
+        if limit == 0 {
+            return 0;
+        }
+        let mut n = 0usize;
+        for track in self.tracks.values() {
+            if track.crosses(b) {
+                n += 1;
+                if n >= limit {
+                    break;
+                }
+            }
+        }
+        n
+    }
+
+    fn k_nearest_users(
+        &self,
+        seed: &StPoint,
+        k: usize,
+        exclude: Option<UserId>,
+    ) -> Vec<(UserId, StPoint)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut candidates: Vec<(UserId, f64, StPoint)> = Vec::new();
+        for (user, track) in &self.tracks {
+            if Some(*user) == exclude {
+                continue;
+            }
+            if let Some((d, p)) = track.nearest(seed, &self.scale) {
+                candidates.push((*user, d, p));
+            }
+        }
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        candidates.truncate(k);
+        candidates.into_iter().map(|(u, _, p)| (u, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hka_geo::{Rect, TimeInterval};
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    #[test]
+    fn tracks_store_columns_in_time_order() {
+        let mut idx = SoaIndex::new(SpaceTimeScale::new(1.0));
+        idx.insert(UserId(1), sp(1.0, 2.0, 0));
+        idx.insert(UserId(1), sp(3.0, 4.0, 10));
+        idx.insert(UserId(2), sp(5.0, 6.0, 5));
+        assert_eq!(idx.len(), 3);
+        let t1 = &idx.tracks[&UserId(1)];
+        assert_eq!(
+            (t1.xs.as_slice(), t1.ys.as_slice()),
+            (&[1.0, 3.0][..], &[2.0, 4.0][..])
+        );
+        assert_eq!(t1.ts, vec![0, 10]);
+    }
+
+    #[test]
+    fn matches_brute_on_a_small_world() {
+        let mut store = TrajectoryStore::new();
+        let mut s: u64 = 42;
+        for i in 0..200u64 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (s >> 33) as f64 % 500.0;
+            let y = (s >> 13) as f64 % 500.0;
+            store.record(UserId(i % 17), sp(x, y, (i / 17) as i64 * 60));
+        }
+        let scale = SpaceTimeScale::new(1.4);
+        let soa = SoaIndex::build(&store, scale);
+        let brute = crate::BruteIndex::build(&store, scale);
+        let b = StBox::new(
+            Rect::from_bounds(50.0, 50.0, 300.0, 300.0),
+            TimeInterval::new(TimeSec(0), TimeSec(400)),
+        );
+        assert_eq!(
+            SpatialIndex::users_crossing(&soa, &b),
+            SpatialIndex::users_crossing(&brute, &b)
+        );
+        for limit in [0usize, 1, 3, 100] {
+            assert_eq!(
+                soa.count_users_crossing(&b, limit),
+                SpatialIndex::count_users_crossing(&brute, &b, limit)
+            );
+        }
+        for k in [0usize, 1, 5, 17, 40] {
+            for excl in [None, Some(UserId(3))] {
+                assert_eq!(
+                    SpatialIndex::k_nearest_users(&soa, &sp(100.0, 100.0, 120), k, excl),
+                    brute.k_nearest_users(&sp(100.0, 100.0, 120), k, excl),
+                    "k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equidistant_tie_resolves_to_canonical_point() {
+        // Two points of user 1 exactly equidistant from the seed: the
+        // smaller (t, x, y) must win regardless of insertion order.
+        let scale = SpaceTimeScale::new(0.0); // time costs nothing
+        let a = sp(-5.0, 0.0, 10);
+        let b = sp(5.0, 0.0, 20);
+        for order in [[a, b], [b, a]] {
+            let mut idx = SoaIndex::new(scale);
+            let mut sorted = order.to_vec();
+            sorted.sort_by_key(|p| p.t);
+            for p in sorted {
+                idx.insert(UserId(1), p);
+            }
+            let got = SpatialIndex::k_nearest_users(&idx, &sp(0.0, 0.0, 15), 1, None);
+            assert_eq!(got, vec![(UserId(1), a)]);
+        }
+    }
+}

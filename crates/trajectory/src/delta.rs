@@ -1,0 +1,388 @@
+//! The incrementally maintained epoch union index.
+//!
+//! The sharded trusted server used to answer every protected request by
+//! constructing an [`crate::IndexSnapshot`] over all shard indices and
+//! merging per-partition k-nearest answers — one full per-shard query
+//! fan-out per request. [`UnionIndex`] replaces that re-union with a
+//! single owned [`SpatialIndex`] over *all* partitions, kept current by
+//! applying the per-shard insertion deltas ([`IndexDelta`]) that worker
+//! batches publish at each epoch barrier:
+//!
+//! * **Deltas.** Every observation a shard indexes during an epoch is
+//!   also logged as an `IndexDelta` tagged with its canonical
+//!   submission position. At the barrier the coordinator drains all
+//!   shards' delta buffers, sorts by position, and applies them — the
+//!   union then holds exactly the points a sequential server would,
+//!   inserted in the same order. (Clamped re-timestamps arrive already
+//!   normalized: the ingestion path clamps before it records, so a
+//!   delta stream never violates per-user time ordering.)
+//!
+//! * **Generations.** Every mutation (delta application, rebuild,
+//!   invalidation) bumps a generation counter. Cached query results are
+//!   keyed by generation, so a stale answer can never be served — which
+//!   is what makes sharing window queries across a batch of co-arriving
+//!   protected requests order-equivalent to sequential processing by
+//!   construction (DESIGN.md §15).
+//!
+//! * **Invalidation.** Anything the delta stream cannot express —
+//!   compaction (points *removed*), a restore that bypasses the record
+//!   path, a shard-count or backend change — calls
+//!   [`UnionIndex::invalidate`]; the union lazily rebuilds from the
+//!   authoritative per-shard stores on the next query. A fresh
+//!   `UnionIndex` starts invalid for the same reason: it has not seen
+//!   the stores yet.
+//!
+//! Exactness relies on the canonical equal-distance tie rule
+//! (`spatial::obs_cmp`): with scan-order-independent answers, a union
+//! built in any insertion order agrees with the per-shard merge and
+//! with a from-scratch sequential build, which is what the differential
+//! suites pin.
+
+use crate::{GridIndexConfig, IndexBackend, SpatialIndex, TrajectoryStore, UserId};
+use hka_geo::{StBox, StPoint};
+use std::collections::{BTreeSet, HashMap};
+
+/// One shard-published index mutation: `user` gained observation
+/// `point` at canonical submission position `pos`. Timestamps are
+/// post-normalization (the ingest path clamps regressions first).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexDelta {
+    /// Canonical submission position (global order across shards).
+    pub pos: u64,
+    /// The observed user.
+    pub user: UserId,
+    /// The indexed observation.
+    pub point: StPoint,
+}
+
+/// Memo key for a k-nearest query: seed coordinates (by bit pattern —
+/// exact equality, no epsilon), k, and the excluded user.
+type MemoKey = (u64, u64, i64, usize, Option<UserId>);
+
+/// A generation-stamped, incrementally maintained union index over
+/// user-disjoint partitions. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct UnionIndex {
+    backend: IndexBackend,
+    config: GridIndexConfig,
+    index: Box<dyn SpatialIndex>,
+    /// Bumped on every mutation; memoized answers are only served while
+    /// their recorded generation still matches.
+    generation: u64,
+    /// Whether `index` faithfully reflects the partition stores. When
+    /// false, queries must rebuild first ([`UnionIndex::rebuild`]).
+    live: bool,
+    /// How many partitions the union was last built over; a different
+    /// layout invalidates (the delta streams would not line up).
+    partitions: usize,
+    memo: HashMap<MemoKey, Vec<(UserId, StPoint)>>,
+    memo_generation: u64,
+}
+
+impl UnionIndex {
+    /// A new union for `partitions` user-disjoint shards. Starts
+    /// invalid: the first query (or an explicit [`UnionIndex::rebuild`])
+    /// loads the authoritative stores.
+    pub fn new(backend: IndexBackend, config: GridIndexConfig, partitions: usize) -> Self {
+        UnionIndex {
+            backend,
+            config,
+            index: backend.make(config),
+            generation: 0,
+            live: false,
+            partitions,
+            memo: HashMap::new(),
+            memo_generation: 0,
+        }
+    }
+
+    /// The current generation stamp (bumped on every mutation).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the union currently reflects the partition stores.
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+
+    /// The partition count the union was created/rebuilt for.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The backend the union instantiates.
+    pub fn backend(&self) -> IndexBackend {
+        self.backend
+    }
+
+    /// Number of indexed observations (0 while invalid).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the union holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Marks the union stale and drops its storage. Call for anything
+    /// the delta stream cannot express: compaction, restore, a backend
+    /// or shard-layout change. The next query rebuilds lazily.
+    pub fn invalidate(&mut self) {
+        if self.live || !self.index.is_empty() {
+            self.index = self.backend.make(self.config);
+        }
+        self.live = false;
+        self.generation += 1;
+        self.memo.clear();
+        hka_obs::global().counter("union.invalidations").incr();
+    }
+
+    /// Applies one published delta. A no-op while invalid (the pending
+    /// rebuild will read the point from its store instead — callers
+    /// still drain their buffers so deltas are never applied twice).
+    pub fn apply(&mut self, delta: &IndexDelta) {
+        if !self.live {
+            return;
+        }
+        self.index.insert(delta.user, delta.point);
+        self.generation += 1;
+        hka_obs::global().counter("union.deltas_applied").incr();
+    }
+
+    /// Applies a drained epoch's deltas in canonical position order —
+    /// the same global insertion order a sequential server would use.
+    /// The slice may arrive unsorted (one run per shard); it is sorted
+    /// here by `pos`.
+    pub fn apply_epoch(&mut self, deltas: &mut Vec<IndexDelta>) {
+        if self.live && !deltas.is_empty() {
+            deltas.sort_by_key(|d| d.pos);
+            for d in deltas.iter() {
+                self.index.insert(d.user, d.point);
+            }
+            self.generation += 1;
+            hka_obs::global()
+                .counter("union.deltas_applied")
+                .add(deltas.len() as u64);
+        }
+        deltas.clear();
+    }
+
+    /// Rebuilds the union from the authoritative partition stores
+    /// (global user order, time order within each user) and marks it
+    /// live for `partitions` shards.
+    pub fn rebuild<'a>(
+        &mut self,
+        stores: impl IntoIterator<Item = &'a TrajectoryStore>,
+        partitions: usize,
+    ) {
+        let mut index = self.backend.make(self.config);
+        let mut phls: Vec<_> = stores.into_iter().flat_map(|s| s.iter()).collect();
+        phls.sort_by_key(|(u, _)| *u);
+        for (user, phl) in phls {
+            for p in phl.points() {
+                index.insert(user, *p);
+            }
+        }
+        self.index = index;
+        self.live = true;
+        self.partitions = partitions;
+        self.generation += 1;
+        self.memo.clear();
+        hka_obs::global().counter("union.rebuilds").incr();
+    }
+
+    /// The global k-nearest-users query against the live union, served
+    /// from the generation-keyed memo when an identical query already
+    /// ran at this generation (co-arriving batch members with no
+    /// intervening mutation — the only case where sharing is sound).
+    ///
+    /// # Panics
+    /// If the union is not live; callers rebuild first.
+    pub fn k_nearest_users(
+        &mut self,
+        seed: &StPoint,
+        k: usize,
+        exclude: Option<UserId>,
+    ) -> Vec<(UserId, StPoint)> {
+        assert!(self.live, "query against an invalidated union index");
+        if self.memo_generation != self.generation {
+            self.memo.clear();
+            self.memo_generation = self.generation;
+        }
+        let key = (
+            seed.pos.x.to_bits(),
+            seed.pos.y.to_bits(),
+            seed.t.0,
+            k,
+            exclude,
+        );
+        if let Some(hit) = self.memo.get(&key) {
+            hka_obs::global().counter("union.memo_hits").incr();
+            return hit.clone();
+        }
+        let out = self.index.k_nearest_users(seed, k, exclude);
+        self.memo.insert(key, out.clone());
+        out
+    }
+
+    /// Drops every memoized query result without touching the index or
+    /// its generation. Correctness never requires this — the generation
+    /// stamp already fences staleness — but benchmarks use it to time
+    /// the memo-miss path, and long-lived epochs can call it to bound
+    /// memory.
+    pub fn clear_memo(&mut self) {
+        self.memo.clear();
+    }
+
+    /// Distinct users crossing `b`, against the live union.
+    ///
+    /// # Panics
+    /// If the union is not live; callers rebuild first.
+    pub fn users_crossing(&self, b: &StBox) -> BTreeSet<UserId> {
+        assert!(self.live, "query against an invalidated union index");
+        self.index.users_crossing(b)
+    }
+
+    /// Early-exit crossing count, against the live union.
+    ///
+    /// # Panics
+    /// If the union is not live; callers rebuild first.
+    pub fn count_users_crossing(&self, b: &StBox, limit: usize) -> usize {
+        assert!(self.live, "query against an invalidated union index");
+        self.index.count_users_crossing(b, limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexSnapshot;
+    use hka_geo::TimeSec;
+
+    fn sp(x: f64, y: f64, t: i64) -> StPoint {
+        StPoint::xyt(x, y, TimeSec(t))
+    }
+
+    fn partitioned(points: &[(UserId, StPoint)], shards: usize) -> Vec<TrajectoryStore> {
+        let mut stores: Vec<TrajectoryStore> =
+            (0..shards).map(|_| TrajectoryStore::new()).collect();
+        for (u, p) in points {
+            stores[(u.0 % shards as u64) as usize].record(*u, *p);
+        }
+        stores
+    }
+
+    #[test]
+    fn starts_invalid_and_rebuilds_lazily() {
+        let mut union = UnionIndex::new(IndexBackend::Grid, GridIndexConfig::default(), 4);
+        assert!(!union.is_live());
+        assert_eq!(union.generation(), 0);
+        let stores = partitioned(&[(UserId(1), sp(5.0, 5.0, 10))], 4);
+        union.rebuild(stores.iter(), 4);
+        assert!(union.is_live());
+        assert_eq!(union.len(), 1);
+        assert_eq!(
+            union.k_nearest_users(&sp(0.0, 0.0, 0), 1, None),
+            vec![(UserId(1), sp(5.0, 5.0, 10))]
+        );
+    }
+
+    #[test]
+    fn deltas_keep_the_union_equal_to_a_fresh_snapshot_merge() {
+        let cfg = GridIndexConfig::default();
+        let mut s: u64 = 7;
+        let mut next = |m: f64| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as f64 % m
+        };
+        let shards = 3usize;
+        let mut stores: Vec<TrajectoryStore> =
+            (0..shards).map(|_| TrajectoryStore::new()).collect();
+        let mut indices: Vec<Box<dyn SpatialIndex>> =
+            (0..shards).map(|_| IndexBackend::Grid.make(cfg)).collect();
+        let mut union = UnionIndex::new(IndexBackend::Grid, cfg, shards);
+        union.rebuild(stores.iter(), shards);
+
+        let mut pending: Vec<IndexDelta> = Vec::new();
+        for pos in 0..120u64 {
+            let user = UserId(next(15.0) as u64 + 1);
+            let sid = (user.0 % shards as u64) as usize;
+            let last_t = stores[sid]
+                .phl(user)
+                .and_then(|p| p.last())
+                .map_or(0, |p| p.t.0);
+            let p = sp(next(800.0), next(800.0), last_t + next(90.0) as i64);
+            stores[sid].record(user, p);
+            indices[sid].insert(user, p);
+            pending.push(IndexDelta {
+                pos,
+                user,
+                point: p,
+            });
+
+            // Epoch barrier every 7 events: drain + apply, then compare
+            // against a fresh re-union of the shard indices.
+            if pos % 7 == 6 {
+                union.apply_epoch(&mut pending);
+                let snap = IndexSnapshot::new(indices.iter().map(|i| i.as_ref()).collect());
+                let seed = sp(next(800.0), next(800.0), next(3600.0) as i64);
+                for k in [1usize, 4, 9] {
+                    assert_eq!(
+                        union.k_nearest_users(&seed, k, Some(user)),
+                        snap.k_nearest_users(&seed, k, Some(user)),
+                        "pos={pos} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_serves_only_within_one_generation() {
+        let mut union = UnionIndex::new(IndexBackend::Grid, GridIndexConfig::default(), 1);
+        let mut store = TrajectoryStore::new();
+        store.record(UserId(1), sp(10.0, 0.0, 0));
+        union.rebuild([&store], 1);
+        let seed = sp(0.0, 0.0, 0);
+        let first = union.k_nearest_users(&seed, 2, None);
+        assert_eq!(union.k_nearest_users(&seed, 2, None), first); // memo hit
+                                                                  // A mutation bumps the generation: the same query must see the
+                                                                  // new point, not the memoized answer.
+        union.apply(&IndexDelta {
+            pos: 1,
+            user: UserId(2),
+            point: sp(1.0, 0.0, 0),
+        });
+        let after = union.k_nearest_users(&seed, 2, None);
+        assert_eq!(after.len(), 2);
+        assert_eq!(after[0].0, UserId(2));
+    }
+
+    #[test]
+    fn invalidation_drops_state_and_applies_become_noops() {
+        let mut union = UnionIndex::new(IndexBackend::RTree, GridIndexConfig::default(), 2);
+        let mut store = TrajectoryStore::new();
+        store.record(UserId(1), sp(1.0, 1.0, 0));
+        union.rebuild([&store], 2);
+        assert_eq!(union.len(), 1);
+        let g = union.generation();
+        union.invalidate();
+        assert!(!union.is_live());
+        assert!(union.generation() > g);
+        assert_eq!(union.len(), 0);
+        // Deltas against an invalid union are dropped, not queued: the
+        // rebuild reads the authoritative store instead.
+        union.apply(&IndexDelta {
+            pos: 9,
+            user: UserId(2),
+            point: sp(2.0, 2.0, 0),
+        });
+        store.record(UserId(2), sp(2.0, 2.0, 0));
+        union.rebuild([&store], 2);
+        assert_eq!(union.len(), 2);
+    }
+}

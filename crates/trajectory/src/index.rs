@@ -235,7 +235,15 @@ impl GridIndex {
                       best: &mut HashMap<UserId, (f64, StPoint)>,
                       topk: &mut std::collections::BinaryHeap<OrdF64>| {
             match best.get_mut(&user) {
-                Some(cur) if cur.0 <= d => {}
+                Some(cur) if cur.0 < d => {}
+                Some(cur) if cur.0 == d => {
+                    // Exact tie: keep the canonical smallest-(t, x, y)
+                    // representative regardless of cell scan order. The
+                    // distance set is unchanged, so the heap stands.
+                    if crate::spatial::obs_cmp(&p, &cur.1).is_lt() {
+                        cur.1 = p;
+                    }
+                }
                 Some(cur) => {
                     *cur = (d, p);
                     // Rebuild the small heap after improving a user's best.

@@ -38,8 +38,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod brute;
 mod compact;
+pub mod delta;
 mod index;
 pub mod io;
 mod phl;
@@ -50,8 +52,10 @@ pub mod state;
 mod store;
 mod user;
 
+pub use arena::SoaIndex;
 pub use brute::BruteIndex;
 pub use compact::{CompactionPolicy, CompactionStats};
+pub use delta::{IndexDelta, UnionIndex};
 pub use index::{GridIndex, GridIndexConfig};
 pub use phl::Phl;
 pub use rtree::RTreeIndex;

@@ -152,7 +152,15 @@ impl Phl {
 
         let consider = |p: &StPoint, best: &mut Option<(f64, StPoint)>| {
             let d = scale.dist_sq(q, p);
-            if best.is_none_or(|(bd, _)| d < bd) {
+            // Exact ties resolve to the canonical smallest-(t, x, y)
+            // observation, not the first one the walk happens to visit,
+            // so every backend (and every insertion order) reports the
+            // same representative point.
+            let wins = match best {
+                None => true,
+                Some((bd, bp)) => d < *bd || (d == *bd && crate::spatial::obs_cmp(p, bp).is_lt()),
+            };
+            if wins {
                 *best = Some((d, *p));
             }
         };

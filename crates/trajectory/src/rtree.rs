@@ -195,6 +195,43 @@ impl RTreeIndex {
         out
     }
 
+    /// Counts distinct users crossing `q`, stopping the traversal as
+    /// soon as `limit` distinct users are found (the "are there ≥ k
+    /// potential senders?" fast path the grid backend already had; the
+    /// trait default would materialize the full crossing set first).
+    /// By the [`crate::SpatialIndex`] contract the result equals
+    /// `users_crossing(q).len().min(limit)`.
+    pub fn count_users_crossing(&self, q: &StBox, limit: usize) -> usize {
+        if limit == 0 {
+            return 0;
+        }
+        let _span = hka_obs::span("rtree.query");
+        let mut probes = 0u64;
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![&self.root];
+        'walk: while let Some(node) = stack.pop() {
+            probes += 1;
+            match node {
+                Node::Leaf { entries } => {
+                    for (u, p) in entries {
+                        if q.contains(p) && seen.insert(*u) && seen.len() >= limit {
+                            break 'walk;
+                        }
+                    }
+                }
+                Node::Inner { children } => {
+                    for (b, child) in children {
+                        if b.intersects(q) {
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        hka_obs::global().counter("rtree.probes").add(probes);
+        seen.len()
+    }
+
     /// For each of the `k` users (other than `exclude`) whose history
     /// comes closest to `seed`, the closest observation — best-first over
     /// the tree with box lower bounds, matching [`crate::GridIndex`] and
@@ -232,7 +269,15 @@ impl RTreeIndex {
                         }
                         let d = scale.dist_sq(seed, p);
                         match best.get_mut(u) {
-                            Some(cur) if cur.0 <= d => {}
+                            Some(cur) if cur.0 < d => {}
+                            Some(cur) if cur.0 == d => {
+                                // Exact tie: canonical smallest-(t, x, y)
+                                // representative, independent of node
+                                // visit order (see `spatial::obs_cmp`).
+                                if crate::spatial::obs_cmp(p, &cur.1).is_lt() {
+                                    cur.1 = *p;
+                                }
+                            }
                             Some(cur) => {
                                 *cur = (d, *p);
                                 let mut ds: Vec<f64> = best.values().map(|(d, _)| *d).collect();

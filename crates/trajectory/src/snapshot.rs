@@ -76,6 +76,37 @@ impl<'a> IndexSnapshot<'a> {
         scored.truncate(k);
         scored.into_iter().map(|(u, _, p)| (u, p)).collect()
     }
+
+    /// The distinct users whose PHL crosses `b`, merged across
+    /// partitions. User-disjointness makes this a plain set union.
+    pub fn users_crossing(&self, b: &hka_geo::StBox) -> std::collections::BTreeSet<UserId> {
+        let mut out = std::collections::BTreeSet::new();
+        for part in &self.parts {
+            out.append(&mut part.users_crossing(b));
+        }
+        out
+    }
+
+    /// Early-exit crossing count across partitions, capped at `limit`.
+    ///
+    /// Each partition is asked for at most the *remaining* budget
+    /// (`limit - acc`), not the full `limit`: the budgets are
+    /// independent because no user appears in two partitions, so the
+    /// sum can neither double-count a user nor stop short of `limit`
+    /// while crossings remain. Summing full-`limit` per-partition
+    /// counts and clamping would visit (and probe) more than needed;
+    /// forgetting the clamp entirely would report a count exceeding
+    /// `limit` — the count/query mismatch the differential suite pins.
+    pub fn count_users_crossing(&self, b: &hka_geo::StBox, limit: usize) -> usize {
+        let mut acc = 0usize;
+        for part in &self.parts {
+            if acc >= limit {
+                break;
+            }
+            acc += part.count_users_crossing(b, limit - acc);
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +181,100 @@ mod tests {
         let snap = IndexSnapshot::new(vec![&idx as &dyn SpatialIndex]);
         assert_eq!(snap.partitions(), 1);
         assert!(snap.k_nearest_users(&sp(0.0, 0.0, 0), 0, None).is_empty());
+    }
+
+    #[test]
+    fn equidistant_ties_straddling_shard_boundaries_merge_canonically() {
+        // Users 1..=6 each have one observation exactly 10m from the
+        // seed (distance ties across every user), scattered so that
+        // consecutive tied users land on *different* shards. The global
+        // answer must be the k smallest user ids regardless of how the
+        // tie group straddles partitions — and each user's tied pair of
+        // equidistant observations must resolve to the canonical
+        // smallest-(t, x, y) point on every backend.
+        let cfg = GridIndexConfig {
+            scale: hka_geo::SpaceTimeScale::new(0.0), // time costs nothing
+            ..GridIndexConfig::default()
+        };
+        let seed = sp(0.0, 0.0, 50);
+        let mut store = TrajectoryStore::new();
+        for u in 1..=6u64 {
+            // Two equidistant observations per user; smaller t first
+            // (stores require time order), canonical winner is (t=10).
+            store.record(UserId(u), sp(10.0, 0.0, 10));
+            store.record(UserId(u), sp(-10.0, 0.0, 20));
+        }
+        let oracle = crate::BruteIndex::build(&store, cfg.scale);
+        for shards in [1usize, 2, 3, 4] {
+            let mut parts: Vec<Box<dyn SpatialIndex>> = (0..shards)
+                .map(|_| crate::IndexBackend::Grid.make(cfg))
+                .collect();
+            for (u, phl) in store.iter() {
+                for p in phl.points() {
+                    parts[(u.0 as usize) % shards].insert(u, *p);
+                }
+            }
+            let snap = IndexSnapshot::new(parts.iter().map(|p| p.as_ref()).collect());
+            for k in [0usize, 1, 3, 6, 9] {
+                let got = snap.k_nearest_users(&seed, k, None);
+                assert_eq!(
+                    got,
+                    oracle.k_nearest_users(&seed, k, None),
+                    "shards={shards} k={k}"
+                );
+                assert_eq!(got.len(), k.min(6));
+                for (i, (u, p)) in got.iter().enumerate() {
+                    assert_eq!(u.0, i as u64 + 1, "tie order is ascending user id");
+                    assert_eq!(*p, sp(10.0, 0.0, 10), "canonical equidistant observation");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_queries_match_brute_across_partition_counts() {
+        let cfg = GridIndexConfig::default();
+        let points = seeded_points(23);
+        let mut store = TrajectoryStore::new();
+        for (u, p) in &points {
+            store.record(*u, *p);
+        }
+        let oracle = crate::BruteIndex::build(&store, cfg.scale);
+        let boxes = [
+            hka_geo::StBox::new(
+                hka_geo::Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0),
+                hka_geo::TimeInterval::new(hka_geo::TimeSec(0), hka_geo::TimeSec(400)),
+            ),
+            hka_geo::StBox::new(
+                hka_geo::Rect::from_bounds(200.0, 200.0, 600.0, 600.0),
+                hka_geo::TimeInterval::new(hka_geo::TimeSec(50), hka_geo::TimeSec(150)),
+            ),
+            hka_geo::StBox::new(
+                hka_geo::Rect::from_bounds(-5.0, -5.0, -1.0, -1.0),
+                hka_geo::TimeInterval::new(hka_geo::TimeSec(0), hka_geo::TimeSec(10)),
+            ),
+        ];
+        for shards in [1usize, 2, 4, 8] {
+            let mut parts: Vec<Box<dyn SpatialIndex>> = (0..shards)
+                .map(|i| crate::IndexBackend::ALL[i % crate::IndexBackend::ALL.len()].make(cfg))
+                .collect();
+            for (u, p) in &points {
+                parts[(u.0 as usize) % shards].insert(*u, *p);
+            }
+            let snap = IndexSnapshot::new(parts.iter().map(|p| p.as_ref()).collect());
+            for b in &boxes {
+                let want = oracle.users_crossing(b);
+                assert_eq!(snap.users_crossing(b), want, "shards={shards}");
+                // limit==0, exact hit, straddling, and limit>n edges.
+                for limit in [0usize, 1, 2, want.len(), want.len() + 1, 1000] {
+                    assert_eq!(
+                        snap.count_users_crossing(b, limit),
+                        limit.min(want.len()),
+                        "shards={shards} limit={limit}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

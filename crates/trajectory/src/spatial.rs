@@ -28,10 +28,30 @@
 //! and requires `Send + Sync` because the sharded frontend moves
 //! per-shard indices across scoped worker threads.
 
+use crate::arena::SoaIndex;
 use crate::brute::BruteIndex;
 use crate::{GridIndex, GridIndexConfig, RTreeIndex, TrajectoryStore, UserId};
 use hka_geo::{SpaceTimeScale, StBox, StPoint};
 use std::collections::BTreeSet;
+
+/// Canonical order on a user's equidistant observations.
+///
+/// When two of a user's points are *exactly* equidistant from a query
+/// seed, every backend must report the same representative point or the
+/// answer would depend on scan order — a grid index visits cells
+/// nearest-lower-bound first, an R-tree visits nodes best-first, and
+/// the brute scan walks the PHL outward from the temporal insertion
+/// point, so "first one wins" diverges between them (and between two
+/// insertion orders of the *same* backend). The contract is therefore:
+/// among equidistant candidates, the smallest `(t, x, y)` wins. All
+/// pruning bounds in the backends are strict (`> kth`), so an
+/// equal-distance candidate is never pruned before this rule sees it.
+pub(crate) fn obs_cmp(a: &StPoint, b: &StPoint) -> std::cmp::Ordering {
+    a.t.0
+        .cmp(&b.t.0)
+        .then(a.pos.x.total_cmp(&b.pos.x))
+        .then(a.pos.y.total_cmp(&b.pos.y))
+}
 
 /// A spatio-temporal index over users' PHLs answering the two queries
 /// Algorithm 1 needs, behind one backend-agnostic seam.
@@ -141,6 +161,10 @@ impl SpatialIndex for RTreeIndex {
         RTreeIndex::users_crossing(self, b)
     }
 
+    fn count_users_crossing(&self, b: &StBox, limit: usize) -> usize {
+        RTreeIndex::count_users_crossing(self, b, limit)
+    }
+
     fn k_nearest_users(
         &self,
         seed: &StPoint,
@@ -164,6 +188,9 @@ pub enum IndexBackend {
     Grid,
     /// Guttman R-tree ([`RTreeIndex`]).
     RTree,
+    /// Structure-of-arrays scan ([`SoaIndex`]) — per-user columnar
+    /// tracks, time-pruned like the brute scan but cache-friendly.
+    Soa,
     /// Exhaustive scan ([`BruteIndex`]) — the O(k·n) differential
     /// oracle; never pick this for anything but testing and baselines.
     Brute,
@@ -172,34 +199,48 @@ pub enum IndexBackend {
 impl IndexBackend {
     /// All backends, in oracle-last order — handy for differential
     /// sweeps.
-    pub const ALL: [IndexBackend; 3] =
-        [IndexBackend::Grid, IndexBackend::RTree, IndexBackend::Brute];
+    pub const ALL: [IndexBackend; 4] = [
+        IndexBackend::Grid,
+        IndexBackend::RTree,
+        IndexBackend::Soa,
+        IndexBackend::Brute,
+    ];
 
-    /// Parses a CLI-style name (`grid`, `rtree`, `brute`).
+    /// Whether this backend answers k-nearest by scanning every user
+    /// (O(users) per query) rather than through a spatial structure.
+    /// Bench gates compare tree/grid backends against the scan class.
+    pub fn is_scan(&self) -> bool {
+        matches!(self, IndexBackend::Soa | IndexBackend::Brute)
+    }
+
+    /// Parses a CLI-style name (`grid`, `rtree`, `soa`, `brute`).
     pub fn parse(s: &str) -> Option<IndexBackend> {
         match s.to_ascii_lowercase().as_str() {
             "grid" => Some(IndexBackend::Grid),
             "rtree" | "r-tree" => Some(IndexBackend::RTree),
+            "soa" => Some(IndexBackend::Soa),
             "brute" => Some(IndexBackend::Brute),
             _ => None,
         }
     }
 
-    /// The CLI-style name (`grid`, `rtree`, `brute`).
+    /// The CLI-style name (`grid`, `rtree`, `soa`, `brute`).
     pub fn name(&self) -> &'static str {
         match self {
             IndexBackend::Grid => "grid",
             IndexBackend::RTree => "rtree",
+            IndexBackend::Soa => "soa",
             IndexBackend::Brute => "brute",
         }
     }
 
     /// An empty index of this backend. Grid uses the full `config`;
-    /// the R-tree and brute backends only need its `scale`.
+    /// the R-tree, SoA, and brute backends only need its `scale`.
     pub fn make(&self, config: GridIndexConfig) -> Box<dyn SpatialIndex> {
         match self {
             IndexBackend::Grid => Box::new(GridIndex::new(config)),
             IndexBackend::RTree => Box::new(RTreeIndex::new(config.scale)),
+            IndexBackend::Soa => Box::new(SoaIndex::new(config.scale)),
             IndexBackend::Brute => Box::new(BruteIndex::new(config.scale)),
         }
     }
@@ -209,6 +250,7 @@ impl IndexBackend {
         match self {
             IndexBackend::Grid => Box::new(GridIndex::build(store, config)),
             IndexBackend::RTree => Box::new(RTreeIndex::build(store, config.scale)),
+            IndexBackend::Soa => Box::new(SoaIndex::build(store, config.scale)),
             IndexBackend::Brute => Box::new(BruteIndex::build(store, config.scale)),
         }
     }
@@ -263,8 +305,8 @@ mod tests {
             Rect::from_bounds(0.0, 0.0, 50.0, 50.0),
             TimeInterval::new(TimeSec(0), TimeSec(100)),
         );
-        let oracle = &boxed[2];
-        for idx in &boxed[..2] {
+        let oracle = boxed.last().expect("oracle is last");
+        for idx in &boxed[..boxed.len() - 1] {
             assert_eq!(
                 idx.k_nearest_users(&seed, 2, Some(UserId(2))),
                 oracle.k_nearest_users(&seed, 2, Some(UserId(2))),

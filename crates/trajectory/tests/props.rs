@@ -2,9 +2,10 @@
 //! brute-force reference on every query.
 
 use hka_geo::{Rect, SpaceTimeScale, StBox, StPoint, TimeInterval, TimeSec};
+use hka_granules::Granularity;
 use hka_trajectory::{
-    brute, GridIndex, GridIndexConfig, IndexBackend, IndexSnapshot, Phl, RTreeIndex,
-    TrajectoryStore, UserId,
+    brute, CompactionPolicy, GridIndex, GridIndexConfig, IndexBackend, IndexDelta, IndexSnapshot,
+    Phl, RTreeIndex, TrajectoryStore, UnionIndex, UserId,
 };
 use proptest::prelude::*;
 
@@ -52,6 +53,39 @@ fn configs() -> impl Strategy<Value = GridIndexConfig> {
 fn arb_box() -> impl Strategy<Value = StBox> {
     (arb_stpoint(), arb_stpoint())
         .prop_map(|(a, b)| StBox::new(Rect::new(a.pos, b.pos), TimeInterval::new(a.t, b.t)))
+}
+
+/// One step of the sharded ingest lifecycle, as seen by the union index.
+#[derive(Debug, Clone)]
+enum UnionOp {
+    /// An in-order location update on the owning shard.
+    Record { u: u64, x: f64, y: f64, dt: i64 },
+    /// An out-of-order update whose timestamp the ingest path clamps
+    /// forward onto the user's latest observation (`record_clamped`).
+    Regress { u: u64, x: f64, y: f64, back: i64 },
+    /// An epoch barrier: every buffered delta drains into the union.
+    Epoch,
+    /// History compaction: barrier, per-shard compact + rebuild, and
+    /// union invalidation — exactly the sharded `compact_history` order.
+    Compact { keep: i64 },
+}
+
+fn arb_union_op() -> impl Strategy<Value = UnionOp> {
+    // Weighted mix: mostly records, a sprinkle of clamped regressions
+    // and barriers, occasional compaction.
+    (0u32..11, 0u64..8, 0.0f64..1000.0, 0.0f64..1000.0, 1i64..600).prop_map(|(kind, u, x, y, a)| {
+        match kind {
+            0..=4 => UnionOp::Record {
+                u,
+                x,
+                y,
+                dt: a % 120,
+            },
+            5 | 6 => UnionOp::Regress { u, x, y, back: a },
+            7..=9 => UnionOp::Epoch,
+            _ => UnionOp::Compact { keep: 60 + a % 540 },
+        }
+    })
 }
 
 proptest! {
@@ -163,12 +197,12 @@ proptest! {
     /// `SpatialIndex` trait, returns identical anonymity sets
     /// (`users_crossing`), co-location counts (including the early-exit
     /// variant), and k-nearest rankings. The brute backend is the
-    /// oracle. Users and their scaled distances must match bit for bit
-    /// — per-user minimum distances are computed from the same point
-    /// multiset by the same formula in every backend, and user-level
-    /// ties break by ascending id everywhere. (Only the *representative
-    /// point* of one user may differ among its exact-equidistant
-    /// observations, so points are compared by distance, not identity.)
+    /// oracle. Answers must match **exactly** — users, and the
+    /// representative points themselves: the canonical equal-distance
+    /// tie rule (smallest `(t, x, y)` among a user's exactly
+    /// equidistant observations) makes the representative point
+    /// scan-order-independent, so byte equality holds across backends,
+    /// insertion orders, and partition layouts.
     #[test]
     fn backends_agree_through_the_trait(
         store in arb_store(12, 15),
@@ -180,7 +214,7 @@ proptest! {
         let oracle = IndexBackend::Brute.build(&store, cfg);
         let want_set = oracle.users_crossing(&b);
         let want_knn = oracle.k_nearest_users(&seed, k, None);
-        for backend in [IndexBackend::Grid, IndexBackend::RTree] {
+        for backend in [IndexBackend::Grid, IndexBackend::RTree, IndexBackend::Soa] {
             let idx = backend.build(&store, cfg);
             prop_assert_eq!(idx.backend(), backend);
             prop_assert_eq!(idx.len(), store.total_points());
@@ -193,16 +227,11 @@ proptest! {
                     "{} co-location count at limit {}", backend, limit
                 );
             }
-            let fast = idx.k_nearest_users(&seed, k, None);
-            prop_assert_eq!(fast.len(), want_knn.len(), "{} kNN length", backend);
-            for (f, s) in fast.iter().zip(want_knn.iter()) {
-                prop_assert_eq!(f.0, s.0, "{} kNN user ranking", backend);
-                prop_assert_eq!(
-                    cfg.scale.dist_sq(&seed, &f.1).to_bits(),
-                    cfg.scale.dist_sq(&seed, &s.1).to_bits(),
-                    "{} kNN distance for {}", backend, f.0
-                );
-            }
+            prop_assert_eq!(
+                idx.k_nearest_users(&seed, k, None),
+                want_knn.clone(),
+                "{} kNN answer", backend
+            );
         }
     }
 
@@ -270,6 +299,132 @@ proptest! {
                 cfg.scale.dist_sq(&seed, &w.1).to_bits()
             );
         }
+    }
+
+    /// The incremental union survives any interleaving of in-order
+    /// inserts, clamped re-timestamps, epoch rollovers, and history
+    /// compaction: at every epoch boundary (the only instants protected
+    /// requests can observe it) its answers are byte-identical to a
+    /// fresh partition-union built from the shard stores.
+    #[test]
+    fn incremental_union_equals_fresh_union_under_interleaving(
+        ops in prop::collection::vec(arb_union_op(), 1..60),
+        cfg in configs(),
+        shards in 1usize..5,
+        seed in arb_stpoint(),
+        k in 1usize..8,
+        b in arb_box(),
+    ) {
+        let mut stores: Vec<TrajectoryStore> =
+            (0..shards).map(|_| TrajectoryStore::new()).collect();
+        let mut union = UnionIndex::new(IndexBackend::Grid, cfg, shards);
+        let mut pending: Vec<IndexDelta> = Vec::new();
+        let mut pos = 0u64;
+        let mut clock = 0i64;
+        let mut last: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+
+        // Re-derive per-user clamp floors from the stores (needed after
+        // compaction rewrites old observations into granule medoids).
+        fn reset_floors(
+            stores: &[TrajectoryStore],
+            last: &mut std::collections::HashMap<u64, i64>,
+        ) {
+            last.clear();
+            for s in stores {
+                for (u, phl) in s.iter() {
+                    if let Some(p) = phl.last() {
+                        last.insert(u.raw(), p.t.0);
+                    }
+                }
+            }
+        }
+
+        for op in &ops {
+            match op {
+                UnionOp::Record { u, x, y, dt } => {
+                    clock += dt;
+                    let t = clock.max(last.get(u).copied().unwrap_or(i64::MIN));
+                    let p = StPoint::xyt(*x, *y, TimeSec(t));
+                    stores[(*u as usize) % shards].record(UserId(*u), p);
+                    pending.push(IndexDelta { pos, user: UserId(*u), point: p });
+                    pos += 1;
+                    last.insert(*u, t);
+                }
+                UnionOp::Regress { u, x, y, back } => {
+                    let raw = clock - back;
+                    let floor = last.get(u).copied().unwrap_or(i64::MIN);
+                    let eff = raw.max(floor);
+                    let clamped = stores[(*u as usize) % shards]
+                        .record_clamped(UserId(*u), StPoint::xyt(*x, *y, TimeSec(raw)));
+                    prop_assert_eq!(clamped, raw < floor, "clamp detection");
+                    // The delta carries the post-clamp timestamp, just as
+                    // the ingest path normalizes before recording.
+                    let p = StPoint::xyt(*x, *y, TimeSec(eff));
+                    pending.push(IndexDelta { pos, user: UserId(*u), point: p });
+                    pos += 1;
+                    last.insert(*u, eff);
+                }
+                UnionOp::Epoch => {
+                    union.apply_epoch(&mut pending);
+                    prop_assert!(pending.is_empty());
+                    if !union.is_live() {
+                        union.rebuild(stores.iter(), shards);
+                    }
+                    // Oracle: a fresh per-shard build merged through the
+                    // snapshot union.
+                    let parts: Vec<_> = stores
+                        .iter()
+                        .map(|s| IndexBackend::Grid.build(s, cfg))
+                        .collect();
+                    let snap = IndexSnapshot::new(parts.iter().map(|p| p.as_ref()).collect());
+                    prop_assert_eq!(
+                        union.k_nearest_users(&seed, k, None),
+                        snap.k_nearest_users(&seed, k, None),
+                        "kNN after epoch"
+                    );
+                    prop_assert_eq!(
+                        union.k_nearest_users(&seed, k, Some(UserId(0))),
+                        snap.k_nearest_users(&seed, k, Some(UserId(0))),
+                        "excluding kNN after epoch"
+                    );
+                    prop_assert_eq!(union.users_crossing(&b), snap.users_crossing(&b));
+                    for limit in [0usize, 1, usize::MAX] {
+                        prop_assert_eq!(
+                            union.count_users_crossing(&b, limit),
+                            snap.count_users_crossing(&b, limit)
+                        );
+                    }
+                    let total: usize = stores.iter().map(|s| s.total_points()).sum();
+                    prop_assert_eq!(union.len(), total);
+                }
+                UnionOp::Compact { keep } => {
+                    // Sharded compact_history order: flush (drain the
+                    // epoch), compact every shard, invalidate the union.
+                    union.apply_epoch(&mut pending);
+                    let policy = CompactionPolicy::new(*keep, Granularity::Minutes);
+                    for s in stores.iter_mut() {
+                        s.compact(TimeSec(clock), &policy);
+                    }
+                    union.invalidate();
+                    prop_assert!(!union.is_live());
+                    reset_floors(&stores, &mut last);
+                }
+            }
+        }
+
+        // A final barrier: whatever state the schedule left behind must
+        // still converge to the fresh union.
+        union.apply_epoch(&mut pending);
+        if !union.is_live() {
+            union.rebuild(stores.iter(), shards);
+        }
+        let parts: Vec<_> = stores.iter().map(|s| IndexBackend::Grid.build(s, cfg)).collect();
+        let snap = IndexSnapshot::new(parts.iter().map(|p| p.as_ref()).collect());
+        prop_assert_eq!(
+            union.k_nearest_users(&seed, k, None),
+            snap.k_nearest_users(&seed, k, None),
+            "kNN at the final barrier"
+        );
     }
 
     #[test]

@@ -44,6 +44,14 @@ cargo run --release -q --bin hka-sim -- watch "$tmp/ts.journal" \
     --idle-exit 2 --interval-ms 50 --report "$tmp/watch.json" > /dev/null
 cmp "$tmp/watch.json" "$tmp/audit.json"
 
+echo "== shard union (incremental index + batched requests: bytes invariant) =="
+cargo run --release -q --bin hka-sim -- simulate --days 2 --commuters 4 \
+    --roamers 20 --shards 4 --trace-out "$tmp/union-on.journal" > /dev/null
+cargo run --release -q --bin hka-sim -- simulate --days 2 --commuters 4 \
+    --roamers 20 --shards 4 --no-incremental-index \
+    --trace-out "$tmp/union-off.journal" > /dev/null
+cmp "$tmp/union-on.journal" "$tmp/union-off.journal"
+
 echo "== checkpoint (drill with checkpoints, then snapshot+suffix == genesis) =="
 cargo run --release -q --bin hka-sim -- serve-drill --journal "$tmp/drill.journal" \
     --days 1 --commuters 4 --roamers 20 --checkpoint-every 100 > /dev/null

@@ -3,6 +3,7 @@
 //! ```text
 //! hka-sim simulate [--seed N] [--days N] [--commuters N] [--roamers N] [--k N]
 //!                  [--trace-out FILE] [--metrics] [--shards N]
+//!                  [--no-incremental-index]
 //!                  [--index grid|rtree] [--trace-export FILE]
 //!                  [--trace-clock logical|wall] [--trace-capacity N] [--slo]
 //! hka-sim plan     [--seed N] [--population N] [--k N] [--samples N]
@@ -33,7 +34,10 @@
 //! faulted or degraded request is suppressed, never forwarded exact or
 //! under-generalized. Exits non-zero on any violation. `--shards N`
 //! (also accepted by `simulate`) runs the workload through the sharded
-//! frontend (`hka::shard::ShardedTs`) instead of the sequential server.
+//! frontend (`hka::shard::ShardedTs`) instead of the sequential server;
+//! `--no-incremental-index` makes that frontend re-union the shard
+//! indexes per protected request instead of maintaining the incremental
+//! union — decisions and journal bytes are identical either way.
 //! `--index grid|rtree` (accepted by `simulate`, `plan`, and `chaos`)
 //! selects the spatial-index backend behind Algorithm 1; the default
 //! `grid` is byte-identical to runs before the flag existed, and every
@@ -338,6 +342,12 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     let (st, audit_rows, journal_info, errors, log_len, log_dropped, slo_worst);
     if shards > 1 {
         let mut ts = protected_sharded(&world, k, shards, backend);
+        if flags.contains_key("no-incremental-index") {
+            // Fall back to per-request IndexSnapshot re-union; decisions
+            // and journal bytes are identical (differentially tested),
+            // only the protected-request path gets slower.
+            ts.set_incremental_index(false);
+        }
         if slo {
             ts.enable_slo(hka::obs::SloConfig::default());
         }

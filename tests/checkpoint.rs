@@ -377,6 +377,85 @@ fn a_compacting_server_journals_the_same_bytes_as_an_uncompacted_twin() {
     assert_eq!(ra.to_json().to_string(), rb.to_json().to_string());
 }
 
+/// After [`TrustedServer::compact_history`], the server's rebuilt index
+/// must be indistinguishable from an index built from scratch over the
+/// compacted store — same scale, same size, and the same answers to
+/// every query class — for the grid and the R-tree backend alike. A
+/// rebuild that leaked stale cells, forgot by-time bookkeeping, or
+/// dropped tree reinsertions would diverge here.
+#[test]
+fn compact_history_rebuild_matches_a_from_scratch_build() {
+    for backend in [IndexBackend::Grid, IndexBackend::RTree] {
+        let config = TsConfig {
+            backend,
+            ..TsConfig::default()
+        };
+        let mut ts = TrustedServer::new(config);
+        ts.register_service(ServiceId(1), Tolerance::new(1e8, 7_200));
+        for u in 0..10u64 {
+            ts.register_user(UserId(u), PrivacyLevel::Off);
+        }
+        for day in 0..4i64 {
+            for u in 0..10u64 {
+                for f in 0..25i64 {
+                    let t = day * DAY + f * 2_500;
+                    ts.location_update(
+                        UserId(u),
+                        sp(15.0 * u as f64 + (f % 9) as f64, 3.0 * (f % 6) as f64, t),
+                    );
+                }
+            }
+        }
+        let now = TimeSec(4 * DAY);
+        let stats = ts.compact_history(now, &CompactionPolicy::new(DAY, Granularity::Days));
+        assert!(stats.points_dropped() > 0, "{backend:?}: compaction folded");
+
+        let fresh = backend.build(ts.store(), config.index);
+        let rebuilt = ts.index();
+        assert_eq!(rebuilt.backend(), backend);
+        assert_eq!(rebuilt.scale(), fresh.scale(), "{backend:?}: scale");
+        assert_eq!(rebuilt.len(), fresh.len(), "{backend:?}: indexed points");
+        assert_eq!(
+            rebuilt.len(),
+            ts.store().total_points(),
+            "{backend:?}: store"
+        );
+
+        let probes = [
+            sp(0.0, 0.0, 0),
+            sp(75.0, 9.0, 2 * DAY),
+            sp(150.0, 15.0, 4 * DAY - 1),
+        ];
+        for seed in &probes {
+            for k in [1usize, 4, 10, 25] {
+                for excl in [None, Some(UserId(3))] {
+                    assert_eq!(
+                        rebuilt.k_nearest_users(seed, k, excl),
+                        fresh.k_nearest_users(seed, k, excl),
+                        "{backend:?}: k_nearest k={k}"
+                    );
+                }
+            }
+        }
+        let b = StBox::new(
+            Rect::from_bounds(0.0, 0.0, 160.0, 20.0),
+            TimeInterval::new(TimeSec(DAY), TimeSec(3 * DAY)),
+        );
+        assert_eq!(
+            rebuilt.users_crossing(&b),
+            fresh.users_crossing(&b),
+            "{backend:?}: users_crossing"
+        );
+        for limit in [0usize, 1, 5, 10, 99] {
+            assert_eq!(
+                rebuilt.count_users_crossing(&b, limit),
+                fresh.count_users_crossing(&b, limit),
+                "{backend:?}: count limit={limit}"
+            );
+        }
+    }
+}
+
 // --- CLI surface ------------------------------------------------------
 
 #[test]

@@ -155,6 +155,57 @@ fn index_backend_is_observationally_invariant() {
 }
 
 #[test]
+fn incremental_index_is_observationally_invariant() {
+    let dir = std::env::temp_dir().join("hka-cli-union-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let on = dir.join("union-on.journal");
+    let off = dir.join("union-off.journal");
+    let on_s = on.to_str().unwrap();
+    let off_s = off.to_str().unwrap();
+
+    let base = [
+        "simulate",
+        "--days",
+        "2",
+        "--commuters",
+        "3",
+        "--roamers",
+        "20",
+        "--shards",
+        "4",
+        "--trace-out",
+    ];
+    let (ok, on_stdout, stderr) = hka_sim(&[&base[..], &[on_s]].concat());
+    assert!(ok, "{stderr}");
+    let (ok, off_stdout, stderr) =
+        hka_sim(&[&base[..], &[off_s, "--no-incremental-index"]].concat());
+    assert!(ok, "{stderr}");
+
+    // The incremental union is a pure query accelerator on the
+    // protected-request path: turning it off (per-request re-union of
+    // the shard indexes) must not move a single decision, so the two
+    // journals match byte for byte.
+    assert_eq!(
+        std::fs::read(&on).unwrap(),
+        std::fs::read(&off).unwrap(),
+        "union-on and union-off journals must be byte-identical"
+    );
+    let strip = |s: &str| -> String {
+        s.lines()
+            .filter(|l| !l.contains(".journal"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&on_stdout), strip(&off_stdout));
+
+    // And the optimized journal audits clean end to end.
+    let (ok, stdout, stderr) = hka_sim(&["audit", "--journal", on_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("chain: VERIFIED"));
+    assert!(stdout.contains("violations: none"));
+}
+
+#[test]
 fn simulate_then_audit_round_trips() {
     let dir = std::env::temp_dir().join("hka-cli-audit-test");
     std::fs::create_dir_all(&dir).unwrap();

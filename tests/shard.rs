@@ -329,6 +329,220 @@ fn fault_plans_replay_identically() {
     }
 }
 
+/// The tentpole's safety gate: with the incrementally maintained union
+/// index on (the default) and off (per-request `IndexSnapshot`
+/// re-union), the same workload produces identical outcomes and
+/// **byte-identical journals** — the delta-maintained union is pinned
+/// to the re-union baseline end to end, not just at the query seam.
+#[test]
+fn incremental_union_matches_the_reunion_baseline_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("hka-shard-union-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let world = build_world(17, 5);
+
+    let mut journals = Vec::new();
+    for incremental in [true, false] {
+        let path = dir.join(format!("union-{incremental}.jsonl"));
+        let mut shd = setup_sharded(&world, TsConfig::default(), 4);
+        shd.set_parallel_threshold(0);
+        shd.set_incremental_index(incremental);
+        assert_eq!(shd.incremental_index(), incremental);
+        shd.attach_journal(obs::Journal::new(
+            Box::new(std::fs::File::create(&path).unwrap()) as Box<dyn obs::DurableSink>,
+        ));
+        let out = drive_sharded(&mut shd, &world);
+        shd.flush_journal().unwrap();
+        if incremental {
+            assert!(
+                shd.union_generation() > 0,
+                "the union actually ran (generation stamped)"
+            );
+        }
+        journals.push((std::fs::read(&path).unwrap(), out));
+    }
+    let (a_bytes, a_out) = &journals[0];
+    let (b_bytes, b_out) = &journals[1];
+    assert_eq!(a_out, b_out, "outcomes diverge across the union toggle");
+    assert!(!a_bytes.is_empty());
+    assert_eq!(
+        a_bytes, b_bytes,
+        "journal bytes diverge across the union toggle"
+    );
+}
+
+/// Sharded compaction: folds every shard's partition, rebuilds the
+/// per-shard indices, **invalidates the union** (a removal is what the
+/// insert-only delta stream cannot express), journals one deterministic
+/// `ts.compaction` chain record — and afterwards the server still
+/// answers identically to a sequential server compacted the same way.
+#[test]
+fn sharded_compaction_matches_sequential_and_discards_spanning_snapshots() {
+    let dir = std::env::temp_dir().join(format!("hka-shard-compact-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let world = build_world(29, 6);
+    let split = world.events.len() / 2;
+    let policy = CompactionPolicy::new(12 * HOUR, Granularity::Hours);
+
+    let drive_slice = |seq: &mut TrustedServer, events: &[Event]| {
+        let mut out = Vec::new();
+        for e in events {
+            match e.kind {
+                EventKind::Location => seq.location_update(e.user, e.at),
+                EventKind::Request { service } => {
+                    out.push((
+                        e.user,
+                        seq.try_handle_request(e.user, e.at, ServiceId(service)),
+                    ));
+                }
+            }
+        }
+        out
+    };
+    let drive_slice_shd = |shd: &mut ShardedTs, events: &[Event]| {
+        for e in events {
+            match e.kind {
+                EventKind::Location => {
+                    shd.submit_location(e.user, e.at);
+                }
+                EventKind::Request { service } => {
+                    shd.submit_request(e.user, e.at, ServiceId(service));
+                }
+            }
+        }
+        shd.take_outcomes()
+            .into_iter()
+            .map(|(_, user, outcome)| (user, outcome))
+            .collect::<Outcomes>()
+    };
+
+    let mut seq = setup_seq(&world, TsConfig::default());
+    let mut seq_out = drive_slice(&mut seq, &world.events[..split]);
+    let now = world.events[split].at.t;
+    let seq_stats = seq.compact_history(now, &policy);
+    seq_out.extend(drive_slice(&mut seq, &world.events[split..]));
+
+    let mut chain_bytes = Vec::new();
+    for shards in [2usize, 4] {
+        let path = dir.join(format!("compact-{shards}.jsonl"));
+        let mut shd = setup_sharded(&world, TsConfig::default(), shards);
+        // Serialize everything so the two shard counts journal
+        // byte-identically — including the compaction record.
+        shd.attach_faults(FaultInjector::none());
+        shd.attach_journal(obs::Journal::new(
+            Box::new(std::fs::File::create(&path).unwrap()) as Box<dyn obs::DurableSink>,
+        ));
+        let mut shd_out = drive_slice_shd(&mut shd, &world.events[..split]);
+
+        let gen_before = shd.union_generation();
+        let shd_stats = shd.compact_history(now, &policy);
+        assert_eq!(
+            shd_stats.points_dropped(),
+            seq_stats.points_dropped(),
+            "{shards} shards: same points folded as the sequential server"
+        );
+        assert!(
+            shd.union_generation() > gen_before,
+            "{shards} shards: a snapshot generation spanning the compaction is discarded"
+        );
+
+        shd_out.extend(drive_slice_shd(&mut shd, &world.events[split..]));
+        assert_equivalent(shards, &seq_out, &shd_out);
+
+        // The folded global store is the sequential folded store.
+        let merged = shd.merged_store();
+        for (user, phl) in seq.store().iter() {
+            assert_eq!(
+                Some(phl),
+                merged.phl(user),
+                "{shards} shards: PHL of {user}"
+            );
+        }
+
+        shd.flush_journal().unwrap();
+        drop(shd);
+        let bytes = std::fs::read(&path).unwrap();
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        assert!(
+            text.contains("ts.compaction"),
+            "{shards} shards: compaction anchored in the chain"
+        );
+        chain_bytes.push(bytes);
+    }
+    assert_eq!(
+        chain_bytes[0], chain_bytes[1],
+        "compaction journals diverge across shard counts"
+    );
+}
+
+/// Co-arriving protected requests cross one barrier and run as a batch;
+/// the batch counters move, and outcomes equal driving the same
+/// requests one flush at a time. The sequential bulk API rides the same
+/// seam: [`TrustedServer::handle_requests`] must equal one-by-one
+/// [`TrustedServer::try_handle_request`] calls.
+#[test]
+fn co_arriving_protected_requests_batch_without_changing_results() {
+    let world = build_world(33, 4);
+
+    // One flush for the whole world (maximal batching) ...
+    let mut batched = setup_sharded(&world, TsConfig::default(), 4);
+    batched.set_parallel_threshold(0);
+    let snap_before = hka::obs::global().snapshot();
+    let batched_out = drive_sharded(&mut batched, &world);
+    let snap_after = hka::obs::global().snapshot();
+    let batches =
+        |s: &hka::obs::MetricsSnapshot| s.counters.get("ts.request_batches").copied().unwrap_or(0);
+    assert!(
+        batches(&snap_after) > batches(&snap_before),
+        "protected runs went through the batched path"
+    );
+
+    // ... versus one flush per event (no co-arrival, no batching).
+    let mut single = setup_sharded(&world, TsConfig::default(), 4);
+    single.set_parallel_threshold(0);
+    let mut single_out: Outcomes = Vec::new();
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => single.location_update(e.user, e.at),
+            EventKind::Request { service } => {
+                single_out.push((e.user, single.request_now(e.user, e.at, ServiceId(service))));
+            }
+        }
+    }
+    assert_equivalent(4, &single_out, &batched_out);
+
+    // Sequential bulk API: same contract at the strategy seam.
+    let mut seq_bulk = setup_seq(&world, TsConfig::default());
+    let mut seq_one = setup_seq(&world, TsConfig::default());
+    let mut requests = Vec::new();
+    for e in &world.events {
+        match e.kind {
+            EventKind::Location => {
+                // Keep both PHLs identical between request batches.
+                seq_bulk.location_update(e.user, e.at);
+                seq_one.location_update(e.user, e.at);
+            }
+            EventKind::Request { service } => requests.push((e.user, e.at, ServiceId(service))),
+        }
+    }
+    let bulk_out = seq_bulk.handle_requests(&requests);
+    let one_out: Vec<_> = requests
+        .iter()
+        .map(|(u, at, svc)| seq_one.try_handle_request(*u, *at, *svc))
+        .collect();
+    assert_eq!(bulk_out.len(), one_out.len());
+    for (i, (a, b)) in bulk_out.iter().zip(&one_out).enumerate() {
+        assert_eq!(
+            a.as_ref().map(fingerprint_ok).map_err(|e| e.to_string()),
+            b.as_ref().map(fingerprint_ok).map_err(|e| e.to_string()),
+            "bulk vs one-by-one diverge at request {i}"
+        );
+    }
+}
+
+fn fingerprint_ok(o: &RequestOutcome) -> String {
+    fingerprint(&Ok(o.clone()))
+}
+
 /// The sharded journal is a well-formed hash chain and a clean audit:
 /// `verify_chain` accepts it and `hka-audit` replays it with zero
 /// violations, exactly as for the sequential server.
