@@ -91,6 +91,14 @@ pub struct WatchFrame {
     pub worst_trace: Option<u64>,
     /// That request's latency, microseconds.
     pub worst_us: Option<u64>,
+    /// Connections the gateway has accepted, from the most recent
+    /// journaled `gw.stats` record (`None` for in-process runs that
+    /// never journal one).
+    pub gw_conns: Option<u64>,
+    /// Drain barriers the gateway has run.
+    pub gw_drains: Option<u64>,
+    /// Inflight-queue depth at the gateway's last stats emission.
+    pub gw_queue: Option<u64>,
     /// The chain failure, rendered, if the tail has ended.
     pub chain_error: Option<String>,
 }
@@ -110,6 +118,9 @@ impl WatchFrame {
             ),
             ("checkpoints", Json::from(self.checkpoints)),
             ("forwarded", Json::from(self.forwarded)),
+            ("gw_conns", self.gw_conns.map_or(Json::Null, Json::from)),
+            ("gw_drains", self.gw_drains.map_or(Json::Null, Json::from)),
+            ("gw_queue", self.gw_queue.map_or(Json::Null, Json::from)),
             ("head", Json::from(self.head.as_str())),
             ("min_k", self.min_k.map_or(Json::Null, Json::from)),
             (
@@ -171,6 +182,13 @@ impl WatchFrame {
                 .map_or_else(|| "-".to_string(), |s| s.to_string());
             line.push_str(&format!(" checkpoints={}@{seq}", self.checkpoints));
         }
+        if let Some(conns) = self.gw_conns {
+            line.push_str(&format!(
+                " gw=conns:{conns}/drains:{}/queue:{}",
+                self.gw_drains.unwrap_or(0),
+                self.gw_queue.unwrap_or(0),
+            ));
+        }
         if let Some(t) = self.worst_trace {
             let us = self.worst_us.unwrap_or(0);
             line.push_str(&format!(" worst=t{t:08x}/{us}us"));
@@ -200,6 +218,9 @@ pub struct TailAuditor {
     slo_active: std::collections::BTreeSet<String>,
     slo_breaches: u64,
     worst_trace: Option<(u64, u64)>,
+    /// Latest journaled gateway stats `(conns, drains, queue_depth)`.
+    /// Watch-surface only, like the SLO banner state.
+    gw_stats: Option<(u64, u64, u64)>,
 }
 
 impl TailAuditor {
@@ -213,6 +234,7 @@ impl TailAuditor {
             slo_active: std::collections::BTreeSet::new(),
             slo_breaches: 0,
             worst_trace: None,
+            gw_stats: None,
         }
     }
 
@@ -236,6 +258,7 @@ impl TailAuditor {
             slo_active: std::collections::BTreeSet::new(),
             slo_breaches: 0,
             worst_trace: None,
+            gw_stats: None,
         })
     }
 
@@ -263,6 +286,14 @@ impl TailAuditor {
         }
     }
 
+    /// Folds one journaled gateway stats record into the watch-surface
+    /// state. Like [`TailAuditor::note_slo`], this never feeds the
+    /// audit outcome.
+    fn note_gw(&mut self, payload: &Json) {
+        let n = |key: &str| payload.get(key).and_then(Json::as_int).unwrap_or(0) as u64;
+        self.gw_stats = Some((n("conns"), n("drains"), n("queue_depth")));
+    }
+
     /// Consumes and audits whatever the journal grew since the last
     /// poll.
     pub fn poll(&mut self) -> TailPoll {
@@ -274,6 +305,8 @@ impl TailAuditor {
                 for tr in &batch.records {
                     if tr.record.kind.starts_with("ts.slo_") {
                         self.note_slo(&tr.record.kind, &tr.record.payload);
+                    } else if tr.record.kind == "gw.stats" {
+                        self.note_gw(&tr.record.payload);
                     }
                     let before = self.auditor.violations().len();
                     self.auditor.ingest(&tr.record);
@@ -355,6 +388,9 @@ impl TailAuditor {
             slo_breaches: self.slo_breaches,
             worst_trace: self.worst_trace.map(|(t, _)| t),
             worst_us: self.worst_trace.map(|(_, us)| us),
+            gw_conns: self.gw_stats.map(|(c, _, _)| c),
+            gw_drains: self.gw_stats.map(|(_, d, _)| d),
+            gw_queue: self.gw_stats.map(|(_, _, q)| q),
             chain_error: self.tailer.error().map(|e| e.to_string()),
         }
     }
@@ -620,6 +656,59 @@ mod tests {
         let json = frame.to_json().to_string();
         let reparsed = hka_obs::json::parse(&json).unwrap();
         assert_eq!(reparsed.to_string(), json, "canonical frame JSON");
+    }
+
+    #[test]
+    fn gateway_stats_drive_the_watch_banner_without_touching_the_audit() {
+        let tmp = TempPath::new("gw");
+        let gw = |conns: i64, drains: i64, queue: i64| {
+            Json::obj([
+                ("at", Json::Int(100)),
+                ("conns", Json::Int(conns)),
+                ("drains", Json::Int(drains)),
+                ("queue_depth", Json::Int(queue)),
+            ])
+        };
+        let bytes = journal_of(&[
+            ("ts.forwarded", fwd(1, 100, true, true, 5, 5)),
+            ("gw.stats", gw(3, 1, 7)),
+            ("ts.forwarded", fwd(1, 200, true, true, 5, 5)),
+            // The banner tracks the latest emission, not a sum.
+            ("gw.stats", gw(4, 2, 0)),
+        ]);
+        std::fs::write(&tmp.0, &bytes).unwrap();
+
+        let mut tail = TailAuditor::open(&tmp.0, AuditConfig::default());
+        tail.poll();
+        let frame = tail.frame();
+        assert_eq!(frame.gw_conns, Some(4));
+        assert_eq!(frame.gw_drains, Some(2));
+        assert_eq!(frame.gw_queue, Some(0));
+        let line = frame.render();
+        assert!(line.contains("gw=conns:4/drains:2/queue:0"), "{line}");
+        let json = frame.to_json().to_string();
+        assert!(json.contains("\"gw_conns\":4"), "{json}");
+        let reparsed = hka_obs::json::parse(&json).unwrap();
+        assert_eq!(reparsed.to_string(), json, "canonical frame JSON");
+        // Gateway telemetry never dirties the audit; the records count
+        // as unknown kinds like the SLO transitions do.
+        let out = tail.snapshot();
+        assert!(out.ok(), "{:?}", out.violations);
+        assert_eq!(out.totals.unknown_kinds, 2);
+
+        // In-process journals (no gw.stats) render no gateway segment.
+        let tmp2 = TempPath::new("gw-none");
+        std::fs::write(
+            &tmp2.0,
+            journal_of(&[("ts.forwarded", fwd(1, 100, true, true, 5, 5))]),
+        )
+        .unwrap();
+        let mut plain = TailAuditor::open(&tmp2.0, AuditConfig::default());
+        plain.poll();
+        let frame = plain.frame();
+        assert_eq!(frame.gw_conns, None);
+        assert!(!frame.render().contains("gw="), "{}", frame.render());
+        assert!(frame.to_json().to_string().contains("\"gw_conns\":null"));
     }
 
     #[test]

@@ -37,7 +37,8 @@ use std::time::Instant;
 use hka_anonymity::ServiceId;
 use hka_audit::AuditConfig;
 use hka_core::{
-    PrivacyLevel, PrivacyParams, RequestOutcome, RiskAction, Tolerance, TrustedServer, TsConfig,
+    PrivacyLevel, PrivacyParams, RequestEnvelope, RequestService, ResponseEnvelope, RiskAction,
+    Tolerance, TrustedServer, TsConfig,
 };
 use hka_geo::MINUTE;
 use hka_lbqid::Lbqid;
@@ -179,13 +180,38 @@ fn setup_sharded(world: &World, shards: usize, backend: IndexBackend) -> Sharded
     ts
 }
 
-/// An id-space-independent fingerprint of a request outcome, for the
-/// cross-run equivalence check.
-fn fingerprint(outcome: &RequestOutcome) -> String {
-    match outcome {
-        RequestOutcome::Forwarded(r) => format!("fwd {:?} {:?}", r.service, r.context),
-        RequestOutcome::Suppressed(reason) => format!("sup {reason:?}"),
+/// The workload as wire envelopes — what every backend is driven with
+/// through the [`RequestService`] seam.
+fn envelopes(world: &World) -> Vec<RequestEnvelope> {
+    world
+        .events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| match e.kind {
+            EventKind::Location => RequestEnvelope::location(i as u64, e.user, e.at),
+            EventKind::Request { service } => {
+                RequestEnvelope::request(i as u64, e.user, e.at, ServiceId(service))
+            }
+        })
+        .collect()
+}
+
+/// Submits the whole stream through the seam and drains at the final
+/// barrier — identical driving code for the sequential baseline and
+/// every ladder rung.
+fn drive(svc: &mut dyn RequestService, envs: &[RequestEnvelope]) -> Vec<ResponseEnvelope> {
+    for env in envs {
+        svc.submit(env);
     }
+    svc.drain()
+}
+
+/// An id-space-independent fingerprint of a wire response, for the
+/// cross-run equivalence check (pseudonyms and best-effort `k_got`
+/// enrichment are excluded — decision class, reason, and generalized
+/// area must match exactly; the byte-compare below covers the rest).
+fn fingerprint(resp: &ResponseEnvelope) -> String {
+    format!("{} {} {}", resp.outcome.as_str(), resp.detail, resp.area)
 }
 
 /// Chain-verifies and audit-replays one journal file; exits non-zero on
@@ -246,6 +272,7 @@ fn main() {
     std::fs::create_dir_all(&scratch).expect("scratch dir");
 
     let world = build_world();
+    let envs = envelopes(&world);
     let events = world.events.len();
     let requests = world
         .events
@@ -270,24 +297,14 @@ fn main() {
         ))
             as Box<dyn Write + Send + Sync>));
         let t0 = Instant::now();
-        let mut outcomes: Vec<String> = Vec::with_capacity(requests);
-        for e in &world.events {
-            match e.kind {
-                EventKind::Location => seq.location_update(e.user, e.at),
-                EventKind::Request { service } => {
-                    match seq.try_handle_request(e.user, e.at, ServiceId(service)) {
-                        Ok(out) => outcomes.push(fingerprint(&out)),
-                        Err(err) => outcomes.push(format!("err {err}")),
-                    }
-                }
-            }
-        }
+        let responses = drive(&mut seq, &envs);
         seq.flush_journal().expect("baseline flush");
         seq_ns = seq_ns.min(t0.elapsed().as_nanos() as u64);
         drop(seq);
-        seq_outcomes = outcomes;
+        seq_outcomes = responses.iter().map(fingerprint).collect();
     }
     let seq_records = check_journal(&seq_path, "baseline");
+    let seq_bytes = std::fs::read(&seq_path).expect("baseline journal bytes");
 
     // --- Ladder: ShardedTs, group-commit journal, 1/2/4/8 shards. ------
     let mut ladder = Vec::new();
@@ -305,17 +322,7 @@ fn main() {
             )
                 as Box<dyn hka_obs::DurableSink>));
             let t = Instant::now();
-            for e in &world.events {
-                match e.kind {
-                    EventKind::Location => {
-                        ts.submit_location(e.user, e.at);
-                    }
-                    EventKind::Request { service } => {
-                        ts.submit_request(e.user, e.at, ServiceId(service));
-                    }
-                }
-            }
-            outcomes = ts.take_outcomes();
+            outcomes = drive(&mut ts, &envs);
             ts.flush_journal().expect("shard flush");
             ns = ns.min(t.elapsed().as_nanos() as u64);
             epochs = ts.epoch();
@@ -331,11 +338,8 @@ fn main() {
             );
             std::process::exit(1);
         }
-        for (i, (_, _, outcome)) in outcomes.iter().enumerate() {
-            let got = match outcome {
-                Ok(out) => fingerprint(out),
-                Err(err) => format!("err {err}"),
-            };
+        for (i, resp) in outcomes.iter().enumerate() {
+            let got = fingerprint(resp);
             if got != seq_outcomes[i] {
                 eprintln!(
                     "FAIL: {shards} shards diverged from baseline at request {i}: {got} vs {}",
@@ -347,6 +351,12 @@ fn main() {
         let records = check_journal(&path, &format!("{shards}-shard"));
         if records != seq_records {
             eprintln!("FAIL: {shards} shards journaled {records} records, baseline {seq_records}");
+            std::process::exit(1);
+        }
+        // Group commit batches appends but chains the same bytes: every
+        // rung's journal is byte-identical to the durable baseline's.
+        if std::fs::read(&path).expect("shard journal bytes") != seq_bytes {
+            eprintln!("FAIL: {shards}-shard journal bytes diverge from the baseline");
             std::process::exit(1);
         }
 
@@ -387,25 +397,12 @@ fn main() {
         )
             as Box<dyn hka_obs::DurableSink>));
         let t = Instant::now();
-        for e in &world.events {
-            match e.kind {
-                EventKind::Location => {
-                    ts.submit_location(e.user, e.at);
-                }
-                EventKind::Request { service } => {
-                    ts.submit_request(e.user, e.at, ServiceId(service));
-                }
-            }
-        }
-        let outcomes = ts.take_outcomes();
+        let outcomes = drive(&mut ts, &envs);
         ts.flush_journal().expect("re-union flush");
         reunion_ns = reunion_ns.min(t.elapsed().as_nanos() as u64);
         drop(ts);
-        for (i, (_, _, outcome)) in outcomes.iter().enumerate() {
-            let got = match outcome {
-                Ok(out) => fingerprint(out),
-                Err(err) => format!("err {err}"),
-            };
+        for (i, resp) in outcomes.iter().enumerate() {
+            let got = fingerprint(resp);
             if got != seq_outcomes[i] {
                 eprintln!("FAIL: re-union run diverged from baseline at request {i}: {got}");
                 std::process::exit(1);

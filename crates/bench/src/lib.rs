@@ -12,7 +12,10 @@
 #![warn(missing_docs)]
 
 use hka_anonymity::ServiceId;
-use hka_core::{PrivacyLevel, PrivacyParams, Tolerance, TrustedServer, TsConfig};
+use hka_core::{
+    PrivacyLevel, PrivacyParams, RequestEnvelope, RequestService, Tolerance, TrustedServer,
+    TsConfig, WireOutcome,
+};
 use hka_geo::MINUTE;
 use hka_lbqid::Lbqid;
 use hka_mobility::{CityConfig, EventKind, World, WorldConfig, ANCHOR_SERVICE, BACKGROUND_SERVICE};
@@ -107,27 +110,30 @@ pub fn build(cfg: &ScenarioConfig) -> Scenario {
     }
 }
 
-/// Drives every workload event through the server. Request-level errors
-/// (unknown user, read-only refusals) are counted and returned instead
-/// of aborting the experiment — a generated workload should produce
-/// none, so callers typically assert the count is zero.
+/// Drives every workload event through the server via the
+/// [`RequestService`] seam — the same path `hka-sim` and the TCP
+/// gateway use, so a bench run exercises exactly the production
+/// envelope handling (submit is `location_update` /
+/// `try_handle_request` verbatim on the sequential server, so journal
+/// bytes are unchanged). Request-level errors (unknown user,
+/// read-only refusals) are counted and returned instead of aborting
+/// the experiment — a generated workload should produce none, so
+/// callers typically assert the count is zero.
 pub fn run_events(scenario: &mut Scenario) -> u64 {
-    let mut errors = 0;
-    for e in &scenario.world.events {
-        match e.kind {
-            EventKind::Location => scenario.ts.location_update(e.user, e.at),
+    let svc: &mut dyn RequestService = &mut scenario.ts;
+    for (i, e) in scenario.world.events.iter().enumerate() {
+        let env = match e.kind {
+            EventKind::Location => RequestEnvelope::location(i as u64, e.user, e.at),
             EventKind::Request { service } => {
-                if scenario
-                    .ts
-                    .try_handle_request(e.user, e.at, ServiceId(service))
-                    .is_err()
-                {
-                    errors += 1;
-                }
+                RequestEnvelope::request(i as u64, e.user, e.at, ServiceId(service))
             }
-        }
+        };
+        svc.submit(&env);
     }
-    errors
+    svc.drain()
+        .iter()
+        .filter(|r| r.outcome == WireOutcome::Rejected)
+        .count() as u64
 }
 
 /// Mean of a sample (0 for empty).

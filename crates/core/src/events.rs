@@ -126,6 +126,20 @@ pub enum TsEvent {
         /// The configured threshold.
         threshold: f64,
     },
+    /// Gateway liveness snapshot (connection/drain/queue counters),
+    /// journaled by a network frontend when stats emission is enabled.
+    /// Telemetry only — never a TS decision — so the audit timeline
+    /// ignores it (unknown kinds are tolerated, not violations).
+    GwStats {
+        /// When the snapshot was taken (simulated time).
+        at: TimeSec,
+        /// Connections currently open on the gateway.
+        conns: u64,
+        /// Service-loop drain cycles completed so far.
+        drains: u64,
+        /// Inflight-queue depth at snapshot time.
+        queue_depth: u64,
+    },
 }
 
 impl TsEvent {
@@ -184,6 +198,7 @@ impl TsEvent {
             TsEvent::ModeChanged { .. } => "ts.mode_changed",
             TsEvent::SloBreach { .. } => "ts.slo_breach",
             TsEvent::SloRecovered { .. } => "ts.slo_recovered",
+            TsEvent::GwStats { .. } => "gw.stats",
         }
     }
 
@@ -287,6 +302,17 @@ impl TsEvent {
                 ("slo", Json::from(slo.as_str())),
                 ("value", Json::Num(*value)),
                 ("threshold", Json::Num(*threshold)),
+            ]),
+            TsEvent::GwStats {
+                at,
+                conns,
+                drains,
+                queue_depth,
+            } => Json::obj([
+                ("at", Json::Int(at.0)),
+                ("conns", Json::from(*conns)),
+                ("drains", Json::from(*drains)),
+                ("queue_depth", Json::from(*queue_depth)),
             ]),
         }
     }
@@ -586,10 +612,11 @@ impl TsStats {
             TsEvent::AtRisk { .. } => self.at_risk += 1,
             TsEvent::LbqidMatched { .. } => self.lbqid_matches += 1,
             TsEvent::ModeChanged { .. } => self.mode_changes += 1,
-            // SLO transitions are watchdog telemetry, not TS decisions:
-            // keeping them out of TsStats leaves the checkpoint stats
-            // section's format (and restore fidelity) untouched.
-            TsEvent::SloBreach { .. } | TsEvent::SloRecovered { .. } => {}
+            // SLO transitions and gateway snapshots are telemetry, not
+            // TS decisions: keeping them out of TsStats leaves the
+            // checkpoint stats section's format (and restore fidelity)
+            // untouched.
+            TsEvent::SloBreach { .. } | TsEvent::SloRecovered { .. } | TsEvent::GwStats { .. } => {}
         }
     }
 }

@@ -39,6 +39,7 @@
 pub mod adversary;
 pub mod checkpoint;
 pub mod derivation;
+mod envelope;
 mod events;
 mod generalize;
 mod mixzone;
@@ -46,8 +47,15 @@ pub mod planning;
 mod policy;
 mod randomize;
 mod server;
+mod service;
 mod shared;
 pub mod strategy;
+
+pub use envelope::{
+    parse_wire_msg, parse_wire_reply, EnvelopeBody, RequestEnvelope, ResponseEnvelope, WireError,
+    WireMsg, WireOutcome, WireReply,
+};
+pub use service::RequestService;
 
 pub use checkpoint::{
     CheckpointReceipt, Checkpointer, RecoveredCheckpoint, ServerMeta, SkippedCheckpoints, UserMeta,

@@ -196,6 +196,9 @@ pub struct TrustedServer {
     /// ([`TrustedServer::enable_slo`]); off by default so journals stay
     /// byte-identical with existing fixtures.
     slo: Option<hka_obs::SloMonitor>,
+    /// Responses buffered for the [`crate::RequestService`] seam,
+    /// taken by `drain`. Transient — never checkpointed.
+    svc_outbox: Vec<crate::envelope::ResponseEnvelope>,
 }
 
 impl TrustedServer {
@@ -218,6 +221,7 @@ impl TrustedServer {
             mode: ServerMode::Normal,
             last_time: TimeSec(0),
             slo: None,
+            svc_outbox: Vec::new(),
         }
     }
 
@@ -668,6 +672,36 @@ impl TrustedServer {
         self.log.flush_journal()
     }
 
+    /// Journals SLO transitions observed outside the server's own
+    /// watchdog — e.g. the TCP gateway's p999/queue-depth monitor —
+    /// stamped with the server's last event time. Async-class: they
+    /// describe telemetry, never gate a request.
+    pub fn note_slo_events(&mut self, events: &[hka_obs::SloEvent]) {
+        for ev in events {
+            let at = self.last_time;
+            self.push_event(TsEvent::from_slo(ev, at), at);
+        }
+    }
+
+    /// Journals a gateway liveness snapshot ([`TsEvent::GwStats`]).
+    pub fn note_gateway_stats(&mut self, conns: u64, drains: u64, queue_depth: u64) {
+        let at = self.last_time;
+        self.push_event(
+            TsEvent::GwStats {
+                at,
+                conns,
+                drains,
+                queue_depth,
+            },
+            at,
+        );
+    }
+
+    /// The [`crate::RequestService`] response buffer (seam internals).
+    pub(crate) fn svc_outbox_mut(&mut self) -> &mut Vec<crate::envelope::ResponseEnvelope> {
+        &mut self.svc_outbox
+    }
+
     /// The attached journal sink's chain position `(next_seq, head)`, or
     /// `None` when no journal is attached. Checkpoints anchor here.
     pub fn journal_position(&self) -> Option<(u64, String)> {
@@ -789,6 +823,7 @@ impl TrustedServer {
             // The watchdog's rolling window is telemetry, not durable
             // state: a restored server starts with a fresh (off) one.
             slo: None,
+            svc_outbox: Vec::new(),
         })
     }
 

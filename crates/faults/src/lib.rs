@@ -36,7 +36,7 @@ mod schedule;
 mod writer;
 
 pub use plan::{FaultInjector, FaultKind, FaultPlan, FaultRule, Trigger};
-pub use schedule::{checkpoint_chaos_plan, randomized_plan, tail_chaos_plan};
+pub use schedule::{checkpoint_chaos_plan, gateway_chaos_plan, randomized_plan, tail_chaos_plan};
 pub use writer::FaultyWriter;
 
 /// Named injection sites threaded through the pipeline's hot paths.
@@ -70,9 +70,24 @@ pub mod sites {
     /// Journal prefix truncation after a checkpoint: failure while
     /// swapping the suffix into place, possibly tearing the copy.
     pub const JOURNAL_TRUNCATE: &str = "journal.truncate";
+    /// TCP gateway accept loop: a connection refused or dropped at the
+    /// listener before any frame is read.
+    pub const GATEWAY_ACCEPT: &str = "gateway.accept";
+    /// Per-connection reads: a stalled or reset peer mid-stream.
+    pub const CONN_READ: &str = "conn.read";
+    /// Per-connection response writes: an I/O error, a silently
+    /// dropped response, or a torn (half-written) frame before the
+    /// peer disconnects.
+    pub const CONN_WRITE: &str = "conn.write";
+    /// Frame decode: a torn frame (line truncated mid-bytes) or a
+    /// frame dropped between read and parse.
+    pub const CONN_FRAME: &str = "conn.frame";
 
-    /// Every standard site, in a fixed order.
-    pub const ALL: [&str; 9] = [
+    /// Every standard site, in a fixed order. Gateway sites come last:
+    /// appending (never inserting) keeps [`crate::randomized_plan`]'s
+    /// per-seed draws for the pre-gateway sites identical to older
+    /// releases.
+    pub const ALL: [&str; 13] = [
         PHL_WRITE,
         JOURNAL_IO,
         MIXZONE,
@@ -82,6 +97,10 @@ pub mod sites {
         SNAPSHOT_RENAME,
         CHECKPOINT_APPEND,
         JOURNAL_TRUNCATE,
+        GATEWAY_ACCEPT,
+        CONN_READ,
+        CONN_WRITE,
+        CONN_FRAME,
     ];
 
     /// The checkpoint-path subset of [`ALL`], in write-protocol order:
@@ -92,4 +111,8 @@ pub mod sites {
         CHECKPOINT_APPEND,
         JOURNAL_TRUNCATE,
     ];
+
+    /// The network-frontend subset of [`ALL`], in connection-lifecycle
+    /// order: accept → read → frame decode → response write.
+    pub const GATEWAY: [&str; 4] = [GATEWAY_ACCEPT, CONN_READ, CONN_FRAME, CONN_WRITE];
 }

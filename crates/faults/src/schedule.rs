@@ -49,6 +49,12 @@ pub fn randomized_plan(seed: u64) -> FaultPlan {
             sites::ARRIVAL => {
                 [FaultKind::Drop, FaultKind::Duplicate, FaultKind::Reorder][s.below(3) as usize]
             }
+            sites::GATEWAY_ACCEPT => [FaultKind::Drop, FaultKind::Io][s.below(2) as usize],
+            sites::CONN_READ => [FaultKind::Io, FaultKind::Drop][s.below(2) as usize],
+            sites::CONN_FRAME => [FaultKind::Torn, FaultKind::Drop][s.below(2) as usize],
+            sites::CONN_WRITE => {
+                [FaultKind::Io, FaultKind::Torn, FaultKind::Drop][s.below(3) as usize]
+            }
             _ => FaultKind::Unavailable,
         };
         let trigger = match s.below(3) {
@@ -116,6 +122,46 @@ pub fn checkpoint_chaos_plan(seed: u64) -> FaultPlan {
                 to: 1 + s.below(3),
             },
             _ => Trigger::Prob(0.5 + 0.4 * s.unit()),
+        };
+        plan.push_rule(site, trigger, kind);
+    }
+    plan
+}
+
+/// A seeded plan restricted to the **network-frontend** sites
+/// ([`sites::GATEWAY`]): listener accepts, connection reads, frame
+/// decode, and response writes.
+///
+/// Like [`checkpoint_chaos_plan`] the triggers are aggressive — every
+/// connection handles only a handful of frames, so a timid schedule
+/// would never fire — and the plan always contains at least one rule.
+/// Gateway chaos drills sweep seeds over this generator and assert the
+/// fail-closed contract: whatever the network loses or tears, the
+/// journal never records a forward the intact traffic didn't earn.
+pub fn gateway_chaos_plan(seed: u64) -> FaultPlan {
+    let mut s = Stream(splitmix64(seed ^ 0x006A_7EBA_D0CA_B1E5));
+    let mut plan = FaultPlan::new(seed);
+    let forced = s.below(sites::GATEWAY.len() as u64) as usize;
+    for (i, site) in sites::GATEWAY.into_iter().enumerate() {
+        if i != forced && s.unit() > 0.6 {
+            continue;
+        }
+        let kind = match site {
+            sites::GATEWAY_ACCEPT => [FaultKind::Drop, FaultKind::Io][s.below(2) as usize],
+            sites::CONN_READ => [FaultKind::Io, FaultKind::Drop][s.below(2) as usize],
+            sites::CONN_FRAME => [FaultKind::Torn, FaultKind::Drop][s.below(2) as usize],
+            _ => [FaultKind::Io, FaultKind::Torn, FaultKind::Drop][s.below(3) as usize],
+        };
+        let trigger = match s.below(3) {
+            0 => Trigger::EveryNth(2 + s.below(6)),
+            1 => {
+                let from = s.below(8);
+                Trigger::Window {
+                    from,
+                    to: from + 2 + s.below(10),
+                }
+            }
+            _ => Trigger::Prob(0.1 + 0.4 * s.unit()),
         };
         plan.push_rule(site, trigger, kind);
     }
@@ -231,9 +277,47 @@ mod tests {
                         rule.kind,
                         FaultKind::Drop | FaultKind::Duplicate | FaultKind::Reorder
                     )),
+                    sites::GATEWAY_ACCEPT | sites::CONN_READ => {
+                        assert!(matches!(rule.kind, FaultKind::Drop | FaultKind::Io))
+                    }
+                    sites::CONN_FRAME => {
+                        assert!(matches!(rule.kind, FaultKind::Torn | FaultKind::Drop))
+                    }
+                    sites::CONN_WRITE => assert!(matches!(
+                        rule.kind,
+                        FaultKind::Io | FaultKind::Torn | FaultKind::Drop
+                    )),
                     _ => assert_eq!(rule.kind, FaultKind::Unavailable),
                 }
             }
         }
+    }
+
+    #[test]
+    fn gateway_plans_are_aggressive_and_cover_the_frontend() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            let plan = gateway_chaos_plan(seed);
+            assert_eq!(plan, gateway_chaos_plan(seed), "seed-determined");
+            assert!(
+                !plan.rules().is_empty(),
+                "drill plans always fault something"
+            );
+            for rule in plan.rules() {
+                assert!(sites::GATEWAY.contains(&rule.site.as_str()));
+                seen.insert(rule.site.clone());
+                match rule.trigger {
+                    Trigger::EveryNth(n) => assert!((2..=7).contains(&n)),
+                    Trigger::Window { from, to } => assert!(to > from),
+                    Trigger::Prob(p) => assert!((0.1..=0.5).contains(&p)),
+                    other => panic!("unexpected drill trigger {other:?}"),
+                }
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            sites::GATEWAY.len(),
+            "64 seeds must exercise every gateway site"
+        );
     }
 }

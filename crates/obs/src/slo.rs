@@ -30,12 +30,20 @@ pub struct SloConfig {
     pub min_samples: usize,
     /// p99 request latency ceiling, nanoseconds.
     pub latency_p99_ns: u64,
+    /// p999 request latency ceiling, nanoseconds. Defaults to
+    /// `u64::MAX` (never judged breached) so monitors configured
+    /// before this objective existed emit identical events.
+    pub latency_p999_ns: u64,
     /// Suppressed-request fraction ceiling in the window.
     pub max_suppression_rate: f64,
     /// Pending group-commit events ceiling.
     pub max_flush_lag: usize,
     /// Fraction of windowed requests handled outside Normal mode.
     pub max_degraded_residency: f64,
+    /// Inflight-queue depth ceiling (judged by the gateway at drain
+    /// barriers via [`SloMonitor::observe_queue_depth`]). Defaults to
+    /// `usize::MAX` (never breached).
+    pub max_queue_depth: usize,
 }
 
 impl Default for SloConfig {
@@ -44,9 +52,11 @@ impl Default for SloConfig {
             window: 256,
             min_samples: 32,
             latency_p99_ns: 50_000_000,
+            latency_p999_ns: u64::MAX,
             max_suppression_rate: 0.5,
             max_flush_lag: 4096,
             max_degraded_residency: 0.5,
+            max_queue_depth: usize::MAX,
         }
     }
 }
@@ -165,6 +175,15 @@ impl SloMonitor {
             self.config.latency_p99_ns as f64,
             &mut out,
         );
+        if self.config.latency_p999_ns != u64::MAX {
+            let p999 = lats[(n * 999).div_ceil(1000).saturating_sub(1).min(n - 1)];
+            self.judge(
+                "latency_p999",
+                p999 as f64,
+                self.config.latency_p999_ns as f64,
+                &mut out,
+            );
+        }
         let suppressed_n = self.window.iter().filter(|s| s.suppressed).count();
         self.judge(
             "suppression_rate",
@@ -194,6 +213,22 @@ impl SloMonitor {
         );
         out
     }
+
+    /// Observes the inflight-queue depth at a gateway drain barrier and
+    /// returns any `queue_depth` transition. Inert (no judgement, no
+    /// latch state) while [`SloConfig::max_queue_depth`] is unset.
+    pub fn observe_queue_depth(&mut self, depth: usize) -> Vec<SloEvent> {
+        let mut out = Vec::new();
+        if self.config.max_queue_depth != usize::MAX {
+            self.judge(
+                "queue_depth",
+                depth as f64,
+                self.config.max_queue_depth as f64,
+                &mut out,
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -205,9 +240,11 @@ mod tests {
             window: 8,
             min_samples: 4,
             latency_p99_ns: 1_000_000, // 1ms
+            latency_p999_ns: u64::MAX,
             max_suppression_rate: 0.5,
             max_flush_lag: 10,
             max_degraded_residency: 0.5,
+            max_queue_depth: usize::MAX,
         }
     }
 
@@ -263,6 +300,35 @@ mod tests {
         assert_eq!(breach[0].slo, "flush_lag");
         assert!(m.observe_flush_lag(50).is_empty(), "latched");
         let rec = m.observe_flush_lag(0);
+        assert_eq!(rec.len(), 1);
+        assert!(!rec[0].breached);
+    }
+
+    #[test]
+    fn p999_and_queue_depth_are_opt_in() {
+        // Unset thresholds never judge — byte-compatibility with
+        // pre-gateway monitors.
+        let mut off = SloMonitor::new(tiny());
+        assert!(off.observe_queue_depth(1_000_000).is_empty());
+
+        let mut m = SloMonitor::new(SloConfig {
+            latency_p999_ns: 2_000_000,
+            max_queue_depth: 16,
+            ..tiny()
+        });
+        let mut events = Vec::new();
+        for i in 0..8 {
+            events.extend(m.observe_request(3_000_000, false, false, TraceId(i)));
+        }
+        assert!(
+            events.iter().any(|e| e.slo == "latency_p999" && e.breached),
+            "{events:?}"
+        );
+        let breach = m.observe_queue_depth(40);
+        assert_eq!(breach.len(), 1);
+        assert_eq!(breach[0].slo, "queue_depth");
+        assert!(m.observe_queue_depth(41).is_empty(), "latched");
+        let rec = m.observe_queue_depth(2);
         assert_eq!(rec.len(), 1);
         assert!(!rec[0].breached);
     }

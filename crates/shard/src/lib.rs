@@ -144,6 +144,9 @@ pub struct ShardedTs {
     next_pos: u64,
     epoch: u64,
     parallel_threshold: usize,
+    /// Submission position → `(req_id, trace)` of envelopes submitted
+    /// through the [`RequestService`] seam, consumed by `drain`.
+    svc_pending: BTreeMap<u64, (u64, u64)>,
 }
 
 impl ShardedTs {
@@ -173,6 +176,7 @@ impl ShardedTs {
             next_pos: 0,
             epoch: 0,
             parallel_threshold: if single_core { usize::MAX } else { 64 },
+            svc_pending: BTreeMap::new(),
         }
     }
 
@@ -1206,6 +1210,108 @@ impl ShardedTs {
     /// A point-in-time snapshot of the process-wide metrics registry.
     pub fn metrics_snapshot(&self) -> hka_obs::MetricsSnapshot {
         hka_obs::global().snapshot()
+    }
+
+    /// Journals SLO transitions observed outside the server's own
+    /// watchdog — e.g. the TCP gateway's p999/queue-depth monitor.
+    /// Async-class telemetry; never gates a request.
+    pub fn note_slo_events(&mut self, events: &[hka_obs::SloEvent]) {
+        for ev in events {
+            let at = self.co.last_time;
+            self.co.emit_event(hka_core::TsEvent::from_slo(ev, at), at);
+        }
+    }
+
+    /// Journals a gateway liveness snapshot
+    /// ([`TsEvent`](hka_core::TsEvent)`::GwStats`).
+    pub fn note_gateway_stats(&mut self, conns: u64, drains: u64, queue_depth: u64) {
+        let at = self.co.last_time;
+        self.co.emit_event(
+            hka_core::TsEvent::GwStats {
+                at,
+                conns,
+                drains,
+                queue_depth,
+            },
+            at,
+        );
+    }
+}
+
+impl hka_core::RequestService for ShardedTs {
+    fn submit(&mut self, env: &hka_core::RequestEnvelope) {
+        match env.body {
+            hka_core::EnvelopeBody::Location => {
+                self.submit_location(env.user, env.at);
+            }
+            hka_core::EnvelopeBody::Request { service } => {
+                let pos = self.submit_request(env.user, env.at, service);
+                self.svc_pending.insert(pos, (env.req_id, env.trace));
+            }
+        }
+    }
+
+    /// Flushes the pipeline and maps settled outcomes back to their
+    /// envelopes. `k_got` is recovered by aligning the drain's
+    /// forwarded outcomes (position order) with the log's most recent
+    /// `ts.forwarded` events (canonical order — the same order); if
+    /// the ring has already evicted an event the response carries 0,
+    /// with the journal record staying authoritative.
+    fn drain(&mut self) -> Vec<hka_core::ResponseEnvelope> {
+        let outcomes = self.take_outcomes();
+        let forwarded = outcomes
+            .iter()
+            .filter(|(_, _, r)| matches!(r, Ok(RequestOutcome::Forwarded(_))))
+            .count();
+        let mut k_gots: std::collections::VecDeque<(UserId, u64)> =
+            std::collections::VecDeque::with_capacity(forwarded);
+        for ev in self.co.log.events() {
+            if let hka_core::TsEvent::Forwarded { user, k_got, .. } = ev {
+                if k_gots.len() == forwarded {
+                    k_gots.pop_front();
+                }
+                k_gots.push_back((*user, *k_got as u64));
+            }
+        }
+        let mut responses = Vec::with_capacity(outcomes.len());
+        for (pos, user, result) in &outcomes {
+            let (req_id, trace) = self.svc_pending.remove(pos).unwrap_or((*pos, 0));
+            let k_got = match result {
+                Ok(RequestOutcome::Forwarded(_)) => match k_gots.pop_front() {
+                    Some((u, k)) if u == *user => k,
+                    _ => 0,
+                },
+                _ => 0,
+            };
+            responses.push(hka_core::ResponseEnvelope::from_result(
+                req_id,
+                trace,
+                result,
+                self.co.mode,
+                k_got,
+            ));
+        }
+        responses
+    }
+
+    fn mode(&self) -> ServerMode {
+        ShardedTs::mode(self)
+    }
+
+    fn pseudonym_of(&self, user: UserId) -> Option<Pseudonym> {
+        ShardedTs::pseudonym_of(self, user)
+    }
+
+    fn flush_journal(&mut self) -> std::io::Result<()> {
+        ShardedTs::flush_journal(self)
+    }
+
+    fn note_slo_events(&mut self, events: &[hka_obs::SloEvent]) {
+        ShardedTs::note_slo_events(self, events);
+    }
+
+    fn note_gateway_stats(&mut self, conns: u64, drains: u64, queue_depth: u64) {
+        ShardedTs::note_gateway_stats(self, conns, drains, queue_depth);
     }
 }
 

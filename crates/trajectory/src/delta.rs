@@ -59,6 +59,23 @@ pub struct IndexDelta {
 /// exact equality, no epsilon), k, and the excluded user.
 type MemoKey = (u64, u64, i64, usize, Option<UserId>);
 
+/// Memo key for a window (`users_crossing`) query: the box corners by
+/// bit pattern and the time span. Exact equality only, like
+/// [`MemoKey`] — two boxes that differ in the last ulp are different
+/// queries.
+type WindowKey = (u64, u64, u64, u64, i64, i64);
+
+fn window_key(b: &StBox) -> WindowKey {
+    (
+        b.rect.min().x.to_bits(),
+        b.rect.min().y.to_bits(),
+        b.rect.max().x.to_bits(),
+        b.rect.max().y.to_bits(),
+        b.span.start().0,
+        b.span.end().0,
+    )
+}
+
 /// A generation-stamped, incrementally maintained union index over
 /// user-disjoint partitions. See the module docs for the protocol.
 #[derive(Debug)]
@@ -76,6 +93,12 @@ pub struct UnionIndex {
     /// layout invalidates (the delta streams would not line up).
     partitions: usize,
     memo: HashMap<MemoKey, Vec<(UserId, StPoint)>>,
+    /// Window-query memo, same generation fence as `memo`. Crossing
+    /// sets and early-exit counts are cached separately: a count with
+    /// `limit` cannot answer a later set query, and a set is often
+    /// never materialized on the count path.
+    window_memo: HashMap<WindowKey, BTreeSet<UserId>>,
+    count_memo: HashMap<(WindowKey, usize), usize>,
     memo_generation: u64,
 }
 
@@ -92,6 +115,8 @@ impl UnionIndex {
             live: false,
             partitions,
             memo: HashMap::new(),
+            window_memo: HashMap::new(),
+            count_memo: HashMap::new(),
             memo_generation: 0,
         }
     }
@@ -135,7 +160,7 @@ impl UnionIndex {
         }
         self.live = false;
         self.generation += 1;
-        self.memo.clear();
+        self.clear_memos();
         hka_obs::global().counter("union.invalidations").incr();
     }
 
@@ -189,7 +214,7 @@ impl UnionIndex {
         self.live = true;
         self.partitions = partitions;
         self.generation += 1;
-        self.memo.clear();
+        self.clear_memos();
         hka_obs::global().counter("union.rebuilds").incr();
     }
 
@@ -207,10 +232,7 @@ impl UnionIndex {
         exclude: Option<UserId>,
     ) -> Vec<(UserId, StPoint)> {
         assert!(self.live, "query against an invalidated union index");
-        if self.memo_generation != self.generation {
-            self.memo.clear();
-            self.memo_generation = self.generation;
-        }
+        self.fence_memo();
         let key = (
             seed.pos.x.to_bits(),
             seed.pos.y.to_bits(),
@@ -233,25 +255,68 @@ impl UnionIndex {
     /// the memo-miss path, and long-lived epochs can call it to bound
     /// memory.
     pub fn clear_memo(&mut self) {
+        self.clear_memos();
+    }
+
+    fn clear_memos(&mut self) {
         self.memo.clear();
+        self.window_memo.clear();
+        self.count_memo.clear();
     }
 
-    /// Distinct users crossing `b`, against the live union.
+    /// Drops every memo table if the index has mutated since they were
+    /// filled. All memoized queries share one fence: any mutation bumps
+    /// `generation`, so a single stale table implies they all are.
+    fn fence_memo(&mut self) {
+        if self.memo_generation != self.generation {
+            self.clear_memos();
+            self.memo_generation = self.generation;
+        }
+    }
+
+    /// Distinct users crossing `b`, against the live union — served
+    /// from the generation-keyed window memo when the identical box was
+    /// already queried at this generation (Algorithm 1 probes the same
+    /// candidate windows repeatedly across a co-arriving batch).
     ///
     /// # Panics
     /// If the union is not live; callers rebuild first.
-    pub fn users_crossing(&self, b: &StBox) -> BTreeSet<UserId> {
+    pub fn users_crossing(&mut self, b: &StBox) -> BTreeSet<UserId> {
         assert!(self.live, "query against an invalidated union index");
-        self.index.users_crossing(b)
+        self.fence_memo();
+        let key = window_key(b);
+        if let Some(hit) = self.window_memo.get(&key) {
+            hka_obs::global().counter("union.memo_hits").incr();
+            return hit.clone();
+        }
+        let out = self.index.users_crossing(b);
+        self.window_memo.insert(key, out.clone());
+        out
     }
 
-    /// Early-exit crossing count, against the live union.
+    /// Early-exit crossing count, against the live union. Memoized per
+    /// `(box, limit)`: a count capped at `limit` says nothing about any
+    /// other limit, so the limit is part of the key. A full crossing
+    /// set already memoized for the same box answers any limit and is
+    /// preferred over a fresh index walk.
     ///
     /// # Panics
     /// If the union is not live; callers rebuild first.
-    pub fn count_users_crossing(&self, b: &StBox, limit: usize) -> usize {
+    pub fn count_users_crossing(&mut self, b: &StBox, limit: usize) -> usize {
         assert!(self.live, "query against an invalidated union index");
-        self.index.count_users_crossing(b, limit)
+        self.fence_memo();
+        let key = window_key(b);
+        if let Some(set) = self.window_memo.get(&key) {
+            hka_obs::global().counter("union.memo_hits").incr();
+            return set.len().min(limit);
+        }
+        if let Some(&hit) = self.count_memo.get(&(key, limit)) {
+            hka_obs::global().counter("union.memo_hits").incr();
+            return hit;
+        }
+        let out = self.index.count_users_crossing(b, limit);
+        self.count_memo.insert((key, limit), out);
+        out
     }
 }
 
@@ -360,6 +425,45 @@ mod tests {
         let after = union.k_nearest_users(&seed, 2, None);
         assert_eq!(after.len(), 2);
         assert_eq!(after[0].0, UserId(2));
+    }
+
+    #[test]
+    fn window_memo_serves_only_within_one_generation() {
+        let mut union = UnionIndex::new(IndexBackend::Grid, GridIndexConfig::default(), 1);
+        let mut store = TrajectoryStore::new();
+        store.record(UserId(1), sp(10.0, 10.0, 5));
+        union.rebuild([&store], 1);
+        let b = StBox::new(
+            hka_geo::Rect::from_bounds(6.0, 6.0, 14.0, 14.0),
+            hka_geo::TimeInterval::new(TimeSec(0), TimeSec(20)),
+        );
+        let first = union.users_crossing(&b);
+        assert_eq!(first.len(), 1);
+        assert_eq!(union.users_crossing(&b), first); // memo hit
+                                                     // A memoized full set answers any limited count.
+        assert_eq!(union.count_users_crossing(&b, usize::MAX), 1);
+        assert_eq!(union.count_users_crossing(&b, 0), 0);
+        // A mutation bumps the generation: the same window must see the
+        // new user, not the memoized answer.
+        union.apply(&IndexDelta {
+            pos: 1,
+            user: UserId(2),
+            point: sp(11.0, 11.0, 6),
+        });
+        let after = union.users_crossing(&b);
+        assert_eq!(after.len(), 2);
+        assert!(after.contains(&UserId(2)));
+        assert_eq!(union.count_users_crossing(&b, usize::MAX), 2);
+        // Count-only path (no prior set query at this generation) also
+        // respects the fence and the limit cap.
+        union.apply(&IndexDelta {
+            pos: 2,
+            user: UserId(3),
+            point: sp(9.0, 9.0, 7),
+        });
+        assert_eq!(union.count_users_crossing(&b, 2), 2);
+        assert_eq!(union.count_users_crossing(&b, 2), 2); // memo hit
+        assert_eq!(union.count_users_crossing(&b, usize::MAX), 3);
     }
 
     #[test]

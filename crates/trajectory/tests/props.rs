@@ -387,12 +387,16 @@ proptest! {
                         snap.k_nearest_users(&seed, k, Some(UserId(0))),
                         "excluding kNN after epoch"
                     );
-                    prop_assert_eq!(union.users_crossing(&b), snap.users_crossing(&b));
+                    // Each window query runs twice: the first answer is
+                    // computed against the index, the second is a memo
+                    // hit — both must equal the fresh snapshot oracle.
+                    let crossing = union.users_crossing(&b);
+                    prop_assert_eq!(&crossing, &snap.users_crossing(&b));
+                    prop_assert_eq!(&union.users_crossing(&b), &crossing, "memoized set");
                     for limit in [0usize, 1, usize::MAX] {
-                        prop_assert_eq!(
-                            union.count_users_crossing(&b, limit),
-                            snap.count_users_crossing(&b, limit)
-                        );
+                        let n = union.count_users_crossing(&b, limit);
+                        prop_assert_eq!(n, snap.count_users_crossing(&b, limit));
+                        prop_assert_eq!(union.count_users_crossing(&b, limit), n, "memoized count");
                     }
                     let total: usize = stores.iter().map(|s| s.total_points()).sum();
                     prop_assert_eq!(union.len(), total);

@@ -52,6 +52,11 @@ cargo run --release -q --bin hka-sim -- simulate --days 2 --commuters 4 \
     --trace-out "$tmp/union-off.journal" > /dev/null
 cmp "$tmp/union-on.journal" "$tmp/union-off.journal"
 
+echo "== gateway (TCP differential + chaos drill + open-loop smoke) =="
+cargo test --release -q --test gateway
+cargo run --release -q -p hka-bench --bin bench_gateway -- --smoke \
+    --out "$tmp" > /dev/null
+
 echo "== checkpoint (drill with checkpoints, then snapshot+suffix == genesis) =="
 cargo run --release -q --bin hka-sim -- serve-drill --journal "$tmp/drill.journal" \
     --days 1 --commuters 4 --roamers 20 --checkpoint-every 100 > /dev/null

@@ -19,6 +19,9 @@
 //! hka-sim watch    JOURNAL [--snapshot FILE] [--interval-ms N]
 //!                  [--idle-exit N] [--json] [--report FILE]
 //!                  [--space-tol M2] [--time-tol SECS] [--sample-cap N]
+//! hka-sim serve    [--addr HOST:PORT] [--seed N] [--days N] [--commuters N]
+//!                  [--roamers N] [--k N] [--shards N] [--index grid|rtree]
+//!                  [--journal FILE] [--inflight N] [--slo] [--gw-stats]
 //! hka-sim serve-drill [--journal FILE] [--audit-tail] [--chaos SEED]
 //!                  [--checkpoint-every N] [--truncate]
 //!                  [--checkpoint-chaos SEED]
@@ -63,6 +66,19 @@
 //! `--idle-exit N` consecutive quiet polls. `--report FILE` writes the
 //! canonical JSON report on exit — for a completed journal it is
 //! byte-identical to `audit --json` on the same file.
+//!
+//! `serve` exposes a protected world over TCP through the
+//! `hka-gateway` frontend (line-delimited JSON envelopes; see
+//! DESIGN.md §16 for the wire format). `--addr 127.0.0.1:0` (the
+//! default) binds an ephemeral port and prints the bound address.
+//! The process serves until a client sends the wire `shutdown` op,
+//! then drains gracefully, flushes the journal, and exits 0; exit 1
+//! is a bind/journal/flush failure and exit 2 a usage error. With
+//! neither `--gw-stats` (per-drain `gw.stats` liveness records) nor
+//! `--slo` (gateway p999-latency + queue-depth watchdog) the journal
+//! written by `--journal FILE` is *byte-identical* to an in-process
+//! `simulate --trace-out` run of the same traffic — the differential
+//! suite pins this.
 //!
 //! `serve-drill` runs a simulation and a tailing auditor *at the same
 //! time* (`--audit-tail`), in separate threads over one journal file —
@@ -250,46 +266,39 @@ fn protected_sharded(world: &World, k: usize, shards: usize, backend: IndexBacke
     ts
 }
 
-/// Drives every workload event through the server. A request the server
-/// rejects (unknown user, read-only refusal) is reported and counted
-/// instead of aborting the whole simulation.
-fn run_events(ts: &mut TrustedServer, world: &World) -> u64 {
-    let mut errors = 0;
-    for e in &world.events {
-        match e.kind {
-            EventKind::Location => ts.location_update(e.user, e.at),
+/// The workload event stream as wire envelopes, in submission order —
+/// the exact frames a remote client would send the TCP gateway.
+fn world_envelopes(world: &World) -> Vec<RequestEnvelope> {
+    world
+        .events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| match e.kind {
+            EventKind::Location => RequestEnvelope::location(i as u64, e.user, e.at),
             EventKind::Request { service } => {
-                if let Err(err) = ts.try_handle_request(e.user, e.at, ServiceId(service)) {
-                    if errors == 0 {
-                        eprintln!("request rejected: {err}");
-                    }
-                    errors += 1;
-                }
+                RequestEnvelope::request(i as u64, e.user, e.at, ServiceId(service))
             }
-        }
-    }
-    errors
+        })
+        .collect()
 }
 
-/// [`run_events`] through the sharded frontend: everything is submitted
-/// up front and one flush runs the phase scheduler over the whole
-/// stream.
-fn run_events_sharded(ts: &mut ShardedTs, world: &World) -> u64 {
-    for e in &world.events {
-        match e.kind {
-            EventKind::Location => {
-                ts.submit_location(e.user, e.at);
-            }
-            EventKind::Request { service } => {
-                ts.submit_request(e.user, e.at, ServiceId(service));
-            }
-        }
+/// Drives every workload event through the transport-agnostic
+/// [`RequestService`] seam — the same interface the TCP gateway
+/// serves, so an in-process run and a served run differ only in
+/// transport. The sequential server decides each submission
+/// immediately; the sharded frontend settles everything at the final
+/// drain barrier. Either way a rejected request (unknown user,
+/// read-only refusal) is reported and counted instead of aborting the
+/// whole simulation.
+fn run_events(svc: &mut dyn RequestService, world: &World) -> u64 {
+    for env in &world_envelopes(world) {
+        svc.submit(env);
     }
     let mut errors = 0;
-    for (_, _, outcome) in ts.take_outcomes() {
-        if let Err(err) = outcome {
+    for resp in svc.drain() {
+        if resp.outcome == WireOutcome::Rejected {
             if errors == 0 {
-                eprintln!("request rejected: {err}");
+                eprintln!("request rejected: {}", resp.detail);
             }
             errors += 1;
         }
@@ -356,7 +365,7 @@ fn cmd_simulate(flags: HashMap<String, String>) {
                 Box::new(std::io::BufWriter::new(file)) as Box<dyn hka::obs::DurableSink>,
             ));
         }
-        errors = run_events_sharded(&mut ts, &world);
+        errors = run_events(&mut ts, &world);
         ts.flush_journal().unwrap_or_else(|e| {
             eprintln!("journal flush failed: {e}");
             std::process::exit(1);
@@ -1258,6 +1267,7 @@ fn cmd_serve_drill(flags: HashMap<String, String>) {
     let chunk = world.events.len().div_ceil(segments).max(1);
     let mut recoveries = 0u64;
     let mut errors = 0u64;
+    let mut req_id = 0u64;
     for (i, slice) in world.events.chunks(chunk).enumerate() {
         if i > 0 {
             drop(ts.take_journal()); // flushes buffered records on drop
@@ -1285,8 +1295,17 @@ fn cmd_serve_drill(flags: HashMap<String, String>) {
             ));
         }
         for e in slice {
+            // Delivery goes through the transport-agnostic seam — the
+            // same interface the TCP gateway serves — so the drill
+            // rehearses exactly the path a served deployment exercises.
             match e.kind {
-                EventKind::Location => ts.location_update(e.user, e.at),
+                EventKind::Location => {
+                    RequestService::submit(
+                        &mut ts,
+                        &RequestEnvelope::location(req_id, e.user, e.at),
+                    );
+                    req_id += 1;
+                }
                 EventKind::Request { service } => {
                     // Arrival perturbation mirrors `chaos`: drop,
                     // duplicate, or re-deliver with a stale timestamp.
@@ -1305,13 +1324,16 @@ fn cmd_serve_drill(flags: HashMap<String, String>) {
                         _ => deliveries.push(e.at),
                     }
                     for at in deliveries {
-                        if ts
-                            .try_handle_request(e.user, at, ServiceId(service))
-                            .is_err()
-                        {
-                            errors += 1;
-                        }
+                        RequestService::submit(
+                            &mut ts,
+                            &RequestEnvelope::request(req_id, e.user, at, ServiceId(service)),
+                        );
+                        req_id += 1;
                     }
+                    errors += RequestService::drain(&mut ts)
+                        .iter()
+                        .filter(|r| r.outcome == WireOutcome::Rejected)
+                        .count() as u64;
                 }
             }
             if let Some(cp) = cp.as_mut() {
@@ -1459,11 +1481,104 @@ fn cmd_serve_drill(flags: HashMap<String, String>) {
     std::process::exit(code);
 }
 
+/// `hka-sim serve`: expose a protected world over TCP via the
+/// `hka-gateway` frontend and serve until a client sends the wire
+/// `shutdown` op.
+///
+/// Exit codes: `0` — clean drain after a wire shutdown; `1` — bind,
+/// journal, or flush failure; `2` — usage error.
+fn cmd_serve(flags: HashMap<String, String>) {
+    let seed = get(&flags, "seed", 1u64);
+    let days = get(&flags, "days", 2i64);
+    let commuters = get(&flags, "commuters", 6usize);
+    let roamers = get(&flags, "roamers", 30usize);
+    let k = get(&flags, "k", 4usize);
+    let shards = get(&flags, "shards", 1usize);
+    let backend = get_backend(&flags);
+    let inflight = get(&flags, "inflight", 256usize).max(1);
+    let addr = flags
+        .get("addr")
+        .filter(|a| a.as_str() != "true")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let journal_path = flags.get("journal").filter(|p| p.as_str() != "true");
+
+    let open_sink = |path: &String| -> std::fs::File {
+        std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+
+    let world = build_world(seed, days, commuters, roamers);
+    let service: Box<dyn RequestService + Send> = if shards > 1 {
+        let mut ts = protected_sharded(&world, k, shards, backend);
+        if let Some(path) = journal_path {
+            ts.attach_journal(hka::obs::Journal::new(
+                Box::new(std::io::BufWriter::new(open_sink(path)))
+                    as Box<dyn hka::obs::DurableSink>,
+            ));
+        }
+        Box::new(ts)
+    } else {
+        let mut ts = protected_server(&world, k, backend);
+        if let Some(path) = journal_path {
+            ts.attach_journal(hka::obs::Journal::new(
+                Box::new(std::io::BufWriter::new(open_sink(path)))
+                    as Box<dyn std::io::Write + Send + Sync>,
+            ));
+        }
+        Box::new(ts)
+    };
+
+    let config = hka::gateway::GatewayConfig {
+        inflight,
+        // `gw.stats` records and the gateway SLO watchdog both write
+        // journal records, so both are opt-in: with neither flag the
+        // journal is byte-identical to an in-process run.
+        emit_stats: flags.contains_key("gw-stats"),
+        slo: flags.contains_key("slo").then(|| hka::obs::SloConfig {
+            latency_p999_ns: 250_000_000,
+            max_queue_depth: inflight,
+            ..hka::obs::SloConfig::default()
+        }),
+        ..hka::gateway::GatewayConfig::default()
+    };
+    let gw = Gateway::spawn(&addr, service, config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "serving on {} ({} users, k = {k})",
+        gw.addr(),
+        world.agents.len()
+    );
+
+    // Serve until a peer sends the wire `shutdown` op.
+    while !gw.stop_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let stats = gw.stats().snapshot();
+    let mut service = gw.shutdown();
+    service.flush_journal().unwrap_or_else(|e| {
+        eprintln!("journal flush failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "served {} connection(s): {} responses ({} forwarded), \
+         {} overload refusals, {} bad frames",
+        stats.conns_total, stats.responses, stats.forwarded, stats.overloads, stats.bad_frames
+    );
+    if let Some(path) = journal_path {
+        println!("journal: {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(first) = args.first() else {
         eprintln!(
-            "usage: hka-sim <simulate|plan|derive|attack|export|chaos|audit|watch|trace|serve-drill> [--flags]"
+            "usage: hka-sim <simulate|plan|derive|attack|export|chaos|audit|watch|trace|serve|serve-drill> [--flags]"
         );
         std::process::exit(2);
     };
@@ -1492,10 +1607,11 @@ fn main() {
         "export" => cmd_export(flags),
         "chaos" => cmd_chaos(flags),
         "audit" => cmd_audit(flags),
+        "serve" => cmd_serve(flags),
         "serve-drill" => cmd_serve_drill(flags),
         other => {
             eprintln!(
-                "unknown command '{other}' (use simulate|plan|derive|attack|export|chaos|audit|watch|trace|serve-drill)"
+                "unknown command '{other}' (use simulate|plan|derive|attack|export|chaos|audit|watch|trace|serve|serve-drill)"
             );
             std::process::exit(2);
         }

@@ -75,6 +75,7 @@
 //! | [`obs`] | metrics, span timers, hash-chained JSONL event journal |
 //! | [`faults`] | deterministic fault injection and chaos schedules |
 //! | [`audit`] | offline journal replay, anonymity timelines, trade-off tables |
+//! | [`gateway`] | TCP frontend serving any [`core::RequestService`] backend |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -84,6 +85,7 @@ pub use hka_audit as audit;
 pub use hka_baselines as baselines;
 pub use hka_core as core;
 pub use hka_faults as faults;
+pub use hka_gateway as gateway;
 pub use hka_geo as geo;
 pub use hka_granules as granules;
 pub use hka_lbqid as lbqid;
@@ -105,17 +107,19 @@ pub mod prelude {
     pub use hka_core::derivation::{derive_lbqids, DerivationConfig, DerivedPattern};
     pub use hka_core::planning::{evaluate_deployment, DeploymentReport, PlanningConfig};
     pub use hka_core::{
-        algorithm1_first, algorithm1_first_brute, algorithm1_subsequent, CheckpointReceipt,
-        Checkpointer, Generalization, JournalHealth, MixZoneConfig, MixZoneManager,
-        PrivacyIndicator, PrivacyLevel, PrivacyParams, RandomizeConfig, Randomizer,
-        RecoveredCheckpoint, RequestOutcome, RetryPolicy, RiskAction, ServerMeta, ServerMode,
-        SharedTrustedServer, Tolerance, TrustedServer, TsConfig, TsError, TsEvent, TsStats,
-        UnlinkDecision,
+        algorithm1_first, algorithm1_first_brute, algorithm1_subsequent, parse_wire_msg,
+        parse_wire_reply, CheckpointReceipt, Checkpointer, EnvelopeBody, Generalization,
+        JournalHealth, MixZoneConfig, MixZoneManager, PrivacyIndicator, PrivacyLevel,
+        PrivacyParams, RandomizeConfig, Randomizer, RecoveredCheckpoint, RequestEnvelope,
+        RequestOutcome, RequestService, ResponseEnvelope, RetryPolicy, RiskAction, ServerMeta,
+        ServerMode, SharedTrustedServer, Tolerance, TrustedServer, TsConfig, TsError, TsEvent,
+        TsStats, UnlinkDecision, WireError, WireMsg, WireOutcome, WireReply,
     };
     pub use hka_faults::{
-        checkpoint_chaos_plan, randomized_plan, tail_chaos_plan, FaultInjector, FaultKind,
-        FaultPlan, FaultRule, FaultyWriter, Trigger,
+        checkpoint_chaos_plan, gateway_chaos_plan, randomized_plan, tail_chaos_plan, FaultInjector,
+        FaultKind, FaultPlan, FaultRule, FaultyWriter, Trigger,
     };
+    pub use hka_gateway::{Gateway, GatewayClient, GatewayConfig};
     pub use hka_geo::{
         DayWindow, Point, Rect, SpaceTimeScale, StBox, StPoint, TimeInterval, TimeSec, DAY, HOUR,
         MINUTE, WEEK,
